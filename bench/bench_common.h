@@ -1,0 +1,225 @@
+// Shared infrastructure for the paper-reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure of the paper. All
+// datasets are the 1/1024-scale stand-ins of DESIGN.md; the machine model
+// scales its latency constants identically, so a simulated time multiplied
+// by 1024 is directly comparable to the paper's published seconds. Tables
+// printed by the benches therefore report *paper-scale seconds*.
+//
+// Generated datasets are cached as binary edge lists under
+// $GTS_BENCH_DATA (default: ./bench_data). Set GTS_BENCH_QUICK=1 to skip
+// the largest datasets during development runs.
+#ifndef GTS_BENCH_BENCH_COMMON_H_
+#define GTS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <sys/stat.h>
+#include <vector>
+
+#include "algorithms/bfs.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/wcc.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "core/engine.h"
+#include "graph/csr_graph.h"
+#include "graph/datasets.h"
+#include "graph/graph_io.h"
+#include "storage/page_builder.h"
+#include "storage/page_store.h"
+
+namespace gts {
+namespace bench {
+
+inline bool QuickMode() {
+  const char* env = std::getenv("GTS_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+inline std::string DataDir() {
+  const char* env = std::getenv("GTS_BENCH_DATA");
+  std::string dir = env != nullptr && env[0] != '\0' ? env : "bench_data";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+/// One evaluation dataset.
+struct DatasetSpec {
+  std::string name;
+  std::function<Result<EdgeList>()> generate;
+  PageConfig page_config;  // Table 3: (2,2) small graphs, (3,3) RMAT30-32
+  bool big = false;        // skipped in quick mode
+};
+
+inline DatasetSpec RealSpec(RealDataset d) {
+  return DatasetSpec{DatasetName(d), [d] { return GenerateRealDataset(d); },
+                     PageConfig::Small22(), d == RealDataset::kYahooWeb};
+}
+
+inline DatasetSpec RmatSpec(int paper_scale) {
+  PageConfig config =
+      paper_scale >= 30 ? PageConfig::Big33() : PageConfig::Small22();
+  return DatasetSpec{"RMAT" + std::to_string(paper_scale),
+                     [paper_scale] { return ScaledRmat(paper_scale); },
+                     config, paper_scale >= 30};
+}
+
+/// Loads a dataset through the on-disk cache.
+inline Result<EdgeList> LoadDataset(const DatasetSpec& spec) {
+  const std::string path = DataDir() + "/" + spec.name + ".gtsg";
+  auto cached = ReadEdgeListBinary(path);
+  if (cached.ok()) return cached;
+  GTS_ASSIGN_OR_RETURN(EdgeList list, spec.generate());
+  GTS_RETURN_IF_ERROR(WriteEdgeListBinary(list, path));
+  return list;
+}
+
+/// A dataset prepared for both GTS (paged) and the baselines (CSR).
+struct PreparedGraph {
+  std::string name;
+  CsrGraph csr;
+  PagedGraph paged;
+};
+
+inline Result<PreparedGraph> Prepare(const DatasetSpec& spec,
+                                     bool symmetric = false) {
+  GTS_ASSIGN_OR_RETURN(EdgeList edges, LoadDataset(spec));
+  if (symmetric) edges = SymmetrizeEdges(edges);
+  PreparedGraph out;
+  out.name = spec.name;
+  out.csr = CsrGraph::FromEdgeList(edges);
+  GTS_ASSIGN_OR_RETURN(out.paged, BuildPagedGraph(out.csr, spec.page_config));
+  return out;
+}
+
+inline VertexId BusySource(const CsrGraph& csr) {
+  VertexId best = 0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (csr.out_degree(v) > csr.out_degree(best)) best = v;
+  }
+  return best;
+}
+
+// ------------------------------------------------------------- GTS setup
+
+/// The paper's storage setting for Figure 6: graphs up to RMAT30 run from
+/// main memory (load time excluded); RMAT31/32 run from two SSDs with an
+/// MMBuf of 20% of the graph size.
+inline std::unique_ptr<PageStore> PaperStore(const PreparedGraph& g,
+                                             int paper_scale_hint) {
+  if (paper_scale_hint >= 31) {
+    return MakeSsdStore(&g.paged, /*n=*/2, g.paged.TotalTopologyBytes() / 5);
+  }
+  return MakeInMemoryStore(&g.paged);
+}
+
+/// Picks Strategy-P unless WA does not fit one GPU (the paper switches to
+/// Strategy-S exactly then, Section 4.2).
+inline Strategy PickStrategy(const MachineConfig& machine,
+                             uint64_t wa_bytes) {
+  return wa_bytes + 2 * kMiB <= machine.device_memory
+             ? Strategy::kPerformance
+             : Strategy::kScalability;
+}
+
+// ----------------------------------------------------------- formatting
+
+/// Scaled simulated seconds -> the paper's scale.
+inline double PaperSeconds(SimTime sim_seconds) {
+  return sim_seconds * static_cast<double>(kReproScale);
+}
+
+inline std::string Cell(double paper_seconds) {
+  char buf[32];
+  if (paper_seconds >= 100) {
+    std::snprintf(buf, sizeof(buf), "%.0f", paper_seconds);
+  } else if (paper_seconds >= 1) {
+    std::snprintf(buf, sizeof(buf), "%.1f", paper_seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", paper_seconds);
+  }
+  return buf;
+}
+
+inline std::string StatusCell(const Status& status) {
+  if (status.code() == StatusCode::kOutOfMemory ||
+      status.IsOutOfDeviceMemory()) {
+    return "O.O.M.";
+  }
+  if (status.code() == StatusCode::kInternal) return "crash";
+  return "n/a";
+}
+
+/// Prints an aligned table with a title row.
+inline void PrintTable(const std::string& title,
+                       const std::vector<std::string>& headers,
+                       const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(headers.size());
+  for (size_t c = 0; c < headers.size(); ++c) widths[c] = headers[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n=== %s ===\n", title.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : "";
+      std::printf("%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(headers);
+  std::string rule;
+  for (size_t c = 0; c < widths.size(); ++c) {
+    rule += std::string(widths[c], '-') + "  ";
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows) print_row(row);
+  std::fflush(stdout);
+}
+
+// ------------------------------------------------- GTS comparison runs
+
+/// Runs GTS on a prepared dataset under the paper's Figure 6-8 settings:
+/// two GPUs, in-memory storage up to RMAT30 / two SSDs beyond, Strategy-P
+/// unless WA does not fit one GPU.
+struct GtsComparisonRunner {
+  explicit GtsComparisonRunner(const PreparedGraph* g,
+                               int paper_scale_hint = 0, int num_gpus = 2)
+      : graph(g),
+        machine(MachineConfig::PaperScaled(num_gpus)),
+        store(PaperStore(*g, paper_scale_hint)) {}
+
+  std::string RunBfsCell(VertexId source) {
+    GtsOptions opts;
+    opts.strategy =
+        PickStrategy(machine, graph->csr.num_vertices() * 2);  // LV 2 B
+    GtsEngine engine(&graph->paged, store.get(), machine, opts);
+    auto result = RunBfsGts(engine, source);
+    return result.ok() ? Cell(PaperSeconds(result->metrics.sim_seconds))
+                       : StatusCell(result.status());
+  }
+
+  std::string RunPageRankCell(int iterations) {
+    GtsOptions opts;
+    opts.strategy = PickStrategy(machine, graph->csr.num_vertices() * 4);
+    GtsEngine engine(&graph->paged, store.get(), machine, opts);
+    auto result = RunPageRankGts(engine, iterations);
+    return result.ok() ? Cell(PaperSeconds(result->total.sim_seconds))
+                       : StatusCell(result.status());
+  }
+
+  const PreparedGraph* graph;
+  MachineConfig machine;
+  std::unique_ptr<PageStore> store;
+};
+
+}  // namespace bench
+}  // namespace gts
+
+#endif  // GTS_BENCH_BENCH_COMMON_H_

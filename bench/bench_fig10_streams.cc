@@ -1,0 +1,60 @@
+// Regenerates Figure 10: GTS elapsed time vs number of GPU streams
+// (1..32) for RMAT26..RMAT29, BFS and PageRank (10 iterations).
+#include "bench_common.h"
+
+#include "algorithms/bfs.h"
+#include "algorithms/pagerank.h"
+
+namespace gts {
+namespace bench {
+namespace {
+
+int Main() {
+  const int max_scale = QuickMode() ? 27 : 29;
+  const int pr_iters = QuickMode() ? 2 : 10;
+  const std::vector<int> stream_counts = {1, 2, 4, 8, 16, 32};
+
+  std::vector<std::vector<std::string>> bfs_rows;
+  std::vector<std::vector<std::string>> pr_rows;
+  for (int scale = 26; scale <= max_scale; ++scale) {
+    DatasetSpec spec = RmatSpec(scale);
+    auto prepared = Prepare(spec);
+    if (!prepared.ok()) continue;
+    auto store = MakeInMemoryStore(&prepared->paged);
+    const VertexId source = BusySource(prepared->csr);
+
+    std::vector<std::string> bfs_row{spec.name + "*"};
+    std::vector<std::string> pr_row{spec.name + "*"};
+    for (int streams : stream_counts) {
+      GtsOptions opts;
+      opts.num_streams = streams;
+      MachineConfig machine = MachineConfig::PaperScaled(2);
+      GtsEngine engine(&prepared->paged, store.get(), machine, opts);
+
+      auto bfs = RunBfsGts(engine, source);
+      bfs_row.push_back(bfs.ok() ? Cell(PaperSeconds(bfs->metrics.sim_seconds))
+                                 : StatusCell(bfs.status()));
+      auto pr = RunPageRankGts(engine, pr_iters);
+      pr_row.push_back(pr.ok() ? Cell(PaperSeconds(pr->total.sim_seconds))
+                               : StatusCell(pr.status()));
+      std::fflush(stdout);
+    }
+    bfs_rows.push_back(std::move(bfs_row));
+    pr_rows.push_back(std::move(pr_row));
+  }
+
+  std::vector<std::string> headers{"data"};
+  for (int s : stream_counts) headers.push_back(std::to_string(s));
+  PrintTable("Figure 10(a): BFS, paper-scale seconds vs #streams", headers,
+             bfs_rows);
+  PrintTable("Figure 10(b): PageRank (" + std::to_string(pr_iters) +
+                 " iterations), paper-scale seconds vs #streams",
+             headers, pr_rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gts
+
+int main() { return gts::bench::Main(); }

@@ -1,0 +1,152 @@
+// Regenerates Figure 13 / Appendix D: the additional algorithms --
+// (a) SSSP and (b) Connected Components vs GraphX/Giraph/PowerGraph/TOTEM,
+// and (c) Betweenness Centrality vs TOTEM (single-node mode).
+#include "bench_common.h"
+
+#include "algorithms/bc.h"
+#include "algorithms/sssp.h"
+#include "baselines/bsp_cluster.h"
+#include "baselines/totem.h"
+
+namespace gts {
+namespace bench {
+namespace {
+
+using baselines::BspCluster;
+using baselines::BspSystem;
+using baselines::BspSystemName;
+using baselines::RecommendedGpuFraction;
+using baselines::TotemEngine;
+using baselines::TotemOptions;
+
+std::string GtsSsspCell(const PreparedGraph& g, VertexId source) {
+  auto store = MakeInMemoryStore(&g.paged);
+  GtsEngine engine(&g.paged, store.get(),
+                   MachineConfig::PaperScaled(2), GtsOptions{});
+  auto result = RunSsspGts(engine, source);
+  return result.ok() ? Cell(PaperSeconds(result->metrics.sim_seconds))
+                     : StatusCell(result.status());
+}
+
+std::string GtsWccCell(const PreparedGraph& g) {
+  auto store = MakeInMemoryStore(&g.paged);
+  GtsEngine engine(&g.paged, store.get(),
+                   MachineConfig::PaperScaled(2), GtsOptions{});
+  auto result = RunWccGts(engine);
+  return result.ok() ? Cell(PaperSeconds(result->total.sim_seconds))
+                     : StatusCell(result.status());
+}
+
+std::string GtsBcCell(const PreparedGraph& g, VertexId source) {
+  auto store = MakeInMemoryStore(&g.paged);
+  GtsEngine engine(&g.paged, store.get(),
+                   MachineConfig::PaperScaled(1), GtsOptions{});
+  auto result = RunBcGts(engine, source);
+  return result.ok() ? Cell(PaperSeconds(result->total.sim_seconds))
+                     : StatusCell(result.status());
+}
+
+int Main() {
+  const std::vector<BspSystem> distributed = {
+      BspSystem::kGraphX, BspSystem::kGiraph, BspSystem::kPowerGraph};
+
+  // ---- (a) SSSP and (b) CC on Twitter and RMAT28 ---------------------
+  std::vector<std::string> headers{"system", "Twitter", "RMAT28"};
+  std::vector<std::vector<std::string>> sssp_rows;
+  std::vector<std::vector<std::string>> cc_rows;
+  for (BspSystem s : distributed) {
+    sssp_rows.push_back({BspSystemName(s)});
+    cc_rows.push_back({BspSystemName(s)});
+  }
+  sssp_rows.push_back({"TOTEM"});
+  sssp_rows.push_back({"GTS"});
+  cc_rows.push_back({"TOTEM"});
+  cc_rows.push_back({"GTS"});
+
+  for (const DatasetSpec& spec :
+       {RealSpec(RealDataset::kTwitter), RmatSpec(28)}) {
+    std::fprintf(stderr, "[fig13] preparing %s...\n", spec.name.c_str());
+    auto directed = Prepare(spec);
+    auto symmetric = Prepare(spec, /*symmetric=*/true);
+    if (!directed.ok() || !symmetric.ok()) continue;
+    const VertexId source = BusySource(directed->csr);
+
+    for (size_t i = 0; i < distributed.size(); ++i) {
+      auto cluster = BspCluster::Load(&directed->csr, distributed[i]);
+      auto sym_cluster = BspCluster::Load(&symmetric->csr, distributed[i]);
+      if (!cluster.ok() || !sym_cluster.ok()) {
+        sssp_rows[i].push_back(StatusCell(cluster.status()));
+        cc_rows[i].push_back(StatusCell(cluster.status()));
+        continue;
+      }
+      auto sssp = cluster->RunSssp(source);
+      sssp_rows[i].push_back(sssp.ok() ? Cell(sssp->seconds * kReproScale)
+                                       : StatusCell(sssp.status()));
+      auto cc = sym_cluster->RunCc();
+      cc_rows[i].push_back(cc.ok() ? Cell(cc->seconds * kReproScale)
+                                   : StatusCell(cc.status()));
+      std::fflush(stdout);
+    }
+
+    const size_t totem_row = distributed.size();
+    TotemOptions opts;
+    opts.num_gpus = 2;
+    opts.gpu_fraction = RecommendedGpuFraction(spec.name, false, 2);
+    auto totem = TotemEngine::Load(&directed->csr, opts);
+    auto sym_totem = TotemEngine::Load(&symmetric->csr, opts);
+    if (totem.ok() && sym_totem.ok()) {
+      auto sssp = totem->RunSssp(source);
+      sssp_rows[totem_row].push_back(
+          sssp.ok() ? Cell(sssp->seconds * kReproScale)
+                    : StatusCell(sssp.status()));
+      auto cc = sym_totem->RunCc();
+      cc_rows[totem_row].push_back(cc.ok()
+                                       ? Cell(cc->seconds * kReproScale)
+                                       : StatusCell(cc.status()));
+    } else {
+      sssp_rows[totem_row].push_back(StatusCell(totem.status()));
+      cc_rows[totem_row].push_back(StatusCell(totem.status()));
+    }
+
+    sssp_rows.back().push_back(GtsSsspCell(*directed, source));
+    cc_rows.back().push_back(GtsWccCell(*symmetric));
+  }
+
+  PrintTable("Figure 13(a): SSSP, paper-scale seconds", headers, sssp_rows);
+  PrintTable("Figure 13(b): Connected Components, paper-scale seconds",
+             headers, cc_rows);
+
+  // ---- (c) BC on Twitter, RMAT27, RMAT28 (TOTEM vs GTS) --------------
+  std::vector<std::string> bc_headers{"system"};
+  std::vector<std::vector<std::string>> bc_rows{{"TOTEM"}, {"GTS"}};
+  for (const DatasetSpec& spec :
+       {RealSpec(RealDataset::kTwitter), RmatSpec(27), RmatSpec(28)}) {
+    auto prepared = Prepare(spec);
+    if (!prepared.ok()) continue;
+    bc_headers.push_back(spec.name);
+    const VertexId source = BusySource(prepared->csr);
+
+    TotemOptions opts;  // BC runs in default single-node mode
+    opts.gpu_fraction = RecommendedGpuFraction(spec.name, false, 1);
+    auto totem = TotemEngine::Load(&prepared->csr, opts);
+    if (totem.ok()) {
+      auto bc = totem->RunBc(source);
+      bc_rows[0].push_back(bc.ok() ? Cell(bc->seconds * kReproScale)
+                                   : StatusCell(bc.status()));
+    } else {
+      bc_rows[0].push_back(StatusCell(totem.status()));
+    }
+    bc_rows[1].push_back(GtsBcCell(*prepared, source));
+    std::fflush(stdout);
+  }
+  PrintTable("Figure 13(c): Betweenness Centrality (single source, "
+             "single-node mode), paper-scale seconds",
+             bc_headers, bc_rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gts
+
+int main() { return gts::bench::Main(); }

@@ -1,0 +1,84 @@
+// Regenerates Figure 14 / Appendix E: micro-level parallel processing
+// technique (vertex-centric / edge-centric / hybrid) while varying the
+// density of an RMAT28-scale graph from 1:4 to 1:32.
+#include "bench_common.h"
+
+#include "algorithms/bfs.h"
+#include "algorithms/pagerank.h"
+#include "graph/rmat_generator.h"
+
+namespace gts {
+namespace bench {
+namespace {
+
+int Main() {
+  const std::vector<int> densities = {4, 8, 16, 32};
+  const int pr_iters = QuickMode() ? 2 : 10;
+  const int scale = QuickMode() ? 26 : 28;
+
+  std::vector<std::vector<std::string>> bfs_rows;
+  std::vector<std::vector<std::string>> pr_rows;
+  for (MicroStrategy micro :
+       {MicroStrategy::kVertexCentric, MicroStrategy::kEdgeCentric,
+        MicroStrategy::kHybrid}) {
+    bfs_rows.push_back({std::string(MicroStrategyName(micro))});
+    pr_rows.push_back({std::string(MicroStrategyName(micro))});
+  }
+
+  for (int density : densities) {
+    DatasetSpec spec;
+    spec.name = "RMAT" + std::to_string(scale) + "-1to" +
+                std::to_string(density);
+    spec.page_config = PageConfig::Small22();
+    const int gen_scale = scale - 10;
+    spec.generate = [gen_scale, density] {
+      RmatParams p;
+      p.scale = gen_scale;
+      p.edge_factor = density;
+      p.seed = 20160626 + density;
+      return GenerateRmat(p);
+    };
+    auto prepared = Prepare(spec);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare failed: %s\n",
+                   prepared.status().ToString().c_str());
+      continue;
+    }
+    auto store = MakeInMemoryStore(&prepared->paged);
+    const VertexId source = BusySource(prepared->csr);
+
+    size_t row = 0;
+    for (MicroStrategy micro :
+         {MicroStrategy::kVertexCentric, MicroStrategy::kEdgeCentric,
+          MicroStrategy::kHybrid}) {
+      GtsOptions opts;
+      opts.micro = micro;
+      MachineConfig machine = MachineConfig::PaperScaled(2);
+      GtsEngine engine(&prepared->paged, store.get(), machine, opts);
+      auto bfs = RunBfsGts(engine, source);
+      bfs_rows[row].push_back(
+          bfs.ok() ? Cell(PaperSeconds(bfs->metrics.sim_seconds)) : "n/a");
+      auto pr = RunPageRankGts(engine, pr_iters);
+      pr_rows[row].push_back(
+          pr.ok() ? Cell(PaperSeconds(pr->total.sim_seconds)) : "n/a");
+      ++row;
+      std::fflush(stdout);
+    }
+  }
+
+  std::vector<std::string> headers{"technique"};
+  for (int d : densities) headers.push_back("1:" + std::to_string(d));
+  PrintTable("Figure 14(a): BFS paper-scale seconds vs density (RMAT" +
+                 std::to_string(scale) + "* shape)",
+             headers, bfs_rows);
+  PrintTable("Figure 14(b): PageRank (" + std::to_string(pr_iters) +
+                 " it) paper-scale seconds vs density",
+             headers, pr_rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gts
+
+int main() { return gts::bench::Main(); }

@@ -1,0 +1,86 @@
+// Regenerates Figure 6: GTS vs the distributed methods (GraphX, Giraph,
+// PowerGraph, Naiad on a 30-machine cluster) for BFS and PageRank
+// (10 iterations) across the real graphs and RMAT28..RMAT32.
+#include "bench_common.h"
+
+#include "baselines/bsp_cluster.h"
+
+namespace gts {
+namespace bench {
+namespace {
+
+using baselines::BspCluster;
+using baselines::BspSystem;
+using baselines::BspSystemName;
+
+int Main() {
+  const int pr_iters = QuickMode() ? 2 : 10;
+  std::vector<DatasetSpec> specs = {RealSpec(RealDataset::kTwitter),
+                                    RealSpec(RealDataset::kUk2007),
+                                    RealSpec(RealDataset::kYahooWeb)};
+  const int max_scale = QuickMode() ? 29 : 32;
+  for (int scale = 28; scale <= max_scale; ++scale) {
+    specs.push_back(RmatSpec(scale));
+  }
+  const std::vector<BspSystem> systems = {
+      BspSystem::kGraphX, BspSystem::kGiraph, BspSystem::kPowerGraph,
+      BspSystem::kNaiad};
+
+  std::vector<std::string> headers{"system"};
+  std::vector<std::vector<std::string>> bfs_rows;
+  std::vector<std::vector<std::string>> pr_rows;
+  for (BspSystem s : systems) {
+    bfs_rows.push_back({BspSystemName(s)});
+    pr_rows.push_back({BspSystemName(s)});
+  }
+  bfs_rows.push_back({"GTS"});
+  pr_rows.push_back({"GTS"});
+
+  for (const DatasetSpec& spec : specs) {
+    std::fprintf(stderr, "[fig6] preparing %s...\n", spec.name.c_str());
+    auto prepared = Prepare(spec);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "  failed: %s\n",
+                   prepared.status().ToString().c_str());
+      continue;
+    }
+    headers.push_back(spec.name);
+    const VertexId source = BusySource(prepared->csr);
+    const int paper_scale =
+        spec.name.rfind("RMAT", 0) == 0 ? std::stoi(spec.name.substr(4)) : 0;
+
+    for (size_t i = 0; i < systems.size(); ++i) {
+      auto cluster = BspCluster::Load(&prepared->csr, systems[i]);
+      if (!cluster.ok()) {
+        bfs_rows[i].push_back(StatusCell(cluster.status()));
+        pr_rows[i].push_back(StatusCell(cluster.status()));
+        continue;
+      }
+      auto bfs = cluster->RunBfs(source);
+      bfs_rows[i].push_back(bfs.ok() ? Cell(bfs->seconds * kReproScale)
+                                     : StatusCell(bfs.status()));
+      auto pr = cluster->RunPageRank(pr_iters);
+      pr_rows[i].push_back(pr.ok() ? Cell(pr->seconds * kReproScale)
+                                   : StatusCell(pr.status()));
+      std::fflush(stdout);
+    }
+
+    GtsComparisonRunner gts(&*prepared, paper_scale);
+    bfs_rows.back().push_back(gts.RunBfsCell(source));
+    pr_rows.back().push_back(gts.RunPageRankCell(pr_iters));
+  }
+
+  PrintTable("Figure 6(a): BFS, paper-scale seconds "
+             "(O.O.M. = does not fit the 30-machine cluster)",
+             headers, bfs_rows);
+  PrintTable("Figure 6(b): PageRank (" + std::to_string(pr_iters) +
+                 " iterations), paper-scale seconds",
+             headers, pr_rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gts
+
+int main() { return gts::bench::Main(); }

@@ -1,0 +1,82 @@
+// Regenerates Figure 7: GTS vs the CPU shared-memory methods (MTGL,
+// Galois, Ligra, Ligra+) for BFS and PageRank (10 iterations).
+#include "bench_common.h"
+
+#include "baselines/cpu_engine.h"
+
+namespace gts {
+namespace bench {
+namespace {
+
+using baselines::CpuEngine;
+using baselines::CpuSystem;
+using baselines::CpuSystemName;
+
+int Main() {
+  const int pr_iters = QuickMode() ? 2 : 10;
+  std::vector<DatasetSpec> specs = {RealSpec(RealDataset::kTwitter),
+                                    RealSpec(RealDataset::kUk2007),
+                                    RealSpec(RealDataset::kYahooWeb)};
+  const int max_scale = QuickMode() ? 28 : 30;
+  for (int scale = 27; scale <= max_scale; ++scale) {
+    specs.push_back(RmatSpec(scale));
+  }
+  const std::vector<CpuSystem> systems = {CpuSystem::kMtgl,
+                                          CpuSystem::kGalois,
+                                          CpuSystem::kLigra,
+                                          CpuSystem::kLigraPlus};
+
+  std::vector<std::string> headers{"system"};
+  std::vector<std::vector<std::string>> bfs_rows;
+  std::vector<std::vector<std::string>> pr_rows;
+  for (CpuSystem s : systems) {
+    bfs_rows.push_back({CpuSystemName(s)});
+    pr_rows.push_back({CpuSystemName(s)});
+  }
+  bfs_rows.push_back({"GTS"});
+  pr_rows.push_back({"GTS"});
+
+  for (const DatasetSpec& spec : specs) {
+    std::fprintf(stderr, "[fig7] preparing %s...\n", spec.name.c_str());
+    auto prepared = Prepare(spec);
+    if (!prepared.ok()) continue;
+    headers.push_back(spec.name);
+    const VertexId source = BusySource(prepared->csr);
+    const int paper_scale =
+        spec.name.rfind("RMAT", 0) == 0 ? std::stoi(spec.name.substr(4)) : 0;
+
+    for (size_t i = 0; i < systems.size(); ++i) {
+      auto engine = CpuEngine::Load(&prepared->csr, systems[i]);
+      if (!engine.ok()) {
+        bfs_rows[i].push_back(StatusCell(engine.status()));
+        pr_rows[i].push_back(StatusCell(engine.status()));
+        continue;
+      }
+      auto bfs = engine->RunBfs(source);
+      bfs_rows[i].push_back(bfs.ok() ? Cell(bfs->seconds * kReproScale)
+                                     : StatusCell(bfs.status()));
+      auto pr = engine->RunPageRank(pr_iters);
+      pr_rows[i].push_back(pr.ok() ? Cell(pr->seconds * kReproScale)
+                                   : StatusCell(pr.status()));
+      std::fflush(stdout);
+    }
+
+    GtsComparisonRunner gts(&*prepared, paper_scale);
+    bfs_rows.back().push_back(gts.RunBfsCell(source));
+    pr_rows.back().push_back(gts.RunPageRankCell(pr_iters));
+  }
+
+  PrintTable("Figure 7(a): BFS, paper-scale seconds "
+             "(O.O.M. = exceeds 128 GB host; crash = Ligra+ instability)",
+             headers, bfs_rows);
+  PrintTable("Figure 7(b): PageRank (" + std::to_string(pr_iters) +
+                 " iterations), paper-scale seconds",
+             headers, pr_rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gts
+
+int main() { return gts::bench::Main(); }

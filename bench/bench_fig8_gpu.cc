@@ -1,0 +1,103 @@
+// Regenerates Figure 8: GTS vs the GPU-based methods (MapGraph, CuSha,
+// TOTEM) for BFS and PageRank (10 iterations). TOTEM runs with the
+// author-recommended Table 5 partition ratios; the published TOTEM build
+// cannot process YahooWeb ("due to some bugs", Section 7.4).
+#include "bench_common.h"
+
+#include "baselines/gpu_inmemory.h"
+#include "baselines/totem.h"
+
+namespace gts {
+namespace bench {
+namespace {
+
+using baselines::GpuInMemoryEngine;
+using baselines::GpuSystem;
+using baselines::RecommendedGpuFraction;
+using baselines::TotemEngine;
+using baselines::TotemOptions;
+
+int Main() {
+  const int pr_iters = QuickMode() ? 2 : 10;
+  std::vector<DatasetSpec> specs = {RealSpec(RealDataset::kTwitter),
+                                    RealSpec(RealDataset::kUk2007),
+                                    RealSpec(RealDataset::kYahooWeb)};
+  const int max_scale = QuickMode() ? 28 : 30;
+  for (int scale = 27; scale <= max_scale; ++scale) {
+    specs.push_back(RmatSpec(scale));
+  }
+
+  std::vector<std::string> headers{"system"};
+  std::vector<std::vector<std::string>> bfs_rows{
+      {"MapGraph"}, {"CuSha"}, {"TOTEM"}, {"GTS"}};
+  std::vector<std::vector<std::string>> pr_rows = bfs_rows;
+
+  for (const DatasetSpec& spec : specs) {
+    std::fprintf(stderr, "[fig8] preparing %s...\n", spec.name.c_str());
+    auto prepared = Prepare(spec);
+    if (!prepared.ok()) continue;
+    headers.push_back(spec.name);
+    const VertexId source = BusySource(prepared->csr);
+    const int paper_scale =
+        spec.name.rfind("RMAT", 0) == 0 ? std::stoi(spec.name.substr(4)) : 0;
+
+    // MapGraph and CuSha: single GPU, whole graph in device memory.
+    size_t row = 0;
+    for (GpuSystem s : {GpuSystem::kMapGraph, GpuSystem::kCuSha}) {
+      GpuInMemoryEngine engine(&prepared->csr, s);
+      auto bfs = engine.RunBfs(source);
+      bfs_rows[row].push_back(bfs.ok() ? Cell(bfs->seconds * kReproScale)
+                                       : StatusCell(bfs.status()));
+      auto pr = engine.RunPageRank(pr_iters);
+      pr_rows[row].push_back(pr.ok() ? Cell(pr->seconds * kReproScale)
+                                     : StatusCell(pr.status()));
+      ++row;
+    }
+
+    // TOTEM: two GPUs + CPUs, Table 5 ratios.
+    if (spec.name == "YahooWeb") {
+      bfs_rows[row].push_back("crash");  // Section 7.4: "due to some bugs"
+      pr_rows[row].push_back("crash");
+    } else {
+      TotemOptions bfs_opts;
+      bfs_opts.num_gpus = 2;
+      bfs_opts.gpu_fraction = RecommendedGpuFraction(spec.name, false, 2);
+      auto totem = TotemEngine::Load(&prepared->csr, bfs_opts);
+      if (!totem.ok()) {
+        bfs_rows[row].push_back(StatusCell(totem.status()));
+        pr_rows[row].push_back(StatusCell(totem.status()));
+      } else {
+        auto bfs = totem->RunBfs(source);
+        bfs_rows[row].push_back(bfs.ok() ? Cell(bfs->seconds * kReproScale)
+                                         : StatusCell(bfs.status()));
+        TotemOptions pr_opts;
+        pr_opts.num_gpus = 2;
+        pr_opts.gpu_fraction = RecommendedGpuFraction(spec.name, true, 2);
+        auto totem_pr = TotemEngine::Load(&prepared->csr, pr_opts);
+        auto pr = totem_pr->RunPageRank(pr_iters);
+        pr_rows[row].push_back(pr.ok() ? Cell(pr->seconds * kReproScale)
+                                       : StatusCell(pr.status()));
+      }
+    }
+    ++row;
+
+    GtsComparisonRunner gts(&*prepared, paper_scale);
+    bfs_rows[row].push_back(gts.RunBfsCell(source));
+    pr_rows[row].push_back(gts.RunPageRankCell(pr_iters));
+    std::fflush(stdout);
+  }
+
+  PrintTable("Figure 8(a): BFS, paper-scale seconds "
+             "(O.O.M. = exceeds 12 GB device memory)",
+             headers, bfs_rows);
+  PrintTable("Figure 8(b): PageRank (" + std::to_string(pr_iters) +
+                 " iterations), paper-scale seconds",
+             headers, pr_rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gts
+
+int main() { return gts::bench::Main(); }

@@ -1,0 +1,129 @@
+// google-benchmark microbenchmarks for the hot primitives: slotted-page
+// encode/decode, page building, R-MAT generation, the page cache, and the
+// discrete-event scheduler.
+#include <benchmark/benchmark.h>
+
+#include "core/page_cache.h"
+#include "gpu/device.h"
+#include "gpu/schedule.h"
+#include "graph/csr_graph.h"
+#include "graph/rmat_generator.h"
+#include "storage/page_builder.h"
+
+namespace gts {
+namespace {
+
+void BM_EncodeDecodeLE(benchmark::State& state) {
+  uint8_t buf[8] = {};
+  uint64_t value = 0x123456789abcULL;
+  const auto width = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    EncodeLE(buf, value, width);
+    benchmark::DoNotOptimize(DecodeLE(buf, width));
+    ++value;
+  }
+}
+BENCHMARK(BM_EncodeDecodeLE)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_RmatGenerate(benchmark::State& state) {
+  RmatParams p;
+  p.scale = static_cast<int>(state.range(0));
+  p.edge_factor = 8;
+  for (auto _ : state) {
+    auto r = GenerateRmat(p);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(p.edge_factor) *
+                          (1LL << p.scale));
+}
+BENCHMARK(BM_RmatGenerate)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_PageBuild(benchmark::State& state) {
+  RmatParams p;
+  p.scale = static_cast<int>(state.range(0));
+  p.edge_factor = 16;
+  EdgeList list = std::move(GenerateRmat(p)).ValueOrDie();
+  CsrGraph csr = CsrGraph::FromEdgeList(list);
+  for (auto _ : state) {
+    auto g = BuildPagedGraph(csr, PageConfig::Small22());
+    benchmark::DoNotOptimize(g.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(csr.num_edges()));
+}
+BENCHMARK(BM_PageBuild)->Arg(12)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_PageScan(benchmark::State& state) {
+  RmatParams p;
+  p.scale = 12;
+  p.edge_factor = 16;
+  EdgeList list = std::move(GenerateRmat(p)).ValueOrDie();
+  CsrGraph csr = CsrGraph::FromEdgeList(list);
+  PagedGraph g =
+      std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (PageId pid = 0; pid < g.num_pages(); ++pid) {
+      PageView view = g.view(pid);
+      for (uint32_t s = 0; s < view.num_slots(); ++s) {
+        const uint32_t sz = view.adjlist_size(s);
+        for (uint32_t j = 0; j < sz; ++j) {
+          sum += view.adj_entry(s, j).pid;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(csr.num_edges()));
+}
+BENCHMARK(BM_PageScan);
+
+void BM_PageCacheLookup(benchmark::State& state) {
+  gpu::Device device(0, 64 * kMiB);
+  PageCache cache(&device, 32 * kMiB, 4 * kKiB, CachePolicy::kLru);
+  std::vector<uint8_t> page(4 * kKiB, 0xAA);
+  for (PageId pid = 0; pid < 1000; ++pid) {
+    (void)cache.Insert(pid, page.data());
+  }
+  PageId pid = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Lookup(pid % 1000));
+    ++pid;
+  }
+}
+BENCHMARK(BM_PageCacheLookup);
+
+void BM_ScheduleSimulator(benchmark::State& state) {
+  TimeModel model;
+  const gpu::ResourceId copy{gpu::ResourceId::Type::kCopyEngine, 0};
+  const gpu::ResourceId pool{gpu::ResourceId::Type::kKernelPool, 0};
+  std::vector<gpu::TimelineOp> ops;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    gpu::TimelineOp h2d;
+    h2d.kind = gpu::OpKind::kH2DStream;
+    h2d.stream_key = i % 16;
+    h2d.resource = copy;
+    h2d.duration = 1e-6;
+    ops.push_back(h2d);
+    gpu::TimelineOp k;
+    k.kind = gpu::OpKind::kKernel;
+    k.stream_key = i % 16;
+    k.resource = pool;
+    k.duration = 5e-6;
+    ops.push_back(k);
+  }
+  gpu::ScheduleSimulator sim(model);
+  for (auto _ : state) {
+    auto result = sim.Run(ops);
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_ScheduleSimulator)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace gts
+
+BENCHMARK_MAIN();

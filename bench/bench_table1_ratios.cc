@@ -1,0 +1,64 @@
+// Regenerates Table 1: the ratio of transfer time to kernel execution time
+// for BFS and PageRank on Twitter, UK2007 and YahooWeb. The ratios come
+// from the discrete-event schedule's per-resource busy seconds.
+#include "bench_common.h"
+
+#include "algorithms/bfs.h"
+#include "algorithms/pagerank.h"
+
+namespace gts {
+namespace bench {
+namespace {
+
+std::string RatioCell(double transfer, double kernel) {
+  if (transfer <= 0 || kernel <= 0) return "-";
+  char buf[32];
+  if (kernel >= transfer) {
+    std::snprintf(buf, sizeof(buf), "1:%.1f", kernel / transfer);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f:1", transfer / kernel);
+  }
+  return buf;
+}
+
+int Main() {
+  std::vector<std::vector<std::string>> rows{{"BFS"}, {"PageRank"}};
+  std::vector<std::string> headers{"algorithm"};
+  for (RealDataset d : {RealDataset::kTwitter, RealDataset::kUk2007,
+                        RealDataset::kYahooWeb}) {
+    DatasetSpec spec = RealSpec(d);
+    if (QuickMode() && spec.big) continue;
+    headers.push_back(spec.name);
+    auto prepared = Prepare(spec);
+    if (!prepared.ok()) {
+      rows[0].push_back("n/a");
+      rows[1].push_back("n/a");
+      continue;
+    }
+    auto store = MakeInMemoryStore(&prepared->paged);
+    MachineConfig machine = MachineConfig::PaperScaled(1);
+    GtsEngine engine(&prepared->paged, store.get(), machine, GtsOptions{});
+
+    auto bfs = RunBfsGts(engine, BusySource(prepared->csr));
+    rows[0].push_back(bfs.ok()
+                          ? RatioCell(bfs->metrics.transfer_busy,
+                                      bfs->metrics.kernel_busy)
+                          : "n/a");
+    auto pr = RunPageRankGts(engine, 1);
+    rows[1].push_back(pr.ok() ? RatioCell(pr->total.transfer_busy,
+                                          pr->total.kernel_busy)
+                              : "n/a");
+    std::fflush(stdout);
+  }
+  PrintTable(
+      "Table 1: transfer-time : kernel-time ratios "
+      "(paper: BFS 1:3 / 1:1 / 2:1, PageRank 1:20 / 1:6 / 1:4)",
+      headers, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gts
+
+int main() { return gts::bench::Main(); }

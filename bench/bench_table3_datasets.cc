@@ -1,0 +1,60 @@
+// Regenerates Table 3: dataset statistics (#vertices, #edges, (p,q), #SP,
+// #LP) for the scaled evaluation datasets.
+#include "bench_common.h"
+
+namespace gts {
+namespace bench {
+namespace {
+
+std::string Millions(uint64_t n) {
+  char buf[32];
+  if (n >= 1'000'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.1f B", n / 1e9);
+  } else if (n >= 1'000'000) {
+    std::snprintf(buf, sizeof(buf), "%.0f M", n / 1e6);
+  } else if (n >= 1'000) {
+    std::snprintf(buf, sizeof(buf), "%.0f K", n / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)n);
+  }
+  return buf;
+}
+
+int Main() {
+  std::vector<DatasetSpec> specs;
+  for (int scale = 27; scale <= 32; ++scale) specs.push_back(RmatSpec(scale));
+  specs.push_back(RealSpec(RealDataset::kTwitter));
+  specs.push_back(RealSpec(RealDataset::kUk2007));
+  specs.push_back(RealSpec(RealDataset::kYahooWeb));
+
+  std::vector<std::vector<std::string>> rows;
+  for (const DatasetSpec& spec : specs) {
+    if (QuickMode() && spec.big) continue;
+    auto prepared = Prepare(spec);
+    if (!prepared.ok()) {
+      rows.push_back({spec.name, "-", "-", "-",
+                      prepared.status().ToString(), "-"});
+      continue;
+    }
+    const PageConfig& config = spec.page_config;
+    rows.push_back(
+        {spec.name + "*", Millions(prepared->csr.num_vertices()),
+         Millions(prepared->csr.num_edges()),
+         "(" + std::to_string(config.pid_bytes) + "," +
+             std::to_string(config.off_bytes) + ")",
+         std::to_string(prepared->paged.num_small_pages()),
+         std::to_string(prepared->paged.num_large_pages())});
+    std::fflush(stdout);
+  }
+  PrintTable(
+      "Table 3: dataset statistics at 1/1024 repro scale "
+      "(names marked * stand for the paper's full-size datasets)",
+      {"data", "#vertices", "#edges", "(p,q)", "#SP", "#LP"}, rows);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gts
+
+int main() { return gts::bench::Main(); }

@@ -1,0 +1,41 @@
+// Regenerates Table 5 / Appendix C: TOTEM's recommended GPU%:CPU% edge-cut
+// ratios per dataset and algorithm -- the tuning burden GTS avoids.
+#include "bench_common.h"
+
+#include "baselines/totem.h"
+
+namespace gts {
+namespace bench {
+namespace {
+
+std::string Ratio(double gpu_fraction) {
+  const int gpu = static_cast<int>(gpu_fraction * 100 + 0.5);
+  return std::to_string(gpu) + ":" + std::to_string(100 - gpu);
+}
+
+int Main() {
+  const std::vector<std::string> datasets = {"RMAT27", "RMAT28", "RMAT29",
+                                             "Twitter", "UK2007", "YahooWeb"};
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& d : datasets) {
+    using baselines::RecommendedGpuFraction;
+    rows.push_back({d, Ratio(RecommendedGpuFraction(d, false, 1)),
+                    Ratio(RecommendedGpuFraction(d, true, 1)),
+                    Ratio(RecommendedGpuFraction(d, false, 2)),
+                    Ratio(RecommendedGpuFraction(d, true, 2))});
+  }
+  PrintTable(
+      "Table 5: TOTEM partition ratios GPU%:CPU% (author-recommended)",
+      {"data", "1 GPU BFS", "1 GPU PageRank", "2 GPU BFS", "2 GPU PageRank"},
+      rows);
+  std::printf(
+      "\nGTS runs every dataset and algorithm with a single configuration;\n"
+      "TOTEM needs this table to reach its best performance (Section 7.4).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace gts
+
+int main() { return gts::bench::Main(); }

@@ -1,0 +1,128 @@
+#include "algorithms/bfs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+
+#include "core/micro.h"
+
+namespace gts {
+
+BfsKernel::BfsKernel(VertexId num_vertices, VertexId source)
+    : levels_(num_vertices, kUnvisited) {
+  levels_[source] = 0;
+}
+
+void BfsKernel::InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                             VertexId end) const {
+  std::memcpy(device_wa, levels_.data() + begin,
+              (end - begin) * sizeof(uint16_t));
+}
+
+void BfsKernel::AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                               VertexId end) {
+  const auto* dev = reinterpret_cast<const uint16_t*>(device_wa);
+  for (VertexId v = begin; v < end; ++v) {
+    levels_[v] = std::min(levels_[v], dev[v - begin]);
+  }
+}
+
+namespace {
+
+/// The expand step shared by K_BFS_SP and K_BFS_LP: visit a neighbor record
+/// id; claim it with a 16-bit CAS; on success mark its page for the next
+/// level (Appendix B, expand_warp lines 16-21).
+inline void ExpandEdge(KernelContext& ctx, uint16_t* lv, uint16_t next_level,
+                       const RecordId& rid, uint64_t* updates) {
+  const VertexId adj_vid = ctx.rvt->ToVid(rid);
+  if (!ctx.OwnsVertex(adj_vid)) return;
+  std::atomic_ref<uint16_t> ref(lv[adj_vid - ctx.wa_begin]);
+  uint16_t expected = BfsKernel::kUnvisited;
+  if (ref.load(std::memory_order_relaxed) == BfsKernel::kUnvisited &&
+      ref.compare_exchange_strong(expected, next_level,
+                                  std::memory_order_relaxed)) {
+    ctx.next_pid_set->Set(rid.pid);
+    ++*updates;
+  }
+}
+
+}  // namespace
+
+WorkStats BfsKernel::RunSp(const PageView& page, KernelContext& ctx) {
+  if (page.num_slots() == 0) return WorkStats{};
+  auto* lv = ctx.WaAs<uint16_t>();
+  const auto cur = static_cast<uint16_t>(ctx.cur_level);
+  const auto next = static_cast<uint16_t>(
+      std::min<uint32_t>(ctx.cur_level + 1, kUnvisited - 1));
+  const VertexId start_vid = page.slot_vid(0);
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessSpPage(
+      page, ctx.micro, start_vid,
+      /*active=*/
+      [&](VertexId vid, uint32_t) { return lv[vid - ctx.wa_begin] == cur; },
+      /*edge_fn=*/
+      [&](VertexId, uint32_t, uint32_t, const RecordId& rid) {
+        ExpandEdge(ctx, lv, next, rid, &updates);
+      });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+WorkStats BfsKernel::RunLp(const PageView& page, KernelContext& ctx) {
+  auto* lv = ctx.WaAs<uint16_t>();
+  const auto cur = static_cast<uint16_t>(ctx.cur_level);
+  const auto next = static_cast<uint16_t>(
+      std::min<uint32_t>(ctx.cur_level + 1, kUnvisited - 1));
+  const VertexId vid = page.slot_vid(0);
+  const bool active = lv[vid - ctx.wa_begin] == cur;
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessLpPage(page, vid, active,
+                                  [&](VertexId, uint32_t, const RecordId& rid) {
+                                    ExpandEdge(ctx, lv, next, rid, &updates);
+                                  });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
+                                                 VertexId source,
+                                                 uint32_t hops) {
+  const VertexId n = engine.graph()->num_vertices();
+  if (source >= n) {
+    return Status::InvalidArgument("neighborhood source out of range");
+  }
+  // A truncated traversal: level pass h expands vertices at depth h,
+  // claiming depth h+1, so `hops` passes yield exactly the <= hops
+  // neighborhood.
+  BfsKernel kernel(n, source);
+  GTS_ASSIGN_OR_RETURN(
+      RunMetrics metrics,
+      engine.Run(&kernel, source, static_cast<int>(hops)));
+  NeighborhoodGtsResult result;
+  result.levels = kernel.levels();
+  for (VertexId v = 0; v < n; ++v) {
+    if (result.levels[v] != BfsKernel::kUnvisited &&
+        result.levels[v] <= hops) {
+      result.members.push_back(v);
+    }
+  }
+  result.metrics = std::move(metrics);
+  return result;
+}
+
+Result<BfsGtsResult> RunBfsGts(GtsEngine& engine, VertexId source) {
+  const VertexId n = engine.graph()->num_vertices();
+  if (source >= n) {
+    return Status::InvalidArgument("BFS source out of range");
+  }
+  BfsKernel kernel(n, source);
+  GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel, source));
+  BfsGtsResult result;
+  result.levels = kernel.levels();
+  result.metrics = std::move(metrics);
+  return result;
+}
+
+}  // namespace gts

@@ -1,0 +1,68 @@
+// Breadth-First Search on GTS (Appendix B.1: kernels K_BFS_SP / K_BFS_LP).
+#ifndef GTS_ALGORITHMS_BFS_H_
+#define GTS_ALGORITHMS_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/kernel.h"
+
+namespace gts {
+
+/// BFS kernel: WA is the traversal-level vector LV (2 bytes per vertex,
+/// matching Table 4); no RA. Thread-safe via 16-bit CAS.
+class BfsKernel final : public GtsKernel {
+ public:
+  static constexpr uint16_t kUnvisited = 0xFFFF;
+
+  BfsKernel(VertexId num_vertices, VertexId source);
+
+  std::string name() const override { return "BFS"; }
+  AccessPattern access_pattern() const override {
+    return AccessPattern::kTraversal;
+  }
+  uint32_t wa_bytes_per_vertex() const override { return sizeof(uint16_t); }
+  uint32_t ra_bytes_per_vertex() const override { return 0; }
+  double seconds_per_mem_transaction(const TimeModel& model) const override {
+    return model.mem_transaction_seconds_traversal;
+  }
+
+  void InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                    VertexId end) const override;
+  void AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                      VertexId end) override;
+
+  WorkStats RunSp(const PageView& page, KernelContext& ctx) override;
+  WorkStats RunLp(const PageView& page, KernelContext& ctx) override;
+
+  const std::vector<uint16_t>& levels() const { return levels_; }
+
+ private:
+  std::vector<uint16_t> levels_;
+};
+
+/// Result of a full BFS run through the engine.
+struct BfsGtsResult {
+  std::vector<uint16_t> levels;
+  RunMetrics metrics;
+};
+
+/// Runs BFS from `source` on the engine's graph.
+Result<BfsGtsResult> RunBfsGts(GtsEngine& engine, VertexId source);
+
+/// K-hop neighborhood (Section 3.3's "neighborhood" / "egonet" family):
+/// a BFS truncated after `hops` levels. Returns the vertices within
+/// `hops` edges of `source` (levels beyond stay kUnvisited).
+struct NeighborhoodGtsResult {
+  std::vector<VertexId> members;  ///< vertices with level <= hops, sorted
+  std::vector<uint16_t> levels;
+  RunMetrics metrics;
+};
+Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
+                                                 VertexId source,
+                                                 uint32_t hops);
+
+}  // namespace gts
+
+#endif  // GTS_ALGORITHMS_BFS_H_

@@ -1,0 +1,73 @@
+#include "algorithms/degree.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+
+#include "core/micro.h"
+
+namespace gts {
+
+void DegreeKernel::InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                                VertexId end) const {
+  std::memset(device_wa, 0, (end - begin) * sizeof(uint32_t));
+}
+
+void DegreeKernel::AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                                  VertexId end) {
+  const auto* dev = reinterpret_cast<const uint32_t*>(device_wa);
+  for (VertexId v = begin; v < end; ++v) degrees_[v] += dev[v - begin];
+}
+
+WorkStats DegreeKernel::RunSp(const PageView& page, KernelContext& ctx) {
+  WorkStats stats;
+  auto* wa = ctx.WaAs<uint32_t>();
+  const uint32_t n = page.num_slots();
+  stats.scanned_slots = n;
+  for (uint32_t s = 0; s < n; ++s) {
+    const VertexId vid = page.slot_vid(s);
+    if (!ctx.OwnsVertex(vid)) continue;
+    wa[vid - ctx.wa_begin] = page.adjlist_size(s);
+    ++stats.wa_updates;
+  }
+  stats.active_vertices = n;
+  stats.warp_cycles = (n + kWarpSize - 1) / kWarpSize;
+  stats.mem_transactions = n;
+  return stats;
+}
+
+WorkStats DegreeKernel::RunLp(const PageView& page, KernelContext& ctx) {
+  WorkStats stats;
+  stats.scanned_slots = 1;
+  const VertexId vid = page.slot_vid(0);
+  if (ctx.OwnsVertex(vid)) {
+    // Chunks of one vertex may execute concurrently on different streams.
+    auto* wa = ctx.WaAs<uint32_t>();
+    std::atomic_ref<uint32_t> ref(wa[vid - ctx.wa_begin]);
+    ref.fetch_add(page.adjlist_size(0), std::memory_order_relaxed);
+    ++stats.wa_updates;
+  }
+  stats.active_vertices = 1;
+  stats.warp_cycles = 1;
+  stats.mem_transactions = 1;
+  return stats;
+}
+
+Result<DegreeGtsResult> RunDegreeGts(GtsEngine& engine) {
+  DegreeKernel kernel(engine.graph()->num_vertices());
+  DegreeGtsResult result;
+  GTS_ASSIGN_OR_RETURN(result.metrics, engine.Run(&kernel));
+  result.degrees = kernel.degrees();
+  for (uint32_t d : result.degrees) {
+    if (d == 0) continue;
+    const size_t bucket =
+        d == 1 ? 0 : static_cast<size_t>(std::floor(std::log2(d)));
+    if (result.histogram_log2.size() <= bucket) {
+      result.histogram_log2.resize(bucket + 1, 0);
+    }
+    ++result.histogram_log2[bucket];
+  }
+  return result;
+}
+
+}  // namespace gts

@@ -1,0 +1,56 @@
+// Degree distribution on GTS -- the simplest PageRank-like algorithm of
+// Section 3.3: one linear scan over all pages writing each vertex's
+// out-degree into WA (LP chunks contribute their slice via atomicAdd).
+#ifndef GTS_ALGORITHMS_DEGREE_H_
+#define GTS_ALGORITHMS_DEGREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/kernel.h"
+
+namespace gts {
+
+class DegreeKernel final : public GtsKernel {
+ public:
+  explicit DegreeKernel(VertexId num_vertices)
+      : degrees_(num_vertices, 0) {}
+
+  std::string name() const override { return "DegreeDistribution"; }
+  AccessPattern access_pattern() const override {
+    return AccessPattern::kFullScan;
+  }
+  uint32_t wa_bytes_per_vertex() const override { return sizeof(uint32_t); }
+  uint32_t ra_bytes_per_vertex() const override { return 0; }
+  double seconds_per_mem_transaction(const TimeModel& model) const override {
+    // One store per record, no per-edge work: the lightest possible scan.
+    return 0.25 * model.mem_transaction_seconds_traversal;
+  }
+
+  void InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                    VertexId end) const override;
+  void AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                      VertexId end) override;
+
+  WorkStats RunSp(const PageView& page, KernelContext& ctx) override;
+  WorkStats RunLp(const PageView& page, KernelContext& ctx) override;
+
+  const std::vector<uint32_t>& degrees() const { return degrees_; }
+
+ private:
+  std::vector<uint32_t> degrees_;
+};
+
+struct DegreeGtsResult {
+  std::vector<uint32_t> degrees;          ///< out-degree per vertex
+  std::vector<uint64_t> histogram_log2;   ///< bucket i: degree in [2^i,2^i+1)
+  RunMetrics metrics;
+};
+
+/// One streaming pass computing the out-degree distribution.
+Result<DegreeGtsResult> RunDegreeGts(GtsEngine& engine);
+
+}  // namespace gts
+
+#endif  // GTS_ALGORITHMS_DEGREE_H_

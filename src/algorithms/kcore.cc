@@ -1,0 +1,167 @@
+#include "algorithms/kcore.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <deque>
+
+#include "algorithms/pagerank.h"  // AccumulateMetrics
+#include "core/micro.h"
+
+namespace gts {
+
+KcoreKernel::KcoreKernel(VertexId num_vertices)
+    : decrements_(num_vertices, 0), removed_now_(num_vertices, 0) {}
+
+void KcoreKernel::InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                               VertexId end) const {
+  // Device WA accumulates this round's decrements; starts at zero.
+  std::memset(device_wa, 0, (end - begin) * sizeof(uint32_t));
+}
+
+void KcoreKernel::AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                                 VertexId end) {
+  const auto* dev = reinterpret_cast<const uint32_t*>(device_wa);
+  for (VertexId v = begin; v < end; ++v) decrements_[v] += dev[v - begin];
+}
+
+void KcoreKernel::ResetRound() {
+  std::fill(decrements_.begin(), decrements_.end(), 0);
+  std::fill(removed_now_.begin(), removed_now_.end(), 0);
+}
+
+namespace {
+inline void DecrementNeighbor(KernelContext& ctx, uint32_t* wa,
+                              const RecordId& rid, uint64_t* updates) {
+  const VertexId adj_vid = ctx.rvt->ToVid(rid);
+  if (!ctx.OwnsVertex(adj_vid)) return;
+  std::atomic_ref<uint32_t> ref(wa[adj_vid - ctx.wa_begin]);
+  ref.fetch_add(1, std::memory_order_relaxed);
+  ++*updates;
+}
+}  // namespace
+
+WorkStats KcoreKernel::RunSp(const PageView& page, KernelContext& ctx) {
+  if (page.num_slots() == 0) return WorkStats{};
+  auto* wa = ctx.WaAs<uint32_t>();
+  const uint8_t* removed = ctx.RaAs<uint8_t>();  // indexed by slot
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessSpPage(
+      page, ctx.micro, page.slot_vid(0),
+      /*active=*/
+      [&](VertexId, uint32_t slot) { return removed[slot] != 0; },
+      /*edge_fn=*/
+      [&](VertexId, uint32_t, uint32_t, const RecordId& rid) {
+        DecrementNeighbor(ctx, wa, rid, &updates);
+      });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+WorkStats KcoreKernel::RunLp(const PageView& page, KernelContext& ctx) {
+  auto* wa = ctx.WaAs<uint32_t>();
+  const bool active = ctx.RaAs<uint8_t>()[0] != 0;
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessLpPage(
+      page, page.slot_vid(0), active,
+      [&](VertexId, uint32_t, const RecordId& rid) {
+        DecrementNeighbor(ctx, wa, rid, &updates);
+      });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+Result<KcoreGtsResult> RunKcoreGts(GtsEngine& engine, uint32_t k) {
+  const PagedGraph* graph = engine.graph();
+  const VertexId n = graph->num_vertices();
+  KcoreKernel kernel(n);
+  KcoreGtsResult result;
+  result.in_core.assign(n, 1);
+
+  // Initial remaining degrees, read from the slotted pages themselves.
+  std::vector<uint32_t> deg(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const RecordId loc = graph->VertexLocation(v);
+    const PageView view = graph->view(loc.pid);
+    deg[v] = view.kind() == PageKind::kSmall
+                 ? view.adjlist_size(loc.slot)
+                 : view.header().lp_total_degree;
+  }
+
+  // Round 0: peel everything already under k.
+  std::vector<VertexId> newly;
+  for (VertexId v = 0; v < n; ++v) {
+    if (deg[v] < k) {
+      result.in_core[v] = 0;
+      newly.push_back(v);
+    }
+  }
+
+  while (!newly.empty()) {
+    kernel.ResetRound();
+    PidSet pages(graph->num_pages());
+    for (VertexId v : newly) {
+      kernel.removed_now()[v] = 1;
+      pages.Set(graph->PageOfVertex(v));
+    }
+    // Stream the pages of this round's removed vertices (LP chunk runs
+    // expanded like a traversal frontier).
+    std::vector<PageId> page_list;
+    for (PageId pid : pages.ToVector()) {
+      if (graph->kind(pid) == PageKind::kSmall) {
+        page_list.push_back(pid);
+      } else {
+        const uint32_t more = graph->rvt().entry(pid).lp_more;
+        for (uint32_t c = 0; c <= more; ++c) page_list.push_back(pid + c);
+      }
+    }
+
+    GTS_ASSIGN_OR_RETURN(RunMetrics pass, engine.RunPass(&kernel, page_list));
+    AccumulateMetrics(&result.total, pass);
+    ++result.rounds;
+
+    newly.clear();
+    const std::vector<uint32_t>& dec = kernel.decrements();
+    for (VertexId v = 0; v < n; ++v) {
+      if (!result.in_core[v] || dec[v] == 0) continue;
+      deg[v] -= std::min(deg[v], dec[v]);
+      if (deg[v] < k) {
+        result.in_core[v] = 0;
+        newly.push_back(v);
+      }
+    }
+  }
+
+  for (uint8_t alive : result.in_core) result.core_size += alive;
+  return result;
+}
+
+std::vector<uint8_t> ReferenceKcore(const CsrGraph& graph, uint32_t k) {
+  const VertexId n = graph.num_vertices();
+  std::vector<uint32_t> deg(n);
+  std::vector<uint8_t> alive(n, 1);
+  std::deque<VertexId> queue;
+  for (VertexId v = 0; v < n; ++v) {
+    deg[v] = static_cast<uint32_t>(graph.out_degree(v));
+    if (deg[v] < k) {
+      alive[v] = 0;
+      queue.push_back(v);
+    }
+  }
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : graph.neighbors(u)) {
+      if (!alive[v]) continue;
+      if (--deg[v] < k) {
+        alive[v] = 0;
+        queue.push_back(v);
+      }
+    }
+  }
+  return alive;
+}
+
+}  // namespace gts

@@ -1,0 +1,129 @@
+#include "algorithms/pagerank.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "core/micro.h"
+
+namespace gts {
+
+PageRankKernel::PageRankKernel(VertexId num_vertices, float damping)
+    : damping_(damping),
+      rank_(num_vertices,
+            num_vertices == 0 ? 0.0f
+                              : 1.0f / static_cast<float>(num_vertices)),
+      prev_(num_vertices, 0.0f),
+      accum_(num_vertices, 0.0f) {}
+
+void PageRankKernel::BeginIteration() {
+  prev_ = rank_;
+  const float base =
+      rank_.empty() ? 0.0f
+                    : (1.0f - damping_) / static_cast<float>(rank_.size());
+  std::fill(accum_.begin(), accum_.end(), base);
+}
+
+void PageRankKernel::EndIteration() { rank_ = accum_; }
+
+void PageRankKernel::InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                                  VertexId end) const {
+  // Device buffers accumulate contributions only; they start at zero.
+  std::memset(device_wa, 0, (end - begin) * sizeof(float));
+}
+
+void PageRankKernel::AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                                    VertexId end) {
+  const auto* dev = reinterpret_cast<const float*>(device_wa);
+  for (VertexId v = begin; v < end; ++v) {
+    accum_[v] += dev[v - begin];
+  }
+}
+
+namespace {
+inline void Contribute(KernelContext& ctx, float* next_pr, float share,
+                       const RecordId& rid, uint64_t* updates) {
+  const VertexId adj_vid = ctx.rvt->ToVid(rid);
+  if (!ctx.OwnsVertex(adj_vid)) return;  // Strategy-S: not our chunk
+  std::atomic_ref<float> ref(next_pr[adj_vid - ctx.wa_begin]);
+  ref.fetch_add(share, std::memory_order_relaxed);
+  ++*updates;
+}
+}  // namespace
+
+WorkStats PageRankKernel::RunSp(const PageView& page, KernelContext& ctx) {
+  if (page.num_slots() == 0) return WorkStats{};
+  auto* next_pr = ctx.WaAs<float>();
+  const float* prev_pr = ctx.RaAs<float>();  // indexed by slot
+  const VertexId start_vid = page.slot_vid(0);
+  const float df = damping_;
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessSpPage(
+      page, ctx.micro, start_vid,
+      /*active=*/[](VertexId, uint32_t) { return true; },
+      /*edge_fn=*/
+      [&](VertexId, uint32_t slot, uint32_t, const RecordId& rid) {
+        const float share =
+            df * prev_pr[slot] / static_cast<float>(page.adjlist_size(slot));
+        Contribute(ctx, next_pr, share, rid, &updates);
+      });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+WorkStats PageRankKernel::RunLp(const PageView& page, KernelContext& ctx) {
+  auto* next_pr = ctx.WaAs<float>();
+  const float prev_value = ctx.RaAs<float>()[0];
+  const VertexId vid = page.slot_vid(0);
+  // K_PR_LP divides by the vertex's *total* degree, not the chunk size.
+  const auto total_degree =
+      static_cast<float>(page.header().lp_total_degree);
+  const float share = damping_ * prev_value / total_degree;
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessLpPage(page, vid, /*active=*/true,
+                                  [&](VertexId, uint32_t, const RecordId& rid) {
+                                    Contribute(ctx, next_pr, share, rid,
+                                               &updates);
+                                  });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+void AccumulateMetrics(RunMetrics* total, const RunMetrics& increment) {
+  total->sim_seconds += increment.sim_seconds;
+  total->levels += increment.levels;
+  total->pages_streamed += increment.pages_streamed;
+  total->cpu_pages += increment.cpu_pages;
+  total->sp_kernel_calls += increment.sp_kernel_calls;
+  total->lp_kernel_calls += increment.lp_kernel_calls;
+  total->cache_lookups += increment.cache_lookups;
+  total->cache_hits += increment.cache_hits;
+  total->work += increment.work;
+  total->io.buffer_hits += increment.io.buffer_hits;
+  total->io.device_reads += increment.io.device_reads;
+  total->io.bytes_read += increment.io.bytes_read;
+  total->transfer_busy += increment.transfer_busy;
+  total->kernel_busy += increment.kernel_busy;
+  total->storage_busy += increment.storage_busy;
+}
+
+Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine, int iterations,
+                                         float damping) {
+  if (iterations < 1) {
+    return Status::InvalidArgument("PageRank needs at least one iteration");
+  }
+  PageRankKernel kernel(engine.graph()->num_vertices(), damping);
+  PageRankGtsResult result;
+  for (int iter = 0; iter < iterations; ++iter) {
+    kernel.BeginIteration();
+    GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel));
+    kernel.EndIteration();
+    AccumulateMetrics(&result.total, metrics);
+    result.iterations.push_back(std::move(metrics));
+  }
+  result.ranks = kernel.ranks();
+  return result;
+}
+
+}  // namespace gts

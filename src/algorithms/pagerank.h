@@ -1,0 +1,77 @@
+// PageRank on GTS (Appendix B.2: kernels K_PR_SP / K_PR_LP).
+//
+// Per iteration: prevPR (RA, 4 B/vertex) is streamed with each topology
+// page; nextPR (WA, 4 B/vertex) lives in device memory and receives
+// atomicAdd contributions df * prevPR[v] / outdeg(v). Device buffers hold
+// only the contribution sums; the (1-df)/|V| base term is applied on the
+// host, which makes Strategy-P replica merging a plain sum.
+#ifndef GTS_ALGORITHMS_PAGERANK_H_
+#define GTS_ALGORITHMS_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/kernel.h"
+
+namespace gts {
+
+class PageRankKernel final : public GtsKernel {
+ public:
+  explicit PageRankKernel(VertexId num_vertices, float damping = 0.85f);
+
+  std::string name() const override { return "PageRank"; }
+  AccessPattern access_pattern() const override {
+    return AccessPattern::kFullScan;
+  }
+  uint32_t wa_bytes_per_vertex() const override { return sizeof(float); }
+  uint32_t ra_bytes_per_vertex() const override { return sizeof(float); }
+  double seconds_per_mem_transaction(const TimeModel& model) const override {
+    return model.mem_transaction_seconds_scan;
+  }
+
+  const uint8_t* host_ra() const override {
+    return reinterpret_cast<const uint8_t*>(prev_.data());
+  }
+
+  /// Snapshots ranks into prevPR and resets the host accumulator to the
+  /// base term. Call before each engine pass.
+  void BeginIteration();
+  /// Publishes the accumulated values as the new ranks. Call after.
+  void EndIteration();
+
+  void InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                    VertexId end) const override;
+  void AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                      VertexId end) override;
+
+  WorkStats RunSp(const PageView& page, KernelContext& ctx) override;
+  WorkStats RunLp(const PageView& page, KernelContext& ctx) override;
+
+  const std::vector<float>& ranks() const { return rank_; }
+  float damping() const { return damping_; }
+
+ private:
+  float damping_;
+  std::vector<float> rank_;   // current ranks
+  std::vector<float> prev_;   // RA snapshot for the running iteration
+  std::vector<float> accum_;  // host accumulator (base + absorbed sums)
+};
+
+struct PageRankGtsResult {
+  std::vector<float> ranks;
+  RunMetrics total;                     ///< summed across iterations
+  std::vector<RunMetrics> iterations;   ///< per-iteration detail
+};
+
+/// Runs `iterations` of PageRank on the engine's graph.
+Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine, int iterations,
+                                         float damping = 0.85f);
+
+/// Adds the additive fields of `increment` into `total` (sim time, pages,
+/// work, ...); levels accumulate too. Shared by multi-pass drivers.
+void AccumulateMetrics(RunMetrics* total, const RunMetrics& increment);
+
+}  // namespace gts
+
+#endif  // GTS_ALGORITHMS_PAGERANK_H_

@@ -1,0 +1,179 @@
+#include "algorithms/radius.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <deque>
+
+#include "algorithms/pagerank.h"  // AccumulateMetrics
+#include "common/random.h"
+#include "core/micro.h"
+
+namespace gts {
+
+namespace {
+/// Geometric FM register: bit i set with probability 2^-(i+1).
+uint64_t FmBit(Xoshiro256& rng) {
+  const uint64_t draw = rng.Next();
+  const int bit = draw == 0 ? 63 : __builtin_ctzll(draw);
+  return uint64_t{1} << (bit < 63 ? bit : 63);
+}
+
+/// Flajolet-Martin correction constant.
+constexpr double kFmPhi = 0.77351;
+}  // namespace
+
+RadiusKernel::RadiusKernel(VertexId num_vertices, uint64_t seed)
+    : sketches_(num_vertices), prev_(num_vertices) {
+  Xoshiro256 rng(seed);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    for (int t = 0; t < kRadiusSketches; ++t) {
+      sketches_[v].bits[t] = FmBit(rng);
+    }
+  }
+}
+
+void RadiusKernel::BeginIteration() {
+  changed_ = false;
+  prev_ = sketches_;
+}
+
+void RadiusKernel::InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                                VertexId end) const {
+  std::memcpy(device_wa, sketches_.data() + begin,
+              (end - begin) * sizeof(Sketch));
+}
+
+void RadiusKernel::AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                                  VertexId end) {
+  const auto* dev = reinterpret_cast<const Sketch*>(device_wa);
+  for (VertexId v = begin; v < end; ++v) {
+    for (int t = 0; t < kRadiusSketches; ++t) {
+      const uint64_t merged = sketches_[v].bits[t] | dev[v - begin].bits[t];
+      if (merged != sketches_[v].bits[t]) {
+        sketches_[v].bits[t] = merged;
+        changed_ = true;
+      }
+    }
+  }
+}
+
+namespace {
+inline void OrMerge(KernelContext& ctx, uint64_t* wa,
+                    const RadiusKernel::Sketch& src, const RecordId& rid,
+                    uint64_t* updates) {
+  const VertexId adj_vid = ctx.rvt->ToVid(rid);
+  if (!ctx.OwnsVertex(adj_vid)) return;
+  uint64_t* target = wa + (adj_vid - ctx.wa_begin) * kRadiusSketches;
+  for (int t = 0; t < kRadiusSketches; ++t) {
+    std::atomic_ref<uint64_t> ref(target[t]);
+    ref.fetch_or(src.bits[t], std::memory_order_relaxed);
+  }
+  ++*updates;
+}
+}  // namespace
+
+WorkStats RadiusKernel::RunSp(const PageView& page, KernelContext& ctx) {
+  if (page.num_slots() == 0) return WorkStats{};
+  auto* wa = ctx.WaAs<uint64_t>();
+  const auto* prev = reinterpret_cast<const Sketch*>(ctx.ra);  // by slot
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessSpPage(
+      page, ctx.micro, page.slot_vid(0),
+      /*active=*/[](VertexId, uint32_t) { return true; },
+      /*edge_fn=*/
+      [&](VertexId, uint32_t slot, uint32_t, const RecordId& rid) {
+        OrMerge(ctx, wa, prev[slot], rid, &updates);
+      });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+WorkStats RadiusKernel::RunLp(const PageView& page, KernelContext& ctx) {
+  auto* wa = ctx.WaAs<uint64_t>();
+  const Sketch src = *reinterpret_cast<const Sketch*>(ctx.ra);
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessLpPage(
+      page, page.slot_vid(0), /*active=*/true,
+      [&](VertexId, uint32_t, const RecordId& rid) {
+        OrMerge(ctx, wa, src, rid, &updates);
+      });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+double RadiusKernel::EstimateNeighborhood(VertexId v) const {
+  double sum_r = 0.0;
+  for (int t = 0; t < kRadiusSketches; ++t) {
+    // R = index of the lowest zero bit.
+    const uint64_t bits = sketches_[v].bits[t];
+    sum_r += static_cast<double>(__builtin_ctzll(~bits));
+  }
+  return std::pow(2.0, sum_r / kRadiusSketches) / kFmPhi;
+}
+
+Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine, int max_hops,
+                                     uint64_t seed) {
+  const VertexId n = engine.graph()->num_vertices();
+  RadiusKernel kernel(n, seed);
+  RadiusGtsResult result;
+
+  auto total_estimate = [&] {
+    double total = 0.0;
+    for (VertexId v = 0; v < n; ++v) total += kernel.EstimateNeighborhood(v);
+    return total;
+  };
+  result.neighborhood_function.push_back(total_estimate());  // h = 0
+
+  for (int hop = 0; hop < max_hops; ++hop) {
+    kernel.BeginIteration();
+    GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel));
+    AccumulateMetrics(&result.total, metrics);
+    ++result.hops;
+    result.neighborhood_function.push_back(total_estimate());
+    if (!kernel.changed()) break;
+  }
+
+  const double target = 0.9 * result.neighborhood_function.back();
+  for (size_t h = 0; h < result.neighborhood_function.size(); ++h) {
+    if (result.neighborhood_function[h] >= target) {
+      result.effective_diameter = static_cast<int>(h);
+      break;
+    }
+  }
+  return result;
+}
+
+std::vector<double> ExactNeighborhoodFunction(const CsrGraph& graph,
+                                              int max_hops) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> nf(static_cast<size_t>(max_hops) + 1, 0.0);
+  // Forward BFS from u bounds dist(u -> v); accumulate per hop.
+  std::vector<int> dist(n);
+  for (VertexId u = 0; u < n; ++u) {
+    std::fill(dist.begin(), dist.end(), -1);
+    dist[u] = 0;
+    std::deque<VertexId> queue{u};
+    while (!queue.empty()) {
+      const VertexId x = queue.front();
+      queue.pop_front();
+      if (dist[x] >= max_hops) continue;
+      for (VertexId y : graph.neighbors(x)) {
+        if (dist[y] < 0) {
+          dist[y] = dist[x] + 1;
+          queue.push_back(y);
+        }
+      }
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      if (dist[v] >= 0) {
+        for (int h = dist[v]; h <= max_hops; ++h) nf[h] += 1.0;
+      }
+    }
+  }
+  return nf;
+}
+
+}  // namespace gts

@@ -1,0 +1,96 @@
+// Radius / effective-diameter estimation on GTS -- Section 3.3 lists
+// "radius estimations" among the PageRank-like algorithms.
+//
+// Classic Flajolet-Martin / ANF sketch propagation: every vertex holds a
+// small set of FM bitmask sketches summarizing the set of vertices that
+// reach it; one streaming pass per hop OR-merges each vertex's sketches
+// into its out-neighbors' (WA, atomic OR; previous-hop sketches stream as
+// RA). The number of distinct sketch patterns estimates the neighborhood
+// function N(h); the smallest h with N(h) >= 0.9 N(h_max) is the
+// effective diameter. Sketch updates are idempotent OR-merges, so the
+// kernel runs under either multi-GPU strategy.
+#ifndef GTS_ALGORITHMS_RADIUS_H_
+#define GTS_ALGORITHMS_RADIUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/kernel.h"
+#include "graph/csr_graph.h"
+
+namespace gts {
+
+/// Number of independent FM sketches per vertex (averaging trials).
+inline constexpr int kRadiusSketches = 4;
+
+class RadiusKernel final : public GtsKernel {
+ public:
+  /// One 64-bit FM bitmask per trial per vertex.
+  struct Sketch {
+    uint64_t bits[kRadiusSketches];
+  };
+
+  RadiusKernel(VertexId num_vertices, uint64_t seed);
+
+  std::string name() const override { return "RadiusEstimation"; }
+  AccessPattern access_pattern() const override {
+    return AccessPattern::kFullScan;
+  }
+  uint32_t wa_bytes_per_vertex() const override { return sizeof(Sketch); }
+  uint32_t ra_bytes_per_vertex() const override { return sizeof(Sketch); }
+  double seconds_per_mem_transaction(const TimeModel& model) const override {
+    // kRadiusSketches atomic ORs per edge.
+    return kRadiusSketches * model.mem_transaction_seconds_scan;
+  }
+
+  const uint8_t* host_ra() const override {
+    return reinterpret_cast<const uint8_t*>(prev_.data());
+  }
+
+  /// Snapshots sketches into RA; returns false at the fixpoint.
+  void BeginIteration();
+  bool changed() const { return changed_; }
+
+  void InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                    VertexId end) const override;
+  void AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                      VertexId end) override;
+
+  WorkStats RunSp(const PageView& page, KernelContext& ctx) override;
+  WorkStats RunLp(const PageView& page, KernelContext& ctx) override;
+
+  /// FM cardinality estimate of v's current in-neighborhood.
+  double EstimateNeighborhood(VertexId v) const;
+
+  const std::vector<Sketch>& sketches() const { return sketches_; }
+
+ private:
+  std::vector<Sketch> sketches_;
+  std::vector<Sketch> prev_;
+  bool changed_ = true;
+};
+
+struct RadiusGtsResult {
+  /// N(h): sum over vertices of the estimated in-neighborhood size after
+  /// h hops (index 0 = just the vertices themselves).
+  std::vector<double> neighborhood_function;
+  /// Smallest h with N(h) >= 0.9 * N(h_max).
+  int effective_diameter = 0;
+  int hops = 0;  ///< hops until the sketch fixpoint (or max_hops)
+  RunMetrics total;
+};
+
+/// Estimates the graph's neighborhood function and effective diameter.
+Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine, int max_hops = 256,
+                                     uint64_t seed = 7);
+
+/// Exact neighborhood function via reverse BFS from every vertex (only
+/// feasible on small test graphs): exact_nf[h] = #(u,v) with
+/// dist(u -> v) <= h.
+std::vector<double> ExactNeighborhoodFunction(const CsrGraph& graph,
+                                              int max_hops);
+
+}  // namespace gts
+
+#endif  // GTS_ALGORITHMS_RADIUS_H_

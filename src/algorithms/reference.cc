@@ -1,0 +1,149 @@
+#include "algorithms/reference.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <numeric>
+#include <queue>
+
+namespace gts {
+
+std::vector<uint32_t> ReferenceBfs(const CsrGraph& graph, VertexId source) {
+  std::vector<uint32_t> level(graph.num_vertices(), kUnreachedLevel);
+  std::deque<VertexId> queue;
+  level[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    for (VertexId v : graph.neighbors(u)) {
+      if (level[v] == kUnreachedLevel) {
+        level[v] = level[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return level;
+}
+
+std::vector<double> ReferencePageRank(const CsrGraph& graph, int iterations,
+                                      double damping) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> rank(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(),
+              (1.0 - damping) / static_cast<double>(n));
+    for (VertexId u = 0; u < n; ++u) {
+      const auto neighbors = graph.neighbors(u);
+      if (neighbors.empty()) continue;
+      const double share =
+          damping * rank[u] / static_cast<double>(neighbors.size());
+      for (VertexId v : neighbors) next[v] += share;
+    }
+    std::swap(rank, next);
+  }
+  return rank;
+}
+
+std::vector<double> ReferenceSssp(const CsrGraph& graph, VertexId source) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(graph.num_vertices(), kInf);
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    for (VertexId v : graph.neighbors(u)) {
+      const double nd = d + EdgeWeight(u, v);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        heap.push({nd, v});
+      }
+    }
+  }
+  return dist;
+}
+
+namespace {
+class UnionFind {
+ public:
+  explicit UnionFind(VertexId n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), VertexId{0});
+  }
+  VertexId Find(VertexId x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  void Union(VertexId a, VertexId b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return;
+    // Attach the larger id under the smaller so roots are minima.
+    if (a < b) {
+      parent_[b] = a;
+    } else {
+      parent_[a] = b;
+    }
+  }
+
+ private:
+  std::vector<VertexId> parent_;
+};
+}  // namespace
+
+std::vector<VertexId> ReferenceWcc(const CsrGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  UnionFind uf(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : graph.neighbors(u)) uf.Union(u, v);
+  }
+  std::vector<VertexId> label(n);
+  for (VertexId v = 0; v < n; ++v) label[v] = uf.Find(v);
+  return label;
+}
+
+std::vector<double> ReferenceBcFromSource(const CsrGraph& graph,
+                                          VertexId source) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> sigma(n, 0.0);       // shortest-path counts
+  std::vector<int64_t> dist(n, -1);        // BFS depth
+  std::vector<double> delta(n, 0.0);       // dependency accumulation
+  std::vector<VertexId> order;             // vertices in visit order
+  order.reserve(n);
+
+  sigma[source] = 1.0;
+  dist[source] = 0;
+  std::deque<VertexId> queue{source};
+  while (!queue.empty()) {
+    const VertexId u = queue.front();
+    queue.pop_front();
+    order.push_back(u);
+    for (VertexId v : graph.neighbors(u)) {
+      if (dist[v] < 0) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+      if (dist[v] == dist[u] + 1) sigma[v] += sigma[u];
+    }
+  }
+  // Reverse order: accumulate dependencies.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const VertexId u = *it;
+    for (VertexId v : graph.neighbors(u)) {
+      if (dist[v] == dist[u] + 1 && sigma[v] > 0.0) {
+        delta[u] += sigma[u] / sigma[v] * (1.0 + delta[v]);
+      }
+    }
+  }
+  delta[source] = 0.0;
+  return delta;
+}
+
+}  // namespace gts

@@ -1,0 +1,53 @@
+// Single-threaded CPU reference implementations used to validate every GTS
+// kernel and baseline engine. Deliberately simple and obviously correct.
+#ifndef GTS_ALGORITHMS_REFERENCE_H_
+#define GTS_ALGORITHMS_REFERENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace gts {
+
+/// Level of each vertex in a BFS from `source`; kUnreachedLevel if never
+/// reached by out-edge traversal.
+inline constexpr uint32_t kUnreachedLevel = ~uint32_t{0};
+std::vector<uint32_t> ReferenceBfs(const CsrGraph& graph, VertexId source);
+
+/// `iterations` of synchronous push-style PageRank with damping `df`:
+///   next[v] = (1-df)/|V| + df * sum_{u->v} prev[u]/outdeg(u).
+/// Dangling mass is dropped, matching the paper's kernel (Appendix B.2).
+std::vector<double> ReferencePageRank(const CsrGraph& graph, int iterations,
+                                      double damping = 0.85);
+
+/// Deterministic synthetic edge weight in [1, 16]; both the reference and
+/// the GTS SSSP kernel derive weights from this pure function so no weight
+/// array needs to live in the topology pages.
+inline double EdgeWeight(VertexId u, VertexId v) {
+  uint64_t h = u * 0x9e3779b97f4a7c15ULL ^ (v + 0x7f4a7c15ULL);
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return 1.0 + static_cast<double>(h % 16);
+}
+
+/// Shortest-path distance from `source` under EdgeWeight (Dijkstra);
+/// +infinity for unreachable vertices.
+std::vector<double> ReferenceSssp(const CsrGraph& graph, VertexId source);
+
+/// Connected-component labels via union-find, treating edges as
+/// undirected (weak connectivity); label = smallest vertex id in the
+/// component.
+std::vector<VertexId> ReferenceWcc(const CsrGraph& graph);
+
+/// Brandes betweenness-centrality contributions from a single source
+/// (unweighted). Summing over all sources gives exact BC; the benchmarks
+/// use a fixed sample of sources on both sides.
+std::vector<double> ReferenceBcFromSource(const CsrGraph& graph,
+                                          VertexId source);
+
+}  // namespace gts
+
+#endif  // GTS_ALGORITHMS_REFERENCE_H_

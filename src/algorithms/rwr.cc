@@ -1,0 +1,128 @@
+#include "algorithms/rwr.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "algorithms/pagerank.h"  // AccumulateMetrics
+#include "core/micro.h"
+#include "graph/csr_graph.h"
+
+namespace gts {
+
+RwrKernel::RwrKernel(VertexId num_vertices, VertexId seed, float restart_prob)
+    : seed_(seed),
+      restart_prob_(restart_prob),
+      score_(num_vertices, 0.0f),
+      prev_(num_vertices, 0.0f),
+      accum_(num_vertices, 0.0f) {
+  // The walk starts at the seed with probability mass 1.
+  score_[seed] = 1.0f;
+}
+
+void RwrKernel::BeginIteration() {
+  prev_ = score_;
+  std::fill(accum_.begin(), accum_.end(), 0.0f);
+  accum_[seed_] = restart_prob_;
+}
+
+void RwrKernel::EndIteration() { score_ = accum_; }
+
+void RwrKernel::InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                             VertexId end) const {
+  std::memset(device_wa, 0, (end - begin) * sizeof(float));
+}
+
+void RwrKernel::AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                               VertexId end) {
+  const auto* dev = reinterpret_cast<const float*>(device_wa);
+  for (VertexId v = begin; v < end; ++v) accum_[v] += dev[v - begin];
+}
+
+namespace {
+inline void Walk(KernelContext& ctx, float* wa, float share,
+                 const RecordId& rid, uint64_t* updates) {
+  const VertexId adj_vid = ctx.rvt->ToVid(rid);
+  if (!ctx.OwnsVertex(adj_vid)) return;
+  std::atomic_ref<float> ref(wa[adj_vid - ctx.wa_begin]);
+  ref.fetch_add(share, std::memory_order_relaxed);
+  ++*updates;
+}
+}  // namespace
+
+WorkStats RwrKernel::RunSp(const PageView& page, KernelContext& ctx) {
+  if (page.num_slots() == 0) return WorkStats{};
+  auto* wa = ctx.WaAs<float>();
+  const float* prev = ctx.RaAs<float>();
+  const float walk_prob = 1.0f - restart_prob_;
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessSpPage(
+      page, ctx.micro, page.slot_vid(0),
+      /*active=*/[](VertexId, uint32_t) { return true; },
+      /*edge_fn=*/
+      [&](VertexId, uint32_t slot, uint32_t, const RecordId& rid) {
+        const float share = walk_prob * prev[slot] /
+                            static_cast<float>(page.adjlist_size(slot));
+        Walk(ctx, wa, share, rid, &updates);
+      });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+WorkStats RwrKernel::RunLp(const PageView& page, KernelContext& ctx) {
+  auto* wa = ctx.WaAs<float>();
+  const float prev_value = ctx.RaAs<float>()[0];
+  const float share = (1.0f - restart_prob_) * prev_value /
+                      static_cast<float>(page.header().lp_total_degree);
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessLpPage(
+      page, page.slot_vid(0), /*active=*/true,
+      [&](VertexId, uint32_t, const RecordId& rid) {
+        Walk(ctx, wa, share, rid, &updates);
+      });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
+                               int iterations, float restart_prob) {
+  const VertexId n = engine.graph()->num_vertices();
+  if (seed >= n) return Status::InvalidArgument("RWR seed out of range");
+  if (iterations < 1) {
+    return Status::InvalidArgument("RWR needs at least one iteration");
+  }
+  RwrKernel kernel(n, seed, restart_prob);
+  RwrGtsResult result;
+  for (int iter = 0; iter < iterations; ++iter) {
+    kernel.BeginIteration();
+    GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel));
+    kernel.EndIteration();
+    AccumulateMetrics(&result.total, metrics);
+  }
+  result.scores = kernel.scores();
+  return result;
+}
+
+std::vector<double> ReferenceRwr(const CsrGraph& graph, VertexId seed,
+                                 int iterations, double restart_prob) {
+  const VertexId n = graph.num_vertices();
+  std::vector<double> score(n, 0.0);
+  std::vector<double> next(n);
+  score[seed] = 1.0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    next[seed] = restart_prob;
+    for (VertexId u = 0; u < n; ++u) {
+      const auto neighbors = graph.neighbors(u);
+      if (neighbors.empty()) continue;
+      const double share = (1.0 - restart_prob) * score[u] /
+                           static_cast<double>(neighbors.size());
+      for (VertexId v : neighbors) next[v] += share;
+    }
+    std::swap(score, next);
+  }
+  return score;
+}
+
+}  // namespace gts

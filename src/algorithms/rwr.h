@@ -1,0 +1,72 @@
+// Random Walk with Restart on GTS -- one of the PageRank-like algorithms
+// Section 3.3 lists. Identical streaming structure to PageRank, but the
+// teleport mass returns to a single seed vertex:
+//
+//   next[v] = c * sum_{u->v} prev[u]/outdeg(u) + (1-c) * [v == seed].
+#ifndef GTS_ALGORITHMS_RWR_H_
+#define GTS_ALGORITHMS_RWR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/kernel.h"
+#include "graph/csr_graph.h"
+
+namespace gts {
+
+class RwrKernel final : public GtsKernel {
+ public:
+  RwrKernel(VertexId num_vertices, VertexId seed, float restart_prob = 0.15f);
+
+  std::string name() const override { return "RWR"; }
+  AccessPattern access_pattern() const override {
+    return AccessPattern::kFullScan;
+  }
+  uint32_t wa_bytes_per_vertex() const override { return sizeof(float); }
+  uint32_t ra_bytes_per_vertex() const override { return sizeof(float); }
+  double seconds_per_mem_transaction(const TimeModel& model) const override {
+    return model.mem_transaction_seconds_scan;
+  }
+
+  const uint8_t* host_ra() const override {
+    return reinterpret_cast<const uint8_t*>(prev_.data());
+  }
+
+  void BeginIteration();
+  void EndIteration();
+
+  void InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                    VertexId end) const override;
+  void AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                      VertexId end) override;
+
+  WorkStats RunSp(const PageView& page, KernelContext& ctx) override;
+  WorkStats RunLp(const PageView& page, KernelContext& ctx) override;
+
+  const std::vector<float>& scores() const { return score_; }
+
+ private:
+  VertexId seed_;
+  float restart_prob_;
+  std::vector<float> score_;
+  std::vector<float> prev_;
+  std::vector<float> accum_;
+};
+
+struct RwrGtsResult {
+  std::vector<float> scores;
+  RunMetrics total;
+};
+
+/// Runs `iterations` of RWR from `seed` on the engine's graph.
+Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
+                               int iterations, float restart_prob = 0.15f);
+
+/// Reference implementation (double precision) for validation.
+std::vector<double> ReferenceRwr(const CsrGraph& graph, VertexId seed,
+                                 int iterations, double restart_prob = 0.15);
+
+}  // namespace gts
+
+#endif  // GTS_ALGORITHMS_RWR_H_

@@ -1,0 +1,70 @@
+// Single-Source Shortest Path on GTS (a BFS-like algorithm, Section 3.3).
+//
+// Level-synchronous Bellman-Ford over the page frontier: WA packs
+// {float distance; uint32 last-update level} into 8 bytes per vertex so a
+// single 64-bit CAS updates both. Edge weights are the deterministic
+// EdgeWeight(u,v) function (no weight arrays in the topology pages).
+#ifndef GTS_ALGORITHMS_SSSP_H_
+#define GTS_ALGORITHMS_SSSP_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/kernel.h"
+
+namespace gts {
+
+class SsspKernel final : public GtsKernel {
+ public:
+  static constexpr uint32_t kNeverUpdated = ~uint32_t{0};
+
+  SsspKernel(VertexId num_vertices, VertexId source);
+
+  std::string name() const override { return "SSSP"; }
+  AccessPattern access_pattern() const override {
+    return AccessPattern::kTraversal;
+  }
+  uint32_t wa_bytes_per_vertex() const override { return 8; }
+  uint32_t ra_bytes_per_vertex() const override { return 0; }
+  double seconds_per_mem_transaction(const TimeModel& model) const override {
+    // Distance relaxations pay a wider CAS plus the weight computation.
+    return 1.5 * model.mem_transaction_seconds_traversal;
+  }
+
+  void InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                    VertexId end) const override;
+  void AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                      VertexId end) override;
+
+  WorkStats RunSp(const PageView& page, KernelContext& ctx) override;
+  WorkStats RunLp(const PageView& page, KernelContext& ctx) override;
+
+  /// Distances after the run; +infinity where unreachable.
+  std::vector<double> Distances() const;
+
+  /// WA entry: distance + level of the relaxation that produced it.
+  struct Entry {
+    float dist;
+    uint32_t level;
+  };
+  static_assert(sizeof(Entry) == 8);
+
+ private:
+  static uint64_t Pack(Entry e);
+  static Entry Unpack(uint64_t bits);
+
+  std::vector<Entry> entries_;
+};
+
+struct SsspGtsResult {
+  std::vector<double> distances;
+  RunMetrics metrics;
+};
+
+Result<SsspGtsResult> RunSsspGts(GtsEngine& engine, VertexId source);
+
+}  // namespace gts
+
+#endif  // GTS_ALGORITHMS_SSSP_H_

@@ -1,0 +1,108 @@
+#include "algorithms/wcc.h"
+
+#include <atomic>
+#include <cstring>
+#include <numeric>
+
+#include "algorithms/pagerank.h"  // AccumulateMetrics
+#include "core/micro.h"
+
+namespace gts {
+
+EdgeList SymmetrizeEdges(const EdgeList& edges) {
+  EdgeList out(edges.num_vertices(), edges.edges());
+  for (const Edge& e : edges.edges()) out.Add(e.dst, e.src);
+  out.SortAndDedup();
+  return out;
+}
+
+WccKernel::WccKernel(VertexId num_vertices)
+    : labels_(num_vertices), prev_(num_vertices) {
+  std::iota(labels_.begin(), labels_.end(), uint64_t{0});
+}
+
+void WccKernel::BeginIteration() {
+  changed_ = false;
+  prev_ = labels_;
+}
+
+void WccKernel::InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                             VertexId end) const {
+  std::memcpy(device_wa, labels_.data() + begin,
+              (end - begin) * sizeof(uint64_t));
+}
+
+void WccKernel::AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                               VertexId end) {
+  const auto* dev = reinterpret_cast<const uint64_t*>(device_wa);
+  for (VertexId v = begin; v < end; ++v) {
+    if (dev[v - begin] < labels_[v]) {
+      labels_[v] = dev[v - begin];
+      changed_ = true;
+    }
+  }
+}
+
+namespace {
+inline void PropagateMin(KernelContext& ctx, uint64_t* wa, uint64_t label,
+                         const RecordId& rid, uint64_t* updates) {
+  const VertexId adj_vid = ctx.rvt->ToVid(rid);
+  if (!ctx.OwnsVertex(adj_vid)) return;
+  std::atomic_ref<uint64_t> ref(wa[adj_vid - ctx.wa_begin]);
+  uint64_t observed = ref.load(std::memory_order_relaxed);
+  while (label < observed) {
+    if (ref.compare_exchange_weak(observed, label,
+                                  std::memory_order_relaxed)) {
+      ++*updates;
+      return;
+    }
+  }
+}
+}  // namespace
+
+WorkStats WccKernel::RunSp(const PageView& page, KernelContext& ctx) {
+  if (page.num_slots() == 0) return WorkStats{};
+  auto* wa = ctx.WaAs<uint64_t>();
+  const uint64_t* prev_labels = ctx.RaAs<uint64_t>();  // indexed by slot
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessSpPage(
+      page, ctx.micro, page.slot_vid(0),
+      /*active=*/[](VertexId, uint32_t) { return true; },
+      /*edge_fn=*/
+      [&](VertexId, uint32_t slot, uint32_t, const RecordId& rid) {
+        PropagateMin(ctx, wa, prev_labels[slot], rid, &updates);
+      });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+WorkStats WccKernel::RunLp(const PageView& page, KernelContext& ctx) {
+  auto* wa = ctx.WaAs<uint64_t>();
+  const uint64_t label = ctx.RaAs<uint64_t>()[0];
+  const VertexId vid = page.slot_vid(0);
+
+  uint64_t updates = 0;
+  WorkStats stats = ProcessLpPage(page, vid, /*active=*/true,
+                                  [&](VertexId, uint32_t, const RecordId& rid) {
+                                    PropagateMin(ctx, wa, label, rid, &updates);
+                                  });
+  stats.wa_updates = updates;
+  return stats;
+}
+
+Result<WccGtsResult> RunWccGts(GtsEngine& engine, int max_iterations) {
+  WccKernel kernel(engine.graph()->num_vertices());
+  WccGtsResult result;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    kernel.BeginIteration();
+    GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel));
+    AccumulateMetrics(&result.total, metrics);
+    ++result.iterations;
+    if (!kernel.changed()) break;
+  }
+  result.labels = kernel.labels();
+  return result;
+}
+
+}  // namespace gts

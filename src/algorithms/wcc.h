@@ -1,0 +1,76 @@
+// Connected Components on GTS: iterative min-label propagation, a
+// PageRank-like (full scan) algorithm per Section 3.3.
+//
+// Each iteration streams the previous labels as RA and min-merges into the
+// device-resident next-label WA; the driver loops until a fixpoint. On a
+// directed graph this computes labels of the "min id reachable along
+// out-edges" closure, so for weak connectivity callers must build the
+// PagedGraph from a symmetrized edge list (see SymmetrizeEdges).
+#ifndef GTS_ALGORITHMS_WCC_H_
+#define GTS_ALGORITHMS_WCC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/kernel.h"
+#include "graph/edge_list.h"
+
+namespace gts {
+
+/// Adds the reverse of every edge and dedups; use before building pages
+/// for component algorithms.
+EdgeList SymmetrizeEdges(const EdgeList& edges);
+
+class WccKernel final : public GtsKernel {
+ public:
+  explicit WccKernel(VertexId num_vertices);
+
+  std::string name() const override { return "WCC"; }
+  AccessPattern access_pattern() const override {
+    return AccessPattern::kFullScan;
+  }
+  uint32_t wa_bytes_per_vertex() const override { return sizeof(uint64_t); }
+  uint32_t ra_bytes_per_vertex() const override { return sizeof(uint64_t); }
+  double seconds_per_mem_transaction(const TimeModel& model) const override {
+    // atomicMin on 8-byte labels; comparable to the PageRank atomicAdd.
+    return model.mem_transaction_seconds_scan;
+  }
+
+  const uint8_t* host_ra() const override {
+    return reinterpret_cast<const uint8_t*>(prev_.data());
+  }
+
+  /// Snapshots labels into the RA vector. Call before each engine pass.
+  /// Returns false once the previous pass changed nothing (fixpoint).
+  void BeginIteration();
+  bool changed() const { return changed_; }
+
+  void InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                    VertexId end) const override;
+  void AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                      VertexId end) override;
+
+  WorkStats RunSp(const PageView& page, KernelContext& ctx) override;
+  WorkStats RunLp(const PageView& page, KernelContext& ctx) override;
+
+  const std::vector<uint64_t>& labels() const { return labels_; }
+
+ private:
+  std::vector<uint64_t> labels_;
+  std::vector<uint64_t> prev_;
+  bool changed_ = true;
+};
+
+struct WccGtsResult {
+  std::vector<uint64_t> labels;
+  int iterations = 0;
+  RunMetrics total;
+};
+
+/// Iterates label propagation to a fixpoint (bounded by `max_iterations`).
+Result<WccGtsResult> RunWccGts(GtsEngine& engine, int max_iterations = 1000);
+
+}  // namespace gts
+
+#endif  // GTS_ALGORITHMS_WCC_H_

@@ -1,0 +1,297 @@
+#include "baselines/bsp_cluster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "algorithms/reference.h"  // EdgeWeight
+#include "common/logging.h"
+
+namespace gts {
+namespace baselines {
+
+std::string BspSystemName(BspSystem system) {
+  switch (system) {
+    case BspSystem::kGraphX:
+      return "GraphX";
+    case BspSystem::kGiraph:
+      return "Giraph";
+    case BspSystem::kPowerGraph:
+      return "PowerGraph";
+    case BspSystem::kNaiad:
+      return "Naiad";
+  }
+  return "?";
+}
+
+SystemProfile ProfileFor(BspSystem system) {
+  // Paper-scale constants, calibrated so the scaled runs land near the
+  // published Figure 6 bars (see EXPERIMENTS.md for the comparison).
+  switch (system) {
+    case BspSystem::kGraphX:
+      // Spark: JVM + RDD lineage; heavy per-superstep scheduling.
+      return SystemProfile{150e-9, 0.40e-6, 24, 2.0, 50, 60, false, 0.90};
+    case BspSystem::kGiraph:
+      // Hadoop-era JVM object graph; slowest per message.
+      return SystemProfile{150e-9, 1.20e-6, 16, 1.0, 60, 50, false, 0.90};
+    case BspSystem::kPowerGraph:
+      // Native C++, vertex-cut GAS with combiners; fastest and the best
+      // scaling of the four, but replicates vertex state heavily.
+      return SystemProfile{60e-9, 0.40e-6, 12, 0.3, 48, 150, true, 0.95};
+    case BspSystem::kNaiad:
+      // Timely dataflow: low overheads, but the managed runtime's memory
+      // behaviour is fragile (Section 7.1 had to tune heaps/arrays).
+      return SystemProfile{80e-9, 0.50e-6, 20, 0.15, 70, 60, false, 0.55};
+  }
+  return SystemProfile{};
+}
+
+Result<BspCluster> BspCluster::Load(const CsrGraph* graph, BspSystem system,
+                                    ClusterConfig config) {
+  const SystemProfile profile = ProfileFor(system);
+  const double edges_per_machine =
+      static_cast<double>(graph->num_edges()) / config.num_machines;
+  const double vertices_per_machine =
+      static_cast<double>(graph->num_vertices()) / config.num_machines;
+  const auto graph_bytes = static_cast<uint64_t>(
+      edges_per_machine * profile.bytes_per_edge +
+      vertices_per_machine * profile.bytes_per_vertex);
+  const auto budget = static_cast<uint64_t>(
+      static_cast<double>(config.memory_per_machine) *
+      profile.memory_headroom);
+  if (graph_bytes > budget) {
+    return Status::OutOfMemory(
+        BspSystemName(system) + ": partitioned graph needs " +
+        FormatBytes(graph_bytes) + " per machine, budget " +
+        FormatBytes(budget));
+  }
+  return BspCluster(graph, system, config, profile, graph_bytes);
+}
+
+BspCluster::BspCluster(const CsrGraph* graph, BspSystem system,
+                       ClusterConfig config, SystemProfile profile,
+                       uint64_t graph_bytes)
+    : graph_(graph),
+      system_(system),
+      config_(config),
+      profile_(profile),
+      graph_bytes_per_machine_(graph_bytes) {}
+
+Status BspCluster::AccountSuperstep(const std::vector<uint64_t>& compute_edges,
+                                    const std::vector<uint64_t>& remote_msgs,
+                                    BspRunResult* result) const {
+  uint64_t max_compute = 0;
+  uint64_t total_remote = 0;
+  uint64_t max_msgs = 0;
+  for (int m = 0; m < config_.num_machines; ++m) {
+    max_compute = std::max(max_compute, compute_edges[m]);
+    total_remote += remote_msgs[m];
+    max_msgs = std::max(max_msgs, remote_msgs[m]);
+    result->total_compute_edges += compute_edges[m];
+  }
+  result->remote_messages += total_remote;
+
+  // Transient receive-buffer memory on the busiest machine.
+  const auto peak = static_cast<uint64_t>(
+      graph_bytes_per_machine_ +
+      static_cast<double>(max_msgs) * profile_.message_bytes);
+  result->peak_machine_bytes = std::max(result->peak_machine_bytes, peak);
+  const auto budget = static_cast<uint64_t>(
+      static_cast<double>(config_.memory_per_machine) *
+      profile_.memory_headroom);
+  if (peak > budget) {
+    return Status::OutOfMemory(
+        BspSystemName(system_) + ": superstep " +
+        std::to_string(result->supersteps) + " needs " + FormatBytes(peak) +
+        " on one machine, budget " + FormatBytes(budget));
+  }
+
+  const double compute_seconds =
+      static_cast<double>(max_compute) * profile_.seconds_per_edge +
+      static_cast<double>(max_msgs) * profile_.seconds_per_message;
+  const double network_seconds =
+      static_cast<double>(total_remote) * profile_.message_bytes /
+      (config_.network_bandwidth_per_machine * config_.num_machines);
+  result->seconds += compute_seconds + network_seconds +
+                     profile_.superstep_overhead / config_.scale;
+  ++result->supersteps;
+  return Status::OK();
+}
+
+Result<BspRunResult> BspCluster::RunBfs(VertexId source) const {
+  const VertexId n = graph_->num_vertices();
+  if (source >= n) return Status::InvalidArgument("source out of range");
+  BspRunResult result;
+  result.levels.assign(n, kUnreachedLevel);
+  result.levels[source] = 0;
+
+  const int machines = config_.num_machines;
+  std::vector<VertexId> frontier{source};
+  std::vector<uint32_t> seen_stamp(profile_.combiner ? n : 0, 0);
+  uint32_t stamp = 0;
+  uint32_t level = 0;
+
+  while (!frontier.empty()) {
+    ++stamp;
+    std::vector<uint64_t> compute(machines, 0);
+    std::vector<uint64_t> remote(machines, 0);
+    std::vector<VertexId> next;
+    for (VertexId u : frontier) {
+      const int mu = MachineOf(u);
+      compute[mu] += graph_->out_degree(u);
+      for (VertexId v : graph_->neighbors(u)) {
+        const int mv = MachineOf(v);
+        if (mv != mu) {
+          if (!profile_.combiner || seen_stamp[v] != stamp) {
+            ++remote[mv];
+            if (profile_.combiner) seen_stamp[v] = stamp;
+          }
+        }
+        if (result.levels[v] == kUnreachedLevel) {
+          result.levels[v] = level + 1;
+          next.push_back(v);
+        }
+      }
+    }
+    GTS_RETURN_IF_ERROR(AccountSuperstep(compute, remote, &result));
+    frontier = std::move(next);
+    ++level;
+  }
+  return result;
+}
+
+Result<BspRunResult> BspCluster::RunPageRank(int iterations,
+                                             double damping) const {
+  const VertexId n = graph_->num_vertices();
+  BspRunResult result;
+  result.ranks.assign(n, n == 0 ? 0.0 : 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+
+  const int machines = config_.num_machines;
+  std::vector<uint32_t> seen_stamp(profile_.combiner ? n : 0, 0);
+  uint32_t stamp = 0;
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    ++stamp;
+    std::fill(next.begin(), next.end(),
+              (1.0 - damping) / static_cast<double>(n));
+    std::vector<uint64_t> compute(machines, 0);
+    std::vector<uint64_t> remote(machines, 0);
+    for (VertexId u = 0; u < n; ++u) {
+      const auto neighbors = graph_->neighbors(u);
+      if (neighbors.empty()) continue;
+      const int mu = MachineOf(u);
+      compute[mu] += neighbors.size();
+      const double share = damping * result.ranks[u] /
+                           static_cast<double>(neighbors.size());
+      for (VertexId v : neighbors) {
+        next[v] += share;
+        const int mv = MachineOf(v);
+        if (mv != mu) {
+          if (!profile_.combiner || seen_stamp[v] != stamp) {
+            ++remote[mv];
+            if (profile_.combiner) seen_stamp[v] = stamp;
+          }
+        }
+      }
+    }
+    GTS_RETURN_IF_ERROR(AccountSuperstep(compute, remote, &result));
+    std::swap(result.ranks, next);
+  }
+  return result;
+}
+
+Result<BspRunResult> BspCluster::RunSssp(VertexId source) const {
+  const VertexId n = graph_->num_vertices();
+  if (source >= n) return Status::InvalidArgument("source out of range");
+  BspRunResult result;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  result.distances.assign(n, kInf);
+  result.distances[source] = 0.0;
+
+  const int machines = config_.num_machines;
+  std::vector<VertexId> frontier{source};
+  std::vector<uint8_t> in_next(n, 0);
+  std::vector<uint32_t> seen_stamp(profile_.combiner ? n : 0, 0);
+  uint32_t stamp = 0;
+
+  while (!frontier.empty()) {
+    ++stamp;
+    std::vector<uint64_t> compute(machines, 0);
+    std::vector<uint64_t> remote(machines, 0);
+    std::vector<VertexId> next;
+    for (VertexId u : frontier) {
+      const int mu = MachineOf(u);
+      compute[mu] += graph_->out_degree(u);
+      for (VertexId v : graph_->neighbors(u)) {
+        const int mv = MachineOf(v);
+        if (mv != mu) {
+          if (!profile_.combiner || seen_stamp[v] != stamp) {
+            ++remote[mv];
+            if (profile_.combiner) seen_stamp[v] = stamp;
+          }
+        }
+        const double nd = result.distances[u] + EdgeWeight(u, v);
+        if (nd < result.distances[v]) {
+          result.distances[v] = nd;
+          if (!in_next[v]) {
+            in_next[v] = 1;
+            next.push_back(v);
+          }
+        }
+      }
+    }
+    GTS_RETURN_IF_ERROR(AccountSuperstep(compute, remote, &result));
+    for (VertexId v : next) in_next[v] = 0;
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+Result<BspRunResult> BspCluster::RunCc(int max_supersteps) const {
+  const VertexId n = graph_->num_vertices();
+  BspRunResult result;
+  result.labels.resize(n);
+  std::iota(result.labels.begin(), result.labels.end(), VertexId{0});
+
+  const int machines = config_.num_machines;
+  std::vector<uint8_t> active(n, 1);
+  std::vector<uint8_t> next_active(n, 0);
+  std::vector<uint32_t> seen_stamp(profile_.combiner ? n : 0, 0);
+  uint32_t stamp = 0;
+  bool any_active = true;
+
+  for (int step = 0; step < max_supersteps && any_active; ++step) {
+    ++stamp;
+    any_active = false;
+    std::vector<uint64_t> compute(machines, 0);
+    std::vector<uint64_t> remote(machines, 0);
+    std::fill(next_active.begin(), next_active.end(), 0);
+    for (VertexId u = 0; u < n; ++u) {
+      if (!active[u]) continue;
+      const int mu = MachineOf(u);
+      compute[mu] += graph_->out_degree(u);
+      for (VertexId v : graph_->neighbors(u)) {
+        const int mv = MachineOf(v);
+        if (mv != mu) {
+          if (!profile_.combiner || seen_stamp[v] != stamp) {
+            ++remote[mv];
+            if (profile_.combiner) seen_stamp[v] = stamp;
+          }
+        }
+        if (result.labels[u] < result.labels[v]) {
+          result.labels[v] = result.labels[u];
+          next_active[v] = 1;
+          any_active = true;
+        }
+      }
+    }
+    GTS_RETURN_IF_ERROR(AccountSuperstep(compute, remote, &result));
+    std::swap(active, next_active);
+  }
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace gts

@@ -1,0 +1,127 @@
+// A Pregel-style distributed BSP graph engine with a cluster cost model --
+// the stand-in for GraphX / Giraph / PowerGraph / Naiad (Section 7.2).
+//
+// The engine really executes the algorithms (results are validated against
+// the same CPU references as GTS). Time is modeled per superstep as
+//
+//   max over machines of (active-edge compute) +
+//   remote-message volume / aggregate interconnect bandwidth +
+//   per-superstep overhead (barrier, scheduling, JVM),
+//
+// with per-system profiles for compute speed, message size, per-superstep
+// overhead, bytes-per-edge of the in-memory representation, and whether a
+// combiner (PowerGraph's vertex-cut GAS) deduplicates remote messages per
+// target. Memory is checked against the per-machine budget: the paper's
+// 30-machine/64 GB cluster at 1/1024 scale. Runs that exceed it return
+// OutOfMemory -- the O.O.M. bars of Figure 6.
+#ifndef GTS_BASELINES_BSP_CLUSTER_H_
+#define GTS_BASELINES_BSP_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace gts {
+namespace baselines {
+
+enum class BspSystem { kGraphX, kGiraph, kPowerGraph, kNaiad };
+
+std::string BspSystemName(BspSystem system);
+
+/// Cluster hardware (Section 7.1's distributed testbed, scaled 1/1024).
+struct ClusterConfig {
+  int num_machines = 30;
+  uint64_t memory_per_machine = 60 * kMiB;  // 60 GB usable of 64 GB
+  /// Aggregate bisection bandwidth: Infiniband QDR 40 Gb/s per node.
+  double network_bandwidth_per_machine = 4.5e9;  // bytes/s
+  /// Dataset scale factor; divides latency-type overheads.
+  double scale = 1024.0;
+};
+
+/// Per-system behavioural knobs (paper-scale where time-typed).
+struct SystemProfile {
+  /// Seconds of CPU work per processed edge on one machine's cores.
+  double seconds_per_edge;
+  /// Seconds of serialization/dispatch per remote message on the
+  /// receiving machine (the dominant cost of the JVM systems).
+  double seconds_per_message;
+  /// Serialized bytes per remote message.
+  double message_bytes;
+  /// Seconds of fixed overhead per superstep (barrier/scheduling/GC).
+  double superstep_overhead;
+  /// Bytes of in-memory representation per edge (object overheads).
+  double bytes_per_edge;
+  /// Bytes of per-vertex state (including replication for vertex-cut).
+  double bytes_per_vertex;
+  /// PowerGraph-style combiner: remote messages deduplicate per target.
+  bool combiner;
+  /// Fraction of machine memory the runtime can actually use before
+  /// falling over (Naiad's managed heap is fragile, Section 7.1).
+  double memory_headroom;
+};
+
+SystemProfile ProfileFor(BspSystem system);
+
+/// Result of one distributed run.
+struct BspRunResult {
+  SimTime seconds = 0.0;
+  int supersteps = 0;
+  uint64_t remote_messages = 0;
+  uint64_t total_compute_edges = 0;
+  uint64_t peak_machine_bytes = 0;
+
+  // Algorithm outputs (filled by the respective entry point).
+  std::vector<uint32_t> levels;      // BFS
+  std::vector<double> ranks;         // PageRank
+  std::vector<double> distances;     // SSSP
+  std::vector<VertexId> labels;      // CC
+};
+
+/// The distributed engine. One instance wraps one loaded graph.
+class BspCluster {
+ public:
+  /// Fails with OutOfMemory if the partitioned graph does not fit.
+  static Result<BspCluster> Load(const CsrGraph* graph, BspSystem system,
+                                 ClusterConfig config = ClusterConfig());
+
+  Result<BspRunResult> RunBfs(VertexId source) const;
+  Result<BspRunResult> RunPageRank(int iterations,
+                                   double damping = 0.85) const;
+  Result<BspRunResult> RunSssp(VertexId source) const;
+  /// Min-label propagation; graph should be symmetrized for weak CC.
+  Result<BspRunResult> RunCc(int max_supersteps = 1000) const;
+
+  BspSystem system() const { return system_; }
+  const ClusterConfig& config() const { return config_; }
+  uint64_t graph_bytes_per_machine() const { return graph_bytes_per_machine_; }
+
+ private:
+  BspCluster(const CsrGraph* graph, BspSystem system, ClusterConfig config,
+             SystemProfile profile, uint64_t graph_bytes);
+
+  int MachineOf(VertexId v) const {
+    return static_cast<int>(v % static_cast<VertexId>(config_.num_machines));
+  }
+
+  /// Accounts one superstep's time and checks transient message memory.
+  /// `compute_edges` is per machine; `remote_msgs` per receiving machine.
+  Status AccountSuperstep(const std::vector<uint64_t>& compute_edges,
+                          const std::vector<uint64_t>& remote_msgs,
+                          BspRunResult* result) const;
+
+  const CsrGraph* graph_;
+  BspSystem system_;
+  ClusterConfig config_;
+  SystemProfile profile_;
+  uint64_t graph_bytes_per_machine_;
+};
+
+}  // namespace baselines
+}  // namespace gts
+
+#endif  // GTS_BASELINES_BSP_CLUSTER_H_

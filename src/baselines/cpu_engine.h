@@ -1,0 +1,92 @@
+// Shared-memory CPU graph engines: stand-ins for MTGL, Galois, Ligra and
+// Ligra+ (Section 7.3).
+//
+// Algorithms execute for real on the CSR (frontier BFS with Ligra-style
+// direction switching, push PageRank); elapsed time comes from per-system
+// profiles of per-edge cost on the paper's 16-core Xeon workstation, and
+// memory is checked against the 128 GB (scaled: 128 MiB) host budget --
+// producing the O.O.M. entries of Figure 7 for RMAT29/30 and YahooWeb.
+#ifndef GTS_BASELINES_CPU_ENGINE_H_
+#define GTS_BASELINES_CPU_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace gts {
+namespace baselines {
+
+enum class CpuSystem { kMtgl, kGalois, kLigra, kLigraPlus };
+
+std::string CpuSystemName(CpuSystem system);
+
+/// The single-machine host (Section 7.1's workstation, scaled).
+struct HostConfig {
+  uint64_t main_memory = 128 * kMiB;  // 128 GB at 1/1024 scale
+  double scale = 1024.0;
+};
+
+struct CpuProfile {
+  /// Seconds per traversed edge for BFS-like runs (16 cores).
+  double bfs_seconds_per_edge;
+  /// Seconds per processed edge for PageRank-like runs.
+  double pr_seconds_per_edge;
+  /// Per-level / per-iteration fixed overhead (paper scale).
+  double round_overhead;
+  /// In-memory bytes per edge (both directions where the system needs a
+  /// transpose; Ligra+ compresses).
+  double bytes_per_edge;
+  double bytes_per_vertex;
+  /// Ligra's direction-optimizing BFS switches to a dense backward sweep
+  /// on large frontiers, which the time model rewards.
+  bool direction_optimizing;
+};
+
+CpuProfile ProfileFor(CpuSystem system);
+
+struct CpuRunResult {
+  SimTime seconds = 0.0;
+  int rounds = 0;
+  uint64_t edges_traversed = 0;
+  std::vector<uint32_t> levels;  // BFS
+  std::vector<double> ranks;     // PageRank
+};
+
+/// One loaded graph on one CPU system.
+class CpuEngine {
+ public:
+  /// Fails with OutOfMemory when the representation exceeds main memory.
+  static Result<CpuEngine> Load(const CsrGraph* graph, CpuSystem system,
+                                HostConfig config = HostConfig());
+
+  Result<CpuRunResult> RunBfs(VertexId source) const;
+  Result<CpuRunResult> RunPageRank(int iterations,
+                                   double damping = 0.85) const;
+
+  uint64_t memory_bytes() const { return memory_bytes_; }
+
+ private:
+  CpuEngine(const CsrGraph* graph, CpuSystem system, HostConfig config,
+            CpuProfile profile, uint64_t memory_bytes)
+      : graph_(graph),
+        system_(system),
+        config_(config),
+        profile_(profile),
+        memory_bytes_(memory_bytes) {}
+
+  const CsrGraph* graph_;
+  CpuSystem system_;
+  HostConfig config_;
+  CpuProfile profile_;
+  uint64_t memory_bytes_;
+};
+
+}  // namespace baselines
+}  // namespace gts
+
+#endif  // GTS_BASELINES_CPU_ENGINE_H_

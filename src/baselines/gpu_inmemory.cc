@@ -1,0 +1,103 @@
+#include "baselines/gpu_inmemory.h"
+
+#include "algorithms/reference.h"
+
+namespace gts {
+namespace baselines {
+
+std::string GpuSystemName(GpuSystem system) {
+  switch (system) {
+    case GpuSystem::kCuSha:
+      return "CuSha";
+    case GpuSystem::kMapGraph:
+      return "MapGraph";
+  }
+  return "?";
+}
+
+GpuInMemoryProfile ProfileFor(GpuSystem system) {
+  switch (system) {
+    case GpuSystem::kCuSha:
+      // G-Shards: compact 8 B/edge topology with fully coalesced shard
+      // sweeps, but PageRank materializes the source value in every shard
+      // entry (+4 B/edge), which is why the paper's CuSha cannot run
+      // PageRank even on Twitter.
+      return GpuInMemoryProfile{8.0, 4.0, 16.0, 0.8};
+    case GpuSystem::kMapGraph:
+      // Market-Matrix COO: 16 B/edge -- "less space-efficient than the
+      // G-Shard format" (Section 7.4) -- so even Twitter BFS O.O.M.s.
+      return GpuInMemoryProfile{16.0, 4.0, 24.0, 1.5};
+  }
+  return GpuInMemoryProfile{};
+}
+
+GpuInMemoryEngine::GpuInMemoryEngine(const CsrGraph* graph, GpuSystem system,
+                                     uint64_t device_memory, TimeModel model)
+    : graph_(graph),
+      system_(system),
+      device_memory_(device_memory),
+      model_(model),
+      profile_(ProfileFor(system)) {}
+
+uint64_t GpuInMemoryEngine::FootprintBytes(bool pagerank) const {
+  double per_edge = profile_.bytes_per_edge;
+  if (pagerank) per_edge += profile_.pr_extra_bytes_per_edge;
+  return static_cast<uint64_t>(
+      static_cast<double>(graph_->num_edges()) * per_edge +
+      static_cast<double>(graph_->num_vertices()) * profile_.bytes_per_vertex);
+}
+
+Status GpuInMemoryEngine::CheckFits(bool pagerank) const {
+  const uint64_t need = FootprintBytes(pagerank);
+  if (need > device_memory_) {
+    return Status::OutOfDeviceMemory(
+        GpuSystemName(system_) + ": representation needs " +
+        FormatBytes(need) + ", device memory is " +
+        FormatBytes(device_memory_));
+  }
+  return Status::OK();
+}
+
+Result<GpuInMemoryResult> GpuInMemoryEngine::RunBfs(VertexId source) const {
+  GTS_RETURN_IF_ERROR(CheckFits(/*pagerank=*/false));
+  if (source >= graph_->num_vertices()) {
+    return Status::InvalidArgument("source out of range");
+  }
+  GpuInMemoryResult result;
+  result.levels = ReferenceBfs(*graph_, source);
+
+  // Kernel time: one device pass per level over the frontier's edges.
+  uint32_t max_level = 0;
+  std::vector<uint64_t> level_edges;
+  for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+    const uint32_t l = result.levels[v];
+    if (l == kUnreachedLevel) continue;
+    if (level_edges.size() <= l) level_edges.resize(l + 1, 0);
+    level_edges[l] += graph_->out_degree(v);
+    max_level = std::max(max_level, l);
+  }
+  for (uint64_t edges : level_edges) {
+    result.seconds +=
+        static_cast<double>(edges) * model_.mem_transaction_seconds_traversal *
+            profile_.kernel_multiplier +
+        model_.kernel_launch_overhead;
+    ++result.rounds;
+  }
+  return result;
+}
+
+Result<GpuInMemoryResult> GpuInMemoryEngine::RunPageRank(
+    int iterations, double damping) const {
+  GTS_RETURN_IF_ERROR(CheckFits(/*pagerank=*/true));
+  GpuInMemoryResult result;
+  result.ranks = ReferencePageRank(*graph_, iterations, damping);
+  result.rounds = iterations;
+  result.seconds =
+      static_cast<double>(graph_->num_edges()) * iterations *
+          model_.mem_transaction_seconds_scan * profile_.kernel_multiplier +
+      iterations * model_.kernel_launch_overhead;
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace gts

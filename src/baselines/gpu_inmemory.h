@@ -1,0 +1,78 @@
+// In-GPU-memory engines: stand-ins for CuSha and MapGraph (Section 7.4).
+//
+// Both require the whole graph representation to fit in one GPU's device
+// memory, which is exactly why the paper shows them handling only the
+// smallest inputs: CuSha's G-Shards replicate the source value per edge
+// (so PageRank inflates the footprint), and MapGraph's Market-Matrix COO
+// is the least space-efficient of all. Runs that do not fit return
+// OutOfDeviceMemory; runs that fit execute for real with a GPU kernel
+// time model (no streaming pipeline -- pure in-memory kernels).
+#ifndef GTS_BASELINES_GPU_INMEMORY_H_
+#define GTS_BASELINES_GPU_INMEMORY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "gpu/time_model.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace gts {
+namespace baselines {
+
+enum class GpuSystem { kCuSha, kMapGraph };
+
+std::string GpuSystemName(GpuSystem system);
+
+struct GpuInMemoryProfile {
+  /// Device bytes per edge of the base representation.
+  double bytes_per_edge;
+  /// Extra device bytes per edge a PageRank-like run needs (G-Shards keep
+  /// the source's value inside every shard entry).
+  double pr_extra_bytes_per_edge;
+  double bytes_per_vertex;
+  /// Kernel slowdown vs the streamlined GTS kernels (shard windows /
+  /// dynamic frontier management are not free).
+  double kernel_multiplier;
+};
+
+GpuInMemoryProfile ProfileFor(GpuSystem system);
+
+struct GpuInMemoryResult {
+  SimTime seconds = 0.0;
+  int rounds = 0;
+  std::vector<uint32_t> levels;
+  std::vector<double> ranks;
+};
+
+class GpuInMemoryEngine {
+ public:
+  /// `device_memory`: one GPU's capacity (the paper's TITAN X, scaled).
+  GpuInMemoryEngine(const CsrGraph* graph, GpuSystem system,
+                    uint64_t device_memory = 12 * kMiB,
+                    TimeModel model = TimeModel::PaperScaled());
+
+  Result<GpuInMemoryResult> RunBfs(VertexId source) const;
+  Result<GpuInMemoryResult> RunPageRank(int iterations,
+                                        double damping = 0.85) const;
+
+  /// Device bytes the representation needs (pagerank adds per-edge state).
+  uint64_t FootprintBytes(bool pagerank) const;
+
+ private:
+  Status CheckFits(bool pagerank) const;
+
+  const CsrGraph* graph_;
+  GpuSystem system_;
+  uint64_t device_memory_;
+  TimeModel model_;
+  GpuInMemoryProfile profile_;
+};
+
+}  // namespace baselines
+}  // namespace gts
+
+#endif  // GTS_BASELINES_GPU_INMEMORY_H_

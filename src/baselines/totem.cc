@@ -1,0 +1,187 @@
+#include "baselines/totem.h"
+
+#include <algorithm>
+
+#include "algorithms/reference.h"
+
+namespace gts {
+namespace baselines {
+
+double RecommendedGpuFraction(const std::string& dataset, bool pagerank_like,
+                              int num_gpus) {
+  // Table 5 / Appendix C, GPU% of the edge-cut.
+  struct Row {
+    const char* dataset;
+    double bfs1, pr1, bfs2, pr2;
+  };
+  static constexpr Row kRows[] = {
+      {"RMAT27", 0.65, 0.60, 0.80, 0.80},
+      {"RMAT28", 0.15, 0.60, 0.40, 0.80},
+      {"RMAT29", 0.50, 0.15, 0.75, 0.30},
+      {"Twitter", 0.50, 0.80, 0.75, 0.85},
+      {"UK2007", 0.35, 0.30, 0.70, 0.60},
+      {"YahooWeb", 0.10, 0.15, 0.10, 0.15},
+  };
+  for (const Row& row : kRows) {
+    if (dataset == row.dataset) {
+      if (num_gpus >= 2) return pagerank_like ? row.pr2 : row.bfs2;
+      return pagerank_like ? row.pr1 : row.bfs1;
+    }
+  }
+  return 0.5;
+}
+
+Result<TotemEngine> TotemEngine::Load(const CsrGraph* graph,
+                                      TotemOptions options,
+                                      TotemConfig config) {
+  if (options.gpu_fraction < 0.0 || options.gpu_fraction > 1.0) {
+    return Status::InvalidArgument("gpu_fraction must be in [0,1]");
+  }
+  // TOTEM materializes the whole graph as one contiguous host CSR before
+  // partitioning (Section 7.4: "it relies on in-memory data format
+  // requiring a contiguous array in main memory").
+  const uint64_t csr_bytes = graph->EstimateBytes(/*bytes_per_target=*/8);
+  if (csr_bytes > config.main_memory) {
+    return Status::OutOfMemory("TOTEM: host CSR needs " +
+                               FormatBytes(csr_bytes) + ", main memory is " +
+                               FormatBytes(config.main_memory));
+  }
+  return TotemEngine(graph, options, config);
+}
+
+SimTime TotemEngine::RoundSeconds(uint64_t active_edges, double cpu_rate,
+                                  double gpu_rate) const {
+  const double f = options_.gpu_fraction;
+  const double gpu_edges = static_cast<double>(active_edges) * f;
+  const double cpu_edges = static_cast<double>(active_edges) * (1.0 - f);
+  const double gpu_seconds =
+      gpu_edges * gpu_rate / std::max(1, options_.num_gpus);
+  const double cpu_seconds = cpu_edges * cpu_rate;
+  // Boundary edges of a random edge-cut: 2 f (1-f) of the active edges,
+  // one message each, crossing PCI-E at the chunk rate.
+  const double boundary_bytes =
+      2.0 * f * (1.0 - f) * static_cast<double>(active_edges) *
+      config_.boundary_message_bytes;
+  const double exchange_seconds = boundary_bytes / config_.gpu_model.c1;
+  return std::max(gpu_seconds, cpu_seconds) + exchange_seconds +
+         config_.round_overhead / config_.scale;
+}
+
+namespace {
+/// Edges out of each BFS level, from a computed level assignment.
+std::vector<uint64_t> EdgesPerLevel(const CsrGraph& graph,
+                                    const std::vector<uint32_t>& levels) {
+  std::vector<uint64_t> out;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const uint32_t l = levels[v];
+    if (l == kUnreachedLevel) continue;
+    if (out.size() <= l) out.resize(l + 1, 0);
+    out[l] += graph.out_degree(v);
+  }
+  return out;
+}
+}  // namespace
+
+Result<TotemRunResult> TotemEngine::RunBfs(VertexId source) const {
+  if (source >= graph_->num_vertices()) {
+    return Status::InvalidArgument("source out of range");
+  }
+  TotemRunResult result;
+  result.levels = ReferenceBfs(*graph_, source);
+  for (uint64_t edges : EdgesPerLevel(*graph_, result.levels)) {
+    result.seconds += RoundSeconds(edges, config_.cpu_bfs_seconds_per_edge,
+                                   config_.gpu_bfs_seconds_per_edge);
+    ++result.rounds;
+  }
+  return result;
+}
+
+Result<TotemRunResult> TotemEngine::RunPageRank(int iterations,
+                                                double damping) const {
+  TotemRunResult result;
+  result.ranks = ReferencePageRank(*graph_, iterations, damping);
+  for (int i = 0; i < iterations; ++i) {
+    result.seconds += RoundSeconds(graph_->num_edges(),
+                                   config_.cpu_pr_seconds_per_edge,
+                                   config_.gpu_pr_seconds_per_edge);
+    ++result.rounds;
+  }
+  return result;
+}
+
+Result<TotemRunResult> TotemEngine::RunSssp(VertexId source) const {
+  if (source >= graph_->num_vertices()) {
+    return Status::InvalidArgument("source out of range");
+  }
+  TotemRunResult result;
+  result.distances = ReferenceSssp(*graph_, source);
+  // Level-synchronous relaxation rounds: approximate the round structure
+  // with the BFS levels (each round touches the frontier's out-edges, and
+  // weighted search needs ~1.6x the rounds of plain BFS).
+  const auto levels = ReferenceBfs(*graph_, source);
+  const auto per_level = EdgesPerLevel(*graph_, levels);
+  for (uint64_t edges : per_level) {
+    result.seconds += RoundSeconds(edges, config_.cpu_sssp_seconds_per_edge,
+                                   config_.gpu_sssp_seconds_per_edge);
+    ++result.rounds;
+  }
+  result.seconds *= 1.6;
+  result.rounds = static_cast<int>(result.rounds * 1.6);
+  return result;
+}
+
+Result<TotemRunResult> TotemEngine::RunCc() const {
+  TotemRunResult result;
+  result.labels = ReferenceWcc(*graph_);
+  // Synchronous min-label propagation round count: the max over vertices
+  // of the hop-distance to its component's minimum, measured by BFS from
+  // each component minimum. Approximate with the component count + depth
+  // via a sweep: run propagation rounds for timing (labels already exact).
+  const VertexId n = graph_->num_vertices();
+  std::vector<VertexId> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v] = v;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<VertexId> next = labels;
+    uint64_t active_edges = graph_->num_edges();
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v : graph_->neighbors(u)) {
+        if (labels[u] < next[v]) {
+          next[v] = labels[u];
+          changed = true;
+        }
+      }
+    }
+    labels.swap(next);
+    result.seconds += RoundSeconds(active_edges,
+                                   config_.cpu_cc_seconds_per_edge,
+                                   config_.gpu_cc_seconds_per_edge);
+    ++result.rounds;
+  }
+  return result;
+}
+
+Result<TotemRunResult> TotemEngine::RunBc(VertexId source) const {
+  if (source >= graph_->num_vertices()) {
+    return Status::InvalidArgument("source out of range");
+  }
+  TotemRunResult result;
+  result.bc_deltas = ReferenceBcFromSource(*graph_, source);
+  const auto levels = ReferenceBfs(*graph_, source);
+  const auto per_level = EdgesPerLevel(*graph_, levels);
+  // Forward traversal + backward accumulation touch each level's edges
+  // once each; the backward sweep is heavier (float math, scattered
+  // reads).
+  for (uint64_t edges : per_level) {
+    result.seconds += RoundSeconds(edges, config_.cpu_bfs_seconds_per_edge,
+                                   config_.gpu_bfs_seconds_per_edge);
+    result.seconds += RoundSeconds(edges, config_.cpu_sssp_seconds_per_edge,
+                                   config_.gpu_sssp_seconds_per_edge);
+    result.rounds += 2;
+  }
+  return result;
+}
+
+}  // namespace baselines
+}  // namespace gts

@@ -1,0 +1,108 @@
+// TOTEM: the hybrid CPU+GPU partitioned engine of Gharaibeh et al.
+// [7,8] -- the paper's main GPU-based competitor (Sections 7.4, 8).
+//
+// TOTEM edge-cuts the graph into a device-memory part processed by GPUs
+// and a main-memory part processed by CPUs; per round (BFS level or
+// PageRank iteration) the two sides run concurrently and then exchange
+// boundary updates over PCI-E. Its published weaknesses, all reproduced
+// here: the GPU share is a per-dataset/per-algorithm tuning option
+// (Table 5), the CPU side dominates as graphs grow, and the host-side
+// contiguous in-memory format caps the graph size (no RMAT30+).
+#ifndef GTS_BASELINES_TOTEM_H_
+#define GTS_BASELINES_TOTEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "gpu/time_model.h"
+#include "graph/csr_graph.h"
+#include "graph/types.h"
+
+namespace gts {
+namespace baselines {
+
+/// Per-run TOTEM tuning (the paper's point: GTS needs none of this).
+struct TotemOptions {
+  /// Fraction of edges assigned to the GPU partition (Table 5's GPU%).
+  double gpu_fraction = 0.5;
+  int num_gpus = 1;
+};
+
+struct TotemConfig {
+  uint64_t main_memory = 128 * kMiB;  // scaled 128 GB host
+  TimeModel gpu_model = TimeModel::PaperScaled();
+  // CPU-side rates (two 8-core Xeons), paper-scale per edge. TOTEM's CPU
+  // partition holds the high-degree hubs, which process a bit faster per
+  // edge than a frontier engine's average.
+  double cpu_bfs_seconds_per_edge = 2.0e-9;
+  double cpu_sssp_seconds_per_edge = 3.5e-9;
+  double cpu_pr_seconds_per_edge = 1.8e-9;
+  double cpu_cc_seconds_per_edge = 1.5e-9;
+  // GPU-side rates: in-memory kernels, no streaming pipeline.
+  double gpu_bfs_seconds_per_edge = 2.5e-9;
+  double gpu_sssp_seconds_per_edge = 4.0e-9;
+  double gpu_pr_seconds_per_edge = 0.5e-9;
+  double gpu_cc_seconds_per_edge = 0.4e-9;
+  /// Bytes exchanged per boundary edge per round.
+  double boundary_message_bytes = 8.0;
+  double round_overhead = 0.002;  // paper-scale seconds per round
+  double scale = 1024.0;
+};
+
+/// Table 5: the author-recommended GPU%:CPU% splits.
+/// `dataset` uses the bench naming ("Twitter", "UK2007", "YahooWeb",
+/// "RMAT27".."RMAT29"); unknown datasets get 0.5. `pagerank_like` selects
+/// the PageRank column, otherwise BFS.
+double RecommendedGpuFraction(const std::string& dataset, bool pagerank_like,
+                              int num_gpus);
+
+struct TotemRunResult {
+  SimTime seconds = 0.0;
+  int rounds = 0;
+  std::vector<uint32_t> levels;
+  std::vector<double> ranks;
+  std::vector<double> distances;
+  std::vector<VertexId> labels;
+  std::vector<double> bc_deltas;
+};
+
+class TotemEngine {
+ public:
+  /// Fails with OutOfMemory when the host-side contiguous CSR (plus
+  /// runtime workspace) exceeds main memory -- TOTEM's RMAT30+ failure.
+  static Result<TotemEngine> Load(const CsrGraph* graph, TotemOptions options,
+                                  TotemConfig config = TotemConfig());
+
+  Result<TotemRunResult> RunBfs(VertexId source) const;
+  Result<TotemRunResult> RunPageRank(int iterations,
+                                     double damping = 0.85) const;
+  Result<TotemRunResult> RunSssp(VertexId source) const;
+  /// Min-label propagation; symmetrize the graph for weak CC.
+  Result<TotemRunResult> RunCc() const;
+  /// Single-source Brandes BC.
+  Result<TotemRunResult> RunBc(VertexId source) const;
+
+  const TotemOptions& options() const { return options_; }
+
+ private:
+  TotemEngine(const CsrGraph* graph, TotemOptions options, TotemConfig config)
+      : graph_(graph), options_(options), config_(config) {}
+
+  /// Time for one round that touches `active_edges`, split by the edge-cut
+  /// ratio: both sides run concurrently, then boundary traffic crosses
+  /// PCI-E.
+  SimTime RoundSeconds(uint64_t active_edges, double cpu_rate,
+                       double gpu_rate) const;
+
+  const CsrGraph* graph_;
+  TotemOptions options_;
+  TotemConfig config_;
+};
+
+}  // namespace baselines
+}  // namespace gts
+
+#endif  // GTS_BASELINES_TOTEM_H_

@@ -1,0 +1,64 @@
+// Minimal leveled logging and check macros (glog-flavoured, self-contained).
+#ifndef GTS_COMMON_LOGGING_H_
+#define GTS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace gts {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a partially built log statement when the level is filtered out.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace gts
+
+#define GTS_LOG_INTERNAL(level)                                      \
+  ::gts::internal::LogMessage(level, __FILE__, __LINE__).stream()
+
+#define GTS_LOG(severity)                                            \
+  (::gts::LogLevel::k##severity < ::gts::GetLogLevel())              \
+      ? (void)0                                                      \
+      : ::gts::internal::LogVoidify() &                              \
+            GTS_LOG_INTERNAL(::gts::LogLevel::k##severity)
+
+/// Aborts the process with a message when `condition` is false. Used for
+/// programming errors (invariant violations), never for recoverable input
+/// errors -- those return Status.
+#define GTS_CHECK(condition)                                          \
+  (condition) ? (void)0                                               \
+              : ::gts::internal::LogVoidify() &                       \
+                    GTS_LOG_INTERNAL(::gts::LogLevel::kFatal)         \
+                        << "Check failed: " #condition " "
+
+#define GTS_CHECK_OK(expr)                                            \
+  do {                                                                \
+    const ::gts::Status _gts_check_status = (expr);                   \
+    GTS_CHECK(_gts_check_status.ok()) << _gts_check_status.ToString(); \
+  } while (false)
+
+#define GTS_DCHECK(condition) GTS_CHECK(condition)
+
+#endif  // GTS_COMMON_LOGGING_H_

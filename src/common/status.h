@@ -1,0 +1,178 @@
+// Status / Result error handling for GTS, following the Arrow/RocksDB idiom:
+// recoverable failures are returned as values, never thrown.
+#ifndef GTS_COMMON_STATUS_H_
+#define GTS_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace gts {
+
+/// Machine-readable category of a Status.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfMemory = 2,        // host or simulated-device memory exhausted
+  kOutOfDeviceMemory = 3,  // the paper's "O.O.M." condition on a GPU
+  kNotFound = 4,
+  kIOError = 5,
+  kCorruption = 6,
+  kUnimplemented = 7,
+  kFailedPrecondition = 8,
+  kCapacityExceeded = 9,  // format limits, e.g. 2-byte page id overflow
+  kInternal = 10,
+};
+
+/// Returns the canonical name of a StatusCode ("OK", "OutOfMemory", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A cheap, movable success-or-error value.
+///
+/// The OK status carries no allocation; error statuses carry a code and a
+/// human-readable message. Functions that can fail return `Status` (or
+/// `Result<T>` when they also produce a value).
+class Status {
+ public:
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status OutOfDeviceMemory(std::string msg) {
+    return Status(StatusCode::kOutOfDeviceMemory, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Error message; empty for OK.
+  const std::string& message() const;
+
+  bool IsOutOfDeviceMemory() const {
+    return code() == StatusCode::kOutOfDeviceMemory;
+  }
+  bool IsCapacityExceeded() const {
+    return code() == StatusCode::kCapacityExceeded;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code() == b.code();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<Rep> rep_;  // nullptr <=> OK
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// A value of type T, or a Status describing why it could not be produced.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status mirrors
+  /// arrow::Result and keeps call sites terse.
+  Result(T value) : value_(std::move(value)) {}       // NOLINT(runtime/explicit)
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(runtime/explicit)
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(value_);
+  }
+
+  /// Requires ok().
+  T& value() & { return std::get<T>(value_); }
+  const T& value() const& { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out, or aborts with the error (use only after ok()).
+  T ValueOrDie() && {
+    if (!ok()) AbortWithStatus(status());
+    return std::get<T>(std::move(value_));
+  }
+
+ private:
+  [[noreturn]] static void AbortWithStatus(const Status& status);
+
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void AbortWithMessage(const std::string& msg);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::AbortWithStatus(const Status& status) {
+  internal::AbortWithMessage(status.ToString());
+}
+
+}  // namespace gts
+
+/// Propagates an error Status from an expression returning Status.
+#define GTS_RETURN_IF_ERROR(expr)                 \
+  do {                                            \
+    ::gts::Status _gts_status = (expr);           \
+    if (!_gts_status.ok()) return _gts_status;    \
+  } while (false)
+
+#define GTS_CONCAT_IMPL(a, b) a##b
+#define GTS_CONCAT(a, b) GTS_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; assigns the value or returns the error.
+#define GTS_ASSIGN_OR_RETURN(lhs, expr)                              \
+  GTS_ASSIGN_OR_RETURN_IMPL(GTS_CONCAT(_gts_result_, __LINE__), lhs, \
+                            expr)
+#define GTS_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                              \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).value();
+
+#endif  // GTS_COMMON_STATUS_H_

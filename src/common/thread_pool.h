@@ -1,0 +1,52 @@
+// A small fixed-size thread pool used by the CPU baselines and by tests.
+#ifndef GTS_COMMON_THREAD_POOL_H_
+#define GTS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gts {
+
+/// Fixed-size worker pool with a FIFO task queue.
+///
+/// Tasks are `std::function<void()>`. `Wait()` blocks until the queue drains
+/// and all workers are idle; the pool can be reused afterwards.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signalled when tasks arrive / shutdown
+  std::condition_variable idle_cv_;   // signalled when a task completes
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gts
+
+#endif  // GTS_COMMON_THREAD_POOL_H_

@@ -1,0 +1,23 @@
+// Byte-size constants and formatting helpers.
+#ifndef GTS_COMMON_UNITS_H_
+#define GTS_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gts {
+
+inline constexpr uint64_t kKiB = 1024ULL;
+inline constexpr uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr uint64_t kTiB = 1024ULL * kGiB;
+
+/// Formats a byte count as a short human string, e.g. "1.5 MiB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Formats a simulated duration in seconds, e.g. "12.3 ms".
+std::string FormatSeconds(double seconds);
+
+}  // namespace gts
+
+#endif  // GTS_COMMON_UNITS_H_

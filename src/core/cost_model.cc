@@ -1,0 +1,47 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gts {
+
+SimTime PageRankLikeCost(const PageRankCostInputs& in, const TimeModel& tm) {
+  const double n = std::max(1, in.num_gpus);
+  const double chunk = 2.0 * static_cast<double>(in.wa_bytes) / tm.c1;
+  const double stream =
+      static_cast<double>(in.ra_bytes + in.sp_bytes + in.lp_bytes) /
+      (tm.c2 * n);
+  const double calls = tm.kernel_launch_overhead *
+                       (static_cast<double>(in.num_pages) / n);
+  const double sync = tm.sync_overhead * n;
+  return chunk + stream + calls + in.last_kernel_seconds + sync;
+}
+
+SimTime BfsLikeCost(const BfsCostInputs& in, const TimeModel& tm) {
+  const double n = std::max(1, in.num_gpus);
+  const double dskew = std::clamp(in.dskew, 1.0 / n, 1.0);
+  const double miss = 1.0 - std::clamp(in.hit_rate, 0.0, 1.0);
+  double total = 2.0 * static_cast<double>(in.wa_bytes) / tm.c1;
+  for (const BfsLevelCost& level : in.levels) {
+    total += static_cast<double>(level.bytes) * miss / (tm.c2 * n * dskew);
+    total += tm.kernel_launch_overhead *
+             (static_cast<double>(level.pages) / (n * dskew));
+  }
+  return total;
+}
+
+double ApproximateHitRate(uint64_t cache_pages, uint64_t total_pages) {
+  if (total_pages == 0) return 0.0;
+  return std::min(1.0, static_cast<double>(cache_pages) /
+                           static_cast<double>(total_pages));
+}
+
+int SuggestNumStreams(SimTime transfer_seconds, SimTime kernel_seconds,
+                      int max_streams) {
+  if (transfer_seconds <= 0.0 || kernel_seconds <= 0.0) return max_streams;
+  const double ratio = kernel_seconds / transfer_seconds;
+  const int k = 1 + static_cast<int>(std::ceil(ratio));
+  return std::clamp(k, 1, max_streams);
+}
+
+}  // namespace gts

@@ -1,0 +1,67 @@
+// The analytic cost models of Section 5 (Eq. 1 and Eq. 2).
+//
+// These are deliberately independent of the discrete-event scheduler: the
+// paper uses them to explain performance tendencies, and the tests check
+// that the simulator and the closed-form model agree on those tendencies.
+#ifndef GTS_CORE_COST_MODEL_H_
+#define GTS_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gpu/time_model.h"
+#include "graph/types.h"
+
+namespace gts {
+
+/// Inputs to Eq. 1 (PageRank-like algorithms, Strategy-P, no I/O),
+/// for a single pass/iteration.
+struct PageRankCostInputs {
+  uint64_t wa_bytes = 0;   ///< |WA|
+  uint64_t ra_bytes = 0;   ///< |RA|
+  uint64_t sp_bytes = 0;   ///< |SP| (total small-page bytes)
+  uint64_t lp_bytes = 0;   ///< |LP|
+  uint64_t num_pages = 0;  ///< S + L
+  /// t_kernel(SP|1| + LP|1|): execution time of the last SP and LP kernels
+  /// that data streaming cannot hide.
+  SimTime last_kernel_seconds = 0.0;
+  int num_gpus = 1;
+};
+
+/// Eq. 1:  2|WA|/c1 + (|RA|+|SP|+|LP|)/(c2 N) + t_call((S+L)/N)
+///          + t_kernel(SP|1|+LP|1|) + t_sync(N).
+SimTime PageRankLikeCost(const PageRankCostInputs& in, const TimeModel& tm);
+
+/// Per-level inputs to Eq. 2 (BFS-like algorithms).
+struct BfsLevelCost {
+  uint64_t bytes = 0;  ///< |RA{l}| + |SP{l}| + |LP{l}|
+  uint64_t pages = 0;  ///< S{l} + L{l}
+};
+
+struct BfsCostInputs {
+  uint64_t wa_bytes = 0;
+  std::vector<BfsLevelCost> levels;
+  /// Workload balance across GPUs in [1/N, 1]; 1 = perfectly balanced.
+  double dskew = 1.0;
+  /// Cache hit rate r_hit in [0, 1] (~B/(S+L) for random graphs, Sec 3.3).
+  double hit_rate = 0.0;
+  int num_gpus = 1;
+};
+
+/// Eq. 2:  2|WA|/c1 + sum_l [ bytes_l (1-r_hit) / (c2 N d_skew)
+///                            + t_call(pages_l / (N d_skew)) ].
+SimTime BfsLikeCost(const BfsCostInputs& in, const TimeModel& tm);
+
+/// The naive cache-hit approximation of Section 3.3: B/(S+L), clamped.
+double ApproximateHitRate(uint64_t cache_pages, uint64_t total_pages);
+
+/// Section 3.2: "the suitable number of streams k can be determined by
+/// using the ratio of the transfer time of SP_j and RA_j to the kernel
+/// execution time" -- one stream to transfer plus enough to keep kernels
+/// resident, capped at the CUDA concurrent-kernel limit.
+int SuggestNumStreams(SimTime transfer_seconds, SimTime kernel_seconds,
+                      int max_streams = 32);
+
+}  // namespace gts
+
+#endif  // GTS_CORE_COST_MODEL_H_

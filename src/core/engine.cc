@@ -1,0 +1,767 @@
+#include "core/engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gts {
+
+std::string_view StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kPerformance:
+      return "Strategy-P";
+    case Strategy::kScalability:
+      return "Strategy-S";
+  }
+  return "?";
+}
+
+namespace {
+/// Encodes (gpu, stream) into a ScheduleSimulator stream key.
+int StreamKey(int gpu, int stream) { return gpu * 4096 + stream; }
+}  // namespace
+
+/// Per-GPU mutable state.
+struct GtsEngine::GpuState {
+  std::unique_ptr<gpu::Device> device;
+  std::vector<std::unique_ptr<gpu::Stream>> streams;  // empty when inline
+  gpu::DeviceBuffer wa_buf;
+  std::vector<gpu::DeviceBuffer> sp_buf;  // one per stream
+  std::vector<gpu::DeviceBuffer> lp_buf;
+  std::vector<gpu::DeviceBuffer> ra_buf;
+  std::vector<int> stream_last_kind;  // -1 until a kernel ran on the stream
+  std::unique_ptr<PageCache> cache;
+  std::unique_ptr<PidSet> local_next;
+  VertexId wa_begin = 0;
+  VertexId wa_end = 0;
+  std::vector<WorkStats> stream_work;  // accumulated per stream
+  int rr = 0;                          // round-robin stream cursor
+};
+
+/// Host-CPU co-processing state (Section 9 future-work extension).
+struct GtsEngine::CpuState {
+  std::vector<uint8_t> wa;             // full host-side WA replica
+  std::unique_ptr<PidSet> local_next;  // traversal frontier contribution
+  std::vector<WorkStats> lane_work;    // per CPU worker lane
+  int rr = 0;
+};
+
+GtsEngine::GtsEngine(const PagedGraph* graph, PageStore* store,
+                     MachineConfig machine, GtsOptions options)
+    : graph_(graph), store_(store), machine_(machine), options_(options) {
+  GTS_CHECK(machine_.num_gpus >= 1);
+  GTS_CHECK(options_.num_streams >= 1);
+  GTS_CHECK(options_.cpu_assist_fraction >= 0.0 &&
+            options_.cpu_assist_fraction < 1.0);
+  for (int g = 0; g < machine_.num_gpus; ++g) {
+    auto state = std::make_unique<GpuState>();
+    state->device = std::make_unique<gpu::Device>(g, machine_.device_memory);
+    if (options_.use_stream_threads) {
+      for (int s = 0; s < options_.num_streams; ++s) {
+        state->streams.push_back(std::make_unique<gpu::Stream>());
+      }
+    }
+    gpus_.push_back(std::move(state));
+  }
+  for (PageId pid = 0; pid < graph_->num_pages(); ++pid) {
+    max_slots_per_page_ =
+        std::max(max_slots_per_page_, graph_->view(pid).num_slots());
+  }
+}
+
+GtsEngine::~GtsEngine() = default;
+
+void GtsEngine::WaRange(int g, bool traversal, VertexId* begin,
+                        VertexId* end) const {
+  const VertexId n = graph_->num_vertices();
+  // Traversal kernels read WA entries of arbitrary neighbors, so WA is
+  // replicated even under Strategy-S (the strategy then only changes the
+  // streaming pattern: every page goes to every GPU, Section 4.2).
+  if (options_.strategy == Strategy::kPerformance || machine_.num_gpus == 1 ||
+      traversal) {
+    *begin = 0;
+    *end = n;
+    return;
+  }
+  const VertexId chunk =
+      (n + machine_.num_gpus - 1) / static_cast<VertexId>(machine_.num_gpus);
+  *begin = std::min<VertexId>(n, chunk * static_cast<VertexId>(g));
+  *end = std::min<VertexId>(n, *begin + chunk);
+}
+
+Status GtsEngine::SetupBuffers(GtsKernel* kernel) {
+  const uint64_t page_size = graph_->config().page_size;
+  const uint32_t wa_b = kernel->wa_bytes_per_vertex();
+  const uint32_t ra_b = kernel->ra_bytes_per_vertex();
+  const bool traversal = kernel->access_pattern() == AccessPattern::kTraversal;
+
+  for (int g = 0; g < machine_.num_gpus; ++g) {
+    GpuState& gpu = *gpus_[g];
+    WaRange(g, traversal, &gpu.wa_begin, &gpu.wa_end);
+    const uint64_t wa_bytes =
+        static_cast<uint64_t>(gpu.wa_end - gpu.wa_begin) * wa_b;
+    GTS_ASSIGN_OR_RETURN(gpu.wa_buf, gpu.device->Allocate(wa_bytes, "WABuf"));
+    for (int s = 0; s < options_.num_streams; ++s) {
+      GTS_ASSIGN_OR_RETURN(
+          gpu::DeviceBuffer sp,
+          gpu.device->Allocate(page_size, "SPBuf[" + std::to_string(s) + "]"));
+      gpu.sp_buf.push_back(std::move(sp));
+      GTS_ASSIGN_OR_RETURN(
+          gpu::DeviceBuffer lp,
+          gpu.device->Allocate(page_size, "LPBuf[" + std::to_string(s) + "]"));
+      gpu.lp_buf.push_back(std::move(lp));
+      if (ra_b > 0) {
+        GTS_ASSIGN_OR_RETURN(
+            gpu::DeviceBuffer ra,
+            gpu.device->Allocate(
+                static_cast<uint64_t>(max_slots_per_page_) * ra_b,
+                "RABuf[" + std::to_string(s) + "]"));
+        gpu.ra_buf.push_back(std::move(ra));
+      }
+    }
+    // Section 3.3: free device memory becomes a topology-page cache for
+    // BFS-like algorithms (full scans touch every page exactly once, so a
+    // cache cannot help them and the paper disables it).
+    if (traversal && options_.enable_cache && ra_b == 0) {
+      const uint64_t avail = gpu.device->available();
+      const uint64_t cache_bytes =
+          options_.cache_bytes == GtsOptions::kAutoCacheBytes
+              ? avail
+              : std::min(options_.cache_bytes, avail);
+      gpu.cache = std::make_unique<PageCache>(gpu.device.get(), cache_bytes,
+                                              page_size,
+                                              options_.cache_policy);
+    }
+    if (traversal) {
+      gpu.local_next = std::make_unique<PidSet>(graph_->num_pages());
+    }
+    gpu.stream_work.assign(options_.num_streams, WorkStats{});
+    gpu.stream_last_kind.assign(options_.num_streams, -1);
+    gpu.rr = 0;
+  }
+
+  if (options_.cpu_assist_fraction > 0.0) {
+    if (options_.strategy == Strategy::kScalability &&
+        machine_.num_gpus > 1 && !traversal) {
+      return Status::FailedPrecondition(
+          "CPU co-processing needs Strategy-P (Strategy-S replicates the "
+          "whole stream to every processor already)");
+    }
+    cpu_ = std::make_unique<CpuState>();
+    cpu_->wa.resize(static_cast<uint64_t>(graph_->num_vertices()) * wa_b);
+    if (traversal) {
+      cpu_->local_next = std::make_unique<PidSet>(graph_->num_pages());
+    }
+    cpu_->lane_work.assign(
+        static_cast<size_t>(machine_.time_model.cpu_worker_threads),
+        WorkStats{});
+  }
+  return Status::OK();
+}
+
+void GtsEngine::ReleaseBuffers() {
+  for (auto& gpu : gpus_) {
+    gpu->wa_buf.Reset();
+    gpu->sp_buf.clear();
+    gpu->lp_buf.clear();
+    gpu->ra_buf.clear();
+    gpu->cache.reset();
+    gpu->local_next.reset();
+  }
+  cpu_.reset();
+}
+
+bool GtsEngine::AssignToCpu(PageId pid) const {
+  if (cpu_ == nullptr) return false;
+  // Deterministic multiplicative hash of the page id.
+  const uint32_t h = static_cast<uint32_t>(pid) * 2654435761u;
+  return static_cast<double>(h >> 8 & 0xFFFFFF) / 16777216.0 <
+         options_.cpu_assist_fraction;
+}
+
+gpu::OpIndex GtsEngine::RecordOp(gpu::TimelineOp op) {
+  std::lock_guard<std::mutex> lock(record_mu_);
+  return recorder_.Add(op);
+}
+
+void GtsEngine::PatchKernelDuration(gpu::OpIndex idx, SimTime duration) {
+  std::lock_guard<std::mutex> lock(record_mu_);
+  // Safe: Add() only appends, and idx was returned by a previous Add.
+  // Adds on top of any switch overhead recorded at issue time.
+  const_cast<gpu::TimelineOp&>(recorder_.ops()[idx]).duration += duration;
+}
+
+Status GtsEngine::ProcessPageOnCpu(GtsKernel* kernel, PageId pid,
+                                   uint32_t cur_level,
+                                   RunMetrics* metrics) {
+  const PageKind kind = graph_->kind(pid);
+  const TimeModel& tm = machine_.time_model;
+  const uint32_t ra_b = kernel->ra_bytes_per_vertex();
+  const uint8_t* host_ra = kernel->host_ra();
+
+  GTS_ASSIGN_OR_RETURN(PageStore::FetchResult fetch, store_->Fetch(pid));
+  gpu::OpIndex fetch_dep = gpu::kNoOp;
+  if (!fetch.buffer_hit && fetch.io_cost > 0.0) {
+    gpu::TimelineOp fop;
+    fop.kind = gpu::OpKind::kStorageFetch;
+    fop.resource = {gpu::ResourceId::Type::kStorageDevice,
+                    static_cast<int>(fetch.device_index)};
+    fop.duration = fetch.io_cost;
+    fop.bytes = graph_->config().page_size;
+    fop.page = pid;
+    fetch_dep = RecordOp(fop);
+  }
+
+  const int lane = cpu_->rr;
+  cpu_->rr = (cpu_->rr + 1) % tm.cpu_worker_threads;
+
+  KernelContext ctx;
+  ctx.rvt = &graph_->rvt();
+  ctx.wa = cpu_->wa.data();
+  ctx.wa_begin = 0;
+  ctx.wa_end = graph_->num_vertices();
+  const VertexId start_vid = graph_->rvt().entry(pid).start_vid;
+  ctx.ra = ra_b > 0 && host_ra != nullptr
+               ? host_ra + static_cast<uint64_t>(start_vid) * ra_b
+               : nullptr;
+  ctx.ra_start_vid = start_vid;
+  ctx.cur_level = cur_level;
+  ctx.next_pid_set = cpu_->local_next.get();
+  ctx.micro = options_.micro;
+
+  PageView view(fetch.data, graph_->config());
+  const WorkStats work = kind == PageKind::kSmall ? kernel->RunSp(view, ctx)
+                                                  : kernel->RunLp(view, ctx);
+  cpu_->lane_work[lane] += work;
+
+  gpu::TimelineOp kop;
+  kop.kind = gpu::OpKind::kKernel;
+  kop.stream_key = (1 << 20) + lane;  // dedicated CPU lanes
+  kop.resource = {gpu::ResourceId::Type::kHostCpuPool, 0};
+  kop.dep0 = fetch_dep;
+  kop.page = pid;
+  // One worker core: no warp parallelism, no coalescing, but no PCI-E.
+  kop.duration =
+      static_cast<double>(work.warp_cycles) * tm.warp_cycle_seconds *
+          tm.cpu_cycle_multiplier +
+      static_cast<double>(work.mem_transactions) *
+          kernel->seconds_per_mem_transaction(tm) * tm.cpu_mem_multiplier;
+  RecordOp(kop);
+
+  ++metrics->cpu_pages;
+  if (kind == PageKind::kSmall) {
+    ++metrics->sp_kernel_calls;
+  } else {
+    ++metrics->lp_kernel_calls;
+  }
+  return Status::OK();
+}
+
+void GtsEngine::UploadWa(GtsKernel* kernel) {
+  const TimeModel& tm = machine_.time_model;
+  const uint32_t wa_b = kernel->wa_bytes_per_vertex();
+  if (cpu_ != nullptr) {
+    kernel->InitDeviceWa(cpu_->wa.data(), 0, graph_->num_vertices());
+  }
+  for (int g = 0; g < machine_.num_gpus; ++g) {
+    GpuState& gpu = *gpus_[g];
+    const uint64_t bytes =
+        static_cast<uint64_t>(gpu.wa_end - gpu.wa_begin) * wa_b;
+    gpu::TimelineOp op;
+    op.kind = gpu::OpKind::kH2DChunk;
+    op.stream_key = StreamKey(g, 0);
+    op.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+    op.duration = static_cast<double>(bytes) / tm.c1;
+    op.bytes = bytes;
+    RecordOp(op);
+    kernel->InitDeviceWa(gpu.wa_buf.data(), gpu.wa_begin, gpu.wa_end);
+  }
+}
+
+void GtsEngine::DownloadWa(GtsKernel* kernel) {
+  const TimeModel& tm = machine_.time_model;
+  const uint32_t wa_b = kernel->wa_bytes_per_vertex();
+  const int n_gpus = machine_.num_gpus;
+
+  // WA sync happens after the whole pass completes (Step 3/4, Figure 5).
+  {
+    std::lock_guard<std::mutex> lock(record_mu_);
+    recorder_.AddBarrier(0.0);
+  }
+
+  if (options_.strategy == Strategy::kPerformance && n_gpus > 1) {
+    // Peer-to-peer merge into the master GPU, then one D2H (Section 4.1).
+    const uint64_t bytes =
+        static_cast<uint64_t>(graph_->num_vertices()) * wa_b;
+    for (int g = 1; g < n_gpus; ++g) {
+      gpu::TimelineOp p2p;
+      p2p.kind = gpu::OpKind::kP2P;
+      p2p.resource = {gpu::ResourceId::Type::kCopyEngine, 0};  // lands on master
+      p2p.duration = static_cast<double>(bytes) / tm.p2p_bandwidth;
+      p2p.bytes = bytes;
+      RecordOp(p2p);
+    }
+    gpu::TimelineOp d2h;
+    d2h.kind = gpu::OpKind::kD2H;
+    d2h.resource = {gpu::ResourceId::Type::kCopyEngine, 0};
+    d2h.duration = static_cast<double>(bytes) / tm.c1;
+    d2h.bytes = bytes;
+    RecordOp(d2h);
+  } else {
+    for (int g = 0; g < n_gpus; ++g) {
+      GpuState& gpu = *gpus_[g];
+      const uint64_t bytes =
+          static_cast<uint64_t>(gpu.wa_end - gpu.wa_begin) * wa_b;
+      gpu::TimelineOp d2h;
+      d2h.kind = gpu::OpKind::kD2H;
+      d2h.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+      d2h.duration = static_cast<double>(bytes) / tm.c1;
+      d2h.bytes = bytes;
+      RecordOp(d2h);
+    }
+  }
+
+  // Execution: fold every device replica/chunk into the host arrays.
+  for (int g = 0; g < n_gpus; ++g) {
+    GpuState& gpu = *gpus_[g];
+    kernel->AbsorbDeviceWa(gpu.wa_buf.data(), gpu.wa_begin, gpu.wa_end);
+  }
+  if (cpu_ != nullptr) {
+    // Host-internal; crosses no PCI-E link, so no timeline op.
+    kernel->AbsorbDeviceWa(cpu_->wa.data(), 0, graph_->num_vertices());
+  }
+}
+
+void GtsEngine::SynchronizeStreams() {
+  if (!options_.use_stream_threads) return;
+  for (auto& gpu : gpus_) {
+    for (auto& stream : gpu->streams) stream->Synchronize();
+  }
+}
+
+std::vector<PageId> GtsEngine::OrderPages(std::vector<PageId> sps,
+                                          std::vector<PageId> lps) const {
+  std::vector<PageId> combined = std::move(sps);
+  combined.insert(combined.end(), lps.begin(), lps.end());
+  if (options_.interleave_sp_lp) {
+    std::sort(combined.begin(), combined.end());
+  }
+  return combined;
+}
+
+Status GtsEngine::ProcessPages(GtsKernel* kernel,
+                               const std::vector<PageId>& pids,
+                               uint32_t cur_level, RunMetrics* metrics) {
+  const TimeModel& tm = machine_.time_model;
+  const PageConfig& config = graph_->config();
+  const uint64_t page_size = config.page_size;
+  const uint32_t ra_b = kernel->ra_bytes_per_vertex();
+  const double sec_per_cycle = tm.warp_cycle_seconds;
+  const double sec_per_mem = kernel->seconds_per_mem_transaction(tm);
+  const uint8_t* host_ra = kernel->host_ra();
+  const int n_gpus = machine_.num_gpus;
+  const bool replicate_pages =
+      options_.strategy == Strategy::kScalability && n_gpus > 1;
+
+  for (PageId pid : pids) {
+    const PageKind kind = graph_->kind(pid);
+    if (!replicate_pages && AssignToCpu(pid)) {
+      GTS_RETURN_IF_ERROR(ProcessPageOnCpu(kernel, pid, cur_level, metrics));
+      continue;
+    }
+    const int first_gpu = replicate_pages ? 0 : (static_cast<int>(pid) % n_gpus);
+    const int last_gpu = replicate_pages ? n_gpus - 1 : first_gpu;
+    for (int g = first_gpu; g <= last_gpu; ++g) {
+      GpuState& gpu = *gpus_[g];
+      const int s = gpu.rr;
+      gpu.rr = (gpu.rr + 1) % options_.num_streams;
+      const int stream_key = StreamKey(g, s);
+
+      // Hold the page bytes alive for the enqueued lambda (thread mode).
+      auto staging = std::make_shared<std::vector<uint8_t>>(page_size);
+
+      // Host-side routing against cachedPIDMap (Algorithm 1 line 16); the
+      // copy happens under the cache lock so concurrent inserts on stream
+      // threads cannot evict the buffer mid-read.
+      const bool cached =
+          gpu.cache != nullptr && gpu.cache->LookupInto(pid, staging->data());
+
+      const uint8_t* ra_src = nullptr;  // host RA subvector
+      uint64_t ra_bytes = 0;
+      VertexId ra_start_vid = 0;
+      gpu::OpIndex fetch_dep = gpu::kNoOp;
+
+      if (!cached) {
+        GTS_ASSIGN_OR_RETURN(PageStore::FetchResult fetch, store_->Fetch(pid));
+        if (!fetch.buffer_hit && fetch.io_cost > 0.0) {
+          gpu::TimelineOp fop;
+          fop.kind = gpu::OpKind::kStorageFetch;
+          fop.resource = {gpu::ResourceId::Type::kStorageDevice,
+                          static_cast<int>(fetch.device_index)};
+          fop.duration = fetch.io_cost;
+          fop.bytes = page_size;
+          fop.page = pid;
+          fetch_dep = RecordOp(fop);
+        }
+
+        gpu::TimelineOp h2d;
+        h2d.kind = gpu::OpKind::kH2DStream;
+        h2d.stream_key = stream_key;
+        h2d.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+        h2d.duration = static_cast<double>(page_size) / tm.c2;
+        h2d.dep0 = fetch_dep;
+        h2d.bytes = page_size;
+        h2d.page = pid;
+        RecordOp(h2d);
+        ++metrics->pages_streamed;
+
+        if (ra_b > 0 && host_ra != nullptr) {
+          const RvtEntry& rvt_entry = graph_->rvt().entry(pid);
+          ra_start_vid = rvt_entry.start_vid;
+          const uint32_t covered = kind == PageKind::kSmall
+                                       ? graph_->view(pid).num_slots()
+                                       : 1;
+          ra_bytes = static_cast<uint64_t>(covered) * ra_b;
+          ra_src = host_ra + ra_start_vid * ra_b;
+
+          gpu::TimelineOp ra_op;
+          ra_op.kind = gpu::OpKind::kH2DStream;
+          ra_op.stream_key = stream_key;
+          ra_op.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+          ra_op.duration = static_cast<double>(ra_bytes) / tm.c2;
+          ra_op.bytes = ra_bytes;
+          ra_op.page = pid;
+          RecordOp(ra_op);
+        }
+
+        std::memcpy(staging->data(), fetch.data, page_size);
+      }
+      // On a cache hit only the kernel call is issued (line 17); cached
+      // kernels never carry RA (SetupBuffers enables the cache only for
+      // RA-free traversal kernels).
+
+      gpu::TimelineOp kop;
+      kop.kind = gpu::OpKind::kKernel;
+      kop.stream_key = stream_key;
+      kop.resource = {gpu::ResourceId::Type::kKernelPool, g};
+      // Switching between the SP and LP kernels on a stream costs extra
+      // (Section 3.2); the work-dependent time is added after execution.
+      kop.duration = 0.0;
+      if (gpu.stream_last_kind[s] >= 0 &&
+          gpu.stream_last_kind[s] != static_cast<int>(kind)) {
+        kop.duration = tm.kernel_switch_overhead;
+      }
+      gpu.stream_last_kind[s] = static_cast<int>(kind);
+      kop.page = pid;
+      const gpu::OpIndex kidx = RecordOp(kop);
+      if (kind == PageKind::kSmall) {
+        ++metrics->sp_kernel_calls;
+      } else {
+        ++metrics->lp_kernel_calls;
+      }
+
+      const bool insert_into_cache = gpu.cache != nullptr && !cached;
+      GpuState* gpu_ptr = &gpu;
+      const double launch_overhead = tm.kernel_launch_overhead;
+      auto execute = [this, kernel, gpu_ptr, staging, ra_src, ra_bytes,
+                      ra_start_vid, kind, cur_level, s, kidx, sec_per_cycle,
+                      sec_per_mem, insert_into_cache, pid, config,
+                      launch_overhead]() {
+        GpuState& st = *gpu_ptr;
+        // "Copy" into the device stream buffer, then run the kernel there.
+        uint8_t* dst = kind == PageKind::kSmall ? st.sp_buf[s].data()
+                                                : st.lp_buf[s].data();
+        std::memcpy(dst, staging->data(), staging->size());
+        if (ra_src != nullptr) {
+          std::memcpy(st.ra_buf[s].data(), ra_src, ra_bytes);
+        }
+
+        KernelContext ctx;
+        ctx.rvt = &graph_->rvt();
+        ctx.wa = st.wa_buf.data();
+        ctx.wa_begin = st.wa_begin;
+        ctx.wa_end = st.wa_end;
+        ctx.ra = ra_src != nullptr ? st.ra_buf[s].data() : nullptr;
+        ctx.ra_start_vid = ra_start_vid;
+        ctx.cur_level = cur_level;
+        ctx.next_pid_set = st.local_next.get();
+        ctx.micro = options_.micro;
+
+        PageView view(dst, config);
+        const WorkStats work = kind == PageKind::kSmall
+                                   ? kernel->RunSp(view, ctx)
+                                   : kernel->RunLp(view, ctx);
+        st.stream_work[s] += work;
+        PatchKernelDuration(
+            kidx,
+            launch_overhead +
+                static_cast<double>(work.warp_cycles) * sec_per_cycle +
+                static_cast<double>(work.mem_transactions) * sec_per_mem);
+        if (insert_into_cache) {
+          // Device-internal copy; deliberately not a timeline op (it does
+          // not cross PCI-E). Failure just means the cache is full.
+          (void)st.cache->Insert(pid, dst);
+        }
+      };
+
+      if (options_.use_stream_threads) {
+        gpu.streams[s]->Enqueue(std::move(execute));
+      } else {
+        execute();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
+                                  int max_levels_override) {
+  const int max_levels =
+      max_levels_override >= 0 ? max_levels_override : options_.max_levels;
+  const bool traversal =
+      kernel->access_pattern() == AccessPattern::kTraversal;
+  if (traversal &&
+      (source == kInvalidVertexId || source >= graph_->num_vertices())) {
+    return Status::InvalidArgument("traversal kernel needs a source vertex");
+  }
+
+  Status setup = SetupBuffers(kernel);
+  if (!setup.ok()) {
+    ReleaseBuffers();
+    return setup;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(record_mu_);
+    recorder_.Clear();
+  }
+  store_->ResetStats();
+  RunMetrics metrics;
+  const TimeModel& tm = machine_.time_model;
+
+  UploadWa(kernel);
+
+  Status run_status;
+  if (!traversal) {
+    // PageRank-like: one pass over all SPs, then all LPs (Section 3.2),
+    // or a single interleaved pass under the ablation option.
+    run_status = ProcessPages(
+        kernel,
+        OrderPages(graph_->small_page_ids(), graph_->large_page_ids()), 0,
+        &metrics);
+    SynchronizeStreams();
+    if (run_status.ok()) {
+      DownloadWa(kernel);
+      std::lock_guard<std::mutex> lock(record_mu_);
+      recorder_.AddBarrier(tm.sync_overhead * machine_.num_gpus);
+      metrics.levels = 1;
+    }
+  } else {
+    // BFS-like: level-by-level over nextPIDSet (Section 3.3).
+    PidSet frontier(graph_->num_pages());
+    frontier.Set(graph_->PageOfVertex(source));
+    int level = 0;
+    uint64_t prev_updates = 0;  // for per-level WA-delta sizing
+    while (!frontier.Empty() && level < max_levels) {
+      std::vector<PageId> sps;
+      std::vector<PageId> lps;
+      for (PageId pid : frontier.ToVector()) {
+        if (graph_->kind(pid) == PageKind::kSmall) {
+          sps.push_back(pid);
+        } else {
+          // Record IDs address an LP vertex through its first chunk; the
+          // RVT's LP_RANGE says how many continuation pages follow, and a
+          // traversal must stream the whole run (Figure 1 / Appendix A).
+          const uint32_t more = graph_->rvt().entry(pid).lp_more;
+          for (uint32_t k = 0; k <= more; ++k) {
+            lps.push_back(pid + k);
+          }
+        }
+      }
+      if (kernel->collect_level_pages()) {
+        std::vector<PageId> combined = sps;
+        combined.insert(combined.end(), lps.begin(), lps.end());
+        metrics.level_pages.push_back(std::move(combined));
+      }
+      for (auto& gpu : gpus_) gpu->local_next->Clear();
+      if (cpu_ != nullptr) cpu_->local_next->Clear();
+
+      run_status =
+          ProcessPages(kernel, OrderPages(std::move(sps), std::move(lps)),
+                       static_cast<uint32_t>(level), &metrics);
+      SynchronizeStreams();
+      if (!run_status.ok()) break;
+
+      // Per-level sync: local nextPIDSets (and, multi-GPU, WA) to host.
+      frontier.Clear();
+      for (int g = 0; g < machine_.num_gpus; ++g) {
+        GpuState& gpu = *gpus_[g];
+        gpu::TimelineOp d2h;
+        d2h.kind = gpu::OpKind::kD2H;
+        d2h.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+        d2h.duration =
+            static_cast<double>(gpu.local_next->ByteSize()) / tm.c1;
+        d2h.bytes = gpu.local_next->ByteSize();
+        RecordOp(d2h);
+        frontier.Union(*gpu.local_next);
+      }
+      if (cpu_ != nullptr) frontier.Union(*cpu_->local_next);
+      if (machine_.num_gpus + (cpu_ != nullptr ? 1 : 0) > 1) {
+        // Replicated traversal WA must propagate across GPUs between
+        // levels. Only this level's updated entries travel: (vid, value)
+        // pairs each way, not the whole vector (the paper notes the WA
+        // synchronized per level "is usually negligible", Section 5.2).
+        uint64_t total_updates = 0;
+        for (auto& gpu : gpus_) {
+          for (const WorkStats& w : gpu->stream_work) {
+            total_updates += w.wa_updates;
+          }
+        }
+        if (cpu_ != nullptr) {
+          for (const WorkStats& w : cpu_->lane_work) {
+            total_updates += w.wa_updates;
+          }
+        }
+        const uint64_t level_updates = total_updates - prev_updates;
+        prev_updates = total_updates;
+        const uint64_t delta_bytes =
+            level_updates * (kernel->wa_bytes_per_vertex() + 8);
+        for (int g = 0; g < machine_.num_gpus; ++g) {
+          gpu::TimelineOp d2h;
+          d2h.kind = gpu::OpKind::kD2H;
+          d2h.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+          d2h.duration =
+              static_cast<double>(delta_bytes / machine_.num_gpus) / tm.c1;
+          d2h.bytes = delta_bytes / machine_.num_gpus;
+          RecordOp(d2h);
+          gpu::TimelineOp h2d;
+          h2d.kind = gpu::OpKind::kH2DChunk;
+          h2d.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+          h2d.duration = static_cast<double>(delta_bytes) / tm.c1;
+          h2d.bytes = delta_bytes;
+          RecordOp(h2d);
+        }
+        // Execution: fold every replica into the host arrays, then refresh
+        // every device replica from the merged state (equivalent to
+        // applying the update lists).
+        for (int g = 0; g < machine_.num_gpus; ++g) {
+          GpuState& gpu = *gpus_[g];
+          kernel->AbsorbDeviceWa(gpu.wa_buf.data(), gpu.wa_begin,
+                                 gpu.wa_end);
+        }
+        if (cpu_ != nullptr) {
+          kernel->AbsorbDeviceWa(cpu_->wa.data(), 0, graph_->num_vertices());
+        }
+        for (int g = 0; g < machine_.num_gpus; ++g) {
+          GpuState& gpu = *gpus_[g];
+          kernel->InitDeviceWa(gpu.wa_buf.data(), gpu.wa_begin, gpu.wa_end);
+        }
+        if (cpu_ != nullptr) {
+          kernel->InitDeviceWa(cpu_->wa.data(), 0, graph_->num_vertices());
+        }
+      }
+      gpu::TimelineOp merge;
+      merge.kind = gpu::OpKind::kHostCompute;
+      merge.duration = tm.host_merge_overhead;
+      RecordOp(merge);
+      {
+        std::lock_guard<std::mutex> lock(record_mu_);
+        recorder_.AddBarrier(tm.sync_overhead);
+      }
+      ++level;
+    }
+    metrics.levels = level;
+    if (run_status.ok()) DownloadWa(kernel);
+  }
+
+  if (!run_status.ok()) {
+    SynchronizeStreams();
+    ReleaseBuffers();
+    return run_status;
+  }
+
+  FinalizeRun(&metrics);
+  return metrics;
+}
+
+Result<RunMetrics> GtsEngine::RunPass(GtsKernel* kernel,
+                                      const std::vector<PageId>& pages,
+                                      uint32_t level) {
+  Status setup = SetupBuffers(kernel);
+  if (!setup.ok()) {
+    ReleaseBuffers();
+    return setup;
+  }
+  {
+    std::lock_guard<std::mutex> lock(record_mu_);
+    recorder_.Clear();
+  }
+  store_->ResetStats();
+  RunMetrics metrics;
+
+  std::vector<PageId> sps;
+  std::vector<PageId> lps;
+  for (PageId pid : pages) {
+    if (pid >= graph_->num_pages()) {
+      ReleaseBuffers();
+      return Status::InvalidArgument("page id out of range");
+    }
+    (graph_->kind(pid) == PageKind::kSmall ? sps : lps).push_back(pid);
+  }
+
+  UploadWa(kernel);
+  Status run_status = ProcessPages(
+      kernel, OrderPages(std::move(sps), std::move(lps)), level, &metrics);
+  SynchronizeStreams();
+  if (!run_status.ok()) {
+    ReleaseBuffers();
+    return run_status;
+  }
+  DownloadWa(kernel);
+  {
+    std::lock_guard<std::mutex> lock(record_mu_);
+    recorder_.AddBarrier(machine_.time_model.sync_overhead *
+                         machine_.num_gpus);
+  }
+  metrics.levels = 1;
+
+  FinalizeRun(&metrics);
+  return metrics;
+}
+
+void GtsEngine::FinalizeRun(RunMetrics* metrics) {
+  for (auto& gpu : gpus_) {
+    for (const WorkStats& w : gpu->stream_work) metrics->work += w;
+    if (gpu->cache != nullptr) {
+      metrics->cache_lookups += gpu->cache->lookups();
+      metrics->cache_hits += gpu->cache->hits();
+    }
+  }
+  if (cpu_ != nullptr) {
+    for (const WorkStats& w : cpu_->lane_work) metrics->work += w;
+  }
+  metrics->io = store_->stats();
+
+  std::vector<gpu::TimelineOp> ops;
+  {
+    std::lock_guard<std::mutex> lock(record_mu_);
+    ops = recorder_.TakeOps();
+  }
+  gpu::ScheduleResult schedule =
+      gpu::ScheduleSimulator(machine_.time_model).Run(std::move(ops));
+  metrics->sim_seconds = schedule.makespan;
+  metrics->transfer_busy =
+      schedule.BusySeconds(gpu::ResourceId::Type::kCopyEngine);
+  metrics->kernel_busy =
+      schedule.BusySeconds(gpu::ResourceId::Type::kKernelPool);
+  metrics->storage_busy =
+      schedule.BusySeconds(gpu::ResourceId::Type::kStorageDevice);
+  if (options_.keep_timeline) metrics->timeline = std::move(schedule);
+
+  ReleaseBuffers();
+}
+
+}  // namespace gts

@@ -1,0 +1,200 @@
+// The GTS framework engine (Algorithm 1).
+//
+// Run() executes a kernel over a PagedGraph: it places WA in (simulated)
+// device memory, then streams topology pages and RA subvectors to the
+// GPU(s) over k asynchronous streams, calling K_SP / K_LP per page. For
+// BFS-like kernels it iterates level by level over the page-granular
+// frontier (nextPIDSet) with the device page cache enabled; for
+// PageRank-like kernels it makes one pass over every page (callers loop
+// for multi-iteration algorithms).
+//
+// Execution is real (results come from actually running the kernels);
+// elapsed time is computed by the deterministic discrete-event scheduler
+// against the machine's TimeModel (see gpu/schedule.h).
+#ifndef GTS_CORE_ENGINE_H_
+#define GTS_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "core/frontier.h"
+#include "core/kernel.h"
+#include "core/machine_config.h"
+#include "core/page_cache.h"
+#include "gpu/device.h"
+#include "gpu/schedule.h"
+#include "gpu/stream.h"
+#include "storage/page_store.h"
+#include "storage/paged_graph.h"
+
+namespace gts {
+
+/// Multi-GPU strategies of Section 4.
+enum class Strategy : uint8_t {
+  kPerformance,  ///< replicate WA, partition the page stream (Section 4.1)
+  kScalability,  ///< partition WA, replicate the page stream (Section 4.2)
+};
+
+std::string_view StrategyName(Strategy strategy);
+
+/// Engine knobs (everything else is in MachineConfig).
+struct GtsOptions {
+  Strategy strategy = Strategy::kPerformance;
+  int num_streams = 16;  ///< GPU streams per device (Figure 10 sweeps this)
+  MicroStrategy micro = MicroStrategy::kEdgeCentric;
+  bool enable_cache = true;
+  CachePolicy cache_policy = CachePolicy::kPinned;
+  /// Device bytes reserved for the page cache; kAutoCacheBytes = all free
+  /// device memory after WABuf and the stream buffers.
+  uint64_t cache_bytes = kAutoCacheBytes;
+  /// Execute kernels on real asynchronous gpu::Streams (worker threads)
+  /// instead of inline. Results are equivalent; inline is deterministic
+  /// to the bit for floating-point kernels.
+  bool use_stream_threads = false;
+  /// Retain the full per-op timeline in RunMetrics (Figure 4).
+  bool keep_timeline = false;
+  /// Safety valve for traversal loops.
+  int max_levels = 100000;
+
+  /// Section 9 future-work extension: fraction of the page stream the
+  /// host CPUs co-process alongside the GPUs (TOTEM-style hybrid, but
+  /// page-granular and with no graph partitioning to tune). 0 disables
+  /// co-processing, which is the paper's GTS. Requires Strategy-P.
+  double cpu_assist_fraction = 0.0;
+
+  /// Ablation: interleave SPs and LPs in page-id order instead of the
+  /// paper's SP-pass-then-LP-pass, paying the kernel-switch overhead the
+  /// separation exists to avoid (Section 3.2).
+  bool interleave_sp_lp = false;
+
+  static constexpr uint64_t kAutoCacheBytes = ~uint64_t{0};
+};
+
+/// Result of one Run().
+struct RunMetrics {
+  SimTime sim_seconds = 0.0;  ///< simulated elapsed time of the run
+  int levels = 0;             ///< traversal levels (1 for full scans)
+  uint64_t pages_streamed = 0;  ///< H2D page transfers performed
+  uint64_t cpu_pages = 0;       ///< pages co-processed on the host CPUs
+  uint64_t sp_kernel_calls = 0;
+  uint64_t lp_kernel_calls = 0;
+  uint64_t cache_lookups = 0;
+  uint64_t cache_hits = 0;
+  WorkStats work;
+  PageStoreStats io;          ///< storage-level counters for this run
+
+  /// For traversal runs with GtsKernel::collect_level_pages(): the page ids
+  /// processed at each level (drives backward passes, e.g. betweenness).
+  std::vector<std::vector<PageId>> level_pages;
+
+  // Resource-busy breakdown from the schedule (for Table 1 style ratios).
+  SimTime transfer_busy = 0.0;
+  SimTime kernel_busy = 0.0;
+  SimTime storage_busy = 0.0;
+
+  /// Full op timeline; populated only with GtsOptions::keep_timeline.
+  gpu::ScheduleResult timeline;
+
+  double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
+};
+
+/// The GTS engine. One engine serves one graph + store + machine; Run()
+/// may be called repeatedly (e.g. once per PageRank iteration).
+class GtsEngine {
+ public:
+  GtsEngine(const PagedGraph* graph, PageStore* store, MachineConfig machine,
+            GtsOptions options);
+  ~GtsEngine();
+
+  GtsEngine(const GtsEngine&) = delete;
+  GtsEngine& operator=(const GtsEngine&) = delete;
+
+  /// Executes one pass (full scan) or one complete traversal (level loop).
+  /// `source` seeds the frontier for traversal kernels (host WA must
+  /// already mark it, e.g. LV[source] = 0). A non-negative
+  /// `max_levels_override` truncates a traversal after that many level
+  /// passes (k-hop neighborhood queries); -1 uses GtsOptions::max_levels.
+  Result<RunMetrics> Run(GtsKernel* kernel,
+                         VertexId source = kInvalidVertexId,
+                         int max_levels_override = -1);
+
+  /// Streams exactly `pages` (one pass, any kernel type) at traversal level
+  /// `level`. Used for algorithm phases that drive their own page sets,
+  /// e.g. the backward sweep of betweenness centrality.
+  Result<RunMetrics> RunPass(GtsKernel* kernel,
+                             const std::vector<PageId>& pages,
+                             uint32_t level = 0);
+
+  const PagedGraph* graph() const { return graph_; }
+  int num_gpus() const { return machine_.num_gpus; }
+  const MachineConfig& machine() const { return machine_; }
+  const GtsOptions& options() const { return options_; }
+
+ private:
+  struct GpuState;
+  struct CpuState;
+
+  /// Per-GPU WA ownership range under the active strategy. Traversal
+  /// kernels always replicate WA (they read arbitrary neighbors' state).
+  void WaRange(int g, bool traversal, VertexId* begin, VertexId* end) const;
+
+  /// True if the hybrid extension routes page `pid` to the host CPUs.
+  bool AssignToCpu(PageId pid) const;
+
+  /// Processes one page on the host CPUs (no PCI-E traffic).
+  Status ProcessPageOnCpu(GtsKernel* kernel, PageId pid,
+                          uint32_t cur_level, RunMetrics* metrics);
+
+  /// Validates memory capacity and allocates WABuf/stream buffers/caches.
+  Status SetupBuffers(GtsKernel* kernel);
+  void ReleaseBuffers();
+
+  /// Computes the schedule, gathers stats, releases buffers.
+  void FinalizeRun(RunMetrics* metrics);
+
+  /// Streams one list of pages to the GPUs and runs kernels; records ops
+  /// and accumulates stats. Page kind (SP/LP) is derived per page.
+  Status ProcessPages(GtsKernel* kernel, const std::vector<PageId>& pids,
+                      uint32_t cur_level, RunMetrics* metrics);
+
+  /// Orders a work list per GtsOptions::interleave_sp_lp: the paper's
+  /// SP-pass-then-LP-pass, or a single pid-ordered interleaved pass.
+  std::vector<PageId> OrderPages(std::vector<PageId> sps,
+                                 std::vector<PageId> lps) const;
+
+  /// Uploads WA to every GPU (records H2DChunk ops).
+  void UploadWa(GtsKernel* kernel);
+  /// Syncs WA back (P2P merge + D2H for Strategy-P, N x D2H for S) and
+  /// absorbs device values into the kernel's host arrays.
+  void DownloadWa(GtsKernel* kernel);
+
+  void SynchronizeStreams();
+
+  const PagedGraph* graph_;
+  PageStore* store_;
+  MachineConfig machine_;
+  GtsOptions options_;
+
+  std::vector<std::unique_ptr<GpuState>> gpus_;
+  std::unique_ptr<CpuState> cpu_;  // present while a hybrid run is active
+  uint32_t max_slots_per_page_ = 0;
+
+  // Schedule recording (guarded: stream threads patch kernel durations).
+  std::mutex record_mu_;
+  gpu::ScheduleRecorder recorder_;
+  gpu::OpIndex RecordOp(gpu::TimelineOp op);
+  void PatchKernelDuration(gpu::OpIndex idx, SimTime duration);
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_ENGINE_H_

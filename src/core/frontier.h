@@ -1,0 +1,83 @@
+// nextPIDSet: the page-granular frontier of BFS-like algorithms
+// (Section 3.3). A bit per page; each GPU keeps a local copy that the host
+// merges after every level (Algorithm 1 lines 29-30).
+#ifndef GTS_CORE_FRONTIER_H_
+#define GTS_CORE_FRONTIER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gts {
+
+/// Fixed-size concurrent bitset over page ids.
+class PidSet {
+ public:
+  PidSet() = default;
+  explicit PidSet(size_t num_pages)
+      : num_pages_(num_pages), words_((num_pages + 63) / 64) {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  PidSet(const PidSet&) = delete;
+  PidSet& operator=(const PidSet&) = delete;
+
+  size_t num_pages() const { return num_pages_; }
+
+  void Set(PageId pid) {
+    words_[pid >> 6].fetch_or(uint64_t{1} << (pid & 63),
+                              std::memory_order_relaxed);
+  }
+
+  bool Test(PageId pid) const {
+    return (words_[pid >> 6].load(std::memory_order_relaxed) >>
+            (pid & 63)) & 1;
+  }
+
+  void Clear() {
+    for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+  }
+
+  bool Empty() const {
+    for (const auto& w : words_) {
+      if (w.load(std::memory_order_relaxed) != 0) return false;
+    }
+    return true;
+  }
+
+  /// Merges `other` into this set (the host's union at line 30).
+  void Union(const PidSet& other) {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      words_[i].fetch_or(other.words_[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+  }
+
+  /// Page ids with the bit set, ascending.
+  std::vector<PageId> ToVector() const {
+    std::vector<PageId> out;
+    for (PageId pid = 0; pid < num_pages_; ++pid) {
+      if (Test(pid)) out.push_back(pid);
+    }
+    return out;
+  }
+
+  size_t Count() const {
+    size_t n = 0;
+    for (PageId pid = 0; pid < num_pages_; ++pid) n += Test(pid);
+    return n;
+  }
+
+  /// Bytes a device-resident copy occupies (for sync-cost accounting).
+  uint64_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t num_pages_ = 0;
+  std::vector<std::atomic<uint64_t>> words_;
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_FRONTIER_H_

@@ -1,0 +1,157 @@
+// The user-defined GPU kernel interface (Section 3.4, Appendix B).
+//
+// A graph algorithm theta supplies a kernel pair K_SP / K_LP plus the
+// host-side lifecycle of its attribute vectors: WA (read/write, resident in
+// device memory) and RA (read-only, streamed per page alongside topology).
+#ifndef GTS_CORE_KERNEL_H_
+#define GTS_CORE_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/frontier.h"
+#include "gpu/time_model.h"
+#include "graph/types.h"
+#include "storage/paged_graph.h"
+#include "storage/slotted_page.h"
+
+namespace gts {
+
+/// The two algorithm families of Section 3.3.
+enum class AccessPattern : uint8_t {
+  kTraversal,  ///< BFS-like: level-by-level, page-granular frontier, cache
+  kFullScan,   ///< PageRank-like: one linear pass over all pages
+};
+
+/// Micro-level (intra-page) parallel processing technique (Section 6.2).
+enum class MicroStrategy : uint8_t {
+  kVertexCentric,  ///< one thread walks one vertex's whole adjacency list
+  kEdgeCentric,    ///< virtual-warp-centric [15]: a warp shares one vertex
+  kHybrid,         ///< per-page choice by predicted warp cycles
+};
+
+std::string_view MicroStrategyName(MicroStrategy strategy);
+
+/// Work performed by one kernel invocation, in units the timing model
+/// understands. warp_cycles and mem_transactions are strategy-dependent
+/// (see core/micro.h): vertex-centric execution pays divergence cycles and
+/// non-coalesced memory transactions.
+struct WorkStats {
+  uint64_t scanned_slots = 0;      ///< records inspected
+  uint64_t active_vertices = 0;    ///< records actually expanded
+  uint64_t edges_processed = 0;    ///< adjacency entries visited
+  uint64_t warp_cycles = 0;        ///< in-core cycles consumed
+  uint64_t mem_transactions = 0;   ///< global-memory transactions issued
+  uint64_t wa_updates = 0;         ///< WA entries actually written
+
+  WorkStats& operator+=(const WorkStats& other) {
+    scanned_slots += other.scanned_slots;
+    active_vertices += other.active_vertices;
+    edges_processed += other.edges_processed;
+    warp_cycles += other.warp_cycles;
+    mem_transactions += other.mem_transactions;
+    wa_updates += other.wa_updates;
+    return *this;
+  }
+};
+
+/// Everything a kernel invocation sees inside the (simulated) device.
+struct KernelContext {
+  const Rvt* rvt = nullptr;  ///< RID -> VID mapping table (Appendix A)
+
+  /// Device-resident WA. Covers vertex ids [wa_begin, wa_end); index with
+  /// (v - wa_begin). Under Strategy-P the range is the whole graph; under
+  /// Strategy-S it is this GPU's chunk and writes outside it are dropped.
+  uint8_t* wa = nullptr;
+  VertexId wa_begin = 0;
+  VertexId wa_end = 0;
+
+  /// Streamed RA subvector for this page (nullptr if the kernel has none);
+  /// covers vertex ids starting at ra_start_vid.
+  const uint8_t* ra = nullptr;
+  VertexId ra_start_vid = 0;
+
+  /// Current traversal level (BFS-like kernels).
+  uint32_t cur_level = 0;
+
+  /// This GPU's local nextPIDSet (BFS-like kernels); null for full scans.
+  PidSet* next_pid_set = nullptr;
+
+  MicroStrategy micro = MicroStrategy::kEdgeCentric;
+
+  /// True when vertex id v is in this context's WA ownership range.
+  bool OwnsVertex(VertexId v) const { return v >= wa_begin && v < wa_end; }
+
+  template <typename T>
+  T* WaAs() {
+    return reinterpret_cast<T*>(wa);
+  }
+  template <typename T>
+  const T* RaAs() const {
+    return reinterpret_cast<const T*>(ra);
+  }
+};
+
+/// A graph algorithm plugged into the GTS framework.
+///
+/// The kernel object owns the algorithm's host-side attribute arrays and is
+/// reused across iterations/levels; the engine moves data between the host
+/// arrays and device buffers around each pass.
+class GtsKernel {
+ public:
+  virtual ~GtsKernel() = default;
+
+  virtual std::string name() const = 0;
+  virtual AccessPattern access_pattern() const = 0;
+
+  /// Bytes of WA per vertex (e.g. BFS: 2, PageRank: 4).
+  virtual uint32_t wa_bytes_per_vertex() const = 0;
+
+  /// Traversal kernels may ask the engine to report which pages were
+  /// processed at each level (RunMetrics::level_pages).
+  virtual bool collect_level_pages() const { return false; }
+  /// Bytes of streamed RA per vertex; 0 if the algorithm has no RA.
+  virtual uint32_t ra_bytes_per_vertex() const = 0;
+
+  /// Seconds one global-memory transaction of this kernel costs (the
+  /// compute/memory intensity knob; BFS-like kernels are cheap per edge,
+  /// PageRank-like kernels pay float math plus an atomicAdd).
+  virtual double seconds_per_mem_transaction(const TimeModel& model) const = 0;
+
+  /// Host RA base pointer (indexed by vertex id); null if no RA.
+  virtual const uint8_t* host_ra() const { return nullptr; }
+
+  /// Fills a device WA buffer covering [begin, end) before a pass.
+  /// BFS copies current levels; PageRank zeroes the partial-sum vector.
+  virtual void InitDeviceWa(uint8_t* device_wa, VertexId begin,
+                            VertexId end) const = 0;
+
+  /// Folds a device WA buffer covering [begin, end) back into the host
+  /// array after a pass (min for levels, add for rank contributions; under
+  /// Strategy-S the ranges are disjoint, under Strategy-P they overlap).
+  virtual void AbsorbDeviceWa(const uint8_t* device_wa, VertexId begin,
+                              VertexId end) = 0;
+
+  /// K_SP: processes one small page (Appendix B). Must be thread-safe
+  /// across concurrent pages (use atomics for WA writes).
+  virtual WorkStats RunSp(const PageView& page, KernelContext& ctx) = 0;
+
+  /// K_LP: processes one large-page chunk of a single vertex.
+  virtual WorkStats RunLp(const PageView& page, KernelContext& ctx) = 0;
+};
+
+inline std::string_view MicroStrategyName(MicroStrategy strategy) {
+  switch (strategy) {
+    case MicroStrategy::kVertexCentric:
+      return "vertex-centric";
+    case MicroStrategy::kEdgeCentric:
+      return "edge-centric";
+    case MicroStrategy::kHybrid:
+      return "hybrid";
+  }
+  return "?";
+}
+
+}  // namespace gts
+
+#endif  // GTS_CORE_KERNEL_H_

@@ -1,0 +1,32 @@
+// Description of the simulated machine (GPUs + interconnect).
+#ifndef GTS_CORE_MACHINE_CONFIG_H_
+#define GTS_CORE_MACHINE_CONFIG_H_
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "gpu/time_model.h"
+
+namespace gts {
+
+/// The machine GTS runs on. Storage is configured separately via PageStore.
+struct MachineConfig {
+  int num_gpus = 1;
+  /// Device memory per GPU. The paper machine has two 12 GB TITAN X cards;
+  /// at 1/1024 repro scale that is 12 MiB per GPU.
+  uint64_t device_memory = 12 * kMiB;
+  TimeModel time_model = TimeModel::PaperScaled();
+
+  /// The paper's workstation (Section 7.1) at repro scale.
+  static MachineConfig PaperScaled(int num_gpus = 1) {
+    MachineConfig config;
+    config.num_gpus = num_gpus;
+    config.device_memory = 12 * kMiB;
+    config.time_model = TimeModel::PaperScaled();
+    return config;
+  }
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_MACHINE_CONFIG_H_

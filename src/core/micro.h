@@ -1,0 +1,155 @@
+// Micro-level (intra-page) parallel processing (Section 6.2, Appendix E).
+//
+// Kernels iterate a page through ProcessSpPage / ProcessLpPage, supplying
+// an activity predicate and a per-edge body. The helpers execute the body
+// (real work) and account simulated warp cycles under the configured
+// strategy:
+//
+//   edge-centric (VWC [15]):  a 32-thread warp cooperates on one vertex's
+//     list, so an active vertex costs ceil(deg/32) coalesced warp cycles;
+//     scanning a slot costs 1/32 cycle.
+//   vertex-centric: each thread owns one vertex; a warp of 32 consecutive
+//     slots runs as long as its slowest member, and each per-thread edge
+//     access is non-coalesced (penalty factor), so a warp costs
+//     1 + kDivergencePenalty * max(active degree in warp) cycles.
+//   hybrid: per page, whichever of the two predicts fewer cycles.
+//
+// On skewed (denser) pages the max-degree term explodes and edge-centric
+// wins -- exactly the Figure 14 behaviour.
+#ifndef GTS_CORE_MICRO_H_
+#define GTS_CORE_MICRO_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/kernel.h"
+#include "storage/slotted_page.h"
+
+namespace gts {
+
+inline constexpr uint32_t kWarpSize = 32;
+/// Divergence-cycle multiplier on the slowest lane of a vertex-centric warp.
+inline constexpr uint64_t kDivergencePenalty = 2;
+/// Memory transactions per edge under vertex-centric execution: each thread
+/// walks its own adjacency list, so accesses do not coalesce.
+inline constexpr uint64_t kNonCoalescedFactor = 4;
+/// Weight of one memory transaction relative to one warp cycle, used by the
+/// hybrid strategy's per-page predictor (~mem_transaction_seconds /
+/// warp_cycle_seconds for typical kernels).
+inline constexpr uint64_t kHybridMemWeight = 1;
+
+namespace micro_internal {
+
+/// Predicts warp cycles for a page given per-slot active degrees.
+template <typename DegreeFn>
+uint64_t PredictEdgeCentricCycles(uint32_t num_slots, DegreeFn&& deg) {
+  uint64_t cycles = (num_slots + kWarpSize - 1) / kWarpSize;  // slot scan
+  for (uint32_t s = 0; s < num_slots; ++s) {
+    const uint64_t d = deg(s);
+    cycles += (d + kWarpSize - 1) / kWarpSize;
+  }
+  return cycles;
+}
+
+template <typename DegreeFn>
+uint64_t PredictVertexCentricCycles(uint32_t num_slots, DegreeFn&& deg) {
+  uint64_t cycles = 0;
+  for (uint32_t w = 0; w < num_slots; w += kWarpSize) {
+    const uint32_t end = std::min(num_slots, w + kWarpSize);
+    uint64_t max_deg = 0;
+    for (uint32_t s = w; s < end; ++s) max_deg = std::max(max_deg, deg(s));
+    cycles += 1 + kDivergencePenalty * max_deg;
+  }
+  return cycles;
+}
+
+}  // namespace micro_internal
+
+/// Iterates a small page: for each slot s with vertex vid, if
+/// `active(vid, s)` then `edge_fn(vid, s, j, rid)` runs for each adjacency
+/// entry j. Returns WorkStats with warp cycles under `micro`.
+template <typename ActiveFn, typename EdgeFn>
+WorkStats ProcessSpPage(const PageView& page, MicroStrategy micro,
+                        VertexId start_vid, ActiveFn&& active,
+                        EdgeFn&& edge_fn) {
+  WorkStats stats;
+  const uint32_t num_slots = page.num_slots();
+  stats.scanned_slots = num_slots;
+
+  // First pass: activity + degrees (cheap; mirrors the LV/frontier check a
+  // real kernel performs before expanding).
+  // Active degree per slot; 0 for inactive slots.
+  std::vector<uint64_t> active_deg(num_slots, 0);
+  for (uint32_t s = 0; s < num_slots; ++s) {
+    const VertexId vid = start_vid + s;
+    if (active(vid, s)) {
+      active_deg[s] = page.adjlist_size(s);
+      ++stats.active_vertices;
+    }
+  }
+
+  const auto deg = [&](uint32_t s) { return active_deg[s]; };
+  const uint64_t edge_cycles =
+      micro_internal::PredictEdgeCentricCycles(num_slots, deg);
+  uint64_t active_edges = 0;
+  for (uint32_t s = 0; s < num_slots; ++s) active_edges += active_deg[s];
+
+  MicroStrategy chosen = micro;
+  if (micro == MicroStrategy::kHybrid) {
+    const uint64_t vertex_cycles =
+        micro_internal::PredictVertexCentricCycles(num_slots, deg);
+    const uint64_t edge_metric =
+        edge_cycles + kHybridMemWeight * active_edges;
+    const uint64_t vertex_metric =
+        vertex_cycles + kHybridMemWeight * kNonCoalescedFactor * active_edges;
+    chosen = vertex_metric < edge_metric ? MicroStrategy::kVertexCentric
+                                         : MicroStrategy::kEdgeCentric;
+  }
+  if (chosen == MicroStrategy::kVertexCentric) {
+    stats.warp_cycles =
+        micro_internal::PredictVertexCentricCycles(num_slots, deg);
+    stats.mem_transactions = kNonCoalescedFactor * active_edges;
+  } else {
+    stats.warp_cycles = edge_cycles;
+    stats.mem_transactions = active_edges;
+  }
+
+  // Second pass: the actual edge work.
+  for (uint32_t s = 0; s < num_slots; ++s) {
+    if (active_deg[s] == 0) continue;
+    const VertexId vid = start_vid + s;
+    const uint32_t sz = page.adjlist_size(s);
+    for (uint32_t j = 0; j < sz; ++j) {
+      edge_fn(vid, s, j, page.adj_entry(s, j));
+      ++stats.edges_processed;
+    }
+  }
+  return stats;
+}
+
+/// Iterates a large-page chunk (single vertex). LPs are always processed
+/// edge-centrically: the whole device's warps stripe the chunk.
+template <typename EdgeFn>
+WorkStats ProcessLpPage(const PageView& page, VertexId vid, bool active,
+                        EdgeFn&& edge_fn) {
+  WorkStats stats;
+  stats.scanned_slots = 1;
+  if (!active) {
+    stats.warp_cycles = 1;
+    return stats;
+  }
+  stats.active_vertices = 1;
+  const uint32_t sz = page.adjlist_size(0);
+  for (uint32_t j = 0; j < sz; ++j) {
+    edge_fn(vid, j, page.adj_entry(0, j));
+  }
+  stats.edges_processed = sz;
+  stats.warp_cycles = 1 + (sz + kWarpSize - 1) / kWarpSize;
+  stats.mem_transactions = sz;
+  return stats;
+}
+
+}  // namespace gts
+
+#endif  // GTS_CORE_MICRO_H_

@@ -1,0 +1,79 @@
+#include "core/page_cache.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace gts {
+
+PageCache::PageCache(gpu::Device* device, uint64_t capacity_bytes,
+                     uint64_t page_size, CachePolicy policy)
+    : device_(device),
+      page_size_(page_size),
+      capacity_pages_(page_size == 0 ? 0 : capacity_bytes / page_size),
+      policy_(policy) {}
+
+const uint8_t* PageCache::Lookup(PageId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return LookupLocked(pid);
+}
+
+bool PageCache::LookupInto(PageId pid, uint8_t* dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint8_t* bytes = LookupLocked(pid);
+  if (bytes == nullptr) return false;
+  std::memcpy(dst, bytes, page_size_);
+  return true;
+}
+
+const uint8_t* PageCache::LookupLocked(PageId pid) {
+  ++lookups_;
+  auto it = entries_.find(pid);
+  if (it == entries_.end()) return nullptr;
+  ++hits_;
+  if (policy_ == CachePolicy::kLru) {
+    order_.erase(it->second.order_it);
+    order_.push_front(pid);
+    it->second.order_it = order_.begin();
+  }
+  return it->second.buffer.data();
+}
+
+std::string_view CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kPinned:
+      return "pinned";
+    case CachePolicy::kLru:
+      return "LRU";
+    case CachePolicy::kFifo:
+      return "FIFO";
+  }
+  return "?";
+}
+
+Status PageCache::Insert(PageId pid, const uint8_t* bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_pages_ == 0) return Status::OK();
+  if (entries_.count(pid) != 0) return Status::OK();
+  if (policy_ == CachePolicy::kPinned &&
+      entries_.size() >= capacity_pages_) {
+    return Status::OK();  // full: scan-resistant, keep the resident set
+  }
+  while (entries_.size() >= capacity_pages_) {
+    const PageId victim = order_.back();
+    order_.pop_back();
+    entries_.erase(victim);
+  }
+  GTS_ASSIGN_OR_RETURN(
+      gpu::DeviceBuffer buffer,
+      device_->Allocate(page_size_, "cache[" + std::to_string(pid) + "]"));
+  std::memcpy(buffer.data(), bytes, page_size_);
+  order_.push_front(pid);
+  Entry entry;
+  entry.buffer = std::move(buffer);
+  entry.order_it = order_.begin();
+  entries_.emplace(pid, std::move(entry));
+  return Status::OK();
+}
+
+}  // namespace gts

@@ -1,0 +1,109 @@
+// cachedPIDMap: the per-GPU topology-page cache of Section 3.3.
+//
+// When WABuf and the streaming buffers leave device memory free (BFS-like
+// algorithms have tiny WA), GTS caches topology pages there so repeatedly
+// visited pages skip the PCI-E copy. LRU by default; FIFO is provided for
+// the ablation called out in DESIGN.md.
+#ifndef GTS_CORE_PAGE_CACHE_H_
+#define GTS_CORE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "gpu/device.h"
+#include "graph/types.h"
+
+namespace gts {
+
+/// Replacement policy.
+///
+/// BFS-like algorithms sweep the frontier's pages cyclically, which is the
+/// pathological case for classic LRU/FIFO (the cache evicts exactly what
+/// the next level needs, hit rate stays ~0 until everything fits). kPinned
+/// fills once and never evicts, giving the linear hit rate ~B/(S+L) the
+/// paper reports in Figure 11 -- so it is the engine default, with LRU and
+/// FIFO kept for the ablation benchmark.
+enum class CachePolicy : uint8_t { kPinned, kLru, kFifo };
+
+std::string_view CachePolicyName(CachePolicy policy);
+
+/// Device-memory page cache for one GPU.
+///
+/// Holds real page copies in device memory (so kernels can run against
+/// them) and tracks hit statistics for Figure 11.
+class PageCache {
+ public:
+  /// Reserves space for up to `capacity_bytes` of pages of `page_size`
+  /// bytes each on `device`. A zero capacity disables the cache.
+  PageCache(gpu::Device* device, uint64_t capacity_bytes, uint64_t page_size,
+            CachePolicy policy);
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Max pages the cache can hold.
+  size_t capacity_pages() const { return capacity_pages_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Looks up a page; returns its device bytes or nullptr. Counts a lookup
+  /// and (on success) a hit; refreshes recency under LRU. Thread-safe, but
+  /// the returned pointer is only stable until the next Insert; callers
+  /// that overlap lookups with inserts must use LookupInto instead.
+  const uint8_t* Lookup(PageId pid);
+
+  /// Like Lookup, but copies the page into `dst` (page_size bytes) under
+  /// the cache lock, so concurrent inserts/evictions cannot invalidate it.
+  bool LookupInto(PageId pid, uint8_t* dst);
+
+  /// True if present, without touching stats or recency (Algorithm 1
+  /// consults the *host copy* of cachedPIDMap when routing).
+  bool Contains(PageId pid) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.count(pid) != 0;
+  }
+
+  /// Inserts a copy of `bytes` for `pid`, evicting per policy when full.
+  /// No-op when the cache is disabled or the page is already present.
+  Status Insert(PageId pid, const uint8_t* bytes);
+
+  uint64_t lookups() const { return lookups_; }
+  uint64_t hits() const { return hits_; }
+  double hit_rate() const {
+    return lookups_ == 0 ? 0.0
+                         : static_cast<double>(hits_) /
+                               static_cast<double>(lookups_);
+  }
+  void ResetStats() {
+    lookups_ = 0;
+    hits_ = 0;
+  }
+
+ private:
+  const uint8_t* LookupLocked(PageId pid);
+
+  mutable std::mutex mu_;
+  gpu::Device* device_;
+  uint64_t page_size_;
+  size_t capacity_pages_;
+  CachePolicy policy_;
+
+  struct Entry {
+    gpu::DeviceBuffer buffer;
+    std::list<PageId>::iterator order_it;
+  };
+  std::unordered_map<PageId, Entry> entries_;
+  // For LRU: front = most recent. For FIFO: front = newest insert; eviction
+  // takes from the back in both policies.
+  std::list<PageId> order_;
+
+  uint64_t lookups_ = 0;
+  uint64_t hits_ = 0;
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_PAGE_CACHE_H_

@@ -1,0 +1,202 @@
+#include "gpu/schedule.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace gts {
+namespace gpu {
+
+std::string_view OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kStorageFetch:
+      return "fetch";
+    case OpKind::kH2DChunk:
+      return "h2d-chunk";
+    case OpKind::kH2DStream:
+      return "h2d-stream";
+    case OpKind::kD2H:
+      return "d2h";
+    case OpKind::kP2P:
+      return "p2p";
+    case OpKind::kKernel:
+      return "kernel";
+    case OpKind::kHostCompute:
+      return "host";
+    case OpKind::kBarrier:
+      return "barrier";
+  }
+  return "?";
+}
+
+SimTime ScheduleResult::BusySeconds(ResourceId::Type type) const {
+  SimTime total = 0.0;
+  for (const ResourceUsage& u : usage) {
+    if (u.resource.type == type) total += u.busy;
+  }
+  return total;
+}
+
+namespace {
+
+struct ResourceKey {
+  ResourceId::Type type;
+  int index;
+  friend auto operator<=>(const ResourceKey&, const ResourceKey&) = default;
+};
+
+/// A kernel pool: up to `capacity` ops resident at once.
+class KernelPool {
+ public:
+  explicit KernelPool(int capacity) : capacity_(capacity) {}
+
+  SimTime Admit(SimTime ready) {
+    // Retire kernels that finished by `ready`.
+    while (!active_.empty() && active_.top() <= ready) active_.pop();
+    SimTime start = ready;
+    if (static_cast<int>(active_.size()) >= capacity_) {
+      start = std::max(ready, active_.top());
+      active_.pop();
+    }
+    return start;
+  }
+
+  void Occupy(SimTime end) { active_.push(end); }
+
+ private:
+  int capacity_;
+  std::priority_queue<SimTime, std::vector<SimTime>, std::greater<>> active_;
+};
+
+}  // namespace
+
+ScheduleResult ScheduleSimulator::Run(std::vector<TimelineOp> ops) const {
+  ScheduleResult result;
+
+  std::map<ResourceKey, SimTime> serial_free;   // serial resources
+  std::map<ResourceKey, SimTime> busy_seconds;  // utilization accounting
+  std::map<ResourceKey, KernelPool> kernel_pools;  // per device + host CPU
+  std::map<int, SimTime> stream_tail;           // last end per stream_key
+  SimTime barrier_time = 0.0;  // nothing may start before this
+  SimTime max_end = 0.0;
+
+  for (OpIndex i = 0; i < ops.size(); ++i) {
+    TimelineOp& op = ops[i];
+
+    if (op.kind == OpKind::kBarrier) {
+      op.start = std::max(max_end, barrier_time);
+      op.end = op.start + op.duration;
+      barrier_time = op.end;
+      max_end = std::max(max_end, op.end);
+      // A barrier resets per-stream program-order tails: the next op on any
+      // stream is gated by the barrier, not by pre-barrier history.
+      stream_tail.clear();
+      continue;
+    }
+
+    SimTime ready = barrier_time;
+    if (op.dep0 != kNoOp) {
+      GTS_DCHECK(op.dep0 < i) << "dependency must precede op";
+      ready = std::max(ready, ops[op.dep0].end);
+    }
+    if (op.dep1 != kNoOp) {
+      GTS_DCHECK(op.dep1 < i);
+      ready = std::max(ready, ops[op.dep1].end);
+    }
+    if (op.stream_key >= 0) {
+      auto it = stream_tail.find(op.stream_key);
+      const SimTime tail = (it == stream_tail.end()) ? barrier_time : it->second;
+      // Host issue latency separates consecutive ops on one stream.
+      ready = std::max(ready, tail + model_.issue_latency);
+    }
+
+    SimTime start = ready;
+    const ResourceKey key{op.resource.type, op.resource.index};
+    switch (op.resource.type) {
+      case ResourceId::Type::kNone:
+        break;
+      case ResourceId::Type::kStorageDevice:
+      case ResourceId::Type::kCopyEngine: {
+        auto [it, inserted] = serial_free.try_emplace(key, 0.0);
+        start = std::max(ready, it->second);
+        it->second = start + op.duration;
+        break;
+      }
+      case ResourceId::Type::kKernelPool:
+      case ResourceId::Type::kHostCpuPool: {
+        const int capacity =
+            op.resource.type == ResourceId::Type::kKernelPool
+                ? model_.max_concurrent_kernels
+                : model_.cpu_worker_threads;
+        auto [it, inserted] = kernel_pools.try_emplace(key, capacity);
+        start = it->second.Admit(ready);
+        it->second.Occupy(start + op.duration);
+        break;
+      }
+    }
+
+    op.start = start;
+    op.end = start + op.duration;
+    if (op.resource.type != ResourceId::Type::kNone) {
+      busy_seconds[key] += op.duration;
+    }
+    if (op.stream_key >= 0) stream_tail[op.stream_key] = op.end;
+    max_end = std::max(max_end, op.end);
+  }
+
+  result.makespan = max_end;
+  result.ops = std::move(ops);
+  result.usage.reserve(busy_seconds.size());
+  for (const auto& [key, busy] : busy_seconds) {
+    result.usage.push_back(ResourceUsage{ResourceId{key.type, key.index}, busy});
+  }
+  return result;
+}
+
+std::string RenderTimelineAscii(const ScheduleResult& result, int columns) {
+  if (result.ops.empty() || result.makespan <= 0.0) return "(empty timeline)\n";
+  // Collect stream keys in order of first appearance.
+  std::vector<int> streams;
+  for (const TimelineOp& op : result.ops) {
+    if (op.stream_key < 0) continue;
+    if (std::find(streams.begin(), streams.end(), op.stream_key) ==
+        streams.end()) {
+      streams.push_back(op.stream_key);
+    }
+  }
+  std::string out;
+  const double scale = columns / result.makespan;
+  for (int key : streams) {
+    std::string lane(columns, '.');
+    for (const TimelineOp& op : result.ops) {
+      if (op.stream_key != key) continue;
+      char mark = '.';
+      switch (op.kind) {
+        case OpKind::kKernel:
+          mark = '#';
+          break;
+        case OpKind::kH2DStream:
+        case OpKind::kH2DChunk:
+        case OpKind::kD2H:
+        case OpKind::kP2P:
+          mark = '=';
+          break;
+        case OpKind::kStorageFetch:
+          mark = '-';
+          break;
+        default:
+          continue;
+      }
+      int a = static_cast<int>(op.start * scale);
+      int b = std::max(a + 1, static_cast<int>(op.end * scale));
+      for (int c = a; c < b && c < columns; ++c) lane[c] = mark;
+    }
+    out += "stream" + std::to_string(key) + " |" + lane + "|\n";
+  }
+  return out;
+}
+
+}  // namespace gpu
+}  // namespace gts

@@ -1,0 +1,52 @@
+#include "gpu/stream.h"
+
+namespace gts {
+namespace gpu {
+
+Stream::Stream() : worker_([this] { WorkerLoop(); }) {}
+
+Stream::~Stream() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  worker_.join();
+}
+
+void Stream::Enqueue(std::function<void()> op) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(op));
+    ++ops_issued_;
+  }
+  work_cv_.notify_one();
+}
+
+void Stream::Synchronize() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void Stream::WorkerLoop() {
+  for (;;) {
+    std::function<void()> op;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      op = std::move(queue_.front());
+      queue_.pop_front();
+      busy_ = true;
+    }
+    op();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      busy_ = false;
+    }
+    drain_cv_.notify_all();
+  }
+}
+
+}  // namespace gpu
+}  // namespace gts

@@ -1,0 +1,57 @@
+// Asynchronous GPU streams (the CUDA-stream analogue of Section 3.2).
+//
+// A Stream is a FIFO command queue with its own worker thread: operations
+// enqueued on one stream execute in order; operations on different streams
+// execute concurrently. Synchronize() blocks until the queue drains.
+//
+// Streams carry the *execution* of copies and kernels. The *simulated
+// timing* of the same operations is computed separately and
+// deterministically by ScheduleSimulator (schedule.h), because wall-clock
+// time on the host says nothing about a 2-GPU machine.
+#ifndef GTS_GPU_STREAM_H_
+#define GTS_GPU_STREAM_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace gts {
+namespace gpu {
+
+/// One asynchronous command queue.
+class Stream {
+ public:
+  Stream();
+  ~Stream();
+
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  /// Enqueues `op`; returns immediately. Ops run in FIFO order.
+  void Enqueue(std::function<void()> op);
+
+  /// Blocks until every enqueued op has completed.
+  void Synchronize();
+
+  /// Number of ops enqueued over the stream's lifetime.
+  uint64_t ops_issued() const { return ops_issued_; }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool busy_ = false;
+  bool shutdown_ = false;
+  uint64_t ops_issued_ = 0;
+  std::thread worker_;
+};
+
+}  // namespace gpu
+}  // namespace gts
+
+#endif  // GTS_GPU_STREAM_H_

@@ -1,0 +1,81 @@
+// The timing model of the simulated GPU machine.
+//
+// Constants default to the paper's hardware (Section 5 / 7.1): PCI-E 3.0
+// x16 with c1 ~ 16 GB/s chunk copies and c2 ~ 6 GB/s streaming copies, up
+// to 32 concurrently resident kernels, and microsecond-scale per-operation
+// host latencies. `Scaled(f)` divides the latency-type constants by f so a
+// 1/f-scale dataset keeps the same latency/bandwidth balance as the paper's
+// full-size runs. Bandwidths and per-work-unit rates are *rates* and need
+// no scaling (the work itself is 1/f as large).
+#ifndef GTS_GPU_TIME_MODEL_H_
+#define GTS_GPU_TIME_MODEL_H_
+
+#include "graph/types.h"
+
+namespace gts {
+
+/// All rate/latency constants used by the discrete-event scheduler.
+struct TimeModel {
+  // --- PCI-E interconnect -------------------------------------------
+  double c1 = 16e9;  ///< chunk-copy bandwidth, bytes/s (pinned, Section 5)
+  double c2 = 6e9;   ///< streaming-copy bandwidth, bytes/s
+  double p2p_bandwidth = 24e9;  ///< GPU peer-to-peer copy, bytes/s
+
+  // --- per-operation overheads (latency-type; scale with dataset) ----
+  /// Host-side gap between consecutive operations issued on one stream
+  /// (driver enqueue + completion handling). This is what makes deeper
+  /// stream counts keep helping (Figure 10 / Section 3.2).
+  double issue_latency = 30e-6;
+  /// Fixed device-side cost of launching one kernel (t_call in Eq. 1).
+  double kernel_launch_overhead = 15e-6;
+  /// Extra cost when a stream switches between the SP and LP kernels
+  /// (module reload / instruction-cache churn). This is why Section 3.2
+  /// processes all SPs before all LPs; the ablation interleaves them.
+  double kernel_switch_overhead = 25e-6;
+  /// Per-GPU component of the bulk-synchronization overhead t_sync.
+  double sync_overhead = 150e-6;
+  /// Host-side cost of merging per-GPU nextPIDSets after a level.
+  double host_merge_overhead = 60e-6;
+
+  // --- kernel execution (per-work-unit rates; never scaled) -----------
+  /// Max kernels concurrently resident per device (CUDA limit, Sec. 3.2).
+  int max_concurrent_kernels = 32;
+  /// Seconds per warp-cycle of in-core work (divergence-weighted; see
+  /// core/micro.h for how strategies turn a page into warp cycles).
+  double warp_cycle_seconds = 8e-9;
+  /// Seconds per global-memory transaction for light traversal kernels
+  /// (BFS-like: one compare + conditional store per edge).
+  double mem_transaction_seconds_traversal = 3e-9;
+  /// Seconds per global-memory transaction for scan kernels
+  /// (PageRank-like: float math + an atomicAdd per edge).
+  double mem_transaction_seconds_scan = 12e-9;
+
+  // --- host CPU co-processing (Section 9 future-work extension) -------
+  /// Host worker threads available to process pages (two 8-core Xeons).
+  int cpu_worker_threads = 16;
+  /// Per-core CPU slowdown vs the GPU per memory transaction (16 cores
+  /// together then land near a Ligra-class engine's throughput).
+  double cpu_mem_multiplier = 3.0;
+  /// Per-core CPU slowdown vs the GPU per warp-cycle of in-core work.
+  double cpu_cycle_multiplier = 6.0;
+
+  /// Divides every latency-type constant by `factor` (rates stay).
+  TimeModel Scaled(double factor) const {
+    TimeModel m = *this;
+    m.issue_latency /= factor;
+    m.kernel_launch_overhead /= factor;
+    m.kernel_switch_overhead /= factor;
+    m.sync_overhead /= factor;
+    m.host_merge_overhead /= factor;
+    return m;
+  }
+
+  /// Paper-scale model, then scaled for our 1/1024 datasets.
+  static TimeModel PaperScaled(double factor = 1024.0) {
+    return TimeModel{}.Scaled(factor);
+  }
+};
+
+}  // namespace gts
+
+#endif  // GTS_GPU_TIME_MODEL_H_

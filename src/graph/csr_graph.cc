@@ -1,0 +1,40 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+
+namespace gts {
+
+CsrGraph CsrGraph::FromEdgeList(const EdgeList& edges) {
+  CsrGraph g;
+  const VertexId n = edges.num_vertices();
+  g.offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges.edges()) {
+    g.offsets_[e.src + 1]++;
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    g.offsets_[v + 1] += g.offsets_[v];
+  }
+  g.targets_.resize(edges.num_edges());
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const Edge& e : edges.edges()) {
+    g.targets_[cursor[e.src]++] = e.dst;
+  }
+  // Keep each adjacency list sorted: page records then inherit the paper's
+  // "record IDs are consecutive and ordered within a page" property.
+  for (VertexId v = 0; v < n; ++v) {
+    auto begin = g.targets_.begin() + static_cast<ptrdiff_t>(g.offsets_[v]);
+    auto end = g.targets_.begin() + static_cast<ptrdiff_t>(g.offsets_[v + 1]);
+    std::sort(begin, end);
+  }
+  return g;
+}
+
+EdgeCount CsrGraph::max_degree() const {
+  EdgeCount best = 0;
+  for (VertexId v = 0; v < num_vertices(); ++v) {
+    best = std::max(best, out_degree(v));
+  }
+  return best;
+}
+
+}  // namespace gts

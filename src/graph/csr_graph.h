@@ -1,0 +1,61 @@
+// In-memory Compressed Sparse Row graph. This is the substrate for the CPU
+// and in-GPU-memory baselines (Section 7.3/7.4) and the input to the slotted
+// page builder.
+#ifndef GTS_GRAPH_CSR_GRAPH_H_
+#define GTS_GRAPH_CSR_GRAPH_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/edge_list.h"
+#include "graph/types.h"
+
+namespace gts {
+
+/// Immutable CSR adjacency structure (out-edges).
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds CSR from an edge list. Edges need not be sorted; duplicates are
+  /// kept (the generators dedup when requested).
+  static CsrGraph FromEdgeList(const EdgeList& edges);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+  EdgeCount num_edges() const { return targets_.size(); }
+
+  EdgeCount out_degree(VertexId v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbors of v, in ascending order if the input was sorted.
+  std::span<const VertexId> neighbors(VertexId v) const {
+    return std::span<const VertexId>(targets_.data() + offsets_[v],
+                                     out_degree(v));
+  }
+
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& targets() const { return targets_; }
+
+  /// Maximum out-degree; drives LP creation in the page builder.
+  EdgeCount max_degree() const;
+
+  /// Bytes of a paper-style CSR representation (8B offset per vertex plus
+  /// one target id per edge) -- used by baseline memory-capacity checks.
+  uint64_t EstimateBytes(size_t bytes_per_target = 8) const {
+    return offsets_.size() * 8 + targets_.size() * bytes_per_target;
+  }
+
+ private:
+  // offsets_[v]..offsets_[v+1] indexes targets_; offsets_ has |V|+1 entries.
+  std::vector<uint64_t> offsets_;
+  std::vector<VertexId> targets_;
+};
+
+}  // namespace gts
+
+#endif  // GTS_GRAPH_CSR_GRAPH_H_

@@ -1,0 +1,43 @@
+// The evaluation datasets of the paper, at reproduction scale.
+//
+// The paper runs RMAT27..RMAT32 plus Twitter, UK2007 and YahooWeb on a
+// machine with 12 GB GPUs / 128 GB RAM / PCI-E SSDs. This repo reproduces
+// every experiment at 1/1024 linear scale: dataset sizes, page sizes, and
+// machine capacities are all divided by 1024, so every "does it fit in
+// device memory / main memory / SSD" crossover happens at the same relative
+// point (see DESIGN.md Section 2). `ScaledRmat(27)` therefore generates a
+// 2^17-vertex graph that *stands for* RMAT27.
+#ifndef GTS_GRAPH_DATASETS_H_
+#define GTS_GRAPH_DATASETS_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/edge_list.h"
+
+namespace gts {
+
+/// Linear scale factor between paper datasets/machine and this repo.
+inline constexpr uint64_t kReproScale = 1024;
+
+/// Named real-graph stand-ins (shapes match the published |V|, |E| and the
+/// qualitative skew/diameter of each graph, scaled by kReproScale).
+enum class RealDataset {
+  kTwitter,   // 42M/1468M -> 41K/1.43M edges; very skewed (celebrities)
+  kUk2007,    // 106M/3739M -> 104K/3.65M; web graph, milder skew
+  kYahooWeb,  // 1414M/6636M -> 1.38M/6.48M; sparse, high diameter
+};
+
+std::string DatasetName(RealDataset d);
+
+/// Generates the scaled stand-in for a real dataset. Deterministic.
+Result<EdgeList> GenerateRealDataset(RealDataset d, uint64_t seed = 7);
+
+/// Generates the scaled stand-in for paper dataset "RMAT<paper_scale>"
+/// (paper_scale in [26, 32]); actual generator scale is paper_scale - 10.
+Result<EdgeList> ScaledRmat(int paper_scale, double edge_factor = 16.0,
+                            uint64_t seed = 20160626);
+
+}  // namespace gts
+
+#endif  // GTS_GRAPH_DATASETS_H_

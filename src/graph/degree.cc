@@ -1,0 +1,45 @@
+#include "graph/degree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gts {
+
+DegreeStats ComputeDegreeStats(const CsrGraph& graph) {
+  DegreeStats stats;
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return stats;
+  std::vector<EdgeCount> degrees(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = graph.out_degree(v);
+    stats.max_degree = std::max(stats.max_degree, degrees[v]);
+    if (degrees[v] == 0) ++stats.num_isolated;
+  }
+  stats.mean_degree =
+      static_cast<double>(graph.num_edges()) / static_cast<double>(n);
+  std::sort(degrees.begin(), degrees.end(), std::greater<>());
+  const VertexId top = std::max<VertexId>(1, n / 100);
+  EdgeCount top_edges = 0;
+  for (VertexId i = 0; i < top; ++i) top_edges += degrees[i];
+  stats.top1pct_edge_share =
+      graph.num_edges() == 0
+          ? 0.0
+          : static_cast<double>(top_edges) /
+                static_cast<double>(graph.num_edges());
+  return stats;
+}
+
+std::vector<uint64_t> DegreeHistogramLog2(const CsrGraph& graph) {
+  std::vector<uint64_t> hist;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const EdgeCount d = graph.out_degree(v);
+    if (d == 0) continue;
+    const size_t bucket =
+        d == 1 ? 0 : static_cast<size_t>(std::floor(std::log2(d)));
+    if (hist.size() <= bucket) hist.resize(bucket + 1, 0);
+    ++hist[bucket];
+  }
+  return hist;
+}
+
+}  // namespace gts

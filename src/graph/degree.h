@@ -1,0 +1,31 @@
+// Degree-distribution statistics (used by Table 3 reporting, the hybrid
+// micro-strategy heuristic, and the real-dataset shape tests).
+#ifndef GTS_GRAPH_DEGREE_H_
+#define GTS_GRAPH_DEGREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace gts {
+
+/// Summary of an out-degree distribution.
+struct DegreeStats {
+  EdgeCount max_degree = 0;
+  double mean_degree = 0.0;
+  /// Fraction of all edges owned by the top 1% highest-degree vertices --
+  /// a simple skew measure (large for social graphs).
+  double top1pct_edge_share = 0.0;
+  uint64_t num_isolated = 0;  ///< vertices with out-degree 0
+};
+
+DegreeStats ComputeDegreeStats(const CsrGraph& graph);
+
+/// Histogram over log2 buckets: bucket[i] counts vertices with out-degree in
+/// [2^i, 2^(i+1)); bucket 0 additionally includes degree 1 and excludes 0.
+std::vector<uint64_t> DegreeHistogramLog2(const CsrGraph& graph);
+
+}  // namespace gts
+
+#endif  // GTS_GRAPH_DEGREE_H_

@@ -1,0 +1,36 @@
+#include "graph/edge_list.h"
+
+#include <algorithm>
+#include <string>
+
+namespace gts {
+
+void EdgeList::SortAndDedup() {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               edges_.end());
+}
+
+Status EdgeList::Validate() const {
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const Edge& e = edges_[i];
+    if (e.src >= num_vertices_ || e.dst >= num_vertices_) {
+      return Status::InvalidArgument(
+          "edge " + std::to_string(i) + " (" + std::to_string(e.src) + "->" +
+          std::to_string(e.dst) + ") exceeds num_vertices=" +
+          std::to_string(num_vertices_));
+    }
+  }
+  return Status::OK();
+}
+
+EdgeList EdgeList::Reversed() const {
+  std::vector<Edge> rev;
+  rev.reserve(edges_.size());
+  for (const Edge& e : edges_) rev.push_back({e.dst, e.src});
+  return EdgeList(num_vertices_, std::move(rev));
+}
+
+}  // namespace gts

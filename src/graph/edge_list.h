@@ -1,0 +1,50 @@
+// A plain edge-list container with the normalization passes the page builder
+// and generators need (sort, dedup, compaction of the id space).
+#ifndef GTS_GRAPH_EDGE_LIST_H_
+#define GTS_GRAPH_EDGE_LIST_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace gts {
+
+/// Mutable list of directed edges plus the vertex-count bound.
+///
+/// `num_vertices` is an exclusive upper bound on vertex ids; isolated
+/// vertices (ids with no incident edge) still count, which matches how the
+/// paper sizes attribute vectors by |V|.
+class EdgeList {
+ public:
+  EdgeList() = default;
+  EdgeList(VertexId num_vertices, std::vector<Edge> edges)
+      : num_vertices_(num_vertices), edges_(std::move(edges)) {}
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeCount num_edges() const { return edges_.size(); }
+  const std::vector<Edge>& edges() const { return edges_; }
+  std::vector<Edge>& edges() { return edges_; }
+
+  void set_num_vertices(VertexId n) { num_vertices_ = n; }
+  void Add(VertexId src, VertexId dst) { edges_.push_back({src, dst}); }
+
+  /// Sorts by (src, dst) and removes duplicate edges and self-loops.
+  void SortAndDedup();
+
+  /// Checks that every endpoint is < num_vertices().
+  Status Validate() const;
+
+  /// Returns the reversed edge list (dst -> src), used to derive in-edge
+  /// structures for pull-style baselines.
+  EdgeList Reversed() const;
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace gts
+
+#endif  // GTS_GRAPH_EDGE_LIST_H_

@@ -1,0 +1,82 @@
+#include "graph/rmat_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace gts {
+
+Result<EdgeList> GenerateRmat(const RmatParams& params) {
+  if (params.scale < 1 || params.scale > 40) {
+    return Status::InvalidArgument("rmat scale out of range: " +
+                                   std::to_string(params.scale));
+  }
+  if (params.a <= 0 || params.b < 0 || params.c < 0 || params.d() <= 0) {
+    return Status::InvalidArgument("rmat quadrant probabilities invalid");
+  }
+
+  const VertexId n = VertexId{1} << params.scale;
+  const EdgeCount m =
+      static_cast<EdgeCount>(params.edge_factor * static_cast<double>(n));
+  Xoshiro256 rng(params.seed);
+
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (EdgeCount i = 0; i < m; ++i) {
+    VertexId src = 0;
+    VertexId dst = 0;
+    for (int level = 0; level < params.scale; ++level) {
+      // Perturb the quadrant probabilities a little at each level so the
+      // generated adjacency matrix is not perfectly self-similar.
+      const double na =
+          params.a * (1.0 + params.noise * (rng.NextDouble() - 0.5));
+      const double nb =
+          params.b * (1.0 + params.noise * (rng.NextDouble() - 0.5));
+      const double nc =
+          params.c * (1.0 + params.noise * (rng.NextDouble() - 0.5));
+      const double nd =
+          params.d() * (1.0 + params.noise * (rng.NextDouble() - 0.5));
+      const double total = na + nb + nc + nd;
+      const double r = rng.NextDouble() * total;
+      src <<= 1;
+      dst <<= 1;
+      if (r < na) {
+        // top-left: no bits set
+      } else if (r < na + nb) {
+        dst |= 1;
+      } else if (r < na + nb + nc) {
+        src |= 1;
+      } else {
+        src |= 1;
+        dst |= 1;
+      }
+    }
+    edges.push_back({src, dst});
+  }
+
+  if (params.permute_vertices) {
+    // Fisher-Yates permutation of the id space, seeded independently of the
+    // edge stream so the two can be varied separately in tests.
+    std::vector<VertexId> perm(n);
+    std::iota(perm.begin(), perm.end(), VertexId{0});
+    Xoshiro256 perm_rng(params.seed ^ 0x9e3779b97f4a7c15ULL);
+    for (VertexId i = n - 1; i > 0; --i) {
+      const uint64_t j = perm_rng.NextBounded(i + 1);
+      std::swap(perm[i], perm[j]);
+    }
+    for (Edge& e : edges) {
+      e.src = perm[e.src];
+      e.dst = perm[e.dst];
+    }
+  }
+
+  EdgeList list(n, std::move(edges));
+  if (params.dedup) list.SortAndDedup();
+  return list;
+}
+
+}  // namespace gts

@@ -1,0 +1,33 @@
+// R-MAT recursive-matrix graph generator (Chakrabarti, Zhan, Faloutsos, SDM
+// 2004) -- the synthetic workload of the paper (RMAT27..RMAT32, |E| = 16|V|).
+#ifndef GTS_GRAPH_RMAT_GENERATOR_H_
+#define GTS_GRAPH_RMAT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/edge_list.h"
+
+namespace gts {
+
+/// Parameters of the recursive quadrant distribution.
+struct RmatParams {
+  int scale = 16;               ///< |V| = 2^scale
+  double edge_factor = 16.0;    ///< |E| = edge_factor * |V| (paper: 16)
+  double a = 0.57;              ///< Graph500 defaults; heavy-tailed degrees
+  double b = 0.19;
+  double c = 0.19;
+  double noise = 0.1;           ///< per-level perturbation, avoids exact grid
+  uint64_t seed = 20160626;     ///< SIGMOD'16 opening day
+  bool dedup = false;           ///< drop duplicate edges / self loops
+  bool permute_vertices = true; ///< hide the id/degree correlation
+
+  double d() const { return 1.0 - a - b - c; }
+};
+
+/// Generates a directed R-MAT graph. Deterministic for a given params value.
+Result<EdgeList> GenerateRmat(const RmatParams& params);
+
+}  // namespace gts
+
+#endif  // GTS_GRAPH_RMAT_GENERATOR_H_

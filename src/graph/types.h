@@ -1,0 +1,41 @@
+// Fundamental identifier and measurement types shared across GTS.
+#ifndef GTS_GRAPH_TYPES_H_
+#define GTS_GRAPH_TYPES_H_
+
+#include <cstdint>
+
+namespace gts {
+
+/// Logical vertex identifier (the paper's VID). 64-bit so trillion-scale
+/// id spaces are representable; the slotted-page physical-id width is what
+/// actually bounds a stored graph (Section 6.1).
+using VertexId = uint64_t;
+
+/// Global slotted-page identifier. One id space covers both SPs and LPs,
+/// matching Figure 1 where SP0, LP1, LP2 share a sequence.
+using PageId = uint32_t;
+
+/// Edge count / adjacency-list size.
+using EdgeCount = uint64_t;
+
+/// Simulated wall-clock time, in seconds, produced by the timing model.
+using SimTime = double;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = ~PageId{0};
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertexId = ~VertexId{0};
+
+/// A directed edge (src -> dst) in a plain edge list.
+struct Edge {
+  VertexId src;
+  VertexId dst;
+
+  friend bool operator==(const Edge&, const Edge&) = default;
+  friend auto operator<=>(const Edge&, const Edge&) = default;
+};
+
+}  // namespace gts
+
+#endif  // GTS_GRAPH_TYPES_H_

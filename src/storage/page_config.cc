@@ -1,0 +1,20 @@
+#include "storage/page_config.h"
+
+namespace gts {
+
+PhysicalIdLimits ComputePhysicalIdLimits(uint32_t p, uint32_t q) {
+  PhysicalIdLimits limits;
+  limits.p = p;
+  limits.q = q;
+  limits.max_page_id = uint64_t{1} << (8 * p);
+  limits.max_slot_number = uint64_t{1} << (8 * q);
+  // Paper assumption (Section 6.1): a vertex consumes ADJLIST_SZ (4) +
+  // VID (6) + OFF (4) plus at least one adjacency entry of (p+q) bytes;
+  // with 6-byte physical IDs that is 20 bytes per slot, reproducing the
+  // published 80 GB / 320 MB / 1.25 MB maxima.
+  const uint64_t per_slot = 4 + 6 + 4 + (p + q);
+  limits.max_page_bytes = limits.max_slot_number * per_slot;
+  return limits;
+}
+
+}  // namespace gts

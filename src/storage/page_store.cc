@@ -1,0 +1,148 @@
+#include "storage/page_store.h"
+
+#include <string>
+
+#include "common/logging.h"
+
+namespace gts {
+
+PageStore::PageStore(const PagedGraph* graph,
+                     std::vector<std::unique_ptr<StorageDevice>> devices,
+                     uint64_t buffer_capacity)
+    : graph_(graph),
+      devices_(std::move(devices)),
+      buffer_capacity_(buffer_capacity) {
+  GTS_CHECK(!devices_.empty()) << "page store needs at least one device";
+}
+
+Status PageStore::Init() {
+  const uint64_t page_size = graph_->config().page_size;
+  std::vector<uint64_t> device_cursor(devices_.size(), 0);
+  for (PageId pid = 0; pid < graph_->num_pages(); ++pid) {
+    const size_t d = DeviceOfPage(pid);
+    GTS_RETURN_IF_ERROR(devices_[d]->Write(
+        device_cursor[d], graph_->page_bytes(pid).data(), page_size));
+    device_cursor[d] += page_size;
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+bool PageStore::GraphFitsInBuffer() const {
+  return graph_->TotalTopologyBytes() <= buffer_capacity_;
+}
+
+Status PageStore::PreloadAll() {
+  if (!GraphFitsInBuffer()) {
+    return Status::FailedPrecondition(
+        "graph (" + std::to_string(graph_->TotalTopologyBytes()) +
+        " B) larger than MMBuf (" + std::to_string(buffer_capacity_) + " B)");
+  }
+  for (PageId pid = 0; pid < graph_->num_pages(); ++pid) {
+    GTS_ASSIGN_OR_RETURN(FetchResult unused, Fetch(pid));
+    (void)unused;
+  }
+  return Status::OK();
+}
+
+Result<PageStore::FetchResult> PageStore::Fetch(PageId pid) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("PageStore::Init not called");
+  }
+  if (pid >= graph_->num_pages()) {
+    return Status::InvalidArgument("page id out of range: " +
+                                   std::to_string(pid));
+  }
+  FetchResult result;
+  auto it = buffer_.find(pid);
+  if (it != buffer_.end()) {
+    TouchLru(pid);
+    ++stats_.buffer_hits;
+    result.data = it->second.bytes.data();
+    result.buffer_hit = true;
+    return result;
+  }
+
+  const uint64_t page_size = graph_->config().page_size;
+  const size_t d = DeviceOfPage(pid);
+  // Device offset: position of this page among the pages striped to d.
+  const uint64_t offset =
+      static_cast<uint64_t>(pid / devices_.size()) * page_size;
+
+  BufferedPage entry;
+  entry.bytes.resize(page_size);
+  GTS_RETURN_IF_ERROR(devices_[d]->Read(offset, entry.bytes.data(), page_size));
+
+  lru_.push_front(pid);
+  entry.lru_it = lru_.begin();
+  auto [ins, ok] = buffer_.emplace(pid, std::move(entry));
+  GTS_CHECK(ok);
+  buffered_bytes_ += page_size;
+  EvictIfNeeded();
+
+  ++stats_.device_reads;
+  stats_.bytes_read += page_size;
+  result.data = ins->second.bytes.data();
+  result.buffer_hit = false;
+  result.device_index = d;
+  result.io_cost = devices_[d]->timing().ReadCost(page_size);
+  return result;
+}
+
+void PageStore::TouchLru(PageId pid) {
+  auto it = buffer_.find(pid);
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(pid);
+  it->second.lru_it = lru_.begin();
+}
+
+void PageStore::EvictIfNeeded() {
+  const uint64_t page_size = graph_->config().page_size;
+  while (buffered_bytes_ > buffer_capacity_ && lru_.size() > 1) {
+    // Never evict the most recent page: the caller holds a pointer to it.
+    const PageId victim = lru_.back();
+    lru_.pop_back();
+    buffer_.erase(victim);
+    buffered_bytes_ -= page_size;
+  }
+}
+
+namespace {
+std::unique_ptr<PageStore> MakeUniformStore(const PagedGraph* graph, size_t n,
+                                            DeviceTimingParams timing,
+                                            const char* prefix,
+                                            uint64_t buffer_capacity) {
+  std::vector<std::unique_ptr<StorageDevice>> devices;
+  devices.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    devices.push_back(std::make_unique<MemoryDevice>(
+        std::string(prefix) + std::to_string(i), timing));
+  }
+  auto store = std::make_unique<PageStore>(graph, std::move(devices),
+                                           buffer_capacity);
+  GTS_CHECK_OK(store->Init());
+  return store;
+}
+}  // namespace
+
+std::unique_ptr<PageStore> MakeInMemoryStore(const PagedGraph* graph) {
+  return MakeUniformStore(graph, 1, DeviceTimingParams::Memory(), "mem",
+                          /*buffer_capacity=*/~uint64_t{0});
+}
+
+std::unique_ptr<PageStore> MakeSsdStore(const PagedGraph* graph, size_t n,
+                                        uint64_t buffer_capacity) {
+  // Latency scaled like the rest of the repro machine (DESIGN.md Sec. 2).
+  return MakeUniformStore(graph, n,
+                          DeviceTimingParams::PcieSsd().Scaled(1024.0), "ssd",
+                          buffer_capacity);
+}
+
+std::unique_ptr<PageStore> MakeHddStore(const PagedGraph* graph, size_t n,
+                                        uint64_t buffer_capacity) {
+  return MakeUniformStore(graph, n,
+                          DeviceTimingParams::Hdd().Scaled(1024.0), "hdd",
+                          buffer_capacity);
+}
+
+}  // namespace gts

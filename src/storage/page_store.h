@@ -1,0 +1,103 @@
+// PageStore: pages striped over storage devices by hash g(j), fronted by
+// the main-memory buffer MMBuf with its bufferPIDMap (Algorithm 1).
+#ifndef GTS_STORAGE_PAGE_STORE_H_
+#define GTS_STORAGE_PAGE_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+#include "storage/paged_graph.h"
+#include "storage/storage_device.h"
+
+namespace gts {
+
+/// Aggregate I/O counters for one run.
+struct PageStoreStats {
+  uint64_t buffer_hits = 0;
+  uint64_t device_reads = 0;
+  uint64_t bytes_read = 0;
+};
+
+/// Owns the secondary-storage copy of a PagedGraph plus MMBuf.
+///
+/// Page j lives on device g(j) = j mod num_devices (Section 4.1's striping).
+/// Fetch() consults the buffer first (bufferPIDMap); on a miss it reads from
+/// the owning device into MMBuf, evicting least-recently-used pages when the
+/// buffer is over capacity, and reports the simulated I/O cost.
+class PageStore {
+ public:
+  /// `buffer_capacity` is MMBuf size in bytes. Devices must be non-empty.
+  PageStore(const PagedGraph* graph,
+            std::vector<std::unique_ptr<StorageDevice>> devices,
+            uint64_t buffer_capacity);
+
+  /// Writes every page to its device. Must be called before Fetch.
+  Status Init();
+
+  /// Loads the whole graph into MMBuf (Algorithm 1 lines 9-10). Requires
+  /// buffer_capacity >= total topology bytes.
+  Status PreloadAll();
+
+  /// True if the graph fits entirely in MMBuf.
+  bool GraphFitsInBuffer() const;
+
+  struct FetchResult {
+    const uint8_t* data = nullptr;  ///< page bytes, valid until next eviction
+    bool buffer_hit = false;
+    size_t device_index = 0;   ///< meaningful when !buffer_hit
+    SimTime io_cost = 0.0;     ///< simulated device time; 0 on buffer hit
+  };
+
+  /// Returns the page bytes, fetching from the device on a buffer miss.
+  Result<FetchResult> Fetch(PageId pid);
+
+  /// g(j): which device holds page j.
+  size_t DeviceOfPage(PageId pid) const { return pid % devices_.size(); }
+
+  size_t num_devices() const { return devices_.size(); }
+  const StorageDevice& device(size_t i) const { return *devices_[i]; }
+  uint64_t buffer_capacity() const { return buffer_capacity_; }
+
+  const PageStoreStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PageStoreStats{}; }
+
+ private:
+  void TouchLru(PageId pid);
+  void EvictIfNeeded();
+
+  const PagedGraph* graph_;
+  std::vector<std::unique_ptr<StorageDevice>> devices_;
+  uint64_t buffer_capacity_;
+  bool initialized_ = false;
+
+  struct BufferedPage {
+    std::vector<uint8_t> bytes;
+    std::list<PageId>::iterator lru_it;
+  };
+  // bufferPIDMap: page id -> buffered copy; lru_ front = most recent.
+  std::unordered_map<PageId, BufferedPage> buffer_;
+  std::list<PageId> lru_;
+  uint64_t buffered_bytes_ = 0;
+
+  PageStoreStats stats_;
+};
+
+/// Builds an in-memory-device store (storage type "in-memory").
+std::unique_ptr<PageStore> MakeInMemoryStore(const PagedGraph* graph);
+
+/// Builds a store over `n` simulated SSDs (memory-backed bytes, SSD timing).
+std::unique_ptr<PageStore> MakeSsdStore(const PagedGraph* graph, size_t n,
+                                        uint64_t buffer_capacity);
+
+/// Builds a store over `n` simulated HDDs.
+std::unique_ptr<PageStore> MakeHddStore(const PagedGraph* graph, size_t n,
+                                        uint64_t buffer_capacity);
+
+}  // namespace gts
+
+#endif  // GTS_STORAGE_PAGE_STORE_H_

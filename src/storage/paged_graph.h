@@ -1,0 +1,100 @@
+// PagedGraph: a whole graph in the slotted page format, plus the RVT
+// mapping table (Appendix A) and per-vertex physical locations.
+#ifndef GTS_STORAGE_PAGED_GRAPH_H_
+#define GTS_STORAGE_PAGED_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+#include "storage/slotted_page.h"
+
+namespace gts {
+
+/// One RVT row (Figure 12): maps a page id to the logical id space.
+/// ADJ_VID = rvt[ADJ_PID].start_vid + ADJ_OFF.
+struct RvtEntry {
+  VertexId start_vid = 0;
+  /// Number of continuation LPs following this page for the same vertex
+  /// (the paper's LP_RANGE); 0 for SPs and for the last LP of a vertex.
+  uint32_t lp_more = 0;
+};
+
+/// The record-ID -> vertex-ID mapping table, kept in main memory and made
+/// available to kernels (Appendix A).
+class Rvt {
+ public:
+  explicit Rvt(std::vector<RvtEntry> entries) : entries_(std::move(entries)) {}
+  Rvt() = default;
+
+  VertexId ToVid(const RecordId& rid) const {
+    return entries_[rid.pid].start_vid + rid.slot;
+  }
+  const RvtEntry& entry(PageId pid) const { return entries_[pid]; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  std::vector<RvtEntry> entries_;
+};
+
+/// A graph materialized as slotted pages. Immutable after building.
+class PagedGraph {
+ public:
+  PagedGraph() = default;
+
+  // Move-only: pages can be hundreds of MiB.
+  PagedGraph(PagedGraph&&) = default;
+  PagedGraph& operator=(PagedGraph&&) = default;
+  PagedGraph(const PagedGraph&) = delete;
+  PagedGraph& operator=(const PagedGraph&) = delete;
+
+  const PageConfig& config() const { return config_; }
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeCount num_edges() const { return num_edges_; }
+
+  size_t num_pages() const { return pages_.size(); }
+  size_t num_small_pages() const { return small_page_ids_.size(); }
+  size_t num_large_pages() const { return large_page_ids_.size(); }
+
+  const std::vector<PageId>& small_page_ids() const { return small_page_ids_; }
+  const std::vector<PageId>& large_page_ids() const { return large_page_ids_; }
+
+  PageKind kind(PageId pid) const {
+    return PageView(pages_[pid].data(), config_).kind();
+  }
+  const std::vector<uint8_t>& page_bytes(PageId pid) const {
+    return pages_[pid];
+  }
+  PageView view(PageId pid) const {
+    return PageView(pages_[pid].data(), config_);
+  }
+
+  const Rvt& rvt() const { return rvt_; }
+
+  /// Physical location of v's record: its SP slot, or slot 0 of its first LP.
+  RecordId VertexLocation(VertexId v) const { return locations_[v]; }
+  PageId PageOfVertex(VertexId v) const { return locations_[v].pid; }
+
+  /// Total bytes of topology (all pages) -- the paper's "topology data" size.
+  uint64_t TotalTopologyBytes() const {
+    return static_cast<uint64_t>(pages_.size()) * config_.page_size;
+  }
+
+ private:
+  friend class PageBuilder;
+  friend Result<PagedGraph> ReadPagedGraph(const std::string& path);
+
+  PageConfig config_;
+  VertexId num_vertices_ = 0;
+  EdgeCount num_edges_ = 0;
+  std::vector<std::vector<uint8_t>> pages_;  // indexed by PageId
+  std::vector<PageId> small_page_ids_;
+  std::vector<PageId> large_page_ids_;
+  Rvt rvt_;
+  std::vector<RecordId> locations_;  // indexed by VertexId
+};
+
+}  // namespace gts
+
+#endif  // GTS_STORAGE_PAGED_GRAPH_H_

@@ -1,0 +1,51 @@
+#include "storage/slotted_page.h"
+
+namespace gts {
+
+PageWriter::PageWriter(uint8_t* buffer, const PageConfig& config,
+                       PageKind kind)
+    : buffer_(buffer), config_(config) {
+  PageHeader header;
+  header.kind = static_cast<uint8_t>(kind);
+  std::memcpy(buffer_, &header, sizeof(header));
+}
+
+uint64_t PageWriter::FreeBytes() const {
+  const uint64_t slot_area =
+      static_cast<uint64_t>(num_slots()) * kSlotBytes;
+  const uint64_t used = record_cursor_ + slot_area;
+  return used >= config_.page_size ? 0 : config_.page_size - used;
+}
+
+uint32_t PageWriter::AppendRecord(VertexId vid, uint64_t degree) {
+  GTS_CHECK(Fits(degree)) << "record does not fit; caller must check Fits()";
+  const uint32_t slot = num_slots();
+  GTS_CHECK(slot < config_.max_slots()) << "slot number overflows q bytes";
+
+  // Record: ADJLIST_SZ then zeroed entries (filled by SetEntry later).
+  const auto adjlist_sz = static_cast<uint32_t>(degree);
+  std::memcpy(buffer_ + record_cursor_, &adjlist_sz, sizeof(adjlist_sz));
+  record_offsets_.push_back(static_cast<uint32_t>(record_cursor_));
+
+  // Slot: VID | OFF, growing backward from the page end.
+  uint8_t* slot_ptr =
+      buffer_ + config_.page_size - (static_cast<uint64_t>(slot) + 1) * kSlotBytes;
+  const uint64_t vid64 = vid;
+  const auto off32 = static_cast<uint32_t>(record_cursor_);
+  std::memcpy(slot_ptr, &vid64, sizeof(vid64));
+  std::memcpy(slot_ptr + sizeof(vid64), &off32, sizeof(off32));
+
+  record_cursor_ += sizeof(uint32_t) + degree * config_.entry_bytes();
+  MutableHeader()->num_slots = slot + 1;
+  return slot;
+}
+
+void PageWriter::SetEntry(uint32_t slot, uint32_t j, RecordId rid) {
+  GTS_DCHECK(slot < record_offsets_.size());
+  uint8_t* base = buffer_ + record_offsets_[slot] + sizeof(uint32_t) +
+                  static_cast<uint64_t>(j) * config_.entry_bytes();
+  EncodeLE(base, rid.pid, config_.pid_bytes);
+  EncodeLE(base + config_.pid_bytes, rid.slot, config_.off_bytes);
+}
+
+}  // namespace gts

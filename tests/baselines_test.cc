@@ -1,0 +1,326 @@
+// The baseline engines must produce *correct* algorithm results (same
+// references as GTS) and the paper's qualitative behaviours: system
+// ordering, O.O.M. points, and tuning sensitivity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/reference.h"
+#include "algorithms/wcc.h"  // SymmetrizeEdges
+#include "baselines/bsp_cluster.h"
+#include "baselines/cpu_engine.h"
+#include "baselines/gpu_inmemory.h"
+#include "baselines/totem.h"
+#include "graph/csr_graph.h"
+#include "graph/rmat_generator.h"
+
+namespace gts {
+namespace baselines {
+namespace {
+
+CsrGraph MakeGraph(int scale, double edge_factor, bool symmetric = false,
+                   uint64_t seed = 7) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = edge_factor;
+  p.seed = seed;
+  EdgeList list = std::move(GenerateRmat(p)).ValueOrDie();
+  if (symmetric) list = SymmetrizeEdges(list);
+  return CsrGraph::FromEdgeList(list);
+}
+
+/// A structurally trivial graph with the requested |V| and |E| -- capacity
+/// checks only look at the sizes, so skip the expensive R-MAT generation.
+CsrGraph MakeSizedGraph(VertexId n, EdgeCount m) {
+  std::vector<Edge> edges;
+  edges.reserve(m);
+  for (EdgeCount i = 0; i < m; ++i) {
+    edges.push_back({static_cast<VertexId>(i % n),
+                     static_cast<VertexId>((i + 1) % n)});
+  }
+  return CsrGraph::FromEdgeList(EdgeList(n, std::move(edges)));
+}
+
+VertexId BusySource(const CsrGraph& csr) {
+  VertexId best = 0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (csr.out_degree(v) > csr.out_degree(best)) best = v;
+  }
+  return best;
+}
+
+// ------------------------------------------------------------ BspCluster
+
+class BspSystemsTest : public ::testing::TestWithParam<BspSystem> {};
+
+TEST_P(BspSystemsTest, BfsMatchesReference) {
+  CsrGraph g = MakeGraph(10, 8);
+  auto cluster = BspCluster::Load(&g, GetParam());
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  const VertexId src = BusySource(g);
+  auto run = cluster->RunBfs(src);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->levels, ReferenceBfs(g, src));
+  EXPECT_GT(run->seconds, 0.0);
+  EXPECT_GT(run->supersteps, 1);
+  EXPECT_GT(run->remote_messages, 0u);
+}
+
+TEST_P(BspSystemsTest, PageRankMatchesReference) {
+  CsrGraph g = MakeGraph(9, 8);
+  auto cluster = BspCluster::Load(&g, GetParam());
+  ASSERT_TRUE(cluster.ok());
+  auto run = cluster->RunPageRank(4);
+  ASSERT_TRUE(run.ok()) << run.status();
+  const auto expected = ReferencePageRank(g, 4);
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(run->ranks[v], expected[v], 1e-9) << v;
+  }
+  EXPECT_EQ(run->supersteps, 4);
+}
+
+TEST_P(BspSystemsTest, SsspMatchesDijkstra) {
+  CsrGraph g = MakeGraph(9, 8);
+  auto cluster = BspCluster::Load(&g, GetParam());
+  ASSERT_TRUE(cluster.ok());
+  const VertexId src = BusySource(g);
+  auto run = cluster->RunSssp(src);
+  ASSERT_TRUE(run.ok());
+  const auto expected = ReferenceSssp(g, src);
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    if (std::isinf(expected[v])) {
+      ASSERT_TRUE(std::isinf(run->distances[v])) << v;
+    } else {
+      ASSERT_NEAR(run->distances[v], expected[v], 1e-9) << v;
+    }
+  }
+}
+
+TEST_P(BspSystemsTest, CcMatchesUnionFind) {
+  CsrGraph g = MakeGraph(9, 2, /*symmetric=*/true);
+  auto cluster = BspCluster::Load(&g, GetParam());
+  ASSERT_TRUE(cluster.ok());
+  auto run = cluster->RunCc();
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->labels, ReferenceWcc(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, BspSystemsTest,
+                         ::testing::Values(BspSystem::kGraphX,
+                                           BspSystem::kGiraph,
+                                           BspSystem::kPowerGraph,
+                                           BspSystem::kNaiad),
+                         [](const auto& info) {
+                           return BspSystemName(info.param);
+                         });
+
+TEST(BspClusterTest, PowerGraphFastestGiraphSlowest) {
+  CsrGraph g = MakeGraph(11, 16);
+  const VertexId src = BusySource(g);
+  auto time_of = [&](BspSystem s) {
+    auto cluster = BspCluster::Load(&g, s);
+    return std::move(cluster->RunBfs(src)).ValueOrDie().seconds;
+  };
+  const double powergraph = time_of(BspSystem::kPowerGraph);
+  const double giraph = time_of(BspSystem::kGiraph);
+  const double graphx = time_of(BspSystem::kGraphX);
+  EXPECT_LT(powergraph, graphx);
+  EXPECT_LT(powergraph, giraph);
+}
+
+TEST(BspClusterTest, NaiadRunsOutOfMemoryFirst) {
+  // Section 7.2: "Naiad shows the worst scalability".
+  CsrGraph big = MakeSizedGraph(1 << 20, 16 << 20);  // stands for RMAT30
+  EXPECT_TRUE(
+      BspCluster::Load(&big, BspSystem::kNaiad).status().code() ==
+      StatusCode::kOutOfMemory);
+  auto powergraph = BspCluster::Load(&big, BspSystem::kPowerGraph);
+  EXPECT_TRUE(powergraph.ok()) << powergraph.status();
+}
+
+TEST(BspClusterTest, AllSystemsOomOnRmat31Scale) {
+  CsrGraph huge = MakeSizedGraph(2 << 20, 32 << 20);  // stands for RMAT31
+  for (BspSystem s : {BspSystem::kGraphX, BspSystem::kGiraph,
+                      BspSystem::kPowerGraph, BspSystem::kNaiad}) {
+    EXPECT_EQ(BspCluster::Load(&huge, s).status().code(),
+              StatusCode::kOutOfMemory)
+        << BspSystemName(s);
+  }
+}
+
+TEST(BspClusterTest, CombinerReducesMessages) {
+  CsrGraph g = MakeGraph(10, 16);
+  auto pg = BspCluster::Load(&g, BspSystem::kPowerGraph);
+  auto gi = BspCluster::Load(&g, BspSystem::kGiraph);
+  auto pg_run = std::move(pg->RunPageRank(2)).ValueOrDie();
+  auto gi_run = std::move(gi->RunPageRank(2)).ValueOrDie();
+  EXPECT_LT(pg_run.remote_messages, gi_run.remote_messages / 2);
+}
+
+// ------------------------------------------------------------- CpuEngine
+
+class CpuSystemsTest : public ::testing::TestWithParam<CpuSystem> {};
+
+TEST_P(CpuSystemsTest, BfsAndPageRankMatchReference) {
+  CsrGraph g = MakeGraph(10, 4);
+  auto engine = CpuEngine::Load(&g, GetParam());
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  const VertexId src = BusySource(g);
+  auto bfs = engine->RunBfs(src);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_EQ(bfs->levels, ReferenceBfs(g, src));
+  auto pr = engine->RunPageRank(3);
+  ASSERT_TRUE(pr.ok());
+  const auto expected = ReferencePageRank(g, 3);
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(pr->ranks[v], expected[v], 1e-12) << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, CpuSystemsTest,
+                         ::testing::Values(CpuSystem::kMtgl,
+                                           CpuSystem::kGalois,
+                                           CpuSystem::kLigra),
+                         [](const auto& info) {
+                           std::string name = CpuSystemName(info.param);
+                           name.erase(std::remove(name.begin(), name.end(), '+'),
+                                      name.end());
+                           return name;
+                         });
+
+TEST(CpuEngineTest, LigraPlusUnstableBeyondTwitterScale) {
+  CsrGraph small = MakeGraph(10, 4);  // ~4K vertices, 16K edges
+  EXPECT_TRUE(CpuEngine::Load(&small, CpuSystem::kLigraPlus).ok());
+  CsrGraph big = MakeSizedGraph(1 << 17, 2 << 20);  // the segfault zone
+  EXPECT_EQ(CpuEngine::Load(&big, CpuSystem::kLigraPlus).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(CpuEngineTest, AllOomAtRmat29Scale) {
+  CsrGraph big = MakeSizedGraph(1 << 19, 8 << 20);  // stands for RMAT29
+  for (CpuSystem s :
+       {CpuSystem::kMtgl, CpuSystem::kGalois, CpuSystem::kLigra}) {
+    EXPECT_EQ(CpuEngine::Load(&big, s).status().code(),
+              StatusCode::kOutOfMemory)
+        << CpuSystemName(s);
+  }
+}
+
+TEST(CpuEngineTest, GaloisAndLigraHandleRmat28Scale) {
+  CsrGraph g = MakeSizedGraph(1 << 18, 4 << 20);  // stands for RMAT28
+  EXPECT_TRUE(CpuEngine::Load(&g, CpuSystem::kGalois).ok());
+  EXPECT_TRUE(CpuEngine::Load(&g, CpuSystem::kLigra).ok());
+  // MTGL already fails here (Figure 7 stops MTGL at RMAT27).
+  EXPECT_EQ(CpuEngine::Load(&g, CpuSystem::kMtgl).status().code(),
+            StatusCode::kOutOfMemory);
+}
+
+TEST(CpuEngineTest, LigraBfsFasterThanMtgl) {
+  CsrGraph g = MakeGraph(12, 8);
+  const VertexId src = BusySource(g);
+  auto ligra = std::move(CpuEngine::Load(&g, CpuSystem::kLigra)).ValueOrDie();
+  auto mtgl = std::move(CpuEngine::Load(&g, CpuSystem::kMtgl)).ValueOrDie();
+  EXPECT_LT(std::move(ligra.RunBfs(src)).ValueOrDie().seconds,
+            std::move(mtgl.RunBfs(src)).ValueOrDie().seconds);
+}
+
+// ---------------------------------------------------------- GpuInMemory
+
+TEST(GpuInMemoryTest, ResultsMatchReferenceWhenFitting) {
+  CsrGraph g = MakeGraph(10, 4);
+  GpuInMemoryEngine cusha(&g, GpuSystem::kCuSha);
+  const VertexId src = BusySource(g);
+  auto bfs = cusha.RunBfs(src);
+  ASSERT_TRUE(bfs.ok()) << bfs.status();
+  EXPECT_EQ(bfs->levels, ReferenceBfs(g, src));
+  auto pr = cusha.RunPageRank(3);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_NEAR(pr->ranks[src], ReferencePageRank(g, 3)[src], 1e-12);
+}
+
+TEST(GpuInMemoryTest, CushaBfsFitsTwitterScaleButPrDoesNot) {
+  // Section 7.4: CuSha runs BFS only up to Twitter and no PageRank at all.
+  CsrGraph g = MakeSizedGraph(41'000, 1'434'000);  // Twitter scale
+  GpuInMemoryEngine cusha(&g, GpuSystem::kCuSha);
+  EXPECT_TRUE(cusha.RunBfs(BusySource(g)).ok());
+  EXPECT_TRUE(cusha.RunPageRank(1).status().IsOutOfDeviceMemory());
+}
+
+TEST(GpuInMemoryTest, MapGraphOomEvenForTwitterBfs) {
+  CsrGraph g = MakeSizedGraph(41'000, 1'434'000);
+  GpuInMemoryEngine mapgraph(&g, GpuSystem::kMapGraph);
+  EXPECT_TRUE(mapgraph.RunBfs(BusySource(g)).status().IsOutOfDeviceMemory());
+}
+
+// ----------------------------------------------------------------- TOTEM
+
+TEST(TotemTest, AllAlgorithmsMatchReferences) {
+  CsrGraph g = MakeGraph(10, 8);
+  TotemOptions opts;
+  opts.gpu_fraction = 0.5;
+  auto totem = TotemEngine::Load(&g, opts);
+  ASSERT_TRUE(totem.ok());
+  const VertexId src = BusySource(g);
+
+  EXPECT_EQ(std::move(totem->RunBfs(src)).ValueOrDie().levels,
+            ReferenceBfs(g, src));
+  EXPECT_NEAR(std::move(totem->RunPageRank(3)).ValueOrDie().ranks[src],
+              ReferencePageRank(g, 3)[src], 1e-12);
+  const auto dist = std::move(totem->RunSssp(src)).ValueOrDie().distances;
+  EXPECT_NEAR(dist[src], 0.0, 1e-12);
+  const auto bc = std::move(totem->RunBc(src)).ValueOrDie().bc_deltas;
+  const auto bc_ref = ReferenceBcFromSource(g, src);
+  for (VertexId v = 0; v < bc_ref.size(); ++v) {
+    ASSERT_NEAR(bc[v], bc_ref[v], 1e-9) << v;
+  }
+}
+
+TEST(TotemTest, CcMatchesUnionFindOnSymmetrizedGraph) {
+  CsrGraph g = MakeGraph(9, 2, /*symmetric=*/true);
+  auto totem = TotemEngine::Load(&g, TotemOptions{});
+  ASSERT_TRUE(totem.ok());
+  EXPECT_EQ(std::move(totem->RunCc()).ValueOrDie().labels, ReferenceWcc(g));
+}
+
+TEST(TotemTest, HostCsrOomAtRmat30Scale) {
+  CsrGraph big = MakeSizedGraph(1 << 20, 16 << 20);  // stands for RMAT30
+  EXPECT_EQ(TotemEngine::Load(&big, TotemOptions{}).status().code(),
+            StatusCode::kOutOfMemory);
+  CsrGraph ok = MakeSizedGraph(1 << 19, 8 << 20);  // RMAT29 still loads
+  EXPECT_TRUE(TotemEngine::Load(&ok, TotemOptions{}).ok());
+}
+
+TEST(TotemTest, GpuFractionMattersForPerformance) {
+  // The paper's point about TOTEM: performance depends on hand tuning.
+  CsrGraph g = MakeGraph(11, 16);
+  TotemOptions mostly_cpu;
+  mostly_cpu.gpu_fraction = 0.1;
+  TotemOptions mostly_gpu;
+  mostly_gpu.gpu_fraction = 0.9;
+  auto slow = TotemEngine::Load(&g, mostly_cpu);
+  auto fast = TotemEngine::Load(&g, mostly_gpu);
+  const double t_cpu = std::move(slow->RunPageRank(3)).ValueOrDie().seconds;
+  const double t_gpu = std::move(fast->RunPageRank(3)).ValueOrDie().seconds;
+  EXPECT_GT(t_cpu, t_gpu);
+}
+
+TEST(TotemTest, RecommendedFractionsMatchTable5) {
+  EXPECT_DOUBLE_EQ(RecommendedGpuFraction("RMAT27", false, 1), 0.65);
+  EXPECT_DOUBLE_EQ(RecommendedGpuFraction("RMAT27", true, 1), 0.60);
+  EXPECT_DOUBLE_EQ(RecommendedGpuFraction("RMAT29", true, 2), 0.30);
+  EXPECT_DOUBLE_EQ(RecommendedGpuFraction("Twitter", false, 2), 0.75);
+  EXPECT_DOUBLE_EQ(RecommendedGpuFraction("YahooWeb", true, 1), 0.15);
+  EXPECT_DOUBLE_EQ(RecommendedGpuFraction("unknown", false, 1), 0.5);
+}
+
+TEST(TotemTest, RejectsBadFraction) {
+  CsrGraph g = MakeGraph(8, 4);
+  TotemOptions bad;
+  bad.gpu_fraction = 1.5;
+  EXPECT_EQ(TotemEngine::Load(&g, bad).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace gts

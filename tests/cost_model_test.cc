@@ -1,0 +1,139 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.h"
+#include "algorithms/pagerank.h"
+#include "core/engine.h"
+#include "graph/csr_graph.h"
+#include "graph/rmat_generator.h"
+#include "storage/page_builder.h"
+
+namespace gts {
+namespace {
+
+TimeModel SimpleModel() {
+  TimeModel tm;
+  tm.c1 = 16e9;
+  tm.c2 = 6e9;
+  tm.kernel_launch_overhead = 1e-6;
+  tm.sync_overhead = 1e-4;
+  return tm;
+}
+
+TEST(CostModelTest, PageRankEq1Terms) {
+  TimeModel tm = SimpleModel();
+  PageRankCostInputs in;
+  in.wa_bytes = 16'000'000;   // 16 MB
+  in.ra_bytes = 16'000'000;
+  in.sp_bytes = 60'000'000;
+  in.lp_bytes = 4'000'000;
+  in.num_pages = 1000;
+  in.last_kernel_seconds = 0.005;
+  in.num_gpus = 1;
+  const double expected = 2.0 * 16e6 / 16e9 +      // chunk copies
+                          80e6 / 6e9 +             // streaming
+                          1000 * 1e-6 +            // t_call
+                          0.005 +                  // last kernels
+                          1e-4;                    // t_sync
+  EXPECT_NEAR(PageRankLikeCost(in, tm), expected, 1e-9);
+}
+
+TEST(CostModelTest, PageRankStreamTermDividesByGpus) {
+  TimeModel tm = SimpleModel();
+  PageRankCostInputs in;
+  in.wa_bytes = 1'000'000;
+  in.sp_bytes = 100'000'000;
+  in.num_pages = 2000;
+  auto one = PageRankLikeCost(in, tm);
+  in.num_gpus = 2;
+  auto two = PageRankLikeCost(in, tm);
+  // Streaming and call terms halve; chunk term does not; sync grows.
+  EXPECT_LT(two, one);
+  EXPECT_GT(two, one / 2);
+}
+
+TEST(CostModelTest, BfsEq2SumsLevels) {
+  TimeModel tm = SimpleModel();
+  BfsCostInputs in;
+  in.wa_bytes = 2'000'000;
+  in.levels = {{1'000'000, 10}, {8'000'000, 80}, {500'000, 5}};
+  const double expected = 2.0 * 2e6 / 16e9 + (9.5e6 / 6e9) + 95 * 1e-6;
+  EXPECT_NEAR(BfsLikeCost(in, tm), expected, 1e-9);
+}
+
+TEST(CostModelTest, BfsCacheHitsReduceTransfers) {
+  TimeModel tm = SimpleModel();
+  BfsCostInputs in;
+  in.levels = {{50'000'000, 100}, {50'000'000, 100}};
+  const double cold = BfsLikeCost(in, tm);
+  in.hit_rate = 0.5;
+  const double warm = BfsLikeCost(in, tm);
+  EXPECT_LT(warm, cold);
+  // Only the byte term shrinks, so halving transfers less than halves.
+  EXPECT_GT(warm, cold / 2);
+}
+
+TEST(CostModelTest, BfsSkewSlowsDown) {
+  TimeModel tm = SimpleModel();
+  BfsCostInputs in;
+  in.num_gpus = 2;
+  in.levels = {{10'000'000, 50}};
+  in.dskew = 1.0;
+  const double balanced = BfsLikeCost(in, tm);
+  in.dskew = 0.5;  // fully imbalanced: like one GPU
+  const double skewed = BfsLikeCost(in, tm);
+  EXPECT_NEAR(skewed, 2.0 * (balanced - 2.0 * in.wa_bytes / tm.c1) +
+                          2.0 * in.wa_bytes / tm.c1,
+              1e-9);
+}
+
+TEST(CostModelTest, SuggestNumStreamsFollowsSection32Rule) {
+  // Kernel k times the transfer -> k+1 streams keeps the copy engine busy.
+  EXPECT_EQ(SuggestNumStreams(1.0, 3.0), 4);     // BFS Twitter, 1:3
+  EXPECT_EQ(SuggestNumStreams(1.0, 20.0), 21);   // PageRank Twitter, 1:20
+  EXPECT_EQ(SuggestNumStreams(2.0, 1.0), 2);     // YahooWeb BFS, 2:1
+  EXPECT_EQ(SuggestNumStreams(1.0, 100.0), 32);  // capped at the CUDA limit
+  EXPECT_EQ(SuggestNumStreams(0.0, 5.0), 32);    // degenerate: max depth
+  EXPECT_EQ(SuggestNumStreams(1.0, 50.0, 16), 16);
+}
+
+TEST(CostModelTest, HitRateApproximation) {
+  EXPECT_DOUBLE_EQ(ApproximateHitRate(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(ApproximateHitRate(25, 100), 0.25);
+  EXPECT_DOUBLE_EQ(ApproximateHitRate(200, 100), 1.0);
+  EXPECT_DOUBLE_EQ(ApproximateHitRate(10, 0), 0.0);
+}
+
+// The closed-form model and the discrete-event simulator must agree on
+// tendency for a real workload (Section 7.5 does this arithmetic).
+TEST(CostModelTest, Eq1TracksSimulatorWithinFactorTwo) {
+  RmatParams p;
+  p.scale = 11;
+  p.edge_factor = 16;
+  EdgeList list = std::move(GenerateRmat(p)).ValueOrDie();
+  CsrGraph csr = CsrGraph::FromEdgeList(list);
+  PagedGraph paged =
+      std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+  auto store = MakeInMemoryStore(&paged);
+  MachineConfig machine = MachineConfig::PaperScaled(1);
+  machine.device_memory = 32 * kMiB;
+  GtsOptions opts;
+  opts.num_streams = 32;
+  GtsEngine engine(&paged, store.get(), machine, opts);
+  auto run = std::move(RunPageRankGts(engine, 1)).ValueOrDie();
+
+  PageRankCostInputs in;
+  in.wa_bytes = csr.num_vertices() * 4;
+  in.ra_bytes = csr.num_vertices() * 4;
+  in.sp_bytes = paged.num_small_pages() * paged.config().page_size;
+  in.lp_bytes = paged.num_large_pages() * paged.config().page_size;
+  in.num_pages = paged.num_pages();
+  in.num_gpus = 1;
+  const double model = PageRankLikeCost(in, machine.time_model);
+  EXPECT_GT(run.total.sim_seconds, 0.4 * model);
+  EXPECT_LT(run.total.sim_seconds, 2.5 * model);
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,133 @@
+// Boundary conditions: degenerate graphs and misuse of the storage layer
+// must behave predictably.
+#include <gtest/gtest.h>
+
+#include "algorithms/bfs.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/wcc.h"
+#include "core/engine.h"
+#include "graph/csr_graph.h"
+#include "storage/page_builder.h"
+#include "storage/page_store.h"
+
+namespace gts {
+namespace {
+
+MachineConfig SmallMachine() {
+  MachineConfig m = MachineConfig::PaperScaled(1);
+  m.device_memory = 8 * kMiB;
+  return m;
+}
+
+struct Built {
+  CsrGraph csr;
+  PagedGraph paged;
+  std::unique_ptr<PageStore> store;
+};
+
+Built Build(EdgeList edges) {
+  Built b;
+  b.csr = CsrGraph::FromEdgeList(edges);
+  b.paged =
+      std::move(BuildPagedGraph(b.csr, PageConfig{2, 2, 1 * kKiB})).ValueOrDie();
+  b.store = MakeInMemoryStore(&b.paged);
+  return b;
+}
+
+TEST(EdgeCasesTest, SingleVertexNoEdges) {
+  Built b = Build(EdgeList(1, {}));
+  EXPECT_EQ(b.paged.num_pages(), 1u);
+  GtsEngine engine(&b.paged, b.store.get(), SmallMachine(), GtsOptions{});
+
+  auto bfs = RunBfsGts(engine, 0);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_EQ(bfs->levels[0], 0);
+  EXPECT_EQ(bfs->metrics.levels, 1);
+
+  auto pr = RunPageRankGts(engine, 2);
+  ASSERT_TRUE(pr.ok());
+  // No edges: only the base term survives.
+  EXPECT_NEAR(pr->ranks[0], 0.15f, 1e-6);
+}
+
+TEST(EdgeCasesTest, AllVerticesIsolated) {
+  Built b = Build(EdgeList(500, {}));
+  GtsEngine engine(&b.paged, b.store.get(), SmallMachine(), GtsOptions{});
+  auto bfs = RunBfsGts(engine, 42);
+  ASSERT_TRUE(bfs.ok());
+  for (VertexId v = 0; v < 500; ++v) {
+    EXPECT_EQ(bfs->levels[v], v == 42 ? 0 : BfsKernel::kUnvisited);
+  }
+  auto wcc = RunWccGts(engine);
+  ASSERT_TRUE(wcc.ok());
+  for (VertexId v = 0; v < 500; ++v) EXPECT_EQ(wcc->labels[v], v);
+}
+
+TEST(EdgeCasesTest, SelfLoopsOnly) {
+  EdgeList edges(3, {{0, 0}, {1, 1}, {2, 2}});
+  Built b = Build(edges);
+  GtsEngine engine(&b.paged, b.store.get(), SmallMachine(), GtsOptions{});
+  auto bfs = RunBfsGts(engine, 1);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_EQ(bfs->levels[1], 0);
+  EXPECT_EQ(bfs->levels[0], BfsKernel::kUnvisited);
+  auto pr = RunPageRankGts(engine, 3);
+  ASSERT_TRUE(pr.ok());  // each vertex feeds rank to itself
+  EXPECT_NEAR(pr->ranks[0], 1.0f / 3.0f, 1e-4);
+}
+
+TEST(EdgeCasesTest, TwoVertexCycle) {
+  EdgeList edges(2, {{0, 1}, {1, 0}});
+  Built b = Build(edges);
+  GtsEngine engine(&b.paged, b.store.get(), SmallMachine(), GtsOptions{});
+  auto bfs = RunBfsGts(engine, 0);
+  ASSERT_TRUE(bfs.ok());
+  EXPECT_EQ(bfs->levels[0], 0);
+  EXPECT_EQ(bfs->levels[1], 1);
+  EXPECT_EQ(bfs->metrics.levels, 2);
+  auto pr = RunPageRankGts(engine, 10);
+  ASSERT_TRUE(pr.ok());
+  EXPECT_NEAR(pr->ranks[0], 0.5f, 1e-4);
+  EXPECT_NEAR(pr->ranks[1], 0.5f, 1e-4);
+}
+
+TEST(EdgeCasesTest, EmptyGraphBuilds) {
+  CsrGraph csr = CsrGraph::FromEdgeList(EdgeList(0, {}));
+  auto built = BuildPagedGraph(csr, PageConfig::Small22());
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->num_pages(), 0u);
+  EXPECT_EQ(built->TotalTopologyBytes(), 0u);
+}
+
+TEST(EdgeCasesTest, FetchBeforeInitFailsCleanly) {
+  EdgeList edges(4, {{0, 1}});
+  CsrGraph csr = CsrGraph::FromEdgeList(edges);
+  PagedGraph paged =
+      std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+  std::vector<std::unique_ptr<StorageDevice>> devices;
+  devices.push_back(std::make_unique<MemoryDevice>());
+  PageStore store(&paged, std::move(devices), kMiB);
+  EXPECT_EQ(store.Fetch(0).status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(EdgeCasesTest, StarGraphHubAsLpRun) {
+  // One hub pointing at 5000 leaves: the hub spans many LP chunks, every
+  // leaf is reached at level 1 through the expanded chunk run.
+  EdgeList edges;
+  edges.set_num_vertices(5001);
+  for (VertexId v = 1; v <= 5000; ++v) edges.Add(0, v);
+  Built b = Build(std::move(edges));
+  ASSERT_GT(b.paged.num_large_pages(), 10u);
+  MachineConfig machine = MachineConfig::PaperScaled(1);
+  machine.device_memory = 16 * kMiB;
+  GtsEngine engine(&b.paged, b.store.get(), machine, GtsOptions{});
+  auto bfs = RunBfsGts(engine, 0);
+  ASSERT_TRUE(bfs.ok());
+  for (VertexId v = 1; v <= 5000; ++v) {
+    ASSERT_EQ(bfs->levels[v], 1) << v;
+  }
+  EXPECT_EQ(bfs->metrics.levels, 2);
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,110 @@
+#include "baselines/edge_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "algorithms/reference.h"
+#include "graph/csr_graph.h"
+#include "graph/rmat_generator.h"
+
+namespace gts {
+namespace baselines {
+namespace {
+
+CsrGraph MakeGraph(int scale, double ef) {
+  RmatParams p;
+  p.scale = scale;
+  p.edge_factor = ef;
+  p.seed = 17;
+  return CsrGraph::FromEdgeList(std::move(GenerateRmat(p)).ValueOrDie());
+}
+
+/// A path graph of length n: worst case for edge streaming (depth = n).
+CsrGraph MakePath(VertexId n) {
+  EdgeList list;
+  list.set_num_vertices(n);
+  for (VertexId v = 0; v + 1 < n; ++v) list.Add(v, v + 1);
+  return CsrGraph::FromEdgeList(list);
+}
+
+TEST(EdgeStreamTest, BfsMatchesReference) {
+  CsrGraph g = MakeGraph(10, 8);
+  EdgeStreamEngine engine(&g, OocSystem::kXStreamLike);
+  VertexId src = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (g.out_degree(v) > g.out_degree(src)) src = v;
+  }
+  auto run = engine.RunBfs(src);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->levels, ReferenceBfs(g, src));
+}
+
+TEST(EdgeStreamTest, PageRankMatchesReference) {
+  CsrGraph g = MakeGraph(9, 8);
+  EdgeStreamEngine engine(&g, OocSystem::kGraphChiLike);
+  auto run = engine.RunPageRank(3);
+  ASSERT_TRUE(run.ok());
+  const auto expected = ReferencePageRank(g, 3);
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(run->ranks[v], expected[v], 1e-12) << v;
+  }
+  EXPECT_EQ(run->iterations, 3);
+}
+
+TEST(EdgeStreamTest, OneFullStreamPerBfsLevel) {
+  CsrGraph g = MakePath(50);
+  EdgeStreamEngine engine(&g, OocSystem::kXStreamLike);
+  auto run = engine.RunBfs(0);
+  ASSERT_TRUE(run.ok());
+  // Depth-49 path: 49 levels with out-edges -> 49 full edge streams.
+  EXPECT_EQ(run->iterations, 50);
+  EXPECT_EQ(run->bytes_streamed,
+            static_cast<uint64_t>(run->iterations) * g.num_edges() * 8);
+}
+
+TEST(EdgeStreamTest, HighDiameterExplodesTraversalCost) {
+  // Same |V|,|E|: path vs star. Edge streaming should be vastly slower on
+  // the path (Section 8's YahooWeb argument); PageRank cost is identical.
+  CsrGraph path = MakePath(2000);
+  EdgeList star_list;
+  star_list.set_num_vertices(2000);
+  for (VertexId v = 1; v < 2000; ++v) star_list.Add(0, v);
+  CsrGraph star = CsrGraph::FromEdgeList(star_list);
+
+  EdgeStreamEngine path_engine(&path, OocSystem::kXStreamLike);
+  EdgeStreamEngine star_engine(&star, OocSystem::kXStreamLike);
+  const double path_bfs =
+      std::move(path_engine.RunBfs(0)).ValueOrDie().seconds;
+  const double star_bfs =
+      std::move(star_engine.RunBfs(0)).ValueOrDie().seconds;
+  EXPECT_GT(path_bfs, 100 * star_bfs);
+
+  const double path_pr =
+      std::move(path_engine.RunPageRank(2)).ValueOrDie().seconds;
+  const double star_pr =
+      std::move(star_engine.RunPageRank(2)).ValueOrDie().seconds;
+  EXPECT_NEAR(path_pr, star_pr, path_pr * 0.05);
+}
+
+TEST(EdgeStreamTest, GraphChiSlowerThanXStream) {
+  CsrGraph g = MakeGraph(10, 16);
+  EdgeStreamEngine xs(&g, OocSystem::kXStreamLike);
+  EdgeStreamEngine gc(&g, OocSystem::kGraphChiLike);
+  EXPECT_LT(std::move(xs.RunPageRank(2)).ValueOrDie().seconds,
+            std::move(gc.RunPageRank(2)).ValueOrDie().seconds);
+}
+
+TEST(EdgeStreamTest, PartitionCountGrowsWithVertices) {
+  CsrGraph small = MakeGraph(8, 2);
+  CsrGraph big = MakePath(20'000'000);  // 480 MB of vertex state
+  OocConfig config;
+  EXPECT_EQ(EdgeStreamEngine(&small, OocSystem::kXStreamLike, config)
+                .NumPartitions(),
+            1);
+  EXPECT_GT(
+      EdgeStreamEngine(&big, OocSystem::kXStreamLike, config).NumPartitions(),
+      3);
+}
+
+}  // namespace
+}  // namespace baselines
+}  // namespace gts

@@ -1,0 +1,190 @@
+// RWR, degree distribution, and K-core -- the additional Section 3.3
+// algorithms -- validated against references.
+#include <gtest/gtest.h>
+
+#include "algorithms/degree.h"
+#include "algorithms/kcore.h"
+#include "algorithms/rwr.h"
+#include "algorithms/wcc.h"
+#include "core/engine.h"
+#include "graph/csr_graph.h"
+#include "graph/degree.h"
+#include "graph/rmat_generator.h"
+#include "storage/page_builder.h"
+
+namespace gts {
+namespace {
+
+struct Fixture {
+  EdgeList edges;
+  CsrGraph csr;
+  PagedGraph paged;
+  std::unique_ptr<PageStore> store;
+  MachineConfig machine;
+
+  explicit Fixture(int scale = 10, double ef = 8, bool symmetric = false,
+                   PageConfig config = PageConfig{2, 2, 1 * kKiB}) {
+    RmatParams p;
+    p.scale = scale;
+    p.edge_factor = ef;
+    p.seed = 123;
+    edges = std::move(GenerateRmat(p)).ValueOrDie();
+    if (symmetric) edges = SymmetrizeEdges(edges);
+    csr = CsrGraph::FromEdgeList(edges);
+    paged = std::move(BuildPagedGraph(csr, config)).ValueOrDie();
+    store = MakeInMemoryStore(&paged);
+    machine = MachineConfig::PaperScaled(1);
+    machine.device_memory = 32 * kMiB;
+  }
+
+  VertexId Busy() const {
+    VertexId best = 0;
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+      if (csr.out_degree(v) > csr.out_degree(best)) best = v;
+    }
+    return best;
+  }
+};
+
+// ------------------------------------------------------------------ RWR
+
+TEST(RwrTest, MatchesReference) {
+  Fixture f;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  const VertexId seed = f.Busy();
+  auto result = RunRwrGts(engine, seed, 5);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto expected = ReferenceRwr(f.csr, seed, 5);
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result->scores[v], expected[v], 1e-4 * (1.0 + expected[v]))
+        << "vertex " << v;
+  }
+}
+
+TEST(RwrTest, SeedKeepsLargestScore) {
+  Fixture f;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  const VertexId seed = f.Busy();
+  auto result = RunRwrGts(engine, seed, 8);
+  ASSERT_TRUE(result.ok());
+  for (VertexId v = 0; v < result->scores.size(); ++v) {
+    EXPECT_LE(result->scores[v], result->scores[seed] + 1e-6);
+  }
+}
+
+TEST(RwrTest, WorksWithLargePagesAndStrategyS) {
+  Fixture f(9, 16, false, PageConfig{2, 2, 512});
+  ASSERT_GT(f.paged.num_large_pages(), 0u);
+  GtsOptions opts;
+  opts.strategy = Strategy::kScalability;
+  f.machine.num_gpus = 2;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, opts);
+  const VertexId seed = f.Busy();
+  auto result = RunRwrGts(engine, seed, 4);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto expected = ReferenceRwr(f.csr, seed, 4);
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result->scores[v], expected[v], 1e-4 * (1.0 + expected[v]))
+        << "vertex " << v;
+  }
+}
+
+TEST(RwrTest, RejectsBadInputs) {
+  Fixture f(8, 4);
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  EXPECT_EQ(RunRwrGts(engine, f.csr.num_vertices() + 1, 3).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(RunRwrGts(engine, 0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// --------------------------------------------------------------- Degree
+
+TEST(DegreeGtsTest, MatchesCsrDegrees) {
+  Fixture f(10, 8);
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  auto result = RunDegreeGts(engine);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (VertexId v = 0; v < f.csr.num_vertices(); ++v) {
+    ASSERT_EQ(result->degrees[v], f.csr.out_degree(v)) << "vertex " << v;
+  }
+}
+
+TEST(DegreeGtsTest, LpChunksSumToTotalDegree) {
+  Fixture f(9, 16, false, PageConfig{2, 2, 512});
+  ASSERT_GT(f.paged.num_large_pages(), 0u);
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  auto result = RunDegreeGts(engine);
+  ASSERT_TRUE(result.ok());
+  for (VertexId v = 0; v < f.csr.num_vertices(); ++v) {
+    ASSERT_EQ(result->degrees[v], f.csr.out_degree(v)) << "vertex " << v;
+  }
+}
+
+TEST(DegreeGtsTest, HistogramMatchesGraphModule) {
+  Fixture f(10, 8);
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  auto result = RunDegreeGts(engine);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->histogram_log2, DegreeHistogramLog2(f.csr));
+}
+
+// ---------------------------------------------------------------- K-core
+
+class KcoreSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(KcoreSweepTest, MatchesReferencePeeling) {
+  Fixture f(10, 4, /*symmetric=*/true);
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  const uint32_t k = GetParam();
+  auto result = RunKcoreGts(engine, k);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto expected = ReferenceKcore(f.csr, k);
+  EXPECT_EQ(result->in_core, expected);
+  uint64_t expected_size = 0;
+  for (uint8_t alive : expected) expected_size += alive;
+  EXPECT_EQ(result->core_size, expected_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, KcoreSweepTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+TEST(KcoreTest, CoreSizesAreMonotoneInK) {
+  Fixture f(10, 6, /*symmetric=*/true);
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  uint64_t prev = f.csr.num_vertices();
+  for (uint32_t k : {1u, 2u, 4u, 8u, 12u}) {
+    auto result = RunKcoreGts(engine, k);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->core_size, prev) << "k=" << k;
+    prev = result->core_size;
+  }
+}
+
+TEST(KcoreTest, CoreVerticesHaveKNeighborsInCore) {
+  Fixture f(10, 6, /*symmetric=*/true);
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  const uint32_t k = 4;
+  auto result = RunKcoreGts(engine, k);
+  ASSERT_TRUE(result.ok());
+  for (VertexId v = 0; v < f.csr.num_vertices(); ++v) {
+    if (!result->in_core[v]) continue;
+    uint32_t in_core_neighbors = 0;
+    for (VertexId w : f.csr.neighbors(v)) {
+      in_core_neighbors += result->in_core[w];
+    }
+    EXPECT_GE(in_core_neighbors, k) << "vertex " << v;
+  }
+}
+
+TEST(KcoreTest, WithLargePages) {
+  Fixture f(9, 8, /*symmetric=*/true, PageConfig{2, 2, 512});
+  ASSERT_GT(f.paged.num_large_pages(), 0u);
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  auto result = RunKcoreGts(engine, 6);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->in_core, ReferenceKcore(f.csr, 6));
+}
+
+}  // namespace
+}  // namespace gts

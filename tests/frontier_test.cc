@@ -1,0 +1,79 @@
+#include "core/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace gts {
+namespace {
+
+TEST(PidSetTest, SetTestClear) {
+  PidSet set(100);
+  EXPECT_TRUE(set.Empty());
+  set.Set(0);
+  set.Set(63);
+  set.Set(64);
+  set.Set(99);
+  EXPECT_TRUE(set.Test(0));
+  EXPECT_TRUE(set.Test(63));
+  EXPECT_TRUE(set.Test(64));
+  EXPECT_TRUE(set.Test(99));
+  EXPECT_FALSE(set.Test(1));
+  EXPECT_FALSE(set.Empty());
+  EXPECT_EQ(set.Count(), 4u);
+  set.Clear();
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.Count(), 0u);
+}
+
+TEST(PidSetTest, ToVectorAscending) {
+  PidSet set(200);
+  for (PageId pid : {150u, 3u, 64u, 65u}) set.Set(pid);
+  EXPECT_EQ(set.ToVector(), (std::vector<PageId>{3, 64, 65, 150}));
+}
+
+TEST(PidSetTest, UnionMerges) {
+  PidSet a(128);
+  PidSet b(128);
+  a.Set(1);
+  a.Set(100);
+  b.Set(100);
+  b.Set(127);
+  a.Union(b);
+  EXPECT_EQ(a.ToVector(), (std::vector<PageId>{1, 100, 127}));
+  // b unchanged.
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(PidSetTest, IdempotentSet) {
+  PidSet set(10);
+  set.Set(5);
+  set.Set(5);
+  EXPECT_EQ(set.Count(), 1u);
+}
+
+TEST(PidSetTest, ByteSizeCoversAllPages) {
+  PidSet small(1);
+  EXPECT_EQ(small.ByteSize(), 8u);
+  PidSet exact(64);
+  EXPECT_EQ(exact.ByteSize(), 8u);
+  PidSet above(65);
+  EXPECT_EQ(above.ByteSize(), 16u);
+}
+
+TEST(PidSetTest, ConcurrentSetsAreAllVisible) {
+  constexpr size_t kPages = 4096;
+  PidSet set(kPages);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&set, t] {
+      for (PageId pid = t; pid < kPages; pid += 4) set.Set(pid);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(set.Count(), kPages);
+}
+
+}  // namespace
+}  // namespace gts

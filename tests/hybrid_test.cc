@@ -1,0 +1,151 @@
+// The Section 9 future-work extension: hybrid CPU+GPU co-processing of the
+// page stream. Results must stay exact; timing must show the expected
+// offload behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "algorithms/bfs.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/reference.h"
+#include "algorithms/sssp.h"
+#include "core/engine.h"
+#include "graph/csr_graph.h"
+#include "graph/rmat_generator.h"
+#include "storage/page_builder.h"
+
+namespace gts {
+namespace {
+
+struct Fixture {
+  EdgeList edges;
+  CsrGraph csr;
+  PagedGraph paged;
+  std::unique_ptr<PageStore> store;
+  MachineConfig machine;
+
+  explicit Fixture(int scale = 10, double ef = 8) {
+    RmatParams p;
+    p.scale = scale;
+    p.edge_factor = ef;
+    p.seed = 31;
+    edges = std::move(GenerateRmat(p)).ValueOrDie();
+    csr = CsrGraph::FromEdgeList(edges);
+    paged = std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+    store = MakeInMemoryStore(&paged);
+    machine = MachineConfig::PaperScaled(1);
+    machine.device_memory = 32 * kMiB;
+  }
+
+  VertexId Busy() const {
+    VertexId best = 0;
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+      if (csr.out_degree(v) > csr.out_degree(best)) best = v;
+    }
+    return best;
+  }
+};
+
+GtsOptions Hybrid(double fraction) {
+  GtsOptions opts;
+  opts.cpu_assist_fraction = fraction;
+  return opts;
+}
+
+TEST(HybridTest, BfsMatchesReference) {
+  Fixture f;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, Hybrid(0.3));
+  const VertexId source = f.Busy();
+  auto result = RunBfsGts(engine, source);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto expected = ReferenceBfs(f.csr, source);
+  for (VertexId v = 0; v < f.csr.num_vertices(); ++v) {
+    const uint32_t want =
+        expected[v] == kUnreachedLevel ? BfsKernel::kUnvisited : expected[v];
+    ASSERT_EQ(result->levels[v], want) << "vertex " << v;
+  }
+  EXPECT_GT(result->metrics.cpu_pages, 0u);
+  EXPECT_GT(result->metrics.pages_streamed, 0u);
+}
+
+TEST(HybridTest, PageRankMatchesReference) {
+  Fixture f;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, Hybrid(0.4));
+  auto result = RunPageRankGts(engine, 4);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto expected = ReferencePageRank(f.csr, 4);
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    ASSERT_NEAR(result->ranks[v], expected[v], 3e-4 * (1.0 + expected[v]))
+        << "vertex " << v;
+  }
+}
+
+TEST(HybridTest, SsspMatchesReferenceWithTwoGpus) {
+  Fixture f;
+  f.machine.num_gpus = 2;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, Hybrid(0.25));
+  const VertexId source = f.Busy();
+  auto result = RunSsspGts(engine, source);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const auto expected = ReferenceSssp(f.csr, source);
+  for (VertexId v = 0; v < expected.size(); ++v) {
+    if (!std::isinf(expected[v])) {
+      ASSERT_NEAR(result->distances[v], expected[v], 1e-3) << "vertex " << v;
+    }
+  }
+}
+
+TEST(HybridTest, FractionSplitsThePageStream) {
+  Fixture f;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, Hybrid(0.5));
+  auto result = RunPageRankGts(engine, 1);
+  ASSERT_TRUE(result.ok());
+  const uint64_t total =
+      result->total.pages_streamed + result->total.cpu_pages;
+  EXPECT_EQ(total, f.paged.num_pages());
+  // Roughly half each (hash-based split).
+  EXPECT_GT(result->total.cpu_pages, total / 4);
+  EXPECT_GT(result->total.pages_streamed, total / 4);
+}
+
+TEST(HybridTest, ZeroFractionIsPureGts) {
+  Fixture f;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, Hybrid(0.0));
+  auto result = RunPageRankGts(engine, 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->total.cpu_pages, 0u);
+  EXPECT_EQ(result->total.pages_streamed, f.paged.num_pages());
+}
+
+TEST(HybridTest, OffloadSweepHasTheExpectedShape) {
+  // The paper only *hypothesizes* hybrid CPU+GPU beats pure GPU; what must
+  // hold in the model is the trade-off shape: a small offload changes
+  // little (transfers shrink, CPU picks up slack), while a large offload
+  // makes the slower CPUs the bottleneck.
+  Fixture f(12, 16);
+  auto time_at = [&](double fraction) {
+    GtsOptions opts = Hybrid(fraction);
+    opts.num_streams = 32;
+    GtsEngine engine(&f.paged, f.store.get(), f.machine, opts);
+    return std::move(RunPageRankGts(engine, 2)).ValueOrDie().total.sim_seconds;
+  };
+  const double t00 = time_at(0.0);
+  const double t01 = time_at(0.1);
+  const double t08 = time_at(0.8);
+  EXPECT_GT(t08, t01);        // heavy offload saturates the CPUs
+  EXPECT_GT(t08, 1.5 * t00);  // ...well past the pure-GPU time
+  EXPECT_LT(t01, 2.0 * t00);  // light offload stays in the same ballpark
+}
+
+TEST(HybridTest, RejectsStrategySForScans) {
+  Fixture f;
+  f.machine.num_gpus = 2;
+  GtsOptions opts = Hybrid(0.3);
+  opts.strategy = Strategy::kScalability;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, opts);
+  EXPECT_EQ(RunPageRankGts(engine, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace gts

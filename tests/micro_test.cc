@@ -1,0 +1,136 @@
+// Micro-level parallel processing (Section 6.2 / Appendix E): warp-cycle
+// and memory-transaction accounting per strategy.
+#include "core/micro.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "storage/page_builder.h"
+
+namespace gts {
+namespace {
+
+/// Builds a single page containing vertices with the given degrees (each
+/// vertex's neighbors are vertex 0, arbitrarily).
+PagedGraph PageWithDegrees(const std::vector<uint32_t>& degrees,
+                           uint64_t page_size = 64 * kKiB) {
+  EdgeList list;
+  VertexId n = degrees.size();
+  list.set_num_vertices(n);
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t j = 0; j < degrees[v]; ++j) {
+      list.Add(v, j % n);
+    }
+  }
+  CsrGraph csr = CsrGraph::FromEdgeList(list);
+  return std::move(BuildPagedGraph(csr, PageConfig{2, 2, page_size}))
+      .ValueOrDie();
+}
+
+WorkStats RunWith(const PagedGraph& g, MicroStrategy micro,
+                  bool all_active = true) {
+  PageView page = g.view(g.small_page_ids().at(0));
+  uint64_t edges_seen = 0;
+  WorkStats stats = ProcessSpPage(
+      page, micro, page.slot_vid(0),
+      [&](VertexId vid, uint32_t) { return all_active || (vid % 2 == 0); },
+      [&](VertexId, uint32_t, uint32_t, const RecordId&) { ++edges_seen; });
+  EXPECT_EQ(stats.edges_processed, edges_seen);
+  return stats;
+}
+
+TEST(MicroTest, EdgeCentricCountsCoalescedTransactions) {
+  PagedGraph g = PageWithDegrees({10, 10, 10, 10});
+  WorkStats stats = RunWith(g, MicroStrategy::kEdgeCentric);
+  EXPECT_EQ(stats.scanned_slots, 4u);
+  EXPECT_EQ(stats.active_vertices, 4u);
+  EXPECT_EQ(stats.edges_processed, 40u);
+  EXPECT_EQ(stats.mem_transactions, 40u);
+  // 1 scan cycle (4 slots < 32) + 4 x ceil(10/32).
+  EXPECT_EQ(stats.warp_cycles, 1u + 4u);
+}
+
+TEST(MicroTest, VertexCentricPaysDivergenceAndNonCoalescing) {
+  PagedGraph g = PageWithDegrees({100, 1, 1, 1});
+  WorkStats edge = RunWith(g, MicroStrategy::kEdgeCentric);
+  WorkStats vertex = RunWith(g, MicroStrategy::kVertexCentric);
+  EXPECT_EQ(vertex.mem_transactions, kNonCoalescedFactor * 103u);
+  // One warp of 4 slots; its slowest lane has 100 edges.
+  EXPECT_EQ(vertex.warp_cycles, 1u + kDivergencePenalty * 100u);
+  EXPECT_GT(vertex.warp_cycles + vertex.mem_transactions,
+            edge.warp_cycles + edge.mem_transactions);
+}
+
+TEST(MicroTest, InactiveVerticesCostOnlyScan) {
+  PagedGraph g = PageWithDegrees({16, 16, 16, 16});
+  WorkStats all = RunWith(g, MicroStrategy::kEdgeCentric, true);
+  WorkStats half = RunWith(g, MicroStrategy::kEdgeCentric, false);
+  EXPECT_LT(half.edges_processed, all.edges_processed);
+  EXPECT_LT(half.warp_cycles, all.warp_cycles);
+  EXPECT_EQ(half.scanned_slots, all.scanned_slots);
+}
+
+TEST(MicroTest, HybridNeverWorseThanBothPredictors) {
+  for (uint32_t uniform_degree : {1u, 4u, 32u, 200u}) {
+    std::vector<uint32_t> degrees(40, uniform_degree);
+    degrees[7] = 500;  // one hub for skew
+    PagedGraph g = PageWithDegrees(degrees);
+    WorkStats edge = RunWith(g, MicroStrategy::kEdgeCentric);
+    WorkStats vertex = RunWith(g, MicroStrategy::kVertexCentric);
+    WorkStats hybrid = RunWith(g, MicroStrategy::kHybrid);
+    const auto metric = [](const WorkStats& s) {
+      return s.warp_cycles + kHybridMemWeight * s.mem_transactions;
+    };
+    EXPECT_LE(metric(hybrid), std::min(metric(edge), metric(vertex)))
+        << "degree " << uniform_degree;
+    // All strategies do the same real work.
+    EXPECT_EQ(hybrid.edges_processed, edge.edges_processed);
+  }
+}
+
+TEST(MicroTest, LpPageAccounting) {
+  // One vertex with 5000 neighbors in 64 KiB pages -> still one LP chunk.
+  EdgeList list;
+  list.set_num_vertices(5001);
+  for (uint32_t j = 0; j < 5000; ++j) list.Add(0, j + 1);
+  CsrGraph csr = CsrGraph::FromEdgeList(list);
+  PagedGraph g = std::move(BuildPagedGraph(csr, PageConfig{2, 2, 1 * kKiB}))
+                     .ValueOrDie();
+  ASSERT_GT(g.num_large_pages(), 1u);
+  PageView lp = g.view(g.large_page_ids().at(0));
+  uint64_t edges = 0;
+  WorkStats active = ProcessLpPage(
+      lp, 0, true, [&](VertexId, uint32_t, const RecordId&) { ++edges; });
+  EXPECT_EQ(active.edges_processed, edges);
+  EXPECT_EQ(active.mem_transactions, edges);
+  EXPECT_EQ(active.warp_cycles, 1 + (edges + 31) / 32);
+
+  WorkStats inactive = ProcessLpPage(
+      lp, 0, false, [&](VertexId, uint32_t, const RecordId&) { ++edges; });
+  EXPECT_EQ(inactive.edges_processed, 0u);
+  EXPECT_EQ(inactive.warp_cycles, 1u);
+}
+
+TEST(MicroTest, DenserPagesWidenTheVertexCentricGap) {
+  // The Figure 14 trend: vertex-centric falls further behind as density
+  // grows (time metric = cycles + mem transactions).
+  double prev_ratio = 0.0;
+  for (uint32_t degree : {4u, 8u, 16u, 32u}) {
+    std::vector<uint32_t> degrees(64, degree);
+    for (size_t i = 0; i < degrees.size(); i += 8) degrees[i] = degree * 12;
+    PagedGraph g = PageWithDegrees(degrees);
+    WorkStats edge = RunWith(g, MicroStrategy::kEdgeCentric);
+    WorkStats vertex = RunWith(g, MicroStrategy::kVertexCentric);
+    const double ratio =
+        static_cast<double>(vertex.warp_cycles + vertex.mem_transactions) /
+        static_cast<double>(edge.warp_cycles + edge.mem_transactions);
+    EXPECT_GT(ratio, 1.0) << "degree " << degree;
+    EXPECT_GE(ratio, prev_ratio * 0.9) << "degree " << degree;
+    prev_ratio = ratio;
+  }
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,254 @@
+#include "storage/page_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "core/page_cache.h"
+#include "graph/csr_graph.h"
+#include "graph/rmat_generator.h"
+#include "gpu/device.h"
+#include "storage/page_builder.h"
+#include "storage/storage_device.h"
+
+namespace gts {
+namespace {
+
+PagedGraph SmallPagedGraph() {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  EdgeList list = std::move(GenerateRmat(p)).ValueOrDie();
+  return std::move(BuildPagedGraph(CsrGraph::FromEdgeList(list),
+                                   PageConfig::Small22()))
+      .ValueOrDie();
+}
+
+// ------------------------------------------------------------- devices
+
+TEST(StorageDeviceTest, MemoryDeviceRoundTrip) {
+  MemoryDevice dev;
+  const uint8_t data[] = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(dev.Write(100, data, sizeof(data)).ok());
+  uint8_t out[5] = {};
+  ASSERT_TRUE(dev.Read(100, out, sizeof(out)).ok());
+  EXPECT_EQ(std::memcmp(data, out, sizeof(data)), 0);
+}
+
+TEST(StorageDeviceTest, MemoryDeviceReadPastEndFails) {
+  MemoryDevice dev;
+  uint8_t out[4];
+  EXPECT_EQ(dev.Read(0, out, 4).code(), StatusCode::kIOError);
+}
+
+TEST(StorageDeviceTest, FileDeviceRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/gts_filedev_test.bin";
+  auto dev = FileDevice::Create(path, DeviceTimingParams::PcieSsd());
+  ASSERT_TRUE(dev.ok());
+  std::vector<uint8_t> data(4096);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i);
+  ASSERT_TRUE((*dev)->Write(8192, data.data(), data.size()).ok());
+  std::vector<uint8_t> out(4096);
+  ASSERT_TRUE((*dev)->Read(8192, out.data(), out.size()).ok());
+  EXPECT_EQ(data, out);
+  std::remove(path.c_str());
+}
+
+TEST(StorageDeviceTest, ReadCostFollowsBandwidthModel) {
+  DeviceTimingParams ssd = DeviceTimingParams::PcieSsd();
+  // 2.35 GB/s: a 1 MiB read takes latency + ~446 us.
+  EXPECT_NEAR(ssd.ReadCost(1 << 20), 20e-6 + 1048576.0 / 2.35e9, 1e-9);
+  DeviceTimingParams hdd = DeviceTimingParams::Hdd();
+  EXPECT_GT(hdd.ReadCost(1 << 20), 10 * ssd.ReadCost(1 << 20));
+  EXPECT_DOUBLE_EQ(DeviceTimingParams::Memory().ReadCost(1 << 20), 0.0);
+}
+
+// ------------------------------------------------------------ PageStore
+
+TEST(PageStoreTest, FetchReturnsExactPageBytes) {
+  PagedGraph graph = SmallPagedGraph();
+  auto store = MakeSsdStore(&graph, 2, /*buffer_capacity=*/1 << 20);
+  for (PageId pid = 0; pid < graph.num_pages(); pid += 7) {
+    auto fetch = store->Fetch(pid);
+    ASSERT_TRUE(fetch.ok());
+    EXPECT_EQ(std::memcmp(fetch->data, graph.page_bytes(pid).data(),
+                          graph.config().page_size),
+              0)
+        << "page " << pid;
+  }
+}
+
+TEST(PageStoreTest, StripesPagesAcrossDevices) {
+  PagedGraph graph = SmallPagedGraph();
+  auto store = MakeSsdStore(&graph, 3, /*buffer_capacity=*/1 << 10);
+  EXPECT_EQ(store->DeviceOfPage(0), 0u);
+  EXPECT_EQ(store->DeviceOfPage(1), 1u);
+  EXPECT_EQ(store->DeviceOfPage(2), 2u);
+  EXPECT_EQ(store->DeviceOfPage(3), 0u);
+  // Reads actually route to the right device and return correct bytes.
+  auto fetch = store->Fetch(5);
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch->device_index, 2u);
+}
+
+TEST(PageStoreTest, BufferHitsSkipIo) {
+  PagedGraph graph = SmallPagedGraph();
+  auto store = MakeSsdStore(&graph, 1, /*buffer_capacity=*/64 * kKiB);
+  auto first = store->Fetch(0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->buffer_hit);
+  EXPECT_GT(first->io_cost, 0.0);
+  auto second = store->Fetch(0);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->buffer_hit);
+  EXPECT_DOUBLE_EQ(second->io_cost, 0.0);
+  EXPECT_EQ(store->stats().buffer_hits, 1u);
+  EXPECT_EQ(store->stats().device_reads, 1u);
+}
+
+TEST(PageStoreTest, EvictsLruWhenOverCapacity) {
+  PagedGraph graph = SmallPagedGraph();
+  ASSERT_GE(graph.num_pages(), 4u);
+  // Room for two 1 KiB pages.
+  auto store = MakeSsdStore(&graph, 1, /*buffer_capacity=*/2 * kKiB);
+  ASSERT_TRUE(store->Fetch(0).ok());
+  ASSERT_TRUE(store->Fetch(1).ok());
+  ASSERT_TRUE(store->Fetch(2).ok());  // evicts page 0
+  auto again = store->Fetch(0);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->buffer_hit);
+}
+
+TEST(PageStoreTest, PreloadAllRequiresCapacity) {
+  PagedGraph graph = SmallPagedGraph();
+  auto tiny = MakeSsdStore(&graph, 1, /*buffer_capacity=*/1 * kKiB);
+  EXPECT_EQ(tiny->PreloadAll().code(), StatusCode::kFailedPrecondition);
+  auto big = MakeSsdStore(&graph, 1, graph.TotalTopologyBytes());
+  EXPECT_TRUE(big->GraphFitsInBuffer());
+  ASSERT_TRUE(big->PreloadAll().ok());
+  big->ResetStats();
+  ASSERT_TRUE(big->Fetch(0).ok());
+  EXPECT_EQ(big->stats().buffer_hits, 1u);
+}
+
+TEST(PageStoreTest, OutOfRangePidRejected) {
+  PagedGraph graph = SmallPagedGraph();
+  auto store = MakeInMemoryStore(&graph);
+  EXPECT_EQ(store->Fetch(static_cast<PageId>(graph.num_pages())).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PageStoreTest, InMemoryStoreHasZeroIoCost) {
+  PagedGraph graph = SmallPagedGraph();
+  auto store = MakeInMemoryStore(&graph);
+  auto fetch = store->Fetch(3);
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_DOUBLE_EQ(fetch->io_cost, 0.0);
+}
+
+// ------------------------------------------------------------ PageCache
+
+TEST(PageCacheTest, LruEvictsLeastRecentlyUsed) {
+  gpu::Device device(0, 10 * kKiB);
+  PageCache cache(&device, 2 * kKiB, 1 * kKiB, CachePolicy::kLru);
+  std::vector<uint8_t> page(1 * kKiB, 0xAB);
+  ASSERT_TRUE(cache.Insert(1, page.data()).ok());
+  ASSERT_TRUE(cache.Insert(2, page.data()).ok());
+  EXPECT_NE(cache.Lookup(1), nullptr);  // touch 1; 2 becomes LRU
+  ASSERT_TRUE(cache.Insert(3, page.data()).ok());
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(2));
+  EXPECT_TRUE(cache.Contains(3));
+}
+
+TEST(PageCacheTest, FifoEvictsOldestInsert) {
+  gpu::Device device(0, 10 * kKiB);
+  PageCache cache(&device, 2 * kKiB, 1 * kKiB, CachePolicy::kFifo);
+  std::vector<uint8_t> page(1 * kKiB, 0xCD);
+  ASSERT_TRUE(cache.Insert(1, page.data()).ok());
+  ASSERT_TRUE(cache.Insert(2, page.data()).ok());
+  EXPECT_NE(cache.Lookup(1), nullptr);  // FIFO ignores recency
+  ASSERT_TRUE(cache.Insert(3, page.data()).ok());
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(2));
+}
+
+TEST(PageCacheTest, HitRateAccounting) {
+  gpu::Device device(0, 10 * kKiB);
+  PageCache cache(&device, 4 * kKiB, 1 * kKiB, CachePolicy::kLru);
+  std::vector<uint8_t> page(1 * kKiB, 0x11);
+  EXPECT_EQ(cache.Lookup(7), nullptr);
+  ASSERT_TRUE(cache.Insert(7, page.data()).ok());
+  EXPECT_NE(cache.Lookup(7), nullptr);
+  EXPECT_EQ(cache.lookups(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(PageCacheTest, CachedBytesMatchInserted) {
+  gpu::Device device(0, 10 * kKiB);
+  PageCache cache(&device, 4 * kKiB, 1 * kKiB, CachePolicy::kLru);
+  std::vector<uint8_t> page(1 * kKiB);
+  for (size_t i = 0; i < page.size(); ++i) page[i] = static_cast<uint8_t>(i * 3);
+  ASSERT_TRUE(cache.Insert(9, page.data()).ok());
+  const uint8_t* got = cache.Lookup(9);
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(std::memcmp(got, page.data(), page.size()), 0);
+}
+
+TEST(PageCacheTest, UsesDeviceMemoryAccounting) {
+  gpu::Device device(0, 3 * kKiB);
+  PageCache cache(&device, 3 * kKiB, 1 * kKiB, CachePolicy::kLru);
+  std::vector<uint8_t> page(1 * kKiB, 0x00);
+  ASSERT_TRUE(cache.Insert(0, page.data()).ok());
+  ASSERT_TRUE(cache.Insert(1, page.data()).ok());
+  EXPECT_EQ(device.used(), 2 * kKiB);
+  // Eviction releases device memory again.
+  ASSERT_TRUE(cache.Insert(2, page.data()).ok());
+  ASSERT_TRUE(cache.Insert(3, page.data()).ok());
+  EXPECT_EQ(device.used(), 3 * kKiB);
+}
+
+TEST(PageCacheTest, PinnedPolicyKeepsResidentSetUnderScan) {
+  gpu::Device device(0, 10 * kKiB);
+  PageCache cache(&device, 2 * kKiB, 1 * kKiB, CachePolicy::kPinned);
+  std::vector<uint8_t> page(1 * kKiB, 0x42);
+  // Cyclic sweep over 4 pages, twice.
+  for (int round = 0; round < 2; ++round) {
+    for (PageId pid = 0; pid < 4; ++pid) {
+      if (cache.Lookup(pid) == nullptr) {
+        ASSERT_TRUE(cache.Insert(pid, page.data()).ok());
+      }
+    }
+  }
+  // Pinned: pages 0 and 1 stay resident -> 2 hits in round two.
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_FALSE(cache.Contains(3));
+
+  // Classic LRU on the same sweep: zero hits (everything evicted just
+  // before reuse) -- the pathological pattern the pinned policy avoids.
+  PageCache lru(&device, 2 * kKiB, 1 * kKiB, CachePolicy::kLru);
+  for (int round = 0; round < 2; ++round) {
+    for (PageId pid = 0; pid < 4; ++pid) {
+      if (lru.Lookup(pid) == nullptr) {
+        ASSERT_TRUE(lru.Insert(pid, page.data()).ok());
+      }
+    }
+  }
+  EXPECT_EQ(lru.hits(), 0u);
+}
+
+TEST(PageCacheTest, ZeroCapacityCacheIsInert) {
+  gpu::Device device(0, 10 * kKiB);
+  PageCache cache(&device, 0, 1 * kKiB, CachePolicy::kLru);
+  std::vector<uint8_t> page(1 * kKiB, 0x5A);
+  ASSERT_TRUE(cache.Insert(1, page.data()).ok());
+  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gts

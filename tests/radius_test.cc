@@ -1,0 +1,130 @@
+#include "algorithms/radius.h"
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "graph/csr_graph.h"
+#include "graph/rmat_generator.h"
+#include "storage/page_builder.h"
+
+namespace gts {
+namespace {
+
+struct Fixture {
+  EdgeList edges;
+  CsrGraph csr;
+  PagedGraph paged;
+  std::unique_ptr<PageStore> store;
+  MachineConfig machine;
+
+  explicit Fixture(int scale = 9, double ef = 4) {
+    RmatParams p;
+    p.scale = scale;
+    p.edge_factor = ef;
+    p.seed = 11;
+    edges = std::move(GenerateRmat(p)).ValueOrDie();
+    csr = CsrGraph::FromEdgeList(edges);
+    paged = std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+    store = MakeInMemoryStore(&paged);
+    machine = MachineConfig::PaperScaled(1);
+    machine.device_memory = 32 * kMiB;
+  }
+};
+
+TEST(RadiusTest, NeighborhoodFunctionIsMonotoneAndConverges) {
+  Fixture f;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  auto result = RunRadiusGts(engine, 64);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_GE(result.value().neighborhood_function.size(), 2u);
+  for (size_t h = 1; h < result->neighborhood_function.size(); ++h) {
+    EXPECT_GE(result->neighborhood_function[h],
+              result->neighborhood_function[h - 1] - 1e-9)
+        << "hop " << h;
+  }
+  // Converged well before the cap: sketches stop changing.
+  EXPECT_LT(result->hops, 64);
+  EXPECT_GE(result->effective_diameter, 1);
+  EXPECT_LE(result->effective_diameter, result->hops);
+}
+
+TEST(RadiusTest, TracksExactNeighborhoodFunctionWithinSketchError) {
+  Fixture f(8, 6);
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  auto result = RunRadiusGts(engine, 32);
+  ASSERT_TRUE(result.ok());
+  const int hops = result->hops;
+  const auto exact = ExactNeighborhoodFunction(f.csr, hops);
+  // FM with 4 sketches is coarse; require agreement within ~2x on the
+  // converged value and the right order of magnitude mid-curve.
+  const double est_final = result->neighborhood_function.back();
+  const double exact_final = exact[hops];
+  EXPECT_GT(est_final, 0.35 * exact_final);
+  EXPECT_LT(est_final, 3.0 * exact_final);
+}
+
+TEST(RadiusTest, EffectiveDiameterMatchesExactWithinTwoHops) {
+  Fixture f(8, 6);
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  auto result = RunRadiusGts(engine, 32);
+  ASSERT_TRUE(result.ok());
+  const auto exact = ExactNeighborhoodFunction(f.csr, result->hops);
+  const double target = 0.9 * exact.back();
+  int exact_diameter = 0;
+  for (size_t h = 0; h < exact.size(); ++h) {
+    if (exact[h] >= target) {
+      exact_diameter = static_cast<int>(h);
+      break;
+    }
+  }
+  EXPECT_NEAR(result->effective_diameter, exact_diameter, 2);
+}
+
+TEST(RadiusTest, DeterministicForFixedSeed) {
+  Fixture f;
+  GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
+  auto a = RunRadiusGts(engine, 32, /*seed=*/5);
+  auto b = RunRadiusGts(engine, 32, /*seed=*/5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->neighborhood_function, b->neighborhood_function);
+  EXPECT_EQ(a->effective_diameter, b->effective_diameter);
+}
+
+TEST(RadiusTest, PathGraphDiameterGrowsWithLength) {
+  // Effective diameter of a directed path of length L is ~0.9 L.
+  auto diameter_of = [&](VertexId length) {
+    EdgeList edges;
+    edges.set_num_vertices(length);
+    for (VertexId v = 0; v + 1 < length; ++v) edges.Add(v, v + 1);
+    CsrGraph csr = CsrGraph::FromEdgeList(edges);
+    PagedGraph paged =
+        std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+    auto store = MakeInMemoryStore(&paged);
+    MachineConfig machine = MachineConfig::PaperScaled(1);
+    GtsEngine engine(&paged, store.get(), machine, GtsOptions{});
+    return std::move(RunRadiusGts(engine, 300)).ValueOrDie().effective_diameter;
+  };
+  const int d40 = diameter_of(40);
+  const int d160 = diameter_of(160);
+  EXPECT_GT(d160, 2 * d40);
+}
+
+TEST(RadiusTest, StrategySMatchesStrategyP) {
+  Fixture f;
+  f.machine.num_gpus = 2;
+  GtsOptions p_opts;
+  GtsOptions s_opts;
+  s_opts.strategy = Strategy::kScalability;
+  GtsEngine ep(&f.paged, f.store.get(), f.machine, p_opts);
+  GtsEngine es(&f.paged, f.store.get(), f.machine, s_opts);
+  auto rp = RunRadiusGts(ep, 32, 9);
+  auto rs = RunRadiusGts(es, 32, 9);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(rs.ok());
+  // OR-merges are idempotent and order-insensitive: identical sketches.
+  EXPECT_EQ(rp->neighborhood_function, rs->neighborhood_function);
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,154 @@
+// Property tests for the discrete-event scheduler: structural invariants
+// that must hold for any op log, checked over randomized logs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+#include "gpu/schedule.h"
+
+namespace gts {
+namespace gpu {
+namespace {
+
+TimeModel Model(double issue_latency = 0.0) {
+  TimeModel m;
+  m.issue_latency = issue_latency;
+  return m;
+}
+
+/// Builds a random but valid op log: mixed kinds, random streams and
+/// devices, occasional barriers and backward dependencies.
+std::vector<TimelineOp> RandomLog(uint64_t seed, int n, int num_devices,
+                                  int num_streams) {
+  Xoshiro256 rng(seed);
+  std::vector<TimelineOp> ops;
+  for (int i = 0; i < n; ++i) {
+    if (rng.NextBounded(20) == 0) {
+      TimelineOp barrier;
+      barrier.kind = OpKind::kBarrier;
+      barrier.duration = rng.NextDouble() * 1e-6;
+      ops.push_back(barrier);
+      continue;
+    }
+    TimelineOp op;
+    const int device = static_cast<int>(rng.NextBounded(num_devices));
+    switch (rng.NextBounded(4)) {
+      case 0:
+        op.kind = OpKind::kStorageFetch;
+        op.stream_key = -1;
+        op.resource = {ResourceId::Type::kStorageDevice, device};
+        break;
+      case 1:
+        op.kind = OpKind::kH2DStream;
+        op.stream_key = static_cast<int>(rng.NextBounded(num_streams));
+        op.resource = {ResourceId::Type::kCopyEngine, device};
+        break;
+      case 2:
+        op.kind = OpKind::kKernel;
+        op.stream_key = static_cast<int>(rng.NextBounded(num_streams));
+        op.resource = {ResourceId::Type::kKernelPool, device};
+        break;
+      default:
+        op.kind = OpKind::kHostCompute;
+        op.stream_key = -1;
+        break;
+    }
+    op.duration = rng.NextDouble() * 1e-5;
+    if (!ops.empty() && rng.NextBounded(4) == 0) {
+      op.dep0 = rng.NextBounded(ops.size());
+    }
+    ops.push_back(op);
+  }
+  return ops;
+}
+
+class SchedulePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SchedulePropertyTest, InvariantsHold) {
+  auto ops = RandomLog(GetParam(), 400, 2, 8);
+  ScheduleSimulator sim(Model(1e-7));
+  auto result = sim.Run(ops);
+
+  // 1. Makespan covers every op.
+  for (const auto& op : result.ops) {
+    EXPECT_LE(op.end, result.makespan + 1e-15);
+    EXPECT_GE(op.end, op.start);
+    EXPECT_NEAR(op.end - op.start, op.duration, 1e-15);
+  }
+  // 2. Dependencies respected.
+  for (const auto& op : result.ops) {
+    if (op.dep0 != kNoOp) {
+      EXPECT_GE(op.start, result.ops[op.dep0].end - 1e-15);
+    }
+  }
+  // 3. Serial resources never overlap.
+  for (int d = 0; d < 2; ++d) {
+    for (auto type : {ResourceId::Type::kStorageDevice,
+                      ResourceId::Type::kCopyEngine}) {
+      std::vector<std::pair<double, double>> intervals;
+      for (const auto& op : result.ops) {
+        if (op.resource.type == type && op.resource.index == d) {
+          intervals.push_back({op.start, op.end});
+        }
+      }
+      std::sort(intervals.begin(), intervals.end());
+      for (size_t i = 1; i < intervals.size(); ++i) {
+        EXPECT_GE(intervals[i].first, intervals[i - 1].second - 1e-12);
+      }
+    }
+  }
+  // 4. Makespan at least the busiest serial resource.
+  for (const auto& usage : result.usage) {
+    if (usage.resource.type != ResourceId::Type::kKernelPool) {
+      EXPECT_GE(result.makespan, usage.busy - 1e-12);
+    }
+  }
+  // 5. Program order within each stream.
+  for (int s = 0; s < 8; ++s) {
+    double last_end = -1.0;
+    bool after_barrier = false;
+    (void)after_barrier;
+    for (const auto& op : result.ops) {
+      if (op.kind == OpKind::kBarrier) {
+        last_end = -1.0;  // barriers reset stream tails
+        continue;
+      }
+      if (op.stream_key != s) continue;
+      if (last_end >= 0.0) {
+        EXPECT_GE(op.start, last_end - 1e-15);
+      }
+      last_end = op.end;
+    }
+  }
+}
+
+TEST_P(SchedulePropertyTest, DeterministicReplay) {
+  auto ops = RandomLog(GetParam(), 300, 2, 4);
+  ScheduleSimulator sim(Model(5e-8));
+  auto a = sim.Run(ops);
+  auto b = sim.Run(ops);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.ops[i].start, b.ops[i].start);
+    EXPECT_DOUBLE_EQ(a.ops[i].end, b.ops[i].end);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST_P(SchedulePropertyTest, LongerDurationsNeverShrinkMakespan) {
+  auto ops = RandomLog(GetParam(), 200, 1, 4);
+  ScheduleSimulator sim(Model());
+  const double before = sim.Run(ops).makespan;
+  for (auto& op : ops) op.duration *= 1.5;
+  const double after = sim.Run(ops).makespan;
+  EXPECT_GE(after, before - 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulePropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace gpu
+}  // namespace gts

@@ -1,0 +1,89 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gts {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IOError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IOError: disk on fire");
+}
+
+TEST(StatusTest, OutOfDeviceMemoryPredicate) {
+  EXPECT_TRUE(Status::OutOfDeviceMemory("wa too big").IsOutOfDeviceMemory());
+  EXPECT_FALSE(Status::OutOfMemory("host").IsOutOfDeviceMemory());
+}
+
+TEST(StatusTest, CopyableAndComparable) {
+  Status a = Status::NotFound("x");
+  Status b = a;  // shared rep
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b.message(), "x");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 10; ++c) {
+    EXPECT_NE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::InvalidArgument("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Result<int> DoubleIfPositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("non-positive");
+  return 2 * x;
+}
+
+Status UseMacros(int x, int* out) {
+  GTS_RETURN_IF_ERROR(FailIfNegative(x));
+  GTS_ASSIGN_OR_RETURN(*out, DoubleIfPositive(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  int out = 0;
+  EXPECT_TRUE(UseMacros(3, &out).ok());
+  EXPECT_EQ(out, 6);
+  EXPECT_EQ(UseMacros(-1, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(UseMacros(0, &out).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace gts

@@ -1,0 +1,348 @@
+// gts_cli: command-line front end for the GTS engine.
+//
+//   gts_cli generate --scale 18 --edge-factor 16 --output g.gtsg
+//   gts_cli convert  --input g.gtsg --output g.gtsp [--pq 3,3]
+//                    [--page-size 65536] [--symmetrize]
+//   gts_cli stats    --graph g.gtsp
+//   gts_cli run      --graph g.gtsp --algorithm pagerank [--iterations 10]
+//                    [--gpus 2] [--streams 16] [--strategy P|S]
+//                    [--storage memory|ssd|hdd] [--devices 2]
+//                    [--buffer-pct 20] [--micro edge|vertex|hybrid]
+//                    [--source N] [--k N] [--output results.tsv]
+//
+// Input graphs: .gtsg (binary edge list), .txt ("src dst" lines), or the
+// paged .gtsp format produced by `convert`.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "algorithms/bc.h"
+#include "algorithms/bfs.h"
+#include "algorithms/degree.h"
+#include "algorithms/kcore.h"
+#include "algorithms/pagerank.h"
+#include "algorithms/radius.h"
+#include "algorithms/rwr.h"
+#include "algorithms/sssp.h"
+#include "algorithms/wcc.h"
+#include "common/units.h"
+#include "core/engine.h"
+#include "graph/csr_graph.h"
+#include "graph/graph_io.h"
+#include "graph/rmat_generator.h"
+#include "storage/page_builder.h"
+#include "storage/page_store.h"
+#include "storage/paged_graph_io.h"
+
+namespace gts {
+namespace cli {
+namespace {
+
+/// Minimal --flag value parser; flags may appear in any order.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        ok_ = false;
+        return;
+      }
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag %s needs a value\n", arg.c_str());
+        ok_ = false;
+        return;
+      }
+      values_[arg.substr(2)] = argv[++i];
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string Get(const std::string& name, const std::string& def = "") {
+    seen_.insert(name);
+    auto it = values_.find(name);
+    return it == values_.end() ? def : it->second;
+  }
+
+  int64_t GetInt(const std::string& name, int64_t def) {
+    const std::string v = Get(name);
+    return v.empty() ? def : std::atoll(v.c_str());
+  }
+
+  /// True if every provided flag was consumed by Get/GetInt.
+  bool AllKnown() const {
+    for (const auto& [name, value] : values_) {
+      if (seen_.count(name) == 0) {
+        std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+        return false;
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> seen_;
+  bool ok_ = true;
+};
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+Result<EdgeList> LoadEdges(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".txt") {
+    return ReadEdgeListText(path);
+  }
+  return ReadEdgeListBinary(path);
+}
+
+// ----------------------------------------------------------- generate
+
+int CmdGenerate(Flags& flags) {
+  RmatParams params;
+  params.scale = static_cast<int>(flags.GetInt("scale", 16));
+  params.edge_factor = static_cast<double>(flags.GetInt("edge-factor", 16));
+  params.seed = static_cast<uint64_t>(flags.GetInt("seed", 20160626));
+  const std::string output = flags.Get("output");
+  if (!flags.AllKnown()) return 2;
+  if (output.empty()) {
+    std::fprintf(stderr, "generate needs --output\n");
+    return 2;
+  }
+  auto edges = GenerateRmat(params);
+  if (!edges.ok()) return Fail(edges.status());
+  Status written = WriteEdgeListBinary(*edges, output);
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote %s: %llu vertices, %llu edges\n", output.c_str(),
+              (unsigned long long)edges->num_vertices(),
+              (unsigned long long)edges->num_edges());
+  return 0;
+}
+
+// ------------------------------------------------------------ convert
+
+int CmdConvert(Flags& flags) {
+  const std::string input = flags.Get("input");
+  const std::string output = flags.Get("output");
+  const std::string pq = flags.Get("pq", "2,2");
+  const auto page_size =
+      static_cast<uint64_t>(flags.GetInt("page-size", 0));
+  const bool symmetrize = flags.Get("symmetrize", "false") == "true";
+  if (!flags.AllKnown()) return 2;
+  if (input.empty() || output.empty()) {
+    std::fprintf(stderr, "convert needs --input and --output\n");
+    return 2;
+  }
+
+  PageConfig config = pq == "3,3" ? PageConfig::Big33() : PageConfig::Small22();
+  if (pq != "2,2" && pq != "3,3") {
+    if (pq.size() != 3 || pq[1] != ',') {
+      std::fprintf(stderr, "--pq must look like 2,2\n");
+      return 2;
+    }
+    config.pid_bytes = static_cast<uint32_t>(pq[0] - '0');
+    config.off_bytes = static_cast<uint32_t>(pq[2] - '0');
+  }
+  if (page_size != 0) config.page_size = page_size;
+
+  auto edges = LoadEdges(input);
+  if (!edges.ok()) return Fail(edges.status());
+  if (symmetrize) *edges = SymmetrizeEdges(*edges);
+  CsrGraph csr = CsrGraph::FromEdgeList(*edges);
+  auto paged = BuildPagedGraph(csr, config);
+  if (!paged.ok()) return Fail(paged.status());
+  Status written = WritePagedGraph(*paged, output);
+  if (!written.ok()) return Fail(written);
+  std::printf("wrote %s: %zu SP + %zu LP pages %s (%s topology)\n",
+              output.c_str(), paged->num_small_pages(),
+              paged->num_large_pages(), config.ToString().c_str(),
+              FormatBytes(paged->TotalTopologyBytes()).c_str());
+  return 0;
+}
+
+// -------------------------------------------------------------- stats
+
+int CmdStats(Flags& flags) {
+  const std::string path = flags.Get("graph");
+  if (!flags.AllKnown()) return 2;
+  auto graph = ReadPagedGraph(path);
+  if (!graph.ok()) return Fail(graph.status());
+  std::printf("vertices:  %llu\n", (unsigned long long)graph->num_vertices());
+  std::printf("edges:     %llu\n", (unsigned long long)graph->num_edges());
+  std::printf("config:    %s\n", graph->config().ToString().c_str());
+  std::printf("pages:     %zu SP, %zu LP\n", graph->num_small_pages(),
+              graph->num_large_pages());
+  std::printf("topology:  %s\n",
+              FormatBytes(graph->TotalTopologyBytes()).c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------- run
+
+int CmdRun(Flags& flags) {
+  const std::string path = flags.Get("graph");
+  const std::string algorithm = flags.Get("algorithm");
+  const auto source = static_cast<VertexId>(flags.GetInt("source", 0));
+  const int iterations = static_cast<int>(flags.GetInt("iterations", 10));
+  const auto k = static_cast<uint32_t>(flags.GetInt("k", 3));
+  const int gpus = static_cast<int>(flags.GetInt("gpus", 2));
+  const std::string storage = flags.Get("storage", "memory");
+  const int devices = static_cast<int>(flags.GetInt("devices", 2));
+  const int buffer_pct = static_cast<int>(flags.GetInt("buffer-pct", 20));
+  const std::string output = flags.Get("output");
+
+  GtsOptions options;
+  options.num_streams = static_cast<int>(flags.GetInt("streams", 16));
+  const std::string strategy = flags.Get("strategy", "P");
+  options.strategy = strategy == "S" ? Strategy::kScalability
+                                     : Strategy::kPerformance;
+  const std::string micro = flags.Get("micro", "edge");
+  options.micro = micro == "vertex" ? MicroStrategy::kVertexCentric
+                  : micro == "hybrid" ? MicroStrategy::kHybrid
+                                      : MicroStrategy::kEdgeCentric;
+  if (!flags.AllKnown()) return 2;
+
+  auto graph = ReadPagedGraph(path);
+  if (!graph.ok()) return Fail(graph.status());
+
+  std::unique_ptr<PageStore> store;
+  if (storage == "ssd") {
+    store = MakeSsdStore(&*graph, devices,
+                         graph->TotalTopologyBytes() * buffer_pct / 100);
+  } else if (storage == "hdd") {
+    store = MakeHddStore(&*graph, devices,
+                         graph->TotalTopologyBytes() * buffer_pct / 100);
+  } else {
+    store = MakeInMemoryStore(&*graph);
+  }
+
+  GtsEngine engine(&*graph, store.get(), MachineConfig::PaperScaled(gpus),
+                   options);
+
+  RunMetrics metrics;
+  std::vector<std::pair<VertexId, double>> values;  // per-vertex output
+  if (algorithm == "bfs") {
+    auto r = RunBfsGts(engine, source);
+    if (!r.ok()) return Fail(r.status());
+    metrics = r->metrics;
+    for (VertexId v = 0; v < r->levels.size(); ++v) {
+      if (r->levels[v] != BfsKernel::kUnvisited) {
+        values.push_back({v, r->levels[v]});
+      }
+    }
+  } else if (algorithm == "pagerank") {
+    auto r = RunPageRankGts(engine, iterations);
+    if (!r.ok()) return Fail(r.status());
+    metrics = r->total;
+    for (VertexId v = 0; v < r->ranks.size(); ++v) {
+      values.push_back({v, r->ranks[v]});
+    }
+  } else if (algorithm == "sssp") {
+    auto r = RunSsspGts(engine, source);
+    if (!r.ok()) return Fail(r.status());
+    metrics = r->metrics;
+    for (VertexId v = 0; v < r->distances.size(); ++v) {
+      values.push_back({v, r->distances[v]});
+    }
+  } else if (algorithm == "wcc") {
+    auto r = RunWccGts(engine);
+    if (!r.ok()) return Fail(r.status());
+    metrics = r->total;
+    for (VertexId v = 0; v < r->labels.size(); ++v) {
+      values.push_back({v, static_cast<double>(r->labels[v])});
+    }
+  } else if (algorithm == "bc") {
+    auto r = RunBcGts(engine, source);
+    if (!r.ok()) return Fail(r.status());
+    metrics = r->total;
+    for (VertexId v = 0; v < r->deltas.size(); ++v) {
+      values.push_back({v, r->deltas[v]});
+    }
+  } else if (algorithm == "rwr") {
+    auto r = RunRwrGts(engine, source, iterations);
+    if (!r.ok()) return Fail(r.status());
+    metrics = r->total;
+    for (VertexId v = 0; v < r->scores.size(); ++v) {
+      values.push_back({v, r->scores[v]});
+    }
+  } else if (algorithm == "kcore") {
+    auto r = RunKcoreGts(engine, k);
+    if (!r.ok()) return Fail(r.status());
+    metrics = r->total;
+    for (VertexId v = 0; v < r->in_core.size(); ++v) {
+      values.push_back({v, static_cast<double>(r->in_core[v])});
+    }
+  } else if (algorithm == "radius") {
+    auto r = RunRadiusGts(engine, 256);
+    if (!r.ok()) return Fail(r.status());
+    metrics = r->total;
+    std::printf("effective diameter: %d (converged after %d hops)\n",
+                r->effective_diameter, r->hops);
+    for (size_t h = 0; h < r->neighborhood_function.size(); ++h) {
+      values.push_back({static_cast<VertexId>(h),
+                        r->neighborhood_function[h]});
+    }
+  } else if (algorithm == "degree") {
+    auto r = RunDegreeGts(engine);
+    if (!r.ok()) return Fail(r.status());
+    metrics = r->metrics;
+    for (VertexId v = 0; v < r->degrees.size(); ++v) {
+      values.push_back({v, static_cast<double>(r->degrees[v])});
+    }
+  } else {
+    std::fprintf(stderr,
+                 "unknown --algorithm '%s' (bfs pagerank sssp wcc bc rwr "
+                 "kcore degree radius)\n",
+                 algorithm.c_str());
+    return 2;
+  }
+
+  std::printf("%s on %s: simulated %s | levels/passes %d | pages streamed "
+              "%llu | cache hits %.0f%%\n",
+              algorithm.c_str(), path.c_str(),
+              FormatSeconds(metrics.sim_seconds).c_str(), metrics.levels,
+              (unsigned long long)metrics.pages_streamed,
+              100.0 * metrics.cache_hit_rate());
+  if (!output.empty()) {
+    std::ofstream out(output, std::ios::trunc);
+    if (!out) return Fail(Status::IOError("cannot write " + output));
+    out << "# vertex\tvalue (" << algorithm << ")\n";
+    for (const auto& [v, value] : values) out << v << '\t' << value << '\n';
+    std::printf("wrote %zu rows to %s\n", values.size(), output.c_str());
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: gts_cli <generate|convert|stats|run> [--flag value]\n"
+               "see the header comment of tools/gts_cli.cc\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) return 2;
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "convert") return CmdConvert(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "run") return CmdRun(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace cli
+}  // namespace gts
+
+int main(int argc, char** argv) { return gts::cli::Main(argc, argv); }
