@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_strategies.dir/bench_fig9_strategies.cc.o"
+  "CMakeFiles/bench_fig9_strategies.dir/bench_fig9_strategies.cc.o.d"
+  "bench_fig9_strategies"
+  "bench_fig9_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_access_patterns.dir/bench_sec8_access_patterns.cc.o"
+  "CMakeFiles/bench_sec8_access_patterns.dir/bench_sec8_access_patterns.cc.o.d"
+  "bench_sec8_access_patterns"
+  "bench_sec8_access_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_access_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

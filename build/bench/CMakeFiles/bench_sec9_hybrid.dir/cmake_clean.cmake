@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec9_hybrid.dir/bench_sec9_hybrid.cc.o"
+  "CMakeFiles/bench_sec9_hybrid.dir/bench_sec9_hybrid.cc.o.d"
+  "bench_sec9_hybrid"
+  "bench_sec9_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec9_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

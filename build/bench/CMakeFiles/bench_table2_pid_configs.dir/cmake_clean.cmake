@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_pid_configs.dir/bench_table2_pid_configs.cc.o"
+  "CMakeFiles/bench_table2_pid_configs.dir/bench_table2_pid_configs.cc.o.d"
+  "bench_table2_pid_configs"
+  "bench_table2_pid_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_pid_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_totem_options.dir/bench_table5_totem_options.cc.o"
+  "CMakeFiles/bench_table5_totem_options.dir/bench_table5_totem_options.cc.o.d"
+  "bench_table5_totem_options"
+  "bench_table5_totem_options.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_totem_options.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_graph_outofcore.dir/web_graph_outofcore.cpp.o"
+  "CMakeFiles/web_graph_outofcore.dir/web_graph_outofcore.cpp.o.d"
+  "web_graph_outofcore"
+  "web_graph_outofcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_graph_outofcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

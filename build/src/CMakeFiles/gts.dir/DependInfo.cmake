@@ -1,0 +1,55 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/bc.cc" "src/CMakeFiles/gts.dir/algorithms/bc.cc.o" "gcc" "src/CMakeFiles/gts.dir/algorithms/bc.cc.o.d"
+  "/root/repo/src/algorithms/bfs.cc" "src/CMakeFiles/gts.dir/algorithms/bfs.cc.o" "gcc" "src/CMakeFiles/gts.dir/algorithms/bfs.cc.o.d"
+  "/root/repo/src/algorithms/degree.cc" "src/CMakeFiles/gts.dir/algorithms/degree.cc.o" "gcc" "src/CMakeFiles/gts.dir/algorithms/degree.cc.o.d"
+  "/root/repo/src/algorithms/kcore.cc" "src/CMakeFiles/gts.dir/algorithms/kcore.cc.o" "gcc" "src/CMakeFiles/gts.dir/algorithms/kcore.cc.o.d"
+  "/root/repo/src/algorithms/pagerank.cc" "src/CMakeFiles/gts.dir/algorithms/pagerank.cc.o" "gcc" "src/CMakeFiles/gts.dir/algorithms/pagerank.cc.o.d"
+  "/root/repo/src/algorithms/radius.cc" "src/CMakeFiles/gts.dir/algorithms/radius.cc.o" "gcc" "src/CMakeFiles/gts.dir/algorithms/radius.cc.o.d"
+  "/root/repo/src/algorithms/reference.cc" "src/CMakeFiles/gts.dir/algorithms/reference.cc.o" "gcc" "src/CMakeFiles/gts.dir/algorithms/reference.cc.o.d"
+  "/root/repo/src/algorithms/rwr.cc" "src/CMakeFiles/gts.dir/algorithms/rwr.cc.o" "gcc" "src/CMakeFiles/gts.dir/algorithms/rwr.cc.o.d"
+  "/root/repo/src/algorithms/sssp.cc" "src/CMakeFiles/gts.dir/algorithms/sssp.cc.o" "gcc" "src/CMakeFiles/gts.dir/algorithms/sssp.cc.o.d"
+  "/root/repo/src/algorithms/wcc.cc" "src/CMakeFiles/gts.dir/algorithms/wcc.cc.o" "gcc" "src/CMakeFiles/gts.dir/algorithms/wcc.cc.o.d"
+  "/root/repo/src/baselines/bsp_cluster.cc" "src/CMakeFiles/gts.dir/baselines/bsp_cluster.cc.o" "gcc" "src/CMakeFiles/gts.dir/baselines/bsp_cluster.cc.o.d"
+  "/root/repo/src/baselines/cpu_engine.cc" "src/CMakeFiles/gts.dir/baselines/cpu_engine.cc.o" "gcc" "src/CMakeFiles/gts.dir/baselines/cpu_engine.cc.o.d"
+  "/root/repo/src/baselines/edge_stream.cc" "src/CMakeFiles/gts.dir/baselines/edge_stream.cc.o" "gcc" "src/CMakeFiles/gts.dir/baselines/edge_stream.cc.o.d"
+  "/root/repo/src/baselines/gpu_inmemory.cc" "src/CMakeFiles/gts.dir/baselines/gpu_inmemory.cc.o" "gcc" "src/CMakeFiles/gts.dir/baselines/gpu_inmemory.cc.o.d"
+  "/root/repo/src/baselines/totem.cc" "src/CMakeFiles/gts.dir/baselines/totem.cc.o" "gcc" "src/CMakeFiles/gts.dir/baselines/totem.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/gts.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/gts.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/gts.dir/common/status.cc.o" "gcc" "src/CMakeFiles/gts.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/gts.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/gts.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/CMakeFiles/gts.dir/common/units.cc.o" "gcc" "src/CMakeFiles/gts.dir/common/units.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/gts.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/gts.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/CMakeFiles/gts.dir/core/engine.cc.o" "gcc" "src/CMakeFiles/gts.dir/core/engine.cc.o.d"
+  "/root/repo/src/core/page_cache.cc" "src/CMakeFiles/gts.dir/core/page_cache.cc.o" "gcc" "src/CMakeFiles/gts.dir/core/page_cache.cc.o.d"
+  "/root/repo/src/gpu/device.cc" "src/CMakeFiles/gts.dir/gpu/device.cc.o" "gcc" "src/CMakeFiles/gts.dir/gpu/device.cc.o.d"
+  "/root/repo/src/gpu/schedule.cc" "src/CMakeFiles/gts.dir/gpu/schedule.cc.o" "gcc" "src/CMakeFiles/gts.dir/gpu/schedule.cc.o.d"
+  "/root/repo/src/gpu/stream.cc" "src/CMakeFiles/gts.dir/gpu/stream.cc.o" "gcc" "src/CMakeFiles/gts.dir/gpu/stream.cc.o.d"
+  "/root/repo/src/graph/csr_graph.cc" "src/CMakeFiles/gts.dir/graph/csr_graph.cc.o" "gcc" "src/CMakeFiles/gts.dir/graph/csr_graph.cc.o.d"
+  "/root/repo/src/graph/datasets.cc" "src/CMakeFiles/gts.dir/graph/datasets.cc.o" "gcc" "src/CMakeFiles/gts.dir/graph/datasets.cc.o.d"
+  "/root/repo/src/graph/degree.cc" "src/CMakeFiles/gts.dir/graph/degree.cc.o" "gcc" "src/CMakeFiles/gts.dir/graph/degree.cc.o.d"
+  "/root/repo/src/graph/edge_list.cc" "src/CMakeFiles/gts.dir/graph/edge_list.cc.o" "gcc" "src/CMakeFiles/gts.dir/graph/edge_list.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "src/CMakeFiles/gts.dir/graph/graph_io.cc.o" "gcc" "src/CMakeFiles/gts.dir/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/rmat_generator.cc" "src/CMakeFiles/gts.dir/graph/rmat_generator.cc.o" "gcc" "src/CMakeFiles/gts.dir/graph/rmat_generator.cc.o.d"
+  "/root/repo/src/storage/page_builder.cc" "src/CMakeFiles/gts.dir/storage/page_builder.cc.o" "gcc" "src/CMakeFiles/gts.dir/storage/page_builder.cc.o.d"
+  "/root/repo/src/storage/page_config.cc" "src/CMakeFiles/gts.dir/storage/page_config.cc.o" "gcc" "src/CMakeFiles/gts.dir/storage/page_config.cc.o.d"
+  "/root/repo/src/storage/page_store.cc" "src/CMakeFiles/gts.dir/storage/page_store.cc.o" "gcc" "src/CMakeFiles/gts.dir/storage/page_store.cc.o.d"
+  "/root/repo/src/storage/paged_graph_io.cc" "src/CMakeFiles/gts.dir/storage/paged_graph_io.cc.o" "gcc" "src/CMakeFiles/gts.dir/storage/paged_graph_io.cc.o.d"
+  "/root/repo/src/storage/slotted_page.cc" "src/CMakeFiles/gts.dir/storage/slotted_page.cc.o" "gcc" "src/CMakeFiles/gts.dir/storage/slotted_page.cc.o.d"
+  "/root/repo/src/storage/storage_device.cc" "src/CMakeFiles/gts.dir/storage/storage_device.cc.o" "gcc" "src/CMakeFiles/gts.dir/storage/storage_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

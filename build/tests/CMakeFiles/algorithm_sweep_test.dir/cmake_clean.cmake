@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_sweep_test.dir/algorithm_sweep_test.cc.o"
+  "CMakeFiles/algorithm_sweep_test.dir/algorithm_sweep_test.cc.o.d"
+  "algorithm_sweep_test"
+  "algorithm_sweep_test.pdb"
+  "algorithm_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

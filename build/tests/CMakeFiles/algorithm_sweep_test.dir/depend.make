@@ -1,0 +1,2 @@
+# Empty dependencies file for algorithm_sweep_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_stream_test.dir/edge_stream_test.cc.o"
+  "CMakeFiles/edge_stream_test.dir/edge_stream_test.cc.o.d"
+  "edge_stream_test"
+  "edge_stream_test.pdb"
+  "edge_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

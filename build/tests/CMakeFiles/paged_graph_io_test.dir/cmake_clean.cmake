@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paged_graph_io_test.dir/paged_graph_io_test.cc.o"
+  "CMakeFiles/paged_graph_io_test.dir/paged_graph_io_test.cc.o.d"
+  "paged_graph_io_test"
+  "paged_graph_io_test.pdb"
+  "paged_graph_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paged_graph_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radius_test.dir/radius_test.cc.o"
+  "CMakeFiles/radius_test.dir/radius_test.cc.o.d"
+  "radius_test"
+  "radius_test.pdb"
+  "radius_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radius_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gts_cli.dir/gts_cli.cc.o"
+  "CMakeFiles/gts_cli.dir/gts_cli.cc.o.d"
+  "gts_cli"
+  "gts_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gts_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
