@@ -89,7 +89,10 @@ void BM_PageCacheLookup(benchmark::State& state) {
   }
   PageId pid = 0;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.Lookup(pid % 1000));
+    // Measures the full lease cycle: lookup + pin + unpin on Pin
+    // destruction (the engine's per-page cost on a cache hit).
+    PageCache::Pin pin = cache.Lookup(pid % 1000);
+    benchmark::DoNotOptimize(pin.data());
     ++pid;
   }
 }

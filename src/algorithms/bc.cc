@@ -74,7 +74,7 @@ WorkStats BcForwardKernel::RunSp(const PageView& page, KernelContext& ctx) {
       /*active=*/
       [&](VertexId vid, uint32_t slot) {
         Entry e;
-        const uint64_t bits = wa[vid - ctx.wa_begin];
+        const uint64_t bits = KernelContext::WaLoad(wa[vid - ctx.wa_begin]);
         std::memcpy(&e, &bits, sizeof(e));
         slot_sigma[slot] = e.sigma;
         return e.level == ctx.cur_level;
@@ -91,7 +91,7 @@ WorkStats BcForwardKernel::RunLp(const PageView& page, KernelContext& ctx) {
   auto* wa = ctx.WaAs<uint64_t>();
   const VertexId vid = page.slot_vid(0);
   Entry e;
-  const uint64_t bits = wa[vid - ctx.wa_begin];
+  const uint64_t bits = KernelContext::WaLoad(wa[vid - ctx.wa_begin]);
   std::memcpy(&e, &bits, sizeof(e));
   const bool active = e.level == ctx.cur_level;
   const uint32_t next_level = ctx.cur_level + 1;

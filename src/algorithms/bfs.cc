@@ -60,7 +60,9 @@ WorkStats BfsKernel::RunSp(const PageView& page, KernelContext& ctx) {
   WorkStats stats = ProcessSpPage(
       page, ctx.micro, start_vid,
       /*active=*/
-      [&](VertexId vid, uint32_t) { return lv[vid - ctx.wa_begin] == cur; },
+      [&](VertexId vid, uint32_t) {
+        return KernelContext::WaLoad(lv[vid - ctx.wa_begin]) == cur;
+      },
       /*edge_fn=*/
       [&](VertexId, uint32_t, uint32_t, const RecordId& rid) {
         ExpandEdge(ctx, lv, next, rid, &updates);
@@ -75,7 +77,7 @@ WorkStats BfsKernel::RunLp(const PageView& page, KernelContext& ctx) {
   const auto next = static_cast<uint16_t>(
       std::min<uint32_t>(ctx.cur_level + 1, kUnvisited - 1));
   const VertexId vid = page.slot_vid(0);
-  const bool active = lv[vid - ctx.wa_begin] == cur;
+  const bool active = KernelContext::WaLoad(lv[vid - ctx.wa_begin]) == cur;
 
   uint64_t updates = 0;
   WorkStats stats = ProcessLpPage(page, vid, active,

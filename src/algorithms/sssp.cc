@@ -90,7 +90,7 @@ WorkStats SsspKernel::RunSp(const PageView& page, KernelContext& ctx) {
       page, ctx.micro, start_vid,
       /*active=*/
       [&](VertexId vid, uint32_t slot) {
-        const Entry e = Unpack(wa[vid - ctx.wa_begin]);
+        const Entry e = Unpack(KernelContext::WaLoad(wa[vid - ctx.wa_begin]));
         slot_dist[slot] = e.dist;
         return e.level == ctx.cur_level;
       },
@@ -105,7 +105,7 @@ WorkStats SsspKernel::RunSp(const PageView& page, KernelContext& ctx) {
 WorkStats SsspKernel::RunLp(const PageView& page, KernelContext& ctx) {
   auto* wa = ctx.WaAs<uint64_t>();
   const VertexId vid = page.slot_vid(0);
-  const Entry e = Unpack(wa[vid - ctx.wa_begin]);
+  const Entry e = Unpack(KernelContext::WaLoad(wa[vid - ctx.wa_begin]));
   const bool active = e.level == ctx.cur_level;
   const uint32_t next_level = ctx.cur_level + 1;
 

@@ -1,7 +1,5 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
-
 #include "common/logging.h"
 
 namespace gts {
@@ -37,17 +35,30 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // fine-grained work stealing is unnecessary for our page-sized tasks.
   const size_t workers = std::min(n, threads_.size());
   const size_t chunk = (n + workers - 1) / workers;
-  std::atomic<size_t> done{0};
+  // Completion is tracked per call, not via the pool-wide Wait(): Wait()
+  // returns when *all* queued tasks drain, so with two concurrent
+  // ParallelFor callers one could return while its own chunks still sit in
+  // the queue behind the other caller's (observing the other's
+  // completion). The locals below outlive every chunk because this frame
+  // blocks until done == workers.
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  size_t done = 0;
   for (size_t w = 0; w < workers; ++w) {
     const size_t begin = w * chunk;
     const size_t end = std::min(n, begin + chunk);
-    Submit([&fn, &done, begin, end] {
+    Submit([&fn, &done_mu, &done_cv, &done, begin, end] {
       for (size_t i = begin; i < end; ++i) fn(i);
-      done.fetch_add(1, std::memory_order_release);
+      // Notify while holding done_mu: the caller destroys these stack
+      // objects the moment its wait observes done == workers, so the
+      // notify must not be reachable after the caller can wake.
+      std::lock_guard<std::mutex> lock(done_mu);
+      ++done;
+      done_cv.notify_one();
     });
   }
-  Wait();
-  GTS_CHECK(done.load() == workers);
+  std::unique_lock<std::mutex> lock(done_mu);
+  done_cv.wait(lock, [&done, workers] { return done == workers; });
 }
 
 void ThreadPool::Wait() {
@@ -67,6 +78,9 @@ void ThreadPool::WorkerLoop() {
       ++in_flight_;
     }
     task();
+    // Destroy the closure before reporting idle so resources captured by
+    // the task are released by the time Wait() returns.
+    task = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --in_flight_;

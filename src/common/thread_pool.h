@@ -16,6 +16,13 @@ namespace gts {
 ///
 /// Tasks are `std::function<void()>`. `Wait()` blocks until the queue drains
 /// and all workers are idle; the pool can be reused afterwards.
+///
+/// Thread-safety: Submit, Wait, and ParallelFor may all be called
+/// concurrently from multiple threads. ParallelFor tracks completion per
+/// call, so concurrent callers never observe each other's completion; Wait
+/// is pool-wide by design (it drains *everything* queued so far). Calling
+/// ParallelFor or Wait from inside a pool task deadlocks a fully busy pool
+/// and is unsupported.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);

@@ -20,8 +20,12 @@ std::string_view StrategyName(Strategy strategy) {
 }
 
 namespace {
+/// Stream-key stride per GPU; num_streams above this would alias keys
+/// across GPUs (checked in the GtsEngine constructor).
+constexpr int kMaxStreamsPerGpu = 4096;
+
 /// Encodes (gpu, stream) into a ScheduleSimulator stream key.
-int StreamKey(int gpu, int stream) { return gpu * 4096 + stream; }
+int StreamKey(int gpu, int stream) { return gpu * kMaxStreamsPerGpu + stream; }
 }  // namespace
 
 /// Per-GPU mutable state.
@@ -54,6 +58,10 @@ GtsEngine::GtsEngine(const PagedGraph* graph, PageStore* store,
     : graph_(graph), store_(store), machine_(machine), options_(options) {
   GTS_CHECK(machine_.num_gpus >= 1);
   GTS_CHECK(options_.num_streams >= 1);
+  GTS_CHECK(options_.num_streams <= kMaxStreamsPerGpu)
+      << "num_streams " << options_.num_streams
+      << " would alias StreamKey encodings across GPUs (max "
+      << kMaxStreamsPerGpu << ")";
   GTS_CHECK(options_.cpu_assist_fraction >= 0.0 &&
             options_.cpu_assist_fraction < 1.0);
   for (int g = 0; g < machine_.num_gpus; ++g) {
@@ -380,14 +388,20 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
       gpu.rr = (gpu.rr + 1) % options_.num_streams;
       const int stream_key = StreamKey(g, s);
 
-      // Hold the page bytes alive for the enqueued lambda (thread mode).
-      auto staging = std::make_shared<std::vector<uint8_t>>(page_size);
+      // Host-side routing against cachedPIDMap (Algorithm 1 line 16). A
+      // hit returns an RAII Pin: the lease blocks eviction, so the kernel
+      // can run in place against the cached device page even while Insert
+      // calls on other stream threads evict around it. (shared_ptr only
+      // because std::function requires copyable captures; the Pin itself
+      // is move-only.)
+      auto pin = std::make_shared<PageCache::Pin>(
+          gpu.cache != nullptr ? gpu.cache->Lookup(pid) : PageCache::Pin());
+      const bool cached = pin->valid();
 
-      // Host-side routing against cachedPIDMap (Algorithm 1 line 16); the
-      // copy happens under the cache lock so concurrent inserts on stream
-      // threads cannot evict the buffer mid-read.
-      const bool cached =
-          gpu.cache != nullptr && gpu.cache->LookupInto(pid, staging->data());
+      // Holds streamed page bytes alive for the enqueued lambda (thread
+      // mode); unused on a cache hit, where the pinned bytes are read
+      // directly.
+      std::shared_ptr<std::vector<uint8_t>> staging;
 
       const uint8_t* ra_src = nullptr;  // host RA subvector
       uint64_t ra_bytes = 0;
@@ -395,6 +409,7 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
       gpu::OpIndex fetch_dep = gpu::kNoOp;
 
       if (!cached) {
+        staging = std::make_shared<std::vector<uint8_t>>(page_size);
         GTS_ASSIGN_OR_RETURN(PageStore::FetchResult fetch, store_->Fetch(pid));
         if (!fetch.buffer_hit && fetch.io_cost > 0.0) {
           gpu::TimelineOp fop;
@@ -466,15 +481,25 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
       const bool insert_into_cache = gpu.cache != nullptr && !cached;
       GpuState* gpu_ptr = &gpu;
       const double launch_overhead = tm.kernel_launch_overhead;
-      auto execute = [this, kernel, gpu_ptr, staging, ra_src, ra_bytes,
+      auto execute = [this, kernel, gpu_ptr, pin, staging, ra_src, ra_bytes,
                       ra_start_vid, kind, cur_level, s, kidx, sec_per_cycle,
                       sec_per_mem, insert_into_cache, pid, config,
                       launch_overhead]() {
         GpuState& st = *gpu_ptr;
-        // "Copy" into the device stream buffer, then run the kernel there.
-        uint8_t* dst = kind == PageKind::kSmall ? st.sp_buf[s].data()
-                                                : st.lp_buf[s].data();
-        std::memcpy(dst, staging->data(), staging->size());
+        const uint8_t* page_bytes = nullptr;
+        if (pin->valid()) {
+          // Cache hit (Algorithm 1 line 17): run the kernel in place
+          // against the pinned device page; no copy is needed and the Pin
+          // keeps the buffer alive until this lambda is destroyed.
+          page_bytes = pin->data();
+        } else {
+          // "Copy" into the device stream buffer, then run the kernel
+          // there.
+          uint8_t* dst = kind == PageKind::kSmall ? st.sp_buf[s].data()
+                                                  : st.lp_buf[s].data();
+          std::memcpy(dst, staging->data(), staging->size());
+          page_bytes = dst;
+        }
         if (ra_src != nullptr) {
           std::memcpy(st.ra_buf[s].data(), ra_src, ra_bytes);
         }
@@ -490,7 +515,7 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
         ctx.next_pid_set = st.local_next.get();
         ctx.micro = options_.micro;
 
-        PageView view(dst, config);
+        PageView view(page_bytes, config);
         const WorkStats work = kind == PageKind::kSmall
                                    ? kernel->RunSp(view, ctx)
                                    : kernel->RunLp(view, ctx);
@@ -502,8 +527,9 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
                 static_cast<double>(work.mem_transactions) * sec_per_mem);
         if (insert_into_cache) {
           // Device-internal copy; deliberately not a timeline op (it does
-          // not cross PCI-E). Failure just means the cache is full.
-          (void)st.cache->Insert(pid, dst);
+          // not cross PCI-E). Failure is cache-full backpressure (counted
+          // by the cache) -- the page simply stays on the streaming path.
+          (void)st.cache->Insert(pid, page_bytes);
         }
       };
 
@@ -738,6 +764,7 @@ void GtsEngine::FinalizeRun(RunMetrics* metrics) {
     if (gpu->cache != nullptr) {
       metrics->cache_lookups += gpu->cache->lookups();
       metrics->cache_hits += gpu->cache->hits();
+      metrics->cache_backpressure += gpu->cache->insert_backpressure();
     }
   }
   if (cpu_ != nullptr) {

@@ -84,6 +84,9 @@ struct RunMetrics {
   uint64_t lp_kernel_calls = 0;
   uint64_t cache_lookups = 0;
   uint64_t cache_hits = 0;
+  /// Cache inserts rejected because every evictable page was pinned by an
+  /// in-flight kernel (the page stayed on the streaming SPBuf/LPBuf path).
+  uint64_t cache_backpressure = 0;
   WorkStats work;
   PageStoreStats io;          ///< storage-level counters for this run
 

@@ -6,6 +6,7 @@
 #ifndef GTS_CORE_KERNEL_H_
 #define GTS_CORE_KERNEL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -86,6 +87,14 @@ struct KernelContext {
   T* WaAs() {
     return reinterpret_cast<T*>(wa);
   }
+  /// Relaxed atomic load of one WA word. Peer streams update WA through
+  /// atomic_ref RMW concurrently with activity checks, so a plain read of a
+  /// word another page may own is a data race; route such reads through
+  /// this helper (writes already go through atomic_ref in the kernels).
+  template <typename T>
+  static T WaLoad(T& word) {
+    return std::atomic_ref<T>(word).load(std::memory_order_relaxed);
+  }
   template <typename T>
   const T* RaAs() const {
     return reinterpret_cast<const T*>(ra);
@@ -134,9 +143,17 @@ class GtsKernel {
 
   /// K_SP: processes one small page (Appendix B). Must be thread-safe
   /// across concurrent pages (use atomics for WA writes).
+  ///
+  /// Page-bytes contract: on a cache hit `page` views the device page
+  /// cache directly -- the engine holds a PageCache::Pin for the duration
+  /// of the call, which keeps the bytes stable while concurrent streams
+  /// insert and evict around it. Kernels must treat page memory as
+  /// strictly read-only (topology is immutable; writes go to WA) and must
+  /// not retain the view past the call.
   virtual WorkStats RunSp(const PageView& page, KernelContext& ctx) = 0;
 
-  /// K_LP: processes one large-page chunk of a single vertex.
+  /// K_LP: processes one large-page chunk of a single vertex. Same
+  /// thread-safety and page-bytes contract as RunSp.
   virtual WorkStats RunLp(const PageView& page, KernelContext& ctx) = 0;
 };
 

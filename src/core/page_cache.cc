@@ -1,6 +1,9 @@
 #include "core/page_cache.h"
 
 #include <cstring>
+#include <iterator>
+#include <string>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -13,20 +16,51 @@ PageCache::PageCache(gpu::Device* device, uint64_t capacity_bytes,
       capacity_pages_(page_size == 0 ? 0 : capacity_bytes / page_size),
       policy_(policy) {}
 
-const uint8_t* PageCache::Lookup(PageId pid) {
+PageCache::~PageCache() {
   std::lock_guard<std::mutex> lock(mu_);
-  return LookupLocked(pid);
+  GTS_CHECK(total_pins_ == 0)
+      << "PageCache destroyed with " << total_pins_
+      << " outstanding Pin(s); every Pin must be released first";
+}
+
+PageCache::Pin& PageCache::Pin::operator=(Pin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    cache_ = other.cache_;
+    pid_ = other.pid_;
+    data_ = other.data_;
+    other.cache_ = nullptr;
+    other.data_ = nullptr;
+  }
+  return *this;
+}
+
+void PageCache::Pin::Release() {
+  if (cache_ != nullptr && data_ != nullptr) {
+    cache_->Unpin(pid_);
+  }
+  cache_ = nullptr;
+  data_ = nullptr;
+}
+
+PageCache::Pin PageCache::Lookup(PageId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry* entry = FindLocked(pid);
+  if (entry == nullptr) return Pin();
+  ++entry->pins;
+  ++total_pins_;
+  return Pin(this, pid, entry->buffer.data());
 }
 
 bool PageCache::LookupInto(PageId pid, uint8_t* dst) {
   std::lock_guard<std::mutex> lock(mu_);
-  const uint8_t* bytes = LookupLocked(pid);
-  if (bytes == nullptr) return false;
-  std::memcpy(dst, bytes, page_size_);
+  const Entry* entry = FindLocked(pid);
+  if (entry == nullptr) return false;
+  std::memcpy(dst, entry->buffer.data(), page_size_);
   return true;
 }
 
-const uint8_t* PageCache::LookupLocked(PageId pid) {
+PageCache::Entry* PageCache::FindLocked(PageId pid) {
   ++lookups_;
   auto it = entries_.find(pid);
   if (it == entries_.end()) return nullptr;
@@ -36,7 +70,17 @@ const uint8_t* PageCache::LookupLocked(PageId pid) {
     order_.push_front(pid);
     it->second.order_it = order_.begin();
   }
-  return it->second.buffer.data();
+  return &it->second;
+}
+
+void PageCache::Unpin(PageId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(pid);
+  // Eviction skips pinned pages, so a pinned entry can never disappear.
+  GTS_CHECK(it != entries_.end()) << "Unpin of evicted page " << pid;
+  GTS_CHECK(it->second.pins > 0) << "Unpin without a pin on page " << pid;
+  --it->second.pins;
+  --total_pins_;
 }
 
 std::string_view CachePolicyName(CachePolicy policy) {
@@ -60,9 +104,25 @@ Status PageCache::Insert(PageId pid, const uint8_t* bytes) {
     return Status::OK();  // full: scan-resistant, keep the resident set
   }
   while (entries_.size() >= capacity_pages_) {
-    const PageId victim = order_.back();
-    order_.pop_back();
-    entries_.erase(victim);
+    // Oldest-first victim scan that skips pages leased out via Pin; a
+    // pinned page may be mid-read on a stream thread, so destroying its
+    // DeviceBuffer here would be a use-after-free.
+    auto victim = order_.end();
+    for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+      if (entries_.at(*it).pins == 0) {
+        victim = std::next(it).base();
+        break;
+      }
+    }
+    if (victim == order_.end()) {
+      ++insert_backpressure_;
+      return Status::CapacityExceeded(
+          "page cache full: all " + std::to_string(entries_.size()) +
+          " resident pages are pinned (page " + std::to_string(pid) +
+          " stays on the streaming path)");
+    }
+    entries_.erase(*victim);
+    order_.erase(victim);
   }
   GTS_ASSIGN_OR_RETURN(
       gpu::DeviceBuffer buffer,

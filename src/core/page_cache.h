@@ -35,28 +35,88 @@ std::string_view CachePolicyName(CachePolicy policy);
 ///
 /// Holds real page copies in device memory (so kernels can run against
 /// them) and tracks hit statistics for Figure 11.
+///
+/// Thread-safety: every public method is safe to call concurrently (the
+/// engine's stream worker threads Insert while the main loop looks pages
+/// up). Page bytes escape the cache lock only through a Pin, which holds a
+/// refcount that eviction respects -- see Lookup vs LookupInto below.
 class PageCache {
  public:
+  /// RAII read lease on one cached page.
+  ///
+  /// While a Pin is alive the page cannot be evicted, so data() stays valid
+  /// without holding the cache mutex (kernels run against it directly).
+  /// Move-only; releasing (destruction, assignment, or Release()) unpins.
+  /// Lifetime rule: every Pin must be released before its PageCache is
+  /// destroyed -- the cache aborts on outstanding pins in its destructor
+  /// rather than letting a stale handle dangle.
+  class Pin {
+   public:
+    Pin() = default;
+    Pin(Pin&& other) noexcept { *this = std::move(other); }
+    Pin& operator=(Pin&& other) noexcept;
+    Pin(const Pin&) = delete;
+    Pin& operator=(const Pin&) = delete;
+    ~Pin() { Release(); }
+
+    /// True when the lookup hit and the lease is still held.
+    bool valid() const { return data_ != nullptr; }
+    explicit operator bool() const { return valid(); }
+
+    /// Device bytes of the pinned page; stable until Release(). Requires
+    /// valid().
+    const uint8_t* data() const { return data_; }
+    PageId page_id() const { return pid_; }
+
+    /// Drops the lease early (idempotent); the page becomes evictable.
+    void Release();
+
+   private:
+    friend class PageCache;
+    Pin(PageCache* cache, PageId pid, const uint8_t* data)
+        : cache_(cache), pid_(pid), data_(data) {}
+
+    PageCache* cache_ = nullptr;
+    PageId pid_ = 0;
+    const uint8_t* data_ = nullptr;
+  };
+
   /// Reserves space for up to `capacity_bytes` of pages of `page_size`
   /// bytes each on `device`. A zero capacity disables the cache.
   PageCache(gpu::Device* device, uint64_t capacity_bytes, uint64_t page_size,
             CachePolicy policy);
+
+  /// Aborts if any Pin is still outstanding (a live Pin would otherwise
+  /// dangle into freed device memory).
+  ~PageCache();
 
   PageCache(const PageCache&) = delete;
   PageCache& operator=(const PageCache&) = delete;
 
   /// Max pages the cache can hold.
   size_t capacity_pages() const { return capacity_pages_; }
-  size_t size() const { return entries_.size(); }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  /// Outstanding Pin handles across all pages.
+  size_t pinned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return total_pins_;
+  }
 
-  /// Looks up a page; returns its device bytes or nullptr. Counts a lookup
-  /// and (on success) a hit; refreshes recency under LRU. Thread-safe, but
-  /// the returned pointer is only stable until the next Insert; callers
-  /// that overlap lookups with inserts must use LookupInto instead.
-  const uint8_t* Lookup(PageId pid);
+  /// Looks up a page; on a hit returns a Pin leasing its device bytes (an
+  /// invalid Pin on miss). Counts a lookup and (on success) a hit;
+  /// refreshes recency under LRU. Use this when the caller reads the page
+  /// in place for an extended time (e.g. running a kernel against cached
+  /// device memory): the Pin blocks eviction instead of escaping a raw
+  /// pointer that a concurrent Insert could free mid-read.
+  Pin Lookup(PageId pid);
 
   /// Like Lookup, but copies the page into `dst` (page_size bytes) under
-  /// the cache lock, so concurrent inserts/evictions cannot invalidate it.
+  /// the cache lock. Prefer this copy-based fast path when the caller
+  /// needs its own snapshot anyway (host-side staging): it takes no lease,
+  /// so it can never contribute to cache-full backpressure.
   bool LookupInto(PageId pid, uint8_t* dst);
 
   /// True if present, without touching stats or recency (Algorithm 1
@@ -67,23 +127,49 @@ class PageCache {
   }
 
   /// Inserts a copy of `bytes` for `pid`, evicting per policy when full.
+  /// Eviction skips pinned pages; when every resident page is pinned the
+  /// insert fails with CapacityExceeded (counted in insert_backpressure())
+  /// and the engine keeps the page on the streaming SPBuf/LPBuf path.
   /// No-op when the cache is disabled or the page is already present.
   Status Insert(PageId pid, const uint8_t* bytes);
 
-  uint64_t lookups() const { return lookups_; }
-  uint64_t hits() const { return hits_; }
+  uint64_t lookups() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lookups_;
+  }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  /// Inserts rejected because every evictable page was pinned.
+  uint64_t insert_backpressure() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return insert_backpressure_;
+  }
   double hit_rate() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return lookups_ == 0 ? 0.0
                          : static_cast<double>(hits_) /
                                static_cast<double>(lookups_);
   }
   void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
     lookups_ = 0;
     hits_ = 0;
+    insert_backpressure_ = 0;
   }
 
  private:
-  const uint8_t* LookupLocked(PageId pid);
+  struct Entry {
+    gpu::DeviceBuffer buffer;
+    std::list<PageId>::iterator order_it;
+    uint32_t pins = 0;
+  };
+
+  /// Stats/recency-updating find; requires mu_ held.
+  Entry* FindLocked(PageId pid);
+  /// Pin::Release hook.
+  void Unpin(PageId pid);
 
   mutable std::mutex mu_;
   gpu::Device* device_;
@@ -91,17 +177,15 @@ class PageCache {
   size_t capacity_pages_;
   CachePolicy policy_;
 
-  struct Entry {
-    gpu::DeviceBuffer buffer;
-    std::list<PageId>::iterator order_it;
-  };
   std::unordered_map<PageId, Entry> entries_;
   // For LRU: front = most recent. For FIFO: front = newest insert; eviction
-  // takes from the back in both policies.
+  // takes from the back in both policies (skipping pinned pages).
   std::list<PageId> order_;
 
+  size_t total_pins_ = 0;
   uint64_t lookups_ = 0;
   uint64_t hits_ = 0;
+  uint64_t insert_backpressure_ = 0;
 };
 
 }  // namespace gts

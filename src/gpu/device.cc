@@ -29,17 +29,22 @@ void DeviceBuffer::Reset() {
 }
 
 Result<DeviceBuffer> Device::Allocate(uint64_t size, const std::string& tag) {
-  if (used_ + size > capacity_) {
-    return Status::OutOfDeviceMemory(
-        "GPU" + std::to_string(id_) + ": allocating " + FormatBytes(size) +
-        " for " + tag + " exceeds capacity (" + FormatBytes(used_) + " of " +
-        FormatBytes(capacity_) + " in use)");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (used_ + size > capacity_) {
+      return Status::OutOfDeviceMemory(
+          "GPU" + std::to_string(id_) + ": allocating " + FormatBytes(size) +
+          " for " + tag + " exceeds capacity (" + FormatBytes(used_) +
+          " of " + FormatBytes(capacity_) + " in use)");
+    }
+    used_ += size;
   }
-  used_ += size;
+  // The backing-store resize happens outside the accounting lock.
   return DeviceBuffer(this, size);
 }
 
 void Device::Release(uint64_t size) {
+  std::lock_guard<std::mutex> lock(mu_);
   GTS_CHECK(used_ >= size);
   used_ -= size;
 }

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,6 +52,10 @@ class DeviceBuffer {
 };
 
 /// One simulated GPU.
+///
+/// Thread-safe: the page cache allocates and evicts from stream worker
+/// threads while the engine inspects availability, so the memory accounting
+/// is guarded by a mutex.
 class Device {
  public:
   Device(int id, uint64_t memory_capacity)
@@ -61,8 +66,14 @@ class Device {
 
   int id() const { return id_; }
   uint64_t capacity() const { return capacity_; }
-  uint64_t used() const { return used_; }
-  uint64_t available() const { return capacity_ - used_; }
+  uint64_t used() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  uint64_t available() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return capacity_ - used_;
+  }
 
   /// Allocates `size` bytes of device memory; OutOfDeviceMemory when the
   /// capacity would be exceeded. `tag` names the buffer in error messages
@@ -75,6 +86,7 @@ class Device {
 
   int id_;
   uint64_t capacity_;
+  mutable std::mutex mu_;
   uint64_t used_ = 0;
 };
 

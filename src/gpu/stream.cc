@@ -40,6 +40,11 @@ void Stream::WorkerLoop() {
       busy_ = true;
     }
     op();
+    // Destroy the closure before reporting the stream drained: captures
+    // (staging buffers, PageCache::Pin leases) must be released by the
+    // time Synchronize() returns, or the engine could tear down the cache
+    // under an outstanding pin.
+    op = nullptr;
     {
       std::lock_guard<std::mutex> lock(mu_);
       busy_ = false;

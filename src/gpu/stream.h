@@ -11,7 +11,9 @@
 #ifndef GTS_GPU_STREAM_H_
 #define GTS_GPU_STREAM_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -29,14 +31,20 @@ class Stream {
   Stream(const Stream&) = delete;
   Stream& operator=(const Stream&) = delete;
 
-  /// Enqueues `op`; returns immediately. Ops run in FIFO order.
+  /// Enqueues `op`; returns immediately. Ops run in FIFO order. Safe to
+  /// call from multiple threads (ops from different enqueuers interleave in
+  /// lock-acquisition order).
   void Enqueue(std::function<void()> op);
 
-  /// Blocks until every enqueued op has completed.
+  /// Blocks until every enqueued op has completed *and* been destroyed, so
+  /// resources captured by op closures (e.g. PageCache::Pin leases) are
+  /// guaranteed released when this returns.
   void Synchronize();
 
   /// Number of ops enqueued over the stream's lifetime.
-  uint64_t ops_issued() const { return ops_issued_; }
+  uint64_t ops_issued() const {
+    return ops_issued_.load(std::memory_order_relaxed);
+  }
 
  private:
   void WorkerLoop();
@@ -47,7 +55,7 @@ class Stream {
   std::deque<std::function<void()>> queue_;
   bool busy_ = false;
   bool shutdown_ = false;
-  uint64_t ops_issued_ = 0;
+  std::atomic<uint64_t> ops_issued_{0};
   std::thread worker_;
 };
 

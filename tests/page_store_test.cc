@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 #include "core/page_cache.h"
 #include "graph/csr_graph.h"
@@ -155,7 +156,7 @@ TEST(PageCacheTest, LruEvictsLeastRecentlyUsed) {
   std::vector<uint8_t> page(1 * kKiB, 0xAB);
   ASSERT_TRUE(cache.Insert(1, page.data()).ok());
   ASSERT_TRUE(cache.Insert(2, page.data()).ok());
-  EXPECT_NE(cache.Lookup(1), nullptr);  // touch 1; 2 becomes LRU
+  EXPECT_TRUE(cache.Lookup(1).valid());  // touch 1; 2 becomes LRU
   ASSERT_TRUE(cache.Insert(3, page.data()).ok());
   EXPECT_TRUE(cache.Contains(1));
   EXPECT_FALSE(cache.Contains(2));
@@ -168,7 +169,7 @@ TEST(PageCacheTest, FifoEvictsOldestInsert) {
   std::vector<uint8_t> page(1 * kKiB, 0xCD);
   ASSERT_TRUE(cache.Insert(1, page.data()).ok());
   ASSERT_TRUE(cache.Insert(2, page.data()).ok());
-  EXPECT_NE(cache.Lookup(1), nullptr);  // FIFO ignores recency
+  EXPECT_TRUE(cache.Lookup(1).valid());  // FIFO ignores recency
   ASSERT_TRUE(cache.Insert(3, page.data()).ok());
   EXPECT_FALSE(cache.Contains(1));
   EXPECT_TRUE(cache.Contains(2));
@@ -178,12 +179,27 @@ TEST(PageCacheTest, HitRateAccounting) {
   gpu::Device device(0, 10 * kKiB);
   PageCache cache(&device, 4 * kKiB, 1 * kKiB, CachePolicy::kLru);
   std::vector<uint8_t> page(1 * kKiB, 0x11);
-  EXPECT_EQ(cache.Lookup(7), nullptr);
+  EXPECT_FALSE(cache.Lookup(7).valid());
   ASSERT_TRUE(cache.Insert(7, page.data()).ok());
-  EXPECT_NE(cache.Lookup(7), nullptr);
+  EXPECT_TRUE(cache.Lookup(7).valid());
   EXPECT_EQ(cache.lookups(), 2u);
   EXPECT_EQ(cache.hits(), 1u);
   EXPECT_DOUBLE_EQ(cache.hit_rate(), 0.5);
+}
+
+TEST(PageCacheTest, LookupIntoCountsLookupsAndHits) {
+  gpu::Device device(0, 10 * kKiB);
+  PageCache cache(&device, 4 * kKiB, 1 * kKiB, CachePolicy::kLru);
+  std::vector<uint8_t> page(1 * kKiB, 0x77);
+  std::vector<uint8_t> dst(1 * kKiB);
+  EXPECT_FALSE(cache.LookupInto(4, dst.data()));  // miss counts a lookup
+  ASSERT_TRUE(cache.Insert(4, page.data()).ok());
+  EXPECT_TRUE(cache.LookupInto(4, dst.data()));
+  EXPECT_EQ(dst, page);
+  EXPECT_EQ(cache.lookups(), 2u);
+  EXPECT_EQ(cache.hits(), 1u);
+  // The copy path takes no lease: nothing is pinned afterwards.
+  EXPECT_EQ(cache.pinned(), 0u);
 }
 
 TEST(PageCacheTest, CachedBytesMatchInserted) {
@@ -192,9 +208,78 @@ TEST(PageCacheTest, CachedBytesMatchInserted) {
   std::vector<uint8_t> page(1 * kKiB);
   for (size_t i = 0; i < page.size(); ++i) page[i] = static_cast<uint8_t>(i * 3);
   ASSERT_TRUE(cache.Insert(9, page.data()).ok());
-  const uint8_t* got = cache.Lookup(9);
-  ASSERT_NE(got, nullptr);
-  EXPECT_EQ(std::memcmp(got, page.data(), page.size()), 0);
+  PageCache::Pin pin = cache.Lookup(9);
+  ASSERT_TRUE(pin.valid());
+  EXPECT_EQ(pin.page_id(), 9u);
+  EXPECT_EQ(std::memcmp(pin.data(), page.data(), page.size()), 0);
+}
+
+TEST(PageCacheTest, EvictionSkipsPinnedVictim) {
+  gpu::Device device(0, 10 * kKiB);
+  // FIFO so Lookup does not reorder: page 1 stays the natural victim even
+  // while we hold a Pin on it.
+  PageCache cache(&device, 2 * kKiB, 1 * kKiB, CachePolicy::kFifo);
+  std::vector<uint8_t> page(1 * kKiB, 0x5F);
+  ASSERT_TRUE(cache.Insert(1, page.data()).ok());
+  ASSERT_TRUE(cache.Insert(2, page.data()).ok());
+
+  PageCache::Pin pin1 = cache.Lookup(1);
+  ASSERT_TRUE(pin1.valid());
+  EXPECT_EQ(cache.pinned(), 1u);
+  ASSERT_TRUE(cache.Insert(3, page.data()).ok());
+  EXPECT_TRUE(cache.Contains(1));   // pinned victim skipped
+  EXPECT_FALSE(cache.Contains(2));  // next-oldest unpinned page evicted
+  EXPECT_TRUE(cache.Contains(3));
+
+  pin1.Release();
+  EXPECT_EQ(cache.pinned(), 0u);
+  ASSERT_TRUE(cache.Insert(4, page.data()).ok());  // 1 now evictable again
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_TRUE(cache.Contains(4));
+}
+
+TEST(PageCacheTest, InsertReportsBackpressureWhenAllPagesPinned) {
+  gpu::Device device(0, 10 * kKiB);
+  PageCache cache(&device, 2 * kKiB, 1 * kKiB, CachePolicy::kLru);
+  std::vector<uint8_t> page(1 * kKiB, 0x21);
+  ASSERT_TRUE(cache.Insert(1, page.data()).ok());
+  ASSERT_TRUE(cache.Insert(2, page.data()).ok());
+  {
+    PageCache::Pin pin1 = cache.Lookup(1);
+    PageCache::Pin pin2 = cache.Lookup(2);
+    ASSERT_TRUE(pin1.valid());
+    ASSERT_TRUE(pin2.valid());
+    const Status full = cache.Insert(3, page.data());
+    EXPECT_TRUE(full.IsCapacityExceeded()) << full.ToString();
+    EXPECT_EQ(cache.insert_backpressure(), 1u);
+    EXPECT_FALSE(cache.Contains(3));
+    EXPECT_TRUE(cache.Contains(1));
+    EXPECT_TRUE(cache.Contains(2));
+  }
+  // Pins released by scope exit: the same insert now evicts and succeeds.
+  ASSERT_TRUE(cache.Insert(3, page.data()).ok());
+  EXPECT_TRUE(cache.Contains(3));
+  EXPECT_EQ(cache.insert_backpressure(), 1u);  // unchanged
+}
+
+TEST(PageCacheTest, PinIsMovable) {
+  gpu::Device device(0, 10 * kKiB);
+  PageCache cache(&device, 2 * kKiB, 1 * kKiB, CachePolicy::kLru);
+  std::vector<uint8_t> page(1 * kKiB, 0x9C);
+  ASSERT_TRUE(cache.Insert(1, page.data()).ok());
+  PageCache::Pin a = cache.Lookup(1);
+  ASSERT_TRUE(a.valid());
+  PageCache::Pin b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): post-move probe
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(cache.pinned(), 1u);  // moving transfers, not duplicates
+  a = std::move(b);
+  EXPECT_TRUE(a.valid());
+  EXPECT_EQ(cache.pinned(), 1u);
+  a.Release();
+  a.Release();  // idempotent
+  EXPECT_EQ(cache.pinned(), 0u);
 }
 
 TEST(PageCacheTest, UsesDeviceMemoryAccounting) {
@@ -217,7 +302,7 @@ TEST(PageCacheTest, PinnedPolicyKeepsResidentSetUnderScan) {
   // Cyclic sweep over 4 pages, twice.
   for (int round = 0; round < 2; ++round) {
     for (PageId pid = 0; pid < 4; ++pid) {
-      if (cache.Lookup(pid) == nullptr) {
+      if (!cache.Lookup(pid).valid()) {
         ASSERT_TRUE(cache.Insert(pid, page.data()).ok());
       }
     }
@@ -233,7 +318,7 @@ TEST(PageCacheTest, PinnedPolicyKeepsResidentSetUnderScan) {
   PageCache lru(&device, 2 * kKiB, 1 * kKiB, CachePolicy::kLru);
   for (int round = 0; round < 2; ++round) {
     for (PageId pid = 0; pid < 4; ++pid) {
-      if (lru.Lookup(pid) == nullptr) {
+      if (!lru.Lookup(pid).valid()) {
         ASSERT_TRUE(lru.Insert(pid, page.data()).ok());
       }
     }
@@ -246,8 +331,23 @@ TEST(PageCacheTest, ZeroCapacityCacheIsInert) {
   PageCache cache(&device, 0, 1 * kKiB, CachePolicy::kLru);
   std::vector<uint8_t> page(1 * kKiB, 0x5A);
   ASSERT_TRUE(cache.Insert(1, page.data()).ok());
-  EXPECT_EQ(cache.Lookup(1), nullptr);
+  EXPECT_FALSE(cache.Lookup(1).valid());
   EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PageCacheTest, PinnedPolicyFullInsertIsScanResistantNotBackpressure) {
+  gpu::Device device(0, 10 * kKiB);
+  PageCache cache(&device, 2 * kKiB, 1 * kKiB, CachePolicy::kPinned);
+  std::vector<uint8_t> page(1 * kKiB, 0x30);
+  ASSERT_TRUE(cache.Insert(1, page.data()).ok());
+  ASSERT_TRUE(cache.Insert(2, page.data()).ok());
+  // Policy-full early return: OK status (a deliberate keep-the-resident-set
+  // decision, Insert's scan-resistance early-return), not CapacityExceeded
+  // backpressure -- that is reserved for eviction blocked by Pins.
+  ASSERT_TRUE(cache.Insert(3, page.data()).ok());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.Contains(3));
+  EXPECT_EQ(cache.insert_backpressure(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Builds and runs the tier-1 test suite in plain, TSan, and ASan+UBSan
+# configurations. Any sanitizer finding fails the run loudly (suppressions
+# live in tools/tsan.supp and start empty on purpose).
+#
+# Usage: tools/check_sanitizers.sh [plain|tsan|asan|all]   (default: all)
+# Env:   JOBS=N        parallelism (default: nproc)
+#        BUILD_ROOT=d  where build trees go (default: <repo>/build-san)
+#
+# Also registered as a CTest check: `ctest -C sanitize -R check_sanitizers`
+# from any configured build tree (kept out of the default `ctest` run so
+# tier-1 stays fast).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+BUILD_ROOT="${BUILD_ROOT:-$ROOT/build-san}"
+SUPP="$ROOT/tools/tsan.supp"
+MODE="${1:-all}"
+
+run_config() {
+  local name="$1" sanitize="$2"
+  local build="$BUILD_ROOT/$name"
+  echo "==== [$name] configure (GTS_SANITIZE='$sanitize') ===="
+  cmake -B "$build" -S "$ROOT" -DGTS_SANITIZE="$sanitize" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==== [$name] build ===="
+  cmake --build "$build" -j "$JOBS"
+  echo "==== [$name] ctest -L tier1 ===="
+  (
+    cd "$build"
+    # halt_on_error makes the first TSan finding fail the test instead of
+    # logging and continuing; new findings must be fixed or explicitly
+    # added to tools/tsan.supp, never silently accumulated.
+    TSAN_OPTIONS="suppressions=$SUPP halt_on_error=1 second_deadlock_stack=1" \
+    ASAN_OPTIONS="strict_string_checks=1 detect_stack_use_after_return=1" \
+    UBSAN_OPTIONS="print_stacktrace=1" \
+      ctest --output-on-failure -j "$JOBS" -L tier1
+  )
+  echo "==== [$name] OK ===="
+}
+
+case "$MODE" in
+  plain) run_config plain "" ;;
+  tsan) run_config tsan thread ;;
+  asan) run_config asan-ubsan "address;undefined" ;;
+  all)
+    run_config plain ""
+    run_config tsan thread
+    run_config asan-ubsan "address;undefined"
+    ;;
+  *)
+    echo "unknown mode '$MODE' (expected plain|tsan|asan|all)" >&2
+    exit 2
+    ;;
+esac
+echo "All requested sanitizer configurations passed."
