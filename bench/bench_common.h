@@ -29,6 +29,8 @@
 #include "graph/csr_graph.h"
 #include "graph/datasets.h"
 #include "graph/graph_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/page_builder.h"
 #include "storage/page_store.h"
 
@@ -38,6 +40,60 @@ namespace bench {
 inline bool QuickMode() {
   const char* env = std::getenv("GTS_BENCH_QUICK");
   return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+// ------------------------------------------------------ observability args
+
+/// Command-line observability outputs shared by every bench binary:
+///   --trace_out=FILE    Chrome trace_event JSON of the run's op timeline
+///                       (open in chrome://tracing or Perfetto)
+///   --metrics_out=FILE  metrics-registry snapshot as JSON
+/// Benches that stream multiple engine runs write the last/combined run,
+/// as documented per bench.
+struct BenchArgs {
+  std::string trace_out;
+  std::string metrics_out;
+};
+
+inline BenchArgs& Args() {
+  static BenchArgs args;
+  return args;
+}
+
+/// Parses the shared flags; call first thing in main(). Unknown arguments
+/// abort with a usage message so typos don't silently run the default.
+inline void InitBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace_out=", 0) == 0) {
+      Args().trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics_out=", 0) == 0) {
+      Args().metrics_out = arg.substr(14);
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\nusage: %s [--trace_out=FILE] "
+                   "[--metrics_out=FILE]\n",
+                   arg.c_str(), argv[0]);
+      std::exit(2);
+    }
+  }
+}
+
+/// Writes the --trace_out / --metrics_out artifacts if requested. Benches
+/// that keep a timeline call this once at the end of Main().
+inline void WriteObsArtifacts(const obs::TraceExporter& trace,
+                              const obs::MetricsSnapshot& snapshot) {
+  if (!Args().trace_out.empty()) {
+    const Status status = trace.WriteFile(Args().trace_out);
+    GTS_CHECK(status.ok()) << status.ToString();
+    std::printf("wrote trace: %s (%zu events)\n", Args().trace_out.c_str(),
+                trace.num_events());
+  }
+  if (!Args().metrics_out.empty()) {
+    const Status status = obs::WriteMetricsJson(snapshot, Args().metrics_out);
+    GTS_CHECK(status.ok()) << status.ToString();
+    std::printf("wrote metrics: %s\n", Args().metrics_out.c_str());
+  }
 }
 
 inline std::string DataDir() {
@@ -201,7 +257,7 @@ struct GtsComparisonRunner {
         PickStrategy(machine, graph->csr.num_vertices() * 2);  // LV 2 B
     GtsEngine engine(&graph->paged, store.get(), machine, opts);
     auto result = RunBfsGts(engine, source);
-    return result.ok() ? Cell(PaperSeconds(result->metrics.sim_seconds))
+    return result.ok() ? Cell(PaperSeconds(result->report.metrics.sim_seconds))
                        : StatusCell(result.status());
   }
 
@@ -210,7 +266,7 @@ struct GtsComparisonRunner {
     opts.strategy = PickStrategy(machine, graph->csr.num_vertices() * 4);
     GtsEngine engine(&graph->paged, store.get(), machine, opts);
     auto result = RunPageRankGts(engine, iterations);
-    return result.ok() ? Cell(PaperSeconds(result->total.sim_seconds))
+    return result.ok() ? Cell(PaperSeconds(result->report.metrics.sim_seconds))
                        : StatusCell(result.status());
   }
 

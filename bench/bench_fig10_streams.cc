@@ -32,10 +32,10 @@ int Main() {
       GtsEngine engine(&prepared->paged, store.get(), machine, opts);
 
       auto bfs = RunBfsGts(engine, source);
-      bfs_row.push_back(bfs.ok() ? Cell(PaperSeconds(bfs->metrics.sim_seconds))
+      bfs_row.push_back(bfs.ok() ? Cell(PaperSeconds(bfs->report.metrics.sim_seconds))
                                  : StatusCell(bfs.status()));
       auto pr = RunPageRankGts(engine, pr_iters);
-      pr_row.push_back(pr.ok() ? Cell(PaperSeconds(pr->total.sim_seconds))
+      pr_row.push_back(pr.ok() ? Cell(PaperSeconds(pr->report.metrics.sim_seconds))
                                : StatusCell(pr.status()));
       std::fflush(stdout);
     }
@@ -57,4 +57,7 @@ int Main() {
 }  // namespace bench
 }  // namespace gts
 
-int main() { return gts::bench::Main(); }
+int main(int argc, char** argv) {
+  gts::bench::InitBenchArgs(argc, argv);
+  return gts::bench::Main();
+}

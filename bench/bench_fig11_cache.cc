@@ -43,13 +43,13 @@ int Main() {
         if (bfs.ok()) {
           char buf[16];
           std::snprintf(buf, sizeof(buf), "%.0f%%",
-                        100.0 * bfs->metrics.cache_hit_rate());
+                        100.0 * bfs->report.metrics.cache_hit_rate());
           pct = buf;
         }
         switch (policy) {
           case CachePolicy::kPinned:
             time_row.push_back(
-                bfs.ok() ? Cell(PaperSeconds(bfs->metrics.sim_seconds))
+                bfs.ok() ? Cell(PaperSeconds(bfs->report.metrics.sim_seconds))
                          : StatusCell(bfs.status()));
             hit_row.push_back(pct);
             break;
@@ -91,4 +91,7 @@ int Main() {
 }  // namespace bench
 }  // namespace gts
 
-int main() { return gts::bench::Main(); }
+int main(int argc, char** argv) {
+  gts::bench::InitBenchArgs(argc, argv);
+  return gts::bench::Main();
+}

@@ -24,7 +24,7 @@ std::string GtsSsspCell(const PreparedGraph& g, VertexId source) {
   GtsEngine engine(&g.paged, store.get(),
                    MachineConfig::PaperScaled(2), GtsOptions{});
   auto result = RunSsspGts(engine, source);
-  return result.ok() ? Cell(PaperSeconds(result->metrics.sim_seconds))
+  return result.ok() ? Cell(PaperSeconds(result->report.metrics.sim_seconds))
                      : StatusCell(result.status());
 }
 
@@ -33,7 +33,7 @@ std::string GtsWccCell(const PreparedGraph& g) {
   GtsEngine engine(&g.paged, store.get(),
                    MachineConfig::PaperScaled(2), GtsOptions{});
   auto result = RunWccGts(engine);
-  return result.ok() ? Cell(PaperSeconds(result->total.sim_seconds))
+  return result.ok() ? Cell(PaperSeconds(result->report.metrics.sim_seconds))
                      : StatusCell(result.status());
 }
 
@@ -42,7 +42,7 @@ std::string GtsBcCell(const PreparedGraph& g, VertexId source) {
   GtsEngine engine(&g.paged, store.get(),
                    MachineConfig::PaperScaled(1), GtsOptions{});
   auto result = RunBcGts(engine, source);
-  return result.ok() ? Cell(PaperSeconds(result->total.sim_seconds))
+  return result.ok() ? Cell(PaperSeconds(result->report.metrics.sim_seconds))
                      : StatusCell(result.status());
 }
 
@@ -149,4 +149,7 @@ int Main() {
 }  // namespace bench
 }  // namespace gts
 
-int main() { return gts::bench::Main(); }
+int main(int argc, char** argv) {
+  gts::bench::InitBenchArgs(argc, argv);
+  return gts::bench::Main();
+}

@@ -57,10 +57,10 @@ int Main() {
       GtsEngine engine(&prepared->paged, store.get(), machine, opts);
       auto bfs = RunBfsGts(engine, source);
       bfs_rows[row].push_back(
-          bfs.ok() ? Cell(PaperSeconds(bfs->metrics.sim_seconds)) : "n/a");
+          bfs.ok() ? Cell(PaperSeconds(bfs->report.metrics.sim_seconds)) : "n/a");
       auto pr = RunPageRankGts(engine, pr_iters);
       pr_rows[row].push_back(
-          pr.ok() ? Cell(PaperSeconds(pr->total.sim_seconds)) : "n/a");
+          pr.ok() ? Cell(PaperSeconds(pr->report.metrics.sim_seconds)) : "n/a");
       ++row;
       std::fflush(stdout);
     }
@@ -81,4 +81,7 @@ int Main() {
 }  // namespace bench
 }  // namespace gts
 
-int main() { return gts::bench::Main(); }
+int main(int argc, char** argv) {
+  gts::bench::InitBenchArgs(argc, argv);
+  return gts::bench::Main();
+}

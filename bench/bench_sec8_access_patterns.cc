@@ -60,10 +60,10 @@ int Main() {
                      MachineConfig::PaperScaled(2), GtsOptions{});
     auto bfs = RunBfsGts(engine, source);
     bfs_rows[row].push_back(bfs.ok()
-                                ? Cell(PaperSeconds(bfs->metrics.sim_seconds))
+                                ? Cell(PaperSeconds(bfs->report.metrics.sim_seconds))
                                 : StatusCell(bfs.status()));
     auto pr = RunPageRankGts(engine, pr_iters);
-    pr_rows[row].push_back(pr.ok() ? Cell(PaperSeconds(pr->total.sim_seconds))
+    pr_rows[row].push_back(pr.ok() ? Cell(PaperSeconds(pr->report.metrics.sim_seconds))
                                    : StatusCell(pr.status()));
     std::fflush(stdout);
   }
@@ -85,4 +85,7 @@ int Main() {
 }  // namespace bench
 }  // namespace gts
 
-int main() { return gts::bench::Main(); }
+int main(int argc, char** argv) {
+  gts::bench::InitBenchArgs(argc, argv);
+  return gts::bench::Main();
+}

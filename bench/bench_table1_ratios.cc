@@ -41,12 +41,12 @@ int Main() {
 
     auto bfs = RunBfsGts(engine, BusySource(prepared->csr));
     rows[0].push_back(bfs.ok()
-                          ? RatioCell(bfs->metrics.transfer_busy,
-                                      bfs->metrics.kernel_busy)
+                          ? RatioCell(bfs->report.metrics.transfer_busy,
+                                      bfs->report.metrics.kernel_busy)
                           : "n/a");
     auto pr = RunPageRankGts(engine, 1);
-    rows[1].push_back(pr.ok() ? RatioCell(pr->total.transfer_busy,
-                                          pr->total.kernel_busy)
+    rows[1].push_back(pr.ok() ? RatioCell(pr->report.metrics.transfer_busy,
+                                          pr->report.metrics.kernel_busy)
                               : "n/a");
     std::fflush(stdout);
   }
@@ -61,4 +61,7 @@ int Main() {
 }  // namespace bench
 }  // namespace gts
 
-int main() { return gts::bench::Main(); }
+int main(int argc, char** argv) {
+  gts::bench::InitBenchArgs(argc, argv);
+  return gts::bench::Main();
+}

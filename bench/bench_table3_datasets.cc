@@ -57,4 +57,7 @@ int Main() {
 }  // namespace bench
 }  // namespace gts
 
-int main() { return gts::bench::Main(); }
+int main(int argc, char** argv) {
+  gts::bench::InitBenchArgs(argc, argv);
+  return gts::bench::Main();
+}

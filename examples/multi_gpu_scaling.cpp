@@ -28,7 +28,7 @@ double RunSeconds(const gts::PagedGraph& paged, gts::PageStore* store,
     return -1.0;
   }
   *status = gts::Status::OK();
-  return result->total.sim_seconds;
+  return result->report.metrics.sim_seconds;
 }
 
 }  // namespace
@@ -105,7 +105,7 @@ int main() {
     if (result.ok()) {
       std::printf("  %-22s OK: %s simulated\n",
                   std::string(StrategyName(strategy)).c_str(),
-                  FormatSeconds(result->total.sim_seconds).c_str());
+                  FormatSeconds(result->report.metrics.sim_seconds).c_str());
     } else {
       std::printf("  %-22s %s\n", std::string(StrategyName(strategy)).c_str(),
                   result.status().ToString().c_str());

@@ -64,12 +64,12 @@ int main(int argc, char** argv) {
   }
   std::printf("\nBFS from v%llu: %llu vertices reached in %d levels\n",
               (unsigned long long)source, (unsigned long long)reached,
-              bfs->metrics.levels);
+              bfs->report.metrics.levels);
   std::printf("  simulated time: %s | pages streamed: %llu | cache hits: "
               "%.0f%%\n",
-              FormatSeconds(bfs->metrics.sim_seconds).c_str(),
-              (unsigned long long)bfs->metrics.pages_streamed,
-              100.0 * bfs->metrics.cache_hit_rate());
+              FormatSeconds(bfs->report.metrics.sim_seconds).c_str(),
+              (unsigned long long)bfs->report.metrics.pages_streamed,
+              100.0 * bfs->report.metrics.cache_hit_rate());
 
   // 5. Ten iterations of PageRank.
   auto pr = RunPageRankGts(engine, /*iterations=*/10);
@@ -84,8 +84,8 @@ int main(int argc, char** argv) {
   std::printf("\nPageRank (10 iterations): top vertex v%llu with rank %.6f\n",
               (unsigned long long)top, pr->ranks[top]);
   std::printf("  simulated time: %s | transfer busy: %s | kernel busy: %s\n",
-              FormatSeconds(pr->total.sim_seconds).c_str(),
-              FormatSeconds(pr->total.transfer_busy).c_str(),
-              FormatSeconds(pr->total.kernel_busy).c_str());
+              FormatSeconds(pr->report.metrics.sim_seconds).c_str(),
+              FormatSeconds(pr->report.metrics.transfer_busy).c_str(),
+              FormatSeconds(pr->report.metrics.kernel_busy).c_str());
   return 0;
 }

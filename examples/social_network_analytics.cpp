@@ -52,7 +52,7 @@ int main() {
                         return pr->ranks[a] > pr->ranks[b];
                       });
     std::printf("\nTop influencers (PageRank, 10 iterations, %s simulated):\n",
-                FormatSeconds(pr->total.sim_seconds).c_str());
+                FormatSeconds(pr->report.metrics.sim_seconds).c_str());
     for (int i = 0; i < 10; ++i) {
       std::printf("  %2d. account %-8llu rank %.6f  followers %llu\n", i + 1,
                   (unsigned long long)order[i], pr->ranks[order[i]],
@@ -80,7 +80,7 @@ int main() {
     std::sort(by_size.rbegin(), by_size.rend());
     std::printf("\nCommunities (weak components, %d propagation rounds, %s "
                 "simulated):\n",
-                cc->iterations, FormatSeconds(cc->total.sim_seconds).c_str());
+                cc->iterations, FormatSeconds(cc->report.metrics.sim_seconds).c_str());
     std::printf("  %zu components; largest: %llu accounts (%.1f%%)\n",
                 sizes.size(), (unsigned long long)by_size.front(),
                 100.0 * static_cast<double>(by_size.front()) /

@@ -61,14 +61,14 @@ int main() {
   }
   std::printf("\nBFS crawl from page %llu:\n", (unsigned long long)seed);
   std::printf("  %llu pages reachable, depth %d, simulated %s\n",
-              (unsigned long long)reached, bfs->metrics.levels,
-              FormatSeconds(bfs->metrics.sim_seconds).c_str());
+              (unsigned long long)reached, bfs->report.metrics.levels,
+              FormatSeconds(bfs->report.metrics.sim_seconds).c_str());
   std::printf("  I/O: %llu device reads (%s), %llu MMBuf hits, "
               "device cache hit rate %.0f%%\n",
-              (unsigned long long)bfs->metrics.io.device_reads,
-              FormatBytes(bfs->metrics.io.bytes_read).c_str(),
-              (unsigned long long)bfs->metrics.io.buffer_hits,
-              100.0 * bfs->metrics.cache_hit_rate());
+              (unsigned long long)bfs->report.metrics.io.device_reads,
+              FormatBytes(bfs->report.metrics.io.bytes_read).c_str(),
+              (unsigned long long)bfs->report.metrics.io.buffer_hits,
+              100.0 * bfs->report.metrics.cache_hit_rate());
 
   // --- Weighted shortest paths (SSSP) ---------------------------------
   auto sssp = RunSsspGts(engine, seed);
@@ -87,10 +87,10 @@ int main() {
   std::printf("\nSSSP from page %llu:\n", (unsigned long long)seed);
   std::printf("  %llu pages with finite distance, max distance %.1f, "
               "%d relaxation rounds, simulated %s\n",
-              (unsigned long long)finite, max_finite, sssp->metrics.levels,
-              FormatSeconds(sssp->metrics.sim_seconds).c_str());
+              (unsigned long long)finite, max_finite, sssp->report.metrics.levels,
+              FormatSeconds(sssp->report.metrics.sim_seconds).c_str());
   std::printf("  storage busy %s vs PCI-E transfer busy %s\n",
-              FormatSeconds(sssp->metrics.storage_busy).c_str(),
-              FormatSeconds(sssp->metrics.transfer_busy).c_str());
+              FormatSeconds(sssp->report.metrics.storage_busy).c_str(),
+              FormatSeconds(sssp->report.metrics.transfer_busy).c_str());
   return 0;
 }

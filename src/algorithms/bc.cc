@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstring>
 
-#include "algorithms/pagerank.h"  // AccumulateMetrics
 #include "core/micro.h"
 
 namespace gts {
@@ -177,7 +176,9 @@ std::vector<double> BcBackwardKernel::Deltas() const {
 
 // ----------------------------------------------------------------- driver
 
-Result<BcGtsResult> RunBcGts(GtsEngine& engine, VertexId source) {
+Result<BcGtsResult> RunBcGts(GtsEngine& engine, VertexId source,
+                             const RunOptions& options) {
+  (void)options;  // BC has no tuning knobs
   if (engine.num_gpus() != 1) {
     return Status::Unimplemented(
         "BC merges sigma across replicas; run it on a single GPU "
@@ -186,22 +187,21 @@ Result<BcGtsResult> RunBcGts(GtsEngine& engine, VertexId source) {
   const VertexId n = engine.graph()->num_vertices();
   if (source >= n) return Status::InvalidArgument("BC source out of range");
 
-  BcForwardKernel forward(n, source);
-  GTS_ASSIGN_OR_RETURN(RunMetrics fwd_metrics, engine.Run(&forward, source));
-
   BcGtsResult result;
-  AccumulateMetrics(&result.total, fwd_metrics);
+  BcForwardKernel forward(n, source);
+  GTS_ASSIGN_OR_RETURN(RunMetrics fwd_metrics,
+                       engine.RunInto(&forward, &result.report, source));
 
   BcBackwardKernel backward(forward.entries());
   // Deepest level first; level_pages[l] holds the pages whose vertices sit
   // at depth l. The deepest recorded frontier needs no pass (no successors).
   const auto& level_pages = fwd_metrics.level_pages;
   for (int l = static_cast<int>(level_pages.size()) - 2; l >= 0; --l) {
-    GTS_ASSIGN_OR_RETURN(
-        RunMetrics pass,
-        engine.RunPass(&backward, level_pages[l],
-                       static_cast<uint32_t>(l)));
-    AccumulateMetrics(&result.total, pass);
+    GTS_RETURN_IF_ERROR(engine
+                            .RunPassInto(&backward, &result.report,
+                                         level_pages[l],
+                                         static_cast<uint32_t>(l))
+                            .status());
   }
   result.deltas = backward.Deltas();
   result.deltas[source] = 0.0;  // Brandes: a source carries no dependency

@@ -98,11 +98,13 @@ class BcBackwardKernel final : public GtsKernel {
 struct BcGtsResult {
   /// Dependency (BC contribution) of each vertex for this source.
   std::vector<double> deltas;
-  RunMetrics total;  ///< forward + backward, summed
+  RunReport report;  ///< forward + backward, summed
 };
 
-/// Runs single-source Brandes BC. Requires a single-GPU engine.
-Result<BcGtsResult> RunBcGts(GtsEngine& engine, VertexId source);
+/// Runs single-source Brandes BC. Requires a single-GPU engine. Reads no
+/// RunOptions fields (trailing parameter for signature uniformity).
+Result<BcGtsResult> RunBcGts(GtsEngine& engine, VertexId source,
+                             const RunOptions& options = {});
 
 }  // namespace gts
 

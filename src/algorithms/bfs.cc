@@ -90,7 +90,8 @@ WorkStats BfsKernel::RunLp(const PageView& page, KernelContext& ctx) {
 
 Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
                                                  VertexId source,
-                                                 uint32_t hops) {
+                                                 const RunOptions& options) {
+  const uint32_t hops = options.hops;
   const VertexId n = engine.graph()->num_vertices();
   if (source >= n) {
     return Status::InvalidArgument("neighborhood source out of range");
@@ -99,10 +100,11 @@ Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
   // claiming depth h+1, so `hops` passes yield exactly the <= hops
   // neighborhood.
   BfsKernel kernel(n, source);
-  GTS_ASSIGN_OR_RETURN(
-      RunMetrics metrics,
-      engine.Run(&kernel, source, static_cast<int>(hops)));
   NeighborhoodGtsResult result;
+  GTS_RETURN_IF_ERROR(
+      engine
+          .RunInto(&kernel, &result.report, source, static_cast<int>(hops))
+          .status());
   result.levels = kernel.levels();
   for (VertexId v = 0; v < n; ++v) {
     if (result.levels[v] != BfsKernel::kUnvisited &&
@@ -110,20 +112,28 @@ Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
       result.members.push_back(v);
     }
   }
-  result.metrics = std::move(metrics);
   return result;
 }
 
-Result<BfsGtsResult> RunBfsGts(GtsEngine& engine, VertexId source) {
+Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
+                                                 VertexId source,
+                                                 uint32_t hops) {
+  RunOptions options;
+  options.hops = hops;
+  return RunNeighborhoodGts(engine, source, options);
+}
+
+Result<BfsGtsResult> RunBfsGts(GtsEngine& engine, VertexId source,
+                               const RunOptions& options) {
+  (void)options;  // BFS has no tuning knobs
   const VertexId n = engine.graph()->num_vertices();
   if (source >= n) {
     return Status::InvalidArgument("BFS source out of range");
   }
   BfsKernel kernel(n, source);
-  GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel, source));
   BfsGtsResult result;
+  GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report, source).status());
   result.levels = kernel.levels();
-  result.metrics = std::move(metrics);
   return result;
 }
 

@@ -45,20 +45,26 @@ class BfsKernel final : public GtsKernel {
 /// Result of a full BFS run through the engine.
 struct BfsGtsResult {
   std::vector<uint16_t> levels;
-  RunMetrics metrics;
+  RunReport report;
 };
 
-/// Runs BFS from `source` on the engine's graph.
-Result<BfsGtsResult> RunBfsGts(GtsEngine& engine, VertexId source);
+/// Runs BFS from `source` on the engine's graph. BFS reads no RunOptions
+/// fields; the parameter exists so every driver shares one signature
+/// shape.
+Result<BfsGtsResult> RunBfsGts(GtsEngine& engine, VertexId source,
+                               const RunOptions& options = {});
 
 /// K-hop neighborhood (Section 3.3's "neighborhood" / "egonet" family):
-/// a BFS truncated after `hops` levels. Returns the vertices within
-/// `hops` edges of `source` (levels beyond stay kUnvisited).
+/// a BFS truncated after `options.hops` levels. Returns the vertices
+/// within that many edges of `source` (levels beyond stay kUnvisited).
 struct NeighborhoodGtsResult {
   std::vector<VertexId> members;  ///< vertices with level <= hops, sorted
   std::vector<uint16_t> levels;
-  RunMetrics metrics;
+  RunReport report;
 };
+Result<NeighborhoodGtsResult> RunNeighborhoodGts(
+    GtsEngine& engine, VertexId source, const RunOptions& options = {});
+/// Deprecated positional form; use RunOptions::hops.
 Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
                                                  VertexId source,
                                                  uint32_t hops);

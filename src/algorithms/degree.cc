@@ -53,10 +53,12 @@ WorkStats DegreeKernel::RunLp(const PageView& page, KernelContext& ctx) {
   return stats;
 }
 
-Result<DegreeGtsResult> RunDegreeGts(GtsEngine& engine) {
+Result<DegreeGtsResult> RunDegreeGts(GtsEngine& engine,
+                                     const RunOptions& options) {
+  (void)options;  // degree distribution has no tuning knobs
   DegreeKernel kernel(engine.graph()->num_vertices());
   DegreeGtsResult result;
-  GTS_ASSIGN_OR_RETURN(result.metrics, engine.Run(&kernel));
+  GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report).status());
   result.degrees = kernel.degrees();
   for (uint32_t d : result.degrees) {
     if (d == 0) continue;

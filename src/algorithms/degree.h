@@ -45,11 +45,13 @@ class DegreeKernel final : public GtsKernel {
 struct DegreeGtsResult {
   std::vector<uint32_t> degrees;          ///< out-degree per vertex
   std::vector<uint64_t> histogram_log2;   ///< bucket i: degree in [2^i,2^i+1)
-  RunMetrics metrics;
+  RunReport report;
 };
 
-/// One streaming pass computing the out-degree distribution.
-Result<DegreeGtsResult> RunDegreeGts(GtsEngine& engine);
+/// One streaming pass computing the out-degree distribution. Reads no
+/// RunOptions fields (trailing parameter for signature uniformity).
+Result<DegreeGtsResult> RunDegreeGts(GtsEngine& engine,
+                                     const RunOptions& options = {});
 
 }  // namespace gts
 

@@ -5,7 +5,6 @@
 #include <cstring>
 #include <deque>
 
-#include "algorithms/pagerank.h"  // AccumulateMetrics
 #include "core/micro.h"
 
 namespace gts {
@@ -73,7 +72,9 @@ WorkStats KcoreKernel::RunLp(const PageView& page, KernelContext& ctx) {
   return stats;
 }
 
-Result<KcoreGtsResult> RunKcoreGts(GtsEngine& engine, uint32_t k) {
+Result<KcoreGtsResult> RunKcoreGts(GtsEngine& engine, uint32_t k,
+                                   const RunOptions& options) {
+  (void)options;  // k-core has no tuning knobs
   const PagedGraph* graph = engine.graph();
   const VertexId n = graph->num_vertices();
   KcoreKernel kernel(n);
@@ -118,8 +119,8 @@ Result<KcoreGtsResult> RunKcoreGts(GtsEngine& engine, uint32_t k) {
       }
     }
 
-    GTS_ASSIGN_OR_RETURN(RunMetrics pass, engine.RunPass(&kernel, page_list));
-    AccumulateMetrics(&result.total, pass);
+    GTS_RETURN_IF_ERROR(
+        engine.RunPassInto(&kernel, &result.report, page_list).status());
     ++result.rounds;
 
     newly.clear();

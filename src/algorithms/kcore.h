@@ -61,11 +61,13 @@ struct KcoreGtsResult {
   std::vector<uint8_t> in_core;
   uint64_t core_size = 0;
   int rounds = 0;
-  RunMetrics total;
+  RunReport report;
 };
 
-/// Computes the k-core of the engine's (symmetrized) graph.
-Result<KcoreGtsResult> RunKcoreGts(GtsEngine& engine, uint32_t k);
+/// Computes the k-core of the engine's (symmetrized) graph. `k` is the
+/// query itself, so it stays positional; no RunOptions fields are read.
+Result<KcoreGtsResult> RunKcoreGts(GtsEngine& engine, uint32_t k,
+                                   const RunOptions& options = {});
 
 /// Reference peeling for validation.
 std::vector<uint8_t> ReferenceKcore(const CsrGraph& graph, uint32_t k);

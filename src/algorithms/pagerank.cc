@@ -90,40 +90,30 @@ WorkStats PageRankKernel::RunLp(const PageView& page, KernelContext& ctx) {
   return stats;
 }
 
-void AccumulateMetrics(RunMetrics* total, const RunMetrics& increment) {
-  total->sim_seconds += increment.sim_seconds;
-  total->levels += increment.levels;
-  total->pages_streamed += increment.pages_streamed;
-  total->cpu_pages += increment.cpu_pages;
-  total->sp_kernel_calls += increment.sp_kernel_calls;
-  total->lp_kernel_calls += increment.lp_kernel_calls;
-  total->cache_lookups += increment.cache_lookups;
-  total->cache_hits += increment.cache_hits;
-  total->work += increment.work;
-  total->io.buffer_hits += increment.io.buffer_hits;
-  total->io.device_reads += increment.io.device_reads;
-  total->io.bytes_read += increment.io.bytes_read;
-  total->transfer_busy += increment.transfer_busy;
-  total->kernel_busy += increment.kernel_busy;
-  total->storage_busy += increment.storage_busy;
-}
-
-Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine, int iterations,
-                                         float damping) {
-  if (iterations < 1) {
+Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine,
+                                         const RunOptions& options) {
+  if (options.iterations < 1) {
     return Status::InvalidArgument("PageRank needs at least one iteration");
   }
-  PageRankKernel kernel(engine.graph()->num_vertices(), damping);
+  PageRankKernel kernel(engine.graph()->num_vertices(), options.damping);
   PageRankGtsResult result;
-  for (int iter = 0; iter < iterations; ++iter) {
+  for (int iter = 0; iter < options.iterations; ++iter) {
     kernel.BeginIteration();
-    GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel));
+    GTS_ASSIGN_OR_RETURN(RunMetrics metrics,
+                         engine.RunInto(&kernel, &result.report));
     kernel.EndIteration();
-    AccumulateMetrics(&result.total, metrics);
     result.iterations.push_back(std::move(metrics));
   }
   result.ranks = kernel.ranks();
   return result;
+}
+
+Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine, int iterations,
+                                         float damping) {
+  RunOptions options;
+  options.iterations = iterations;
+  options.damping = damping;
+  return RunPageRankGts(engine, options);
 }
 
 }  // namespace gts

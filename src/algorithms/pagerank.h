@@ -60,17 +60,17 @@ class PageRankKernel final : public GtsKernel {
 
 struct PageRankGtsResult {
   std::vector<float> ranks;
-  RunMetrics total;                     ///< summed across iterations
+  RunReport report;                     ///< summed across iterations
   std::vector<RunMetrics> iterations;   ///< per-iteration detail
 };
 
-/// Runs `iterations` of PageRank on the engine's graph.
+/// Runs `options.iterations` of PageRank with `options.damping` on the
+/// engine's graph.
+Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine,
+                                         const RunOptions& options = {});
+/// Deprecated positional form; use RunOptions::{iterations, damping}.
 Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine, int iterations,
                                          float damping = 0.85f);
-
-/// Adds the additive fields of `increment` into `total` (sim time, pages,
-/// work, ...); levels accumulate too. Shared by multi-pass drivers.
-void AccumulateMetrics(RunMetrics* total, const RunMetrics& increment);
 
 }  // namespace gts
 

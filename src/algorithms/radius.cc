@@ -5,7 +5,6 @@
 #include <cstring>
 #include <deque>
 
-#include "algorithms/pagerank.h"  // AccumulateMetrics
 #include "common/random.h"
 #include "core/micro.h"
 
@@ -114,10 +113,10 @@ double RadiusKernel::EstimateNeighborhood(VertexId v) const {
   return std::pow(2.0, sum_r / kRadiusSketches) / kFmPhi;
 }
 
-Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine, int max_hops,
-                                     uint64_t seed) {
+Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine,
+                                     const RunOptions& options) {
   const VertexId n = engine.graph()->num_vertices();
-  RadiusKernel kernel(n, seed);
+  RadiusKernel kernel(n, options.seed);
   RadiusGtsResult result;
 
   auto total_estimate = [&] {
@@ -127,10 +126,9 @@ Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine, int max_hops,
   };
   result.neighborhood_function.push_back(total_estimate());  // h = 0
 
-  for (int hop = 0; hop < max_hops; ++hop) {
+  for (int hop = 0; hop < options.max_hops; ++hop) {
     kernel.BeginIteration();
-    GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel));
-    AccumulateMetrics(&result.total, metrics);
+    GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report).status());
     ++result.hops;
     result.neighborhood_function.push_back(total_estimate());
     if (!kernel.changed()) break;
@@ -144,6 +142,14 @@ Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine, int max_hops,
     }
   }
   return result;
+}
+
+Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine, int max_hops,
+                                     uint64_t seed) {
+  RunOptions options;
+  options.max_hops = max_hops;
+  options.seed = seed;
+  return RunRadiusGts(engine, options);
 }
 
 std::vector<double> ExactNeighborhoodFunction(const CsrGraph& graph,

@@ -78,11 +78,16 @@ struct RadiusGtsResult {
   /// Smallest h with N(h) >= 0.9 * N(h_max).
   int effective_diameter = 0;
   int hops = 0;  ///< hops until the sketch fixpoint (or max_hops)
-  RunMetrics total;
+  RunReport report;
 };
 
-/// Estimates the graph's neighborhood function and effective diameter.
-Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine, int max_hops = 256,
+/// Estimates the graph's neighborhood function and effective diameter
+/// (sketch propagation bounded by `options.max_hops`, FM sketches seeded
+/// with `options.seed`).
+Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine,
+                                     const RunOptions& options = {});
+/// Deprecated positional form; use RunOptions::{max_hops, seed}.
+Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine, int max_hops,
                                      uint64_t seed = 7);
 
 /// Exact neighborhood function via reverse BFS from every vertex (only

@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstring>
 
-#include "algorithms/pagerank.h"  // AccumulateMetrics
 #include "core/micro.h"
 #include "graph/csr_graph.h"
 
@@ -86,22 +85,29 @@ WorkStats RwrKernel::RunLp(const PageView& page, KernelContext& ctx) {
 }
 
 Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
-                               int iterations, float restart_prob) {
+                               const RunOptions& options) {
   const VertexId n = engine.graph()->num_vertices();
   if (seed >= n) return Status::InvalidArgument("RWR seed out of range");
-  if (iterations < 1) {
+  if (options.iterations < 1) {
     return Status::InvalidArgument("RWR needs at least one iteration");
   }
-  RwrKernel kernel(n, seed, restart_prob);
+  RwrKernel kernel(n, seed, options.restart_prob);
   RwrGtsResult result;
-  for (int iter = 0; iter < iterations; ++iter) {
+  for (int iter = 0; iter < options.iterations; ++iter) {
     kernel.BeginIteration();
-    GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel));
+    GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report).status());
     kernel.EndIteration();
-    AccumulateMetrics(&result.total, metrics);
   }
   result.scores = kernel.scores();
   return result;
+}
+
+Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
+                               int iterations, float restart_prob) {
+  RunOptions options;
+  options.iterations = iterations;
+  options.restart_prob = restart_prob;
+  return RunRwrGts(engine, seed, options);
 }
 
 std::vector<double> ReferenceRwr(const CsrGraph& graph, VertexId seed,

@@ -56,10 +56,14 @@ class RwrKernel final : public GtsKernel {
 
 struct RwrGtsResult {
   std::vector<float> scores;
-  RunMetrics total;
+  RunReport report;
 };
 
-/// Runs `iterations` of RWR from `seed` on the engine's graph.
+/// Runs `options.iterations` of RWR from `seed` with
+/// `options.restart_prob` on the engine's graph.
+Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
+                               const RunOptions& options = {});
+/// Deprecated positional form; use RunOptions::{iterations, restart_prob}.
 Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
                                int iterations, float restart_prob = 0.15f);
 

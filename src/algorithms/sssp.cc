@@ -125,16 +125,17 @@ std::vector<double> SsspKernel::Distances() const {
   return out;
 }
 
-Result<SsspGtsResult> RunSsspGts(GtsEngine& engine, VertexId source) {
+Result<SsspGtsResult> RunSsspGts(GtsEngine& engine, VertexId source,
+                                 const RunOptions& options) {
+  (void)options;  // SSSP has no tuning knobs
   const VertexId n = engine.graph()->num_vertices();
   if (source >= n) {
     return Status::InvalidArgument("SSSP source out of range");
   }
   SsspKernel kernel(n, source);
-  GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel, source));
   SsspGtsResult result;
+  GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report, source).status());
   result.distances = kernel.Distances();
-  result.metrics = std::move(metrics);
   return result;
 }
 

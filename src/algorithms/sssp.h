@@ -60,10 +60,13 @@ class SsspKernel final : public GtsKernel {
 
 struct SsspGtsResult {
   std::vector<double> distances;
-  RunMetrics metrics;
+  RunReport report;
 };
 
-Result<SsspGtsResult> RunSsspGts(GtsEngine& engine, VertexId source);
+/// SSSP reads no RunOptions fields (trailing parameter for signature
+/// uniformity).
+Result<SsspGtsResult> RunSsspGts(GtsEngine& engine, VertexId source,
+                                 const RunOptions& options = {});
 
 }  // namespace gts
 

@@ -4,7 +4,6 @@
 #include <cstring>
 #include <numeric>
 
-#include "algorithms/pagerank.h"  // AccumulateMetrics
 #include "core/micro.h"
 
 namespace gts {
@@ -91,18 +90,23 @@ WorkStats WccKernel::RunLp(const PageView& page, KernelContext& ctx) {
   return stats;
 }
 
-Result<WccGtsResult> RunWccGts(GtsEngine& engine, int max_iterations) {
+Result<WccGtsResult> RunWccGts(GtsEngine& engine, const RunOptions& options) {
   WccKernel kernel(engine.graph()->num_vertices());
   WccGtsResult result;
-  for (int iter = 0; iter < max_iterations; ++iter) {
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
     kernel.BeginIteration();
-    GTS_ASSIGN_OR_RETURN(RunMetrics metrics, engine.Run(&kernel));
-    AccumulateMetrics(&result.total, metrics);
+    GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report).status());
     ++result.iterations;
     if (!kernel.changed()) break;
   }
   result.labels = kernel.labels();
   return result;
+}
+
+Result<WccGtsResult> RunWccGts(GtsEngine& engine, int max_iterations) {
+  RunOptions options;
+  options.max_iterations = max_iterations;
+  return RunWccGts(engine, options);
 }
 
 }  // namespace gts

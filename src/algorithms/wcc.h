@@ -65,11 +65,15 @@ class WccKernel final : public GtsKernel {
 struct WccGtsResult {
   std::vector<uint64_t> labels;
   int iterations = 0;
-  RunMetrics total;
+  RunReport report;
 };
 
-/// Iterates label propagation to a fixpoint (bounded by `max_iterations`).
-Result<WccGtsResult> RunWccGts(GtsEngine& engine, int max_iterations = 1000);
+/// Iterates label propagation to a fixpoint (bounded by
+/// `options.max_iterations`).
+Result<WccGtsResult> RunWccGts(GtsEngine& engine,
+                               const RunOptions& options = {});
+/// Deprecated positional form; use RunOptions::max_iterations.
+Result<WccGtsResult> RunWccGts(GtsEngine& engine, int max_iterations);
 
 }  // namespace gts
 

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/prof.h"
 
 namespace gts {
 
@@ -19,13 +20,44 @@ std::string_view StrategyName(Strategy strategy) {
   return "?";
 }
 
-namespace {
-/// Stream-key stride per GPU; num_streams above this would alias keys
-/// across GPUs (checked in the GtsEngine constructor).
-constexpr int kMaxStreamsPerGpu = 4096;
+Status GtsOptions::Validate(const MachineConfig& machine) const {
+  if (machine.num_gpus < 1) {
+    return Status::InvalidArgument("machine needs at least one GPU, got " +
+                                   std::to_string(machine.num_gpus));
+  }
+  if (num_streams < 1) {
+    return Status::InvalidArgument("num_streams must be >= 1, got " +
+                                   std::to_string(num_streams));
+  }
+  if (num_streams > kMaxStreamsPerGpu) {
+    return Status::InvalidArgument(
+        "num_streams " + std::to_string(num_streams) +
+        " would alias StreamKey encodings across GPUs (max " +
+        std::to_string(kMaxStreamsPerGpu) + ")");
+  }
+  if (max_levels < 1) {
+    return Status::InvalidArgument("max_levels must be >= 1, got " +
+                                   std::to_string(max_levels));
+  }
+  if (!(cpu_assist_fraction >= 0.0 && cpu_assist_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "cpu_assist_fraction must be in [0, 1), got " +
+        std::to_string(cpu_assist_fraction));
+  }
+  if (cache_bytes != kAutoCacheBytes && cache_bytes > machine.device_memory) {
+    return Status::InvalidArgument(
+        "cache_bytes " + std::to_string(cache_bytes) +
+        " exceeds device memory (" + std::to_string(machine.device_memory) +
+        " B); use kAutoCacheBytes for whatever fits");
+  }
+  return Status::OK();
+}
 
+namespace {
 /// Encodes (gpu, stream) into a ScheduleSimulator stream key.
-int StreamKey(int gpu, int stream) { return gpu * kMaxStreamsPerGpu + stream; }
+int StreamKey(int gpu, int stream) {
+  return gpu * GtsOptions::kMaxStreamsPerGpu + stream;
+}
 }  // namespace
 
 /// Per-GPU mutable state.
@@ -55,21 +87,23 @@ struct GtsEngine::CpuState {
 
 GtsEngine::GtsEngine(const PagedGraph* graph, PageStore* store,
                      MachineConfig machine, GtsOptions options)
-    : graph_(graph), store_(store), machine_(machine), options_(options) {
-  GTS_CHECK(machine_.num_gpus >= 1);
-  GTS_CHECK(options_.num_streams >= 1);
-  GTS_CHECK(options_.num_streams <= kMaxStreamsPerGpu)
-      << "num_streams " << options_.num_streams
-      << " would alias StreamKey encodings across GPUs (max "
-      << kMaxStreamsPerGpu << ")";
-  GTS_CHECK(options_.cpu_assist_fraction >= 0.0 &&
-            options_.cpu_assist_fraction < 1.0);
+    : graph_(graph),
+      store_(store),
+      machine_(machine),
+      options_(options),
+      registry_(std::make_shared<obs::MetricsRegistry>()) {
+  const Status valid = options_.Validate(machine_);
+  GTS_CHECK(valid.ok()) << valid.ToString();
+  store_->BindMetrics(registry_);
+  obs::Counter& stream_ops = registry_->GetCounter("gpu.stream_ops");
   for (int g = 0; g < machine_.num_gpus; ++g) {
     auto state = std::make_unique<GpuState>();
     state->device = std::make_unique<gpu::Device>(g, machine_.device_memory);
     if (options_.use_stream_threads) {
       for (int s = 0; s < options_.num_streams; ++s) {
-        state->streams.push_back(std::make_unique<gpu::Stream>());
+        auto stream = std::make_unique<gpu::Stream>();
+        stream->BindOpsCounter(&stream_ops);
+        state->streams.push_back(std::move(stream));
       }
     }
     gpus_.push_back(std::move(state));
@@ -139,9 +173,9 @@ Status GtsEngine::SetupBuffers(GtsKernel* kernel) {
           options_.cache_bytes == GtsOptions::kAutoCacheBytes
               ? avail
               : std::min(options_.cache_bytes, avail);
-      gpu.cache = std::make_unique<PageCache>(gpu.device.get(), cache_bytes,
-                                              page_size,
-                                              options_.cache_policy);
+      gpu.cache = std::make_unique<PageCache>(
+          gpu.device.get(), cache_bytes, page_size, options_.cache_policy,
+          registry_.get(), "cache.gpu" + std::to_string(g));
     }
     if (traversal) {
       gpu.local_next = std::make_unique<PidSet>(graph_->num_pages());
@@ -363,6 +397,7 @@ std::vector<PageId> GtsEngine::OrderPages(std::vector<PageId> sps,
 Status GtsEngine::ProcessPages(GtsKernel* kernel,
                                const std::vector<PageId>& pids,
                                uint32_t cur_level, RunMetrics* metrics) {
+  GTS_PROF_SCOPE("engine.process_pages");
   const TimeModel& tm = machine_.time_model;
   const PageConfig& config = graph_->config();
   const uint64_t page_size = config.page_size;
@@ -543,8 +578,29 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
   return Status::OK();
 }
 
+Result<RunMetrics> GtsEngine::RunInto(GtsKernel* kernel, RunReport* report,
+                                      VertexId source,
+                                      int max_levels_override) {
+  GTS_ASSIGN_OR_RETURN(RunMetrics increment,
+                       Run(kernel, source, max_levels_override));
+  report->Accumulate(increment);
+  report->snapshot = registry_->Snapshot();
+  return increment;
+}
+
+Result<RunMetrics> GtsEngine::RunPassInto(GtsKernel* kernel,
+                                          RunReport* report,
+                                          const std::vector<PageId>& pages,
+                                          uint32_t level) {
+  GTS_ASSIGN_OR_RETURN(RunMetrics increment, RunPass(kernel, pages, level));
+  report->Accumulate(increment);
+  report->snapshot = registry_->Snapshot();
+  return increment;
+}
+
 Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
                                   int max_levels_override) {
+  GTS_PROF_SCOPE("engine.run");
   const int max_levels =
       max_levels_override >= 0 ? max_levels_override : options_.max_levels;
   const bool traversal =
@@ -716,6 +772,7 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
 Result<RunMetrics> GtsEngine::RunPass(GtsKernel* kernel,
                                       const std::vector<PageId>& pages,
                                       uint32_t level) {
+  GTS_PROF_SCOPE("engine.run_pass");
   Status setup = SetupBuffers(kernel);
   if (!setup.ok()) {
     ReleaseBuffers();
@@ -759,6 +816,7 @@ Result<RunMetrics> GtsEngine::RunPass(GtsKernel* kernel,
 }
 
 void GtsEngine::FinalizeRun(RunMetrics* metrics) {
+  GTS_PROF_SCOPE("engine.finalize_run");
   for (auto& gpu : gpus_) {
     for (const WorkStats& w : gpu->stream_work) metrics->work += w;
     if (gpu->cache != nullptr) {
@@ -788,7 +846,28 @@ void GtsEngine::FinalizeRun(RunMetrics* metrics) {
       schedule.BusySeconds(gpu::ResourceId::Type::kStorageDevice);
   if (options_.keep_timeline) metrics->timeline = std::move(schedule);
 
+  PublishMetrics(*metrics);
   ReleaseBuffers();
+}
+
+void GtsEngine::PublishMetrics(const RunMetrics& metrics) {
+  // Engine-level aggregates only: cache and storage counters are bumped
+  // at their source (PageCache / PageStore / StorageDevice handles), so
+  // publishing them again here would double-count.
+  registry_->GetCounter("engine.runs").Add();
+  registry_->GetCounter("engine.levels").Add(
+      static_cast<uint64_t>(metrics.levels));
+  registry_->GetCounter("engine.pages_streamed").Add(metrics.pages_streamed);
+  registry_->GetCounter("engine.cpu_pages").Add(metrics.cpu_pages);
+  registry_->GetCounter("engine.sp_kernel_calls").Add(metrics.sp_kernel_calls);
+  registry_->GetCounter("engine.lp_kernel_calls").Add(metrics.lp_kernel_calls);
+  registry_->GetGauge("engine.last_transfer_busy_seconds")
+      .Set(metrics.transfer_busy);
+  registry_->GetGauge("engine.last_kernel_busy_seconds")
+      .Set(metrics.kernel_busy);
+  registry_->GetGauge("engine.last_storage_busy_seconds")
+      .Set(metrics.storage_busy);
+  registry_->GetDistribution("engine.sim_seconds").Record(metrics.sim_seconds);
 }
 
 }  // namespace gts

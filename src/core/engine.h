@@ -25,9 +25,12 @@
 #include "core/kernel.h"
 #include "core/machine_config.h"
 #include "core/page_cache.h"
+#include "core/run_metrics.h"
+#include "core/run_report.h"
 #include "gpu/device.h"
 #include "gpu/schedule.h"
 #include "gpu/stream.h"
+#include "obs/metrics.h"
 #include "storage/page_store.h"
 #include "storage/paged_graph.h"
 
@@ -72,42 +75,19 @@ struct GtsOptions {
   bool interleave_sp_lp = false;
 
   static constexpr uint64_t kAutoCacheBytes = ~uint64_t{0};
-};
+  /// Stream-key encoding limit (gpu * kMaxStreamsPerGpu + stream).
+  static constexpr int kMaxStreamsPerGpu = 4096;
 
-/// Result of one Run().
-struct RunMetrics {
-  SimTime sim_seconds = 0.0;  ///< simulated elapsed time of the run
-  int levels = 0;             ///< traversal levels (1 for full scans)
-  uint64_t pages_streamed = 0;  ///< H2D page transfers performed
-  uint64_t cpu_pages = 0;       ///< pages co-processed on the host CPUs
-  uint64_t sp_kernel_calls = 0;
-  uint64_t lp_kernel_calls = 0;
-  uint64_t cache_lookups = 0;
-  uint64_t cache_hits = 0;
-  /// Cache inserts rejected because every evictable page was pinned by an
-  /// in-flight kernel (the page stayed on the streaming SPBuf/LPBuf path).
-  uint64_t cache_backpressure = 0;
-  WorkStats work;
-  PageStoreStats io;          ///< storage-level counters for this run
-
-  /// For traversal runs with GtsKernel::collect_level_pages(): the page ids
-  /// processed at each level (drives backward passes, e.g. betweenness).
-  std::vector<std::vector<PageId>> level_pages;
-
-  // Resource-busy breakdown from the schedule (for Table 1 style ratios).
-  SimTime transfer_busy = 0.0;
-  SimTime kernel_busy = 0.0;
-  SimTime storage_busy = 0.0;
-
-  /// Full op timeline; populated only with GtsOptions::keep_timeline.
-  gpu::ScheduleResult timeline;
-
-  double cache_hit_rate() const {
-    return cache_lookups == 0
-               ? 0.0
-               : static_cast<double>(cache_hits) /
-                     static_cast<double>(cache_lookups);
-  }
+  /// Checks every option invariant against the target machine:
+  /// num_streams in [1, kMaxStreamsPerGpu], max_levels >= 1,
+  /// cpu_assist_fraction in [0, 1), an explicit cache_bytes that fits in
+  /// device memory, and a machine with at least one GPU. The single
+  /// source of option validation; the engine constructor calls it and
+  /// refuses (aborts) on failure, so construct-time callers that need a
+  /// recoverable error should Validate() first. Workload-dependent
+  /// checks (memory capacity per kernel, hybrid strategy rules) stay at
+  /// Run() time where the kernel is known.
+  Status Validate(const MachineConfig& machine) const;
 };
 
 /// The GTS engine. One engine serves one graph + store + machine; Run()
@@ -137,10 +117,30 @@ class GtsEngine {
                              const std::vector<PageId>& pages,
                              uint32_t level = 0);
 
+  /// Run() folded into `report`: accumulates the pass into
+  /// report->metrics, refreshes report->snapshot from the engine
+  /// registry, and returns the per-pass increment (loop drivers read it
+  /// for convergence / level_pages without any hand-written `+=`).
+  Result<RunMetrics> RunInto(GtsKernel* kernel, RunReport* report,
+                             VertexId source = kInvalidVertexId,
+                             int max_levels_override = -1);
+
+  /// RunPass() folded into `report`; see RunInto().
+  Result<RunMetrics> RunPassInto(GtsKernel* kernel, RunReport* report,
+                                 const std::vector<PageId>& pages,
+                                 uint32_t level = 0);
+
   const PagedGraph* graph() const { return graph_; }
   int num_gpus() const { return machine_.num_gpus; }
   const MachineConfig& machine() const { return machine_; }
   const GtsOptions& options() const { return options_; }
+
+  /// The engine's metrics registry: cumulative counters over the engine's
+  /// lifetime, refreshed at the end of every Run()/RunPass(). Shared so
+  /// sinks (storage devices, profiling) may outlive the engine.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics_registry() const {
+    return registry_;
+  }
 
  private:
   struct GpuState;
@@ -164,6 +164,9 @@ class GtsEngine {
   /// Computes the schedule, gathers stats, releases buffers.
   void FinalizeRun(RunMetrics* metrics);
 
+  /// Publishes one run's counters cumulatively into registry_.
+  void PublishMetrics(const RunMetrics& metrics);
+
   /// Streams one list of pages to the GPUs and runs kernels; records ops
   /// and accumulates stats. Page kind (SP/LP) is derived per page.
   Status ProcessPages(GtsKernel* kernel, const std::vector<PageId>& pids,
@@ -186,6 +189,7 @@ class GtsEngine {
   PageStore* store_;
   MachineConfig machine_;
   GtsOptions options_;
+  std::shared_ptr<obs::MetricsRegistry> registry_;
 
   std::vector<std::unique_ptr<GpuState>> gpus_;
   std::unique_ptr<CpuState> cpu_;  // present while a hybrid run is active

@@ -10,11 +10,21 @@
 namespace gts {
 
 PageCache::PageCache(gpu::Device* device, uint64_t capacity_bytes,
-                     uint64_t page_size, CachePolicy policy)
+                     uint64_t page_size, CachePolicy policy,
+                     obs::MetricsRegistry* registry,
+                     std::string_view metric_prefix)
     : device_(device),
       page_size_(page_size),
       capacity_pages_(page_size == 0 ? 0 : capacity_bytes / page_size),
-      policy_(policy) {}
+      policy_(policy) {
+  if (registry != nullptr) {
+    const std::string prefix(metric_prefix);
+    lookups_metric_ = &registry->GetCounter(prefix + ".lookups");
+    hits_metric_ = &registry->GetCounter(prefix + ".hits");
+    inserts_metric_ = &registry->GetCounter(prefix + ".inserts");
+    backpressure_metric_ = &registry->GetCounter(prefix + ".backpressure");
+  }
+}
 
 PageCache::~PageCache() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -62,9 +72,11 @@ bool PageCache::LookupInto(PageId pid, uint8_t* dst) {
 
 PageCache::Entry* PageCache::FindLocked(PageId pid) {
   ++lookups_;
+  if (lookups_metric_ != nullptr) lookups_metric_->Add();
   auto it = entries_.find(pid);
   if (it == entries_.end()) return nullptr;
   ++hits_;
+  if (hits_metric_ != nullptr) hits_metric_->Add();
   if (policy_ == CachePolicy::kLru) {
     order_.erase(it->second.order_it);
     order_.push_front(pid);
@@ -116,6 +128,7 @@ Status PageCache::Insert(PageId pid, const uint8_t* bytes) {
     }
     if (victim == order_.end()) {
       ++insert_backpressure_;
+      if (backpressure_metric_ != nullptr) backpressure_metric_->Add();
       return Status::CapacityExceeded(
           "page cache full: all " + std::to_string(entries_.size()) +
           " resident pages are pinned (page " + std::to_string(pid) +
@@ -133,6 +146,7 @@ Status PageCache::Insert(PageId pid, const uint8_t* bytes) {
   entry.buffer = std::move(buffer);
   entry.order_it = order_.begin();
   entries_.emplace(pid, std::move(entry));
+  if (inserts_metric_ != nullptr) inserts_metric_->Add();
   return Status::OK();
 }
 

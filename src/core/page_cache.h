@@ -16,6 +16,7 @@
 #include "common/status.h"
 #include "gpu/device.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
 
 namespace gts {
 
@@ -82,9 +83,14 @@ class PageCache {
   };
 
   /// Reserves space for up to `capacity_bytes` of pages of `page_size`
-  /// bytes each on `device`. A zero capacity disables the cache.
+  /// bytes each on `device`. A zero capacity disables the cache. With a
+  /// `registry`, lookups/hits/inserts/backpressure are also published as
+  /// `<metric_prefix>.*` counters (cumulative across cache lifetimes,
+  /// since one engine rebuilds its caches per run); the registry must
+  /// outlive the cache.
   PageCache(gpu::Device* device, uint64_t capacity_bytes, uint64_t page_size,
-            CachePolicy policy);
+            CachePolicy policy, obs::MetricsRegistry* registry = nullptr,
+            std::string_view metric_prefix = "cache");
 
   /// Aborts if any Pin is still outstanding (a live Pin would otherwise
   /// dangle into freed device memory).
@@ -176,6 +182,12 @@ class PageCache {
   uint64_t page_size_;
   size_t capacity_pages_;
   CachePolicy policy_;
+
+  // Registry handles (nullptr when no registry was given).
+  obs::Counter* lookups_metric_ = nullptr;
+  obs::Counter* hits_metric_ = nullptr;
+  obs::Counter* inserts_metric_ = nullptr;
+  obs::Counter* backpressure_metric_ = nullptr;
 
   std::unordered_map<PageId, Entry> entries_;
   // For LRU: front = most recent. For FIFO: front = newest insert; eviction

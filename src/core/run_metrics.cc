@@ -1,0 +1,27 @@
+#include "core/run_metrics.h"
+
+namespace gts {
+
+void RunMetrics::Accumulate(const RunMetrics& increment) {
+  sim_seconds += increment.sim_seconds;
+  levels += increment.levels;
+  pages_streamed += increment.pages_streamed;
+  cpu_pages += increment.cpu_pages;
+  sp_kernel_calls += increment.sp_kernel_calls;
+  lp_kernel_calls += increment.lp_kernel_calls;
+  cache_lookups += increment.cache_lookups;
+  cache_hits += increment.cache_hits;
+  cache_backpressure += increment.cache_backpressure;
+  work += increment.work;
+  io.buffer_hits += increment.io.buffer_hits;
+  io.device_reads += increment.io.device_reads;
+  io.bytes_read += increment.io.bytes_read;
+  transfer_busy += increment.transfer_busy;
+  kernel_busy += increment.kernel_busy;
+  storage_busy += increment.storage_busy;
+  level_pages.insert(level_pages.end(), increment.level_pages.begin(),
+                     increment.level_pages.end());
+  if (!increment.timeline.ops.empty()) timeline = increment.timeline;
+}
+
+}  // namespace gts

@@ -1,0 +1,71 @@
+// Per-run counters of one GtsEngine::Run / RunPass.
+//
+// RunMetrics is the thin per-run compatibility view over the engine's
+// observability layer: the same numbers are published cumulatively into
+// the engine's obs::MetricsRegistry (see core/run_report.h for the
+// registry snapshot carried next to these counters).
+#ifndef GTS_CORE_RUN_METRICS_H_
+#define GTS_CORE_RUN_METRICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/kernel.h"
+#include "gpu/schedule.h"
+#include "graph/types.h"
+#include "storage/page_store.h"
+
+namespace gts {
+
+/// Result of one Run().
+struct RunMetrics {
+  SimTime sim_seconds = 0.0;  ///< simulated elapsed time of the run
+  int levels = 0;             ///< traversal levels (1 for full scans)
+  uint64_t pages_streamed = 0;  ///< H2D page transfers performed
+  uint64_t cpu_pages = 0;       ///< pages co-processed on the host CPUs
+  uint64_t sp_kernel_calls = 0;
+  uint64_t lp_kernel_calls = 0;
+  uint64_t cache_lookups = 0;
+  uint64_t cache_hits = 0;
+  /// Cache inserts rejected because every evictable page was pinned by an
+  /// in-flight kernel (the page stayed on the streaming SPBuf/LPBuf path).
+  uint64_t cache_backpressure = 0;
+  WorkStats work;
+  PageStoreStats io;          ///< storage-level counters for this run
+
+  /// For traversal runs with GtsKernel::collect_level_pages(): the page ids
+  /// processed at each level (drives backward passes, e.g. betweenness).
+  std::vector<std::vector<PageId>> level_pages;
+
+  // Resource-busy breakdown from the schedule (for Table 1 style ratios).
+  SimTime transfer_busy = 0.0;
+  SimTime kernel_busy = 0.0;
+  SimTime storage_busy = 0.0;
+
+  /// Full op timeline; populated only with GtsOptions::keep_timeline.
+  gpu::ScheduleResult timeline;
+
+  /// Folds `increment` into this total. The single accumulation path for
+  /// every multi-pass driver (PageRank iterations, radius hops, k-core
+  /// rounds, BC's backward sweep):
+  ///   - every additive counter (times, pages, kernel calls, cache and
+  ///     storage counters -- including cache_backpressure -- and work)
+  ///     is summed; `levels` sums too;
+  ///   - `level_pages` appends, so a single accumulated run keeps its
+  ///     frontier history;
+  ///   - `timeline` keeps the increment's ops when it has any (the
+  ///     per-run artifact of the *latest* pass; per-pass timelines live
+  ///     in the individual RunMetrics).
+  void Accumulate(const RunMetrics& increment);
+
+  double cache_hit_rate() const {
+    return cache_lookups == 0
+               ? 0.0
+               : static_cast<double>(cache_hits) /
+                     static_cast<double>(cache_lookups);
+  }
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_RUN_METRICS_H_

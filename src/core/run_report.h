@@ -1,0 +1,54 @@
+// The unified result and parameter block of every Run*Gts driver.
+//
+// Historically each algorithm grew its own result struct with a
+// differently named RunMetrics field (`metrics`, `total`, ...) and each
+// driver grew positional knobs (`max_hops`, `seed`, ...). This header is
+// the common shape:
+//
+//   - every *GtsResult holds a `RunReport report` -- accumulated
+//     RunMetrics plus a snapshot of the engine's metrics registry;
+//   - every driver takes a trailing `const RunOptions&` for tuning knobs
+//     (query identity -- source vertex, k -- stays positional).
+//
+// Engine::RunInto / RunPassInto fold each pass into a RunReport, so
+// drivers carry zero per-algorithm metric-copying code.
+#ifndef GTS_CORE_RUN_REPORT_H_
+#define GTS_CORE_RUN_REPORT_H_
+
+#include <cstdint>
+
+#include "core/run_metrics.h"
+#include "obs/metrics.h"
+
+namespace gts {
+
+/// Tuning knobs shared by the Run*Gts drivers. Each driver documents the
+/// fields it reads; the rest are ignored.
+struct RunOptions {
+  int iterations = 1;         ///< PageRank / RWR fixed-iteration loops
+  int max_iterations = 1000;  ///< WCC label-propagation fixpoint cap
+  int max_hops = 256;         ///< Radius sketch-propagation cap
+  uint32_t hops = 1;          ///< k-hop neighborhood depth
+  uint64_t seed = 7;          ///< Radius FM-sketch seed
+  float damping = 0.85f;      ///< PageRank damping factor
+  float restart_prob = 0.15f; ///< RWR restart probability
+};
+
+/// What a driver hands back about how its run(s) went: the accumulated
+/// per-run counters plus the engine's registry at completion. Algorithm
+/// outputs (levels, ranks, ...) live beside it in each *GtsResult.
+struct RunReport {
+  /// Counters accumulated over every engine pass of the driver.
+  RunMetrics metrics;
+  /// The engine's obs::MetricsRegistry after the final pass (cumulative
+  /// over the engine's lifetime, not just this driver's runs).
+  obs::MetricsSnapshot snapshot;
+
+  void Accumulate(const RunMetrics& increment) {
+    metrics.Accumulate(increment);
+  }
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_RUN_REPORT_H_

@@ -20,6 +20,9 @@ void Stream::Enqueue(std::function<void()> op) {
     queue_.push_back(std::move(op));
     ++ops_issued_;
   }
+  if (obs::Counter* counter = ops_metric_.load(std::memory_order_acquire)) {
+    counter->Add();
+  }
   work_cv_.notify_one();
 }
 

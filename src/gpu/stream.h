@@ -19,6 +19,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace gts {
 namespace gpu {
 
@@ -46,6 +48,13 @@ class Stream {
     return ops_issued_.load(std::memory_order_relaxed);
   }
 
+  /// Mirrors every Enqueue into a registry counter (typically shared by
+  /// all of an engine's streams, e.g. "gpu.stream_ops"). nullptr
+  /// detaches. The counter must outlive enqueues on this stream.
+  void BindOpsCounter(obs::Counter* counter) {
+    ops_metric_.store(counter, std::memory_order_release);
+  }
+
  private:
   void WorkerLoop();
 
@@ -56,6 +65,7 @@ class Stream {
   bool busy_ = false;
   bool shutdown_ = false;
   std::atomic<uint64_t> ops_issued_{0};
+  std::atomic<obs::Counter*> ops_metric_{nullptr};
   std::thread worker_;
 };
 

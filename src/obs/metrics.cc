@@ -1,0 +1,163 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace gts {
+namespace obs {
+
+void Distribution::Record(double sample) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.count == 0) {
+    stats_.min = sample;
+    stats_.max = sample;
+  } else {
+    stats_.min = std::min(stats_.min, sample);
+    stats_.max = std::max(stats_.max, sample);
+  }
+  ++stats_.count;
+  stats_.sum += sample;
+}
+
+Distribution::Stats Distribution::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::string_view MetricKindName(MetricValue::Kind kind) {
+  switch (kind) {
+    case MetricValue::Kind::kCounter:
+      return "counter";
+    case MetricValue::Kind::kGauge:
+      return "gauge";
+    case MetricValue::Kind::kDistribution:
+      return "distribution";
+  }
+  return "?";
+}
+
+MetricsRegistry::Entry& MetricsRegistry::GetEntry(std::string_view name,
+                                                  MetricValue::Kind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.kind = kind;
+    switch (kind) {
+      case MetricValue::Kind::kCounter:
+        entry.counter = std::make_unique<Counter>();
+        break;
+      case MetricValue::Kind::kGauge:
+        entry.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricValue::Kind::kDistribution:
+        entry.distribution = std::make_unique<Distribution>();
+        break;
+    }
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  GTS_CHECK(it->second.kind == kind)
+      << "metric '" << it->first << "' registered as "
+      << MetricKindName(it->second.kind) << ", requested as "
+      << MetricKindName(kind);
+  return it->second;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  return *GetEntry(name, MetricValue::Kind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  return *GetEntry(name, MetricValue::Kind::kGauge).gauge;
+}
+
+Distribution& MetricsRegistry::GetDistribution(std::string_view name) {
+  return *GetEntry(name, MetricValue::Kind::kDistribution).distribution;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  for (const auto& [name, entry] : entries_) {
+    MetricValue value;
+    value.kind = entry.kind;
+    switch (entry.kind) {
+      case MetricValue::Kind::kCounter:
+        value.count = entry.counter->value();
+        break;
+      case MetricValue::Kind::kGauge:
+        value.value = entry.gauge->value();
+        break;
+      case MetricValue::Kind::kDistribution: {
+        const Distribution::Stats stats = entry.distribution->stats();
+        value.count = stats.count;
+        value.value = stats.sum;
+        value.min = stats.min;
+        value.max = stats.max;
+        break;
+      }
+    }
+    snapshot.emplace(name, value);
+  }
+  return snapshot;
+}
+
+namespace {
+/// Shortest round-trip double formatting (%.17g trimmed by %g semantics):
+/// deterministic for a given value, locale-independent digits.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+}  // namespace
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"metrics\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + name + "\":{\"kind\":\"" +
+           std::string(MetricKindName(value.kind)) + "\"";
+    switch (value.kind) {
+      case MetricValue::Kind::kCounter:
+        out += ",\"value\":" + std::to_string(value.count);
+        break;
+      case MetricValue::Kind::kGauge:
+        out += ",\"value\":" + FormatDouble(value.value);
+        break;
+      case MetricValue::Kind::kDistribution:
+        out += ",\"count\":" + std::to_string(value.count) +
+               ",\"sum\":" + FormatDouble(value.value) +
+               ",\"min\":" + FormatDouble(value.min) +
+               ",\"max\":" + FormatDouble(value.max);
+        break;
+    }
+    out += "}";
+  }
+  out += "}}\n";
+  return out;
+}
+
+Status WriteMetricsJson(const MetricsSnapshot& snapshot,
+                        const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open " + path);
+  const std::string json = MetricsJson(snapshot);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace gts

@@ -1,0 +1,132 @@
+// gts::obs metrics: a registry of named counters, gauges, and
+// distributions that the engine, caches, storage, and streams publish
+// into.
+//
+// The registry replaces the hand-maintained field-per-counter pattern:
+// a component asks the registry for a handle once
+// (`registry->GetCounter("cache.hits")`) and bumps it on the hot path;
+// `Snapshot()` returns a name-sorted, point-in-time copy of every metric
+// for reports and JSON export. `RunMetrics` (core/run_metrics.h) remains
+// as a thin per-run compatibility view of the same numbers.
+//
+// Thread-safety: handles are valid for the registry's lifetime and all
+// mutation methods are safe to call concurrently (counters/gauges are
+// atomics; distributions take a small lock).
+#ifndef GTS_OBS_METRICS_H_
+#define GTS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace gts {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written instantaneous value (e.g. the previous run's makespan).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Streaming count/sum/min/max summary of recorded samples.
+class Distribution {
+ public:
+  struct Stats {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+
+  void Record(double sample);
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+/// One metric in a snapshot.
+struct MetricValue {
+  enum class Kind : uint8_t { kCounter, kGauge, kDistribution };
+  Kind kind = Kind::kCounter;
+  uint64_t count = 0;  ///< counter value, or distribution sample count
+  double value = 0.0;  ///< gauge value, or distribution sum
+  double min = 0.0;    ///< distribution only
+  double max = 0.0;    ///< distribution only
+};
+
+std::string_view MetricKindName(MetricValue::Kind kind);
+
+/// Point-in-time copy of a registry, name-sorted (so iteration order --
+/// and therefore JSON export -- is deterministic).
+using MetricsSnapshot = std::map<std::string, MetricValue>;
+
+/// Owner of named metrics. Handles returned by Get* are stable for the
+/// registry's lifetime; asking twice for one name returns one handle.
+/// Re-registering a name as a different kind is a programming error and
+/// aborts with the offending name.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Distribution& GetDistribution(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    MetricValue::Kind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Distribution> distribution;
+  };
+
+  Entry& GetEntry(std::string_view name, MetricValue::Kind kind);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+};
+
+/// Renders a snapshot as a JSON object: {"metrics": {name: {...}, ...}}.
+/// Deterministic for a given snapshot (names sorted, fixed float format).
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+/// Writes MetricsJson to `path` (bench --metrics_out= plumbing).
+Status WriteMetricsJson(const MetricsSnapshot& snapshot,
+                        const std::string& path);
+
+}  // namespace obs
+}  // namespace gts
+
+#endif  // GTS_OBS_METRICS_H_

@@ -1,0 +1,26 @@
+#include "obs/prof.h"
+
+#include <atomic>
+#include <string>
+
+namespace gts {
+namespace obs {
+
+namespace {
+std::atomic<ProfSink*> g_sink{nullptr};
+}  // namespace
+
+ProfSink* SetProfSink(ProfSink* sink) {
+  return g_sink.exchange(sink, std::memory_order_acq_rel);
+}
+
+ProfSink* GetProfSink() {
+  return g_sink.load(std::memory_order_acquire);
+}
+
+void RegistryProfSink::OnScope(const char* name, double seconds) {
+  registry_->GetDistribution(std::string("prof.") + name).Record(seconds);
+}
+
+}  // namespace obs
+}  // namespace gts

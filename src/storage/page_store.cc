@@ -32,6 +32,14 @@ bool PageStore::GraphFitsInBuffer() const {
   return graph_->TotalTopologyBytes() <= buffer_capacity_;
 }
 
+void PageStore::BindMetrics(std::shared_ptr<obs::MetricsRegistry> registry) {
+  registry_ = std::move(registry);
+  buffer_hits_metric_ = &registry_->GetCounter("store.buffer_hits");
+  device_reads_metric_ = &registry_->GetCounter("store.device_reads");
+  bytes_read_metric_ = &registry_->GetCounter("store.bytes_read");
+  for (auto& device : devices_) device->BindMetrics(registry_.get());
+}
+
 Status PageStore::PreloadAll() {
   if (!GraphFitsInBuffer()) {
     return Status::FailedPrecondition(
@@ -58,6 +66,7 @@ Result<PageStore::FetchResult> PageStore::Fetch(PageId pid) {
   if (it != buffer_.end()) {
     TouchLru(pid);
     ++stats_.buffer_hits;
+    if (buffer_hits_metric_ != nullptr) buffer_hits_metric_->Add();
     result.data = it->second.bytes.data();
     result.buffer_hit = true;
     return result;
@@ -82,6 +91,11 @@ Result<PageStore::FetchResult> PageStore::Fetch(PageId pid) {
 
   ++stats_.device_reads;
   stats_.bytes_read += page_size;
+  if (device_reads_metric_ != nullptr) {
+    device_reads_metric_->Add();
+    bytes_read_metric_->Add(page_size);
+  }
+  devices_[d]->NoteRead(page_size);
   result.data = ins->second.bytes.data();
   result.buffer_hit = false;
   result.device_index = d;

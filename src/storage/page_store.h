@@ -11,6 +11,7 @@
 
 #include "common/status.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
 #include "storage/paged_graph.h"
 #include "storage/storage_device.h"
 
@@ -66,6 +67,13 @@ class PageStore {
   const PageStoreStats& stats() const { return stats_; }
   void ResetStats() { stats_ = PageStoreStats{}; }
 
+  /// Publishes MMBuf counters (`store.buffer_hits` / `store.device_reads`
+  /// / `store.bytes_read`) and each device's counters into `registry`.
+  /// The store shares ownership: a store bound by one engine stays safe
+  /// to use after that engine is destroyed. Rebinding (e.g. by a second
+  /// engine over the same store) switches to the new registry.
+  void BindMetrics(std::shared_ptr<obs::MetricsRegistry> registry);
+
  private:
   void TouchLru(PageId pid);
   void EvictIfNeeded();
@@ -85,6 +93,11 @@ class PageStore {
   uint64_t buffered_bytes_ = 0;
 
   PageStoreStats stats_;
+
+  std::shared_ptr<obs::MetricsRegistry> registry_;
+  obs::Counter* buffer_hits_metric_ = nullptr;
+  obs::Counter* device_reads_metric_ = nullptr;
+  obs::Counter* bytes_read_metric_ = nullptr;
 };
 
 /// Builds an in-memory-device store (storage type "in-memory").

@@ -15,6 +15,7 @@
 
 #include "common/status.h"
 #include "graph/types.h"
+#include "obs/metrics.h"
 
 namespace gts {
 
@@ -57,6 +58,23 @@ class StorageDevice {
   const DeviceTimingParams& timing() const { return timing_; }
   const std::string& name() const { return name_; }
 
+  /// Registers this device's page-read counters as
+  /// `storage.<name>.reads` / `storage.<name>.bytes_read` in `registry`
+  /// (which must outlive the device). Counting happens via NoteRead.
+  void BindMetrics(obs::MetricsRegistry* registry) {
+    reads_metric_ = &registry->GetCounter("storage." + name_ + ".reads");
+    bytes_metric_ = &registry->GetCounter("storage." + name_ + ".bytes_read");
+  }
+
+  /// Bumps the bound counters for one page read (no-op when unbound).
+  /// Called by PageStore on every buffer-miss fetch, so the counters see
+  /// page-granular traffic, not Init()-time bulk writes.
+  void NoteRead(uint64_t bytes) {
+    if (reads_metric_ == nullptr) return;
+    reads_metric_->Add();
+    bytes_metric_->Add(bytes);
+  }
+
  protected:
   StorageDevice(std::string name, DeviceTimingParams timing)
       : timing_(timing), name_(std::move(name)) {}
@@ -64,6 +82,8 @@ class StorageDevice {
  private:
   DeviceTimingParams timing_;
   std::string name_;
+  obs::Counter* reads_metric_ = nullptr;
+  obs::Counter* bytes_metric_ = nullptr;
 };
 
 /// RAM-backed device (used for "in-memory" storage-type runs and tests).

@@ -131,8 +131,8 @@ TEST(CostModelTest, Eq1TracksSimulatorWithinFactorTwo) {
   in.num_pages = paged.num_pages();
   in.num_gpus = 1;
   const double model = PageRankLikeCost(in, machine.time_model);
-  EXPECT_GT(run.total.sim_seconds, 0.4 * model);
-  EXPECT_LT(run.total.sim_seconds, 2.5 * model);
+  EXPECT_GT(run.report.metrics.sim_seconds, 0.4 * model);
+  EXPECT_LT(run.report.metrics.sim_seconds, 2.5 * model);
 }
 
 }  // namespace

@@ -42,7 +42,7 @@ TEST(EdgeCasesTest, SingleVertexNoEdges) {
   auto bfs = RunBfsGts(engine, 0);
   ASSERT_TRUE(bfs.ok());
   EXPECT_EQ(bfs->levels[0], 0);
-  EXPECT_EQ(bfs->metrics.levels, 1);
+  EXPECT_EQ(bfs->report.metrics.levels, 1);
 
   auto pr = RunPageRankGts(engine, 2);
   ASSERT_TRUE(pr.ok());
@@ -84,7 +84,7 @@ TEST(EdgeCasesTest, TwoVertexCycle) {
   ASSERT_TRUE(bfs.ok());
   EXPECT_EQ(bfs->levels[0], 0);
   EXPECT_EQ(bfs->levels[1], 1);
-  EXPECT_EQ(bfs->metrics.levels, 2);
+  EXPECT_EQ(bfs->report.metrics.levels, 2);
   auto pr = RunPageRankGts(engine, 10);
   ASSERT_TRUE(pr.ok());
   EXPECT_NEAR(pr->ranks[0], 0.5f, 1e-4);
@@ -126,7 +126,7 @@ TEST(EdgeCasesTest, StarGraphHubAsLpRun) {
   for (VertexId v = 1; v <= 5000; ++v) {
     ASSERT_EQ(bfs->levels[v], 1) << v;
   }
-  EXPECT_EQ(bfs->metrics.levels, 2);
+  EXPECT_EQ(bfs->report.metrics.levels, 2);
 }
 
 }  // namespace

@@ -50,7 +50,7 @@ TEST(EngineMetricsTest, FullScanTouchesEveryPageExactlyOnce) {
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
   auto pr = RunPageRankGts(engine, 1);
   ASSERT_TRUE(pr.ok());
-  const RunMetrics& m = pr->total;
+  const RunMetrics& m = pr->report.metrics;
   EXPECT_EQ(m.pages_streamed, f.paged.num_pages());
   EXPECT_EQ(m.sp_kernel_calls, f.paged.num_small_pages());
   EXPECT_EQ(m.lp_kernel_calls, f.paged.num_large_pages());
@@ -66,7 +66,7 @@ TEST(EngineMetricsTest, PageRankUpdatesEqualOwnedEdges) {
   auto pr = RunPageRankGts(engine, 1);
   ASSERT_TRUE(pr.ok());
   // Single GPU owns all vertices: one atomicAdd per edge.
-  EXPECT_EQ(pr->total.work.wa_updates, f.csr.num_edges());
+  EXPECT_EQ(pr->report.metrics.work.wa_updates, f.csr.num_edges());
 }
 
 TEST(EngineMetricsTest, BfsUpdatesEqualReachedVerticesMinusSource) {
@@ -80,7 +80,7 @@ TEST(EngineMetricsTest, BfsUpdatesEqualReachedVerticesMinusSource) {
     reached += level != BfsKernel::kUnvisited;
   }
   // Every reached vertex except the source is claimed exactly once.
-  EXPECT_EQ(bfs->metrics.work.wa_updates, reached - 1);
+  EXPECT_EQ(bfs->report.metrics.work.wa_updates, reached - 1);
 }
 
 TEST(EngineMetricsTest, BusyTimesAreWithinMakespan) {
@@ -126,10 +126,10 @@ TEST(EngineMetricsTest, SsdRunAccountsStorageBusy) {
   GtsEngine engine(&f.paged, ssd.get(), f.Machine(), GtsOptions{});
   auto pr = RunPageRankGts(engine, 1);
   ASSERT_TRUE(pr.ok());
-  EXPECT_GT(pr->total.storage_busy, 0.0);
-  EXPECT_GT(pr->total.io.device_reads, 0u);
-  EXPECT_EQ(pr->total.io.device_reads * f.paged.config().page_size,
-            pr->total.io.bytes_read);
+  EXPECT_GT(pr->report.metrics.storage_busy, 0.0);
+  EXPECT_GT(pr->report.metrics.io.device_reads, 0u);
+  EXPECT_EQ(pr->report.metrics.io.device_reads * f.paged.config().page_size,
+            pr->report.metrics.io.bytes_read);
 }
 
 TEST(EngineMetricsTest, SecondIterationServedFromMmbufWhenItFits) {
@@ -174,7 +174,7 @@ TEST(EngineMetricsTest, LevelsMatchReferenceEccentricity) {
     if (level != BfsKernel::kUnvisited) max_level = std::max(max_level, level);
   }
   // The level loop runs once per depth plus the final empty check.
-  EXPECT_EQ(bfs->metrics.levels, max_level + 1);
+  EXPECT_EQ(bfs->report.metrics.levels, max_level + 1);
 }
 
 TEST(EngineMetricsTest, StreamThreadsMatchInlineMetrics) {
@@ -189,10 +189,10 @@ TEST(EngineMetricsTest, StreamThreadsMatchInlineMetrics) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->levels, b->levels);
-  EXPECT_EQ(a->metrics.pages_streamed, b->metrics.pages_streamed);
-  EXPECT_EQ(a->metrics.work.edges_processed, b->metrics.work.edges_processed);
+  EXPECT_EQ(a->report.metrics.pages_streamed, b->report.metrics.pages_streamed);
+  EXPECT_EQ(a->report.metrics.work.edges_processed, b->report.metrics.work.edges_processed);
   // Simulated time is computed from the same deterministic op log.
-  EXPECT_DOUBLE_EQ(a->metrics.sim_seconds, b->metrics.sim_seconds);
+  EXPECT_DOUBLE_EQ(a->report.metrics.sim_seconds, b->report.metrics.sim_seconds);
 }
 
 }  // namespace

@@ -92,8 +92,8 @@ TEST_P(BfsEngineTest, MatchesReference) {
   auto result = RunBfsGts(engine, source);
   ASSERT_TRUE(result.ok()) << result.status();
   ExpectBfsMatchesReference(g, result->levels, source);
-  EXPECT_GT(result->metrics.sim_seconds, 0.0);
-  EXPECT_GT(result->metrics.levels, 1);
+  EXPECT_GT(result->report.metrics.sim_seconds, 0.0);
+  EXPECT_GT(result->report.metrics.levels, 1);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -143,8 +143,8 @@ TEST(BfsEngineTest, StrategySReplicatesWaAndMatchesReference) {
   GtsEngine p_engine(&g.paged, g.store.get(), TestMachine(2), GtsOptions{});
   auto p_result = RunBfsGts(p_engine, source);
   ASSERT_TRUE(p_result.ok());
-  EXPECT_GT(result->metrics.pages_streamed,
-            p_result->metrics.pages_streamed);
+  EXPECT_GT(result->report.metrics.pages_streamed,
+            p_result->report.metrics.pages_streamed);
 }
 
 TEST(BfsEngineTest, InvalidSourceRejected) {
@@ -167,9 +167,9 @@ TEST(BfsEngineTest, CacheProducesHitsAndFewerTransfers) {
   auto r2 = RunBfsGts(e2, source);
   ASSERT_TRUE(r1.ok());
   ASSERT_TRUE(r2.ok());
-  EXPECT_GT(r1->metrics.cache_hits, 0u);
-  EXPECT_LT(r1->metrics.pages_streamed, r2->metrics.pages_streamed);
-  EXPECT_EQ(r2->metrics.cache_hits, 0u);
+  EXPECT_GT(r1->report.metrics.cache_hits, 0u);
+  EXPECT_LT(r1->report.metrics.pages_streamed, r2->report.metrics.pages_streamed);
+  EXPECT_EQ(r2->report.metrics.cache_hits, 0u);
   // Same answers either way.
   EXPECT_EQ(r1->levels, r2->levels);
 }
@@ -199,7 +199,7 @@ TEST_P(PageRankEngineTest, MatchesReference) {
   ASSERT_TRUE(result.ok()) << result.status();
   ExpectRanksMatch(g, result->ranks, 5);
   EXPECT_EQ(result->iterations.size(), 5u);
-  EXPECT_GT(result->total.sim_seconds, 0.0);
+  EXPECT_GT(result->report.metrics.sim_seconds, 0.0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -371,7 +371,7 @@ TEST(EngineTimingTest, MoreStreamsNeverSlowerForPageRank) {
     GtsOptions opts;
     opts.num_streams = streams;
     GtsEngine engine(&g.paged, g.store.get(), TestMachine(), opts);
-    return std::move(RunPageRankGts(engine, 2)).ValueOrDie().total.sim_seconds;
+    return std::move(RunPageRankGts(engine, 2)).ValueOrDie().report.metrics.sim_seconds;
   };
   const double t1 = run(1);
   const double t8 = run(8);
@@ -385,7 +385,7 @@ TEST(EngineTimingTest, TwoGpusSpeedUpStrategyP) {
   auto run = [&](int gpus) {
     GtsEngine engine(&g.paged, g.store.get(), TestMachine(gpus),
                      GtsOptions{});
-    return std::move(RunPageRankGts(engine, 2)).ValueOrDie().total.sim_seconds;
+    return std::move(RunPageRankGts(engine, 2)).ValueOrDie().report.metrics.sim_seconds;
   };
   const double t1 = run(1);
   const double t2 = run(2);
@@ -400,9 +400,9 @@ TEST(EngineTimingTest, StrategySDoesNotSpeedUpCompute) {
   GtsEngine e1(&g.paged, g.store.get(), TestMachine(1), GtsOptions{});
   GtsEngine e2(&g.paged, g.store.get(), TestMachine(2), s_opts);
   const double t1 =
-      std::move(RunPageRankGts(e1, 2)).ValueOrDie().total.sim_seconds;
+      std::move(RunPageRankGts(e1, 2)).ValueOrDie().report.metrics.sim_seconds;
   const double t2 =
-      std::move(RunPageRankGts(e2, 2)).ValueOrDie().total.sim_seconds;
+      std::move(RunPageRankGts(e2, 2)).ValueOrDie().report.metrics.sim_seconds;
   EXPECT_GT(t2, 0.9 * t1);
 }
 
@@ -414,11 +414,11 @@ TEST(EngineTimingTest, SsdStoreSlowerThanInMemory) {
   GtsEngine em(&g.paged, mem_store.get(), TestMachine(), GtsOptions{});
   GtsEngine es(&g.paged, ssd_store.get(), TestMachine(), GtsOptions{});
   const double tm =
-      std::move(RunPageRankGts(em, 2)).ValueOrDie().total.sim_seconds;
+      std::move(RunPageRankGts(em, 2)).ValueOrDie().report.metrics.sim_seconds;
   auto rs = std::move(RunPageRankGts(es, 2)).ValueOrDie();
-  EXPECT_GT(rs.total.sim_seconds, tm);
-  EXPECT_GT(rs.total.storage_busy, 0.0);
-  EXPECT_GT(rs.total.io.device_reads, 0u);
+  EXPECT_GT(rs.report.metrics.sim_seconds, tm);
+  EXPECT_GT(rs.report.metrics.storage_busy, 0.0);
+  EXPECT_GT(rs.report.metrics.io.device_reads, 0u);
 }
 
 TEST(EngineTimingTest, TimelineCapturedOnRequest) {

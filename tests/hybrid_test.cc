@@ -64,8 +64,8 @@ TEST(HybridTest, BfsMatchesReference) {
         expected[v] == kUnreachedLevel ? BfsKernel::kUnvisited : expected[v];
     ASSERT_EQ(result->levels[v], want) << "vertex " << v;
   }
-  EXPECT_GT(result->metrics.cpu_pages, 0u);
-  EXPECT_GT(result->metrics.pages_streamed, 0u);
+  EXPECT_GT(result->report.metrics.cpu_pages, 0u);
+  EXPECT_GT(result->report.metrics.pages_streamed, 0u);
 }
 
 TEST(HybridTest, PageRankMatchesReference) {
@@ -101,11 +101,11 @@ TEST(HybridTest, FractionSplitsThePageStream) {
   auto result = RunPageRankGts(engine, 1);
   ASSERT_TRUE(result.ok());
   const uint64_t total =
-      result->total.pages_streamed + result->total.cpu_pages;
+      result->report.metrics.pages_streamed + result->report.metrics.cpu_pages;
   EXPECT_EQ(total, f.paged.num_pages());
   // Roughly half each (hash-based split).
-  EXPECT_GT(result->total.cpu_pages, total / 4);
-  EXPECT_GT(result->total.pages_streamed, total / 4);
+  EXPECT_GT(result->report.metrics.cpu_pages, total / 4);
+  EXPECT_GT(result->report.metrics.pages_streamed, total / 4);
 }
 
 TEST(HybridTest, ZeroFractionIsPureGts) {
@@ -113,8 +113,8 @@ TEST(HybridTest, ZeroFractionIsPureGts) {
   GtsEngine engine(&f.paged, f.store.get(), f.machine, Hybrid(0.0));
   auto result = RunPageRankGts(engine, 1);
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ(result->total.cpu_pages, 0u);
-  EXPECT_EQ(result->total.pages_streamed, f.paged.num_pages());
+  EXPECT_EQ(result->report.metrics.cpu_pages, 0u);
+  EXPECT_EQ(result->report.metrics.pages_streamed, f.paged.num_pages());
 }
 
 TEST(HybridTest, OffloadSweepHasTheExpectedShape) {
@@ -127,7 +127,7 @@ TEST(HybridTest, OffloadSweepHasTheExpectedShape) {
     GtsOptions opts = Hybrid(fraction);
     opts.num_streams = 32;
     GtsEngine engine(&f.paged, f.store.get(), f.machine, opts);
-    return std::move(RunPageRankGts(engine, 2)).ValueOrDie().total.sim_seconds;
+    return std::move(RunPageRankGts(engine, 2)).ValueOrDie().report.metrics.sim_seconds;
   };
   const double t00 = time_at(0.0);
   const double t01 = time_at(0.1);

@@ -119,8 +119,8 @@ TEST(SpLpSeparationTest, InterleavingPaysKernelSwitches) {
   // occupancy (which includes each switch's penalty) must grow. The
   // makespan difference is small at repro scale because switches overlap
   // transfers, exactly as the pipeline is designed to allow.
-  EXPECT_GT(mix->total.kernel_busy, sep->total.kernel_busy);
-  EXPECT_EQ(mix->total.pages_streamed, sep->total.pages_streamed);
+  EXPECT_GT(mix->report.metrics.kernel_busy, sep->report.metrics.kernel_busy);
+  EXPECT_EQ(mix->report.metrics.pages_streamed, sep->report.metrics.pages_streamed);
 }
 
 }  // namespace

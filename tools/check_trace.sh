@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# End-to-end check of the --trace_out observability path: runs the Figure 4
+# timeline bench (one traversal run, BFS, and one scan run, PageRank, in a
+# single trace), lints the produced Chrome trace JSON with trace_lint
+# (well-formed, monotone lane timestamps, kernel lanes within the
+# concurrency cap), and re-runs the bench to assert the export is
+# byte-identical -- the determinism the paper-figure artifacts rely on.
+#
+# Usage: tools/check_trace.sh BENCH_BINARY LINT_BINARY [WORK_DIR]
+# (registered as the `check_trace` CTest by tools/CMakeLists.txt)
+set -euo pipefail
+
+BENCH="$1"
+LINT="$2"
+WORK="${3:-$(mktemp -d)}"
+mkdir -p "$WORK"
+
+# Quick mode keeps the dataset small; the trace shape is the same.
+export GTS_BENCH_QUICK=1
+export GTS_BENCH_DATA="${GTS_BENCH_DATA:-$WORK/data}"
+
+echo "==== run 1: $BENCH --trace_out ===="
+"$BENCH" --trace_out="$WORK/fig4_a.json" --metrics_out="$WORK/fig4_a.metrics.json" \
+  >"$WORK/run_a.log"
+echo "==== run 2: $BENCH --trace_out (determinism) ===="
+"$BENCH" --trace_out="$WORK/fig4_b.json" >"$WORK/run_b.log"
+
+echo "==== lint ===="
+"$LINT" "$WORK/fig4_a.json"
+
+echo "==== byte-identical across runs ===="
+cmp "$WORK/fig4_a.json" "$WORK/fig4_b.json"
+
+echo "==== metrics JSON parses (lint accepts any valid JSON object) ===="
+test -s "$WORK/fig4_a.metrics.json"
+
+echo "check_trace: OK ($WORK)"

@@ -233,7 +233,7 @@ int CmdRun(Flags& flags) {
   if (algorithm == "bfs") {
     auto r = RunBfsGts(engine, source);
     if (!r.ok()) return Fail(r.status());
-    metrics = r->metrics;
+    metrics = r->report.metrics;
     for (VertexId v = 0; v < r->levels.size(); ++v) {
       if (r->levels[v] != BfsKernel::kUnvisited) {
         values.push_back({v, r->levels[v]});
@@ -242,49 +242,49 @@ int CmdRun(Flags& flags) {
   } else if (algorithm == "pagerank") {
     auto r = RunPageRankGts(engine, iterations);
     if (!r.ok()) return Fail(r.status());
-    metrics = r->total;
+    metrics = r->report.metrics;
     for (VertexId v = 0; v < r->ranks.size(); ++v) {
       values.push_back({v, r->ranks[v]});
     }
   } else if (algorithm == "sssp") {
     auto r = RunSsspGts(engine, source);
     if (!r.ok()) return Fail(r.status());
-    metrics = r->metrics;
+    metrics = r->report.metrics;
     for (VertexId v = 0; v < r->distances.size(); ++v) {
       values.push_back({v, r->distances[v]});
     }
   } else if (algorithm == "wcc") {
     auto r = RunWccGts(engine);
     if (!r.ok()) return Fail(r.status());
-    metrics = r->total;
+    metrics = r->report.metrics;
     for (VertexId v = 0; v < r->labels.size(); ++v) {
       values.push_back({v, static_cast<double>(r->labels[v])});
     }
   } else if (algorithm == "bc") {
     auto r = RunBcGts(engine, source);
     if (!r.ok()) return Fail(r.status());
-    metrics = r->total;
+    metrics = r->report.metrics;
     for (VertexId v = 0; v < r->deltas.size(); ++v) {
       values.push_back({v, r->deltas[v]});
     }
   } else if (algorithm == "rwr") {
     auto r = RunRwrGts(engine, source, iterations);
     if (!r.ok()) return Fail(r.status());
-    metrics = r->total;
+    metrics = r->report.metrics;
     for (VertexId v = 0; v < r->scores.size(); ++v) {
       values.push_back({v, r->scores[v]});
     }
   } else if (algorithm == "kcore") {
     auto r = RunKcoreGts(engine, k);
     if (!r.ok()) return Fail(r.status());
-    metrics = r->total;
+    metrics = r->report.metrics;
     for (VertexId v = 0; v < r->in_core.size(); ++v) {
       values.push_back({v, static_cast<double>(r->in_core[v])});
     }
   } else if (algorithm == "radius") {
     auto r = RunRadiusGts(engine, 256);
     if (!r.ok()) return Fail(r.status());
-    metrics = r->total;
+    metrics = r->report.metrics;
     std::printf("effective diameter: %d (converged after %d hops)\n",
                 r->effective_diameter, r->hops);
     for (size_t h = 0; h < r->neighborhood_function.size(); ++h) {
@@ -294,7 +294,7 @@ int CmdRun(Flags& flags) {
   } else if (algorithm == "degree") {
     auto r = RunDegreeGts(engine);
     if (!r.ok()) return Fail(r.status());
-    metrics = r->metrics;
+    metrics = r->report.metrics;
     for (VertexId v = 0; v < r->degrees.size(); ++v) {
       values.push_back({v, static_cast<double>(r->degrees[v])});
     }

@@ -1,0 +1,351 @@
+// Validates a Chrome trace_event JSON file produced by obs::TraceExporter
+// (tools/check_trace.sh runs it over the bench --trace_out artifacts).
+//
+// Checks, exiting nonzero on the first violation:
+//   1. the file is well-formed JSON with a top-level "traceEvents" array;
+//   2. every event has name/ph/pid/tid; ph is one of M (metadata),
+//      X (complete, with ts and dur >= 0) or i (instant, with ts);
+//   3. timestamps are monotone non-decreasing within each (pid, tid) lane
+//      (the exporter emits events in canonical time order per run, and
+//      lanes never span runs);
+//   4. kernel-lane tids never exceed the simulator's concurrency cap of
+//      32 resident kernels per GPU (TimeModel::max_concurrent_kernels),
+//      i.e. cat=="kernel" implies 1 <= tid <= 32.
+//
+// Usage: trace_lint FILE.json
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+// ------------------------------------------------ minimal JSON parser
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing content");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_.empty()) {
+      error_ = message + " at byte " + std::to_string(pos_);
+    }
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word, size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str);
+      case 't':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+        return Literal("true", 4);
+      case 'f':
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+        return Literal("false", 5);
+      case 'n':
+        out->kind = JsonValue::Kind::kNull;
+        return Literal("null", 4);
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipSpace();
+      std::string key;
+      if (pos_ >= text_.size() || text_[pos_] != '"' || !ParseString(&key)) {
+        return Fail("expected object key");
+      }
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': *out += '"'; break;
+          case '\\': *out += '\\'; break;
+          case '/': *out += '/'; break;
+          case 'b': *out += '\b'; break;
+          case 'f': *out += '\f'; break;
+          case 'n': *out += '\n'; break;
+          case 'r': *out += '\r'; break;
+          case 't': *out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            pos_ += 4;     // lint only needs well-formedness, not the
+            *out += '?';   // decoded code point
+            break;
+          }
+          default:
+            return Fail("bad escape");
+        }
+        continue;
+      }
+      *out += c;
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("expected value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail("bad number");
+    return true;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+// ------------------------------------------------------- trace checks
+
+/// CUDA's resident-kernel limit the simulator models
+/// (gts::gpu::TimeModel::max_concurrent_kernels); kernel lanes are
+/// tid 1..cap within a GPU process.
+constexpr int kMaxKernelLanes = 32;
+
+int Violation(size_t index, const std::string& message) {
+  std::fprintf(stderr, "trace_lint: event %zu: %s\n", index, message.c_str());
+  return 1;
+}
+
+bool GetNumber(const JsonValue& event, const char* key, double* out) {
+  const JsonValue* value = event.Find(key);
+  if (value == nullptr || value->kind != JsonValue::Kind::kNumber) {
+    return false;
+  }
+  *out = value->number;
+  return true;
+}
+
+int LintTrace(const JsonValue& root) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    std::fprintf(stderr, "trace_lint: top level is not an object\n");
+    return 1;
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    std::fprintf(stderr, "trace_lint: missing traceEvents array\n");
+    return 1;
+  }
+
+  std::map<std::pair<int, int>, double> last_ts;  // (pid, tid) -> latest ts
+  size_t data_events = 0;
+  for (size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& event = events->array[i];
+    if (event.kind != JsonValue::Kind::kObject) {
+      return Violation(i, "event is not an object");
+    }
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ph = event.Find("ph");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        ph == nullptr || ph->kind != JsonValue::Kind::kString ||
+        ph->str.size() != 1) {
+      return Violation(i, "missing name/ph");
+    }
+    double pid = 0.0;
+    double tid = 0.0;
+    if (!GetNumber(event, "pid", &pid)) return Violation(i, "missing pid");
+    const char phase = ph->str[0];
+    if (phase == 'M') continue;  // metadata: process/thread names
+    if (!GetNumber(event, "tid", &tid)) return Violation(i, "missing tid");
+    if (phase != 'X' && phase != 'i') {
+      return Violation(i, std::string("unexpected phase '") + phase + "'");
+    }
+
+    double ts = 0.0;
+    if (!GetNumber(event, "ts", &ts) || ts < 0.0) {
+      return Violation(i, "missing or negative ts");
+    }
+    if (phase == 'X') {
+      double dur = 0.0;
+      if (!GetNumber(event, "dur", &dur) || dur < 0.0) {
+        return Violation(i, "X event missing or negative dur");
+      }
+    }
+
+    const auto lane = std::make_pair(static_cast<int>(pid),
+                                     static_cast<int>(tid));
+    auto [it, inserted] = last_ts.emplace(lane, ts);
+    if (!inserted) {
+      if (ts < it->second) {
+        return Violation(
+            i, "timestamps not monotone on lane pid=" +
+                   std::to_string(lane.first) +
+                   " tid=" + std::to_string(lane.second));
+      }
+      it->second = ts;
+    }
+
+    const JsonValue* cat = event.Find("cat");
+    if (cat != nullptr && cat->kind == JsonValue::Kind::kString &&
+        cat->str == "kernel") {
+      const int lane_tid = static_cast<int>(tid);
+      if (lane_tid < 1 || lane_tid > kMaxKernelLanes) {
+        return Violation(i, "kernel lane tid " + std::to_string(lane_tid) +
+                                " outside [1, " +
+                                std::to_string(kMaxKernelLanes) + "]");
+      }
+    }
+    ++data_events;
+  }
+
+  if (data_events == 0) {
+    std::fprintf(stderr, "trace_lint: trace has no data events\n");
+    return 1;
+  }
+  std::printf("trace_lint: OK (%zu data events, %zu lanes)\n", data_events,
+              last_ts.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s FILE.json\n", argv[0]);
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "trace_lint: cannot open %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  JsonValue root;
+  JsonParser parser(text);
+  if (!parser.Parse(&root)) {
+    std::fprintf(stderr, "trace_lint: %s: invalid JSON: %s\n", argv[1],
+                 parser.error().c_str());
+    return 1;
+  }
+  return LintTrace(root);
+}
