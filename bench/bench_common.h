@@ -265,7 +265,7 @@ struct GtsComparisonRunner {
     GtsOptions opts;
     opts.strategy = PickStrategy(machine, graph->csr.num_vertices() * 4);
     GtsEngine engine(&graph->paged, store.get(), machine, opts);
-    auto result = RunPageRankGts(engine, iterations);
+    auto result = RunPageRankGts(engine, {.iterations = iterations});
     return result.ok() ? Cell(PaperSeconds(result->report.metrics.sim_seconds))
                        : StatusCell(result.status());
   }

@@ -58,7 +58,7 @@ int Main() {
       auto bfs = RunBfsGts(engine, source);
       bfs_rows[row].push_back(
           bfs.ok() ? Cell(PaperSeconds(bfs->report.metrics.sim_seconds)) : "n/a");
-      auto pr = RunPageRankGts(engine, pr_iters);
+      auto pr = RunPageRankGts(engine, {.iterations = pr_iters});
       pr_rows[row].push_back(
           pr.ok() ? Cell(PaperSeconds(pr->report.metrics.sim_seconds)) : "n/a");
       ++row;

@@ -56,7 +56,7 @@ int Main() {
       auto bfs = RunBfsGts(engine, source);
       bfs_row.push_back(bfs.ok() ? Cell(PaperSeconds(bfs->report.metrics.sim_seconds))
                                  : StatusCell(bfs.status()));
-      auto pr = RunPageRankGts(engine, pr_iters);
+      auto pr = RunPageRankGts(engine, {.iterations = pr_iters});
       pr_row.push_back(pr.ok() ? Cell(PaperSeconds(pr->report.metrics.sim_seconds))
                                : StatusCell(pr.status()));
       std::fflush(stdout);
@@ -82,7 +82,7 @@ int Main() {
     MachineConfig machine = MachineConfig::PaperScaled(gpus);
     GtsEngine engine(&prepared->paged, store.get(), machine, GtsOptions{});
     auto bfs = RunBfsGts(engine, source);
-    auto pr = RunPageRankGts(engine, pr_iters);
+    auto pr = RunPageRankGts(engine, {.iterations = pr_iters});
     scale_rows.push_back(
         {std::to_string(gpus),
          bfs.ok() ? Cell(PaperSeconds(bfs->report.metrics.sim_seconds)) : "n/a",

@@ -62,7 +62,7 @@ int Main() {
     bfs_rows[row].push_back(bfs.ok()
                                 ? Cell(PaperSeconds(bfs->report.metrics.sim_seconds))
                                 : StatusCell(bfs.status()));
-    auto pr = RunPageRankGts(engine, pr_iters);
+    auto pr = RunPageRankGts(engine, {.iterations = pr_iters});
     pr_rows[row].push_back(pr.ok() ? Cell(PaperSeconds(pr->report.metrics.sim_seconds))
                                    : StatusCell(pr.status()));
     std::fflush(stdout);

@@ -47,7 +47,7 @@ int Main() {
       auto bfs = RunBfsGts(engine, source);
       bfs_row.push_back(bfs.ok() ? Cell(PaperSeconds(bfs->report.metrics.sim_seconds))
                                  : StatusCell(bfs.status()));
-      auto pr = RunPageRankGts(engine, pr_iters);
+      auto pr = RunPageRankGts(engine, {.iterations = pr_iters});
       pr_row.push_back(pr.ok() ? Cell(PaperSeconds(pr->report.metrics.sim_seconds))
                                : StatusCell(pr.status()));
       std::fflush(stdout);

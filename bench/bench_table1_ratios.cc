@@ -44,7 +44,7 @@ int Main() {
                           ? RatioCell(bfs->report.metrics.transfer_busy,
                                       bfs->report.metrics.kernel_busy)
                           : "n/a");
-    auto pr = RunPageRankGts(engine, 1);
+    auto pr = RunPageRankGts(engine, {.iterations = 1});
     rows[1].push_back(pr.ok() ? RatioCell(pr->report.metrics.transfer_busy,
                                           pr->report.metrics.kernel_busy)
                               : "n/a");

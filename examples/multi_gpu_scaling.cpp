@@ -22,7 +22,7 @@ double RunSeconds(const gts::PagedGraph& paged, gts::PageStore* store,
   opts.strategy = strategy;
   gts::MachineConfig machine = gts::MachineConfig::PaperScaled(gpus);
   gts::GtsEngine engine(&paged, store, machine, opts);
-  auto result = RunPageRankGts(engine, 5);
+  auto result = RunPageRankGts(engine, {.iterations = 5});
   if (!result.ok()) {
     *status = result.status();
     return -1.0;
@@ -101,7 +101,7 @@ int main() {
     opts.strategy = strategy;
     opts.num_streams = 8;  // leave room for the WA chunk next to SP/LPBufs
     GtsEngine engine(&big_paged, big_store.get(), tight, opts);
-    auto result = RunPageRankGts(engine, 2);
+    auto result = RunPageRankGts(engine, {.iterations = 2});
     if (result.ok()) {
       std::printf("  %-22s OK: %s simulated\n",
                   std::string(StrategyName(strategy)).c_str(),

@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
               100.0 * bfs->report.metrics.cache_hit_rate());
 
   // 5. Ten iterations of PageRank.
-  auto pr = RunPageRankGts(engine, /*iterations=*/10);
+  auto pr = RunPageRankGts(engine, {.iterations = 10});
   if (!pr.ok()) {
     std::fprintf(stderr, "pagerank: %s\n", pr.status().ToString().c_str());
     return 1;

@@ -39,7 +39,7 @@ int main() {
     if (!paged.ok()) return 1;
     auto store = MakeInMemoryStore(&*paged);
     GtsEngine engine(&*paged, store.get(), machine, GtsOptions{});
-    auto pr = RunPageRankGts(engine, 10);
+    auto pr = RunPageRankGts(engine, {.iterations = 10});
     if (!pr.ok()) {
       std::fprintf(stderr, "%s\n", pr.status().ToString().c_str());
       return 1;

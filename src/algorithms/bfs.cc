@@ -115,14 +115,6 @@ Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
   return result;
 }
 
-Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
-                                                 VertexId source,
-                                                 uint32_t hops) {
-  RunOptions options;
-  options.hops = hops;
-  return RunNeighborhoodGts(engine, source, options);
-}
-
 Result<BfsGtsResult> RunBfsGts(GtsEngine& engine, VertexId source,
                                const RunOptions& options) {
   (void)options;  // BFS has no tuning knobs

@@ -64,10 +64,6 @@ struct NeighborhoodGtsResult {
 };
 Result<NeighborhoodGtsResult> RunNeighborhoodGts(
     GtsEngine& engine, VertexId source, const RunOptions& options = {});
-/// Deprecated positional form; use RunOptions::hops.
-Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
-                                                 VertexId source,
-                                                 uint32_t hops);
 
 }  // namespace gts
 

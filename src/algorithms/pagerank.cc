@@ -108,12 +108,4 @@ Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine,
   return result;
 }
 
-Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine, int iterations,
-                                         float damping) {
-  RunOptions options;
-  options.iterations = iterations;
-  options.damping = damping;
-  return RunPageRankGts(engine, options);
-}
-
 }  // namespace gts

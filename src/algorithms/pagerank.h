@@ -68,9 +68,6 @@ struct PageRankGtsResult {
 /// engine's graph.
 Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine,
                                          const RunOptions& options = {});
-/// Deprecated positional form; use RunOptions::{iterations, damping}.
-Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine, int iterations,
-                                         float damping = 0.85f);
 
 }  // namespace gts
 

@@ -144,14 +144,6 @@ Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine,
   return result;
 }
 
-Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine, int max_hops,
-                                     uint64_t seed) {
-  RunOptions options;
-  options.max_hops = max_hops;
-  options.seed = seed;
-  return RunRadiusGts(engine, options);
-}
-
 std::vector<double> ExactNeighborhoodFunction(const CsrGraph& graph,
                                               int max_hops) {
   const VertexId n = graph.num_vertices();

@@ -86,9 +86,6 @@ struct RadiusGtsResult {
 /// with `options.seed`).
 Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine,
                                      const RunOptions& options = {});
-/// Deprecated positional form; use RunOptions::{max_hops, seed}.
-Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine, int max_hops,
-                                     uint64_t seed = 7);
 
 /// Exact neighborhood function via reverse BFS from every vertex (only
 /// feasible on small test graphs): exact_nf[h] = #(u,v) with

@@ -102,14 +102,6 @@ Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
   return result;
 }
 
-Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
-                               int iterations, float restart_prob) {
-  RunOptions options;
-  options.iterations = iterations;
-  options.restart_prob = restart_prob;
-  return RunRwrGts(engine, seed, options);
-}
-
 std::vector<double> ReferenceRwr(const CsrGraph& graph, VertexId seed,
                                  int iterations, double restart_prob) {
   const VertexId n = graph.num_vertices();

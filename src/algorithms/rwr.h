@@ -63,9 +63,6 @@ struct RwrGtsResult {
 /// `options.restart_prob` on the engine's graph.
 Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
                                const RunOptions& options = {});
-/// Deprecated positional form; use RunOptions::{iterations, restart_prob}.
-Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
-                               int iterations, float restart_prob = 0.15f);
 
 /// Reference implementation (double precision) for validation.
 std::vector<double> ReferenceRwr(const CsrGraph& graph, VertexId seed,

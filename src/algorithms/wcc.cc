@@ -103,10 +103,4 @@ Result<WccGtsResult> RunWccGts(GtsEngine& engine, const RunOptions& options) {
   return result;
 }
 
-Result<WccGtsResult> RunWccGts(GtsEngine& engine, int max_iterations) {
-  RunOptions options;
-  options.max_iterations = max_iterations;
-  return RunWccGts(engine, options);
-}
-
 }  // namespace gts

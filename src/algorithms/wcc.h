@@ -72,8 +72,6 @@ struct WccGtsResult {
 /// `options.max_iterations`).
 Result<WccGtsResult> RunWccGts(GtsEngine& engine,
                                const RunOptions& options = {});
-/// Deprecated positional form; use RunOptions::max_iterations.
-Result<WccGtsResult> RunWccGts(GtsEngine& engine, int max_iterations);
 
 }  // namespace gts
 

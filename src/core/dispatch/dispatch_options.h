@@ -1,0 +1,77 @@
+// Policy selectors for the engine's three-stage page-dispatch pipeline
+// (see DESIGN.md "Dispatch pipeline"): for every pass the engine first
+// orders the work list (stage 1), then routes each page to its GPU(s)
+// (stage 2), then picks a stream on that GPU (stage 3). The defaults
+// reproduce the paper's schedule bit-for-bit; the alternatives are the
+// ablations and the workload-aware orderings the ROADMAP calls for.
+#ifndef GTS_CORE_DISPATCH_DISPATCH_OPTIONS_H_
+#define GTS_CORE_DISPATCH_DISPATCH_OPTIONS_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace gts {
+
+/// Stage 1: order of the pages within one pass.
+enum class PageOrderKind : uint8_t {
+  /// Paper default: all SPs, then all LPs (Section 3.2's kernel-switch
+  /// avoidance).
+  kSpThenLp,
+  /// Ablation: one pid-sorted pass mixing SPs and LPs, paying the kernel
+  /// switch overhead the separation exists to avoid.
+  kInterleaved,
+  /// Cached-resident PIDs first within each class, so every page still in
+  /// cachedPIDMap hits before this pass's inserts can evict it (matters
+  /// under LRU/FIFO churn; a no-op for the never-evicting kPinned).
+  kCacheAffinity,
+  /// Traversal levels sorted by active-slot count (descending), densest
+  /// frontier pages first -- HyTGraph-style priority by active degree.
+  /// Falls back to kSpThenLp for full scans (no frontier to count).
+  kFrontierDensity,
+};
+
+/// Stage 2: which GPU(s) a page is streamed to.
+enum class GpuPartitionKind : uint8_t {
+  /// Follow GtsOptions::strategy: Strategy-P partitions the stream
+  /// round-robin, Strategy-S replicates it to every GPU.
+  kStrategyDefault,
+  /// pid % num_gpus (Strategy-P's striping, Section 4.1).
+  kRoundRobin,
+  /// Every page to every GPU (Strategy-S's pattern, Section 4.2).
+  kReplicate,
+  /// Greedy least-loaded placement by page weight (slots + adjacency
+  /// entries), evening out kernel time when page fill is skewed. Only
+  /// valid where partitioned streams are (i.e. wherever kRoundRobin is).
+  kDegreeBalanced,
+};
+
+/// Stage 3: stream choice on the chosen GPU.
+enum class StreamAssignKind : uint8_t {
+  /// Rotate the per-GPU cursor (paper default).
+  kRoundRobin,
+  /// Prefer a stream whose last kernel kind matches the page, avoiding
+  /// the Section 3.2 switch overhead when the order interleaves SP/LP.
+  kSticky,
+};
+
+std::string_view PageOrderKindName(PageOrderKind kind);
+std::string_view GpuPartitionKindName(GpuPartitionKind kind);
+std::string_view StreamAssignKindName(StreamAssignKind kind);
+
+/// The dispatch-pipeline block inside GtsOptions. Cross-option rules
+/// (partition kind vs. strategy and GPU count) are checked by
+/// GtsOptions::Validate().
+struct DispatchOptions {
+  PageOrderKind order = PageOrderKind::kSpThenLp;
+  GpuPartitionKind partition = GpuPartitionKind::kStrategyDefault;
+  StreamAssignKind stream_assign = StreamAssignKind::kRoundRobin;
+  /// Hand each ordered batch to PageStore::PlanReads so device-sequential
+  /// reads are charged bandwidth-only (the access latency is amortized by
+  /// the preceding read). Off by default: the paper's cost model charges
+  /// every fetch the full per-request cost.
+  bool coalesce_reads = false;
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_DISPATCH_DISPATCH_OPTIONS_H_

@@ -1,0 +1,127 @@
+#include "core/dispatch/gpu_partition_policy.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+
+#include "common/logging.h"
+#include "storage/paged_graph.h"
+
+namespace gts {
+namespace {
+
+/// Strategy-P's striping (Section 4.1): page j goes to GPU j mod n.
+class RoundRobinPartition final : public GpuPartitionPolicy {
+ public:
+  explicit RoundRobinPartition(int num_gpus) : num_gpus_(num_gpus) {}
+  GpuPartitionKind kind() const override {
+    return GpuPartitionKind::kRoundRobin;
+  }
+  int Assign(PageId pid) const override {
+    return static_cast<int>(pid) % num_gpus_;
+  }
+
+ private:
+  int num_gpus_;
+};
+
+/// Strategy-S's pattern (Section 4.2): every page to every GPU.
+class ReplicatePartition final : public GpuPartitionPolicy {
+ public:
+  GpuPartitionKind kind() const override {
+    return GpuPartitionKind::kReplicate;
+  }
+  bool replicates() const override { return true; }
+  int Assign(PageId) const override { return 0; }
+};
+
+/// Greedy least-loaded placement by page weight (slots + adjacency
+/// entries): heaviest pages first, each onto the currently lightest GPU
+/// (lowest index on ties), so skewed page fill no longer makes the
+/// pid-striped GPU the straggler. Deterministic for a given page list.
+class DegreeBalancedPartition final : public GpuPartitionPolicy {
+ public:
+  DegreeBalancedPartition(int num_gpus, obs::MetricsRegistry* registry)
+      : num_gpus_(num_gpus) {
+    if (registry != nullptr) {
+      imbalance_ = &registry->GetGauge("dispatch.partition.imbalance");
+      planned_ = &registry->GetCounter("dispatch.partition.planned_pages");
+    }
+  }
+  GpuPartitionKind kind() const override {
+    return GpuPartitionKind::kDegreeBalanced;
+  }
+  bool needs_pass_plan() const override { return true; }
+
+  void BeginPass(const std::vector<PageId>& pids,
+                 const PagedGraph& graph) override {
+    owner_.assign(graph.num_pages(), -1);
+    std::vector<uint64_t> weight(pids.size());
+    for (size_t i = 0; i < pids.size(); ++i) {
+      const PageView view = graph.view(pids[i]);
+      weight[i] = view.num_slots() + view.total_entries();
+    }
+    std::vector<size_t> by_weight(pids.size());
+    std::iota(by_weight.begin(), by_weight.end(), size_t{0});
+    std::stable_sort(by_weight.begin(), by_weight.end(),
+                     [&weight](size_t a, size_t b) {
+                       return weight[a] > weight[b];
+                     });
+    std::vector<uint64_t> load(num_gpus_, 0);
+    for (size_t i : by_weight) {
+      const int g = static_cast<int>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      // A pid listed twice (RunPass allows duplicates) keeps its first
+      // owner; the duplicate's weight still counts toward that GPU.
+      if (owner_[pids[i]] < 0) {
+        owner_[pids[i]] = g;
+        load[g] += weight[i];
+      } else {
+        load[owner_[pids[i]]] += weight[i];
+      }
+    }
+    if (imbalance_ != nullptr) {
+      const uint64_t max_load = *std::max_element(load.begin(), load.end());
+      const uint64_t total =
+          std::accumulate(load.begin(), load.end(), uint64_t{0});
+      const double mean =
+          static_cast<double>(total) / static_cast<double>(num_gpus_);
+      imbalance_->Set(mean > 0.0 ? static_cast<double>(max_load) / mean : 1.0);
+    }
+    if (planned_ != nullptr) planned_->Add(pids.size());
+  }
+
+  int Assign(PageId pid) const override {
+    // Pages outside the pass plan (defensive) fall back to striping.
+    if (pid >= owner_.size() || owner_[pid] < 0) {
+      return static_cast<int>(pid) % num_gpus_;
+    }
+    return owner_[pid];
+  }
+
+ private:
+  int num_gpus_;
+  std::vector<int32_t> owner_;
+  obs::Gauge* imbalance_ = nullptr;
+  obs::Counter* planned_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<GpuPartitionPolicy> MakeGpuPartitionPolicy(
+    GpuPartitionKind kind, int num_gpus, obs::MetricsRegistry* registry) {
+  switch (kind) {
+    case GpuPartitionKind::kStrategyDefault:
+      GTS_CHECK(false) << "kStrategyDefault must be resolved by the pipeline";
+      return nullptr;
+    case GpuPartitionKind::kRoundRobin:
+      return std::make_unique<RoundRobinPartition>(num_gpus);
+    case GpuPartitionKind::kReplicate:
+      return std::make_unique<ReplicatePartition>();
+    case GpuPartitionKind::kDegreeBalanced:
+      return std::make_unique<DegreeBalancedPartition>(num_gpus, registry);
+  }
+  return std::make_unique<RoundRobinPartition>(num_gpus);
+}
+
+}  // namespace gts

@@ -1,0 +1,50 @@
+// Stage 2 of the dispatch pipeline: which GPU(s) each page of a pass is
+// streamed to. Non-replicating policies must place every page on exactly
+// one GPU; replicating policies send every page everywhere (Strategy-S's
+// pattern, where each GPU only applies the updates of its WA chunk).
+#ifndef GTS_CORE_DISPATCH_GPU_PARTITION_POLICY_H_
+#define GTS_CORE_DISPATCH_GPU_PARTITION_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/dispatch/dispatch_options.h"
+#include "graph/types.h"
+#include "obs/metrics.h"
+
+namespace gts {
+
+class PagedGraph;
+
+class GpuPartitionPolicy {
+ public:
+  virtual ~GpuPartitionPolicy() = default;
+  virtual GpuPartitionKind kind() const = 0;
+
+  /// True when every page is streamed to every GPU.
+  virtual bool replicates() const { return false; }
+
+  /// True when the policy computes a per-pass placement plan and needs
+  /// BeginPass before the first Assign of the pass.
+  virtual bool needs_pass_plan() const { return false; }
+
+  /// Computes the pass's placement from its full page list (any order).
+  virtual void BeginPass(const std::vector<PageId>& pids,
+                         const PagedGraph& graph) {
+    (void)pids;
+    (void)graph;
+  }
+
+  /// Owning GPU of `pid`. Replicating policies return 0 (the engine
+  /// iterates all GPUs itself).
+  virtual int Assign(PageId pid) const = 0;
+};
+
+/// `kind` must be concrete (the pipeline resolves kStrategyDefault before
+/// calling); `registry` may be null.
+std::unique_ptr<GpuPartitionPolicy> MakeGpuPartitionPolicy(
+    GpuPartitionKind kind, int num_gpus, obs::MetricsRegistry* registry);
+
+}  // namespace gts
+
+#endif  // GTS_CORE_DISPATCH_GPU_PARTITION_POLICY_H_

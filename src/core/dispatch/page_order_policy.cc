@@ -1,0 +1,121 @@
+#include "core/dispatch/page_order_policy.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace gts {
+namespace {
+
+std::vector<PageId> Concat(std::vector<PageId> sps, std::vector<PageId> lps) {
+  std::vector<PageId> combined = std::move(sps);
+  combined.insert(combined.end(), lps.begin(), lps.end());
+  return combined;
+}
+
+/// Paper default (Section 3.2): one SP pass, then one LP pass, so each
+/// stream sees long same-kind runs and pays no kernel-switch overhead.
+class SpThenLpOrder final : public PageOrderPolicy {
+ public:
+  PageOrderKind kind() const override { return PageOrderKind::kSpThenLp; }
+  std::vector<PageId> Order(std::vector<PageId> sps, std::vector<PageId> lps,
+                            const PageOrderContext&) override {
+    return Concat(std::move(sps), std::move(lps));
+  }
+};
+
+/// Ablation: a single pid-sorted pass mixing SPs and LPs.
+class InterleavedOrder final : public PageOrderPolicy {
+ public:
+  PageOrderKind kind() const override { return PageOrderKind::kInterleaved; }
+  std::vector<PageId> Order(std::vector<PageId> sps, std::vector<PageId> lps,
+                            const PageOrderContext&) override {
+    std::vector<PageId> combined = Concat(std::move(sps), std::move(lps));
+    std::sort(combined.begin(), combined.end());
+    return combined;
+  }
+};
+
+/// Cached-resident PIDs first within each class. Under LRU/FIFO churn the
+/// default ascending order lets this pass's inserts evict residents before
+/// they are visited; hoisting them converts those would-be misses to hits.
+/// Stable within each group, so the order stays deterministic.
+class CacheAffinityOrder final : public PageOrderPolicy {
+ public:
+  explicit CacheAffinityOrder(obs::MetricsRegistry* registry) {
+    if (registry != nullptr) {
+      hoisted_ = &registry->GetCounter("dispatch.order.cached_first");
+    }
+  }
+  PageOrderKind kind() const override { return PageOrderKind::kCacheAffinity; }
+  std::vector<PageId> Order(std::vector<PageId> sps, std::vector<PageId> lps,
+                            const PageOrderContext& ctx) override {
+    if (ctx.is_cached != nullptr) {
+      uint64_t hoisted = 0;
+      for (auto* group : {&sps, &lps}) {
+        auto mid = std::stable_partition(
+            group->begin(), group->end(),
+            [&ctx](PageId pid) { return ctx.is_cached(pid); });
+        hoisted += static_cast<uint64_t>(mid - group->begin());
+      }
+      if (hoisted_ != nullptr) hoisted_->Add(hoisted);
+    }
+    return Concat(std::move(sps), std::move(lps));
+  }
+
+ private:
+  obs::Counter* hoisted_ = nullptr;
+};
+
+/// Densest frontier pages first: within each class, stable-sort by the
+/// number of slots the frontier activated (descending; ties keep the
+/// ascending pid order). LP continuation chunks carry no activation of
+/// their own and sort to the back of the LP group, which is harmless --
+/// every chunk still runs exactly once this level.
+class FrontierDensityOrder final : public PageOrderPolicy {
+ public:
+  explicit FrontierDensityOrder(obs::MetricsRegistry* registry) {
+    if (registry != nullptr) {
+      sorted_ = &registry->GetCounter("dispatch.order.density_sorted");
+    }
+  }
+  PageOrderKind kind() const override {
+    return PageOrderKind::kFrontierDensity;
+  }
+  std::vector<PageId> Order(std::vector<PageId> sps, std::vector<PageId> lps,
+                            const PageOrderContext& ctx) override {
+    if (ctx.frontier_count != nullptr) {
+      for (auto* group : {&sps, &lps}) {
+        std::stable_sort(group->begin(), group->end(),
+                         [&ctx](PageId a, PageId b) {
+                           return ctx.frontier_count(a) > ctx.frontier_count(b);
+                         });
+      }
+      if (sorted_ != nullptr) {
+        sorted_->Add(sps.size() + lps.size());
+      }
+    }
+    return Concat(std::move(sps), std::move(lps));
+  }
+
+ private:
+  obs::Counter* sorted_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<PageOrderPolicy> MakePageOrderPolicy(
+    PageOrderKind kind, obs::MetricsRegistry* registry) {
+  switch (kind) {
+    case PageOrderKind::kSpThenLp:
+      return std::make_unique<SpThenLpOrder>();
+    case PageOrderKind::kInterleaved:
+      return std::make_unique<InterleavedOrder>();
+    case PageOrderKind::kCacheAffinity:
+      return std::make_unique<CacheAffinityOrder>(registry);
+    case PageOrderKind::kFrontierDensity:
+      return std::make_unique<FrontierDensityOrder>(registry);
+  }
+  return std::make_unique<SpThenLpOrder>();
+}
+
+}  // namespace gts

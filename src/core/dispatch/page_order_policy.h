@@ -1,0 +1,56 @@
+// Stage 1 of the dispatch pipeline: the order pages are streamed within
+// one pass. Ordering is a pure permutation -- it never changes *what*
+// runs, only when -- which is the policy-equivalence guarantee the
+// dispatch tests pin down (identical algorithm results across policies).
+#ifndef GTS_CORE_DISPATCH_PAGE_ORDER_POLICY_H_
+#define GTS_CORE_DISPATCH_PAGE_ORDER_POLICY_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/dispatch/dispatch_options.h"
+#include "graph/types.h"
+#include "obs/metrics.h"
+
+namespace gts {
+
+/// Pass-scoped inputs a page-order policy may consult. A null callback
+/// means the information does not exist for this pass (no cache is
+/// active, or the pass is not a counted traversal level); policies must
+/// then degrade to the paper-default order.
+struct PageOrderContext {
+  /// True if `pid` is resident in the cache of the GPU the partition
+  /// stage routes it to (Algorithm 1's host-side cachedPIDMap consult).
+  std::function<bool(PageId)> is_cached;
+  /// Slots the current frontier activated in `pid` (PidSet counting).
+  std::function<uint32_t(PageId)> frontier_count;
+};
+
+class PageOrderPolicy {
+ public:
+  virtual ~PageOrderPolicy() = default;
+  virtual PageOrderKind kind() const = 0;
+
+  /// Builds one pass's work list from the SP and LP sublists (each in
+  /// ascending pid order, LP continuation chunks directly after their
+  /// base). Must return a permutation of sps + lps.
+  virtual std::vector<PageId> Order(std::vector<PageId> sps,
+                                    std::vector<PageId> lps,
+                                    const PageOrderContext& ctx) = 0;
+
+  /// True when the engine should pay for per-page frontier activation
+  /// counting (PidSet::EnableCounting) to feed `ctx.frontier_count`.
+  bool needs_frontier_counts() const {
+    return kind() == PageOrderKind::kFrontierDensity;
+  }
+};
+
+/// `registry` may be null; with one, policies publish their decisions as
+/// `dispatch.order.*` counters.
+std::unique_ptr<PageOrderPolicy> MakePageOrderPolicy(
+    PageOrderKind kind, obs::MetricsRegistry* registry);
+
+}  // namespace gts
+
+#endif  // GTS_CORE_DISPATCH_PAGE_ORDER_POLICY_H_

@@ -1,0 +1,74 @@
+#include "core/dispatch/stream_assign_policy.h"
+
+namespace gts {
+namespace {
+
+/// Paper default: rotate the cursor. Byte-for-byte the schedule the
+/// monolithic engine produced (s = rr; rr = (rr + 1) % k).
+class RoundRobinStreams final : public StreamAssignPolicy {
+ public:
+  StreamAssignKind kind() const override {
+    return StreamAssignKind::kRoundRobin;
+  }
+  int Assign(int, const std::vector<int>& last_kinds, int* cursor) override {
+    const int n = static_cast<int>(last_kinds.size());
+    const int s = *cursor;
+    *cursor = (*cursor + 1) % n;
+    return s;
+  }
+};
+
+/// Kernel-switch-avoiding assignment: scan from the cursor for a stream
+/// whose last kernel kind matches the page (no switch overhead), then for
+/// a stream that has not run a kernel yet, then fall back to the cursor.
+/// The cursor advances past the chosen stream, so load still spreads.
+class StickyStreams final : public StreamAssignPolicy {
+ public:
+  explicit StickyStreams(obs::MetricsRegistry* registry) {
+    if (registry != nullptr) {
+      avoided_ = &registry->GetCounter("dispatch.stream.switches_avoided");
+    }
+  }
+  StreamAssignKind kind() const override { return StreamAssignKind::kSticky; }
+  int Assign(int page_kind, const std::vector<int>& last_kinds,
+             int* cursor) override {
+    const int n = static_cast<int>(last_kinds.size());
+    int chosen = -1;
+    int fresh = -1;
+    for (int i = 0; i < n; ++i) {
+      const int s = (*cursor + i) % n;
+      if (last_kinds[s] == page_kind) {
+        chosen = s;
+        break;
+      }
+      if (fresh < 0 && last_kinds[s] < 0) fresh = s;
+    }
+    const bool rr_would_switch =
+        last_kinds[*cursor] >= 0 && last_kinds[*cursor] != page_kind;
+    if (chosen < 0) chosen = fresh >= 0 ? fresh : *cursor;
+    if (avoided_ != nullptr && rr_would_switch &&
+        last_kinds[chosen] == page_kind) {
+      avoided_->Add();
+    }
+    *cursor = (chosen + 1) % n;
+    return chosen;
+  }
+
+ private:
+  obs::Counter* avoided_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<StreamAssignPolicy> MakeStreamAssignPolicy(
+    StreamAssignKind kind, obs::MetricsRegistry* registry) {
+  switch (kind) {
+    case StreamAssignKind::kRoundRobin:
+      return std::make_unique<RoundRobinStreams>();
+    case StreamAssignKind::kSticky:
+      return std::make_unique<StickyStreams>(registry);
+  }
+  return std::make_unique<RoundRobinStreams>();
+}
+
+}  // namespace gts

@@ -1,0 +1,38 @@
+// Stage 3 of the dispatch pipeline: which of the k streams on the chosen
+// GPU carries a page. Stream choice never changes algorithm results (with
+// inline execution the kernels run in page order regardless); it changes
+// the simulated schedule -- transfer overlap and the Section 3.2
+// kernel-switch overhead.
+#ifndef GTS_CORE_DISPATCH_STREAM_ASSIGN_POLICY_H_
+#define GTS_CORE_DISPATCH_STREAM_ASSIGN_POLICY_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/dispatch/dispatch_options.h"
+#include "obs/metrics.h"
+
+namespace gts {
+
+class StreamAssignPolicy {
+ public:
+  virtual ~StreamAssignPolicy() = default;
+  virtual StreamAssignKind kind() const = 0;
+
+  /// Picks the stream for the next kernel of `page_kind` (a PageKind cast
+  /// to int) on one GPU. `last_kinds[s]` is stream s's previous kernel
+  /// kind (-1 before any kernel ran); `cursor` is the GPU's persistent
+  /// rotation cursor, which the call advances. Called from the engine's
+  /// dispatch loop only (single-threaded), never from stream workers.
+  virtual int Assign(int page_kind, const std::vector<int>& last_kinds,
+                     int* cursor) = 0;
+};
+
+/// `registry` may be null; the sticky policy publishes
+/// `dispatch.stream.switches_avoided`.
+std::unique_ptr<StreamAssignPolicy> MakeStreamAssignPolicy(
+    StreamAssignKind kind, obs::MetricsRegistry* registry);
+
+}  // namespace gts
+
+#endif  // GTS_CORE_DISPATCH_STREAM_ASSIGN_POLICY_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "core/dispatch/dispatch_pipeline.h"
 #include "obs/prof.h"
 
 namespace gts {
@@ -49,6 +50,29 @@ Status GtsOptions::Validate(const MachineConfig& machine) const {
         "cache_bytes " + std::to_string(cache_bytes) +
         " exceeds device memory (" + std::to_string(machine.device_memory) +
         " B); use kAutoCacheBytes for whatever fits");
+  }
+  // The partition stage must agree with the strategy's WA layout on
+  // multi-GPU machines (with one GPU every kind degrades to striping and
+  // any combination is fine). Strategy-S partitions scan WA, so every GPU
+  // must see every page: a partitioned stream would drop the updates
+  // owned by the other GPUs. Strategy-P replicates WA, so a replicated
+  // stream would apply every scan update num_gpus times.
+  if (machine.num_gpus > 1) {
+    if (strategy == Strategy::kScalability &&
+        (dispatch.partition == GpuPartitionKind::kRoundRobin ||
+         dispatch.partition == GpuPartitionKind::kDegreeBalanced)) {
+      return Status::InvalidArgument(
+          "Strategy-S partitions WA across GPUs and needs the replicated "
+          "page stream; dispatch.partition " +
+          std::string(GpuPartitionKindName(dispatch.partition)) +
+          " would drop cross-partition updates");
+    }
+    if (strategy == Strategy::kPerformance &&
+        dispatch.partition == GpuPartitionKind::kReplicate) {
+      return Status::InvalidArgument(
+          "Strategy-P replicates WA on every GPU; a replicated page stream "
+          "(dispatch.partition replicate) would double-count scan updates");
+    }
   }
   return Status::OK();
 }
@@ -95,6 +119,9 @@ GtsEngine::GtsEngine(const PagedGraph* graph, PageStore* store,
   const Status valid = options_.Validate(machine_);
   GTS_CHECK(valid.ok()) << valid.ToString();
   store_->BindMetrics(registry_);
+  pipeline_ = std::make_unique<DispatchPipeline>(
+      options_.dispatch, options_.strategy == Strategy::kScalability,
+      machine_.num_gpus, registry_.get());
   obs::Counter& stream_ops = registry_->GetCounter("gpu.stream_ops");
   for (int g = 0; g < machine_.num_gpus; ++g) {
     auto state = std::make_unique<GpuState>();
@@ -179,6 +206,9 @@ Status GtsEngine::SetupBuffers(GtsKernel* kernel) {
     }
     if (traversal) {
       gpu.local_next = std::make_unique<PidSet>(graph_->num_pages());
+      if (pipeline_->needs_frontier_counts()) {
+        gpu.local_next->EnableCounting();
+      }
     }
     gpu.stream_work.assign(options_.num_streams, WorkStats{});
     gpu.stream_last_kind.assign(options_.num_streams, -1);
@@ -196,10 +226,17 @@ Status GtsEngine::SetupBuffers(GtsKernel* kernel) {
     cpu_->wa.resize(static_cast<uint64_t>(graph_->num_vertices()) * wa_b);
     if (traversal) {
       cpu_->local_next = std::make_unique<PidSet>(graph_->num_pages());
+      if (pipeline_->needs_frontier_counts()) {
+        cpu_->local_next->EnableCounting();
+      }
     }
     cpu_->lane_work.assign(
         static_cast<size_t>(machine_.time_model.cpu_worker_threads),
         WorkStats{});
+    // Like gpu.rr above: the lane cursor starts every run at 0 so two
+    // identical runs produce identical per-lane WorkStats (CpuState is
+    // recreated per run today, but the reset must not depend on that).
+    cpu_->rr = 0;
   }
   return Status::OK();
 }
@@ -384,14 +421,31 @@ void GtsEngine::SynchronizeStreams() {
   }
 }
 
-std::vector<PageId> GtsEngine::OrderPages(std::vector<PageId> sps,
-                                          std::vector<PageId> lps) const {
-  std::vector<PageId> combined = std::move(sps);
-  combined.insert(combined.end(), lps.begin(), lps.end());
-  if (options_.interleave_sp_lp) {
-    std::sort(combined.begin(), combined.end());
+std::vector<PageId> GtsEngine::PlanPass(std::vector<PageId> sps,
+                                        std::vector<PageId> lps,
+                                        const PidSet* frontier) {
+  PageOrderContext ctx;
+  // Cache residency is queried lazily inside Order() -- after BeginPass
+  // has planned the partition -- so cache-affinity composes with
+  // degree-balanced assignment. Contains() touches no cache statistics.
+  bool any_cache = false;
+  for (const auto& gpu : gpus_) any_cache |= gpu->cache != nullptr;
+  if (any_cache) {
+    ctx.is_cached = [this](PageId pid) {
+      const int g = pipeline_->replicates() ? 0 : pipeline_->AssignGpu(pid);
+      const auto& cache = gpus_[g]->cache;
+      return cache != nullptr && cache->Contains(pid);
+    };
   }
-  return combined;
+  if (frontier != nullptr && frontier->counting()) {
+    ctx.frontier_count = [frontier](PageId pid) {
+      return frontier->CountOf(pid);
+    };
+  }
+  std::vector<PageId> ordered =
+      pipeline_->PlanPass(std::move(sps), std::move(lps), *graph_, ctx);
+  if (options_.dispatch.coalesce_reads) store_->PlanReads(ordered);
+  return ordered;
 }
 
 Status GtsEngine::ProcessPages(GtsKernel* kernel,
@@ -406,8 +460,7 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
   const double sec_per_mem = kernel->seconds_per_mem_transaction(tm);
   const uint8_t* host_ra = kernel->host_ra();
   const int n_gpus = machine_.num_gpus;
-  const bool replicate_pages =
-      options_.strategy == Strategy::kScalability && n_gpus > 1;
+  const bool replicate_pages = pipeline_->replicates();
 
   for (PageId pid : pids) {
     const PageKind kind = graph_->kind(pid);
@@ -415,12 +468,12 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
       GTS_RETURN_IF_ERROR(ProcessPageOnCpu(kernel, pid, cur_level, metrics));
       continue;
     }
-    const int first_gpu = replicate_pages ? 0 : (static_cast<int>(pid) % n_gpus);
+    const int first_gpu = replicate_pages ? 0 : pipeline_->AssignGpu(pid);
     const int last_gpu = replicate_pages ? n_gpus - 1 : first_gpu;
     for (int g = first_gpu; g <= last_gpu; ++g) {
       GpuState& gpu = *gpus_[g];
-      const int s = gpu.rr;
-      gpu.rr = (gpu.rr + 1) % options_.num_streams;
+      const int s = pipeline_->AssignStream(static_cast<int>(kind),
+                                            gpu.stream_last_kind, &gpu.rr);
       const int stream_key = StreamKey(g, s);
 
       // Host-side routing against cachedPIDMap (Algorithm 1 line 16). A
@@ -629,11 +682,12 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
   Status run_status;
   if (!traversal) {
     // PageRank-like: one pass over all SPs, then all LPs (Section 3.2),
-    // or a single interleaved pass under the ablation option.
+    // reordered per the dispatch pipeline's page-order policy.
     run_status = ProcessPages(
         kernel,
-        OrderPages(graph_->small_page_ids(), graph_->large_page_ids()), 0,
-        &metrics);
+        PlanPass(graph_->small_page_ids(), graph_->large_page_ids(),
+                 nullptr),
+        0, &metrics);
     SynchronizeStreams();
     if (run_status.ok()) {
       DownloadWa(kernel);
@@ -644,6 +698,7 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
   } else {
     // BFS-like: level-by-level over nextPIDSet (Section 3.3).
     PidSet frontier(graph_->num_pages());
+    if (pipeline_->needs_frontier_counts()) frontier.EnableCounting();
     frontier.Set(graph_->PageOfVertex(source));
     int level = 0;
     uint64_t prev_updates = 0;  // for per-level WA-delta sizing
@@ -671,9 +726,9 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
       for (auto& gpu : gpus_) gpu->local_next->Clear();
       if (cpu_ != nullptr) cpu_->local_next->Clear();
 
-      run_status =
-          ProcessPages(kernel, OrderPages(std::move(sps), std::move(lps)),
-                       static_cast<uint32_t>(level), &metrics);
+      run_status = ProcessPages(
+          kernel, PlanPass(std::move(sps), std::move(lps), &frontier),
+          static_cast<uint32_t>(level), &metrics);
       SynchronizeStreams();
       if (!run_status.ok()) break;
 
@@ -797,7 +852,8 @@ Result<RunMetrics> GtsEngine::RunPass(GtsKernel* kernel,
 
   UploadWa(kernel);
   Status run_status = ProcessPages(
-      kernel, OrderPages(std::move(sps), std::move(lps)), level, &metrics);
+      kernel, PlanPass(std::move(sps), std::move(lps), nullptr), level,
+      &metrics);
   SynchronizeStreams();
   if (!run_status.ok()) {
     ReleaseBuffers();
@@ -827,6 +883,7 @@ void GtsEngine::FinalizeRun(RunMetrics* metrics) {
   }
   if (cpu_ != nullptr) {
     for (const WorkStats& w : cpu_->lane_work) metrics->work += w;
+    metrics->cpu_lane_work = cpu_->lane_work;
   }
   metrics->io = store_->stats();
 

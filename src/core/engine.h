@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/dispatch/dispatch_options.h"
 #include "core/frontier.h"
 #include "core/kernel.h"
 #include "core/machine_config.h"
@@ -35,6 +36,8 @@
 #include "storage/paged_graph.h"
 
 namespace gts {
+
+class DispatchPipeline;
 
 /// Multi-GPU strategies of Section 4.
 enum class Strategy : uint8_t {
@@ -69,10 +72,12 @@ struct GtsOptions {
   /// co-processing, which is the paper's GTS. Requires Strategy-P.
   double cpu_assist_fraction = 0.0;
 
-  /// Ablation: interleave SPs and LPs in page-id order instead of the
-  /// paper's SP-pass-then-LP-pass, paying the kernel-switch overhead the
-  /// separation exists to avoid (Section 3.2).
-  bool interleave_sp_lp = false;
+  /// The three-stage dispatch pipeline (src/core/dispatch/): page
+  /// ordering, GPU partitioning, stream assignment. The defaults
+  /// reproduce the paper's schedule bit-for-bit; the SP/LP-interleaving
+  /// ablation that used to be `interleave_sp_lp` is now
+  /// `dispatch.order = PageOrderKind::kInterleaved`.
+  DispatchOptions dispatch;
 
   static constexpr uint64_t kAutoCacheBytes = ~uint64_t{0};
   /// Stream-key encoding limit (gpu * kMaxStreamsPerGpu + stream).
@@ -81,7 +86,9 @@ struct GtsOptions {
   /// Checks every option invariant against the target machine:
   /// num_streams in [1, kMaxStreamsPerGpu], max_levels >= 1,
   /// cpu_assist_fraction in [0, 1), an explicit cache_bytes that fits in
-  /// device memory, and a machine with at least one GPU. The single
+  /// device memory, a machine with at least one GPU, and a dispatch
+  /// partition kind compatible with the strategy (see engine.cc). The
+  /// single
   /// source of option validation; the engine constructor calls it and
   /// refuses (aborts) on failure, so construct-time callers that need a
   /// recoverable error should Validate() first. Workload-dependent
@@ -172,10 +179,13 @@ class GtsEngine {
   Status ProcessPages(GtsKernel* kernel, const std::vector<PageId>& pids,
                       uint32_t cur_level, RunMetrics* metrics);
 
-  /// Orders a work list per GtsOptions::interleave_sp_lp: the paper's
-  /// SP-pass-then-LP-pass, or a single pid-ordered interleaved pass.
-  std::vector<PageId> OrderPages(std::vector<PageId> sps,
-                                 std::vector<PageId> lps) const;
+  /// Stage 0 of every pass: drives the dispatch pipeline (partition plan
+  /// + page order) and, with DispatchOptions::coalesce_reads, hands the
+  /// ordered batch to the store's read planner. `frontier` is the level's
+  /// counted frontier for traversal passes, null otherwise.
+  std::vector<PageId> PlanPass(std::vector<PageId> sps,
+                               std::vector<PageId> lps,
+                               const PidSet* frontier);
 
   /// Uploads WA to every GPU (records H2DChunk ops).
   void UploadWa(GtsKernel* kernel);
@@ -190,6 +200,7 @@ class GtsEngine {
   MachineConfig machine_;
   GtsOptions options_;
   std::shared_ptr<obs::MetricsRegistry> registry_;
+  std::unique_ptr<DispatchPipeline> pipeline_;
 
   std::vector<std::unique_ptr<GpuState>> gpus_;
   std::unique_ptr<CpuState> cpu_;  // present while a hybrid run is active

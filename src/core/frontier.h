@@ -29,6 +29,9 @@ class PidSet {
   void Set(PageId pid) {
     words_[pid >> 6].fetch_or(uint64_t{1} << (pid & 63),
                               std::memory_order_relaxed);
+    if (!counts_.empty()) {
+      counts_[pid].fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   bool Test(PageId pid) const {
@@ -38,6 +41,7 @@ class PidSet {
 
   void Clear() {
     for (auto& w : words_) w.store(0, std::memory_order_relaxed);
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
   }
 
   bool Empty() const {
@@ -47,11 +51,19 @@ class PidSet {
     return true;
   }
 
-  /// Merges `other` into this set (the host's union at line 30).
+  /// Merges `other` into this set (the host's union at line 30). When
+  /// both sets count activations, the per-page counts sum.
   void Union(const PidSet& other) {
     for (size_t i = 0; i < words_.size(); ++i) {
       words_[i].fetch_or(other.words_[i].load(std::memory_order_relaxed),
                          std::memory_order_relaxed);
+    }
+    if (!counts_.empty() && !other.counts_.empty()) {
+      for (size_t i = 0; i < counts_.size(); ++i) {
+        const uint32_t add =
+            other.counts_[i].load(std::memory_order_relaxed);
+        if (add != 0) counts_[i].fetch_add(add, std::memory_order_relaxed);
+      }
     }
   }
 
@@ -73,9 +85,29 @@ class PidSet {
   /// Bytes a device-resident copy occupies (for sync-cost accounting).
   uint64_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
 
+  /// Opt-in per-page activation counting: afterwards every Set(pid) also
+  /// bumps a per-page counter, so a traversal level knows how many slots
+  /// the frontier activated in each page (the frontier-density order
+  /// policy's sort key). Off by default -- Set() stays a single fetch_or
+  /// on the hot path, and counts never affect membership.
+  void EnableCounting() {
+    if (counts_.empty() && num_pages_ > 0) {
+      counts_ = std::vector<std::atomic<uint32_t>>(num_pages_);
+      for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    }
+  }
+  bool counting() const { return !counts_.empty(); }
+  /// Activations recorded for `pid` since the last Clear() (0 when
+  /// counting is disabled).
+  uint32_t CountOf(PageId pid) const {
+    return counts_.empty() ? 0
+                           : counts_[pid].load(std::memory_order_relaxed);
+  }
+
  private:
   size_t num_pages_ = 0;
   std::vector<std::atomic<uint64_t>> words_;
+  std::vector<std::atomic<uint32_t>> counts_;  // empty unless counting
 };
 
 }  // namespace gts

@@ -16,6 +16,13 @@ void RunMetrics::Accumulate(const RunMetrics& increment) {
   io.buffer_hits += increment.io.buffer_hits;
   io.device_reads += increment.io.device_reads;
   io.bytes_read += increment.io.bytes_read;
+  io.coalesced_reads += increment.io.coalesced_reads;
+  if (increment.cpu_lane_work.size() > cpu_lane_work.size()) {
+    cpu_lane_work.resize(increment.cpu_lane_work.size());
+  }
+  for (size_t i = 0; i < increment.cpu_lane_work.size(); ++i) {
+    cpu_lane_work[i] += increment.cpu_lane_work[i];
+  }
   transfer_busy += increment.transfer_busy;
   kernel_busy += increment.kernel_busy;
   storage_busy += increment.storage_busy;

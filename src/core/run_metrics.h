@@ -33,6 +33,12 @@ struct RunMetrics {
   WorkStats work;
   PageStoreStats io;          ///< storage-level counters for this run
 
+  /// Per-lane work of the host-CPU co-processing pool; empty unless the
+  /// run used cpu_assist_fraction > 0. Deterministic: two identical
+  /// hybrid runs produce identical per-lane stats (the lane cursor resets
+  /// every run).
+  std::vector<WorkStats> cpu_lane_work;
+
   /// For traversal runs with GtsKernel::collect_level_pages(): the page ids
   /// processed at each level (drives backward passes, e.g. betweenness).
   std::vector<std::vector<PageId>> level_pages;

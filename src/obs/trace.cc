@@ -241,6 +241,14 @@ void TraceExporter::AddRun(const gpu::ScheduleResult& schedule,
   }
 }
 
+void TraceExporter::AddRunMetadata(const std::string& key,
+                                   const std::string& value, int pid_base) {
+  metadata_.push_back(
+      "{\"name\":\"" + JsonEscape(key) + "\",\"ph\":\"M\",\"pid\":" +
+      std::to_string(pid_base + kHostPid) + ",\"args\":{\"value\":\"" +
+      JsonEscape(value) + "\"}}");
+}
+
 std::string TraceExporter::ToJson() const {
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;

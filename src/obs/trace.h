@@ -50,6 +50,13 @@ class TraceExporter {
   void AddRun(const gpu::ScheduleResult& schedule,
               const TraceRunOptions& options = {});
 
+  /// Attaches one key/value to the run group at `pid_base` as a metadata
+  /// record (e.g. the dispatch policy names a bench swept). Shows up in
+  /// the trace viewer's process metadata; emits no timeline events, so
+  /// traces that never call this stay byte-identical.
+  void AddRunMetadata(const std::string& key, const std::string& value,
+                      int pid_base = 0);
+
   /// {"traceEvents":[...],"displayTimeUnit":"ms"} with one event per line.
   std::string ToJson() const;
 

@@ -37,6 +37,7 @@ void PageStore::BindMetrics(std::shared_ptr<obs::MetricsRegistry> registry) {
   buffer_hits_metric_ = &registry_->GetCounter("store.buffer_hits");
   device_reads_metric_ = &registry_->GetCounter("store.device_reads");
   bytes_read_metric_ = &registry_->GetCounter("store.bytes_read");
+  coalesced_reads_metric_ = &registry_->GetCounter("store.coalesced_reads");
   for (auto& device : devices_) device->BindMetrics(registry_.get());
 }
 
@@ -96,11 +97,35 @@ Result<PageStore::FetchResult> PageStore::Fetch(PageId pid) {
     bytes_read_metric_->Add(page_size);
   }
   devices_[d]->NoteRead(page_size);
+  const bool coalesced = coalesced_.erase(pid) > 0;
+  if (coalesced) {
+    ++stats_.coalesced_reads;
+    if (coalesced_reads_metric_ != nullptr) coalesced_reads_metric_->Add();
+  }
   result.data = ins->second.bytes.data();
   result.buffer_hit = false;
   result.device_index = d;
-  result.io_cost = devices_[d]->timing().ReadCost(page_size);
+  result.io_cost = coalesced
+                       ? devices_[d]->timing().SequentialReadCost(page_size)
+                       : devices_[d]->timing().ReadCost(page_size);
   return result;
+}
+
+void PageStore::PlanReads(const std::vector<PageId>& ordered) {
+  coalesced_.clear();
+  const uint64_t page_size = graph_->config().page_size;
+  // Per device: the offset right after the last planned buffer-missing
+  // read. Buffer residency is evaluated against the plan-time MMBuf; a
+  // page evicted before its Fetch simply pays the full ReadCost.
+  std::vector<uint64_t> next_offset(devices_.size(), ~uint64_t{0});
+  for (PageId pid : ordered) {
+    if (pid >= graph_->num_pages() || buffer_.count(pid) > 0) continue;
+    const size_t d = DeviceOfPage(pid);
+    const uint64_t offset =
+        static_cast<uint64_t>(pid / devices_.size()) * page_size;
+    if (offset == next_offset[d]) coalesced_.insert(pid);
+    next_offset[d] = offset + page_size;
+  }
 }
 
 void PageStore::TouchLru(PageId pid) {

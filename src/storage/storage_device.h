@@ -45,6 +45,15 @@ struct DeviceTimingParams {
     if (seq_bandwidth <= 0.0) return 0.0;
     return access_latency + static_cast<double>(bytes) / seq_bandwidth;
   }
+
+  /// ReadCost for a request that continues the previous one: the head is
+  /// already positioned, so only the transfer is paid, not the per-request
+  /// access latency. Used by PageStore's read planner for batches the
+  /// dispatch pipeline ordered sequentially per device.
+  SimTime SequentialReadCost(uint64_t bytes) const {
+    if (seq_bandwidth <= 0.0) return 0.0;
+    return static_cast<double>(bytes) / seq_bandwidth;
+  }
 };
 
 /// Abstract byte store with a timing model.

@@ -93,7 +93,7 @@ TEST_P(AlgorithmSweepTest, Sssp) {
 
 TEST_P(AlgorithmSweepTest, PageRank) {
   GtsEngine engine(&paged_, store_.get(), machine_, GtsOptions{});
-  auto result = RunPageRankGts(engine, 3);
+  auto result = RunPageRankGts(engine, {.iterations = 3});
   ASSERT_TRUE(result.ok()) << result.status();
   const auto expected = ReferencePageRank(csr_, 3);
   for (VertexId v = 0; v < csr_.num_vertices(); ++v) {

@@ -14,11 +14,16 @@
 
 #include <gtest/gtest.h>
 
+#include "algorithms/bfs.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
+#include "core/engine.h"
 #include "core/page_cache.h"
 #include "gpu/device.h"
 #include "gpu/stream.h"
+#include "graph/csr_graph.h"
+#include "graph/rmat_generator.h"
+#include "storage/page_builder.h"
 
 namespace gts {
 namespace {
@@ -225,6 +230,81 @@ TEST(StreamStressTest, SynchronizeReleasesCapturedResources) {
     stream.Synchronize();
     EXPECT_EQ(sentinel.use_count(), 1)
         << "op closure still alive after Synchronize()";
+  }
+}
+
+// ------------------------------------------------------- Dispatch pipeline
+
+// The full engine under real stream threads with every concurrency-hungry
+// dispatch feature on at once: LRU cache churn (cache-affinity consults
+// Contains() while stream threads insert/evict), sticky stream assignment,
+// and frontier counting. Results must match a plain inline run exactly;
+// TSan/ASan patrol the pipeline's reads of shared cache state.
+TEST(DispatchStressTest, StreamThreadsWithAffinityAndStickyMatchInlineRun) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 17;
+  EdgeList edges = std::move(GenerateRmat(p)).ValueOrDie();
+  CsrGraph csr = CsrGraph::FromEdgeList(edges);
+  PagedGraph paged =
+      std::move(BuildPagedGraph(csr, PageConfig{2, 2, 1 * kKiB})).ValueOrDie();
+  VertexId source = 0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (csr.out_degree(v) > csr.out_degree(source)) source = v;
+  }
+
+  auto levels_with = [&](bool threads) {
+    auto store = MakeInMemoryStore(&paged);
+    MachineConfig machine = MachineConfig::PaperScaled(1);
+    machine.device_memory = 8 * kMiB;
+    GtsOptions opts;
+    opts.num_streams = 4;
+    opts.use_stream_threads = threads;
+    opts.cache_policy = CachePolicy::kLru;
+    opts.cache_bytes = 64 * kKiB;  // far below the working set: constant churn
+    opts.dispatch.order = PageOrderKind::kCacheAffinity;
+    opts.dispatch.stream_assign = StreamAssignKind::kSticky;
+    GtsEngine engine(&paged, store.get(), machine, opts);
+    auto result = RunBfsGts(engine, source);
+    GTS_CHECK(result.ok());
+    return result->levels;
+  };
+
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(levels_with(/*threads=*/true), levels_with(/*threads=*/false))
+        << "round " << round;
+  }
+}
+
+// Frontier-density ordering under stream threads: the counting PidSet is
+// written by kernel completions and read by the next pass's ordering.
+TEST(DispatchStressTest, FrontierDensityUnderStreamThreadsIsDeterministic) {
+  RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 16;
+  p.seed = 23;
+  EdgeList edges = std::move(GenerateRmat(p)).ValueOrDie();
+  CsrGraph csr = CsrGraph::FromEdgeList(edges);
+  PagedGraph paged =
+      std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+  auto store = MakeInMemoryStore(&paged);
+  MachineConfig machine = MachineConfig::PaperScaled(1);
+  machine.device_memory = 8 * kMiB;
+
+  auto run = [&]() {
+    GtsOptions opts;
+    opts.num_streams = 4;
+    opts.use_stream_threads = true;
+    opts.dispatch.order = PageOrderKind::kFrontierDensity;
+    GtsEngine engine(&paged, store.get(), machine, opts);
+    auto result = RunBfsGts(engine, 1);
+    GTS_CHECK(result.ok());
+    return result->levels;
+  };
+  const auto first = run();
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_EQ(run(), first) << "round " << round;
   }
 }
 

@@ -121,7 +121,7 @@ TEST(CostModelTest, Eq1TracksSimulatorWithinFactorTwo) {
   GtsOptions opts;
   opts.num_streams = 32;
   GtsEngine engine(&paged, store.get(), machine, opts);
-  auto run = std::move(RunPageRankGts(engine, 1)).ValueOrDie();
+  auto run = std::move(RunPageRankGts(engine, {.iterations = 1})).ValueOrDie();
 
   PageRankCostInputs in;
   in.wa_bytes = csr.num_vertices() * 4;

@@ -44,7 +44,7 @@ TEST(EdgeCasesTest, SingleVertexNoEdges) {
   EXPECT_EQ(bfs->levels[0], 0);
   EXPECT_EQ(bfs->report.metrics.levels, 1);
 
-  auto pr = RunPageRankGts(engine, 2);
+  auto pr = RunPageRankGts(engine, {.iterations = 2});
   ASSERT_TRUE(pr.ok());
   // No edges: only the base term survives.
   EXPECT_NEAR(pr->ranks[0], 0.15f, 1e-6);
@@ -71,7 +71,7 @@ TEST(EdgeCasesTest, SelfLoopsOnly) {
   ASSERT_TRUE(bfs.ok());
   EXPECT_EQ(bfs->levels[1], 0);
   EXPECT_EQ(bfs->levels[0], BfsKernel::kUnvisited);
-  auto pr = RunPageRankGts(engine, 3);
+  auto pr = RunPageRankGts(engine, {.iterations = 3});
   ASSERT_TRUE(pr.ok());  // each vertex feeds rank to itself
   EXPECT_NEAR(pr->ranks[0], 1.0f / 3.0f, 1e-4);
 }
@@ -85,7 +85,7 @@ TEST(EdgeCasesTest, TwoVertexCycle) {
   EXPECT_EQ(bfs->levels[0], 0);
   EXPECT_EQ(bfs->levels[1], 1);
   EXPECT_EQ(bfs->report.metrics.levels, 2);
-  auto pr = RunPageRankGts(engine, 10);
+  auto pr = RunPageRankGts(engine, {.iterations = 10});
   ASSERT_TRUE(pr.ok());
   EXPECT_NEAR(pr->ranks[0], 0.5f, 1e-4);
   EXPECT_NEAR(pr->ranks[1], 0.5f, 1e-4);
@@ -127,6 +127,85 @@ TEST(EdgeCasesTest, StarGraphHubAsLpRun) {
     ASSERT_EQ(bfs->levels[v], 1) << v;
   }
   EXPECT_EQ(bfs->report.metrics.levels, 2);
+}
+
+// ------------------------- Strategy-S WaRange boundaries (Section 4.2)
+
+TEST(EdgeCasesTest, StrategySWithMoreGpusThanVertices) {
+  // 4 vertices across 8 GPUs: the ceil-divided WA chunk gives the first
+  // GPUs one vertex each and the rest empty [n, n) ranges. The scan must
+  // still visit every page on every GPU and merge to the right answer.
+  EdgeList edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  Built b = Build(edges);
+  MachineConfig machine = MachineConfig::PaperScaled(8);
+  machine.device_memory = 8 * kMiB;
+  GtsOptions opts;
+  opts.strategy = Strategy::kScalability;
+  GtsEngine engine(&b.paged, b.store.get(), machine, opts);
+  auto pr = RunPageRankGts(engine, {.iterations = 10});
+  ASSERT_TRUE(pr.ok());
+  // Symmetric ring: uniform stationary distribution.
+  for (VertexId v = 0; v < 4; ++v) {
+    EXPECT_NEAR(pr->ranks[v], 0.25f, 1e-4) << v;
+  }
+}
+
+TEST(EdgeCasesTest, TraversalReplicatesWaUnderStrategyS) {
+  // Traversal kernels always replicate WA (they read arbitrary neighbors'
+  // levels), so Strategy-S BFS must agree with Strategy-P exactly even
+  // when the scan-time WA chunks would partition the vertices.
+  EdgeList edges;
+  edges.set_num_vertices(64);
+  for (VertexId v = 0; v + 1 < 64; ++v) edges.Add(v, v + 1);
+  Built b = Build(std::move(edges));
+  MachineConfig machine = MachineConfig::PaperScaled(2);
+  machine.device_memory = 8 * kMiB;
+
+  GtsOptions perf;  // Strategy-P default
+  GtsEngine ep(&b.paged, b.store.get(), machine, perf);
+  auto bp = RunBfsGts(ep, 0);
+  ASSERT_TRUE(bp.ok());
+
+  GtsOptions scal;
+  scal.strategy = Strategy::kScalability;
+  GtsEngine es(&b.paged, b.store.get(), machine, scal);
+  auto bs = RunBfsGts(es, 0);
+  ASSERT_TRUE(bs.ok());
+
+  EXPECT_EQ(bp->levels, bs->levels);
+  // The replicated stream really streams every page to both GPUs.
+  EXPECT_EQ(bs->report.metrics.pages_streamed,
+            2 * bp->report.metrics.pages_streamed);
+}
+
+// ---------------------------------------------- RunPass page-list misuse
+
+TEST(EdgeCasesTest, RunPassRejectsOutOfRangePageIds) {
+  EdgeList edges(16, {{0, 1}, {1, 2}});
+  Built b = Build(edges);
+  GtsEngine engine(&b.paged, b.store.get(), SmallMachine(), GtsOptions{});
+  PageRankKernel kernel(b.paged.num_vertices());
+  auto result =
+      engine.RunPass(&kernel, {0, static_cast<PageId>(b.paged.num_pages())});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EdgeCasesTest, RunPassProcessesDuplicatePageIdsTwice) {
+  // RunPass takes the caller's list literally: duplicates are streamed and
+  // run again (backward sweeps rely on exact caller-controlled page sets,
+  // so the engine must not dedupe behind their back).
+  EdgeList edges(16, {{0, 1}, {1, 2}});
+  Built b = Build(edges);
+  GtsEngine engine(&b.paged, b.store.get(), SmallMachine(), GtsOptions{});
+  PageRankKernel kernel(b.paged.num_vertices());
+  kernel.BeginIteration();
+  auto once = engine.RunPass(&kernel, {0});
+  ASSERT_TRUE(once.ok());
+  kernel.BeginIteration();
+  auto twice = engine.RunPass(&kernel, {0, 0});
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once->sp_kernel_calls + once->lp_kernel_calls, 1u);
+  EXPECT_EQ(twice->sp_kernel_calls + twice->lp_kernel_calls, 2u);
 }
 
 }  // namespace

@@ -48,7 +48,7 @@ struct Fixture {
 TEST(EngineMetricsTest, FullScanTouchesEveryPageExactlyOnce) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
-  auto pr = RunPageRankGts(engine, 1);
+  auto pr = RunPageRankGts(engine, {.iterations = 1});
   ASSERT_TRUE(pr.ok());
   const RunMetrics& m = pr->report.metrics;
   EXPECT_EQ(m.pages_streamed, f.paged.num_pages());
@@ -63,7 +63,7 @@ TEST(EngineMetricsTest, FullScanTouchesEveryPageExactlyOnce) {
 TEST(EngineMetricsTest, PageRankUpdatesEqualOwnedEdges) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
-  auto pr = RunPageRankGts(engine, 1);
+  auto pr = RunPageRankGts(engine, {.iterations = 1});
   ASSERT_TRUE(pr.ok());
   // Single GPU owns all vertices: one atomicAdd per edge.
   EXPECT_EQ(pr->report.metrics.work.wa_updates, f.csr.num_edges());
@@ -88,7 +88,7 @@ TEST(EngineMetricsTest, BusyTimesAreWithinMakespan) {
   GtsOptions opts;
   opts.num_streams = 4;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), opts);
-  auto pr = RunPageRankGts(engine, 2);
+  auto pr = RunPageRankGts(engine, {.iterations = 2});
   ASSERT_TRUE(pr.ok());
   for (const RunMetrics& m : pr->iterations) {
     // A serial resource cannot be busy longer than the whole run.
@@ -124,7 +124,7 @@ TEST(EngineMetricsTest, SsdRunAccountsStorageBusy) {
   Fixture f;
   auto ssd = MakeSsdStore(&f.paged, 2, f.paged.TotalTopologyBytes() / 4);
   GtsEngine engine(&f.paged, ssd.get(), f.Machine(), GtsOptions{});
-  auto pr = RunPageRankGts(engine, 1);
+  auto pr = RunPageRankGts(engine, {.iterations = 1});
   ASSERT_TRUE(pr.ok());
   EXPECT_GT(pr->report.metrics.storage_busy, 0.0);
   EXPECT_GT(pr->report.metrics.io.device_reads, 0u);
@@ -136,7 +136,7 @@ TEST(EngineMetricsTest, SecondIterationServedFromMmbufWhenItFits) {
   Fixture f;
   auto ssd = MakeSsdStore(&f.paged, 1, f.paged.TotalTopologyBytes() + kMiB);
   GtsEngine engine(&f.paged, ssd.get(), f.Machine(), GtsOptions{});
-  auto pr = RunPageRankGts(engine, 2);
+  auto pr = RunPageRankGts(engine, {.iterations = 2});
   ASSERT_TRUE(pr.ok());
   ASSERT_EQ(pr->iterations.size(), 2u);
   EXPECT_GT(pr->iterations[0].io.device_reads, 0u);

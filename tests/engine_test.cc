@@ -195,7 +195,7 @@ TEST_P(PageRankEngineTest, MatchesReference) {
   opts.micro = GetParam().micro;
   opts.use_stream_threads = GetParam().threads;
   GtsEngine engine(&g.paged, g.store.get(), TestMachine(), opts);
-  auto result = RunPageRankGts(engine, /*iterations=*/5);
+  auto result = RunPageRankGts(engine, {.iterations = 5});
   ASSERT_TRUE(result.ok()) << result.status();
   ExpectRanksMatch(g, result->ranks, 5);
   EXPECT_EQ(result->iterations.size(), 5u);
@@ -213,7 +213,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(PageRankEngineTest, RanksSumToRoughlyOneMinusDanglingMass) {
   TestGraph g = MakeTestGraph(10, 8);
   GtsEngine engine(&g.paged, g.store.get(), TestMachine(), GtsOptions{});
-  auto result = RunPageRankGts(engine, 3);
+  auto result = RunPageRankGts(engine, {.iterations = 3});
   ASSERT_TRUE(result.ok());
   double total = 0.0;
   for (float r : result->ranks) total += r;
@@ -229,8 +229,8 @@ TEST(PageRankEngineTest, StrategySMatchesStrategyP) {
   s_opts.strategy = Strategy::kScalability;
   GtsEngine ep(&g.paged, g.store.get(), TestMachine(2), p_opts);
   GtsEngine es(&g.paged, g.store.get(), TestMachine(2), s_opts);
-  auto rp = RunPageRankGts(ep, 4);
-  auto rs = RunPageRankGts(es, 4);
+  auto rp = RunPageRankGts(ep, {.iterations = 4});
+  auto rs = RunPageRankGts(es, {.iterations = 4});
   ASSERT_TRUE(rp.ok()) << rp.status();
   ASSERT_TRUE(rs.ok()) << rs.status();
   for (VertexId v = 0; v < rp->ranks.size(); ++v) {
@@ -243,7 +243,7 @@ TEST(PageRankEngineTest, GraphWithLargePagesUsesTotalDegree) {
   TestGraph g = MakeTestGraph(9, 16, PageConfig{2, 2, 512});
   ASSERT_GT(g.paged.num_large_pages(), 0u);
   GtsEngine engine(&g.paged, g.store.get(), TestMachine(), GtsOptions{});
-  auto result = RunPageRankGts(engine, 4);
+  auto result = RunPageRankGts(engine, {.iterations = 4});
   ASSERT_TRUE(result.ok());
   ExpectRanksMatch(g, result->ranks, 4);
 }
@@ -253,7 +253,7 @@ TEST(PageRankEngineTest, WaTooLargeIsOutOfDeviceMemory) {
   MachineConfig tiny = TestMachine(1);
   tiny.device_memory = 8 * kKiB;  // cannot hold 4 B x 4096 vertices
   GtsEngine engine(&g.paged, g.store.get(), tiny, GtsOptions{});
-  auto result = RunPageRankGts(engine, 1);
+  auto result = RunPageRankGts(engine, {.iterations = 1});
   EXPECT_TRUE(result.status().IsOutOfDeviceMemory()) << result.status();
 }
 
@@ -272,8 +272,8 @@ TEST(PageRankEngineTest, StrategySSplitsWaAcrossGpus) {
   s_opts.num_streams = 1;
   GtsEngine ep(&g.paged, g.store.get(), machine, p_opts);
   GtsEngine es(&g.paged, g.store.get(), machine, s_opts);
-  EXPECT_TRUE(RunPageRankGts(ep, 1).status().IsOutOfDeviceMemory());
-  auto rs = RunPageRankGts(es, 2);
+  EXPECT_TRUE(RunPageRankGts(ep, {.iterations = 1}).status().IsOutOfDeviceMemory());
+  auto rs = RunPageRankGts(es, {.iterations = 2});
   ASSERT_TRUE(rs.ok()) << rs.status();
   ExpectRanksMatch(g, rs->ranks, 2);
 }
@@ -371,7 +371,7 @@ TEST(EngineTimingTest, MoreStreamsNeverSlowerForPageRank) {
     GtsOptions opts;
     opts.num_streams = streams;
     GtsEngine engine(&g.paged, g.store.get(), TestMachine(), opts);
-    return std::move(RunPageRankGts(engine, 2)).ValueOrDie().report.metrics.sim_seconds;
+    return std::move(RunPageRankGts(engine, {.iterations = 2})).ValueOrDie().report.metrics.sim_seconds;
   };
   const double t1 = run(1);
   const double t8 = run(8);
@@ -385,7 +385,7 @@ TEST(EngineTimingTest, TwoGpusSpeedUpStrategyP) {
   auto run = [&](int gpus) {
     GtsEngine engine(&g.paged, g.store.get(), TestMachine(gpus),
                      GtsOptions{});
-    return std::move(RunPageRankGts(engine, 2)).ValueOrDie().report.metrics.sim_seconds;
+    return std::move(RunPageRankGts(engine, {.iterations = 2})).ValueOrDie().report.metrics.sim_seconds;
   };
   const double t1 = run(1);
   const double t2 = run(2);
@@ -400,9 +400,9 @@ TEST(EngineTimingTest, StrategySDoesNotSpeedUpCompute) {
   GtsEngine e1(&g.paged, g.store.get(), TestMachine(1), GtsOptions{});
   GtsEngine e2(&g.paged, g.store.get(), TestMachine(2), s_opts);
   const double t1 =
-      std::move(RunPageRankGts(e1, 2)).ValueOrDie().report.metrics.sim_seconds;
+      std::move(RunPageRankGts(e1, {.iterations = 2})).ValueOrDie().report.metrics.sim_seconds;
   const double t2 =
-      std::move(RunPageRankGts(e2, 2)).ValueOrDie().report.metrics.sim_seconds;
+      std::move(RunPageRankGts(e2, {.iterations = 2})).ValueOrDie().report.metrics.sim_seconds;
   EXPECT_GT(t2, 0.9 * t1);
 }
 
@@ -414,8 +414,8 @@ TEST(EngineTimingTest, SsdStoreSlowerThanInMemory) {
   GtsEngine em(&g.paged, mem_store.get(), TestMachine(), GtsOptions{});
   GtsEngine es(&g.paged, ssd_store.get(), TestMachine(), GtsOptions{});
   const double tm =
-      std::move(RunPageRankGts(em, 2)).ValueOrDie().report.metrics.sim_seconds;
-  auto rs = std::move(RunPageRankGts(es, 2)).ValueOrDie();
+      std::move(RunPageRankGts(em, {.iterations = 2})).ValueOrDie().report.metrics.sim_seconds;
+  auto rs = std::move(RunPageRankGts(es, {.iterations = 2})).ValueOrDie();
   EXPECT_GT(rs.report.metrics.sim_seconds, tm);
   EXPECT_GT(rs.report.metrics.storage_busy, 0.0);
   EXPECT_GT(rs.report.metrics.io.device_reads, 0u);

@@ -52,7 +52,7 @@ TEST(RwrTest, MatchesReference) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
   const VertexId seed = f.Busy();
-  auto result = RunRwrGts(engine, seed, 5);
+  auto result = RunRwrGts(engine, seed, {.iterations = 5});
   ASSERT_TRUE(result.ok()) << result.status();
   const auto expected = ReferenceRwr(f.csr, seed, 5);
   for (VertexId v = 0; v < expected.size(); ++v) {
@@ -65,7 +65,7 @@ TEST(RwrTest, SeedKeepsLargestScore) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
   const VertexId seed = f.Busy();
-  auto result = RunRwrGts(engine, seed, 8);
+  auto result = RunRwrGts(engine, seed, {.iterations = 8});
   ASSERT_TRUE(result.ok());
   for (VertexId v = 0; v < result->scores.size(); ++v) {
     EXPECT_LE(result->scores[v], result->scores[seed] + 1e-6);
@@ -80,7 +80,7 @@ TEST(RwrTest, WorksWithLargePagesAndStrategyS) {
   f.machine.num_gpus = 2;
   GtsEngine engine(&f.paged, f.store.get(), f.machine, opts);
   const VertexId seed = f.Busy();
-  auto result = RunRwrGts(engine, seed, 4);
+  auto result = RunRwrGts(engine, seed, {.iterations = 4});
   ASSERT_TRUE(result.ok()) << result.status();
   const auto expected = ReferenceRwr(f.csr, seed, 4);
   for (VertexId v = 0; v < expected.size(); ++v) {
@@ -92,9 +92,9 @@ TEST(RwrTest, WorksWithLargePagesAndStrategyS) {
 TEST(RwrTest, RejectsBadInputs) {
   Fixture f(8, 4);
   GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
-  EXPECT_EQ(RunRwrGts(engine, f.csr.num_vertices() + 1, 3).status().code(),
+  EXPECT_EQ(RunRwrGts(engine, f.csr.num_vertices() + 1, {.iterations = 3}).status().code(),
             StatusCode::kInvalidArgument);
-  EXPECT_EQ(RunRwrGts(engine, 0, 0).status().code(),
+  EXPECT_EQ(RunRwrGts(engine, 0, {.iterations = 0}).status().code(),
             StatusCode::kInvalidArgument);
 }
 

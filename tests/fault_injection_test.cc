@@ -85,7 +85,7 @@ TEST(FaultInjectionTest, EngineRunPropagatesIoErrorFromPageRank) {
   MachineConfig machine = MachineConfig::PaperScaled(1);
   machine.device_memory = 32 * kMiB;
   GtsEngine engine(&f.paged, store.get(), machine, GtsOptions{});
-  auto result = RunPageRankGts(engine, 2);
+  auto result = RunPageRankGts(engine, {.iterations = 2});
   EXPECT_EQ(result.status().code(), StatusCode::kIOError);
 }
 
@@ -111,12 +111,12 @@ TEST(FaultInjectionTest, EngineIsReusableAfterAFailedRun) {
   machine.device_memory = 32 * kMiB;
   {
     GtsEngine engine(&f.paged, flaky.get(), machine, GtsOptions{});
-    ASSERT_FALSE(RunPageRankGts(engine, 1).ok());
+    ASSERT_FALSE(RunPageRankGts(engine, {.iterations = 1}).ok());
   }
   // Buffers were released on the failure path; a fresh run on a healthy
   // store succeeds.
   GtsEngine engine(&f.paged, good.get(), machine, GtsOptions{});
-  EXPECT_TRUE(RunPageRankGts(engine, 1).ok());
+  EXPECT_TRUE(RunPageRankGts(engine, {.iterations = 1}).ok());
 }
 
 // ------------------------------------------------- k-hop neighborhood
@@ -133,7 +133,7 @@ TEST(NeighborhoodTest, MatchesTruncatedReferenceBfs) {
   }
   const auto full = ReferenceBfs(f.csr, source);
   for (uint32_t hops : {0u, 1u, 2u, 3u}) {
-    auto result = RunNeighborhoodGts(engine, source, hops);
+    auto result = RunNeighborhoodGts(engine, source, {.hops = hops});
     ASSERT_TRUE(result.ok()) << result.status();
     std::vector<VertexId> expected;
     for (VertexId v = 0; v < full.size(); ++v) {
@@ -153,7 +153,7 @@ TEST(NeighborhoodTest, GrowsMonotonically) {
   GtsEngine engine(&f.paged, store.get(), machine, GtsOptions{});
   size_t prev = 0;
   for (uint32_t hops : {0u, 1u, 2u, 4u}) {
-    auto result = RunNeighborhoodGts(engine, 5, hops);
+    auto result = RunNeighborhoodGts(engine, 5, {.hops = hops});
     ASSERT_TRUE(result.ok());
     EXPECT_GE(result->members.size(), prev);
     prev = result->members.size();

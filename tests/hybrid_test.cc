@@ -71,7 +71,7 @@ TEST(HybridTest, BfsMatchesReference) {
 TEST(HybridTest, PageRankMatchesReference) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.machine, Hybrid(0.4));
-  auto result = RunPageRankGts(engine, 4);
+  auto result = RunPageRankGts(engine, {.iterations = 4});
   ASSERT_TRUE(result.ok()) << result.status();
   const auto expected = ReferencePageRank(f.csr, 4);
   for (VertexId v = 0; v < expected.size(); ++v) {
@@ -98,7 +98,7 @@ TEST(HybridTest, SsspMatchesReferenceWithTwoGpus) {
 TEST(HybridTest, FractionSplitsThePageStream) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.machine, Hybrid(0.5));
-  auto result = RunPageRankGts(engine, 1);
+  auto result = RunPageRankGts(engine, {.iterations = 1});
   ASSERT_TRUE(result.ok());
   const uint64_t total =
       result->report.metrics.pages_streamed + result->report.metrics.cpu_pages;
@@ -111,7 +111,7 @@ TEST(HybridTest, FractionSplitsThePageStream) {
 TEST(HybridTest, ZeroFractionIsPureGts) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.machine, Hybrid(0.0));
-  auto result = RunPageRankGts(engine, 1);
+  auto result = RunPageRankGts(engine, {.iterations = 1});
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->report.metrics.cpu_pages, 0u);
   EXPECT_EQ(result->report.metrics.pages_streamed, f.paged.num_pages());
@@ -127,7 +127,7 @@ TEST(HybridTest, OffloadSweepHasTheExpectedShape) {
     GtsOptions opts = Hybrid(fraction);
     opts.num_streams = 32;
     GtsEngine engine(&f.paged, f.store.get(), f.machine, opts);
-    return std::move(RunPageRankGts(engine, 2)).ValueOrDie().report.metrics.sim_seconds;
+    return std::move(RunPageRankGts(engine, {.iterations = 2})).ValueOrDie().report.metrics.sim_seconds;
   };
   const double t00 = time_at(0.0);
   const double t01 = time_at(0.1);
@@ -137,13 +137,40 @@ TEST(HybridTest, OffloadSweepHasTheExpectedShape) {
   EXPECT_LT(t01, 2.0 * t00);  // light offload stays in the same ballpark
 }
 
+TEST(HybridTest, IdenticalRunsProduceIdenticalPerLaneWork) {
+  // The CPU lane cursor resets at pass start (like the GPU stream cursor),
+  // so repeating a hybrid run distributes pages to lanes identically --
+  // per-lane WorkStats are reproducible, not just their totals.
+  Fixture f;
+  auto lane_work = [&]() {
+    GtsEngine engine(&f.paged, f.store.get(), f.machine, Hybrid(0.3));
+    auto result = RunBfsGts(engine, f.Busy());
+    GTS_CHECK(result.ok());
+    return result->report.metrics.cpu_lane_work;
+  };
+  const std::vector<WorkStats> first = lane_work();
+  const std::vector<WorkStats> second = lane_work();
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  uint64_t total_scanned = 0;
+  for (size_t lane = 0; lane < first.size(); ++lane) {
+    EXPECT_EQ(first[lane].scanned_slots, second[lane].scanned_slots) << lane;
+    EXPECT_EQ(first[lane].edges_processed, second[lane].edges_processed)
+        << lane;
+    EXPECT_EQ(first[lane].wa_updates, second[lane].wa_updates) << lane;
+    EXPECT_EQ(first[lane].warp_cycles, second[lane].warp_cycles) << lane;
+    total_scanned += first[lane].scanned_slots;
+  }
+  EXPECT_GT(total_scanned, 0u);
+}
+
 TEST(HybridTest, RejectsStrategySForScans) {
   Fixture f;
   f.machine.num_gpus = 2;
   GtsOptions opts = Hybrid(0.3);
   opts.strategy = Strategy::kScalability;
   GtsEngine engine(&f.paged, f.store.get(), f.machine, opts);
-  EXPECT_EQ(RunPageRankGts(engine, 1).status().code(),
+  EXPECT_EQ(RunPageRankGts(engine, {.iterations = 1}).status().code(),
             StatusCode::kFailedPrecondition);
 }
 

@@ -350,5 +350,74 @@ TEST(PageCacheTest, PinnedPolicyFullInsertIsScanResistantNotBackpressure) {
   EXPECT_EQ(cache.insert_backpressure(), 0u);
 }
 
+// ------------------------------------------------- PlanReads coalescing
+
+TEST(PlanReadsTest, SequentialPlanDropsAccessLatency) {
+  PagedGraph paged = SmallPagedGraph();
+  // Tiny MMBuf: every fetch misses, so the plan governs every read.
+  auto store = MakeSsdStore(&paged, 1, /*buffer_capacity=*/paged.config().page_size);
+  const uint64_t page_size = paged.config().page_size;
+  const DeviceTimingParams& timing = store->device(0).timing();
+
+  // Ascending pids on one device are ascending offsets: every read after
+  // the first continues the previous one and pays transfer time only.
+  store->PlanReads({0, 1, 2, 3});
+  auto first = store->Fetch(0);
+  ASSERT_TRUE(first.ok());
+  EXPECT_DOUBLE_EQ(first->io_cost, timing.ReadCost(page_size));
+  auto second = store->Fetch(1);
+  ASSERT_TRUE(second.ok());
+  EXPECT_DOUBLE_EQ(second->io_cost, timing.SequentialReadCost(page_size));
+  EXPECT_LT(second->io_cost, first->io_cost);
+  EXPECT_EQ(store->stats().coalesced_reads, 1u);
+}
+
+TEST(PlanReadsTest, GapsAndUnplannedFetchesPayFullCost) {
+  PagedGraph paged = SmallPagedGraph();
+  auto store = MakeSsdStore(&paged, 1, /*buffer_capacity=*/paged.config().page_size);
+  const uint64_t page_size = paged.config().page_size;
+  const DeviceTimingParams& timing = store->device(0).timing();
+
+  // Page 5 does not continue page 2: it seeks, so full cost.
+  store->PlanReads({2, 5, 6});
+  ASSERT_TRUE(store->Fetch(2).ok());
+  auto gap = store->Fetch(5);
+  ASSERT_TRUE(gap.ok());
+  EXPECT_DOUBLE_EQ(gap->io_cost, timing.ReadCost(page_size));
+  auto contiguous = store->Fetch(6);
+  ASSERT_TRUE(contiguous.ok());
+  EXPECT_DOUBLE_EQ(contiguous->io_cost, timing.SequentialReadCost(page_size));
+
+  // A page outside the plan always pays the full per-request cost.
+  auto unplanned = store->Fetch(9);
+  ASSERT_TRUE(unplanned.ok());
+  EXPECT_DOUBLE_EQ(unplanned->io_cost, timing.ReadCost(page_size));
+}
+
+TEST(PlanReadsTest, PlanIsPerDeviceAndSkipsBufferedPages) {
+  PagedGraph paged = SmallPagedGraph();
+  ASSERT_GE(paged.num_pages(), 6u);
+  auto store = MakeSsdStore(&paged, 2, /*buffer_capacity=*/64 * kMiB);
+  const uint64_t page_size = paged.config().page_size;
+
+  // Warm pages 0 and 1 into MMBuf; the next plan must look through them:
+  // on device 0 the stream 0,2,4 is offsets 0,1,2 -- with 0 buffered, 2
+  // does not continue anything, but 4 continues 2.
+  ASSERT_TRUE(store->Fetch(0).ok());
+  ASSERT_TRUE(store->Fetch(1).ok());
+  store->PlanReads({0, 2, 4, 1, 3, 5});
+  EXPECT_DOUBLE_EQ(store->Fetch(2)->io_cost,
+                   store->device(0).timing().ReadCost(page_size));
+  EXPECT_DOUBLE_EQ(store->Fetch(4)->io_cost,
+                   store->device(0).timing().SequentialReadCost(page_size));
+  // Device 1 interleaves independently: 3 continues 1's stripe position
+  // only if 1 missed, but 1 was buffered, so 3 pays full and 5 coalesces.
+  EXPECT_DOUBLE_EQ(store->Fetch(3)->io_cost,
+                   store->device(1).timing().ReadCost(page_size));
+  EXPECT_DOUBLE_EQ(store->Fetch(5)->io_cost,
+                   store->device(1).timing().SequentialReadCost(page_size));
+  EXPECT_EQ(store->stats().coalesced_reads, 2u);
+}
+
 }  // namespace
 }  // namespace gts

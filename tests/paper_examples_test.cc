@@ -102,12 +102,12 @@ TEST(SpLpSeparationTest, InterleavingPaysKernelSwitches) {
 
   GtsOptions separated;  // the paper's order
   GtsOptions interleaved;
-  interleaved.interleave_sp_lp = true;
+  interleaved.dispatch.order = PageOrderKind::kInterleaved;
 
   GtsEngine sep_engine(&paged, store.get(), machine, separated);
   GtsEngine mix_engine(&paged, store.get(), machine, interleaved);
-  auto sep = RunPageRankGts(sep_engine, 2);
-  auto mix = RunPageRankGts(mix_engine, 2);
+  auto sep = RunPageRankGts(sep_engine, {.iterations = 2});
+  auto mix = RunPageRankGts(mix_engine, {.iterations = 2});
   ASSERT_TRUE(sep.ok());
   ASSERT_TRUE(mix.ok());
 

@@ -34,7 +34,7 @@ struct Fixture {
 TEST(RadiusTest, NeighborhoodFunctionIsMonotoneAndConverges) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
-  auto result = RunRadiusGts(engine, 64);
+  auto result = RunRadiusGts(engine, {.max_hops = 64});
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_GE(result.value().neighborhood_function.size(), 2u);
   for (size_t h = 1; h < result->neighborhood_function.size(); ++h) {
@@ -51,7 +51,7 @@ TEST(RadiusTest, NeighborhoodFunctionIsMonotoneAndConverges) {
 TEST(RadiusTest, TracksExactNeighborhoodFunctionWithinSketchError) {
   Fixture f(8, 6);
   GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
-  auto result = RunRadiusGts(engine, 32);
+  auto result = RunRadiusGts(engine, {.max_hops = 32});
   ASSERT_TRUE(result.ok());
   const int hops = result->hops;
   const auto exact = ExactNeighborhoodFunction(f.csr, hops);
@@ -66,7 +66,7 @@ TEST(RadiusTest, TracksExactNeighborhoodFunctionWithinSketchError) {
 TEST(RadiusTest, EffectiveDiameterMatchesExactWithinTwoHops) {
   Fixture f(8, 6);
   GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
-  auto result = RunRadiusGts(engine, 32);
+  auto result = RunRadiusGts(engine, {.max_hops = 32});
   ASSERT_TRUE(result.ok());
   const auto exact = ExactNeighborhoodFunction(f.csr, result->hops);
   const double target = 0.9 * exact.back();
@@ -83,8 +83,8 @@ TEST(RadiusTest, EffectiveDiameterMatchesExactWithinTwoHops) {
 TEST(RadiusTest, DeterministicForFixedSeed) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.machine, GtsOptions{});
-  auto a = RunRadiusGts(engine, 32, /*seed=*/5);
-  auto b = RunRadiusGts(engine, 32, /*seed=*/5);
+  auto a = RunRadiusGts(engine, {.max_hops = 32, .seed = 5});
+  auto b = RunRadiusGts(engine, {.max_hops = 32, .seed = 5});
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(a->neighborhood_function, b->neighborhood_function);
@@ -103,7 +103,7 @@ TEST(RadiusTest, PathGraphDiameterGrowsWithLength) {
     auto store = MakeInMemoryStore(&paged);
     MachineConfig machine = MachineConfig::PaperScaled(1);
     GtsEngine engine(&paged, store.get(), machine, GtsOptions{});
-    return std::move(RunRadiusGts(engine, 300)).ValueOrDie().effective_diameter;
+    return std::move(RunRadiusGts(engine, {.max_hops = 300})).ValueOrDie().effective_diameter;
   };
   const int d40 = diameter_of(40);
   const int d160 = diameter_of(160);
@@ -118,8 +118,8 @@ TEST(RadiusTest, StrategySMatchesStrategyP) {
   s_opts.strategy = Strategy::kScalability;
   GtsEngine ep(&f.paged, f.store.get(), f.machine, p_opts);
   GtsEngine es(&f.paged, f.store.get(), f.machine, s_opts);
-  auto rp = RunRadiusGts(ep, 32, 9);
-  auto rs = RunRadiusGts(es, 32, 9);
+  auto rp = RunRadiusGts(ep, {.max_hops = 32, .seed = 9});
+  auto rs = RunRadiusGts(es, {.max_hops = 32, .seed = 9});
   ASSERT_TRUE(rp.ok());
   ASSERT_TRUE(rs.ok());
   // OR-merges are idempotent and order-insensitive: identical sketches.

@@ -121,56 +121,57 @@ struct Fixture {
   }
 };
 
-TEST(RunOptionsTest, PageRankOptionsMatchDeprecatedPositional) {
+TEST(RunOptionsTest, PageRankDesignatedInitializersMatchFieldForm) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
 
   RunOptions options;
   options.iterations = 3;
   options.damping = 0.9f;
-  auto via_options = RunPageRankGts(engine, options);
-  ASSERT_TRUE(via_options.ok());
+  auto via_fields = RunPageRankGts(engine, options);
+  ASSERT_TRUE(via_fields.ok());
 
-  auto via_positional = RunPageRankGts(engine, 3, 0.9f);
-  ASSERT_TRUE(via_positional.ok());
+  auto via_designated =
+      RunPageRankGts(engine, {.iterations = 3, .damping = 0.9f});
+  ASSERT_TRUE(via_designated.ok());
 
-  ASSERT_EQ(via_options->ranks.size(), via_positional->ranks.size());
-  for (size_t v = 0; v < via_options->ranks.size(); ++v) {
-    EXPECT_DOUBLE_EQ(via_options->ranks[v], via_positional->ranks[v]);
+  ASSERT_EQ(via_fields->ranks.size(), via_designated->ranks.size());
+  for (size_t v = 0; v < via_fields->ranks.size(); ++v) {
+    EXPECT_DOUBLE_EQ(via_fields->ranks[v], via_designated->ranks[v]);
   }
-  EXPECT_EQ(via_options->iterations.size(), 3u);
-  EXPECT_EQ(via_options->report.metrics.levels,
-            via_positional->report.metrics.levels);
+  EXPECT_EQ(via_fields->iterations.size(), 3u);
+  EXPECT_EQ(via_fields->report.metrics.levels,
+            via_designated->report.metrics.levels);
 }
 
-TEST(RunOptionsTest, WccOptionsMatchDeprecatedPositional) {
+TEST(RunOptionsTest, WccMaxIterationsComesFromOptions) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
 
-  RunOptions options;
-  options.max_iterations = 50;
-  auto via_options = RunWccGts(engine, options);
-  ASSERT_TRUE(via_options.ok());
-  auto via_positional = RunWccGts(engine, 50);
-  ASSERT_TRUE(via_positional.ok());
-  EXPECT_EQ(via_options->labels, via_positional->labels);
-  EXPECT_EQ(via_options->iterations, via_positional->iterations);
+  // An absurdly low bound must truncate label propagation: the option is
+  // actually honored, not silently defaulted.
+  auto truncated = RunWccGts(engine, {.max_iterations = 1});
+  ASSERT_TRUE(truncated.ok());
+  EXPECT_EQ(truncated->iterations, 1);
+
+  auto converged = RunWccGts(engine, {.max_iterations = 50});
+  ASSERT_TRUE(converged.ok());
+  EXPECT_GT(converged->iterations, 1);
+  EXPECT_LE(converged->iterations, 50);
 }
 
 TEST(RunOptionsTest, RadiusSeedComesFromOptions) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
 
-  RunOptions options;
-  options.max_hops = 32;
-  options.seed = 123;
-  auto via_options = RunRadiusGts(engine, options);
-  ASSERT_TRUE(via_options.ok());
-  auto via_positional = RunRadiusGts(engine, 32, uint64_t{123});
-  ASSERT_TRUE(via_positional.ok());
-  EXPECT_EQ(via_options->effective_diameter,
-            via_positional->effective_diameter);
-  EXPECT_EQ(via_options->hops, via_positional->hops);
+  auto a = RunRadiusGts(engine, {.max_hops = 32, .seed = 123});
+  ASSERT_TRUE(a.ok());
+  auto b = RunRadiusGts(engine, {.max_hops = 32, .seed = 123});
+  ASSERT_TRUE(b.ok());
+  // Same seed: the FM sketches and thus the estimate are reproducible.
+  EXPECT_EQ(a->effective_diameter, b->effective_diameter);
+  EXPECT_EQ(a->hops, b->hops);
+  EXPECT_EQ(a->neighborhood_function, b->neighborhood_function);
 }
 
 TEST(RunOptionsTest, ReportCarriesRegistrySnapshot) {
@@ -239,6 +240,41 @@ TEST(ValidateTest, RejectsCacheLargerThanDeviceMemory) {
   EXPECT_EQ(opts.Validate(machine).code(), StatusCode::kInvalidArgument);
   opts.cache_bytes = GtsOptions::kAutoCacheBytes;  // auto always fits
   EXPECT_TRUE(opts.Validate(machine).ok());
+}
+
+TEST(ValidateTest, RejectsPartitionKindsIncompatibleWithStrategy) {
+  const MachineConfig multi = MachineConfig::PaperScaled(2);
+  const MachineConfig single = MachineConfig::PaperScaled(1);
+
+  // Strategy-S partitions WA: a partitioned page stream would drop the
+  // updates owned by the other GPUs.
+  GtsOptions opts;
+  opts.strategy = Strategy::kScalability;
+  opts.dispatch.partition = GpuPartitionKind::kRoundRobin;
+  EXPECT_EQ(opts.Validate(multi).code(), StatusCode::kInvalidArgument);
+  opts.dispatch.partition = GpuPartitionKind::kDegreeBalanced;
+  EXPECT_EQ(opts.Validate(multi).code(), StatusCode::kInvalidArgument);
+  opts.dispatch.partition = GpuPartitionKind::kReplicate;
+  EXPECT_TRUE(opts.Validate(multi).ok());
+
+  // Strategy-P replicates WA: a replicated stream double-counts updates.
+  opts = GtsOptions{};
+  opts.dispatch.partition = GpuPartitionKind::kReplicate;
+  EXPECT_EQ(opts.Validate(multi).code(), StatusCode::kInvalidArgument);
+  opts.dispatch.partition = GpuPartitionKind::kDegreeBalanced;
+  EXPECT_TRUE(opts.Validate(multi).ok());
+
+  // One GPU: every kind degrades to striping and any combination is fine.
+  for (auto partition :
+       {GpuPartitionKind::kStrategyDefault, GpuPartitionKind::kRoundRobin,
+        GpuPartitionKind::kReplicate, GpuPartitionKind::kDegreeBalanced}) {
+    for (auto strategy : {Strategy::kPerformance, Strategy::kScalability}) {
+      GtsOptions any;
+      any.strategy = strategy;
+      any.dispatch.partition = partition;
+      EXPECT_TRUE(any.Validate(single).ok());
+    }
+  }
 }
 
 TEST(ValidateTest, EngineConstructionChecksValidate) {

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Warning-hygiene gate: configure and build the whole tree (library, tests,
+# benches, examples, tools) with -DGTS_WERROR=ON in a dedicated build
+# directory, so any compiler warning anywhere fails the build -- and with it
+# the `check_werror` CTest that tools/CMakeLists.txt registers under tier1.
+#
+# A separate build dir keeps the developer's incremental build untouched and
+# makes the check reproducible from a cold cache.
+#
+# Usage: tools/check_werror.sh [WORK_DIR]
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+WORK="${1:-$REPO_ROOT/build-werror}"
+JOBS="${GTS_WERROR_JOBS:-2}"
+
+echo "==== configure (GTS_WERROR=ON) -> $WORK ===="
+cmake -S "$REPO_ROOT" -B "$WORK" -DGTS_WERROR=ON >"$WORK.configure.log" 2>&1 || {
+  cat "$WORK.configure.log"
+  exit 1
+}
+
+echo "==== build (-j$JOBS) ===="
+if ! cmake --build "$WORK" -j "$JOBS" >"$WORK.build.log" 2>&1; then
+  # Show only the interesting lines; the full log stays on disk.
+  grep -E "warning|error" "$WORK.build.log" | head -50 || cat "$WORK.build.log" | tail -50
+  echo "check_werror: FAILED (full log: $WORK.build.log)"
+  exit 1
+fi
+
+echo "check_werror: OK (zero warnings across all targets)"

@@ -240,7 +240,7 @@ int CmdRun(Flags& flags) {
       }
     }
   } else if (algorithm == "pagerank") {
-    auto r = RunPageRankGts(engine, iterations);
+    auto r = RunPageRankGts(engine, {.iterations = iterations});
     if (!r.ok()) return Fail(r.status());
     metrics = r->report.metrics;
     for (VertexId v = 0; v < r->ranks.size(); ++v) {
@@ -268,7 +268,7 @@ int CmdRun(Flags& flags) {
       values.push_back({v, r->deltas[v]});
     }
   } else if (algorithm == "rwr") {
-    auto r = RunRwrGts(engine, source, iterations);
+    auto r = RunRwrGts(engine, source, {.iterations = iterations});
     if (!r.ok()) return Fail(r.status());
     metrics = r->report.metrics;
     for (VertexId v = 0; v < r->scores.size(); ++v) {
@@ -282,7 +282,7 @@ int CmdRun(Flags& flags) {
       values.push_back({v, static_cast<double>(r->in_core[v])});
     }
   } else if (algorithm == "radius") {
-    auto r = RunRadiusGts(engine, 256);
+    auto r = RunRadiusGts(engine, {.max_hops = 256});
     if (!r.ok()) return Fail(r.status());
     metrics = r->report.metrics;
     std::printf("effective diameter: %d (converged after %d hops)\n",
