@@ -52,7 +52,7 @@ inline void ForwardExpand(KernelContext& ctx, uint64_t* wa, float src_sigma,
     std::memcpy(&desired, &updated, sizeof(desired));
     if (ref.compare_exchange_weak(observed, desired,
                                   std::memory_order_relaxed)) {
-      ctx.next_pid_set->Set(rid.pid);
+      ctx.MarkActivated(rid, adj_vid);
       ++*updates;
       return;
     }

@@ -41,7 +41,7 @@ inline void ExpandEdge(KernelContext& ctx, uint16_t* lv, uint16_t next_level,
   if (ref.load(std::memory_order_relaxed) == BfsKernel::kUnvisited &&
       ref.compare_exchange_strong(expected, next_level,
                                   std::memory_order_relaxed)) {
-    ctx.next_pid_set->Set(rid.pid);
+    ctx.MarkActivated(rid, adj_vid);
     ++*updates;
   }
 }

@@ -67,7 +67,7 @@ inline void Relax(KernelContext& ctx, uint64_t* wa, VertexId src_vid,
     std::memcpy(&desired, &updated, sizeof(desired));
     if (ref.compare_exchange_weak(observed, desired,
                                   std::memory_order_relaxed)) {
-      ctx.next_pid_set->Set(rid.pid);
+      ctx.MarkActivated(rid, adj_vid);
       ++*updates;
       return;
     }

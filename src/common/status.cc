@@ -29,6 +29,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "CapacityExceeded";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

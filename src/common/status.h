@@ -26,6 +26,7 @@ enum class StatusCode : uint8_t {
   kFailedPrecondition = 8,
   kCapacityExceeded = 9,  // format limits, e.g. 2-byte page id overflow
   kInternal = 10,
+  kResourceExhausted = 11,  // bounded queue/slot pool full (backpressure)
 };
 
 /// Returns the canonical name of a StatusCode ("OK", "OutOfMemory", ...).
@@ -71,6 +72,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -84,6 +88,9 @@ class Status {
     return code() == StatusCode::kCapacityExceeded;
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

@@ -65,11 +65,16 @@ struct DispatchOptions {
   PageOrderKind order = PageOrderKind::kSpThenLp;
   GpuPartitionKind partition = GpuPartitionKind::kStrategyDefault;
   StreamAssignKind stream_assign = StreamAssignKind::kRoundRobin;
-  /// Hand each ordered batch to PageStore::PlanReads so device-sequential
-  /// reads are charged bandwidth-only (the access latency is amortized by
-  /// the preceding read). Off by default: the paper's cost model charges
-  /// every fetch the full per-request cost.
-  bool coalesce_reads = false;
+  /// Admission threshold for traversal levels: frontier pages whose
+  /// degree-weighted activation count (active out-edges, see
+  /// PidSet::EnableCounting) falls below this are skipped for the level
+  /// and counted in `dispatch.skipped_pages` / RunMetrics::pages_skipped.
+  ///
+  /// 0 disables the filter. 1 is exact: a page whose activated vertices
+  /// have zero out-edges combined can produce no expansions, so skipping
+  /// it drops no WA updates. Values above 1 are a lossy approximation
+  /// (the paper's near-empty-page tail cut) and may change results.
+  uint32_t min_active_edges = 0;
 };
 
 }  // namespace gts

@@ -51,6 +51,7 @@ Status GtsOptions::Validate(const MachineConfig& machine) const {
         " exceeds device memory (" + std::to_string(machine.device_memory) +
         " B); use kAutoCacheBytes for whatever fits");
   }
+  GTS_RETURN_IF_ERROR(io.Validate());
   // The partition stage must agree with the strategy's WA layout on
   // multi-GPU machines (with one GPU every kind degrades to striping and
   // any combination is fine). Strategy-S partitions scan WA, so every GPU
@@ -122,6 +123,15 @@ GtsEngine::GtsEngine(const PagedGraph* graph, PageStore* store,
   pipeline_ = std::make_unique<DispatchPipeline>(
       options_.dispatch, options_.strategy == Strategy::kScalability,
       machine_.num_gpus, registry_.get());
+  io_ = std::make_unique<io::IoEngine>(
+      graph_, store_, options_.io,
+      [this](const gpu::TimelineOp& op) { return RecordOp(op); },
+      registry_.get());
+  if (options_.dispatch.min_active_edges > 0) {
+    // Touch the counter up front so snapshot keys don't depend on whether
+    // a run actually skipped anything.
+    registry_->GetCounter("dispatch.skipped_pages");
+  }
   obs::Counter& stream_ops = registry_->GetCounter("gpu.stream_ops");
   for (int g = 0; g < machine_.num_gpus; ++g) {
     auto state = std::make_unique<GpuState>();
@@ -161,11 +171,29 @@ void GtsEngine::WaRange(int g, bool traversal, VertexId* begin,
   *end = std::min<VertexId>(n, *begin + chunk);
 }
 
+bool GtsEngine::CountFrontier() const {
+  return pipeline_->needs_frontier_counts() ||
+         options_.dispatch.min_active_edges > 0;
+}
+
+void GtsEngine::BuildDegreeTable() {
+  if (!out_degrees_.empty() || graph_->num_vertices() == 0) return;
+  out_degrees_.resize(graph_->num_vertices(), 0);
+  for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+    const RecordId loc = graph_->VertexLocation(v);
+    const PageView view = graph_->view(loc.pid);
+    out_degrees_[v] = graph_->kind(loc.pid) == PageKind::kSmall
+                          ? view.adjlist_size(loc.slot)
+                          : view.header().lp_total_degree;
+  }
+}
+
 Status GtsEngine::SetupBuffers(GtsKernel* kernel) {
   const uint64_t page_size = graph_->config().page_size;
   const uint32_t wa_b = kernel->wa_bytes_per_vertex();
   const uint32_t ra_b = kernel->ra_bytes_per_vertex();
   const bool traversal = kernel->access_pattern() == AccessPattern::kTraversal;
+  if (traversal && CountFrontier()) BuildDegreeTable();
 
   for (int g = 0; g < machine_.num_gpus; ++g) {
     GpuState& gpu = *gpus_[g];
@@ -206,9 +234,7 @@ Status GtsEngine::SetupBuffers(GtsKernel* kernel) {
     }
     if (traversal) {
       gpu.local_next = std::make_unique<PidSet>(graph_->num_pages());
-      if (pipeline_->needs_frontier_counts()) {
-        gpu.local_next->EnableCounting();
-      }
+      if (CountFrontier()) gpu.local_next->EnableCounting();
     }
     gpu.stream_work.assign(options_.num_streams, WorkStats{});
     gpu.stream_last_kind.assign(options_.num_streams, -1);
@@ -226,9 +252,7 @@ Status GtsEngine::SetupBuffers(GtsKernel* kernel) {
     cpu_->wa.resize(static_cast<uint64_t>(graph_->num_vertices()) * wa_b);
     if (traversal) {
       cpu_->local_next = std::make_unique<PidSet>(graph_->num_pages());
-      if (pipeline_->needs_frontier_counts()) {
-        cpu_->local_next->EnableCounting();
-      }
+      if (CountFrontier()) cpu_->local_next->EnableCounting();
     }
     cpu_->lane_work.assign(
         static_cast<size_t>(machine_.time_model.cpu_worker_threads),
@@ -281,18 +305,8 @@ Status GtsEngine::ProcessPageOnCpu(GtsKernel* kernel, PageId pid,
   const uint32_t ra_b = kernel->ra_bytes_per_vertex();
   const uint8_t* host_ra = kernel->host_ra();
 
-  GTS_ASSIGN_OR_RETURN(PageStore::FetchResult fetch, store_->Fetch(pid));
-  gpu::OpIndex fetch_dep = gpu::kNoOp;
-  if (!fetch.buffer_hit && fetch.io_cost > 0.0) {
-    gpu::TimelineOp fop;
-    fop.kind = gpu::OpKind::kStorageFetch;
-    fop.resource = {gpu::ResourceId::Type::kStorageDevice,
-                    static_cast<int>(fetch.device_index)};
-    fop.duration = fetch.io_cost;
-    fop.bytes = graph_->config().page_size;
-    fop.page = pid;
-    fetch_dep = RecordOp(fop);
-  }
+  GTS_ASSIGN_OR_RETURN(io::IoEngine::Fetched fetch, io_->Acquire(pid));
+  const gpu::OpIndex fetch_dep = fetch.fetch_op;
 
   const int lane = cpu_->rr;
   cpu_->rr = (cpu_->rr + 1) % tm.cpu_worker_threads;
@@ -309,6 +323,9 @@ Status GtsEngine::ProcessPageOnCpu(GtsKernel* kernel, PageId pid,
   ctx.ra_start_vid = start_vid;
   ctx.cur_level = cur_level;
   ctx.next_pid_set = cpu_->local_next.get();
+  if (cpu_->local_next != nullptr && cpu_->local_next->counting()) {
+    ctx.out_degrees = out_degrees_.data();
+  }
   ctx.micro = options_.micro;
 
   PageView view(fetch.data, graph_->config());
@@ -444,7 +461,30 @@ std::vector<PageId> GtsEngine::PlanPass(std::vector<PageId> sps,
   }
   std::vector<PageId> ordered =
       pipeline_->PlanPass(std::move(sps), std::move(lps), *graph_, ctx);
-  if (options_.dispatch.coalesce_reads) store_->PlanReads(ordered);
+
+  // The io engine prefetches the *demand* sequence: the ordered pages
+  // that will actually reach Acquire. Pages every target GPU serves from
+  // its page cache never touch storage (Algorithm 1 line 17), so planning
+  // them would make the queues issue reads the synchronous path never
+  // did. The routing mirrors ProcessPages exactly.
+  std::vector<PageId> demand;
+  demand.reserve(ordered.size());
+  const bool replicate = pipeline_->replicates();
+  for (PageId pid : ordered) {
+    if (!replicate && AssignToCpu(pid)) {
+      demand.push_back(pid);  // the CPU path has no page cache
+      continue;
+    }
+    const int first_gpu = replicate ? 0 : pipeline_->AssignGpu(pid);
+    const int last_gpu = replicate ? machine_.num_gpus - 1 : first_gpu;
+    bool will_demand = false;
+    for (int g = first_gpu; g <= last_gpu && !will_demand; ++g) {
+      const auto& cache = gpus_[g]->cache;
+      will_demand = cache == nullptr || !cache->Contains(pid);
+    }
+    if (will_demand) demand.push_back(pid);
+  }
+  io_->BeginPass(demand);
   return ordered;
 }
 
@@ -498,17 +538,8 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
 
       if (!cached) {
         staging = std::make_shared<std::vector<uint8_t>>(page_size);
-        GTS_ASSIGN_OR_RETURN(PageStore::FetchResult fetch, store_->Fetch(pid));
-        if (!fetch.buffer_hit && fetch.io_cost > 0.0) {
-          gpu::TimelineOp fop;
-          fop.kind = gpu::OpKind::kStorageFetch;
-          fop.resource = {gpu::ResourceId::Type::kStorageDevice,
-                          static_cast<int>(fetch.device_index)};
-          fop.duration = fetch.io_cost;
-          fop.bytes = page_size;
-          fop.page = pid;
-          fetch_dep = RecordOp(fop);
-        }
+        GTS_ASSIGN_OR_RETURN(io::IoEngine::Fetched fetch, io_->Acquire(pid));
+        fetch_dep = fetch.fetch_op;
 
         gpu::TimelineOp h2d;
         h2d.kind = gpu::OpKind::kH2DStream;
@@ -601,6 +632,9 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
         ctx.ra_start_vid = ra_start_vid;
         ctx.cur_level = cur_level;
         ctx.next_pid_set = st.local_next.get();
+        if (st.local_next != nullptr && st.local_next->counting()) {
+          ctx.out_degrees = out_degrees_.data();
+        }
         ctx.micro = options_.micro;
 
         PageView view(page_bytes, config);
@@ -674,6 +708,7 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
     recorder_.Clear();
   }
   store_->ResetStats();
+  io_->ResetStats();
   RunMetrics metrics;
   const TimeModel& tm = machine_.time_model;
 
@@ -698,14 +733,28 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
   } else {
     // BFS-like: level-by-level over nextPIDSet (Section 3.3).
     PidSet frontier(graph_->num_pages());
-    if (pipeline_->needs_frontier_counts()) frontier.EnableCounting();
-    frontier.Set(graph_->PageOfVertex(source));
+    if (CountFrontier()) frontier.EnableCounting();
+    // Seed with the source's out-degree: level 0 expands exactly the
+    // source, so the page's active-edge count is its degree.
+    frontier.Set(graph_->PageOfVertex(source),
+                 out_degrees_.empty() ? 1 : out_degrees_[source]);
+    const uint32_t min_edges = options_.dispatch.min_active_edges;
     int level = 0;
     uint64_t prev_updates = 0;  // for per-level WA-delta sizing
     while (!frontier.Empty() && level < max_levels) {
       std::vector<PageId> sps;
       std::vector<PageId> lps;
+      uint64_t skipped = 0;
       for (PageId pid : frontier.ToVector()) {
+        // Admission threshold: a page whose activated vertices hold fewer
+        // than min_active_edges out-edges is not worth a stream slot this
+        // level (at threshold 1 the cut is exact -- zero active edges
+        // means zero possible expansions).
+        if (min_edges > 0 && frontier.counting() &&
+            frontier.CountOf(pid) < min_edges) {
+          ++skipped;
+          continue;
+        }
         if (graph_->kind(pid) == PageKind::kSmall) {
           sps.push_back(pid);
         } else {
@@ -717,6 +766,10 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
             lps.push_back(pid + k);
           }
         }
+      }
+      if (skipped > 0) {
+        metrics.pages_skipped += skipped;
+        registry_->GetCounter("dispatch.skipped_pages").Add(skipped);
       }
       if (kernel->collect_level_pages()) {
         std::vector<PageId> combined = sps;
@@ -838,6 +891,7 @@ Result<RunMetrics> GtsEngine::RunPass(GtsKernel* kernel,
     recorder_.Clear();
   }
   store_->ResetStats();
+  io_->ResetStats();
   RunMetrics metrics;
 
   std::vector<PageId> sps;
@@ -886,6 +940,7 @@ void GtsEngine::FinalizeRun(RunMetrics* metrics) {
     metrics->cpu_lane_work = cpu_->lane_work;
   }
   metrics->io = store_->stats();
+  metrics->io_queue = io_->stats();
 
   std::vector<gpu::TimelineOp> ops;
   {

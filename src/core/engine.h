@@ -31,6 +31,7 @@
 #include "gpu/device.h"
 #include "gpu/schedule.h"
 #include "gpu/stream.h"
+#include "io/io_engine.h"
 #include "obs/metrics.h"
 #include "storage/page_store.h"
 #include "storage/paged_graph.h"
@@ -78,6 +79,11 @@ struct GtsOptions {
   /// ablation that used to be `interleave_sp_lp` is now
   /// `dispatch.order = PageOrderKind::kInterleaved`.
   DispatchOptions dispatch;
+
+  /// The storage I/O engine (src/io/): per-device queue depth, in-device
+  /// reorder policy, prefetch in-flight bound. The depth-1 FIFO default
+  /// reproduces the classic synchronous fetch schedule bit-for-bit.
+  io::IoOptions io;
 
   static constexpr uint64_t kAutoCacheBytes = ~uint64_t{0};
   /// Stream-key encoding limit (gpu * kMaxStreamsPerGpu + stream).
@@ -180,12 +186,22 @@ class GtsEngine {
                       uint32_t cur_level, RunMetrics* metrics);
 
   /// Stage 0 of every pass: drives the dispatch pipeline (partition plan
-  /// + page order) and, with DispatchOptions::coalesce_reads, hands the
-  /// ordered batch to the store's read planner. `frontier` is the level's
-  /// counted frontier for traversal passes, null otherwise.
+  /// + page order) and hands the ordered batch to the io engine, which
+  /// begins prefetching it into MMBuf through the per-device queues.
+  /// `frontier` is the level's counted frontier for traversal passes,
+  /// null otherwise.
   std::vector<PageId> PlanPass(std::vector<PageId> sps,
                                std::vector<PageId> lps,
                                const PidSet* frontier);
+
+  /// True when traversal frontiers should count activations (the
+  /// frontier-density order policy or the admission threshold needs the
+  /// per-page active-edge totals).
+  bool CountFrontier() const;
+
+  /// Fills out_degrees_ (per-vertex out-degree table) on first use; the
+  /// weight source for active-edge frontier counting.
+  void BuildDegreeTable();
 
   /// Uploads WA to every GPU (records H2DChunk ops).
   void UploadWa(GtsKernel* kernel);
@@ -201,6 +217,10 @@ class GtsEngine {
   GtsOptions options_;
   std::shared_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<DispatchPipeline> pipeline_;
+  std::unique_ptr<io::IoEngine> io_;
+
+  /// Per-vertex out-degrees; built lazily for active-edge counting.
+  std::vector<uint32_t> out_degrees_;
 
   std::vector<std::unique_ptr<GpuState>> gpus_;
   std::unique_ptr<CpuState> cpu_;  // present while a hybrid run is active

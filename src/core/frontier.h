@@ -26,11 +26,17 @@ class PidSet {
 
   size_t num_pages() const { return num_pages_; }
 
-  void Set(PageId pid) {
+  void Set(PageId pid) { Set(pid, 1); }
+
+  /// Sets the bit and, when counting, credits `weight` activations to the
+  /// page. Traversal kernels pass the activated vertex's out-degree so the
+  /// per-page count measures active *edges* (the work a page actually
+  /// holds), not active vertices; a zero weight still sets the bit.
+  void Set(PageId pid, uint32_t weight) {
     words_[pid >> 6].fetch_or(uint64_t{1} << (pid & 63),
                               std::memory_order_relaxed);
-    if (!counts_.empty()) {
-      counts_[pid].fetch_add(1, std::memory_order_relaxed);
+    if (!counts_.empty() && weight != 0) {
+      counts_[pid].fetch_add(weight, std::memory_order_relaxed);
     }
   }
 
@@ -85,11 +91,14 @@ class PidSet {
   /// Bytes a device-resident copy occupies (for sync-cost accounting).
   uint64_t ByteSize() const { return words_.size() * sizeof(uint64_t); }
 
-  /// Opt-in per-page activation counting: afterwards every Set(pid) also
-  /// bumps a per-page counter, so a traversal level knows how many slots
-  /// the frontier activated in each page (the frontier-density order
-  /// policy's sort key). Off by default -- Set() stays a single fetch_or
-  /// on the hot path, and counts never affect membership.
+  /// Opt-in per-page activation counting: afterwards every Set(pid, w)
+  /// also adds `w` to a per-page counter. Kernels pass the activated
+  /// vertex's out-degree as the weight, so a traversal level knows how
+  /// many active *edges* the frontier put in each page -- the
+  /// frontier-density order policy's sort key and the admission
+  /// threshold's (dispatch.min_active_edges) yardstick. Off by default --
+  /// Set() stays a single fetch_or on the hot path, and counts never
+  /// affect membership.
   void EnableCounting() {
     if (counts_.empty() && num_pages_ > 0) {
       counts_ = std::vector<std::atomic<uint32_t>>(num_pages_);

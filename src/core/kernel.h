@@ -78,10 +78,25 @@ struct KernelContext {
   /// This GPU's local nextPIDSet (BFS-like kernels); null for full scans.
   PidSet* next_pid_set = nullptr;
 
+  /// Per-vertex out-degrees (indexed by vertex id), set by the engine when
+  /// the frontier counts activations; null otherwise. Lets MarkActivated
+  /// weight the page-granular frontier by active edges.
+  const uint32_t* out_degrees = nullptr;
+
   MicroStrategy micro = MicroStrategy::kEdgeCentric;
 
   /// True when vertex id v is in this context's WA ownership range.
   bool OwnsVertex(VertexId v) const { return v >= wa_begin && v < wa_end; }
+
+  /// Marks `rid`'s page in the next frontier after a successful claim of
+  /// vertex `vid`. When the engine supplied the degree table the
+  /// activation is weighted by the vertex's out-degree (active-edge
+  /// counting; a zero-degree claim still sets the page bit), otherwise
+  /// by 1.
+  void MarkActivated(const RecordId& rid, VertexId vid) const {
+    next_pid_set->Set(rid.pid,
+                      out_degrees != nullptr ? out_degrees[vid] : 1);
+  }
 
   template <typename T>
   T* WaAs() {

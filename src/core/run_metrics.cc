@@ -16,7 +16,8 @@ void RunMetrics::Accumulate(const RunMetrics& increment) {
   io.buffer_hits += increment.io.buffer_hits;
   io.device_reads += increment.io.device_reads;
   io.bytes_read += increment.io.bytes_read;
-  io.coalesced_reads += increment.io.coalesced_reads;
+  io_queue += increment.io_queue;
+  pages_skipped += increment.pages_skipped;
   if (increment.cpu_lane_work.size() > cpu_lane_work.size()) {
     cpu_lane_work.resize(increment.cpu_lane_work.size());
   }

@@ -13,6 +13,7 @@
 #include "core/kernel.h"
 #include "gpu/schedule.h"
 #include "graph/types.h"
+#include "io/io_engine.h"
 #include "storage/page_store.h"
 
 namespace gts {
@@ -32,6 +33,10 @@ struct RunMetrics {
   uint64_t cache_backpressure = 0;
   WorkStats work;
   PageStoreStats io;          ///< storage-level counters for this run
+  io::IoStats io_queue;       ///< io-engine (queue/scheduler) counters
+  /// Frontier pages skipped by the dispatch.min_active_edges admission
+  /// threshold (they held fewer active edges than the cut).
+  uint64_t pages_skipped = 0;
 
   /// Per-lane work of the host-CPU co-processing pool; empty unless the
   /// run used cpu_assist_fraction > 0. Deterministic: two identical

@@ -72,6 +72,13 @@ struct TimelineOp {
   OpIndex dep1 = kNoOp;
   uint64_t bytes = 0;           ///< informational (transfer size)
   PageId page = kInvalidPageId; ///< informational (which page)
+  /// kStorageFetch only: time spent in the device queue before the
+  /// in-device scheduler serviced the request (io engine accounting;
+  /// informational, not replayed by the simulator).
+  SimTime queue_wait = 0.0;
+  /// kStorageFetch only: request was coalesced into a sequential burst
+  /// and charged SequentialReadCost.
+  bool merged = false;
 
   SimTime start = 0.0;
   SimTime end = 0.0;

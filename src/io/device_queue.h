@@ -1,0 +1,126 @@
+// Per-StorageDevice submission queue with an in-device scheduler.
+//
+// Requests enter in submission order and leave in whatever order the
+// configured IoReorderKind services them. The queue tracks the device's
+// pass-local busy clock (the sum of issued costs), which prices each
+// request's queue wait, and the head offset, which decides elevator
+// direction and sequential-merge eligibility. Completion delivery (the
+// staged bytes, the recorded timeline op) is the IoEngine's job; this
+// class owns only the queue discipline and cost accounting.
+//
+// Single-threaded by design: the engine's dispatch loop is the only
+// submitter and consumer (kernel worker threads never touch storage).
+#ifndef GTS_IO_DEVICE_QUEUE_H_
+#define GTS_IO_DEVICE_QUEUE_H_
+
+#include <deque>
+#include <string>
+
+#include "common/status.h"
+#include "io/io_options.h"
+#include "io/io_request.h"
+#include "io/io_scheduler.h"
+#include "storage/storage_device.h"
+
+namespace gts {
+namespace io {
+
+class DeviceQueue {
+ public:
+  DeviceQueue(int device_index, DeviceTimingParams timing, IoOptions options)
+      : device_index_(device_index),
+        timing_(timing),
+        depth_(options.queue_depth),
+        slots_(options.ResolvedSlots()),
+        reorder_(options.reorder) {}
+
+  /// Forgets queued requests and rewinds the busy clock / head position.
+  /// Called at every BeginPass: queue waits are pass-local, and the head
+  /// position must not leak a merge discount across a barrier.
+  void ResetPass() {
+    queue_.clear();
+    clock_ = 0.0;
+    head_offset_ = kNoHeadOffset;
+    outstanding_ = 0;
+  }
+
+  bool QueueFull() const { return queue_.size() >= static_cast<size_t>(depth_); }
+  bool SlotsFull() const { return outstanding_ >= slots_; }
+  bool Empty() const { return queue_.empty(); }
+  int device_index() const { return device_index_; }
+
+  /// Linear scan; queues are at most queue_depth long.
+  bool Contains(PageId pid) const {
+    for (const IoRequest& req : queue_) {
+      if (req.pid == pid) return true;
+    }
+    return false;
+  }
+
+  /// Enqueues one page read. Returns ResourceExhausted when the in-flight
+  /// slot bound is hit (prefetch backpressure) unless `force` -- the
+  /// demand path must always get its page through. The caller checks
+  /// !QueueFull() first; a full queue is drained, not an error.
+  Status Submit(PageId pid, uint64_t offset, uint64_t length,
+                bool force = false) {
+    if (!force && SlotsFull()) {
+      return Status::ResourceExhausted(
+          "io inflight slots exhausted on device " +
+          std::to_string(device_index_));
+    }
+    IoRequest req;
+    req.pid = pid;
+    req.offset = offset;
+    req.length = length;
+    req.submit_seq = next_seq_++;
+    req.submit_clock = clock_;
+    queue_.push_back(req);
+    ++outstanding_;
+    return Status::OK();
+  }
+
+  /// Services one request per the reorder policy; the queue must be
+  /// non-empty. Advances the busy clock and head offset.
+  IoIssue IssueNext() {
+    const size_t picked =
+        PickNextRequest(reorder_, queue_, head_offset_);
+    IoIssue issue;
+    issue.request = queue_[picked];
+    issue.queue_depth_at_issue = static_cast<int>(queue_.size());
+    issue.merged = MergesWithHead(reorder_, issue.request, head_offset_);
+    issue.cost = issue.merged
+                     ? timing_.SequentialReadCost(issue.request.length)
+                     : timing_.ReadCost(issue.request.length);
+    issue.queue_wait = clock_ - issue.request.submit_clock;
+    // The deque is in submission order, so any pick past the front
+    // overtook an earlier-submitted request.
+    issue.reordered = picked != 0;
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(picked));
+    clock_ += issue.cost;
+    head_offset_ = issue.request.offset + issue.request.length;
+    return issue;
+  }
+
+  /// Releases the in-flight slot once the engine consumed the completion.
+  void NoteConsumed() {
+    if (outstanding_ > 0) --outstanding_;
+  }
+
+ private:
+  int device_index_;
+  DeviceTimingParams timing_;
+  int depth_;
+  int slots_;
+  IoReorderKind reorder_;
+
+  std::deque<IoRequest> queue_;  // submission order
+  uint64_t next_seq_ = 0;
+  SimTime clock_ = 0.0;               // pass-local busy time issued so far
+  uint64_t head_offset_ = kNoHeadOffset;
+  int outstanding_ = 0;  // queued + issued-but-unconsumed completions
+};
+
+}  // namespace io
+}  // namespace gts
+
+#endif  // GTS_IO_DEVICE_QUEUE_H_

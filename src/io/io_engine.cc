@@ -1,0 +1,209 @@
+#include "io/io_engine.h"
+
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gts {
+namespace io {
+
+IoEngine::IoEngine(const PagedGraph* graph, PageStore* store,
+                   IoOptions options, RecordFn record,
+                   obs::MetricsRegistry* registry)
+    : graph_(graph),
+      store_(store),
+      options_(options),
+      record_(std::move(record)) {
+  const Status valid = options_.Validate();
+  GTS_CHECK(valid.ok()) << valid.ToString();
+  queues_.reserve(store_->num_devices());
+  for (size_t d = 0; d < store_->num_devices(); ++d) {
+    queues_.emplace_back(static_cast<int>(d), store_->device(d).timing(),
+                         options_);
+  }
+  if (registry != nullptr) {
+    submitted_metric_ = &registry->GetCounter("io.submitted");
+    completed_metric_ = &registry->GetCounter("io.completed");
+    merged_metric_ = &registry->GetCounter("io.merged_bursts");
+    reorder_metric_ = &registry->GetCounter("io.reorder_wins");
+    backpressure_metric_ = &registry->GetCounter("io.backpressure");
+    demand_metric_ = &registry->GetCounter("io.demand_fetches");
+    eviction_metric_ = &registry->GetCounter("io.prefetch_evictions");
+    depth_dist_ = &registry->GetDistribution("io.queue_depth");
+  }
+}
+
+void IoEngine::BeginPass(const std::vector<PageId>& ordered) {
+  // Leftover queue/parked state can only exist after a failed pass; the
+  // recorder was cleared with it, so drop everything and start clean.
+  parked_.clear();
+  for (DeviceQueue& queue : queues_) queue.ResetPass();
+  prefetcher_.BeginPass(ordered, store_->num_devices(),
+                        graph_->config().page_size,
+                        [this](PageId pid) { return store_->Resident(pid); });
+}
+
+void IoEngine::PrimeAll() {
+  for (size_t d = 0; d < queues_.size(); ++d) {
+    bool slots_exhausted = false;
+    const int submitted =
+        prefetcher_.Prime(d, &queues_[d], &slots_exhausted);
+    if (submitted > 0) {
+      stats_.submitted += static_cast<uint64_t>(submitted);
+      if (submitted_metric_ != nullptr) {
+        submitted_metric_->Add(static_cast<uint64_t>(submitted));
+      }
+    }
+    if (slots_exhausted) {
+      ++stats_.backpressure;
+      if (backpressure_metric_ != nullptr) backpressure_metric_->Add();
+    }
+  }
+}
+
+Result<IoEngine::Parked> IoEngine::IssueOne(DeviceQueue* queue) {
+  const IoIssue issue = queue->IssueNext();
+  GTS_RETURN_IF_ERROR(store_->StageFromDevice(issue.request.pid));
+
+  Parked done;
+  done.pid = issue.request.pid;
+  done.device = static_cast<size_t>(queue->device_index());
+  done.cost = issue.cost;
+  if (issue.cost > 0.0 && record_ != nullptr) {
+    gpu::TimelineOp fop;
+    fop.kind = gpu::OpKind::kStorageFetch;
+    fop.resource = {gpu::ResourceId::Type::kStorageDevice,
+                    queue->device_index()};
+    fop.duration = issue.cost;
+    fop.bytes = issue.request.length;
+    fop.page = issue.request.pid;
+    fop.queue_wait = issue.queue_wait;
+    fop.merged = issue.merged;
+    done.op = record_(fop);
+  }
+
+  ++stats_.completed;
+  if (completed_metric_ != nullptr) completed_metric_->Add();
+  if (depth_dist_ != nullptr) {
+    depth_dist_->Record(static_cast<double>(issue.queue_depth_at_issue));
+  }
+  if (issue.merged) {
+    ++stats_.merged_bursts;
+    if (merged_metric_ != nullptr) merged_metric_->Add();
+  }
+  if (issue.reordered) {
+    ++stats_.reorder_wins;
+    if (reorder_metric_ != nullptr) reorder_metric_->Add();
+  }
+  return done;
+}
+
+Result<IoEngine::Fetched> IoEngine::DemandFetch(PageId pid) {
+  GTS_ASSIGN_OR_RETURN(PageStore::FetchResult fetch, store_->Fetch(pid));
+  ++stats_.demand_fetches;
+  if (demand_metric_ != nullptr) demand_metric_->Add();
+  Fetched out;
+  out.data = fetch.data;
+  out.buffer_hit = fetch.buffer_hit;
+  out.device_index = fetch.device_index;
+  out.io_cost = fetch.io_cost;
+  if (!fetch.buffer_hit && fetch.io_cost > 0.0 && record_ != nullptr) {
+    gpu::TimelineOp fop;
+    fop.kind = gpu::OpKind::kStorageFetch;
+    fop.resource = {gpu::ResourceId::Type::kStorageDevice,
+                    static_cast<int>(fetch.device_index)};
+    fop.duration = fetch.io_cost;
+    fop.bytes = graph_->config().page_size;
+    fop.page = pid;
+    out.fetch_op = record_(fop);
+  }
+  return out;
+}
+
+Result<IoEngine::Fetched> IoEngine::Acquire(PageId pid) {
+  if (pid >= graph_->num_pages()) {
+    return Status::InvalidArgument("page id out of range: " +
+                                   std::to_string(pid));
+  }
+
+  // 1. A prefetch completed ahead of demand: consume the parked result.
+  if (auto it = parked_.find(pid); it != parked_.end()) {
+    const Parked parked = it->second;
+    parked_.erase(it);
+    queues_[parked.device].NoteConsumed();
+    const uint8_t* data = store_->TouchResident(pid);
+    if (data == nullptr) {
+      // Evicted before consumption: the prefetch window outgrew MMBuf.
+      // The already-recorded read stands; pay a second, demand read.
+      ++stats_.prefetch_evictions;
+      if (eviction_metric_ != nullptr) eviction_metric_->Add();
+      return DemandFetch(pid);
+    }
+    PrimeAll();
+    Fetched out;
+    out.data = data;
+    out.device_index = parked.device;
+    out.io_cost = parked.cost;
+    out.fetch_op = parked.op;
+    return out;
+  }
+
+  // 2. MMBuf hit: the store's classic hit path (LRU touch + counter).
+  if (store_->Resident(pid)) {
+    GTS_ASSIGN_OR_RETURN(PageStore::FetchResult hit, store_->Fetch(pid));
+    Fetched out;
+    out.data = hit.data;
+    out.buffer_hit = true;
+    return out;
+  }
+
+  const size_t d = store_->DeviceOfPage(pid);
+  DeviceQueue& queue = queues_[d];
+
+  // 3. Unplanned miss (typically evicted after BeginPass snapshotted
+  // residency): classic synchronous fetch, full ReadCost.
+  if (!queue.Contains(pid) && !prefetcher_.Pending(pid)) {
+    return DemandFetch(pid);
+  }
+
+  PrimeAll();
+
+  // 4. Force pid into the queue. When the consume order strays from the
+  // plan, earlier plan entries drain through the queue ahead of it (their
+  // completions park); the slot bound never blocks demand.
+  while (!queue.Contains(pid)) {
+    if (!queue.QueueFull() && !prefetcher_.PlanEmpty(d)) {
+      const IoRequest req = prefetcher_.PopFront(d);
+      GTS_CHECK_OK(queue.Submit(req.pid, req.offset, req.length,
+                                /*force=*/true));
+      ++stats_.submitted;
+      if (submitted_metric_ != nullptr) submitted_metric_->Add();
+    } else {
+      GTS_ASSIGN_OR_RETURN(Parked done, IssueOne(&queue));
+      parked_.emplace(done.pid, done);
+    }
+  }
+
+  // Service the queue until pid completes, parking early completions.
+  for (;;) {
+    GTS_ASSIGN_OR_RETURN(Parked done, IssueOne(&queue));
+    if (done.pid != pid) {
+      parked_.emplace(done.pid, done);
+      continue;
+    }
+    queue.NoteConsumed();
+    // Just staged, hence most recent and eviction-protected.
+    const uint8_t* data = store_->TouchResident(pid);
+    GTS_CHECK(data != nullptr);
+    Fetched out;
+    out.data = data;
+    out.device_index = d;
+    out.io_cost = done.cost;
+    out.fetch_op = done.op;
+    return out;
+  }
+}
+
+}  // namespace io
+}  // namespace gts

@@ -1,0 +1,149 @@
+// The gts::io front-end: depth-queued asynchronous page reads between the
+// PageStore and the engine's dispatch loop.
+//
+// One IoEngine serves one engine. Per pass, BeginPass() hands the dispatch
+// pipeline's page order to the prefetcher, which keeps every device's
+// DeviceQueue primed; Acquire(pid) then delivers the page bytes, servicing
+// the queues through the in-device scheduler as demand arrives. Requests
+// completed ahead of demand are parked and consumed without further device
+// work -- that is the pipelining the queue depth buys: an elevator or
+// sequential-merge scheduler gets a depth-sized window to reorder, so
+// scattered page orders (e.g. frontier-density) regain device-sequential
+// bursts.
+//
+// Timing contract: every serviced request records a kStorageFetch op (via
+// the engine's recorder) at issue time, in issue order, carrying the
+// scheduler-priced duration -- the discrete-event simulator replays the
+// per-device serial queue from record order exactly as it did for the old
+// synchronous Fetch path. With queue_depth 1 + kFifo the issue order, the
+// costs, and therefore the whole schedule reproduce that path byte for
+// byte.
+//
+// Backpressure: the prefetcher stops priming a device whose in-flight
+// slots (queued + parked) are exhausted; the rejection is counted as
+// io.backpressure and surfaced like cache_backpressure -- the page is
+// simply fetched when demanded. Demand is never refused.
+#ifndef GTS_IO_IO_ENGINE_H_
+#define GTS_IO_IO_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "gpu/schedule.h"
+#include "io/device_queue.h"
+#include "io/io_options.h"
+#include "io/prefetcher.h"
+#include "obs/metrics.h"
+#include "storage/page_store.h"
+#include "storage/paged_graph.h"
+
+namespace gts {
+namespace io {
+
+/// Per-run io-engine counters (reset by the engine alongside the store's
+/// PageStoreStats; published cumulatively as io.* registry metrics).
+struct IoStats {
+  uint64_t submitted = 0;       ///< requests entered into device queues
+  uint64_t completed = 0;       ///< requests serviced by a device
+  uint64_t merged_bursts = 0;   ///< reads charged SequentialReadCost
+  uint64_t reorder_wins = 0;    ///< reads serviced ahead of an older request
+  uint64_t backpressure = 0;    ///< prefetch stops due to full in-flight slots
+  uint64_t demand_fetches = 0;  ///< reads outside the plan (full ReadCost)
+  /// Prefetched pages evicted from MMBuf before their Acquire (the window
+  /// outgrew the buffer); each costs a second, demand-priced read.
+  uint64_t prefetch_evictions = 0;
+
+  IoStats& operator+=(const IoStats& other) {
+    submitted += other.submitted;
+    completed += other.completed;
+    merged_bursts += other.merged_bursts;
+    reorder_wins += other.reorder_wins;
+    backpressure += other.backpressure;
+    demand_fetches += other.demand_fetches;
+    prefetch_evictions += other.prefetch_evictions;
+    return *this;
+  }
+};
+
+class IoEngine {
+ public:
+  /// Records one timeline op into the engine's schedule recorder.
+  using RecordFn = std::function<gpu::OpIndex(const gpu::TimelineOp&)>;
+
+  /// `registry` may be null (tests); counters are then run-local only.
+  IoEngine(const PagedGraph* graph, PageStore* store, IoOptions options,
+           RecordFn record, obs::MetricsRegistry* registry);
+
+  /// Starts one pass: resets every device queue (pass-local clocks, head
+  /// positions, merge state) and rebuilds the prefetch plans from the
+  /// dispatch pipeline's ordered page list. Pages already resident in
+  /// MMBuf are not planned.
+  void BeginPass(const std::vector<PageId>& ordered);
+
+  struct Fetched {
+    const uint8_t* data = nullptr;  ///< page bytes, valid until next eviction
+    bool buffer_hit = false;
+    size_t device_index = 0;        ///< meaningful when !buffer_hit
+    SimTime io_cost = 0.0;          ///< scheduler-priced device time
+    /// The recorded kStorageFetch op to depend on (kNoOp on a buffer hit
+    /// or a zero-cost in-memory device).
+    gpu::OpIndex fetch_op = gpu::kNoOp;
+  };
+
+  /// Delivers page `pid`: a parked prefetch completion, an MMBuf hit, a
+  /// queued/planned read (serviced through the device scheduler, parking
+  /// any requests completed on the way), or a demand fetch as the last
+  /// resort. Also tops every device queue up from the plans.
+  Result<Fetched> Acquire(PageId pid);
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+  const IoOptions& options() const { return options_; }
+
+ private:
+  /// A completion awaiting its Acquire.
+  struct Parked {
+    PageId pid = kInvalidPageId;
+    size_t device = 0;
+    SimTime cost = 0.0;
+    gpu::OpIndex op = gpu::kNoOp;
+  };
+
+  /// Tops every device queue up from its plan (counts backpressure).
+  void PrimeAll();
+
+  /// Services one request from `queue`: stages the bytes into MMBuf,
+  /// records the timeline op, updates counters.
+  Result<Parked> IssueOne(DeviceQueue* queue);
+
+  /// Unplanned miss: classic synchronous fetch at full ReadCost.
+  Result<Fetched> DemandFetch(PageId pid);
+
+  const PagedGraph* graph_;
+  PageStore* store_;
+  IoOptions options_;
+  RecordFn record_;
+
+  std::vector<DeviceQueue> queues_;
+  Prefetcher prefetcher_;
+  std::unordered_map<PageId, Parked> parked_;
+
+  IoStats stats_;
+  obs::Counter* submitted_metric_ = nullptr;
+  obs::Counter* completed_metric_ = nullptr;
+  obs::Counter* merged_metric_ = nullptr;
+  obs::Counter* reorder_metric_ = nullptr;
+  obs::Counter* backpressure_metric_ = nullptr;
+  obs::Counter* demand_metric_ = nullptr;
+  obs::Counter* eviction_metric_ = nullptr;
+  obs::Distribution* depth_dist_ = nullptr;
+};
+
+}  // namespace io
+}  // namespace gts
+
+#endif  // GTS_IO_IO_ENGINE_H_

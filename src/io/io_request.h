@@ -1,0 +1,36 @@
+// The request/completion records flowing through a DeviceQueue.
+#ifndef GTS_IO_IO_REQUEST_H_
+#define GTS_IO_IO_REQUEST_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace gts {
+namespace io {
+
+/// One page read submitted to a device queue.
+struct IoRequest {
+  PageId pid = kInvalidPageId;
+  uint64_t offset = 0;       ///< byte offset on the owning device
+  uint64_t length = 0;       ///< bytes to read (one page)
+  uint64_t submit_seq = 0;   ///< device-local submission order
+  SimTime submit_clock = 0;  ///< device-busy clock when submitted
+};
+
+/// What the in-device scheduler decided for one serviced request.
+struct IoIssue {
+  IoRequest request;
+  SimTime cost = 0.0;        ///< simulated device time charged
+  SimTime queue_wait = 0.0;  ///< device-busy seconds spent queued
+  bool merged = false;       ///< continued the previous read as one burst
+  /// An earlier-submitted request was still queued when this one was
+  /// serviced: the scheduler jumped it ahead (a reorder win).
+  bool reordered = false;
+  int queue_depth_at_issue = 0;  ///< queue size when the pick was made
+};
+
+}  // namespace io
+}  // namespace gts
+
+#endif  // GTS_IO_IO_REQUEST_H_

@@ -1,0 +1,31 @@
+#include "io/io_scheduler.h"
+
+namespace gts {
+namespace io {
+
+size_t PickNextRequest(IoReorderKind kind, const std::deque<IoRequest>& queue,
+                       uint64_t head_offset) {
+  if (kind == IoReorderKind::kFifo || queue.size() == 1) return 0;
+  const uint64_t head = head_offset == kNoHeadOffset ? 0 : head_offset;
+  // One sweep over the (submission-ordered) queue tracks both C-SCAN
+  // candidates; < keeps the earliest submission on equal offsets.
+  size_t ahead = queue.size();   // lowest offset >= head
+  size_t lowest = 0;             // lowest offset overall (wrap target)
+  for (size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i].offset < queue[lowest].offset) lowest = i;
+    if (queue[i].offset >= head &&
+        (ahead == queue.size() || queue[i].offset < queue[ahead].offset)) {
+      ahead = i;
+    }
+  }
+  return ahead != queue.size() ? ahead : lowest;
+}
+
+bool MergesWithHead(IoReorderKind kind, const IoRequest& request,
+                    uint64_t head_offset) {
+  return kind == IoReorderKind::kSequentialMerge &&
+         head_offset != kNoHeadOffset && request.offset == head_offset;
+}
+
+}  // namespace io
+}  // namespace gts

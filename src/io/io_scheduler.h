@@ -1,0 +1,39 @@
+// The in-device request scheduler: which queued request a device services
+// next, and whether it merges into the running sequential burst.
+#ifndef GTS_IO_IO_SCHEDULER_H_
+#define GTS_IO_IO_SCHEDULER_H_
+
+#include <cstddef>
+#include <deque>
+
+#include "io/io_options.h"
+#include "io/io_request.h"
+
+namespace gts {
+namespace io {
+
+/// Sentinel head position before any read was serviced in a pass: nothing
+/// merges with it and the elevator starts its sweep from offset 0.
+inline constexpr uint64_t kNoHeadOffset = ~uint64_t{0};
+
+/// Index into `queue` of the request to service next, given the device
+/// head position (the end offset of the previous read, kNoHeadOffset at
+/// the start of a pass). The queue is kept in submission order, so:
+///   - kFifo picks the front;
+///   - kElevator / kSequentialMerge run a C-SCAN sweep: the lowest offset
+///     at or after the head, wrapping to the lowest offset overall when
+///     nothing is ahead (ties broken by submission order).
+/// `queue` must be non-empty.
+size_t PickNextRequest(IoReorderKind kind, const std::deque<IoRequest>& queue,
+                       uint64_t head_offset);
+
+/// True when servicing `request` at `head_offset` continues the previous
+/// read as one sequential burst (kSequentialMerge only): the request is
+/// then charged SequentialReadCost instead of the full ReadCost.
+bool MergesWithHead(IoReorderKind kind, const IoRequest& request,
+                    uint64_t head_offset);
+
+}  // namespace io
+}  // namespace gts
+
+#endif  // GTS_IO_IO_SCHEDULER_H_

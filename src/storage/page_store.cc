@@ -37,7 +37,6 @@ void PageStore::BindMetrics(std::shared_ptr<obs::MetricsRegistry> registry) {
   buffer_hits_metric_ = &registry_->GetCounter("store.buffer_hits");
   device_reads_metric_ = &registry_->GetCounter("store.device_reads");
   bytes_read_metric_ = &registry_->GetCounter("store.bytes_read");
-  coalesced_reads_metric_ = &registry_->GetCounter("store.coalesced_reads");
   for (auto& device : devices_) device->BindMetrics(registry_.get());
 }
 
@@ -73,6 +72,29 @@ Result<PageStore::FetchResult> PageStore::Fetch(PageId pid) {
     return result;
   }
 
+  GTS_RETURN_IF_ERROR(StageFromDevice(pid));
+
+  const size_t d = DeviceOfPage(pid);
+  const uint64_t page_size = graph_->config().page_size;
+  result.data = buffer_.at(pid).bytes.data();
+  result.buffer_hit = false;
+  result.device_index = d;
+  result.io_cost = devices_[d]->timing().ReadCost(page_size);
+  return result;
+}
+
+Status PageStore::StageFromDevice(PageId pid) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("PageStore::Init not called");
+  }
+  if (pid >= graph_->num_pages()) {
+    return Status::InvalidArgument("page id out of range: " +
+                                   std::to_string(pid));
+  }
+  if (buffer_.count(pid) > 0) {
+    return Status::FailedPrecondition("page " + std::to_string(pid) +
+                                      " already resident");
+  }
   const uint64_t page_size = graph_->config().page_size;
   const size_t d = DeviceOfPage(pid);
   // Device offset: position of this page among the pages striped to d.
@@ -87,6 +109,7 @@ Result<PageStore::FetchResult> PageStore::Fetch(PageId pid) {
   entry.lru_it = lru_.begin();
   auto [ins, ok] = buffer_.emplace(pid, std::move(entry));
   GTS_CHECK(ok);
+  (void)ins;
   buffered_bytes_ += page_size;
   EvictIfNeeded();
 
@@ -97,35 +120,14 @@ Result<PageStore::FetchResult> PageStore::Fetch(PageId pid) {
     bytes_read_metric_->Add(page_size);
   }
   devices_[d]->NoteRead(page_size);
-  const bool coalesced = coalesced_.erase(pid) > 0;
-  if (coalesced) {
-    ++stats_.coalesced_reads;
-    if (coalesced_reads_metric_ != nullptr) coalesced_reads_metric_->Add();
-  }
-  result.data = ins->second.bytes.data();
-  result.buffer_hit = false;
-  result.device_index = d;
-  result.io_cost = coalesced
-                       ? devices_[d]->timing().SequentialReadCost(page_size)
-                       : devices_[d]->timing().ReadCost(page_size);
-  return result;
+  return Status::OK();
 }
 
-void PageStore::PlanReads(const std::vector<PageId>& ordered) {
-  coalesced_.clear();
-  const uint64_t page_size = graph_->config().page_size;
-  // Per device: the offset right after the last planned buffer-missing
-  // read. Buffer residency is evaluated against the plan-time MMBuf; a
-  // page evicted before its Fetch simply pays the full ReadCost.
-  std::vector<uint64_t> next_offset(devices_.size(), ~uint64_t{0});
-  for (PageId pid : ordered) {
-    if (pid >= graph_->num_pages() || buffer_.count(pid) > 0) continue;
-    const size_t d = DeviceOfPage(pid);
-    const uint64_t offset =
-        static_cast<uint64_t>(pid / devices_.size()) * page_size;
-    if (offset == next_offset[d]) coalesced_.insert(pid);
-    next_offset[d] = offset + page_size;
-  }
+const uint8_t* PageStore::TouchResident(PageId pid) {
+  auto it = buffer_.find(pid);
+  if (it == buffer_.end()) return nullptr;
+  TouchLru(pid);
+  return it->second.bytes.data();
 }
 
 void PageStore::TouchLru(PageId pid) {

@@ -7,7 +7,6 @@
 #include <list>
 #include <memory>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -23,9 +22,6 @@ struct PageStoreStats {
   uint64_t buffer_hits = 0;
   uint64_t device_reads = 0;
   uint64_t bytes_read = 0;
-  /// Device reads that continued the previous planned read on the same
-  /// device (PlanReads) and so skipped the per-request access latency.
-  uint64_t coalesced_reads = 0;
 };
 
 /// Owns the secondary-storage copy of a PagedGraph plus MMBuf.
@@ -59,17 +55,26 @@ class PageStore {
   };
 
   /// Returns the page bytes, fetching from the device on a buffer miss.
+  /// A miss is charged the device's full per-request ReadCost; batched,
+  /// reordered, and merged reads go through io::IoEngine instead, which
+  /// prices each request itself and stages bytes via StageFromDevice().
   Result<FetchResult> Fetch(PageId pid);
 
-  /// Read-plan hook for the dispatch pipeline: declares the upcoming
-  /// batch's fetch order. Pages that (a) will miss MMBuf and (b) sit
-  /// directly after the previous planned miss on the same device are
-  /// marked sequential; their eventual Fetch pays SequentialReadCost
-  /// (transfer only) instead of the full per-request ReadCost. Advisory
-  /// and consumed per page: fetching in a different order than planned
-  /// only forfeits the discount, it never corrupts results. Calling with
-  /// a new batch replaces the previous plan.
-  void PlanReads(const std::vector<PageId>& ordered);
+  /// True when `pid` currently sits in MMBuf. Touches no LRU state and no
+  /// counters (the io engine's plan snapshot must not disturb recency).
+  bool Resident(PageId pid) const { return buffer_.count(pid) > 0; }
+
+  /// Reads a non-resident page from its device into MMBuf as the
+  /// most-recent entry (evicting LRU pages over capacity) and counts the
+  /// device read. No simulated cost is computed: the caller (the io
+  /// engine's device scheduler) prices the request.
+  Status StageFromDevice(PageId pid);
+
+  /// Marks a resident page most-recently-used and returns its bytes;
+  /// null when not resident. Bumps no hit counter: used by the io engine
+  /// to consume a completion whose device read was already counted at
+  /// staging time.
+  const uint8_t* TouchResident(PageId pid);
 
   /// g(j): which device holds page j.
   size_t DeviceOfPage(PageId pid) const { return pid % devices_.size(); }
@@ -106,16 +111,12 @@ class PageStore {
   std::list<PageId> lru_;
   uint64_t buffered_bytes_ = 0;
 
-  // Pages PlanReads marked as sequential continuations (consumed on fetch).
-  std::unordered_set<PageId> coalesced_;
-
   PageStoreStats stats_;
 
   std::shared_ptr<obs::MetricsRegistry> registry_;
   obs::Counter* buffer_hits_metric_ = nullptr;
   obs::Counter* device_reads_metric_ = nullptr;
   obs::Counter* bytes_read_metric_ = nullptr;
-  obs::Counter* coalesced_reads_metric_ = nullptr;
 };
 
 /// Builds an in-memory-device store (storage type "in-memory").

@@ -308,6 +308,95 @@ TEST(DispatchStressTest, FrontierDensityUnderStreamThreadsIsDeterministic) {
   }
 }
 
+// --------------------------------------------------------------- gts::io
+
+// The io engine under real stream threads: the dispatch loop is the only
+// submitter/consumer by design, but kernel completions on stream threads
+// touch the MMBuf-adjacent state (cache inserts, WA writes) while the io
+// queues stage and evict around them. Depth 8 with sequential merge plus
+// an MMBuf far below the working set maximizes parked completions,
+// prefetch evictions and demand fallbacks; results must still match a
+// plain inline run exactly, under TSan/ASan like the rest of this file.
+TEST(IoStressTest, DeepQueuesWithStreamThreadsMatchInlineRun) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 29;
+  EdgeList edges = std::move(GenerateRmat(p)).ValueOrDie();
+  CsrGraph csr = CsrGraph::FromEdgeList(edges);
+  PagedGraph paged =
+      std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+  VertexId source = 0;
+  for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+    if (csr.out_degree(v) > csr.out_degree(source)) source = v;
+  }
+
+  auto levels_with = [&](bool threads) {
+    // A fresh store per run: identical MMBuf state, heavy eviction churn.
+    auto store = MakeSsdStore(&paged, 2, /*buffer_capacity=*/128 * kKiB);
+    MachineConfig machine = MachineConfig::PaperScaled(1);
+    machine.device_memory = 8 * kMiB;
+    GtsOptions opts;
+    opts.num_streams = 4;
+    opts.use_stream_threads = threads;
+    opts.io.queue_depth = 8;
+    opts.io.reorder = io::IoReorderKind::kSequentialMerge;
+    opts.dispatch.order = PageOrderKind::kFrontierDensity;
+    GtsEngine engine(&paged, store.get(), machine, opts);
+    auto result = RunBfsGts(engine, source);
+    GTS_CHECK(result.ok()) << result.status().ToString();
+    return result->levels;
+  };
+
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(levels_with(/*threads=*/true), levels_with(/*threads=*/false))
+        << "round " << round;
+  }
+}
+
+// Admission threshold + degree-weighted counting under stream threads:
+// kernel completions bump the weighted PidSet concurrently; the next
+// pass's admission cut reads it after the barrier. The cut must stay
+// deterministic and exact across rounds.
+TEST(IoStressTest, AdmissionThresholdUnderStreamThreadsIsDeterministic) {
+  RmatParams p;
+  p.scale = 9;
+  p.edge_factor = 16;
+  p.seed = 41;
+  EdgeList edges = std::move(GenerateRmat(p)).ValueOrDie();
+  // Pages of out-degree-0 sinks behind the RMAT pages guarantee the
+  // admission cut has something to skip (dense RMAT pages rarely carry
+  // zero active edges).
+  const VertexId first_sink = edges.num_vertices();
+  edges.set_num_vertices(first_sink + 2048);
+  for (VertexId i = 0; i < 2048; ++i) edges.Add(1, first_sink + i);
+  CsrGraph csr = CsrGraph::FromEdgeList(edges);
+  PagedGraph paged =
+      std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+  auto store = MakeInMemoryStore(&paged);
+  MachineConfig machine = MachineConfig::PaperScaled(1);
+  machine.device_memory = 8 * kMiB;
+
+  auto run = [&]() {
+    GtsOptions opts;
+    opts.num_streams = 4;
+    opts.use_stream_threads = true;
+    opts.dispatch.min_active_edges = 1;
+    opts.io.queue_depth = 4;
+    opts.io.reorder = io::IoReorderKind::kElevator;
+    GtsEngine engine(&paged, store.get(), machine, opts);
+    auto result = RunBfsGts(engine, 1);
+    GTS_CHECK(result.ok());
+    return std::make_pair(result->levels,
+                          result->report.metrics.pages_skipped);
+  };
+  const auto first = run();
+  EXPECT_GT(first.second, 0u);
+  for (int round = 0; round < 2; ++round) {
+    EXPECT_EQ(run(), first) << "round " << round;
+  }
+}
+
 // -------------------------------------------------------------- ThreadPool
 
 // Two threads drive ParallelFor over the same pool at once. Completion is

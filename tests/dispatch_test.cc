@@ -395,26 +395,114 @@ TEST(DispatchEffectTest, StickyStreamsAvoidSwitchesUnderInterleaving) {
   EXPECT_GT(snapshot.at("dispatch.stream.switches_avoided").count, 0u);
 }
 
-TEST(DispatchEffectTest, CoalescedReadsCutScanIoTime) {
+TEST(DispatchEffectTest, SequentialMergeCutsScanIoTime) {
   Fixture f;
-  auto scan_with = [&](bool coalesce) {
+  auto scan_with = [&](io::IoReorderKind reorder, int depth) {
     auto store = MakeSsdStore(&f.paged, 2, /*buffer_capacity=*/256 * kKiB);
     GtsOptions opts;
-    opts.dispatch.coalesce_reads = coalesce;
+    opts.io.reorder = reorder;
+    opts.io.queue_depth = depth;
     GtsEngine engine(&f.paged, store.get(), f.Machine(), opts);
     auto pr = RunPageRankGts(engine, {.iterations = 1});
     GTS_CHECK(pr.ok());
     return pr->report.metrics;
   };
 
-  const RunMetrics base = scan_with(false);
-  const RunMetrics coalesced = scan_with(true);
-  EXPECT_EQ(base.io.coalesced_reads, 0u);
+  const RunMetrics base = scan_with(io::IoReorderKind::kFifo, 1);
+  const RunMetrics merged =
+      scan_with(io::IoReorderKind::kSequentialMerge, 4);
+  EXPECT_EQ(base.io_queue.merged_bursts, 0u);
   // A scan in SP-then-LP order fetches each device's stripe in ascending
-  // offset order: nearly every read continues the previous one.
-  EXPECT_GT(coalesced.io.coalesced_reads, 0u);
-  EXPECT_EQ(coalesced.io.device_reads, base.io.device_reads);
-  EXPECT_LT(coalesced.storage_busy, base.storage_busy);
+  // offset order: nearly every read continues the previous one, so the
+  // seq-merge scheduler charges it SequentialReadCost.
+  EXPECT_GT(merged.io_queue.merged_bursts, 0u);
+  EXPECT_EQ(merged.io.device_reads, base.io.device_reads);
+  EXPECT_LT(merged.storage_busy, base.storage_busy);
+}
+
+// ------------------------------------------------- admission threshold
+
+/// Appends `n_sinks` out-degree-0 vertices, all targeted by `hub`. Dense
+/// RMAT pages almost always hold at least one non-sink activation, so to
+/// make the admission cut provably fire the sinks span whole pages of
+/// their own: activating them marks those pages with zero active edges.
+EdgeList WithSinkFanout(const EdgeList& base, VertexId hub,
+                        VertexId n_sinks) {
+  EdgeList out = base;
+  const VertexId first = base.num_vertices();
+  out.set_num_vertices(first + n_sinks);
+  for (VertexId i = 0; i < n_sinks; ++i) out.Add(hub, first + i);
+  return out;
+}
+
+/// min_active_edges = 1 admits only frontier pages holding at least one
+/// active *edge*. A page whose activations were all sink vertices (weight
+/// 0 in the degree-weighted PidSet) expands nothing, so skipping it must
+/// change no result and no WA traffic -- the correctness guard for the
+/// admission cut.
+TEST(DispatchAdmissionTest, ThresholdOneSkipsPagesWithoutChangingResults) {
+  Fixture f;
+  const VertexId source = f.Source();
+  // 4096 sinks fill ~20 pages behind the RMAT pages; BFS reaches them
+  // one level after the hub and their pages carry zero active edges.
+  EdgeList edges = WithSinkFanout(f.edges, source, 4096);
+  CsrGraph csr = CsrGraph::FromEdgeList(edges);
+  PagedGraph paged =
+      std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+  auto store = MakeInMemoryStore(&paged);
+
+  auto run_with = [&](uint32_t min_edges) {
+    GtsOptions opts;
+    opts.dispatch.min_active_edges = min_edges;
+    GtsEngine engine(&paged, store.get(), f.Machine(), opts);
+    auto bfs = RunBfsGts(engine, source);
+    GTS_CHECK(bfs.ok()) << bfs.status().ToString();
+    return std::make_pair(bfs->levels, bfs->report.metrics);
+  };
+
+  const auto [base_levels, base_metrics] = run_with(0);
+  const auto [cut_levels, cut_metrics] = run_with(1);
+
+  EXPECT_EQ(cut_levels, base_levels);
+  // Skipped pages contribute no WA updates by construction: the totals
+  // must agree exactly, not approximately.
+  EXPECT_EQ(cut_metrics.work.wa_updates, base_metrics.work.wa_updates);
+  EXPECT_EQ(cut_metrics.work.edges_processed,
+            base_metrics.work.edges_processed);
+  // An RMAT graph has plenty of sink vertices, so the cut genuinely fires.
+  EXPECT_EQ(base_metrics.pages_skipped, 0u);
+  EXPECT_GT(cut_metrics.pages_skipped, 0u);
+  // Identical levels mean identical per-level frontiers, so every skipped
+  // page is one page the base run processed (streamed, co-processed, or
+  // served from the GPU cache) and the cut run never touched.
+  EXPECT_EQ(cut_metrics.pages_streamed + cut_metrics.cpu_pages +
+                cut_metrics.cache_hits + cut_metrics.pages_skipped,
+            base_metrics.pages_streamed + base_metrics.cpu_pages +
+                base_metrics.cache_hits);
+}
+
+TEST(DispatchAdmissionTest, SkippedPagesCounterPublishes) {
+  Fixture f;
+  GtsOptions opts;
+  opts.dispatch.min_active_edges = 1;
+  GtsEngine engine(&f.paged, f.store.get(), f.Machine(), opts);
+  auto bfs = RunBfsGts(engine, f.Source());
+  ASSERT_TRUE(bfs.ok());
+  const auto& snapshot = bfs->report.snapshot;
+  ASSERT_TRUE(snapshot.count("dispatch.skipped_pages"));
+  EXPECT_EQ(snapshot.at("dispatch.skipped_pages").count,
+            bfs->report.metrics.pages_skipped);
+}
+
+/// Full scans have no frontier, so the threshold must be a no-op there.
+TEST(DispatchAdmissionTest, ThresholdIgnoredOnFullScans) {
+  Fixture f;
+  GtsOptions opts;
+  opts.dispatch.min_active_edges = 1;
+  GtsEngine engine(&f.paged, f.store.get(), f.Machine(), opts);
+  auto pr = RunPageRankGts(engine, {.iterations = 1});
+  ASSERT_TRUE(pr.ok());
+  EXPECT_EQ(pr->report.metrics.pages_skipped, 0u);
 }
 
 TEST(DispatchMetricsTest, DispatchCountersAppearInSnapshot) {

@@ -62,6 +62,49 @@ TEST(PidSetTest, ByteSizeCoversAllPages) {
   EXPECT_EQ(above.ByteSize(), 16u);
 }
 
+TEST(PidSetTest, WeightedSetAccumulatesActiveEdges) {
+  PidSet set(16);
+  set.EnableCounting();
+  // Three activations with out-degrees 5, 0 and 2: the page holds 7
+  // active edges, not 3 active vertices.
+  set.Set(3, 5);
+  set.Set(3, 0);
+  set.Set(3, 2);
+  EXPECT_EQ(set.CountOf(3), 7u);
+  // A zero-weight activation (sink vertex) still joins the frontier: the
+  // page must be streamed -- unless an admission threshold cuts it, which
+  // is exact precisely because its count stays zero.
+  set.Set(9, 0);
+  EXPECT_TRUE(set.Test(9));
+  EXPECT_EQ(set.CountOf(9), 0u);
+  // The unweighted overload remains the count-by-one it always was.
+  set.Set(11);
+  EXPECT_EQ(set.CountOf(11), 1u);
+}
+
+TEST(PidSetTest, WeightedSetWithoutCountingIsMembershipOnly) {
+  PidSet set(8);
+  set.Set(2, 40);
+  EXPECT_TRUE(set.Test(2));
+  EXPECT_EQ(set.CountOf(2), 0u);
+}
+
+TEST(PidSetTest, ConcurrentWeightedSetsSumExactly) {
+  constexpr size_t kPages = 64;
+  PidSet set(kPages);
+  set.EnableCounting();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&set] {
+      for (PageId pid = 0; pid < kPages; ++pid) set.Set(pid, pid);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (PageId pid = 0; pid < kPages; ++pid) {
+    ASSERT_EQ(set.CountOf(pid), 4 * pid) << pid;
+  }
+}
+
 TEST(PidSetTest, ConcurrentSetsAreAllVisible) {
   constexpr size_t kPages = 4096;
   PidSet set(kPages);

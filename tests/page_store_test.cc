@@ -350,73 +350,58 @@ TEST(PageCacheTest, PinnedPolicyFullInsertIsScanResistantNotBackpressure) {
   EXPECT_EQ(cache.insert_backpressure(), 0u);
 }
 
-// ------------------------------------------------- PlanReads coalescing
+// ------------------------------- staging primitives (io-engine hooks)
 
-TEST(PlanReadsTest, SequentialPlanDropsAccessLatency) {
+TEST(StagingTest, StageFromDeviceCountsReadWithoutHit) {
   PagedGraph paged = SmallPagedGraph();
-  // Tiny MMBuf: every fetch misses, so the plan governs every read.
-  auto store = MakeSsdStore(&paged, 1, /*buffer_capacity=*/paged.config().page_size);
-  const uint64_t page_size = paged.config().page_size;
-  const DeviceTimingParams& timing = store->device(0).timing();
+  auto store = MakeSsdStore(&paged, 1, /*buffer_capacity=*/64 * kMiB);
 
-  // Ascending pids on one device are ascending offsets: every read after
-  // the first continues the previous one and pays transfer time only.
-  store->PlanReads({0, 1, 2, 3});
-  auto first = store->Fetch(0);
-  ASSERT_TRUE(first.ok());
-  EXPECT_DOUBLE_EQ(first->io_cost, timing.ReadCost(page_size));
-  auto second = store->Fetch(1);
-  ASSERT_TRUE(second.ok());
-  EXPECT_DOUBLE_EQ(second->io_cost, timing.SequentialReadCost(page_size));
-  EXPECT_LT(second->io_cost, first->io_cost);
-  EXPECT_EQ(store->stats().coalesced_reads, 1u);
+  EXPECT_FALSE(store->Resident(0));
+  ASSERT_TRUE(store->StageFromDevice(0).ok());
+  EXPECT_TRUE(store->Resident(0));
+  EXPECT_EQ(store->stats().device_reads, 1u);
+  EXPECT_EQ(store->stats().bytes_read, paged.config().page_size);
+  EXPECT_EQ(store->stats().buffer_hits, 0u);
+
+  // Staging an already-resident page is a caller bug.
+  EXPECT_FALSE(store->StageFromDevice(0).ok());
+
+  // A fetch after staging is a plain buffer hit: no second device read.
+  auto hit = store->Fetch(0);
+  ASSERT_TRUE(hit.ok());
+  EXPECT_TRUE(hit->buffer_hit);
+  EXPECT_EQ(store->stats().device_reads, 1u);
+  EXPECT_EQ(store->stats().buffer_hits, 1u);
 }
 
-TEST(PlanReadsTest, GapsAndUnplannedFetchesPayFullCost) {
+TEST(StagingTest, TouchResidentRefreshesLruWithoutCounting) {
   PagedGraph paged = SmallPagedGraph();
-  auto store = MakeSsdStore(&paged, 1, /*buffer_capacity=*/paged.config().page_size);
-  const uint64_t page_size = paged.config().page_size;
-  const DeviceTimingParams& timing = store->device(0).timing();
+  ASSERT_GE(paged.num_pages(), 3u);
+  // MMBuf holds exactly two pages.
+  auto store =
+      MakeSsdStore(&paged, 1, /*buffer_capacity=*/2 * paged.config().page_size);
+  ASSERT_TRUE(store->StageFromDevice(0).ok());
+  ASSERT_TRUE(store->StageFromDevice(1).ok());
 
-  // Page 5 does not continue page 2: it seeks, so full cost.
-  store->PlanReads({2, 5, 6});
-  ASSERT_TRUE(store->Fetch(2).ok());
-  auto gap = store->Fetch(5);
-  ASSERT_TRUE(gap.ok());
-  EXPECT_DOUBLE_EQ(gap->io_cost, timing.ReadCost(page_size));
-  auto contiguous = store->Fetch(6);
-  ASSERT_TRUE(contiguous.ok());
-  EXPECT_DOUBLE_EQ(contiguous->io_cost, timing.SequentialReadCost(page_size));
-
-  // A page outside the plan always pays the full per-request cost.
-  auto unplanned = store->Fetch(9);
-  ASSERT_TRUE(unplanned.ok());
-  EXPECT_DOUBLE_EQ(unplanned->io_cost, timing.ReadCost(page_size));
+  EXPECT_EQ(store->TouchResident(2), nullptr);  // not resident
+  // Touch 0 so it becomes most recent; staging 2 then evicts 1, not 0.
+  EXPECT_NE(store->TouchResident(0), nullptr);
+  ASSERT_TRUE(store->StageFromDevice(2).ok());
+  EXPECT_TRUE(store->Resident(0));
+  EXPECT_FALSE(store->Resident(1));
+  // Touches bump no hit counter (the io engine counts its completions).
+  EXPECT_EQ(store->stats().buffer_hits, 0u);
 }
 
-TEST(PlanReadsTest, PlanIsPerDeviceAndSkipsBufferedPages) {
+TEST(StagingTest, FetchMissPaysFullReadCost) {
   PagedGraph paged = SmallPagedGraph();
-  ASSERT_GE(paged.num_pages(), 6u);
-  auto store = MakeSsdStore(&paged, 2, /*buffer_capacity=*/64 * kMiB);
+  auto store = MakeSsdStore(&paged, 1, /*buffer_capacity=*/64 * kMiB);
   const uint64_t page_size = paged.config().page_size;
-
-  // Warm pages 0 and 1 into MMBuf; the next plan must look through them:
-  // on device 0 the stream 0,2,4 is offsets 0,1,2 -- with 0 buffered, 2
-  // does not continue anything, but 4 continues 2.
-  ASSERT_TRUE(store->Fetch(0).ok());
-  ASSERT_TRUE(store->Fetch(1).ok());
-  store->PlanReads({0, 2, 4, 1, 3, 5});
-  EXPECT_DOUBLE_EQ(store->Fetch(2)->io_cost,
+  auto miss = store->Fetch(3);
+  ASSERT_TRUE(miss.ok());
+  EXPECT_FALSE(miss->buffer_hit);
+  EXPECT_DOUBLE_EQ(miss->io_cost,
                    store->device(0).timing().ReadCost(page_size));
-  EXPECT_DOUBLE_EQ(store->Fetch(4)->io_cost,
-                   store->device(0).timing().SequentialReadCost(page_size));
-  // Device 1 interleaves independently: 3 continues 1's stripe position
-  // only if 1 missed, but 1 was buffered, so 3 pays full and 5 coalesces.
-  EXPECT_DOUBLE_EQ(store->Fetch(3)->io_cost,
-                   store->device(1).timing().ReadCost(page_size));
-  EXPECT_DOUBLE_EQ(store->Fetch(5)->io_cost,
-                   store->device(1).timing().SequentialReadCost(page_size));
-  EXPECT_EQ(store->stats().coalesced_reads, 2u);
 }
 
 }  // namespace

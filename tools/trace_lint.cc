@@ -10,7 +10,10 @@
 //      lanes never span runs);
 //   4. kernel-lane tids never exceed the simulator's concurrency cap of
 //      32 resident kernels per GPU (TimeModel::max_concurrent_kernels),
-//      i.e. cat=="kernel" implies 1 <= tid <= 32.
+//      i.e. cat=="kernel" implies 1 <= tid <= 32;
+//   5. io-queue lane events (cat=="io", the "queued" spans the exporter
+//      emits for storage requests that waited in a device queue) are
+//      X events confined to the io lanes, i.e. tid >= 1000.
 //
 // Usage: trace_lint FILE.json
 #include <cctype>
@@ -229,6 +232,10 @@ class JsonParser {
 /// tid 1..cap within a GPU process.
 constexpr int kMaxKernelLanes = 32;
 
+/// First io-queue lane tid within a storage process (mirrors the
+/// exporter's kIoQueueLaneBase in src/obs/trace.cc).
+constexpr int kIoQueueLaneBase = 1000;
+
 int Violation(size_t index, const std::string& message) {
   std::fprintf(stderr, "trace_lint: event %zu: %s\n", index, message.c_str());
   return 1;
@@ -310,6 +317,18 @@ int LintTrace(const JsonValue& root) {
         return Violation(i, "kernel lane tid " + std::to_string(lane_tid) +
                                 " outside [1, " +
                                 std::to_string(kMaxKernelLanes) + "]");
+      }
+    }
+    if (cat != nullptr && cat->kind == JsonValue::Kind::kString &&
+        cat->str == "io") {
+      if (phase != 'X') {
+        return Violation(i, "io event must be an X span");
+      }
+      if (static_cast<int>(tid) < kIoQueueLaneBase) {
+        return Violation(i, "io event tid " +
+                                std::to_string(static_cast<int>(tid)) +
+                                " below the io-queue lane base " +
+                                std::to_string(kIoQueueLaneBase));
       }
     }
     ++data_events;
