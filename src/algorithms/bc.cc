@@ -37,8 +37,8 @@ inline void ForwardExpand(KernelContext& ctx, uint64_t* wa, float src_sigma,
                           uint64_t* updates) {
   const VertexId adj_vid = ctx.rvt->ToVid(rid);
   if (!ctx.OwnsVertex(adj_vid)) return;
-  std::atomic_ref<uint64_t> ref(wa[adj_vid - ctx.wa_begin]);
-  uint64_t observed = ref.load(std::memory_order_relaxed);
+  uint64_t& word = wa[adj_vid - ctx.wa_begin];
+  uint64_t observed = ctx.WaLoad(word);
   for (;;) {
     BcForwardKernel::Entry cur;
     std::memcpy(&cur, &observed, sizeof(cur));
@@ -50,8 +50,7 @@ inline void ForwardExpand(KernelContext& ctx, uint64_t* wa, float src_sigma,
                                        src_sigma};
     uint64_t desired;
     std::memcpy(&desired, &updated, sizeof(desired));
-    if (ref.compare_exchange_weak(observed, desired,
-                                  std::memory_order_relaxed)) {
+    if (ctx.WaCasWeak(word, observed, desired)) {
       ctx.MarkActivated(rid, adj_vid);
       ++*updates;
       return;
@@ -73,7 +72,7 @@ WorkStats BcForwardKernel::RunSp(const PageView& page, KernelContext& ctx) {
       /*active=*/
       [&](VertexId vid, uint32_t slot) {
         Entry e;
-        const uint64_t bits = KernelContext::WaLoad(wa[vid - ctx.wa_begin]);
+        const uint64_t bits = ctx.WaLoad(wa[vid - ctx.wa_begin]);
         std::memcpy(&e, &bits, sizeof(e));
         slot_sigma[slot] = e.sigma;
         return e.level == ctx.cur_level;
@@ -90,7 +89,7 @@ WorkStats BcForwardKernel::RunLp(const PageView& page, KernelContext& ctx) {
   auto* wa = ctx.WaAs<uint64_t>();
   const VertexId vid = page.slot_vid(0);
   Entry e;
-  const uint64_t bits = KernelContext::WaLoad(wa[vid - ctx.wa_begin]);
+  const uint64_t bits = ctx.WaLoad(wa[vid - ctx.wa_begin]);
   std::memcpy(&e, &bits, sizeof(e));
   const bool active = e.level == ctx.cur_level;
   const uint32_t next_level = ctx.cur_level + 1;
@@ -134,17 +133,20 @@ WorkStats BcBackwardKernel::RunSp(const PageView& page, KernelContext& ctx) {
       page, ctx.micro, page.slot_vid(0),
       /*active=*/
       [&](VertexId vid, uint32_t) {
-        return entries[vid - ctx.wa_begin].level == ctx.cur_level;
+        return ctx.WaRead(entries[vid - ctx.wa_begin].level) == ctx.cur_level;
       },
       /*edge_fn=*/
       [&](VertexId vid, uint32_t, uint32_t, const RecordId& rid) {
         const VertexId adj_vid = ctx.rvt->ToVid(rid);
         Entry& mine = entries[vid - ctx.wa_begin];
-        const Entry& succ = entries[adj_vid - ctx.wa_begin];
-        if (succ.level == ctx.cur_level + 1 && succ.sigma > 0.0f) {
+        Entry& succ = entries[adj_vid - ctx.wa_begin];
+        const float succ_sigma = ctx.WaRead(succ.sigma);
+        if (ctx.WaRead(succ.level) == ctx.cur_level + 1 && succ_sigma > 0.0f) {
           // Own slot: no concurrent writer for SP records (one record per
           // vertex); plain add is safe.
-          mine.delta += mine.sigma / succ.sigma * (1.0f + succ.delta);
+          const float add = ctx.WaRead(mine.sigma) / succ_sigma *
+                            (1.0f + ctx.WaRead(succ.delta));
+          ctx.WaStore(mine.delta, ctx.WaRead(mine.delta) + add);
         }
       });
 }
@@ -153,17 +155,18 @@ WorkStats BcBackwardKernel::RunLp(const PageView& page, KernelContext& ctx) {
   auto* entries = reinterpret_cast<Entry*>(ctx.wa);
   const VertexId vid = page.slot_vid(0);
   Entry& mine = entries[vid - ctx.wa_begin];
-  const bool active = mine.level == ctx.cur_level;
+  const bool active = ctx.WaRead(mine.level) == ctx.cur_level;
 
   return ProcessLpPage(
       page, vid, active, [&](VertexId, uint32_t, const RecordId& rid) {
         const VertexId adj_vid = ctx.rvt->ToVid(rid);
-        const Entry& succ = entries[adj_vid - ctx.wa_begin];
-        if (succ.level == ctx.cur_level + 1 && succ.sigma > 0.0f) {
+        Entry& succ = entries[adj_vid - ctx.wa_begin];
+        const float succ_sigma = ctx.WaRead(succ.sigma);
+        if (ctx.WaRead(succ.level) == ctx.cur_level + 1 && succ_sigma > 0.0f) {
           // LP chunks of one vertex may run on different streams.
-          const float add = mine.sigma / succ.sigma * (1.0f + succ.delta);
-          std::atomic_ref<float> ref(mine.delta);
-          ref.fetch_add(add, std::memory_order_relaxed);
+          const float add = ctx.WaRead(mine.sigma) / succ_sigma *
+                            (1.0f + ctx.WaRead(succ.delta));
+          ctx.WaFetchAdd(mine.delta, add);
         }
       });
 }

@@ -36,11 +36,10 @@ inline void ExpandEdge(KernelContext& ctx, uint16_t* lv, uint16_t next_level,
                        const RecordId& rid, uint64_t* updates) {
   const VertexId adj_vid = ctx.rvt->ToVid(rid);
   if (!ctx.OwnsVertex(adj_vid)) return;
-  std::atomic_ref<uint16_t> ref(lv[adj_vid - ctx.wa_begin]);
+  uint16_t& word = lv[adj_vid - ctx.wa_begin];
   uint16_t expected = BfsKernel::kUnvisited;
-  if (ref.load(std::memory_order_relaxed) == BfsKernel::kUnvisited &&
-      ref.compare_exchange_strong(expected, next_level,
-                                  std::memory_order_relaxed)) {
+  if (ctx.WaLoad(word) == BfsKernel::kUnvisited &&
+      ctx.WaCas(word, expected, next_level)) {
     ctx.MarkActivated(rid, adj_vid);
     ++*updates;
   }
@@ -61,7 +60,7 @@ WorkStats BfsKernel::RunSp(const PageView& page, KernelContext& ctx) {
       page, ctx.micro, start_vid,
       /*active=*/
       [&](VertexId vid, uint32_t) {
-        return KernelContext::WaLoad(lv[vid - ctx.wa_begin]) == cur;
+        return ctx.WaLoad(lv[vid - ctx.wa_begin]) == cur;
       },
       /*edge_fn=*/
       [&](VertexId, uint32_t, uint32_t, const RecordId& rid) {
@@ -77,7 +76,7 @@ WorkStats BfsKernel::RunLp(const PageView& page, KernelContext& ctx) {
   const auto next = static_cast<uint16_t>(
       std::min<uint32_t>(ctx.cur_level + 1, kUnvisited - 1));
   const VertexId vid = page.slot_vid(0);
-  const bool active = KernelContext::WaLoad(lv[vid - ctx.wa_begin]) == cur;
+  const bool active = ctx.WaLoad(lv[vid - ctx.wa_begin]) == cur;
 
   uint64_t updates = 0;
   WorkStats stats = ProcessLpPage(page, vid, active,

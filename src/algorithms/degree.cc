@@ -27,7 +27,8 @@ WorkStats DegreeKernel::RunSp(const PageView& page, KernelContext& ctx) {
   for (uint32_t s = 0; s < n; ++s) {
     const VertexId vid = page.slot_vid(s);
     if (!ctx.OwnsVertex(vid)) continue;
-    wa[vid - ctx.wa_begin] = page.adjlist_size(s);
+    // Own slot (one SP record per vertex): plain store is safe.
+    ctx.WaStore(wa[vid - ctx.wa_begin], page.adjlist_size(s));
     ++stats.wa_updates;
   }
   stats.active_vertices = n;
@@ -43,8 +44,7 @@ WorkStats DegreeKernel::RunLp(const PageView& page, KernelContext& ctx) {
   if (ctx.OwnsVertex(vid)) {
     // Chunks of one vertex may execute concurrently on different streams.
     auto* wa = ctx.WaAs<uint32_t>();
-    std::atomic_ref<uint32_t> ref(wa[vid - ctx.wa_begin]);
-    ref.fetch_add(page.adjlist_size(0), std::memory_order_relaxed);
+    ctx.WaFetchAdd(wa[vid - ctx.wa_begin], page.adjlist_size(0));
     ++stats.wa_updates;
   }
   stats.active_vertices = 1;

@@ -34,8 +34,7 @@ inline void DecrementNeighbor(KernelContext& ctx, uint32_t* wa,
                               const RecordId& rid, uint64_t* updates) {
   const VertexId adj_vid = ctx.rvt->ToVid(rid);
   if (!ctx.OwnsVertex(adj_vid)) return;
-  std::atomic_ref<uint32_t> ref(wa[adj_vid - ctx.wa_begin]);
-  ref.fetch_add(1, std::memory_order_relaxed);
+  ctx.WaFetchAdd(wa[adj_vid - ctx.wa_begin], uint32_t{1});
   ++*updates;
 }
 }  // namespace

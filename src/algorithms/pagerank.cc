@@ -44,8 +44,7 @@ inline void Contribute(KernelContext& ctx, float* next_pr, float share,
                        const RecordId& rid, uint64_t* updates) {
   const VertexId adj_vid = ctx.rvt->ToVid(rid);
   if (!ctx.OwnsVertex(adj_vid)) return;  // Strategy-S: not our chunk
-  std::atomic_ref<float> ref(next_pr[adj_vid - ctx.wa_begin]);
-  ref.fetch_add(share, std::memory_order_relaxed);
+  ctx.WaFetchAdd(next_pr[adj_vid - ctx.wa_begin], share);
   ++*updates;
 }
 }  // namespace

@@ -65,8 +65,7 @@ inline void OrMerge(KernelContext& ctx, uint64_t* wa,
   if (!ctx.OwnsVertex(adj_vid)) return;
   uint64_t* target = wa + (adj_vid - ctx.wa_begin) * kRadiusSketches;
   for (int t = 0; t < kRadiusSketches; ++t) {
-    std::atomic_ref<uint64_t> ref(target[t]);
-    ref.fetch_or(src.bits[t], std::memory_order_relaxed);
+    ctx.WaFetchOr(target[t], src.bits[t]);
   }
   ++*updates;
 }

@@ -42,8 +42,7 @@ inline void Walk(KernelContext& ctx, float* wa, float share,
                  const RecordId& rid, uint64_t* updates) {
   const VertexId adj_vid = ctx.rvt->ToVid(rid);
   if (!ctx.OwnsVertex(adj_vid)) return;
-  std::atomic_ref<float> ref(wa[adj_vid - ctx.wa_begin]);
-  ref.fetch_add(share, std::memory_order_relaxed);
+  ctx.WaFetchAdd(wa[adj_vid - ctx.wa_begin], share);
   ++*updates;
 }
 }  // namespace

@@ -56,8 +56,8 @@ inline void Relax(KernelContext& ctx, uint64_t* wa, VertexId src_vid,
   if (!ctx.OwnsVertex(adj_vid)) return;
   const float nd =
       src_dist + static_cast<float>(EdgeWeight(src_vid, adj_vid));
-  std::atomic_ref<uint64_t> ref(wa[adj_vid - ctx.wa_begin]);
-  uint64_t observed = ref.load(std::memory_order_relaxed);
+  uint64_t& word = wa[adj_vid - ctx.wa_begin];
+  uint64_t observed = ctx.WaLoad(word);
   for (;;) {
     SsspKernel::Entry cur;
     std::memcpy(&cur, &observed, sizeof(cur));
@@ -65,8 +65,7 @@ inline void Relax(KernelContext& ctx, uint64_t* wa, VertexId src_vid,
     SsspKernel::Entry updated{nd, next_level};
     uint64_t desired;
     std::memcpy(&desired, &updated, sizeof(desired));
-    if (ref.compare_exchange_weak(observed, desired,
-                                  std::memory_order_relaxed)) {
+    if (ctx.WaCasWeak(word, observed, desired)) {
       ctx.MarkActivated(rid, adj_vid);
       ++*updates;
       return;
@@ -90,7 +89,7 @@ WorkStats SsspKernel::RunSp(const PageView& page, KernelContext& ctx) {
       page, ctx.micro, start_vid,
       /*active=*/
       [&](VertexId vid, uint32_t slot) {
-        const Entry e = Unpack(KernelContext::WaLoad(wa[vid - ctx.wa_begin]));
+        const Entry e = Unpack(ctx.WaLoad(wa[vid - ctx.wa_begin]));
         slot_dist[slot] = e.dist;
         return e.level == ctx.cur_level;
       },
@@ -105,7 +104,7 @@ WorkStats SsspKernel::RunSp(const PageView& page, KernelContext& ctx) {
 WorkStats SsspKernel::RunLp(const PageView& page, KernelContext& ctx) {
   auto* wa = ctx.WaAs<uint64_t>();
   const VertexId vid = page.slot_vid(0);
-  const Entry e = Unpack(KernelContext::WaLoad(wa[vid - ctx.wa_begin]));
+  const Entry e = Unpack(ctx.WaLoad(wa[vid - ctx.wa_begin]));
   const bool active = e.level == ctx.cur_level;
   const uint32_t next_level = ctx.cur_level + 1;
 

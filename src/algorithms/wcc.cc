@@ -47,11 +47,10 @@ inline void PropagateMin(KernelContext& ctx, uint64_t* wa, uint64_t label,
                          const RecordId& rid, uint64_t* updates) {
   const VertexId adj_vid = ctx.rvt->ToVid(rid);
   if (!ctx.OwnsVertex(adj_vid)) return;
-  std::atomic_ref<uint64_t> ref(wa[adj_vid - ctx.wa_begin]);
-  uint64_t observed = ref.load(std::memory_order_relaxed);
+  uint64_t& word = wa[adj_vid - ctx.wa_begin];
+  uint64_t observed = ctx.WaLoad(word);
   while (label < observed) {
-    if (ref.compare_exchange_weak(observed, label,
-                                  std::memory_order_relaxed)) {
+    if (ctx.WaCasWeak(word, observed, label)) {
       ++*updates;
       return;
     }

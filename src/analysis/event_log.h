@@ -1,0 +1,78 @@
+// Lightweight sequence-numbered event logs that feed the ScheduleValidator.
+//
+// Two producers record into these logs during a run:
+//   - PageCache (pin lifecycle: pinned / released / evicted / inserted),
+//     from the dispatch loop and the stream worker threads;
+//   - the gts::io layer (request lifecycle: submit at DeviceQueue::Submit,
+//     issue at DeviceQueue::IssueNext, deliver when IoEngine::Acquire hands
+//     the bytes to the engine), host-side only.
+//
+// The logs are deliberately dumb: a mutex-guarded append with a per-log
+// sequence number. Ordering semantics live in the validator
+// (ScheduleValidator::CheckPinEvents / CheckIoEvents); keeping the
+// producers free of policy means a seeded test can synthesize any event
+// sequence. This header stays light (no gpu/ or obs/ includes) so
+// PageCache and DeviceQueue can depend on it without layering cycles.
+#ifndef GTS_ANALYSIS_EVENT_LOG_H_
+#define GTS_ANALYSIS_EVENT_LOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gts {
+namespace analysis {
+
+/// One PageCache pin-lifecycle event.
+struct PinEvent {
+  enum class Kind : uint8_t { kPinned, kReleased, kEvicted, kInserted };
+  Kind kind = Kind::kPinned;
+  PageId pid = kInvalidPageId;
+  uint64_t seq = 0;  ///< log-global order (assigned by the log)
+};
+
+/// One gts::io request-lifecycle event.
+struct IoEvent {
+  enum class Kind : uint8_t { kSubmit, kIssue, kDeliver };
+  Kind kind = Kind::kSubmit;
+  PageId pid = kInvalidPageId;
+  uint64_t seq = 0;
+};
+
+/// Thread-safe appender; Take() drains (one validator read per run).
+template <typename Event>
+class EventLog {
+ public:
+  void Append(typename Event::Kind kind, PageId pid) {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(Event{kind, pid, seq_++});
+  }
+
+  std::vector<Event> Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Event> out = std::move(events_);
+    events_.clear();
+    return out;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.clear();
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<Event> events_;
+  uint64_t seq_ = 0;
+};
+
+using PinEventLog = EventLog<PinEvent>;
+using IoEventLog = EventLog<IoEvent>;
+
+}  // namespace analysis
+}  // namespace gts
+
+#endif  // GTS_ANALYSIS_EVENT_LOG_H_

@@ -1,0 +1,78 @@
+#include "analysis/race_report.h"
+
+#include <sstream>
+
+namespace gts {
+namespace analysis {
+
+std::string_view AccessClassName(AccessClass cls) {
+  switch (cls) {
+    case AccessClass::kPlainRead:
+      return "plain-read";
+    case AccessClass::kPlainWrite:
+      return "plain-write";
+    case AccessClass::kAtomicRead:
+      return "atomic-read";
+    case AccessClass::kAtomicWrite:
+      return "atomic-write";
+  }
+  return "?";
+}
+
+namespace {
+
+void AppendAccess(std::ostringstream& os, const RaceAccess& a) {
+  os << a.lane << " (stream_key " << a.stream_key << ") "
+     << AccessClassName(a.cls);
+  if (a.page != kInvalidPageId) os << " while processing pid " << a.page;
+  if (a.op != gpu::kNoOp) os << " in op #" << a.op;
+  if (a.sim_time >= 0.0) os << " @" << a.sim_time << "s";
+}
+
+}  // namespace
+
+std::string Race::ToString() const {
+  std::ostringstream os;
+  os << "race on " << domain << "+" << offset;
+  if (size > 0) os << " (" << size << "B)";
+  os << ": ";
+  AppendAccess(os, first);
+  os << "  vs  ";
+  AppendAccess(os, second);
+  return os.str();
+}
+
+std::string ScheduleViolation::ToString() const {
+  std::ostringstream os;
+  os << "schedule violation [" << rule << "]";
+  if (op != gpu::kNoOp) os << " op #" << op;
+  os << ": " << detail;
+  return os.str();
+}
+
+void RaceReport::Accumulate(const RaceReport& other) {
+  race_check_ran |= other.race_check_ran;
+  validator_ran |= other.validator_ran;
+  wa_accesses += other.wa_accesses;
+  races_detected += other.races_detected;
+  schedule_checks += other.schedule_checks;
+  violations_detected += other.violations_detected;
+  races.insert(races.end(), other.races.begin(), other.races.end());
+  violations.insert(violations.end(), other.violations.begin(),
+                    other.violations.end());
+}
+
+std::string RaceReport::ToString() const {
+  std::ostringstream os;
+  os << "analysis: " << races_detected << " race(s), " << violations_detected
+     << " schedule violation(s), " << wa_accesses << " instrumented accesses, "
+     << schedule_checks << " schedule checks\n";
+  for (const Race& r : races) os << "  " << r.ToString() << "\n";
+  for (const ScheduleViolation& v : violations) {
+    os << "  " << v.ToString() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace analysis
+}  // namespace gts

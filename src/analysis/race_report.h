@@ -1,0 +1,101 @@
+// The gts::analysis result block: per-run race diagnostics from the
+// happens-before detector plus schedule-invariant violations from the
+// ScheduleValidator. One RaceReport rides inside RunMetrics (and therefore
+// through RunMetrics::Accumulate into RunReport), so loop drivers get the
+// union of every pass's findings for free.
+#ifndef GTS_ANALYSIS_RACE_REPORT_H_
+#define GTS_ANALYSIS_RACE_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gpu/schedule.h"
+#include "graph/types.h"
+
+namespace gts {
+namespace analysis {
+
+/// How an access participates in the C++-style conflict matrix lifted to
+/// the simulated schedule: two accesses to the same shadow cell race iff
+/// at least one is a write, they are not ordered by happens-before, and
+/// they are NOT both atomic.
+enum class AccessClass : uint8_t {
+  kPlainRead = 0,
+  kPlainWrite = 1,
+  kAtomicRead = 2,
+  kAtomicWrite = 3,
+};
+
+std::string_view AccessClassName(AccessClass cls);
+
+inline bool IsWrite(AccessClass cls) {
+  return cls == AccessClass::kPlainWrite || cls == AccessClass::kAtomicWrite;
+}
+inline bool IsAtomic(AccessClass cls) {
+  return cls == AccessClass::kAtomicRead || cls == AccessClass::kAtomicWrite;
+}
+
+/// One side of a detected race, with enough identity for a diagnostic:
+/// which logical lane (stream/copy/host/...), which recorded timeline op
+/// it ran under, which topology page the kernel was processing, and --
+/// after ResolveTimestamps() -- the op's simulated start time.
+struct RaceAccess {
+  std::string lane;                  ///< e.g. "gpu0.stream3", "host"
+  int stream_key = -1;               ///< simulator stream key; -1 for host
+  AccessClass cls = AccessClass::kPlainRead;
+  gpu::OpIndex op = gpu::kNoOp;      ///< enclosing recorded timeline op
+  PageId page = kInvalidPageId;      ///< page being processed (if any)
+  double sim_time = -1.0;            ///< op's simulated start; -1 unresolved
+};
+
+/// Two conflicting, unordered accesses to one shadow cell.
+struct Race {
+  /// Shadow domain: WA domains are "gpu<g>.wa" / "cpu.wa"; page-granule
+  /// domains are "mmbuf" and "gpu<g>.cache".
+  std::string domain;
+  uint64_t offset = 0;   ///< byte offset of the granule (WA) or page id
+  uint32_t size = 0;     ///< granule size in bytes (0 for page cells)
+  RaceAccess first;      ///< the older access (recorded in shadow state)
+  RaceAccess second;     ///< the access that tripped the check
+
+  std::string ToString() const;
+};
+
+/// One impossible-timeline finding from the ScheduleValidator.
+struct ScheduleViolation {
+  std::string rule;      ///< e.g. "serial-overlap", "dep-order"
+  std::string detail;
+  gpu::OpIndex op = gpu::kNoOp;  ///< offending op (kNoOp for event rules)
+
+  std::string ToString() const;
+};
+
+/// Per-run analysis outcome. Counters are exact; the diagnostic vectors
+/// are capped at AnalysisOptions::max_reported entries each.
+struct RaceReport {
+  bool race_check_ran = false;   ///< detector compiled in and enabled
+  bool validator_ran = false;
+
+  uint64_t wa_accesses = 0;      ///< instrumented accesses observed
+  uint64_t races_detected = 0;   ///< conflicts found (>= races.size())
+  uint64_t schedule_checks = 0;  ///< validator rule evaluations
+  uint64_t violations_detected = 0;
+
+  std::vector<Race> races;
+  std::vector<ScheduleViolation> violations;
+
+  bool clean() const { return races_detected == 0 && violations_detected == 0; }
+
+  /// Folds another pass's report into this one (counters sum, flags OR,
+  /// diagnostics append; callers cap presentation, not storage).
+  void Accumulate(const RaceReport& other);
+
+  /// Multi-line human-readable summary of every stored finding.
+  std::string ToString() const;
+};
+
+}  // namespace analysis
+}  // namespace gts
+
+#endif  // GTS_ANALYSIS_RACE_REPORT_H_

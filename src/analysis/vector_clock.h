@@ -1,0 +1,53 @@
+// A dense vector clock over the detector's logical lanes.
+//
+// Lane ids are small consecutive integers handed out by the RaceDetector's
+// lane registry (host, per-(gpu,stream) lanes, per-GPU copy-engine lanes,
+// per-storage-device lanes, host-CPU co-processing lanes), so a plain
+// vector indexed by lane id is both the fastest and the simplest
+// representation. Components default to 0: a lane that never interacted
+// is "before everything".
+#ifndef GTS_ANALYSIS_VECTOR_CLOCK_H_
+#define GTS_ANALYSIS_VECTOR_CLOCK_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gts {
+namespace analysis {
+
+class VectorClock {
+ public:
+  /// The component for `lane`; 0 if never set.
+  uint64_t Get(size_t lane) const {
+    return lane < t_.size() ? t_[lane] : 0;
+  }
+
+  void Set(size_t lane, uint64_t value) {
+    if (lane >= t_.size()) t_.resize(lane + 1, 0);
+    t_[lane] = value;
+  }
+
+  /// Advances this lane's own component by one (a new logical operation).
+  void Tick(size_t lane) { Set(lane, Get(lane) + 1); }
+
+  /// Component-wise max: afterwards everything `other` has seen
+  /// happens-before this clock's current point.
+  void Join(const VectorClock& other) {
+    if (other.t_.size() > t_.size()) t_.resize(other.t_.size(), 0);
+    for (size_t i = 0; i < other.t_.size(); ++i) {
+      t_[i] = std::max(t_[i], other.t_[i]);
+    }
+  }
+
+  size_t size() const { return t_.size(); }
+
+ private:
+  std::vector<uint64_t> t_;
+};
+
+}  // namespace analysis
+}  // namespace gts
+
+#endif  // GTS_ANALYSIS_VECTOR_CLOCK_H_

@@ -37,7 +37,7 @@ std::string_view StatusCodeToString(StatusCode code);
 /// The OK status carries no allocation; error statuses carry a code and a
 /// human-readable message. Functions that can fail return `Status` (or
 /// `Result<T>` when they also produce a value).
-class Status {
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
 
@@ -114,7 +114,7 @@ std::ostream& operator<<(std::ostream& os, const Status& status);
 
 /// A value of type T, or a Status describing why it could not be produced.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit construction from a value or an error Status mirrors
   /// arrow::Result and keeps call sites terse.

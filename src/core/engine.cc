@@ -127,6 +127,13 @@ GtsEngine::GtsEngine(const PagedGraph* graph, PageStore* store,
       graph_, store_, options_.io,
       [this](const gpu::TimelineOp& op) { return RecordOp(op); },
       registry_.get());
+  io_->BindEventLog(&io_events_);
+#if GTS_RACE_CHECK_ENABLED
+  if (options_.analysis.race_check) {
+    race_ = std::make_unique<analysis::RaceDetector>(
+        options_.analysis.max_reported);
+  }
+#endif
   if (options_.dispatch.min_active_edges > 0) {
     // Touch the counter up front so snapshot keys don't depend on whether
     // a run actually skipped anything.
@@ -231,6 +238,7 @@ Status GtsEngine::SetupBuffers(GtsKernel* kernel) {
       gpu.cache = std::make_unique<PageCache>(
           gpu.device.get(), cache_bytes, page_size, options_.cache_policy,
           registry_.get(), "cache.gpu" + std::to_string(g));
+      gpu.cache->BindPinLog(&pin_events_);
     }
     if (traversal) {
       gpu.local_next = std::make_unique<PidSet>(graph_->num_pages());
@@ -311,6 +319,19 @@ Status GtsEngine::ProcessPageOnCpu(GtsKernel* kernel, PageId pid,
   const int lane = cpu_->rr;
   cpu_->rr = (cpu_->rr + 1) % tm.cpu_worker_threads;
 
+  // Recorded before execution (duration patched in afterwards, like the
+  // GPU path) so the op index exists for race-site attribution. Trace
+  // order is unchanged: nothing else records between the two calls on
+  // this thread, and stream workers only patch.
+  gpu::TimelineOp kop;
+  kop.kind = gpu::OpKind::kKernel;
+  kop.stream_key = (1 << 20) + lane;  // dedicated CPU lanes
+  kop.resource = {gpu::ResourceId::Type::kHostCpuPool, 0};
+  kop.dep0 = fetch_dep;
+  kop.page = pid;
+  kop.duration = 0.0;
+  const gpu::OpIndex kidx = RecordOp(kop);
+
   KernelContext ctx;
   ctx.rvt = &graph_->rvt();
   ctx.wa = cpu_->wa.data();
@@ -328,24 +349,36 @@ Status GtsEngine::ProcessPageOnCpu(GtsKernel* kernel, PageId pid,
   }
   ctx.micro = options_.micro;
 
+#if GTS_RACE_CHECK_ENABLED
+  if (race_ != nullptr) {
+    if (!fetch.buffer_hit) {
+      race_->OnPageStaged(static_cast<int>(fetch.device_index), pid,
+                          fetch.fetch_op);
+    }
+    race_->OnPageDelivered(pid);
+    const int cl = race_->CpuLane(lane, (1 << 20) + lane);
+    race_->BeginOp(cl);
+    race_->Join(cl, race_->HostLane());
+    // The CPU lane reads the page straight out of MMBuf.
+    race_->OnPageAccess(cl, analysis::RaceDetector::kMmbufDomain, pid,
+                        /*write=*/false, kidx);
+    ctx.race_site = {race_.get(), cl, analysis::RaceDetector::kCpuWaDomain,
+                     kidx, pid};
+  }
+#endif
+
   PageView view(fetch.data, graph_->config());
   const WorkStats work = kind == PageKind::kSmall ? kernel->RunSp(view, ctx)
                                                   : kernel->RunLp(view, ctx);
   cpu_->lane_work[lane] += work;
 
-  gpu::TimelineOp kop;
-  kop.kind = gpu::OpKind::kKernel;
-  kop.stream_key = (1 << 20) + lane;  // dedicated CPU lanes
-  kop.resource = {gpu::ResourceId::Type::kHostCpuPool, 0};
-  kop.dep0 = fetch_dep;
-  kop.page = pid;
   // One worker core: no warp parallelism, no coalescing, but no PCI-E.
-  kop.duration =
+  PatchKernelDuration(
+      kidx,
       static_cast<double>(work.warp_cycles) * tm.warp_cycle_seconds *
           tm.cpu_cycle_multiplier +
       static_cast<double>(work.mem_transactions) *
-          kernel->seconds_per_mem_transaction(tm) * tm.cpu_mem_multiplier;
-  RecordOp(kop);
+          kernel->seconds_per_mem_transaction(tm) * tm.cpu_mem_multiplier);
 
   ++metrics->cpu_pages;
   if (kind == PageKind::kSmall) {
@@ -361,6 +394,14 @@ void GtsEngine::UploadWa(GtsKernel* kernel) {
   const uint32_t wa_b = kernel->wa_bytes_per_vertex();
   if (cpu_ != nullptr) {
     kernel->InitDeviceWa(cpu_->wa.data(), 0, graph_->num_vertices());
+#if GTS_RACE_CHECK_ENABLED
+    if (race_ != nullptr) {
+      race_->OnWaAccess(race_->HostLane(), analysis::RaceDetector::kCpuWaDomain,
+                        0, static_cast<uint32_t>(cpu_->wa.size()),
+                        analysis::AccessClass::kPlainWrite, gpu::kNoOp,
+                        kInvalidPageId);
+    }
+#endif
   }
   for (int g = 0; g < machine_.num_gpus; ++g) {
     GpuState& gpu = *gpus_[g];
@@ -372,8 +413,28 @@ void GtsEngine::UploadWa(GtsKernel* kernel) {
     op.resource = {gpu::ResourceId::Type::kCopyEngine, g};
     op.duration = static_cast<double>(bytes) / tm.c1;
     op.bytes = bytes;
-    RecordOp(op);
+    const gpu::OpIndex op_idx = RecordOp(op);
     kernel->InitDeviceWa(gpu.wa_buf.data(), gpu.wa_begin, gpu.wa_end);
+#if GTS_RACE_CHECK_ENABLED
+    if (race_ != nullptr) {
+      // The WA upload is the copy engine writing WABuf. Every level-0
+      // kernel has its page H2D serialized after this chunk on the same
+      // copy engine, so fusing the copy lane with stream 0 here and with
+      // each page's stream at its H2DStream (ProcessPages) carries the
+      // upload->kernel happens-before edge without a global barrier.
+      const int host = race_->HostLane();
+      const int copy = race_->CopyLane(g);
+      race_->Join(copy, host);
+      race_->BeginOp(copy);
+      race_->OnWaAccess(copy, analysis::RaceDetector::WaDomain(g), 0,
+                        static_cast<uint32_t>(bytes),
+                        analysis::AccessClass::kPlainWrite, op_idx,
+                        kInvalidPageId);
+      race_->Fuse(copy, race_->StreamLane(g, 0, StreamKey(g, 0)));
+    }
+#else
+    (void)op_idx;
+#endif
   }
 }
 
@@ -387,7 +448,15 @@ void GtsEngine::DownloadWa(GtsKernel* kernel) {
     std::lock_guard<std::mutex> lock(record_mu_);
     recorder_.AddBarrier(0.0);
   }
+#if GTS_RACE_CHECK_ENABLED
+  // The download is barrier-ordered: its ops are recorded after the
+  // AddBarrier above, so every kernel of the pass happens-before the
+  // host-side absorb.
+  if (race_ != nullptr) race_->BarrierAcquire();
+#endif
 
+  [[maybe_unused]] std::vector<gpu::OpIndex> d2h_idx(
+      static_cast<size_t>(n_gpus), gpu::kNoOp);
   if (options_.strategy == Strategy::kPerformance && n_gpus > 1) {
     // Peer-to-peer merge into the master GPU, then one D2H (Section 4.1).
     const uint64_t bytes =
@@ -405,7 +474,8 @@ void GtsEngine::DownloadWa(GtsKernel* kernel) {
     d2h.resource = {gpu::ResourceId::Type::kCopyEngine, 0};
     d2h.duration = static_cast<double>(bytes) / tm.c1;
     d2h.bytes = bytes;
-    RecordOp(d2h);
+    const gpu::OpIndex idx = RecordOp(d2h);
+    for (int g = 0; g < n_gpus; ++g) d2h_idx[static_cast<size_t>(g)] = idx;
   } else {
     for (int g = 0; g < n_gpus; ++g) {
       GpuState& gpu = *gpus_[g];
@@ -416,7 +486,7 @@ void GtsEngine::DownloadWa(GtsKernel* kernel) {
       d2h.resource = {gpu::ResourceId::Type::kCopyEngine, g};
       d2h.duration = static_cast<double>(bytes) / tm.c1;
       d2h.bytes = bytes;
-      RecordOp(d2h);
+      d2h_idx[static_cast<size_t>(g)] = RecordOp(d2h);
     }
   }
 
@@ -424,11 +494,34 @@ void GtsEngine::DownloadWa(GtsKernel* kernel) {
   for (int g = 0; g < n_gpus; ++g) {
     GpuState& gpu = *gpus_[g];
     kernel->AbsorbDeviceWa(gpu.wa_buf.data(), gpu.wa_begin, gpu.wa_end);
+#if GTS_RACE_CHECK_ENABLED
+    if (race_ != nullptr) {
+      race_->OnWaAccess(race_->HostLane(),
+                        analysis::RaceDetector::WaDomain(g), 0,
+                        static_cast<uint32_t>(
+                            static_cast<uint64_t>(gpu.wa_end - gpu.wa_begin) *
+                            wa_b),
+                        analysis::AccessClass::kPlainRead,
+                        d2h_idx[static_cast<size_t>(g)], kInvalidPageId);
+    }
+#endif
   }
   if (cpu_ != nullptr) {
     // Host-internal; crosses no PCI-E link, so no timeline op.
     kernel->AbsorbDeviceWa(cpu_->wa.data(), 0, graph_->num_vertices());
+#if GTS_RACE_CHECK_ENABLED
+    if (race_ != nullptr) {
+      race_->OnWaAccess(race_->HostLane(),
+                        analysis::RaceDetector::kCpuWaDomain, 0,
+                        static_cast<uint32_t>(cpu_->wa.size()),
+                        analysis::AccessClass::kPlainRead, gpu::kNoOp,
+                        kInvalidPageId);
+    }
+#endif
   }
+#if GTS_RACE_CHECK_ENABLED
+  if (race_ != nullptr) race_->BarrierRelease();
+#endif
 }
 
 void GtsEngine::SynchronizeStreams() {
@@ -549,8 +642,28 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
         h2d.dep0 = fetch_dep;
         h2d.bytes = page_size;
         h2d.page = pid;
-        RecordOp(h2d);
+        [[maybe_unused]] const gpu::OpIndex h2d_idx = RecordOp(h2d);
         ++metrics->pages_streamed;
+
+#if GTS_RACE_CHECK_ENABLED
+        if (race_ != nullptr) {
+          // storage -> MMBuf event, then host consumes the bytes.
+          if (!fetch.buffer_hit) {
+            race_->OnPageStaged(static_cast<int>(fetch.device_index), pid,
+                                fetch.fetch_op);
+          }
+          race_->OnPageDelivered(pid);
+          // The copy engine reads the staged MMBuf bytes into the stream
+          // buffer; fusing with the stream carries the transfer->kernel
+          // happens-before edge (CUDA in-stream ordering).
+          const int copy = race_->CopyLane(g);
+          race_->Join(copy, race_->HostLane());
+          race_->BeginOp(copy);
+          race_->OnPageAccess(copy, analysis::RaceDetector::kMmbufDomain, pid,
+                              /*write=*/false, h2d_idx);
+          race_->Fuse(copy, race_->StreamLane(g, s, stream_key));
+        }
+#endif
 
         if (ra_b > 0 && host_ra != nullptr) {
           const RvtEntry& rvt_entry = graph_->rvt().entry(pid);
@@ -598,12 +711,32 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
       }
 
       const bool insert_into_cache = gpu.cache != nullptr && !cached;
+      int race_lane = 0;
+#if GTS_RACE_CHECK_ENABLED
+      if (race_ != nullptr) {
+        // Issue edge: the kernel launch is a host action, so everything
+        // that happened-before the launch happens-before the kernel.
+        // Later host actions are NOT ordered before it (Join ticks host).
+        race_lane = race_->StreamLane(g, s, stream_key);
+        race_->BeginOp(race_lane);
+        race_->Join(race_lane, race_->HostLane());
+        if (cached) {
+          race_->OnPageAccess(race_lane,
+                              analysis::RaceDetector::CacheDomain(g), pid,
+                              /*write=*/false, kidx);
+        } else if (insert_into_cache) {
+          race_->OnPageAccess(race_lane,
+                              analysis::RaceDetector::CacheDomain(g), pid,
+                              /*write=*/true, kidx);
+        }
+      }
+#endif
       GpuState* gpu_ptr = &gpu;
       const double launch_overhead = tm.kernel_launch_overhead;
       auto execute = [this, kernel, gpu_ptr, pin, staging, ra_src, ra_bytes,
-                      ra_start_vid, kind, cur_level, s, kidx, sec_per_cycle,
-                      sec_per_mem, insert_into_cache, pid, config,
-                      launch_overhead]() {
+                      ra_start_vid, kind, cur_level, g, s, kidx, race_lane,
+                      sec_per_cycle, sec_per_mem, insert_into_cache, pid,
+                      config, launch_overhead]() {
         GpuState& st = *gpu_ptr;
         const uint8_t* page_bytes = nullptr;
         if (pin->valid()) {
@@ -636,6 +769,15 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
           ctx.out_degrees = out_degrees_.data();
         }
         ctx.micro = options_.micro;
+#if GTS_RACE_CHECK_ENABLED
+        if (race_ != nullptr) {
+          ctx.race_site = {race_.get(), race_lane,
+                           analysis::RaceDetector::WaDomain(g), kidx, pid};
+        }
+#else
+        (void)g;
+        (void)race_lane;
+#endif
 
         PageView view(page_bytes, config);
         const WorkStats work = kind == PageKind::kSmall
@@ -709,6 +851,11 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
   }
   store_->ResetStats();
   io_->ResetStats();
+  pin_events_.Clear();
+  io_events_.Clear();
+#if GTS_RACE_CHECK_ENABLED
+  if (race_ != nullptr) race_->BeginRun();
+#endif
   RunMetrics metrics;
   const TimeModel& tm = machine_.time_model;
 
@@ -784,6 +931,13 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
           static_cast<uint32_t>(level), &metrics);
       SynchronizeStreams();
       if (!run_status.ok()) break;
+#if GTS_RACE_CHECK_ENABLED
+      // The level boundary is a BSP barrier for the detector: the stream
+      // sync above orders every kernel of this level before the host-side
+      // frontier/WA merge below (the simulated D2H ops may still overlap
+      // kernels in the timeline, but their *payload* is only read here).
+      if (race_ != nullptr) race_->BarrierAcquire();
+#endif
 
       // Per-level sync: local nextPIDSets (and, multi-GPU, WA) to host.
       frontier.Clear();
@@ -819,6 +973,8 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
         prev_updates = total_updates;
         const uint64_t delta_bytes =
             level_updates * (kernel->wa_bytes_per_vertex() + 8);
+        [[maybe_unused]] std::vector<gpu::OpIndex> delta_d2h;
+        [[maybe_unused]] std::vector<gpu::OpIndex> delta_h2d;
         for (int g = 0; g < machine_.num_gpus; ++g) {
           gpu::TimelineOp d2h;
           d2h.kind = gpu::OpKind::kD2H;
@@ -826,13 +982,13 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
           d2h.duration =
               static_cast<double>(delta_bytes / machine_.num_gpus) / tm.c1;
           d2h.bytes = delta_bytes / machine_.num_gpus;
-          RecordOp(d2h);
+          delta_d2h.push_back(RecordOp(d2h));
           gpu::TimelineOp h2d;
           h2d.kind = gpu::OpKind::kH2DChunk;
           h2d.resource = {gpu::ResourceId::Type::kCopyEngine, g};
           h2d.duration = static_cast<double>(delta_bytes) / tm.c1;
           h2d.bytes = delta_bytes;
-          RecordOp(h2d);
+          delta_h2d.push_back(RecordOp(h2d));
         }
         // Execution: fold every replica into the host arrays, then refresh
         // every device replica from the merged state (equivalent to
@@ -841,16 +997,55 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
           GpuState& gpu = *gpus_[g];
           kernel->AbsorbDeviceWa(gpu.wa_buf.data(), gpu.wa_begin,
                                  gpu.wa_end);
+#if GTS_RACE_CHECK_ENABLED
+          if (race_ != nullptr) {
+            race_->OnWaAccess(
+                race_->HostLane(), analysis::RaceDetector::WaDomain(g), 0,
+                static_cast<uint32_t>(
+                    static_cast<uint64_t>(gpu.wa_end - gpu.wa_begin) *
+                    kernel->wa_bytes_per_vertex()),
+                analysis::AccessClass::kPlainRead, delta_d2h[g], kInvalidPageId);
+          }
+#endif
         }
         if (cpu_ != nullptr) {
           kernel->AbsorbDeviceWa(cpu_->wa.data(), 0, graph_->num_vertices());
+#if GTS_RACE_CHECK_ENABLED
+          if (race_ != nullptr) {
+            race_->OnWaAccess(race_->HostLane(),
+                              analysis::RaceDetector::kCpuWaDomain, 0,
+                              static_cast<uint32_t>(cpu_->wa.size()),
+                              analysis::AccessClass::kPlainRead, gpu::kNoOp,
+                              kInvalidPageId);
+          }
+#endif
         }
         for (int g = 0; g < machine_.num_gpus; ++g) {
           GpuState& gpu = *gpus_[g];
           kernel->InitDeviceWa(gpu.wa_buf.data(), gpu.wa_begin, gpu.wa_end);
+#if GTS_RACE_CHECK_ENABLED
+          if (race_ != nullptr) {
+            race_->OnWaAccess(
+                race_->HostLane(), analysis::RaceDetector::WaDomain(g), 0,
+                static_cast<uint32_t>(
+                    static_cast<uint64_t>(gpu.wa_end - gpu.wa_begin) *
+                    kernel->wa_bytes_per_vertex()),
+                analysis::AccessClass::kPlainWrite, delta_h2d[g],
+                kInvalidPageId);
+          }
+#endif
         }
         if (cpu_ != nullptr) {
           kernel->InitDeviceWa(cpu_->wa.data(), 0, graph_->num_vertices());
+#if GTS_RACE_CHECK_ENABLED
+          if (race_ != nullptr) {
+            race_->OnWaAccess(race_->HostLane(),
+                              analysis::RaceDetector::kCpuWaDomain, 0,
+                              static_cast<uint32_t>(cpu_->wa.size()),
+                              analysis::AccessClass::kPlainWrite, gpu::kNoOp,
+                              kInvalidPageId);
+          }
+#endif
         }
       }
       gpu::TimelineOp merge;
@@ -861,6 +1056,11 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
         std::lock_guard<std::mutex> lock(record_mu_);
         recorder_.AddBarrier(tm.sync_overhead);
       }
+#if GTS_RACE_CHECK_ENABLED
+      // Release the barrier: the next level's kernels see everything the
+      // host merged between levels.
+      if (race_ != nullptr) race_->BarrierRelease();
+#endif
       ++level;
     }
     metrics.levels = level;
@@ -873,7 +1073,7 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
     return run_status;
   }
 
-  FinalizeRun(&metrics);
+  GTS_RETURN_IF_ERROR(FinalizeRun(&metrics));
   return metrics;
 }
 
@@ -892,6 +1092,11 @@ Result<RunMetrics> GtsEngine::RunPass(GtsKernel* kernel,
   }
   store_->ResetStats();
   io_->ResetStats();
+  pin_events_.Clear();
+  io_events_.Clear();
+#if GTS_RACE_CHECK_ENABLED
+  if (race_ != nullptr) race_->BeginRun();
+#endif
   RunMetrics metrics;
 
   std::vector<PageId> sps;
@@ -921,11 +1126,11 @@ Result<RunMetrics> GtsEngine::RunPass(GtsKernel* kernel,
   }
   metrics.levels = 1;
 
-  FinalizeRun(&metrics);
+  GTS_RETURN_IF_ERROR(FinalizeRun(&metrics));
   return metrics;
 }
 
-void GtsEngine::FinalizeRun(RunMetrics* metrics) {
+Status GtsEngine::FinalizeRun(RunMetrics* metrics) {
   GTS_PROF_SCOPE("engine.finalize_run");
   for (auto& gpu : gpus_) {
     for (const WorkStats& w : gpu->stream_work) metrics->work += w;
@@ -956,10 +1161,44 @@ void GtsEngine::FinalizeRun(RunMetrics* metrics) {
       schedule.BusySeconds(gpu::ResourceId::Type::kKernelPool);
   metrics->storage_busy =
       schedule.BusySeconds(gpu::ResourceId::Type::kStorageDevice);
+
+  // gts::analysis: harvest the race detector (compiled builds only) and
+  // replay the schedule through the invariant validator. Both run before
+  // the timeline is (possibly) moved into metrics.
+  analysis::RaceReport& report = metrics->analysis;
+#if GTS_RACE_CHECK_ENABLED
+  if (race_ != nullptr) {
+    race_->ResolveTimestamps(schedule);
+    report.Accumulate(race_->TakeReport());
+  }
+#endif
+  if (options_.analysis.validate_schedule) {
+    analysis::ScheduleValidator validator(
+        analysis::ValidatorOptions{1e-12, options_.analysis.max_reported});
+    validator.Check(schedule, &report);
+    validator.CheckPinEvents(pin_events_.Take(), &report);
+    validator.CheckIoEvents(io_events_.Take(), &report);
+  }
+  registry_->GetCounter("analysis.races").Add(report.races_detected);
+  registry_->GetCounter("analysis.wa_accesses").Add(report.wa_accesses);
+  registry_->GetCounter("analysis.schedule_checks")
+      .Add(report.schedule_checks);
+  registry_->GetCounter("analysis.schedule_violations")
+      .Add(report.violations_detected);
+
   if (options_.keep_timeline) metrics->timeline = std::move(schedule);
 
   PublishMetrics(*metrics);
   ReleaseBuffers();
+
+  if (options_.analysis.fail_on_violation && report.violations_detected > 0) {
+    return Status::Internal("schedule validation failed:\n" +
+                            report.ToString());
+  }
+  if (options_.analysis.fail_on_race && report.races_detected > 0) {
+    return Status::Internal("logical races detected:\n" + report.ToString());
+  }
+  return Status::OK();
 }
 
 void GtsEngine::PublishMetrics(const RunMetrics& metrics) {

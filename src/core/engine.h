@@ -20,6 +20,9 @@
 #include <mutex>
 #include <vector>
 
+#include "analysis/analysis_options.h"
+#include "analysis/event_log.h"
+#include "analysis/schedule_validator.h"
 #include "common/status.h"
 #include "core/dispatch/dispatch_options.h"
 #include "core/frontier.h"
@@ -35,6 +38,10 @@
 #include "obs/metrics.h"
 #include "storage/page_store.h"
 #include "storage/paged_graph.h"
+
+#if GTS_RACE_CHECK_ENABLED
+#include "analysis/race_detector.h"
+#endif
 
 namespace gts {
 
@@ -84,6 +91,12 @@ struct GtsOptions {
   /// reorder policy, prefetch in-flight bound. The depth-1 FIFO default
   /// reproduces the classic synchronous fetch schedule bit-for-bit.
   io::IoOptions io;
+
+  /// gts::analysis knobs: the always-on schedule validator and, when the
+  /// build carries -DGTS_RACE_CHECK=ON, the logical race detector. Both
+  /// report into RunMetrics::analysis and the `analysis.*` counters;
+  /// fail_on_* escalates findings to a Run() error.
+  analysis::AnalysisOptions analysis;
 
   static constexpr uint64_t kAutoCacheBytes = ~uint64_t{0};
   /// Stream-key encoding limit (gpu * kMaxStreamsPerGpu + stream).
@@ -174,8 +187,13 @@ class GtsEngine {
   Status SetupBuffers(GtsKernel* kernel);
   void ReleaseBuffers();
 
-  /// Computes the schedule, gathers stats, releases buffers.
-  void FinalizeRun(RunMetrics* metrics);
+  /// Computes the schedule, runs gts::analysis over it (schedule
+  /// validation always; race-report harvest under GTS_RACE_CHECK),
+  /// gathers stats, releases buffers. Non-OK only when
+  /// GtsOptions::analysis escalates findings (fail_on_race /
+  /// fail_on_violation); by default findings are report-only in
+  /// RunMetrics::analysis.
+  Status FinalizeRun(RunMetrics* metrics);
 
   /// Publishes one run's counters cumulatively into registry_.
   void PublishMetrics(const RunMetrics& metrics);
@@ -231,6 +249,17 @@ class GtsEngine {
   gpu::ScheduleRecorder recorder_;
   gpu::OpIndex RecordOp(gpu::TimelineOp op);
   void PatchKernelDuration(gpu::OpIndex idx, SimTime duration);
+
+  // gts::analysis wiring. The event logs feed the always-on schedule
+  // validator (pin lifetimes from every PageCache, submit/issue/deliver
+  // sequences from gts::io); both are cleared at run start and drained by
+  // FinalizeRun. The happens-before detector exists only under
+  // -DGTS_RACE_CHECK=ON and only when GtsOptions::analysis.race_check.
+  analysis::PinEventLog pin_events_;
+  analysis::IoEventLog io_events_;
+#if GTS_RACE_CHECK_ENABLED
+  std::unique_ptr<analysis::RaceDetector> race_;
+#endif
 };
 
 }  // namespace gts

@@ -10,11 +10,16 @@
 #include <cstdint>
 #include <string>
 
+#include "analysis/analysis_options.h"
 #include "core/frontier.h"
 #include "gpu/time_model.h"
 #include "graph/types.h"
 #include "storage/paged_graph.h"
 #include "storage/slotted_page.h"
+
+#if GTS_RACE_CHECK_ENABLED
+#include "analysis/race_detector.h"
+#endif
 
 namespace gts {
 
@@ -102,14 +107,106 @@ struct KernelContext {
   T* WaAs() {
     return reinterpret_cast<T*>(wa);
   }
-  /// Relaxed atomic load of one WA word. Peer streams update WA through
-  /// atomic_ref RMW concurrently with activity checks, so a plain read of a
-  /// word another page may own is a data race; route such reads through
-  /// this helper (writes already go through atomic_ref in the kernels).
+
+#if GTS_RACE_CHECK_ENABLED
+  /// Where the instrumented Wa* helpers report (engine-stamped; a null
+  /// detector disables reporting). Only exists under -DGTS_RACE_CHECK=ON,
+  /// so the OFF build carries zero per-context overhead.
+  analysis::AccessSite race_site;
+
+  /// Reports one WA access to the race detector. `addr` must point into
+  /// [wa, wa + (wa_end - wa_begin) * bytes_per_vertex).
+  void NoteWa(const void* addr, uint32_t size,
+              analysis::AccessClass cls) const {
+    if (race_site.detector == nullptr) return;
+    const uint64_t offset = static_cast<uint64_t>(
+        reinterpret_cast<const uint8_t*>(addr) - wa);
+    race_site.detector->OnWaAccess(race_site.lane, race_site.domain, offset,
+                                   size, cls, race_site.op, race_site.page);
+  }
+#endif
+
+  // Instrumented WA access API. All WA reads and writes must go through
+  // these helpers: every one is a relaxed std::atomic_ref operation at
+  // host level (so host TSan stays clean in either build), but each
+  // carries a *logical* classification -- WaRead/WaStore are
+  // plain-classified, the rest atomic-classified -- that the
+  // -DGTS_RACE_CHECK=ON build reports to the happens-before detector.
+  // Under the simulated schedule, a plain-classified access that is
+  // concurrent with any conflicting access is a logical data race even
+  // though the host execution never faults.
+
+  /// Atomic relaxed load (peer streams CAS/RMW concurrently).
   template <typename T>
-  static T WaLoad(T& word) {
+  T WaLoad(T& word) const {
+#if GTS_RACE_CHECK_ENABLED
+    NoteWa(&word, sizeof(T), analysis::AccessClass::kAtomicRead);
+#endif
     return std::atomic_ref<T>(word).load(std::memory_order_relaxed);
   }
+
+  /// Plain-classified read: the kernel asserts no concurrent conflicting
+  /// access exists (e.g. BC's backward sweep reading the previous level's
+  /// settled entries). The detector checks the assertion.
+  template <typename T>
+  T WaRead(T& word) const {
+#if GTS_RACE_CHECK_ENABLED
+    NoteWa(&word, sizeof(T), analysis::AccessClass::kPlainRead);
+#endif
+    return std::atomic_ref<T>(word).load(std::memory_order_relaxed);
+  }
+
+  /// Plain-classified store: the kernel asserts exclusive ownership of
+  /// the word (e.g. one SP record per vertex). The detector checks it.
+  template <typename T>
+  void WaStore(T& word, T value) const {
+#if GTS_RACE_CHECK_ENABLED
+    NoteWa(&word, sizeof(T), analysis::AccessClass::kPlainWrite);
+#endif
+    std::atomic_ref<T>(word).store(value, std::memory_order_relaxed);
+  }
+
+  /// Atomic compare-exchange (strong). Classified as an atomic RMW write
+  /// whether or not the exchange succeeds.
+  template <typename T>
+  bool WaCas(T& word, T& expected, T desired) const {
+#if GTS_RACE_CHECK_ENABLED
+    NoteWa(&word, sizeof(T), analysis::AccessClass::kAtomicWrite);
+#endif
+    return std::atomic_ref<T>(word).compare_exchange_strong(
+        expected, desired, std::memory_order_relaxed);
+  }
+
+  /// Atomic compare-exchange (weak; use in retry loops).
+  template <typename T>
+  bool WaCasWeak(T& word, T& expected, T desired) const {
+#if GTS_RACE_CHECK_ENABLED
+    NoteWa(&word, sizeof(T), analysis::AccessClass::kAtomicWrite);
+#endif
+    return std::atomic_ref<T>(word).compare_exchange_weak(
+        expected, desired, std::memory_order_relaxed);
+  }
+
+  /// Atomic fetch-add (integers and, in C++20, floats).
+  template <typename T>
+  T WaFetchAdd(T& word, T add) const {
+#if GTS_RACE_CHECK_ENABLED
+    NoteWa(&word, sizeof(T), analysis::AccessClass::kAtomicWrite);
+#endif
+    return std::atomic_ref<T>(word).fetch_add(add,
+                                              std::memory_order_relaxed);
+  }
+
+  /// Atomic fetch-or (integer bit sketches).
+  template <typename T>
+  T WaFetchOr(T& word, T bits) const {
+#if GTS_RACE_CHECK_ENABLED
+    NoteWa(&word, sizeof(T), analysis::AccessClass::kAtomicWrite);
+#endif
+    return std::atomic_ref<T>(word).fetch_or(bits,
+                                             std::memory_order_relaxed);
+  }
+
   template <typename T>
   const T* RaAs() const {
     return reinterpret_cast<const T*>(ra);

@@ -59,6 +59,9 @@ PageCache::Pin PageCache::Lookup(PageId pid) {
   if (entry == nullptr) return Pin();
   ++entry->pins;
   ++total_pins_;
+  if (pin_log_ != nullptr) {
+    pin_log_->Append(analysis::PinEvent::Kind::kPinned, pid);
+  }
   return Pin(this, pid, entry->buffer.data());
 }
 
@@ -93,6 +96,9 @@ void PageCache::Unpin(PageId pid) {
   GTS_CHECK(it->second.pins > 0) << "Unpin without a pin on page " << pid;
   --it->second.pins;
   --total_pins_;
+  if (pin_log_ != nullptr) {
+    pin_log_->Append(analysis::PinEvent::Kind::kReleased, pid);
+  }
 }
 
 std::string_view CachePolicyName(CachePolicy policy) {
@@ -134,6 +140,9 @@ Status PageCache::Insert(PageId pid, const uint8_t* bytes) {
           " resident pages are pinned (page " + std::to_string(pid) +
           " stays on the streaming path)");
     }
+    if (pin_log_ != nullptr) {
+      pin_log_->Append(analysis::PinEvent::Kind::kEvicted, *victim);
+    }
     entries_.erase(*victim);
     order_.erase(victim);
   }
@@ -147,6 +156,9 @@ Status PageCache::Insert(PageId pid, const uint8_t* bytes) {
   entry.order_it = order_.begin();
   entries_.emplace(pid, std::move(entry));
   if (inserts_metric_ != nullptr) inserts_metric_->Add();
+  if (pin_log_ != nullptr) {
+    pin_log_->Append(analysis::PinEvent::Kind::kInserted, pid);
+  }
   return Status::OK();
 }
 

@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/event_log.h"
 #include "common/status.h"
 #include "gpu/device.h"
 #include "graph/types.h"
@@ -139,6 +140,14 @@ class PageCache {
   /// No-op when the cache is disabled or the page is already present.
   Status Insert(PageId pid, const uint8_t* bytes);
 
+  /// Streams pin/insert/evict events into `log` (pass null to detach) for
+  /// the gts::analysis pin-lifetime validator. The log must outlive the
+  /// cache or be detached first.
+  void BindPinLog(analysis::PinEventLog* log) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pin_log_ = log;
+  }
+
   uint64_t lookups() const {
     std::lock_guard<std::mutex> lock(mu_);
     return lookups_;
@@ -188,6 +197,8 @@ class PageCache {
   obs::Counter* hits_metric_ = nullptr;
   obs::Counter* inserts_metric_ = nullptr;
   obs::Counter* backpressure_metric_ = nullptr;
+
+  analysis::PinEventLog* pin_log_ = nullptr;
 
   std::unordered_map<PageId, Entry> entries_;
   // For LRU: front = most recent. For FIFO: front = newest insert; eviction

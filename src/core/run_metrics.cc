@@ -30,6 +30,7 @@ void RunMetrics::Accumulate(const RunMetrics& increment) {
   level_pages.insert(level_pages.end(), increment.level_pages.begin(),
                      increment.level_pages.end());
   if (!increment.timeline.ops.empty()) timeline = increment.timeline;
+  analysis.Accumulate(increment.analysis);
 }
 
 }  // namespace gts

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/race_report.h"
 #include "core/kernel.h"
 #include "gpu/schedule.h"
 #include "graph/types.h"
@@ -55,6 +56,11 @@ struct RunMetrics {
 
   /// Full op timeline; populated only with GtsOptions::keep_timeline.
   gpu::ScheduleResult timeline;
+
+  /// gts::analysis findings for the run: schedule-invariant violations
+  /// (always-on validator) and, under -DGTS_RACE_CHECK=ON, logical data
+  /// races over the simulated schedule. Empty/clean by default.
+  analysis::RaceReport analysis;
 
   /// Folds `increment` into this total. The single accumulation path for
   /// every multi-pass driver (PageRank iterations, radius hops, k-core

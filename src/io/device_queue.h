@@ -16,6 +16,7 @@
 #include <deque>
 #include <string>
 
+#include "analysis/event_log.h"
 #include "common/status.h"
 #include "io/io_options.h"
 #include "io/io_request.h"
@@ -43,6 +44,11 @@ class DeviceQueue {
     head_offset_ = kNoHeadOffset;
     outstanding_ = 0;
   }
+
+  /// Streams submit/issue events into `log` (null detaches) for the
+  /// gts::analysis io-order validator. The log must outlive the queue or
+  /// be detached first.
+  void BindEventLog(analysis::IoEventLog* log) { log_ = log; }
 
   bool QueueFull() const { return queue_.size() >= static_cast<size_t>(depth_); }
   bool SlotsFull() const { return outstanding_ >= slots_; }
@@ -76,6 +82,7 @@ class DeviceQueue {
     req.submit_clock = clock_;
     queue_.push_back(req);
     ++outstanding_;
+    if (log_ != nullptr) log_->Append(analysis::IoEvent::Kind::kSubmit, pid);
     return Status::OK();
   }
 
@@ -98,6 +105,9 @@ class DeviceQueue {
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(picked));
     clock_ += issue.cost;
     head_offset_ = issue.request.offset + issue.request.length;
+    if (log_ != nullptr) {
+      log_->Append(analysis::IoEvent::Kind::kIssue, issue.request.pid);
+    }
     return issue;
   }
 
@@ -113,6 +123,7 @@ class DeviceQueue {
   int slots_;
   IoReorderKind reorder_;
 
+  analysis::IoEventLog* log_ = nullptr;
   std::deque<IoRequest> queue_;  // submission order
   uint64_t next_seq_ = 0;
   SimTime clock_ = 0.0;               // pass-local busy time issued so far

@@ -34,6 +34,11 @@ IoEngine::IoEngine(const PagedGraph* graph, PageStore* store,
   }
 }
 
+void IoEngine::BindEventLog(analysis::IoEventLog* log) {
+  io_log_ = log;
+  for (DeviceQueue& queue : queues_) queue.BindEventLog(log);
+}
+
 void IoEngine::BeginPass(const std::vector<PageId>& ordered) {
   // Leftover queue/parked state can only exist after a failed pass; the
   // recorder was cleared with it, so drop everything and start clean.
@@ -132,6 +137,9 @@ Result<IoEngine::Fetched> IoEngine::Acquire(PageId pid) {
     const Parked parked = it->second;
     parked_.erase(it);
     queues_[parked.device].NoteConsumed();
+    if (io_log_ != nullptr) {
+      io_log_->Append(analysis::IoEvent::Kind::kDeliver, pid);
+    }
     const uint8_t* data = store_->TouchResident(pid);
     if (data == nullptr) {
       // Evicted before consumption: the prefetch window outgrew MMBuf.
@@ -193,6 +201,9 @@ Result<IoEngine::Fetched> IoEngine::Acquire(PageId pid) {
       continue;
     }
     queue.NoteConsumed();
+    if (io_log_ != nullptr) {
+      io_log_->Append(analysis::IoEvent::Kind::kDeliver, pid);
+    }
     // Just staged, hence most recent and eviction-protected.
     const uint8_t* data = store_->TouchResident(pid);
     GTS_CHECK(data != nullptr);

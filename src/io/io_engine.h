@@ -31,6 +31,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/event_log.h"
 #include "common/status.h"
 #include "gpu/schedule.h"
 #include "io/device_queue.h"
@@ -102,6 +103,12 @@ class IoEngine {
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats{}; }
 
+  /// Streams submit/issue/deliver events into `log` (null detaches) for
+  /// the gts::analysis io-order validator. Only queue-serviced requests
+  /// are logged: MMBuf hits and demand fetches bypass the device queues,
+  /// so they carry no submit->issue->deliver sequence to validate.
+  void BindEventLog(analysis::IoEventLog* log);
+
   const IoOptions& options() const { return options_; }
 
  private:
@@ -131,6 +138,7 @@ class IoEngine {
   std::vector<DeviceQueue> queues_;
   Prefetcher prefetcher_;
   std::unordered_map<PageId, Parked> parked_;
+  analysis::IoEventLog* io_log_ = nullptr;
 
   IoStats stats_;
   obs::Counter* submitted_metric_ = nullptr;

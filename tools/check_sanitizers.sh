@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Builds and runs the tier-1 test suite in plain, TSan, and ASan+UBSan
-# configurations. Any sanitizer finding fails the run loudly (suppressions
-# live in tools/tsan.supp and start empty on purpose).
+# Builds and runs the tier-1 test suite in plain, TSan, ASan+UBSan, and
+# -DGTS_RACE_CHECK=ON configurations. Any sanitizer finding fails the run
+# loudly (suppressions live in tools/tsan.supp and start empty on
+# purpose). The race configuration additionally proves the detector is a
+# pure observer: the Figure 4 trace from the instrumented build must be
+# byte-identical to the trace from the plain (knob OFF) build.
 #
-# Usage: tools/check_sanitizers.sh [plain|tsan|asan|all]   (default: all)
+# Usage: tools/check_sanitizers.sh [plain|tsan|asan|race|all]   (default: all)
 # Env:   JOBS=N        parallelism (default: nproc)
 #        BUILD_ROOT=d  where build trees go (default: <repo>/build-san)
 #
@@ -19,10 +22,11 @@ SUPP="$ROOT/tools/tsan.supp"
 MODE="${1:-all}"
 
 run_config() {
-  local name="$1" sanitize="$2"
+  local name="$1" sanitize="$2" race="${3:-OFF}"
   local build="$BUILD_ROOT/$name"
-  echo "==== [$name] configure (GTS_SANITIZE='$sanitize') ===="
+  echo "==== [$name] configure (GTS_SANITIZE='$sanitize' GTS_RACE_CHECK=$race) ===="
   cmake -B "$build" -S "$ROOT" -DGTS_SANITIZE="$sanitize" \
+    -DGTS_RACE_CHECK="$race" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
   echo "==== [$name] build ===="
   cmake --build "$build" -j "$JOBS"
@@ -40,17 +44,41 @@ run_config() {
   echo "==== [$name] OK ===="
 }
 
+# GTS_RACE_CHECK=ON rebuild: runs the full tier-1 suite (including the
+# concurrency stress harness) with the happens-before detector compiled
+# in, then asserts the depth-1 FIFO Figure 4 trace is byte-identical to
+# the plain build's -- the detector must never perturb the schedule.
+run_race() {
+  run_config race "" ON
+  run_config race-baseline "" OFF
+  echo "==== [race] fig4 trace byte-identity (knob ON vs OFF) ===="
+  local work="$BUILD_ROOT/race-trace"
+  mkdir -p "$work"
+  (
+    export GTS_BENCH_QUICK=1
+    export GTS_BENCH_DATA="$work/data"
+    "$BUILD_ROOT/race/bench/bench_fig4_timeline" \
+      --trace_out="$work/fig4_race.json" >"$work/run_race.log"
+    "$BUILD_ROOT/race-baseline/bench/bench_fig4_timeline" \
+      --trace_out="$work/fig4_plain.json" >"$work/run_plain.log"
+  )
+  cmp "$work/fig4_race.json" "$work/fig4_plain.json"
+  echo "==== [race] traces identical ===="
+}
+
 case "$MODE" in
   plain) run_config plain "" ;;
   tsan) run_config tsan thread ;;
   asan) run_config asan-ubsan "address;undefined" ;;
+  race) run_race ;;
   all)
     run_config plain ""
     run_config tsan thread
     run_config asan-ubsan "address;undefined"
+    run_race
     ;;
   *)
-    echo "unknown mode '$MODE' (expected plain|tsan|asan|all)" >&2
+    echo "unknown mode '$MODE' (expected plain|tsan|asan|race|all)" >&2
     exit 2
     ;;
 esac

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Static-analysis gate: run clang-tidy (profile: /.clang-tidy) over every
+# first-party translation unit. Registered as the `check_tidy` CTest
+# (tier1/hygiene); exits 77 -- the CTest SKIP_RETURN_CODE -- when no
+# clang-tidy binary is installed, so minimal containers skip rather than
+# fail.
+#
+# Usage: check_tidy.sh <work_dir> [clang-tidy-binary]
+set -u
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="${1:-${ROOT}/build/check_tidy_work}"
+TIDY="${2:-clang-tidy}"
+
+if ! command -v "${TIDY}" >/dev/null 2>&1; then
+  echo "check_tidy: ${TIDY} not found; skipping (exit 77)."
+  exit 77
+fi
+
+mkdir -p "${WORK}"
+
+# A dedicated configure (no build) to export compile_commands.json; the
+# main build tree may have been configured without it.
+cmake -S "${ROOT}" -B "${WORK}" -DCMAKE_BUILD_TYPE=Release \
+      -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 1
+
+mapfile -t SOURCES < <(find "${ROOT}/src" "${ROOT}/tools" -name '*.cc' | sort)
+
+echo "check_tidy: linting ${#SOURCES[@]} files with ${TIDY}"
+FAILED=0
+for src in "${SOURCES[@]}"; do
+  if ! "${TIDY}" -p "${WORK}" --quiet "${src}"; then
+    echo "check_tidy: FAILED ${src}"
+    FAILED=1
+  fi
+done
+
+if [ "${FAILED}" -ne 0 ]; then
+  echo "check_tidy: clang-tidy findings above must be fixed or NOLINT'd."
+  exit 1
+fi
+echo "check_tidy: clean."

@@ -13,7 +13,19 @@
 //      i.e. cat=="kernel" implies 1 <= tid <= 32;
 //   5. io-queue lane events (cat=="io", the "queued" spans the exporter
 //      emits for storage requests that waited in a device queue) are
-//      X events confined to the io lanes, i.e. tid >= 1000.
+//      X events confined to the io lanes, i.e. tid >= 1000;
+//   6. serial-resource lanes never overlap: X spans on a copy-engine lane
+//      (cat=="copy") or a storage-device lane (cat=="storage") must not
+//      start before the previous span on the same (pid, tid) lane ended.
+//      Io-queue "queued" spans (cat=="io") are exempt -- queueing
+//      overlaps service by design;
+//   7. event ordering: a kernel span (cat=="kernel" or cat=="cpu") that
+//      names a page in args must not start before the latest same-pid
+//      copy span of that page has ended (a kernel must never read a page
+//      whose transfer is still in flight).
+//
+// Rules 6/7 compare timestamps the exporter rounded to %.6f us, so they
+// allow a slack of 1e-5 us for two roundings.
 //
 // Usage: trace_lint FILE.json
 #include <cctype>
@@ -236,6 +248,11 @@ constexpr int kMaxKernelLanes = 32;
 /// exporter's kIoQueueLaneBase in src/obs/trace.cc).
 constexpr int kIoQueueLaneBase = 1000;
 
+/// Timestamp slack for rules 6/7: the exporter prints ts/dur with %.6f
+/// (microseconds), so two independently rounded endpoints may disagree by
+/// up to 2 * 0.5e-6 us.
+constexpr double kRoundingSlackUs = 1e-5;
+
 int Violation(size_t index, const std::string& message) {
   std::fprintf(stderr, "trace_lint: event %zu: %s\n", index, message.c_str());
   return 1;
@@ -262,6 +279,10 @@ int LintTrace(const JsonValue& root) {
   }
 
   std::map<std::pair<int, int>, double> last_ts;  // (pid, tid) -> latest ts
+  // Rule 6: (pid, tid) -> end of the previous span on a serial lane.
+  std::map<std::pair<int, int>, double> serial_end;
+  // Rule 7: (pid, page) -> end of the latest copy span of that page.
+  std::map<std::pair<int, int>, double> copy_end;
   size_t data_events = 0;
   for (size_t i = 0; i < events->array.size(); ++i) {
     const JsonValue& event = events->array[i];
@@ -289,8 +310,8 @@ int LintTrace(const JsonValue& root) {
     if (!GetNumber(event, "ts", &ts) || ts < 0.0) {
       return Violation(i, "missing or negative ts");
     }
+    double dur = 0.0;
     if (phase == 'X') {
-      double dur = 0.0;
       if (!GetNumber(event, "dur", &dur) || dur < 0.0) {
         return Violation(i, "X event missing or negative dur");
       }
@@ -329,6 +350,55 @@ int LintTrace(const JsonValue& root) {
                                 std::to_string(static_cast<int>(tid)) +
                                 " below the io-queue lane base " +
                                 std::to_string(kIoQueueLaneBase));
+      }
+    }
+
+    const std::string category =
+        cat != nullptr && cat->kind == JsonValue::Kind::kString ? cat->str
+                                                                : "";
+    // Rule 6: copy engines and storage devices are serial resources; two
+    // X spans on the same lane must not overlap. Io-queue spans (handled
+    // above) are exempt: queue *wait* overlaps device *service* by design.
+    if (phase == 'X' && (category == "copy" || category == "storage")) {
+      auto [it, inserted] = serial_end.emplace(lane, ts + dur);
+      if (!inserted) {
+        if (ts + kRoundingSlackUs < it->second) {
+          return Violation(
+              i, category + " lane pid=" + std::to_string(lane.first) +
+                     " tid=" + std::to_string(lane.second) +
+                     " overlaps previous span (starts " + std::to_string(ts) +
+                     ", previous ends " + std::to_string(it->second) + ")");
+        }
+        it->second = ts + dur;
+      }
+    }
+
+    // Rule 7: a kernel must never read a page whose transfer is still in
+    // flight. Copy spans carry their page in args; a later kernel span
+    // naming the same page within the same process (GPU) must start at or
+    // after the copy's end. Kernels with no recorded copy (cache hits,
+    // CPU co-processing) have nothing to check.
+    const JsonValue* args = event.Find("args");
+    const JsonValue* page =
+        args != nullptr && args->kind == JsonValue::Kind::kObject
+            ? args->Find("page")
+            : nullptr;
+    if (phase == 'X' && page != nullptr &&
+        page->kind == JsonValue::Kind::kNumber) {
+      const auto page_key = std::make_pair(static_cast<int>(pid),
+                                           static_cast<int>(page->number));
+      if (category == "copy") {
+        double& end = copy_end[page_key];
+        if (ts + dur > end) end = ts + dur;
+      } else if (category == "kernel" || category == "cpu") {
+        auto it = copy_end.find(page_key);
+        if (it != copy_end.end() && ts + kRoundingSlackUs < it->second) {
+          return Violation(
+              i, "kernel reads page " + std::to_string(page_key.second) +
+                     " at " + std::to_string(ts) +
+                     " before its transfer completes at " +
+                     std::to_string(it->second));
+        }
       }
     }
     ++data_events;
