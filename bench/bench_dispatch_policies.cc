@@ -12,12 +12,24 @@
 // Chrome-trace process, tagged with its policy names via trace metadata.
 #include "bench_common.h"
 
+#include <chrono>
+
 #include "algorithms/bfs.h"
 #include "core/dispatch/dispatch_options.h"
 
 namespace gts {
 namespace bench {
 namespace {
+
+/// Host wall-clock, not simulated time: the threads x stealing sweep
+/// measures real dispatch overhead and overlap, which the simulator
+/// deliberately does not model.
+double WallSeconds(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 int Main() {
   const int max_scale = QuickMode() ? 26 : 27;
@@ -113,6 +125,80 @@ int Main() {
       {"data", "order / stream", "paper-s", "hit rate", "cached-first",
        "switches-avoided"},
       rows);
+
+  // -------------------- pull-mode sweep: stream threads x work stealing
+  //
+  // Same churn regime, measured in host wall-clock: pull dispatch claims
+  // pages from the shared ready queue, so idle streams steal instead of
+  // waiting out a skewed push assignment. Results must stay bit-identical
+  // to the single-threaded push schedule (hard failure otherwise); the
+  // wall-clock column is informational -- on a single hardware core the
+  // workers time-slice, so the win shows as reduced queue tail, not
+  // necessarily reduced elapsed time.
+  struct PullConfig {
+    const char* name;
+    bool threads;
+    bool stealing;
+  };
+  const PullConfig pull_configs[] = {{"inline push", false, false},
+                                     {"threads push", true, false},
+                                     {"threads stealing", true, true}};
+  std::vector<std::vector<std::string>> pull_rows;
+  for (int scale = 26; scale <= max_scale; ++scale) {
+    DatasetSpec spec = RmatSpec(scale);
+    auto prepared = Prepare(spec);
+    if (!prepared.ok()) continue;
+    auto store = MakeInMemoryStore(&prepared->paged);
+    const VertexId source = BusySource(prepared->csr);
+
+    std::vector<uint16_t> reference_levels;
+    for (const PullConfig& config : pull_configs) {
+      GtsOptions opts;
+      opts.cache_policy = CachePolicy::kLru;
+      opts.cache_bytes = 1 * kMiB;
+      opts.num_streams = 16;
+      opts.use_stream_threads = config.threads;
+      opts.dispatch.work_stealing = config.stealing;
+      MachineConfig machine = MachineConfig::PaperScaled(1);
+      GtsEngine engine(&prepared->paged, store.get(), machine, opts);
+
+      Result<BfsGtsResult> bfs = Status::FailedPrecondition("not run");
+      const double wall = WallSeconds([&] { bfs = RunBfsGts(engine, source); });
+      std::vector<std::string> row{spec.name + "*", config.name};
+      if (!bfs.ok()) {
+        row.push_back(StatusCell(bfs.status()));
+        pull_rows.push_back(std::move(row));
+        continue;
+      }
+      if (reference_levels.empty()) {
+        reference_levels = bfs->levels;
+      } else if (bfs->levels != reference_levels) {
+        std::fprintf(stderr,
+                     "FAIL: %s diverged from the single-threaded levels\n",
+                     config.name);
+        return 1;
+      }
+      const auto snapshot = engine.metrics_registry()->Snapshot();
+      auto counter = [&](const char* name) -> uint64_t {
+        auto it = snapshot.find(name);
+        return it == snapshot.end() ? 0 : it->second.count;
+      };
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.3f", wall);
+      row.push_back(buf);
+      row.push_back(Cell(PaperSeconds(bfs->report.metrics.sim_seconds)));
+      row.push_back(std::to_string(counter("dispatch.steals")));
+      pull_rows.push_back(std::move(row));
+    }
+    std::printf(
+        "pull-mode results identical across all %zu thread configurations\n",
+        std::size(pull_configs));
+    std::fflush(stdout);
+  }
+  PrintTable(
+      "Pull-mode dispatch: BFS under LRU churn (stream threads x work "
+      "stealing; identical results)",
+      {"data", "dispatch", "wall-s", "paper-s", "steals"}, pull_rows);
   if (!Args().trace_out.empty()) {
     WriteObsArtifacts(exporter, {});
   }

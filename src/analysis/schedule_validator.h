@@ -25,6 +25,10 @@
 //   R7 io-order        per request: DeviceQueue submit precedes device
 //                      issue precedes delivery to the engine (an io
 //                      completion may not be delivered before issue)
+//   R9 claim-unique    per ready-queue work item: enqueued exactly once,
+//                      claimed at most once, and any claim follows the
+//                      enqueue (work stealing must never double-run or
+//                      fabricate a page)
 #ifndef GTS_ANALYSIS_SCHEDULE_VALIDATOR_H_
 #define GTS_ANALYSIS_SCHEDULE_VALIDATOR_H_
 
@@ -63,6 +67,10 @@ class ScheduleValidator {
   /// R7 over a gts::io event log.
   void CheckIoEvents(const std::vector<IoEvent>& events,
                      RaceReport* report) const;
+
+  /// R9 over the dispatch ready-queue event log.
+  void CheckDispatchEvents(const std::vector<DispatchEvent>& events,
+                           RaceReport* report) const;
 
  private:
   void AddViolation(RaceReport* report, const char* rule, gpu::OpIndex op,

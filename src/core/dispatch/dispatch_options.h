@@ -75,6 +75,16 @@ struct DispatchOptions {
   /// it drops no WA updates. Values above 1 are a lossy approximation
   /// (the paper's near-empty-page tail cut) and may change results.
   uint32_t min_active_edges = 0;
+  /// Worker-driven pull dispatch: the pass is published to a shared
+  /// ready-queue and stream workers claim items (stealing from sibling
+  /// streams, and across GPUs under Strategy-P) instead of the host
+  /// thread pushing pages at streams one by one. Only takes effect with
+  /// GtsOptions::use_stream_threads; with stream threads off the push
+  /// loop runs unchanged (byte-identical schedule). Results on integer
+  /// kernels are unchanged either way; the *simulated* schedule is (the
+  /// recorded order follows claim order), so leave this off when
+  /// reproducing the paper figures.
+  bool work_stealing = false;
 };
 
 }  // namespace gts

@@ -48,6 +48,11 @@ class DispatchPipeline {
                    int* cursor) {
     return stream_->Assign(page_kind, last_kinds, cursor);
   }
+  /// Pull-mode claim for one stream worker (thread-safe; see
+  /// StreamAssignPolicy::Claim).
+  bool ClaimWork(ReadyQueue& queue, const ClaimContext& ctx, WorkItem* out) {
+    return stream_->Claim(queue, ctx, out);
+  }
 
   bool needs_frontier_counts() const {
     return order_->needs_frontier_counts();

@@ -1,0 +1,261 @@
+// Shared per-pass ready-queue for worker-driven page dispatch.
+//
+// With `dispatch.work_stealing` on (and stream threads enabled), the
+// engine no longer pushes pages at streams; it publishes the whole pass
+// as work items here and every stream worker *pulls*. Each (gpu, stream)
+// pair owns a deque; the pass plan fills the deques up front using the
+// policy's legacy Assign step as an affinity hint, then workers claim
+// from their own deque and steal from siblings when idle:
+//
+//   own deque (front)  ->  sibling streams, same GPU (back)  ->
+//   other GPUs (back, non-gpu_bound items only, Strategy-P only)
+//
+// Replicated pages (Strategy-P + kReplicate) fan out as one item per
+// GPU; those items are gpu_bound -- every GPU must run its own copy, so
+// they may move between streams of their GPU but never across GPUs.
+//
+// All claim primitives are thread-safe (one queue-wide mutex; the
+// kernel work a claim feeds runs outside it). Every push and every
+// successful claim is recorded in the bound DispatchEventLog so the
+// ScheduleValidator's R9 claim-unique rule can audit the concurrent
+// schedule post-hoc: each item id enqueued exactly once, claimed at
+// most once, claim after enqueue.
+//
+// Emptiness is termination: the pass plan publishes every item before
+// any worker starts claiming, so a worker whose claim cascade finds
+// nothing is done (items bound to other GPUs are drained by those GPUs'
+// own workers).
+#ifndef GTS_CORE_DISPATCH_READY_QUEUE_H_
+#define GTS_CORE_DISPATCH_READY_QUEUE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "analysis/event_log.h"
+#include "graph/types.h"
+#include "obs/metrics.h"
+
+namespace gts {
+
+/// One claimable unit of dispatch work: stream page `pid` to a GPU and
+/// run its kernel. `home_gpu`/`home_stream` are the affinity the pass
+/// plan assigned; a claim by any other worker is a steal.
+struct WorkItem {
+  PageId pid = kInvalidPageId;
+  int home_gpu = 0;
+  int home_stream = 0;
+  /// PageKind cast to int (sticky claim affinity).
+  int kind = -1;
+  /// Replicated fan-out copies must execute on home_gpu (each GPU runs
+  /// its own copy); unbound items may migrate under Strategy-P.
+  bool gpu_bound = false;
+  /// Queue-assigned unique id; the R9 claim-uniqueness key.
+  uint64_t id = 0;
+  /// Set by the claim primitives: this copy left the queue through a
+  /// steal (non-home deque).
+  bool stolen = false;
+  /// Host wall-clock at Push, for the dispatch.queue_wait metric.
+  std::chrono::steady_clock::time_point enqueued_at{};
+};
+
+class ReadyQueue {
+ public:
+  /// `first_id` seeds the work-item id counter. A queue lives for one
+  /// pass but the DispatchEventLog spans the whole run, and item ids are
+  /// the R9 claim-uniqueness key -- so each pass's queue must start where
+  /// the previous pass stopped (see next_id()).
+  ReadyQueue(int num_gpus, int num_streams, uint64_t first_id = 0)
+      : num_gpus_(num_gpus),
+        num_streams_(num_streams),
+        deques_(static_cast<size_t>(num_gpus) * num_streams),
+        next_id_(first_id) {}
+
+  /// `log` may be null (no auditing). Bind before the first Push.
+  void BindEventLog(analysis::DispatchEventLog* log) { log_ = log; }
+
+  /// Optional observability: `queue_wait` records each claimed item's
+  /// host wall-clock seconds between Push and claim (a Distribution is
+  /// mutex-guarded, so worker-side Record is safe); `steals` counts
+  /// successful steals (Counter::Add is a relaxed atomic). Either may be
+  /// null. Both must outlive the queue.
+  void BindMetrics(obs::Distribution* queue_wait, obs::Counter* steals) {
+    queue_wait_metric_ = queue_wait;
+    steals_metric_ = steals;
+  }
+
+  /// Publishes one work item with (home_gpu, home_stream) affinity.
+  /// Single-producer phase: called from the pass plan before workers
+  /// start (still mutex-guarded, so a misuse can't corrupt, only race
+  /// the audit order). Returns the item id.
+  uint64_t Push(PageId pid, int home_gpu, int home_stream, int kind,
+                bool gpu_bound) {
+    std::lock_guard<std::mutex> lock(mu_);
+    WorkItem item;
+    item.pid = pid;
+    item.home_gpu = home_gpu;
+    item.home_stream = home_stream;
+    item.kind = kind;
+    item.gpu_bound = gpu_bound;
+    item.id = next_id_++;
+    item.enqueued_at = std::chrono::steady_clock::now();
+    if (log_ != nullptr) {
+      analysis::DispatchEvent e;
+      e.kind = analysis::DispatchEvent::Kind::kEnqueued;
+      e.pid = pid;
+      e.item = item.id;
+      log_->Append(e);
+    }
+    deques_[Slot(home_gpu, home_stream)].push_back(item);
+    ++size_;
+    return item.id;
+  }
+
+  /// Claims from the worker's own deque. `prefer_kind >= 0` takes the
+  /// first item of that kind (skipping mismatched ones) and falls back
+  /// to the front; -1 is plain FIFO. `skipped_front` (may be null)
+  /// reports whether a preference bypassed a mismatched front item --
+  /// the sticky policy's switches_avoided signal.
+  bool TryPop(int gpu, int stream, int prefer_kind, int claimer_key,
+              WorkItem* out, bool* skipped_front = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (skipped_front != nullptr) *skipped_front = false;
+    auto& dq = deques_[Slot(gpu, stream)];
+    if (dq.empty()) return false;
+    size_t at = 0;
+    if (prefer_kind >= 0 && dq.front().kind != prefer_kind) {
+      for (size_t i = 1; i < dq.size(); ++i) {
+        if (dq[i].kind == prefer_kind) {
+          at = i;
+          if (skipped_front != nullptr) *skipped_front = true;
+          break;
+        }
+      }
+    }
+    *out = dq[at];
+    out->stolen = false;
+    dq.erase(dq.begin() + static_cast<long>(at));
+    Claimed(*out, claimer_key, /*cross_gpu=*/false);
+    return true;
+  }
+
+  /// Steals from sibling streams on the same GPU, scanning from
+  /// `stream + 1` and taking from the back (leave the victim its front,
+  /// the classic deque discipline). `prefer_kind >= 0` first scans for a
+  /// kind match across all siblings, then takes anything.
+  bool TrySteal(int gpu, int stream, int prefer_kind, int claimer_key,
+                WorkItem* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (prefer_kind >= 0 &&
+        StealScan(gpu, stream, prefer_kind, claimer_key, out)) {
+      return true;
+    }
+    return StealScan(gpu, stream, -1, claimer_key, out);
+  }
+
+  /// Steals a non-gpu_bound item from another GPU's deques (valid only
+  /// when the caller knows WA is replicated, i.e. Strategy-P).
+  bool TryStealCross(int gpu, int claimer_key, WorkItem* out) {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int dg = 1; dg < num_gpus_; ++dg) {
+      const int g = (gpu + dg) % num_gpus_;
+      for (int s = 0; s < num_streams_; ++s) {
+        auto& dq = deques_[Slot(g, s)];
+        for (size_t i = dq.size(); i > 0; --i) {
+          if (dq[i - 1].gpu_bound) continue;
+          *out = dq[i - 1];
+          out->stolen = true;
+          dq.erase(dq.begin() + static_cast<long>(i - 1));
+          Claimed(*out, claimer_key, /*cross_gpu=*/true);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  bool Empty() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return size_ == 0;
+  }
+
+  /// Successful steals (same-GPU and cross-GPU) so far.
+  uint64_t steals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return steals_;
+  }
+
+  /// Cross-GPU subset of steals().
+  uint64_t cross_steals() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cross_steals_;
+  }
+
+  /// The id the next Push would get: carry into the next pass's queue.
+  uint64_t next_id() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_id_;
+  }
+
+ private:
+  size_t Slot(int gpu, int stream) const {
+    return static_cast<size_t>(gpu) * num_streams_ + stream;
+  }
+
+  bool StealScan(int gpu, int stream, int want_kind, int claimer_key,
+                 WorkItem* out) {
+    for (int ds = 1; ds < num_streams_; ++ds) {
+      const int s = (stream + ds) % num_streams_;
+      auto& dq = deques_[Slot(gpu, s)];
+      for (size_t i = dq.size(); i > 0; --i) {
+        if (want_kind >= 0 && dq[i - 1].kind != want_kind) continue;
+        *out = dq[i - 1];
+        out->stolen = true;
+        dq.erase(dq.begin() + static_cast<long>(i - 1));
+        Claimed(*out, claimer_key, /*cross_gpu=*/false);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void Claimed(const WorkItem& item, int claimer_key, bool cross_gpu) {
+    --size_;
+    if (item.stolen) ++steals_;
+    if (cross_gpu) ++cross_steals_;
+    if (log_ != nullptr) {
+      analysis::DispatchEvent e;
+      e.kind = analysis::DispatchEvent::Kind::kClaimed;
+      e.pid = item.pid;
+      e.item = item.id;
+      e.claimer = claimer_key;
+      e.stolen = item.stolen;
+      log_->Append(e);
+    }
+    if (item.stolen && steals_metric_ != nullptr) steals_metric_->Add();
+    if (queue_wait_metric_ != nullptr) {
+      queue_wait_metric_->Record(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        item.enqueued_at)
+              .count());
+    }
+  }
+
+  const int num_gpus_;
+  const int num_streams_;
+  mutable std::mutex mu_;
+  std::vector<std::deque<WorkItem>> deques_;
+  size_t size_ = 0;
+  uint64_t next_id_;
+  uint64_t steals_ = 0;
+  uint64_t cross_steals_ = 0;
+  analysis::DispatchEventLog* log_ = nullptr;
+  obs::Distribution* queue_wait_metric_ = nullptr;
+  obs::Counter* steals_metric_ = nullptr;
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_DISPATCH_READY_QUEUE_H_

@@ -1,6 +1,21 @@
 #include "core/dispatch/stream_assign_policy.h"
 
 namespace gts {
+
+bool StreamAssignPolicy::Claim(ReadyQueue& queue, const ClaimContext& ctx,
+                               WorkItem* out) {
+  if (queue.TryPop(ctx.gpu, ctx.stream, /*prefer_kind=*/-1, ctx.stream_key,
+                   out)) {
+    return true;
+  }
+  if (queue.TrySteal(ctx.gpu, ctx.stream, /*prefer_kind=*/-1, ctx.stream_key,
+                     out)) {
+    return true;
+  }
+  return ctx.allow_cross_gpu &&
+         queue.TryStealCross(ctx.gpu, ctx.stream_key, out);
+}
+
 namespace {
 
 /// Paper default: rotate the cursor. Byte-for-byte the schedule the
@@ -22,6 +37,10 @@ class RoundRobinStreams final : public StreamAssignPolicy {
 /// whose last kernel kind matches the page (no switch overhead), then for
 /// a stream that has not run a kernel yet, then fall back to the cursor.
 /// The cursor advances past the chosen stream, so load still spreads.
+///
+/// In pull mode the affinity becomes a hint: a worker first claims items
+/// matching its stream's last kernel kind (skipping a mismatched front),
+/// and steals -- preferring kind matches -- rather than idle.
 class StickyStreams final : public StreamAssignPolicy {
  public:
   explicit StickyStreams(obs::MetricsRegistry* registry) {
@@ -52,6 +71,25 @@ class StickyStreams final : public StreamAssignPolicy {
     }
     *cursor = (chosen + 1) % n;
     return chosen;
+  }
+
+  bool Claim(ReadyQueue& queue, const ClaimContext& ctx,
+             WorkItem* out) override {
+    bool skipped_front = false;
+    if (queue.TryPop(ctx.gpu, ctx.stream, ctx.last_kind, ctx.stream_key, out,
+                     &skipped_front)) {
+      // Counter::Add is a relaxed atomic, safe from worker threads.
+      if (skipped_front && avoided_ != nullptr && out->kind == ctx.last_kind) {
+        avoided_->Add();
+      }
+      return true;
+    }
+    if (queue.TrySteal(ctx.gpu, ctx.stream, ctx.last_kind, ctx.stream_key,
+                       out)) {
+      return true;
+    }
+    return ctx.allow_cross_gpu &&
+           queue.TryStealCross(ctx.gpu, ctx.stream_key, out);
   }
 
  private:

@@ -10,22 +10,50 @@
 #include <vector>
 
 #include "core/dispatch/dispatch_options.h"
+#include "core/dispatch/ready_queue.h"
 #include "obs/metrics.h"
 
 namespace gts {
+
+/// Identity and state of the worker attempting a Claim.
+struct ClaimContext {
+  int gpu = 0;
+  int stream = 0;
+  /// StreamKey(gpu, stream) -- recorded as the claimer in the dispatch
+  /// event log.
+  int stream_key = 0;
+  /// The worker's stream's previous kernel kind (-1 before any kernel),
+  /// the sticky policy's affinity hint.
+  int last_kind = -1;
+  /// Whether cross-GPU stealing is legal (Strategy-P: WA replicated on
+  /// every GPU, so an unbound page can run anywhere).
+  bool allow_cross_gpu = false;
+};
 
 class StreamAssignPolicy {
  public:
   virtual ~StreamAssignPolicy() = default;
   virtual StreamAssignKind kind() const = 0;
 
-  /// Picks the stream for the next kernel of `page_kind` (a PageKind cast
-  /// to int) on one GPU. `last_kinds[s]` is stream s's previous kernel
-  /// kind (-1 before any kernel ran); `cursor` is the GPU's persistent
-  /// rotation cursor, which the call advances. Called from the engine's
-  /// dispatch loop only (single-threaded), never from stream workers.
+  /// Push mode (and work-stealing affinity hint): picks the stream for
+  /// the next kernel of `page_kind` (a PageKind cast to int) on one GPU.
+  /// `last_kinds[s]` is stream s's previous kernel kind (-1 before any
+  /// kernel ran); `cursor` is the GPU's persistent rotation cursor,
+  /// which the call advances. Called from the engine's dispatch loop (or
+  /// the single-threaded pass-plan phase) only, never concurrently.
   virtual int Assign(int page_kind, const std::vector<int>& last_kinds,
                      int* cursor) = 0;
+
+  /// Pull mode: claims the next work item for the worker described by
+  /// `ctx`, stealing from siblings (and, when ctx.allow_cross_gpu, other
+  /// GPUs) when the worker's own deque is idle. Thread-safe -- called
+  /// concurrently from every stream worker; all shared state lives in
+  /// `queue`. Returns false when no claimable work remains for this
+  /// worker (pass drained). The base implementation is the plain
+  /// FIFO-then-steal cascade; policies override to bias the claim (e.g.
+  /// sticky prefers items matching ctx.last_kind).
+  virtual bool Claim(ReadyQueue& queue, const ClaimContext& ctx,
+                     WorkItem* out);
 };
 
 /// `registry` may be null; the sticky policy publishes

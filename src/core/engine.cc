@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "core/dispatch/dispatch_pipeline.h"
+#include "core/dispatch/ready_queue.h"
 #include "obs/prof.h"
 
 namespace gts {
@@ -455,8 +456,7 @@ void GtsEngine::DownloadWa(GtsKernel* kernel) {
   if (race_ != nullptr) race_->BarrierAcquire();
 #endif
 
-  [[maybe_unused]] std::vector<gpu::OpIndex> d2h_idx(
-      static_cast<size_t>(n_gpus), gpu::kNoOp);
+  std::vector<gpu::OpIndex> d2h_idx(static_cast<size_t>(n_gpus), gpu::kNoOp);
   if (options_.strategy == Strategy::kPerformance && n_gpus > 1) {
     // Peer-to-peer merge into the master GPU, then one D2H (Section 4.1).
     const uint64_t bytes =
@@ -519,6 +519,29 @@ void GtsEngine::DownloadWa(GtsKernel* kernel) {
     }
 #endif
   }
+  if (options_.io.wa_snapshot) {
+    // Spill each GPU's downloaded WA replica/chunk to storage through the
+    // io write path: the write queues behind pending reads on its device
+    // and is recorded as kStorageWrite depending on the D2H that produced
+    // the bytes, so checkpoint traffic contends in the simulated schedule
+    // instead of being invisible. Layout: past the striped page region,
+    // GPUs round-robined over devices, chunks packed in GPU order -- the
+    // same offsets every pass (a snapshot, not a journal).
+    const size_t n_dev = store_->num_devices();
+    std::vector<uint64_t> cursor(n_dev);
+    for (size_t d = 0; d < n_dev; ++d) cursor[d] = store_->DevicePageBytes(d);
+    for (int g = 0; g < n_gpus; ++g) {
+      GpuState& gpu = *gpus_[g];
+      const uint64_t bytes =
+          static_cast<uint64_t>(gpu.wa_end - gpu.wa_begin) * wa_b;
+      if (bytes == 0) continue;
+      const size_t d = static_cast<size_t>(g) % n_dev;
+      auto wrote = io_->Write(d, cursor[d], gpu.wa_buf.data(), bytes,
+                              d2h_idx[static_cast<size_t>(g)]);
+      GTS_CHECK_OK(wrote.status());
+      cursor[d] += bytes;
+    }
+  }
 #if GTS_RACE_CHECK_ENABLED
   if (race_ != nullptr) race_->BarrierRelease();
 #endif
@@ -559,19 +582,22 @@ std::vector<PageId> GtsEngine::PlanPass(std::vector<PageId> sps,
   // that will actually reach Acquire. Pages every target GPU serves from
   // its page cache never touch storage (Algorithm 1 line 17), so planning
   // them would make the queues issue reads the synchronous path never
-  // did. The routing mirrors ProcessPages exactly.
+  // did. RoutePage is the same helper the dispatch loops use, so the
+  // demand plan cannot drift from the actual routing. The Contains()
+  // filter is still a prediction: under an evicting cache policy a page
+  // can pass it here and miss at Acquire time (the pass's own inserts
+  // evicted it); IoEngine::Acquire covers that window with a demand
+  // fetch routed through the device queue.
   std::vector<PageId> demand;
   demand.reserve(ordered.size());
-  const bool replicate = pipeline_->replicates();
   for (PageId pid : ordered) {
-    if (!replicate && AssignToCpu(pid)) {
+    const PageRoute route = RoutePage(pid);
+    if (route.cpu) {
       demand.push_back(pid);  // the CPU path has no page cache
       continue;
     }
-    const int first_gpu = replicate ? 0 : pipeline_->AssignGpu(pid);
-    const int last_gpu = replicate ? machine_.num_gpus - 1 : first_gpu;
     bool will_demand = false;
-    for (int g = first_gpu; g <= last_gpu && !will_demand; ++g) {
+    for (int g = route.first_gpu; g <= route.last_gpu && !will_demand; ++g) {
       const auto& cache = gpus_[g]->cache;
       will_demand = cache == nullptr || !cache->Contains(pid);
     }
@@ -581,10 +607,138 @@ std::vector<PageId> GtsEngine::PlanPass(std::vector<PageId> sps,
   return ordered;
 }
 
+GtsEngine::PageRoute GtsEngine::RoutePage(PageId pid) const {
+  PageRoute route;
+  if (!pipeline_->replicates() && AssignToCpu(pid)) {
+    route.cpu = true;
+    return route;  // last_gpu stays below first_gpu: no GPU leg
+  }
+  route.first_gpu = pipeline_->replicates() ? 0 : pipeline_->AssignGpu(pid);
+  route.last_gpu =
+      pipeline_->replicates() ? machine_.num_gpus - 1 : route.first_gpu;
+  return route;
+}
+
 Status GtsEngine::ProcessPages(GtsKernel* kernel,
                                const std::vector<PageId>& pids,
                                uint32_t cur_level, RunMetrics* metrics) {
+  if (options_.use_stream_threads && options_.dispatch.work_stealing) {
+    return ProcessPagesPull(kernel, pids, cur_level, metrics);
+  }
   GTS_PROF_SCOPE("engine.process_pages");
+  for (PageId pid : pids) {
+    const PageRoute route = RoutePage(pid);
+    if (route.cpu) {
+      GTS_RETURN_IF_ERROR(ProcessPageOnCpu(kernel, pid, cur_level, metrics));
+      continue;
+    }
+    const PageKind kind = graph_->kind(pid);
+    for (int g = route.first_gpu; g <= route.last_gpu; ++g) {
+      GpuState& gpu = *gpus_[g];
+      const int s = pipeline_->AssignStream(static_cast<int>(kind),
+                                            gpu.stream_last_kind, &gpu.rr);
+      GTS_RETURN_IF_ERROR(StreamPageToGpu(kernel, pid, g, s, cur_level,
+                                          metrics, /*pull=*/false,
+                                          /*stolen=*/false));
+    }
+  }
+  return Status::OK();
+}
+
+Status GtsEngine::ProcessPagesPull(GtsKernel* kernel,
+                                   const std::vector<PageId>& pids,
+                                   uint32_t cur_level, RunMetrics* metrics) {
+  GTS_PROF_SCOPE("engine.process_pages");
+  const int n_gpus = machine_.num_gpus;
+  const int n_streams = options_.num_streams;
+
+  // Publish the whole pass up front. The legacy Assign step picks each
+  // item's home (gpu, stream) -- sticky's kind affinity keeps meaning as
+  // the steal hint -- and replicated pages fan out as one gpu-bound item
+  // per GPU (each GPU must run its own copy; only partitioned items may
+  // later migrate across GPUs).
+  ReadyQueue queue(n_gpus, n_streams, work_item_seq_);
+  queue.BindEventLog(&dispatch_events_);
+  queue.BindMetrics(&registry_->GetDistribution("dispatch.queue_wait"),
+                    &registry_->GetCounter("dispatch.steals"));
+  std::vector<PageId> cpu_pages;
+  for (PageId pid : pids) {
+    const PageRoute route = RoutePage(pid);
+    if (route.cpu) {
+      cpu_pages.push_back(pid);
+      continue;
+    }
+    const PageKind kind = graph_->kind(pid);
+    const bool gpu_bound = route.last_gpu > route.first_gpu;
+    for (int g = route.first_gpu; g <= route.last_gpu; ++g) {
+      GpuState& gpu = *gpus_[g];
+      const int s = pipeline_->AssignStream(static_cast<int>(kind),
+                                            gpu.stream_last_kind, &gpu.rr);
+      queue.Push(pid, g, s, static_cast<int>(kind), gpu_bound);
+    }
+  }
+  // All ids for this pass are assigned; the next pass continues the run's
+  // sequence so the R9 audit's per-item key stays unique across passes.
+  work_item_seq_ = queue.next_id();
+
+  // Hybrid CPU-assist pages run on the host thread *before* the workers
+  // start: ProcessPageOnCpu reads its page straight out of MMBuf, which
+  // concurrent worker Acquires may evict mid-kernel. Simulated time is
+  // unaffected (op overlap is the simulator's business); only host
+  // wall-clock loses the CPU/GPU overlap, and cpu_assist_fraction is 0
+  // in every paper configuration.
+  for (PageId pid : cpu_pages) {
+    GTS_RETURN_IF_ERROR(ProcessPageOnCpu(kernel, pid, cur_level, metrics));
+  }
+
+  // Cross-GPU steals need WA replicated on every device (Strategy-P);
+  // under Strategy-S every item is gpu-bound anyway (replicated stream).
+  const bool allow_cross =
+      options_.strategy == Strategy::kPerformance && n_gpus > 1;
+  std::mutex error_mu;
+  Status first_error;
+  for (int g = 0; g < n_gpus; ++g) {
+    for (int s = 0; s < n_streams; ++s) {
+      gpus_[g]->streams[s]->Enqueue([this, kernel, cur_level, metrics, &queue,
+                                     &error_mu, &first_error, allow_cross, g,
+                                     s] {
+        ClaimContext ctx;
+        ctx.gpu = g;
+        ctx.stream = s;
+        ctx.stream_key = StreamKey(g, s);
+        ctx.allow_cross_gpu = allow_cross;
+        WorkItem item;
+        for (;;) {
+          // stream_last_kind[s] is owner-exclusive: only this worker
+          // processes on (g, s), so the unlocked read is safe.
+          ctx.last_kind = gpus_[g]->stream_last_kind[s];
+          if (!pipeline_->ClaimWork(queue, ctx, &item)) break;
+          Status status = StreamPageToGpu(kernel, item.pid, g, s, cur_level,
+                                          metrics, /*pull=*/true,
+                                          item.stolen);
+          if (!status.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = std::move(status);
+            break;
+          }
+        }
+      });
+    }
+  }
+  // The queue and error slot live on this frame: drain every worker
+  // before returning (the caller's SynchronizeStreams is then a no-op).
+  // A worker that errored stops claiming; its siblings still drain the
+  // queue, and the first error surfaces after the pass settles.
+  for (auto& gpu : gpus_) {
+    for (auto& stream : gpu->streams) stream->Synchronize();
+  }
+  return first_error;
+}
+
+Status GtsEngine::StreamPageToGpu(GtsKernel* kernel, PageId pid, int g,
+                                  int s, uint32_t cur_level,
+                                  RunMetrics* metrics, bool pull,
+                                  bool stolen) {
   const TimeModel& tm = machine_.time_model;
   const PageConfig& config = graph_->config();
   const uint64_t page_size = config.page_size;
@@ -592,217 +746,215 @@ Status GtsEngine::ProcessPages(GtsKernel* kernel,
   const double sec_per_cycle = tm.warp_cycle_seconds;
   const double sec_per_mem = kernel->seconds_per_mem_transaction(tm);
   const uint8_t* host_ra = kernel->host_ra();
-  const int n_gpus = machine_.num_gpus;
-  const bool replicate_pages = pipeline_->replicates();
+  const PageKind kind = graph_->kind(pid);
+  GpuState& gpu = *gpus_[g];
+  const int stream_key = StreamKey(g, s);
 
-  for (PageId pid : pids) {
-    const PageKind kind = graph_->kind(pid);
-    if (!replicate_pages && AssignToCpu(pid)) {
-      GTS_RETURN_IF_ERROR(ProcessPageOnCpu(kernel, pid, cur_level, metrics));
-      continue;
+  // Pull mode serializes the host-side phase: Acquire can evict the
+  // MMBuf bytes another worker is mid-copy on, and the recorded op order
+  // must be internally consistent per stream. Released before the kernel
+  // executes -- that part is the parallelism.
+  std::unique_lock<std::mutex> host_phase(dispatch_mu_, std::defer_lock);
+  if (pull) host_phase.lock();
+
+  // Host-side routing against cachedPIDMap (Algorithm 1 line 16). A
+  // hit returns an RAII Pin: the lease blocks eviction, so the kernel
+  // can run in place against the cached device page even while Insert
+  // calls on other stream threads evict around it. The Pin is move-only
+  // and moves straight into the execute closure (gpu::Task), no heap
+  // wrapper needed.
+  PageCache::Pin pin =
+      gpu.cache != nullptr ? gpu.cache->Lookup(pid) : PageCache::Pin();
+  const bool cached = pin.valid();
+
+  // Holds streamed page bytes alive for the enqueued closure (thread
+  // mode); unused on a cache hit, where the pinned bytes are read
+  // directly.
+  std::vector<uint8_t> staging;
+
+  const uint8_t* ra_src = nullptr;  // host RA subvector
+  uint64_t ra_bytes = 0;
+  VertexId ra_start_vid = 0;
+  gpu::OpIndex fetch_dep = gpu::kNoOp;
+
+  if (!cached) {
+    staging.resize(page_size);
+    GTS_ASSIGN_OR_RETURN(io::IoEngine::Fetched fetch, io_->Acquire(pid));
+    fetch_dep = fetch.fetch_op;
+
+    gpu::TimelineOp h2d;
+    h2d.kind = gpu::OpKind::kH2DStream;
+    h2d.stream_key = stream_key;
+    h2d.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+    h2d.duration = static_cast<double>(page_size) / tm.c2;
+    h2d.dep0 = fetch_dep;
+    h2d.bytes = page_size;
+    h2d.page = pid;
+    h2d.stolen = stolen;
+    [[maybe_unused]] const gpu::OpIndex h2d_idx = RecordOp(h2d);
+    ++metrics->pages_streamed;
+
+#if GTS_RACE_CHECK_ENABLED
+    if (race_ != nullptr) {
+      // storage -> MMBuf event, then host consumes the bytes.
+      if (!fetch.buffer_hit) {
+        race_->OnPageStaged(static_cast<int>(fetch.device_index), pid,
+                            fetch.fetch_op);
+      }
+      race_->OnPageDelivered(pid);
+      // The copy engine reads the staged MMBuf bytes into the stream
+      // buffer; fusing with the stream carries the transfer->kernel
+      // happens-before edge (CUDA in-stream ordering).
+      const int copy = race_->CopyLane(g);
+      race_->Join(copy, race_->HostLane());
+      race_->BeginOp(copy);
+      race_->OnPageAccess(copy, analysis::RaceDetector::kMmbufDomain, pid,
+                          /*write=*/false, h2d_idx);
+      race_->Fuse(copy, race_->StreamLane(g, s, stream_key));
     }
-    const int first_gpu = replicate_pages ? 0 : pipeline_->AssignGpu(pid);
-    const int last_gpu = replicate_pages ? n_gpus - 1 : first_gpu;
-    for (int g = first_gpu; g <= last_gpu; ++g) {
-      GpuState& gpu = *gpus_[g];
-      const int s = pipeline_->AssignStream(static_cast<int>(kind),
-                                            gpu.stream_last_kind, &gpu.rr);
-      const int stream_key = StreamKey(g, s);
-
-      // Host-side routing against cachedPIDMap (Algorithm 1 line 16). A
-      // hit returns an RAII Pin: the lease blocks eviction, so the kernel
-      // can run in place against the cached device page even while Insert
-      // calls on other stream threads evict around it. (shared_ptr only
-      // because std::function requires copyable captures; the Pin itself
-      // is move-only.)
-      auto pin = std::make_shared<PageCache::Pin>(
-          gpu.cache != nullptr ? gpu.cache->Lookup(pid) : PageCache::Pin());
-      const bool cached = pin->valid();
-
-      // Holds streamed page bytes alive for the enqueued lambda (thread
-      // mode); unused on a cache hit, where the pinned bytes are read
-      // directly.
-      std::shared_ptr<std::vector<uint8_t>> staging;
-
-      const uint8_t* ra_src = nullptr;  // host RA subvector
-      uint64_t ra_bytes = 0;
-      VertexId ra_start_vid = 0;
-      gpu::OpIndex fetch_dep = gpu::kNoOp;
-
-      if (!cached) {
-        staging = std::make_shared<std::vector<uint8_t>>(page_size);
-        GTS_ASSIGN_OR_RETURN(io::IoEngine::Fetched fetch, io_->Acquire(pid));
-        fetch_dep = fetch.fetch_op;
-
-        gpu::TimelineOp h2d;
-        h2d.kind = gpu::OpKind::kH2DStream;
-        h2d.stream_key = stream_key;
-        h2d.resource = {gpu::ResourceId::Type::kCopyEngine, g};
-        h2d.duration = static_cast<double>(page_size) / tm.c2;
-        h2d.dep0 = fetch_dep;
-        h2d.bytes = page_size;
-        h2d.page = pid;
-        [[maybe_unused]] const gpu::OpIndex h2d_idx = RecordOp(h2d);
-        ++metrics->pages_streamed;
-
-#if GTS_RACE_CHECK_ENABLED
-        if (race_ != nullptr) {
-          // storage -> MMBuf event, then host consumes the bytes.
-          if (!fetch.buffer_hit) {
-            race_->OnPageStaged(static_cast<int>(fetch.device_index), pid,
-                                fetch.fetch_op);
-          }
-          race_->OnPageDelivered(pid);
-          // The copy engine reads the staged MMBuf bytes into the stream
-          // buffer; fusing with the stream carries the transfer->kernel
-          // happens-before edge (CUDA in-stream ordering).
-          const int copy = race_->CopyLane(g);
-          race_->Join(copy, race_->HostLane());
-          race_->BeginOp(copy);
-          race_->OnPageAccess(copy, analysis::RaceDetector::kMmbufDomain, pid,
-                              /*write=*/false, h2d_idx);
-          race_->Fuse(copy, race_->StreamLane(g, s, stream_key));
-        }
 #endif
 
-        if (ra_b > 0 && host_ra != nullptr) {
-          const RvtEntry& rvt_entry = graph_->rvt().entry(pid);
-          ra_start_vid = rvt_entry.start_vid;
-          const uint32_t covered = kind == PageKind::kSmall
-                                       ? graph_->view(pid).num_slots()
-                                       : 1;
-          ra_bytes = static_cast<uint64_t>(covered) * ra_b;
-          ra_src = host_ra + ra_start_vid * ra_b;
+    if (ra_b > 0 && host_ra != nullptr) {
+      const RvtEntry& rvt_entry = graph_->rvt().entry(pid);
+      ra_start_vid = rvt_entry.start_vid;
+      const uint32_t covered =
+          kind == PageKind::kSmall ? graph_->view(pid).num_slots() : 1;
+      ra_bytes = static_cast<uint64_t>(covered) * ra_b;
+      ra_src = host_ra + ra_start_vid * ra_b;
 
-          gpu::TimelineOp ra_op;
-          ra_op.kind = gpu::OpKind::kH2DStream;
-          ra_op.stream_key = stream_key;
-          ra_op.resource = {gpu::ResourceId::Type::kCopyEngine, g};
-          ra_op.duration = static_cast<double>(ra_bytes) / tm.c2;
-          ra_op.bytes = ra_bytes;
-          ra_op.page = pid;
-          RecordOp(ra_op);
-        }
+      gpu::TimelineOp ra_op;
+      ra_op.kind = gpu::OpKind::kH2DStream;
+      ra_op.stream_key = stream_key;
+      ra_op.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+      ra_op.duration = static_cast<double>(ra_bytes) / tm.c2;
+      ra_op.bytes = ra_bytes;
+      ra_op.page = pid;
+      RecordOp(ra_op);
+    }
 
-        std::memcpy(staging->data(), fetch.data, page_size);
-      }
-      // On a cache hit only the kernel call is issued (line 17); cached
-      // kernels never carry RA (SetupBuffers enables the cache only for
-      // RA-free traversal kernels).
+    // Copied while the host phase owns the MMBuf bytes: in pull mode a
+    // sibling worker's Acquire may evict `fetch.data` the moment
+    // dispatch_mu_ is released.
+    std::memcpy(staging.data(), fetch.data, page_size);
+  }
+  // On a cache hit only the kernel call is issued (line 17); cached
+  // kernels never carry RA (SetupBuffers enables the cache only for
+  // RA-free traversal kernels).
 
-      gpu::TimelineOp kop;
-      kop.kind = gpu::OpKind::kKernel;
-      kop.stream_key = stream_key;
-      kop.resource = {gpu::ResourceId::Type::kKernelPool, g};
-      // Switching between the SP and LP kernels on a stream costs extra
-      // (Section 3.2); the work-dependent time is added after execution.
-      kop.duration = 0.0;
-      if (gpu.stream_last_kind[s] >= 0 &&
-          gpu.stream_last_kind[s] != static_cast<int>(kind)) {
-        kop.duration = tm.kernel_switch_overhead;
-      }
-      gpu.stream_last_kind[s] = static_cast<int>(kind);
-      kop.page = pid;
-      const gpu::OpIndex kidx = RecordOp(kop);
-      if (kind == PageKind::kSmall) {
-        ++metrics->sp_kernel_calls;
-      } else {
-        ++metrics->lp_kernel_calls;
-      }
+  gpu::TimelineOp kop;
+  kop.kind = gpu::OpKind::kKernel;
+  kop.stream_key = stream_key;
+  kop.resource = {gpu::ResourceId::Type::kKernelPool, g};
+  // Switching between the SP and LP kernels on a stream costs extra
+  // (Section 3.2); the work-dependent time is added after execution.
+  kop.duration = 0.0;
+  if (gpu.stream_last_kind[s] >= 0 &&
+      gpu.stream_last_kind[s] != static_cast<int>(kind)) {
+    kop.duration = tm.kernel_switch_overhead;
+  }
+  gpu.stream_last_kind[s] = static_cast<int>(kind);
+  kop.page = pid;
+  kop.stolen = stolen;
+  const gpu::OpIndex kidx = RecordOp(kop);
+  if (kind == PageKind::kSmall) {
+    ++metrics->sp_kernel_calls;
+  } else {
+    ++metrics->lp_kernel_calls;
+  }
 
-      const bool insert_into_cache = gpu.cache != nullptr && !cached;
-      int race_lane = 0;
+  const bool insert_into_cache = gpu.cache != nullptr && !cached;
+  int race_lane = 0;
 #if GTS_RACE_CHECK_ENABLED
-      if (race_ != nullptr) {
-        // Issue edge: the kernel launch is a host action, so everything
-        // that happened-before the launch happens-before the kernel.
-        // Later host actions are NOT ordered before it (Join ticks host).
-        race_lane = race_->StreamLane(g, s, stream_key);
-        race_->BeginOp(race_lane);
-        race_->Join(race_lane, race_->HostLane());
-        if (cached) {
-          race_->OnPageAccess(race_lane,
-                              analysis::RaceDetector::CacheDomain(g), pid,
-                              /*write=*/false, kidx);
-        } else if (insert_into_cache) {
-          race_->OnPageAccess(race_lane,
-                              analysis::RaceDetector::CacheDomain(g), pid,
-                              /*write=*/true, kidx);
-        }
-      }
+  if (race_ != nullptr) {
+    // Issue edge: the kernel launch is a host action, so everything
+    // that happened-before the launch happens-before the kernel.
+    // Later host actions are NOT ordered before it (Join ticks host).
+    race_lane = race_->StreamLane(g, s, stream_key);
+    race_->BeginOp(race_lane);
+    race_->Join(race_lane, race_->HostLane());
+    if (cached) {
+      race_->OnPageAccess(race_lane, analysis::RaceDetector::CacheDomain(g),
+                          pid, /*write=*/false, kidx);
+    } else if (insert_into_cache) {
+      race_->OnPageAccess(race_lane, analysis::RaceDetector::CacheDomain(g),
+                          pid, /*write=*/true, kidx);
+    }
+  }
 #endif
-      GpuState* gpu_ptr = &gpu;
-      const double launch_overhead = tm.kernel_launch_overhead;
-      auto execute = [this, kernel, gpu_ptr, pin, staging, ra_src, ra_bytes,
-                      ra_start_vid, kind, cur_level, g, s, kidx, race_lane,
-                      sec_per_cycle, sec_per_mem, insert_into_cache, pid,
-                      config, launch_overhead]() {
-        GpuState& st = *gpu_ptr;
-        const uint8_t* page_bytes = nullptr;
-        if (pin->valid()) {
-          // Cache hit (Algorithm 1 line 17): run the kernel in place
-          // against the pinned device page; no copy is needed and the Pin
-          // keeps the buffer alive until this lambda is destroyed.
-          page_bytes = pin->data();
-        } else {
-          // "Copy" into the device stream buffer, then run the kernel
-          // there.
-          uint8_t* dst = kind == PageKind::kSmall ? st.sp_buf[s].data()
-                                                  : st.lp_buf[s].data();
-          std::memcpy(dst, staging->data(), staging->size());
-          page_bytes = dst;
-        }
-        if (ra_src != nullptr) {
-          std::memcpy(st.ra_buf[s].data(), ra_src, ra_bytes);
-        }
+  GpuState* gpu_ptr = &gpu;
+  const double launch_overhead = tm.kernel_launch_overhead;
+  auto execute = [this, kernel, gpu_ptr, pin = std::move(pin),
+                  staging = std::move(staging), ra_src, ra_bytes,
+                  ra_start_vid, kind, cur_level, g, s, kidx, race_lane,
+                  sec_per_cycle, sec_per_mem, insert_into_cache, pid, config,
+                  launch_overhead]() {
+    GpuState& st = *gpu_ptr;
+    const uint8_t* page_bytes = nullptr;
+    if (pin.valid()) {
+      // Cache hit (Algorithm 1 line 17): run the kernel in place
+      // against the pinned device page; no copy is needed and the Pin
+      // keeps the buffer alive until this closure is destroyed.
+      page_bytes = pin.data();
+    } else {
+      // "Copy" into the device stream buffer, then run the kernel
+      // there.
+      uint8_t* dst = kind == PageKind::kSmall ? st.sp_buf[s].data()
+                                              : st.lp_buf[s].data();
+      std::memcpy(dst, staging.data(), staging.size());
+      page_bytes = dst;
+    }
+    if (ra_src != nullptr) {
+      std::memcpy(st.ra_buf[s].data(), ra_src, ra_bytes);
+    }
 
-        KernelContext ctx;
-        ctx.rvt = &graph_->rvt();
-        ctx.wa = st.wa_buf.data();
-        ctx.wa_begin = st.wa_begin;
-        ctx.wa_end = st.wa_end;
-        ctx.ra = ra_src != nullptr ? st.ra_buf[s].data() : nullptr;
-        ctx.ra_start_vid = ra_start_vid;
-        ctx.cur_level = cur_level;
-        ctx.next_pid_set = st.local_next.get();
-        if (st.local_next != nullptr && st.local_next->counting()) {
-          ctx.out_degrees = out_degrees_.data();
-        }
-        ctx.micro = options_.micro;
+    KernelContext ctx;
+    ctx.rvt = &graph_->rvt();
+    ctx.wa = st.wa_buf.data();
+    ctx.wa_begin = st.wa_begin;
+    ctx.wa_end = st.wa_end;
+    ctx.ra = ra_src != nullptr ? st.ra_buf[s].data() : nullptr;
+    ctx.ra_start_vid = ra_start_vid;
+    ctx.cur_level = cur_level;
+    ctx.next_pid_set = st.local_next.get();
+    if (st.local_next != nullptr && st.local_next->counting()) {
+      ctx.out_degrees = out_degrees_.data();
+    }
+    ctx.micro = options_.micro;
 #if GTS_RACE_CHECK_ENABLED
-        if (race_ != nullptr) {
-          ctx.race_site = {race_.get(), race_lane,
-                           analysis::RaceDetector::WaDomain(g), kidx, pid};
-        }
+    if (race_ != nullptr) {
+      ctx.race_site = {race_.get(), race_lane,
+                       analysis::RaceDetector::WaDomain(g), kidx, pid};
+    }
 #else
-        (void)g;
-        (void)race_lane;
+    (void)g;
+    (void)race_lane;
 #endif
 
-        PageView view(page_bytes, config);
-        const WorkStats work = kind == PageKind::kSmall
-                                   ? kernel->RunSp(view, ctx)
-                                   : kernel->RunLp(view, ctx);
-        st.stream_work[s] += work;
-        PatchKernelDuration(
-            kidx,
-            launch_overhead +
-                static_cast<double>(work.warp_cycles) * sec_per_cycle +
-                static_cast<double>(work.mem_transactions) * sec_per_mem);
-        if (insert_into_cache) {
-          // Device-internal copy; deliberately not a timeline op (it does
-          // not cross PCI-E). Failure is cache-full backpressure (counted
-          // by the cache) -- the page simply stays on the streaming path.
-          (void)st.cache->Insert(pid, page_bytes);
-        }
-      };
-
-      if (options_.use_stream_threads) {
-        gpu.streams[s]->Enqueue(std::move(execute));
-      } else {
-        execute();
-      }
+    PageView view(page_bytes, config);
+    const WorkStats work = kind == PageKind::kSmall ? kernel->RunSp(view, ctx)
+                                                    : kernel->RunLp(view, ctx);
+    st.stream_work[s] += work;
+    PatchKernelDuration(
+        kidx, launch_overhead +
+                  static_cast<double>(work.warp_cycles) * sec_per_cycle +
+                  static_cast<double>(work.mem_transactions) * sec_per_mem);
+    if (insert_into_cache) {
+      // Device-internal copy; deliberately not a timeline op (it does
+      // not cross PCI-E). Failure is cache-full backpressure (counted
+      // by the cache) -- the page simply stays on the streaming path.
+      (void)st.cache->Insert(pid, page_bytes);
     }
+  };
+
+  if (pull) {
+    // The calling thread IS the stream worker: run the kernel inline,
+    // outside the host-phase lock.
+    host_phase.unlock();
+    execute();
+  } else if (options_.use_stream_threads) {
+    gpu.streams[s]->Enqueue(std::move(execute));
+  } else {
+    execute();
   }
   return Status::OK();
 }
@@ -853,6 +1005,8 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
   io_->ResetStats();
   pin_events_.Clear();
   io_events_.Clear();
+  dispatch_events_.Clear();
+  work_item_seq_ = 0;
 #if GTS_RACE_CHECK_ENABLED
   if (race_ != nullptr) race_->BeginRun();
 #endif
@@ -1094,6 +1248,8 @@ Result<RunMetrics> GtsEngine::RunPass(GtsKernel* kernel,
   io_->ResetStats();
   pin_events_.Clear();
   io_events_.Clear();
+  dispatch_events_.Clear();
+  work_item_seq_ = 0;
 #if GTS_RACE_CHECK_ENABLED
   if (race_ != nullptr) race_->BeginRun();
 #endif
@@ -1178,6 +1334,7 @@ Status GtsEngine::FinalizeRun(RunMetrics* metrics) {
     validator.Check(schedule, &report);
     validator.CheckPinEvents(pin_events_.Take(), &report);
     validator.CheckIoEvents(io_events_.Take(), &report);
+    validator.CheckDispatchEvents(dispatch_events_.Take(), &report);
   }
   registry_->GetCounter("analysis.races").Add(report.races_detected);
   registry_->GetCounter("analysis.wa_accesses").Add(report.wa_accesses);

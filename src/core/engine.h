@@ -179,6 +179,16 @@ class GtsEngine {
   /// True if the hybrid extension routes page `pid` to the host CPUs.
   bool AssignToCpu(PageId pid) const;
 
+  /// One page's CPU/GPU routing under the active strategy + partition
+  /// policy. The single source of routing truth shared by PlanPass's
+  /// demand planning and both dispatch loops, so they cannot drift.
+  struct PageRoute {
+    bool cpu = false;   ///< hybrid extension routes it to the host CPUs
+    int first_gpu = 0;  ///< inclusive
+    int last_gpu = -1;  ///< inclusive (spans every GPU when replicated)
+  };
+  PageRoute RoutePage(PageId pid) const;
+
   /// Processes one page on the host CPUs (no PCI-E traffic).
   Status ProcessPageOnCpu(GtsKernel* kernel, PageId pid,
                           uint32_t cur_level, RunMetrics* metrics);
@@ -200,8 +210,30 @@ class GtsEngine {
 
   /// Streams one list of pages to the GPUs and runs kernels; records ops
   /// and accumulates stats. Page kind (SP/LP) is derived per page.
+  /// Dispatches to ProcessPagesPull when dispatch.work_stealing is on
+  /// and stream threads are enabled; otherwise runs the classic
+  /// policy-driven push loop (byte-identical schedule to the seed).
   Status ProcessPages(GtsKernel* kernel, const std::vector<PageId>& pids,
                       uint32_t cur_level, RunMetrics* metrics);
+
+  /// Worker-driven pull dispatch: publishes the pass as work items on a
+  /// shared ReadyQueue (replicated pages fan out as one gpu-bound item
+  /// per GPU) and has every stream worker claim -- stealing from sibling
+  /// streams and, under Strategy-P, across GPUs -- until the queue
+  /// drains. Claim/steal edges are recorded in dispatch_events_ for the
+  /// validator's R9 rule.
+  Status ProcessPagesPull(GtsKernel* kernel, const std::vector<PageId>& pids,
+                          uint32_t cur_level, RunMetrics* metrics);
+
+  /// Streams one page to stream `s` of GPU `g` and runs its kernel: the
+  /// shared body of the push loop and the pull workers. With `pull` set,
+  /// the host-side phase (io acquire + MMBuf read, op recording, metric
+  /// bumps) runs under dispatch_mu_ and the kernel executes inline on
+  /// the calling stream worker; otherwise the classic push behavior
+  /// (enqueue to the stream under use_stream_threads, else inline).
+  Status StreamPageToGpu(GtsKernel* kernel, PageId pid, int g, int s,
+                         uint32_t cur_level, RunMetrics* metrics, bool pull,
+                         bool stolen);
 
   /// Stage 0 of every pass: drives the dispatch pipeline (partition plan
   /// + page order) and hands the ordered batch to the io engine, which
@@ -257,6 +289,20 @@ class GtsEngine {
   // -DGTS_RACE_CHECK=ON and only when GtsOptions::analysis.race_check.
   analysis::PinEventLog pin_events_;
   analysis::IoEventLog io_events_;
+  /// Ready-queue enqueue/claim edges for the validator's R9
+  /// claim-uniqueness rule (only populated by pull-mode passes).
+  analysis::DispatchEventLog dispatch_events_;
+  /// First work-item id for the next pull-mode pass. Item ids key the R9
+  /// audit across the whole run, so each pass's ReadyQueue continues the
+  /// sequence; reset to 0 wherever dispatch_events_ is cleared.
+  uint64_t work_item_seq_ = 0;
+
+  /// Serializes the host-side phase of pull-mode stream workers:
+  /// io_->Acquire + MMBuf reads (a concurrent Acquire may evict the
+  /// bytes another worker is copying), op recording order, and
+  /// RunMetrics bumps. Kernel execution and ready-queue claims run
+  /// outside it -- that concurrency is the point of pull dispatch.
+  std::mutex dispatch_mu_;
 #if GTS_RACE_CHECK_ENABLED
   std::unique_ptr<analysis::RaceDetector> race_;
 #endif

@@ -13,6 +13,8 @@ std::string_view OpKindName(OpKind kind) {
   switch (kind) {
     case OpKind::kStorageFetch:
       return "fetch";
+    case OpKind::kStorageWrite:
+      return "write";
     case OpKind::kH2DChunk:
       return "h2d-chunk";
     case OpKind::kH2DStream:
@@ -184,6 +186,7 @@ std::string RenderTimelineAscii(const ScheduleResult& result, int columns) {
           mark = '=';
           break;
         case OpKind::kStorageFetch:
+        case OpKind::kStorageWrite:
           mark = '-';
           break;
         default:

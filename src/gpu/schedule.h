@@ -31,6 +31,7 @@ namespace gpu {
 
 enum class OpKind : uint8_t {
   kStorageFetch,  // SSD/HDD -> MMBuf
+  kStorageWrite,  // host -> SSD/HDD (WA spill / snapshot)
   kH2DChunk,      // host -> device at c1 (WA chunk copy)
   kH2DStream,     // host -> device at c2 (SP/RA streaming copy)
   kD2H,           // device -> host at c1 (WA sync back)
@@ -79,6 +80,10 @@ struct TimelineOp {
   /// kStorageFetch only: request was coalesced into a sequential burst
   /// and charged SequentialReadCost.
   bool merged = false;
+  /// Pull-mode dispatch only: the page behind this op was claimed by a
+  /// worker other than its home (gpu, stream) -- a work-stealing edge.
+  /// Informational (trace + metrics); never replayed by the simulator.
+  bool stolen = false;
 
   SimTime start = 0.0;
   SimTime end = 0.0;

@@ -14,7 +14,7 @@ Stream::~Stream() {
   worker_.join();
 }
 
-void Stream::Enqueue(std::function<void()> op) {
+void Stream::Enqueue(Task op) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(op));
@@ -33,7 +33,7 @@ void Stream::Synchronize() {
 
 void Stream::WorkerLoop() {
   for (;;) {
-    std::function<void()> op;
+    Task op;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -47,7 +47,7 @@ void Stream::WorkerLoop() {
     // (staging buffers, PageCache::Pin leases) must be released by the
     // time Synchronize() returns, or the engine could tear down the cache
     // under an outstanding pin.
-    op = nullptr;
+    op.Reset();
     {
       std::lock_guard<std::mutex> lock(mu_);
       busy_ = false;

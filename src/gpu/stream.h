@@ -15,10 +15,10 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <mutex>
 #include <thread>
 
+#include "gpu/task.h"
 #include "obs/metrics.h"
 
 namespace gts {
@@ -35,8 +35,9 @@ class Stream {
 
   /// Enqueues `op`; returns immediately. Ops run in FIFO order. Safe to
   /// call from multiple threads (ops from different enqueuers interleave in
-  /// lock-acquisition order).
-  void Enqueue(std::function<void()> op);
+  /// lock-acquisition order). Task is move-only, so closures may capture
+  /// move-only resources (PageCache::Pin, staging buffers) directly.
+  void Enqueue(Task op);
 
   /// Blocks until every enqueued op has completed *and* been destroyed, so
   /// resources captured by op closures (e.g. PageCache::Pin leases) are
@@ -61,7 +62,7 @@ class Stream {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable drain_cv_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool busy_ = false;
   bool shutdown_ = false;
   std::atomic<uint64_t> ops_issued_{0};

@@ -86,6 +86,23 @@ class DeviceQueue {
     return Status::OK();
   }
 
+  /// Enqueues one device write (WA spill / snapshot). Always admitted:
+  /// the engine drains its own writes synchronously, so a write never
+  /// occupies a slot long enough to starve the prefetcher. Writes are
+  /// not streamed into the io event log -- the R7 io-order rule is keyed
+  /// by page id and a spill carries none (kInvalidPageId), so logging it
+  /// would only produce bogus submit/issue pairs.
+  void SubmitWrite(uint64_t offset, uint64_t length) {
+    IoRequest req;
+    req.offset = offset;
+    req.length = length;
+    req.submit_seq = next_seq_++;
+    req.submit_clock = clock_;
+    req.write = true;
+    queue_.push_back(req);
+    ++outstanding_;
+  }
+
   /// Services one request per the reorder policy; the queue must be
   /// non-empty. Advances the busy clock and head offset.
   IoIssue IssueNext() {
@@ -94,10 +111,16 @@ class DeviceQueue {
     IoIssue issue;
     issue.request = queue_[picked];
     issue.queue_depth_at_issue = static_cast<int>(queue_.size());
-    issue.merged = MergesWithHead(reorder_, issue.request, head_offset_);
-    issue.cost = issue.merged
-                     ? timing_.SequentialReadCost(issue.request.length)
-                     : timing_.ReadCost(issue.request.length);
+    // Writes never merge: the burst discount models a read head already
+    // in position, and a spill both pays its own setup and repositions
+    // the head for whatever read follows.
+    issue.merged = !issue.request.write &&
+                   MergesWithHead(reorder_, issue.request, head_offset_);
+    issue.cost = issue.request.write
+                     ? timing_.WriteCost(issue.request.length)
+                     : (issue.merged
+                            ? timing_.SequentialReadCost(issue.request.length)
+                            : timing_.ReadCost(issue.request.length));
     issue.queue_wait = clock_ - issue.request.submit_clock;
     // The deque is in submission order, so any pick past the front
     // overtook an earlier-submitted request.
@@ -105,7 +128,7 @@ class DeviceQueue {
     queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(picked));
     clock_ += issue.cost;
     head_offset_ = issue.request.offset + issue.request.length;
-    if (log_ != nullptr) {
+    if (log_ != nullptr && !issue.request.write) {
       log_->Append(analysis::IoEvent::Kind::kIssue, issue.request.pid);
     }
     return issue;

@@ -30,6 +30,7 @@ IoEngine::IoEngine(const PagedGraph* graph, PageStore* store,
     backpressure_metric_ = &registry->GetCounter("io.backpressure");
     demand_metric_ = &registry->GetCounter("io.demand_fetches");
     eviction_metric_ = &registry->GetCounter("io.prefetch_evictions");
+    spill_metric_ = &registry->GetCounter("io.spill_writes");
     depth_dist_ = &registry->GetDistribution("io.queue_depth");
   }
 }
@@ -69,6 +70,34 @@ void IoEngine::PrimeAll() {
 
 Result<IoEngine::Parked> IoEngine::IssueOne(DeviceQueue* queue) {
   const IoIssue issue = queue->IssueNext();
+
+  if (issue.request.write) {
+    // A WA spill the scheduler picked ahead of (or between) queued
+    // reads. The bytes were written at submit time; here the device
+    // pays the simulated cost and the op is recorded against the
+    // storage resource, so the write contends with reads in the
+    // replayed schedule. Nothing parks: the invalid pid tells the
+    // caller no read completed.
+    queue->NoteConsumed();
+    Parked done;
+    done.device = static_cast<size_t>(queue->device_index());
+    done.cost = issue.cost;
+    if (issue.cost > 0.0 && record_ != nullptr) {
+      gpu::TimelineOp wop;
+      wop.kind = gpu::OpKind::kStorageWrite;
+      wop.resource = {gpu::ResourceId::Type::kStorageDevice,
+                      queue->device_index()};
+      wop.duration = issue.cost;
+      wop.bytes = issue.request.length;
+      wop.queue_wait = issue.queue_wait;
+      wop.dep0 = pending_write_dep_;
+      done.op = record_(wop);
+    }
+    ++stats_.spill_writes;
+    if (spill_metric_ != nullptr) spill_metric_->Add();
+    return done;
+  }
+
   GTS_RETURN_IF_ERROR(store_->StageFromDevice(issue.request.pid));
 
   Parked done;
@@ -126,6 +155,37 @@ Result<IoEngine::Fetched> IoEngine::DemandFetch(PageId pid) {
   return out;
 }
 
+Result<gpu::OpIndex> IoEngine::Write(size_t device, uint64_t offset,
+                                     const uint8_t* data, uint64_t length,
+                                     gpu::OpIndex dep) {
+  if (device >= queues_.size()) {
+    return Status::InvalidArgument("storage device out of range: " +
+                                   std::to_string(device));
+  }
+  // Bytes land now -- host-side correctness never waits on the simulated
+  // clock -- then the request queues behind whatever reads are pending
+  // and the in-device scheduler prices it in its own turn.
+  GTS_RETURN_IF_ERROR(store_->WriteDevice(device, offset, data, length));
+  DeviceQueue& queue = queues_[device];
+  queue.SubmitWrite(offset, length);
+  pending_write_dep_ = dep;
+  // Drain until our write is serviced; reads issued on the way park for
+  // their Acquire exactly as in the demand drain loop. At most one write
+  // is ever queued, so the first invalid-pid completion is ours.
+  for (;;) {
+    auto done = IssueOne(&queue);
+    if (!done.ok()) {
+      pending_write_dep_ = gpu::kNoOp;
+      return done.status();
+    }
+    if (done->pid == kInvalidPageId) {
+      pending_write_dep_ = gpu::kNoOp;
+      return done->op;
+    }
+    parked_.emplace(done->pid, *done);
+  }
+}
+
 Result<IoEngine::Fetched> IoEngine::Acquire(PageId pid) {
   if (pid >= graph_->num_pages()) {
     return Status::InvalidArgument("page id out of range: " +
@@ -169,10 +229,22 @@ Result<IoEngine::Fetched> IoEngine::Acquire(PageId pid) {
   const size_t d = store_->DeviceOfPage(pid);
   DeviceQueue& queue = queues_[d];
 
-  // 3. Unplanned miss (typically evicted after BeginPass snapshotted
-  // residency): classic synchronous fetch, full ReadCost.
+  // 3. Unplanned miss: the page passed the plan-time Resident() filter
+  // but was evicted before this Acquire (the filter is a prediction, not
+  // a reservation). Still a demand fetch by count, but force-submitted
+  // through the device queue rather than fetched synchronously, so the
+  // fallback read contends, reorders, and logs like planned traffic
+  // instead of bypassing the prefetch pipeline. With an empty FIFO
+  // queue the serviced cost is the same full ReadCost the old
+  // synchronous path charged.
   if (!queue.Contains(pid) && !prefetcher_.Pending(pid)) {
-    return DemandFetch(pid);
+    const uint64_t page_size = graph_->config().page_size;
+    GTS_CHECK_OK(queue.Submit(pid, (pid / store_->num_devices()) * page_size,
+                              page_size, /*force=*/true));
+    ++stats_.submitted;
+    if (submitted_metric_ != nullptr) submitted_metric_->Add();
+    ++stats_.demand_fetches;
+    if (demand_metric_ != nullptr) demand_metric_->Add();
   }
 
   PrimeAll();

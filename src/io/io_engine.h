@@ -52,10 +52,17 @@ struct IoStats {
   uint64_t merged_bursts = 0;   ///< reads charged SequentialReadCost
   uint64_t reorder_wins = 0;    ///< reads serviced ahead of an older request
   uint64_t backpressure = 0;    ///< prefetch stops due to full in-flight slots
-  uint64_t demand_fetches = 0;  ///< reads outside the plan (full ReadCost)
+  /// Reads outside the plan. An unplanned miss at Acquire is force-
+  /// submitted through the device queue (it also counts as submitted and,
+  /// once serviced, completed); the re-read after a parked prefetch was
+  /// evicted stays synchronous (its planned read already went through the
+  /// queue) and counts here only.
+  uint64_t demand_fetches = 0;
   /// Prefetched pages evicted from MMBuf before their Acquire (the window
   /// outgrew the buffer); each costs a second, demand-priced read.
   uint64_t prefetch_evictions = 0;
+  /// WA spill / snapshot writes serviced through the device queues.
+  uint64_t spill_writes = 0;
 
   IoStats& operator+=(const IoStats& other) {
     submitted += other.submitted;
@@ -65,6 +72,7 @@ struct IoStats {
     backpressure += other.backpressure;
     demand_fetches += other.demand_fetches;
     prefetch_evictions += other.prefetch_evictions;
+    spill_writes += other.spill_writes;
     return *this;
   }
 };
@@ -96,9 +104,22 @@ class IoEngine {
 
   /// Delivers page `pid`: a parked prefetch completion, an MMBuf hit, a
   /// queued/planned read (serviced through the device scheduler, parking
-  /// any requests completed on the way), or a demand fetch as the last
-  /// resort. Also tops every device queue up from the plans.
+  /// any requests completed on the way), or -- for an unplanned miss --
+  /// a demand read force-submitted through the same device queue, so
+  /// even the fallback path contends, reorders, and logs like planned
+  /// traffic. Also tops every device queue up from the plans.
   Result<Fetched> Acquire(PageId pid);
+
+  /// Writes `length` bytes at `offset` on storage device `device`
+  /// through that device's queue: the bytes land immediately (real
+  /// correctness is host-side), while the simulated cost is priced by
+  /// the in-device scheduler after any queued reads it chooses to
+  /// service first -- those park as usual. Records one kStorageWrite op
+  /// depending on `dep` (e.g. the D2H that produced the bytes) and
+  /// returns its index (kNoOp on a zero-cost device).
+  Result<gpu::OpIndex> Write(size_t device, uint64_t offset,
+                             const uint8_t* data, uint64_t length,
+                             gpu::OpIndex dep = gpu::kNoOp);
 
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats{}; }
@@ -112,7 +133,8 @@ class IoEngine {
   const IoOptions& options() const { return options_; }
 
  private:
-  /// A completion awaiting its Acquire.
+  /// A completion awaiting its Acquire. A serviced write comes back with
+  /// pid == kInvalidPageId (nothing to park or deliver).
   struct Parked {
     PageId pid = kInvalidPageId;
     size_t device = 0;
@@ -127,7 +149,9 @@ class IoEngine {
   /// records the timeline op, updates counters.
   Result<Parked> IssueOne(DeviceQueue* queue);
 
-  /// Unplanned miss: classic synchronous fetch at full ReadCost.
+  /// Synchronous fetch at full ReadCost, bypassing the queues. Only the
+  /// parked-then-evicted re-read uses this; unplanned misses go through
+  /// the device queue in Acquire.
   Result<Fetched> DemandFetch(PageId pid);
 
   const PagedGraph* graph_;
@@ -148,7 +172,13 @@ class IoEngine {
   obs::Counter* backpressure_metric_ = nullptr;
   obs::Counter* demand_metric_ = nullptr;
   obs::Counter* eviction_metric_ = nullptr;
+  obs::Counter* spill_metric_ = nullptr;
   obs::Distribution* depth_dist_ = nullptr;
+
+  /// Dependency for the write currently draining through Write() --
+  /// IssueOne stamps it on the recorded kStorageWrite op. At most one
+  /// write is in flight (Write drains its own request before returning).
+  gpu::OpIndex pending_write_dep_ = gpu::kNoOp;
 };
 
 }  // namespace io

@@ -49,6 +49,14 @@ struct IoOptions {
   /// (2 x queue_depth). Explicit values must be >= queue_depth.
   int inflight_slots = 0;
 
+  /// After each pass's WA download, spill every GPU's downloaded WA
+  /// replica/chunk to its storage device through the device queue (one
+  /// kStorageWrite per GPU, past the striped page region). Off by
+  /// default: the paper keeps WA host-resident, so the spill is a
+  /// persistence/out-of-core extension -- but when on, the writes are
+  /// scheduled and traced like reads instead of bypassing the queue.
+  bool wa_snapshot = false;
+
   /// Effective per-device slot bound after resolving the 0 = auto default.
   int ResolvedSlots() const {
     return inflight_slots == 0 ? 2 * queue_depth : inflight_slots;

@@ -9,13 +9,15 @@
 namespace gts {
 namespace io {
 
-/// One page read submitted to a device queue.
+/// One request submitted to a device queue: a page read, or (write=true)
+/// a WA spill / snapshot write, which carries no page id.
 struct IoRequest {
   PageId pid = kInvalidPageId;
   uint64_t offset = 0;       ///< byte offset on the owning device
-  uint64_t length = 0;       ///< bytes to read (one page)
+  uint64_t length = 0;       ///< bytes to transfer
   uint64_t submit_seq = 0;   ///< device-local submission order
   SimTime submit_clock = 0;  ///< device-busy clock when submitted
+  bool write = false;        ///< host -> device (WA spill / snapshot)
 };
 
 /// What the in-device scheduler decided for one serviced request.

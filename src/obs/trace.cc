@@ -226,15 +226,24 @@ void TraceExporter::AddRun(const gpu::ScheduleResult& schedule,
       if (!args.empty()) args += ",";
       args += "\"merged\":1";
     }
+    if (op.stolen) {
+      // Pull-mode dispatch: this op's page was claimed by a worker other
+      // than its home (gpu, stream) -- a work-stealing edge.
+      if (!args.empty()) args += ",";
+      args += "\"stolen\":1";
+    }
     if (!args.empty()) json += ",\"args\":{" + args + "}";
     json += "}";
 
     pending.push_back(PendingEvent{ts, pid, tid, i, std::move(json)});
 
-    // io-queue lane: a storage fetch that waited in its device queue gets
-    // a companion "queued" span covering the wait. Depth-1 FIFO schedules
-    // have no waits, so their traces carry no io lane at all.
-    if (op.kind == gpu::OpKind::kStorageFetch && op.queue_wait > 0.0) {
+    // io-queue lane: a storage fetch or spill write that waited in its
+    // device queue gets a companion "queued" span covering the wait.
+    // Depth-1 FIFO schedules have no waits, so their traces carry no io
+    // lane at all.
+    if ((op.kind == gpu::OpKind::kStorageFetch ||
+         op.kind == gpu::OpKind::kStorageWrite) &&
+        op.queue_wait > 0.0) {
       const int qtid = kIoQueueLaneBase + op.resource.index;
       track_name(pid, qtid,
                  "storage",

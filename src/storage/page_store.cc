@@ -123,6 +123,32 @@ Status PageStore::StageFromDevice(PageId pid) {
   return Status::OK();
 }
 
+uint64_t PageStore::DevicePageBytes(size_t d) const {
+  // Pages are striped pid -> pid % n, so device d holds every pid in
+  // {d, d + n, ...} below num_pages, packed contiguously from offset 0.
+  const uint64_t num_pages = graph_->num_pages();
+  const uint64_t n = devices_.size();
+  const uint64_t pages_on_d = num_pages > d ? (num_pages - d - 1) / n + 1 : 0;
+  return pages_on_d * graph_->config().page_size;
+}
+
+Status PageStore::WriteDevice(size_t d, uint64_t offset, const uint8_t* data,
+                              uint64_t len) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("PageStore::Init not called");
+  }
+  if (d >= devices_.size()) {
+    return Status::InvalidArgument("device index out of range: " +
+                                   std::to_string(d));
+  }
+  if (offset < DevicePageBytes(d)) {
+    return Status::InvalidArgument(
+        "out-of-band write at offset " + std::to_string(offset) +
+        " overlaps the striped page region on device " + std::to_string(d));
+  }
+  return devices_[d]->Write(offset, data, len);
+}
+
 const uint8_t* PageStore::TouchResident(PageId pid) {
   auto it = buffer_.find(pid);
   if (it == buffer_.end()) return nullptr;

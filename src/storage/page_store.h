@@ -79,6 +79,15 @@ class PageStore {
   /// g(j): which device holds page j.
   size_t DeviceOfPage(PageId pid) const { return pid % devices_.size(); }
 
+  /// Bytes of striped page data on device `d` -- the first offset free
+  /// for out-of-band writes (WA snapshots land past the page region).
+  uint64_t DevicePageBytes(size_t d) const;
+
+  /// Raw write-through to device `d` (WA spill / snapshot). MMBuf is not
+  /// involved; the io engine's write path does the queueing and pricing.
+  Status WriteDevice(size_t d, uint64_t offset, const uint8_t* data,
+                     uint64_t len);
+
   size_t num_devices() const { return devices_.size(); }
   const StorageDevice& device(size_t i) const { return *devices_[i]; }
   uint64_t buffer_capacity() const { return buffer_capacity_; }

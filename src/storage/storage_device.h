@@ -46,6 +46,11 @@ struct DeviceTimingParams {
     return access_latency + static_cast<double>(bytes) / seq_bandwidth;
   }
 
+  /// Simulated seconds to write `bytes` in one request. Same shape as
+  /// ReadCost (the paper's devices are symmetric enough at page grain);
+  /// used by the io engine's write path for WA spill / snapshot requests.
+  SimTime WriteCost(uint64_t bytes) const { return ReadCost(bytes); }
+
   /// ReadCost for a request that continues the previous one: the head is
   /// already positioned, so only the transfer is paid, not the per-request
   /// access latency. Used by the io engine's sequential-merge scheduler

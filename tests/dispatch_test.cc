@@ -10,9 +10,13 @@
 #include "algorithms/bfs.h"
 #include "algorithms/pagerank.h"
 #include "algorithms/wcc.h"
+#include "analysis/event_log.h"
+#include "analysis/race_report.h"
+#include "analysis/schedule_validator.h"
 #include "core/dispatch/dispatch_pipeline.h"
 #include "core/dispatch/gpu_partition_policy.h"
 #include "core/dispatch/page_order_policy.h"
+#include "core/dispatch/ready_queue.h"
 #include "core/dispatch/stream_assign_policy.h"
 #include "core/engine.h"
 #include "core/frontier.h"
@@ -210,6 +214,85 @@ TEST(StreamAssignPolicyTest, StickyPrefersFreshStreamOverSwitching) {
   EXPECT_EQ(cursor, 0);
 }
 
+// ------------------------------------------------------ ReadyQueue units
+
+TEST(ReadyQueueTest, OwnDequeIsFifoAndNotASteal) {
+  ReadyQueue q(1, 2);
+  q.Push(10, 0, 0, /*kind=*/0, /*gpu_bound=*/false);
+  q.Push(11, 0, 0, /*kind=*/1, /*gpu_bound=*/false);
+  WorkItem item;
+  ASSERT_TRUE(q.TryPop(0, 0, /*prefer_kind=*/-1, /*claimer_key=*/0, &item));
+  EXPECT_EQ(item.pid, 10u);
+  EXPECT_FALSE(item.stolen);
+  ASSERT_TRUE(q.TryPop(0, 0, -1, 0, &item));
+  EXPECT_EQ(item.pid, 11u);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_FALSE(q.TryPop(0, 0, -1, 0, &item));
+  EXPECT_EQ(q.steals(), 0u);
+}
+
+TEST(ReadyQueueTest, StealTakesSiblingBackAndCounts) {
+  ReadyQueue q(1, 2);
+  q.Push(1, 0, 0, 0, false);
+  q.Push(2, 0, 0, 0, false);
+  WorkItem item;
+  // Stream 1 owns nothing; it steals stream 0's *back* item, leaving the
+  // victim its front (the classic deque discipline).
+  ASSERT_FALSE(q.TryPop(0, 1, -1, /*claimer_key=*/1, &item));
+  ASSERT_TRUE(q.TrySteal(0, 1, -1, 1, &item));
+  EXPECT_EQ(item.pid, 2u);
+  EXPECT_TRUE(item.stolen);
+  EXPECT_EQ(q.steals(), 1u);
+  EXPECT_EQ(q.cross_steals(), 0u);
+}
+
+TEST(ReadyQueueTest, CrossGpuStealSkipsGpuBoundItems) {
+  ReadyQueue q(2, 1);
+  q.Push(5, 0, 0, 0, /*gpu_bound=*/true);   // a replicated fan-out copy
+  q.Push(6, 0, 0, 0, /*gpu_bound=*/false);
+  WorkItem item;
+  ASSERT_TRUE(q.TryStealCross(1, /*claimer_key=*/9, &item));
+  EXPECT_EQ(item.pid, 6u);
+  EXPECT_TRUE(item.stolen);
+  EXPECT_EQ(q.cross_steals(), 1u);
+  // Only the bound copy remains: no cross-GPU claim may take it, but its
+  // home GPU still drains it.
+  EXPECT_FALSE(q.TryStealCross(1, 9, &item));
+  ASSERT_TRUE(q.TryPop(0, 0, -1, 0, &item));
+  EXPECT_EQ(item.pid, 5u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(ReadyQueueTest, KindPreferenceSkipsMismatchedFront) {
+  ReadyQueue q(1, 1);
+  q.Push(1, 0, 0, /*kind=*/1, false);  // LP at the front
+  q.Push(2, 0, 0, /*kind=*/0, false);  // SP behind it
+  WorkItem item;
+  bool skipped = false;
+  ASSERT_TRUE(q.TryPop(0, 0, /*prefer_kind=*/0, 0, &item, &skipped));
+  EXPECT_EQ(item.pid, 2u);  // the sticky preference took the SP
+  EXPECT_TRUE(skipped);
+  // Preference falls back to the front when nothing matches.
+  ASSERT_TRUE(q.TryPop(0, 0, /*prefer_kind=*/0, 0, &item, &skipped));
+  EXPECT_EQ(item.pid, 1u);
+  EXPECT_FALSE(skipped);
+}
+
+TEST(ReadyQueueTest, EventLogSatisfiesClaimUniqueRule) {
+  analysis::DispatchEventLog log;
+  ReadyQueue q(1, 2);
+  q.BindEventLog(&log);
+  q.Push(1, 0, 0, 0, false);
+  q.Push(2, 0, 1, 0, false);
+  q.Push(3, 0, 1, 0, false);  // enqueued, never claimed: legal
+  WorkItem item;
+  ASSERT_TRUE(q.TryPop(0, 0, -1, 0, &item));
+  ASSERT_TRUE(q.TrySteal(0, 0, -1, 0, &item));
+  analysis::RaceReport report;
+  analysis::ScheduleValidator().CheckDispatchEvents(log.Take(), &report);
+  EXPECT_EQ(report.violations_detected, 0u) << report.ToString();
+}
+
 // ------------------------------------------------- DispatchPipeline units
 
 TEST(DispatchPipelineTest, StrategyDefaultResolvesPerStrategy) {
@@ -347,6 +430,46 @@ TEST(DispatchEquivalenceTest, PageRankBitIdenticalAcrossStreamPolicies) {
   }
 }
 
+/// The pull-mode ready queue moves pages between streams (and, on two
+/// GPUs under Strategy-P, between GPUs), which must change only the
+/// schedule: BFS levels (an integer kernel) stay bit-identical to the
+/// single-threaded push dispatch across the whole threads x stealing x
+/// stream-policy matrix, and the per-run analysis (which audits the R9
+/// claim-unique rule over the recorded dispatch events) stays clean.
+TEST(DispatchEquivalenceTest, WorkStealingBitIdenticalAcrossThreadMatrix) {
+  Fixture f;
+  const VertexId source = f.Source();
+  for (int gpus : {1, 2}) {
+    std::vector<uint16_t> reference;
+    for (bool threads : {false, true}) {
+      for (bool stealing : {false, true}) {
+        for (auto stream :
+             {StreamAssignKind::kRoundRobin, StreamAssignKind::kSticky}) {
+          GtsOptions opts;
+          opts.num_streams = 4;
+          opts.use_stream_threads = threads;
+          opts.dispatch.work_stealing = stealing;
+          opts.dispatch.stream_assign = stream;
+          GtsEngine engine(&f.paged, f.store.get(), f.Machine(gpus), opts);
+          auto bfs = RunBfsGts(engine, source);
+          const std::string what = std::string(StreamAssignKindName(stream)) +
+                                   (threads ? " threads" : " inline") +
+                                   (stealing ? " stealing" : " push") + " x" +
+                                   std::to_string(gpus);
+          ASSERT_TRUE(bfs.ok()) << what << ": " << bfs.status().ToString();
+          EXPECT_EQ(bfs->report.metrics.analysis.violations_detected, 0u)
+              << what << ": " << bfs->report.metrics.analysis.ToString();
+          if (reference.empty()) {
+            reference = bfs->levels;
+          } else {
+            EXPECT_EQ(bfs->levels, reference) << what;
+          }
+        }
+      }
+    }
+  }
+}
+
 // ------------------------------------------------ policy effectiveness
 
 /// Under LRU churn (cache far smaller than the traversal working set),
@@ -393,6 +516,26 @@ TEST(DispatchEffectTest, StickyStreamsAvoidSwitchesUnderInterleaving) {
   const auto snapshot = engine.metrics_registry()->Snapshot();
   ASSERT_TRUE(snapshot.count("dispatch.stream.switches_avoided"));
   EXPECT_GT(snapshot.at("dispatch.stream.switches_avoided").count, 0u);
+}
+
+/// Pull-mode dispatch publishes its observability whether or not any
+/// steal happened on this machine: the counters exist in the run report
+/// and the claim audit covers every dispatched page.
+TEST(DispatchEffectTest, WorkStealingCountersPublish) {
+  Fixture f;
+  GtsOptions opts;
+  opts.num_streams = 4;
+  opts.use_stream_threads = true;
+  opts.dispatch.work_stealing = true;
+  GtsEngine engine(&f.paged, f.store.get(), f.Machine(), opts);
+  auto pr = RunPageRankGts(engine, {.iterations = 1});
+  ASSERT_TRUE(pr.ok()) << pr.status().ToString();
+  const auto& snapshot = pr->report.snapshot;
+  ASSERT_TRUE(snapshot.count("dispatch.steals"));
+  ASSERT_TRUE(snapshot.count("dispatch.queue_wait"));
+  // Every page the pass published was claimed exactly once.
+  EXPECT_EQ(pr->report.metrics.analysis.violations_detected, 0u)
+      << pr->report.metrics.analysis.ToString();
 }
 
 TEST(DispatchEffectTest, SequentialMergeCutsScanIoTime) {

@@ -413,6 +413,48 @@ TEST(ScheduleValidatorTest, IoCompletionBeforeIssueIsRejected) {
   EXPECT_EQ(r3.violations_detected, 0u);
 }
 
+/// R9: a ready-queue work item is enqueued exactly once and claimed at
+/// most once. A double claim is exactly the bug work stealing can
+/// introduce (two workers winning one item), so the seeded negative must
+/// flag even though no shipped code path produces it.
+TEST(ScheduleValidatorTest, DispatchClaimViolationsAreRejected) {
+  using analysis::DispatchEvent;
+  ScheduleValidator validator;
+  // Fields: {kind, pid, seq, item, claimer, stolen}.
+  std::vector<DispatchEvent> double_claim = {
+      {DispatchEvent::Kind::kEnqueued, /*pid=*/3, /*seq=*/0, /*item=*/7},
+      {DispatchEvent::Kind::kClaimed, 3, 1, 7, /*claimer=*/0},
+      {DispatchEvent::Kind::kClaimed, 3, 2, 7, /*claimer=*/1,
+       /*stolen=*/true}};
+  RaceReport r1;
+  validator.CheckDispatchEvents(double_claim, &r1);
+  EXPECT_TRUE(HasRule(r1, "claim-unique"));
+
+  std::vector<DispatchEvent> claim_without_enqueue = {
+      {DispatchEvent::Kind::kClaimed, 4, 0, 8, 0}};
+  RaceReport r2;
+  validator.CheckDispatchEvents(claim_without_enqueue, &r2);
+  EXPECT_TRUE(HasRule(r2, "claim-unique"));
+
+  std::vector<DispatchEvent> double_enqueue = {
+      {DispatchEvent::Kind::kEnqueued, 5, 0, 9},
+      {DispatchEvent::Kind::kEnqueued, 5, 1, 9}};
+  RaceReport r3;
+  validator.CheckDispatchEvents(double_enqueue, &r3);
+  EXPECT_TRUE(HasRule(r3, "claim-unique"));
+
+  // Enqueued-then-claimed is clean, and so is an enqueued item nobody
+  // claimed (a CPU-assist page withheld from the queue, or a pass whose
+  // items drain on another GPU's workers).
+  std::vector<DispatchEvent> clean = {
+      {DispatchEvent::Kind::kEnqueued, 6, 0, 10},
+      {DispatchEvent::Kind::kClaimed, 6, 1, 10, 2, true},
+      {DispatchEvent::Kind::kEnqueued, 7, 2, 11}};
+  RaceReport r4;
+  validator.CheckDispatchEvents(clean, &r4);
+  EXPECT_EQ(r4.violations_detected, 0u) << r4.ToString();
+}
+
 // --------------------------------------------------- end-to-end sweep
 
 struct Fixture {
@@ -554,6 +596,32 @@ TEST(RaceSweepTest, StreamThreadsAndHybridClean) {
     opts.cpu_assist_fraction = 0.25;
     RunAllAlgorithms(f, opts, "hybrid");
   }
+}
+
+/// Work-stealing pull dispatch under real stream threads: single GPU
+/// (same-GPU stream steals), two GPUs under Strategy-P (cross-GPU steals
+/// are legal -- WA is replicated), and two GPUs under Strategy-S (items
+/// are gpu_bound, so steals stay inside each GPU). Every run's R9 claim
+/// audit and -- when compiled in -- the WA race detector must be clean.
+TEST(RaceSweepTest, WorkStealingDispatchClean) {
+  Fixture f;
+  GtsOptions opts;
+  opts.num_streams = 4;
+  opts.use_stream_threads = true;
+  opts.dispatch.work_stealing = true;
+  RunAllAlgorithms(f, opts, "work-stealing");
+  RunAllAlgorithms(f, opts, "work-stealing-2gpu", /*gpus=*/2);
+
+  GtsOptions s_opts = opts;
+  s_opts.strategy = Strategy::kScalability;
+  RunAllAlgorithms(f, s_opts, "work-stealing-strategy-s", /*gpus=*/2);
+
+  // Stealing combined with CPU co-processing: assist pages are carved
+  // off before the queue is published, so the claim audit still covers
+  // exactly the GPU-bound remainder.
+  GtsOptions h_opts = opts;
+  h_opts.cpu_assist_fraction = 0.25;
+  RunAllAlgorithms(f, h_opts, "work-stealing-hybrid");
 }
 
 TEST(RaceSweepTest, AnalysisCountersPublish) {

@@ -6,7 +6,8 @@
 # pure observer: the Figure 4 trace from the instrumented build must be
 # byte-identical to the trace from the plain (knob OFF) build.
 #
-# Usage: tools/check_sanitizers.sh [plain|tsan|asan|race|all]   (default: all)
+# Usage: tools/check_sanitizers.sh [plain|tsan|tsan-steal|asan|race|all]
+#        (default: all)
 # Env:   JOBS=N        parallelism (default: nproc)
 #        BUILD_ROOT=d  where build trees go (default: <repo>/build-san)
 #
@@ -44,6 +45,30 @@ run_config() {
   echo "==== [$name] OK ===="
 }
 
+# Targeted ThreadSanitizer sweep of the work-stealing pull dispatch:
+# builds only the dispatch and race-check suites under TSan and runs the
+# ReadyQueue units, the stream-threads x stealing bit-identity matrix,
+# and the R9 claim-audit sweeps. Focused enough to sit in tier 1 (see
+# tools/CMakeLists.txt check_tsan_stealing); the full three-config
+# rebuild stays in the opt-in `-C sanitize` configuration. Shares the
+# tsan build tree with run_config tsan, so running both costs one build.
+run_tsan_steal() {
+  local build="$BUILD_ROOT/tsan"
+  echo "==== [tsan-steal] configure (GTS_SANITIZE='thread') ===="
+  cmake -B "$build" -S "$ROOT" -DGTS_SANITIZE=thread \
+    -DGTS_RACE_CHECK=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==== [tsan-steal] build dispatch_test race_check_test ===="
+  cmake --build "$build" --target dispatch_test race_check_test -j "$JOBS"
+  echo "==== [tsan-steal] work-stealing matrix under TSan ===="
+  (
+    export TSAN_OPTIONS="suppressions=$SUPP halt_on_error=1 second_deadlock_stack=1"
+    "$build/tests/dispatch_test" --gtest_filter='ReadyQueueTest.*:DispatchEquivalenceTest.WorkStealingBitIdenticalAcrossThreadMatrix:DispatchEffectTest.WorkStealingCountersPublish'
+    "$build/tests/race_check_test" --gtest_filter='ScheduleValidatorTest.DispatchClaimViolationsAreRejected:RaceSweepTest.StreamThreadsAndHybridClean:RaceSweepTest.WorkStealingDispatchClean'
+  )
+  echo "==== [tsan-steal] OK ===="
+}
+
 # GTS_RACE_CHECK=ON rebuild: runs the full tier-1 suite (including the
 # concurrency stress harness) with the happens-before detector compiled
 # in, then asserts the depth-1 FIFO Figure 4 trace is byte-identical to
@@ -69,6 +94,7 @@ run_race() {
 case "$MODE" in
   plain) run_config plain "" ;;
   tsan) run_config tsan thread ;;
+  tsan-steal) run_tsan_steal ;;
   asan) run_config asan-ubsan "address;undefined" ;;
   race) run_race ;;
   all)
@@ -78,7 +104,7 @@ case "$MODE" in
     run_race
     ;;
   *)
-    echo "unknown mode '$MODE' (expected plain|tsan|asan|race|all)" >&2
+    echo "unknown mode '$MODE' (expected plain|tsan|tsan-steal|asan|race|all)" >&2
     exit 2
     ;;
 esac
