@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "core/job/job_scheduler.h"
 #include "core/micro.h"
 
 namespace gts {
@@ -181,7 +182,6 @@ std::vector<double> BcBackwardKernel::Deltas() const {
 
 Result<BcGtsResult> RunBcGts(GtsEngine& engine, VertexId source,
                              const RunOptions& options) {
-  (void)options;  // BC has no tuning knobs
   if (engine.num_gpus() != 1) {
     return Status::Unimplemented(
         "BC merges sigma across replicas; run it on a single GPU "
@@ -192,18 +192,21 @@ Result<BcGtsResult> RunBcGts(GtsEngine& engine, VertexId source,
 
   BcGtsResult result;
   BcForwardKernel forward(n, source);
-  GTS_ASSIGN_OR_RETURN(RunMetrics fwd_metrics,
-                       engine.RunInto(&forward, &result.report, source));
+  JobOptions fwd_job = options;
+  fwd_job.source = source;
+  GTS_ASSIGN_OR_RETURN(
+      RunMetrics fwd_metrics,
+      engine.scheduler().RunJob(&forward, &result.report, fwd_job));
 
   BcBackwardKernel backward(forward.entries());
   // Deepest level first; level_pages[l] holds the pages whose vertices sit
   // at depth l. The deepest recorded frontier needs no pass (no successors).
   const auto& level_pages = fwd_metrics.level_pages;
   for (int l = static_cast<int>(level_pages.size()) - 2; l >= 0; --l) {
-    GTS_RETURN_IF_ERROR(engine
-                            .RunPassInto(&backward, &result.report,
-                                         level_pages[l],
-                                         static_cast<uint32_t>(l))
+    GTS_RETURN_IF_ERROR(engine.scheduler()
+                            .RunPassJob(&backward, &result.report,
+                                        level_pages[l],
+                                        static_cast<uint32_t>(l), options)
                             .status());
   }
   result.deltas = backward.Deltas();

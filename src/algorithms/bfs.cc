@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "core/job/job_scheduler.h"
 #include "core/micro.h"
 
 namespace gts {
@@ -100,10 +101,11 @@ Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
   // neighborhood.
   BfsKernel kernel(n, source);
   NeighborhoodGtsResult result;
+  JobOptions job = options;
+  job.source = source;
+  job.max_levels_override = static_cast<int>(hops);
   GTS_RETURN_IF_ERROR(
-      engine
-          .RunInto(&kernel, &result.report, source, static_cast<int>(hops))
-          .status());
+      engine.scheduler().RunJob(&kernel, &result.report, job).status());
   result.levels = kernel.levels();
   for (VertexId v = 0; v < n; ++v) {
     if (result.levels[v] != BfsKernel::kUnvisited &&
@@ -116,14 +118,16 @@ Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
 
 Result<BfsGtsResult> RunBfsGts(GtsEngine& engine, VertexId source,
                                const RunOptions& options) {
-  (void)options;  // BFS has no tuning knobs
   const VertexId n = engine.graph()->num_vertices();
   if (source >= n) {
     return Status::InvalidArgument("BFS source out of range");
   }
   BfsKernel kernel(n, source);
   BfsGtsResult result;
-  GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report, source).status());
+  JobOptions job = options;
+  job.source = source;
+  GTS_RETURN_IF_ERROR(
+      engine.scheduler().RunJob(&kernel, &result.report, job).status());
   result.levels = kernel.levels();
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/job/job_scheduler.h"
 #include "core/micro.h"
 
 namespace gts {
@@ -55,10 +56,10 @@ WorkStats DegreeKernel::RunLp(const PageView& page, KernelContext& ctx) {
 
 Result<DegreeGtsResult> RunDegreeGts(GtsEngine& engine,
                                      const RunOptions& options) {
-  (void)options;  // degree distribution has no tuning knobs
   DegreeKernel kernel(engine.graph()->num_vertices());
   DegreeGtsResult result;
-  GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report).status());
+  GTS_RETURN_IF_ERROR(
+      engine.scheduler().RunJob(&kernel, &result.report, options).status());
   result.degrees = kernel.degrees();
   for (uint32_t d : result.degrees) {
     if (d == 0) continue;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <deque>
 
+#include "core/job/job_scheduler.h"
 #include "core/micro.h"
 
 namespace gts {
@@ -118,8 +119,10 @@ Result<KcoreGtsResult> RunKcoreGts(GtsEngine& engine, uint32_t k,
       }
     }
 
-    GTS_RETURN_IF_ERROR(
-        engine.RunPassInto(&kernel, &result.report, page_list).status());
+    GTS_RETURN_IF_ERROR(engine.scheduler()
+                            .RunPassJob(&kernel, &result.report,
+                                        std::move(page_list), 0, options)
+                            .status());
     ++result.rounds;
 
     newly.clear();

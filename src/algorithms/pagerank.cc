@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "core/job/job_scheduler.h"
 #include "core/micro.h"
 
 namespace gts {
@@ -98,8 +99,9 @@ Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine,
   PageRankGtsResult result;
   for (int iter = 0; iter < options.iterations; ++iter) {
     kernel.BeginIteration();
-    GTS_ASSIGN_OR_RETURN(RunMetrics metrics,
-                         engine.RunInto(&kernel, &result.report));
+    GTS_ASSIGN_OR_RETURN(
+        RunMetrics metrics,
+        engine.scheduler().RunJob(&kernel, &result.report, options));
     kernel.EndIteration();
     result.iterations.push_back(std::move(metrics));
   }

@@ -6,6 +6,7 @@
 #include <deque>
 
 #include "common/random.h"
+#include "core/job/job_scheduler.h"
 #include "core/micro.h"
 
 namespace gts {
@@ -127,7 +128,8 @@ Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine,
 
   for (int hop = 0; hop < options.max_hops; ++hop) {
     kernel.BeginIteration();
-    GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report).status());
+    GTS_RETURN_IF_ERROR(
+        engine.scheduler().RunJob(&kernel, &result.report, options).status());
     ++result.hops;
     result.neighborhood_function.push_back(total_estimate());
     if (!kernel.changed()) break;

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstring>
 
+#include "core/job/job_scheduler.h"
 #include "core/micro.h"
 #include "graph/csr_graph.h"
 
@@ -94,7 +95,8 @@ Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
   RwrGtsResult result;
   for (int iter = 0; iter < options.iterations; ++iter) {
     kernel.BeginIteration();
-    GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report).status());
+    GTS_RETURN_IF_ERROR(
+        engine.scheduler().RunJob(&kernel, &result.report, options).status());
     kernel.EndIteration();
   }
   result.scores = kernel.scores();

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "algorithms/reference.h"  // EdgeWeight
+#include "core/job/job_scheduler.h"
 #include "core/micro.h"
 
 namespace gts {
@@ -126,14 +127,16 @@ std::vector<double> SsspKernel::Distances() const {
 
 Result<SsspGtsResult> RunSsspGts(GtsEngine& engine, VertexId source,
                                  const RunOptions& options) {
-  (void)options;  // SSSP has no tuning knobs
   const VertexId n = engine.graph()->num_vertices();
   if (source >= n) {
     return Status::InvalidArgument("SSSP source out of range");
   }
   SsspKernel kernel(n, source);
   SsspGtsResult result;
-  GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report, source).status());
+  JobOptions job = options;
+  job.source = source;
+  GTS_RETURN_IF_ERROR(
+      engine.scheduler().RunJob(&kernel, &result.report, job).status());
   result.distances = kernel.Distances();
   return result;
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <numeric>
 
+#include "core/job/job_scheduler.h"
 #include "core/micro.h"
 
 namespace gts {
@@ -94,7 +95,8 @@ Result<WccGtsResult> RunWccGts(GtsEngine& engine, const RunOptions& options) {
   WccGtsResult result;
   for (int iter = 0; iter < options.max_iterations; ++iter) {
     kernel.BeginIteration();
-    GTS_RETURN_IF_ERROR(engine.RunInto(&kernel, &result.report).status());
+    GTS_RETURN_IF_ERROR(
+        engine.scheduler().RunJob(&kernel, &result.report, options).status());
     ++result.iterations;
     if (!kernel.changed()) break;
   }

@@ -287,5 +287,25 @@ void ScheduleValidator::CheckDispatchEvents(
   // are not violations: a worker crash must not cascade into R9 noise.
 }
 
+void ScheduleValidator::CheckJobIsolation(const gpu::ScheduleResult& schedule,
+                                          RaceReport* report) const {
+  const auto& ops = schedule.ops;
+  report->validator_ran = true;
+  for (gpu::OpIndex i = 0; i < ops.size(); ++i) {
+    const gpu::TimelineOp& op = ops[i];
+    if (op.job < 0) continue;
+    for (gpu::OpIndex dep : {op.dep0, op.dep1}) {
+      if (dep == gpu::kNoOp || dep >= ops.size()) continue;
+      ++report->schedule_checks;
+      if (ops[dep].job >= 0 && ops[dep].job != op.job) {
+        AddViolation(report, "job-isolation", i,
+                     "op of job " + std::to_string(op.job) +
+                         " depends on op #" + std::to_string(dep) +
+                         " of job " + std::to_string(ops[dep].job));
+      }
+    }
+  }
+}
+
 }  // namespace analysis
 }  // namespace gts

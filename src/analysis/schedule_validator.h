@@ -29,6 +29,13 @@
 //                      claimed at most once, and any claim follows the
 //                      enqueue (work stealing must never double-run or
 //                      fabricate a page)
+//
+// Job-scoped replay (JobScheduler batch epochs):
+//   J1 job-isolation   an op tagged with a job (TimelineOp::job >= 0)
+//                      may only depend on ops of the same job or on
+//                      untagged infrastructure ops (job == -1); a
+//                      cross-job dependency edge means one job's work
+//                      was chained behind another's private state
 #ifndef GTS_ANALYSIS_SCHEDULE_VALIDATOR_H_
 #define GTS_ANALYSIS_SCHEDULE_VALIDATOR_H_
 
@@ -71,6 +78,12 @@ class ScheduleValidator {
   /// R9 over the dispatch ready-queue event log.
   void CheckDispatchEvents(const std::vector<DispatchEvent>& events,
                            RaceReport* report) const;
+
+  /// J1 over a batch epoch's timeline: job-tagged ops depend only on
+  /// same-job or untagged ops. A no-op for single-run schedules (no op
+  /// carries a tag there).
+  void CheckJobIsolation(const gpu::ScheduleResult& schedule,
+                         RaceReport* report) const;
 
  private:
   void AddViolation(RaceReport* report, const char* rule, gpu::OpIndex op,

@@ -27,6 +27,7 @@ enum class StatusCode : uint8_t {
   kCapacityExceeded = 9,  // format limits, e.g. 2-byte page id overflow
   kInternal = 10,
   kResourceExhausted = 11,  // bounded queue/slot pool full (backpressure)
+  kCancelled = 12,          // job cancelled before completion (JobScheduler)
 };
 
 /// Returns the canonical name of a StatusCode ("OK", "OutOfMemory", ...).
@@ -75,6 +76,9 @@ class [[nodiscard]] Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -91,6 +95,7 @@ class [[nodiscard]] Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<Code>: <message>".
   std::string ToString() const;

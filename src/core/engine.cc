@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <cstring>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 
 #include "common/logging.h"
 #include "core/dispatch/dispatch_pipeline.h"
 #include "core/dispatch/ready_queue.h"
+#include "core/job/job_exec.h"
+#include "core/job/job_scheduler.h"
 #include "obs/prof.h"
 
 namespace gts {
@@ -40,6 +44,26 @@ Status GtsOptions::Validate(const MachineConfig& machine) const {
   if (max_levels < 1) {
     return Status::InvalidArgument("max_levels must be >= 1, got " +
                                    std::to_string(max_levels));
+  }
+  if (max_concurrent_jobs < 1) {
+    return Status::InvalidArgument("max_concurrent_jobs must be >= 1, got " +
+                                   std::to_string(max_concurrent_jobs));
+  }
+  if (max_concurrent_jobs > 1) {
+    if (!dispatch.work_stealing && !use_stream_threads) {
+      return Status::InvalidArgument(
+          "max_concurrent_jobs " + std::to_string(max_concurrent_jobs) +
+          " needs an asynchronous dispatch path: set use_stream_threads = "
+          "true (worker streams) or dispatch.work_stealing = true (pull "
+          "dispatch), or keep max_concurrent_jobs = 1 for the legacy "
+          "single-run engine");
+    }
+    if (cpu_assist_fraction > 0.0) {
+      return Status::InvalidArgument(
+          "concurrent jobs do not compose with the host co-processing "
+          "extension; set cpu_assist_fraction = 0 or max_concurrent_jobs "
+          "= 1");
+    }
   }
   if (!(cpu_assist_fraction >= 0.0 && cpu_assist_fraction < 1.0)) {
     return Status::InvalidArgument(
@@ -157,6 +181,7 @@ GtsEngine::GtsEngine(const PagedGraph* graph, PageStore* store,
     max_slots_per_page_ =
         std::max(max_slots_per_page_, graph_->view(pid).num_slots());
   }
+  scheduler_ = std::make_unique<JobScheduler>(this);
 }
 
 GtsEngine::~GtsEngine() = default;
@@ -981,6 +1006,28 @@ Result<RunMetrics> GtsEngine::RunPassInto(GtsKernel* kernel,
 
 Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
                                   int max_levels_override) {
+  // Thin shim over the scheduler's single-job path, which routes back
+  // into RunDirect -- byte-identical to the pre-scheduler engine.
+  JobOptions options;
+  options.source = source;
+  options.max_levels_override = max_levels_override;
+  JobHandle handle = scheduler_->Submit(kernel, options);
+  GTS_ASSIGN_OR_RETURN(RunReport report, handle.Wait());
+  return report.metrics;
+}
+
+Result<RunMetrics> GtsEngine::ExecuteJob(JobExec* exec) {
+  if (exec->is_pass) {
+    return RunPassDirect(exec->kernel, exec->pages, exec->pass_level,
+                         &exec->cancel);
+  }
+  return RunDirect(exec->kernel, exec->options.source,
+                   exec->options.max_levels_override, &exec->cancel);
+}
+
+Result<RunMetrics> GtsEngine::RunDirect(GtsKernel* kernel, VertexId source,
+                                        int max_levels_override,
+                                        std::atomic<bool>* cancel) {
   GTS_PROF_SCOPE("engine.run");
   const int max_levels =
       max_levels_override >= 0 ? max_levels_override : options_.max_levels;
@@ -1043,6 +1090,13 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
     int level = 0;
     uint64_t prev_updates = 0;  // for per-level WA-delta sizing
     while (!frontier.Empty() && level < max_levels) {
+      // Cancellation probe (JobHandle::Cancel): level boundaries are the
+      // documented cancellation points; a null pointer (or an unset flag)
+      // costs one relaxed load and changes no recorded op.
+      if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+        run_status = Status::Cancelled("job cancelled at level boundary");
+        break;
+      }
       std::vector<PageId> sps;
       std::vector<PageId> lps;
       uint64_t skipped = 0;
@@ -1234,7 +1288,21 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
 Result<RunMetrics> GtsEngine::RunPass(GtsKernel* kernel,
                                       const std::vector<PageId>& pages,
                                       uint32_t level) {
+  JobHandle handle = scheduler_->SubmitPass(kernel, pages, level);
+  GTS_ASSIGN_OR_RETURN(RunReport report, handle.Wait());
+  return report.metrics;
+}
+
+Result<RunMetrics> GtsEngine::RunPassDirect(GtsKernel* kernel,
+                                            const std::vector<PageId>& pages,
+                                            uint32_t level,
+                                            std::atomic<bool>* cancel) {
   GTS_PROF_SCOPE("engine.run_pass");
+  // A single pass has no interior cancellation point; honor a cancel
+  // that lands before the pass starts streaming.
+  if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
+    return Status::Cancelled("job cancelled at level boundary");
+  }
   Status setup = SetupBuffers(kernel);
   if (!setup.ok()) {
     ReleaseBuffers();
@@ -1356,6 +1424,877 @@ Status GtsEngine::FinalizeRun(RunMetrics* metrics) {
     return Status::Internal("logical races detected:\n" + report.ToString());
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// JobScheduler batch epochs: N concurrent jobs share the streaming
+// machinery (page cache, io queues, dispatch, copy engines) while each
+// owns a private WA partition, frontier, and metrics scope. Single-job
+// batches never reach this code -- the scheduler routes them through
+// RunDirect/RunPassDirect, which keeps the legacy schedules byte-exact.
+// The batch path intentionally does not drive the GTS_RACE_CHECK
+// happens-before detector (its lane model is per-run); the always-on
+// schedule validator covers batch epochs, including the J1 job-isolation
+// rule over TimelineOp::job tags.
+// ---------------------------------------------------------------------------
+
+Status GtsEngine::AdmitJobSlices(JobExec* job, int slot) {
+  const uint32_t wa_b = job->kernel->wa_bytes_per_vertex();
+  const bool tkernel =
+      job->kernel->access_pattern() == AccessPattern::kTraversal;
+  job->gpus.clear();
+  job->gpus.resize(static_cast<size_t>(machine_.num_gpus));
+  for (int g = 0; g < machine_.num_gpus; ++g) {
+    JobGpuSlice& slice = job->gpus[static_cast<size_t>(g)];
+    WaRange(g, tkernel, &slice.wa_begin, &slice.wa_end);
+    const uint64_t wa_bytes =
+        static_cast<uint64_t>(slice.wa_end - slice.wa_begin) * wa_b;
+    auto buf = gpus_[g]->device->Allocate(
+        wa_bytes, "WABuf[job" + std::to_string(slot) + "]");
+    if (!buf.ok()) {
+      // Admission-control signal: release the partial allocation so the
+      // next candidate (or the next epoch) sees the memory back.
+      job->gpus.clear();
+      return buf.status();
+    }
+    slice.wa_buf = std::move(buf).value();
+    if (tkernel) {
+      slice.local_next = std::make_unique<PidSet>(graph_->num_pages());
+      if (CountFrontier()) slice.local_next->EnableCounting();
+    }
+    slice.stream_work.assign(static_cast<size_t>(options_.num_streams),
+                             WorkStats{});
+  }
+  return Status::OK();
+}
+
+void GtsEngine::ReleaseJobSlices(JobExec* job) { job->gpus.clear(); }
+
+Status GtsEngine::SetupSharedStreamBuffers(uint32_t max_ra_b) {
+  const uint64_t page_size = graph_->config().page_size;
+  for (int g = 0; g < machine_.num_gpus; ++g) {
+    GpuState& gpu = *gpus_[g];
+    for (int s = 0; s < options_.num_streams; ++s) {
+      GTS_ASSIGN_OR_RETURN(
+          gpu::DeviceBuffer sp,
+          gpu.device->Allocate(page_size, "SPBuf[" + std::to_string(s) + "]"));
+      gpu.sp_buf.push_back(std::move(sp));
+      GTS_ASSIGN_OR_RETURN(
+          gpu::DeviceBuffer lp,
+          gpu.device->Allocate(page_size, "LPBuf[" + std::to_string(s) + "]"));
+      gpu.lp_buf.push_back(std::move(lp));
+      if (max_ra_b > 0) {
+        // Sized for the largest admitted RA record: one shared RABuf set
+        // serves every job of the epoch.
+        GTS_ASSIGN_OR_RETURN(
+            gpu::DeviceBuffer ra,
+            gpu.device->Allocate(
+                static_cast<uint64_t>(max_slots_per_page_) * max_ra_b,
+                "RABuf[" + std::to_string(s) + "]"));
+        gpu.ra_buf.push_back(std::move(ra));
+      }
+    }
+    gpu.stream_work.assign(static_cast<size_t>(options_.num_streams),
+                           WorkStats{});
+    gpu.stream_last_kind.assign(static_cast<size_t>(options_.num_streams), -1);
+    gpu.rr = 0;
+  }
+  return Status::OK();
+}
+
+void GtsEngine::SetupBatchCaches() {
+  const uint64_t page_size = graph_->config().page_size;
+  for (int g = 0; g < machine_.num_gpus; ++g) {
+    GpuState& gpu = *gpus_[g];
+    const uint64_t avail = gpu.device->available();
+    const uint64_t cache_bytes =
+        options_.cache_bytes == GtsOptions::kAutoCacheBytes
+            ? avail
+            : std::min(options_.cache_bytes, avail);
+    gpu.cache = std::make_unique<PageCache>(
+        gpu.device.get(), cache_bytes, page_size, options_.cache_policy,
+        registry_.get(), "cache.gpu" + std::to_string(g));
+    gpu.cache->BindPinLog(&pin_events_);
+  }
+}
+
+void GtsEngine::ReleaseBatchBuffers(const std::vector<JobExec*>& jobs) {
+  for (JobExec* job : jobs) ReleaseJobSlices(job);
+  ReleaseBuffers();
+}
+
+void GtsEngine::UploadWaJob(JobExec* job) {
+  const TimeModel& tm = machine_.time_model;
+  const uint32_t wa_b = job->kernel->wa_bytes_per_vertex();
+  for (int g = 0; g < machine_.num_gpus; ++g) {
+    JobGpuSlice& slice = job->gpus[static_cast<size_t>(g)];
+    const uint64_t bytes =
+        static_cast<uint64_t>(slice.wa_end - slice.wa_begin) * wa_b;
+    gpu::TimelineOp op;
+    op.kind = gpu::OpKind::kH2DChunk;
+    op.stream_key = StreamKey(g, 0);
+    op.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+    op.duration = static_cast<double>(bytes) / tm.c1;
+    op.bytes = bytes;
+    op.job = job->job_id;
+    RecordOp(op);
+    job->kernel->InitDeviceWa(slice.wa_buf.data(), slice.wa_begin,
+                              slice.wa_end);
+  }
+}
+
+void GtsEngine::DownloadWaJob(JobExec* job) {
+  const TimeModel& tm = machine_.time_model;
+  const uint32_t wa_b = job->kernel->wa_bytes_per_vertex();
+  const int n_gpus = machine_.num_gpus;
+
+  // Barrier-ordered like the legacy DownloadWa: the job's final WA state
+  // exists only after every in-flight kernel of the pass retired.
+  {
+    std::lock_guard<std::mutex> lock(record_mu_);
+    recorder_.AddBarrier(0.0);
+  }
+
+  std::vector<gpu::OpIndex> d2h_idx(static_cast<size_t>(n_gpus), gpu::kNoOp);
+  if (options_.strategy == Strategy::kPerformance && n_gpus > 1) {
+    const uint64_t bytes =
+        static_cast<uint64_t>(graph_->num_vertices()) * wa_b;
+    for (int g = 1; g < n_gpus; ++g) {
+      gpu::TimelineOp p2p;
+      p2p.kind = gpu::OpKind::kP2P;
+      p2p.resource = {gpu::ResourceId::Type::kCopyEngine, 0};
+      p2p.duration = static_cast<double>(bytes) / tm.p2p_bandwidth;
+      p2p.bytes = bytes;
+      p2p.job = job->job_id;
+      RecordOp(p2p);
+    }
+    gpu::TimelineOp d2h;
+    d2h.kind = gpu::OpKind::kD2H;
+    d2h.resource = {gpu::ResourceId::Type::kCopyEngine, 0};
+    d2h.duration = static_cast<double>(bytes) / tm.c1;
+    d2h.bytes = bytes;
+    d2h.job = job->job_id;
+    const gpu::OpIndex idx = RecordOp(d2h);
+    for (int g = 0; g < n_gpus; ++g) d2h_idx[static_cast<size_t>(g)] = idx;
+  } else {
+    for (int g = 0; g < n_gpus; ++g) {
+      JobGpuSlice& slice = job->gpus[static_cast<size_t>(g)];
+      const uint64_t bytes =
+          static_cast<uint64_t>(slice.wa_end - slice.wa_begin) * wa_b;
+      gpu::TimelineOp d2h;
+      d2h.kind = gpu::OpKind::kD2H;
+      d2h.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+      d2h.duration = static_cast<double>(bytes) / tm.c1;
+      d2h.bytes = bytes;
+      d2h.job = job->job_id;
+      d2h_idx[static_cast<size_t>(g)] = RecordOp(d2h);
+    }
+  }
+  for (int g = 0; g < n_gpus; ++g) {
+    JobGpuSlice& slice = job->gpus[static_cast<size_t>(g)];
+    job->kernel->AbsorbDeviceWa(slice.wa_buf.data(), slice.wa_begin,
+                                slice.wa_end);
+  }
+  if (options_.io.wa_snapshot) {
+    // Same snapshot layout as the legacy path (offsets restart at the
+    // device page region for every download): jobs completing later in
+    // the epoch overwrite earlier snapshots, which is the snapshot -- not
+    // journal -- contract.
+    const size_t n_dev = store_->num_devices();
+    std::vector<uint64_t> cursor(n_dev);
+    for (size_t d = 0; d < n_dev; ++d) cursor[d] = store_->DevicePageBytes(d);
+    for (int g = 0; g < n_gpus; ++g) {
+      JobGpuSlice& slice = job->gpus[static_cast<size_t>(g)];
+      const uint64_t bytes =
+          static_cast<uint64_t>(slice.wa_end - slice.wa_begin) * wa_b;
+      if (bytes == 0) continue;
+      const size_t d = static_cast<size_t>(g) % n_dev;
+      auto wrote = io_->Write(d, cursor[d], slice.wa_buf.data(), bytes,
+                              d2h_idx[static_cast<size_t>(g)]);
+      GTS_CHECK_OK(wrote.status());
+      cursor[d] += bytes;
+    }
+  }
+}
+
+void GtsEngine::FinishJobInEpoch(JobExec* job) {
+  if (job->status.ok()) {
+    DownloadWaJob(job);
+    if (job->traversal()) {
+      job->metrics.levels = job->level;
+    } else {
+      std::lock_guard<std::mutex> lock(record_mu_);
+      recorder_.AddBarrier(machine_.time_model.sync_overhead *
+                           machine_.num_gpus);
+      job->metrics.levels = 1;
+    }
+    for (const JobGpuSlice& slice : job->gpus) {
+      for (const WorkStats& w : slice.stream_work) job->metrics.work += w;
+    }
+    // Storage/io counters are epoch-cumulative up to this job's
+    // completion (the queues are shared; per-job attribution of a merged
+    // read would be arbitrary).
+    job->metrics.io = store_->stats();
+    job->metrics.io_queue = io_->stats();
+  }
+  job->finished = true;
+  ReleaseJobSlices(job);
+}
+
+Status GtsEngine::ProcessPagesBatch(
+    const std::vector<PageId>& ordered,
+    const std::unordered_map<PageId, std::vector<JobExec*>>& demand) {
+  if (options_.use_stream_threads && options_.dispatch.work_stealing) {
+    return ProcessPagesBatchPull(ordered, demand);
+  }
+  GTS_PROF_SCOPE("engine.process_pages");
+  for (PageId pid : ordered) {
+    const PageRoute route = RoutePage(pid);
+    const PageKind kind = graph_->kind(pid);
+    for (int g = route.first_gpu; g <= route.last_gpu; ++g) {
+      GpuState& gpu = *gpus_[g];
+      const int s = pipeline_->AssignStream(static_cast<int>(kind),
+                                            gpu.stream_last_kind, &gpu.rr);
+      GTS_RETURN_IF_ERROR(StreamPageToGpuBatch(pid, g, s, demand.at(pid),
+                                               /*pull=*/false,
+                                               /*stolen=*/false));
+    }
+  }
+  return Status::OK();
+}
+
+Status GtsEngine::ProcessPagesBatchPull(
+    const std::vector<PageId>& ordered,
+    const std::unordered_map<PageId, std::vector<JobExec*>>& demand) {
+  GTS_PROF_SCOPE("engine.process_pages");
+  const int n_gpus = machine_.num_gpus;
+  const int n_streams = options_.num_streams;
+
+  ReadyQueue queue(n_gpus, n_streams, work_item_seq_);
+  queue.BindEventLog(&dispatch_events_);
+  queue.BindMetrics(&registry_->GetDistribution("dispatch.queue_wait"),
+                    &registry_->GetCounter("dispatch.steals"));
+  for (PageId pid : ordered) {
+    const PageRoute route = RoutePage(pid);
+    const PageKind kind = graph_->kind(pid);
+    const bool gpu_bound = route.last_gpu > route.first_gpu;
+    for (int g = route.first_gpu; g <= route.last_gpu; ++g) {
+      GpuState& gpu = *gpus_[g];
+      const int s = pipeline_->AssignStream(static_cast<int>(kind),
+                                            gpu.stream_last_kind, &gpu.rr);
+      queue.Push(pid, g, s, static_cast<int>(kind), gpu_bound);
+    }
+  }
+  work_item_seq_ = queue.next_id();
+
+  const bool allow_cross =
+      options_.strategy == Strategy::kPerformance && n_gpus > 1;
+  std::mutex error_mu;
+  Status first_error;
+  for (int g = 0; g < n_gpus; ++g) {
+    for (int s = 0; s < n_streams; ++s) {
+      gpus_[g]->streams[s]->Enqueue([this, &demand, &queue, &error_mu,
+                                     &first_error, allow_cross, g, s] {
+        ClaimContext ctx;
+        ctx.gpu = g;
+        ctx.stream = s;
+        ctx.stream_key = StreamKey(g, s);
+        ctx.allow_cross_gpu = allow_cross;
+        WorkItem item;
+        for (;;) {
+          ctx.last_kind = gpus_[g]->stream_last_kind[s];
+          if (!pipeline_->ClaimWork(queue, ctx, &item)) break;
+          Status status = StreamPageToGpuBatch(item.pid, g, s,
+                                               demand.at(item.pid),
+                                               /*pull=*/true, item.stolen);
+          if (!status.ok()) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (first_error.ok()) first_error = std::move(status);
+            break;
+          }
+        }
+      });
+    }
+  }
+  for (auto& gpu : gpus_) {
+    for (auto& stream : gpu->streams) stream->Synchronize();
+  }
+  return first_error;
+}
+
+Status GtsEngine::StreamPageToGpuBatch(PageId pid, int g, int s,
+                                       const std::vector<JobExec*>& demanders,
+                                       bool pull, bool stolen) {
+  const TimeModel& tm = machine_.time_model;
+  const PageConfig& config = graph_->config();
+  const uint64_t page_size = config.page_size;
+  const PageKind kind = graph_->kind(pid);
+  GpuState& gpu = *gpus_[g];
+  const int stream_key = StreamKey(g, s);
+
+  std::unique_lock<std::mutex> host_phase(dispatch_mu_, std::defer_lock);
+  if (pull) host_phase.lock();
+
+  PageCache::Pin pin =
+      gpu.cache != nullptr ? gpu.cache->Lookup(pid) : PageCache::Pin();
+  const bool cached = pin.valid();
+
+  std::vector<uint8_t> staging;
+  gpu::OpIndex fetch_dep = gpu::kNoOp;
+  if (!cached) {
+    staging.resize(page_size);
+    GTS_ASSIGN_OR_RETURN(io::IoEngine::Fetched fetch, io_->Acquire(pid));
+    fetch_dep = fetch.fetch_op;
+
+    gpu::TimelineOp h2d;
+    h2d.kind = gpu::OpKind::kH2DStream;
+    h2d.stream_key = stream_key;
+    h2d.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+    h2d.duration = static_cast<double>(page_size) / tm.c2;
+    h2d.dep0 = fetch_dep;
+    h2d.bytes = page_size;
+    h2d.page = pid;
+    h2d.stolen = stolen;
+    // A transfer serving one job is that job's trace lane; a transfer
+    // serving several is shared infrastructure (-1), so the J1 rule
+    // never sees a cross-job edge from the co-served kernels.
+    h2d.job = demanders.size() == 1 ? demanders[0]->job_id : -1;
+    RecordOp(h2d);
+    // First-demander attribution: across the epoch, sum(pages_streamed)
+    // over jobs equals the distinct H2D page transfers.
+    ++demanders[0]->metrics.pages_streamed;
+    std::memcpy(staging.data(), fetch.data, page_size);
+  }
+  if (demanders.size() > 1) {
+    obs::Counter& shared = registry_->GetCounter("cache.shared_page_hits");
+    for (size_t i = 1; i < demanders.size(); ++i) {
+      ++demanders[i]->metrics.shared_page_hits;
+      shared.Add();
+    }
+  }
+
+  // Per-job kernel launches against the one staged/cached copy of the
+  // page. RA subvectors stay per-job (each kernel's host RA array), and
+  // -- unlike the legacy cache, which only exists for RA-free kernels --
+  // a cache hit here still streams RA for jobs that carry it.
+  struct JobLaunch {
+    JobExec* job = nullptr;
+    gpu::OpIndex kidx = gpu::kNoOp;
+    const uint8_t* ra_src = nullptr;
+    uint64_t ra_bytes = 0;
+    VertexId ra_start_vid = 0;
+    uint32_t cur_level = 0;
+  };
+  std::vector<JobLaunch> launches;
+  launches.reserve(demanders.size());
+  for (JobExec* job : demanders) {
+    JobLaunch jl;
+    jl.job = job;
+    jl.cur_level = job->traversal() ? static_cast<uint32_t>(job->level)
+                                    : (job->is_pass ? job->pass_level : 0);
+    const uint32_t ra_b = job->kernel->ra_bytes_per_vertex();
+    const uint8_t* host_ra = job->kernel->host_ra();
+    if (ra_b > 0 && host_ra != nullptr) {
+      const RvtEntry& rvt_entry = graph_->rvt().entry(pid);
+      jl.ra_start_vid = rvt_entry.start_vid;
+      const uint32_t covered =
+          kind == PageKind::kSmall ? graph_->view(pid).num_slots() : 1;
+      jl.ra_bytes = static_cast<uint64_t>(covered) * ra_b;
+      jl.ra_src = host_ra + static_cast<uint64_t>(jl.ra_start_vid) * ra_b;
+
+      gpu::TimelineOp ra_op;
+      ra_op.kind = gpu::OpKind::kH2DStream;
+      ra_op.stream_key = stream_key;
+      ra_op.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+      ra_op.duration = static_cast<double>(jl.ra_bytes) / tm.c2;
+      ra_op.bytes = jl.ra_bytes;
+      ra_op.page = pid;
+      ra_op.job = job->job_id;
+      RecordOp(ra_op);
+    }
+
+    gpu::TimelineOp kop;
+    kop.kind = gpu::OpKind::kKernel;
+    kop.stream_key = stream_key;
+    kop.resource = {gpu::ResourceId::Type::kKernelPool, g};
+    kop.duration = 0.0;
+    if (gpu.stream_last_kind[s] >= 0 &&
+        gpu.stream_last_kind[s] != static_cast<int>(kind)) {
+      kop.duration = tm.kernel_switch_overhead;
+    }
+    gpu.stream_last_kind[s] = static_cast<int>(kind);
+    kop.page = pid;
+    kop.stolen = stolen;
+    kop.job = job->job_id;
+    jl.kidx = RecordOp(kop);
+    if (kind == PageKind::kSmall) {
+      ++job->metrics.sp_kernel_calls;
+    } else {
+      ++job->metrics.lp_kernel_calls;
+    }
+    launches.push_back(jl);
+  }
+
+  const bool insert_into_cache = gpu.cache != nullptr && !cached;
+  GpuState* gpu_ptr = &gpu;
+  const double launch_overhead = tm.kernel_launch_overhead;
+  const double sec_per_cycle = tm.warp_cycle_seconds;
+  auto execute = [this, gpu_ptr, pin = std::move(pin),
+                  staging = std::move(staging),
+                  launches = std::move(launches), kind, g, s,
+                  sec_per_cycle, insert_into_cache, pid, config,
+                  launch_overhead]() {
+    GpuState& st = *gpu_ptr;
+    const uint8_t* page_bytes = nullptr;
+    if (pin.valid()) {
+      page_bytes = pin.data();
+    } else {
+      uint8_t* dst = kind == PageKind::kSmall ? st.sp_buf[s].data()
+                                              : st.lp_buf[s].data();
+      std::memcpy(dst, staging.data(), staging.size());
+      page_bytes = dst;
+    }
+    PageView view(page_bytes, config);
+    for (const JobLaunch& jl : launches) {
+      JobGpuSlice& slice = jl.job->gpus[static_cast<size_t>(g)];
+      if (jl.ra_src != nullptr) {
+        std::memcpy(st.ra_buf[s].data(), jl.ra_src, jl.ra_bytes);
+      }
+      KernelContext ctx;
+      ctx.rvt = &graph_->rvt();
+      ctx.wa = slice.wa_buf.data();
+      ctx.wa_begin = slice.wa_begin;
+      ctx.wa_end = slice.wa_end;
+      ctx.ra = jl.ra_src != nullptr ? st.ra_buf[s].data() : nullptr;
+      ctx.ra_start_vid = jl.ra_start_vid;
+      ctx.cur_level = jl.cur_level;
+      ctx.next_pid_set = slice.local_next.get();
+      if (slice.local_next != nullptr && slice.local_next->counting()) {
+        ctx.out_degrees = out_degrees_.data();
+      }
+      ctx.micro = options_.micro;
+      const WorkStats work = kind == PageKind::kSmall
+                                 ? jl.job->kernel->RunSp(view, ctx)
+                                 : jl.job->kernel->RunLp(view, ctx);
+      slice.stream_work[static_cast<size_t>(s)] += work;
+      PatchKernelDuration(
+          jl.kidx,
+          launch_overhead +
+              static_cast<double>(work.warp_cycles) * sec_per_cycle +
+              static_cast<double>(work.mem_transactions) *
+                  jl.job->kernel->seconds_per_mem_transaction(
+                      machine_.time_model));
+    }
+    if (insert_into_cache) {
+      (void)st.cache->Insert(pid, page_bytes);
+    }
+  };
+
+  if (pull) {
+    host_phase.unlock();
+    execute();
+  } else if (options_.use_stream_threads) {
+    gpu.streams[s]->Enqueue(std::move(execute));
+  } else {
+    execute();
+  }
+  return Status::OK();
+}
+
+Status GtsEngine::RunJobBatch(const std::vector<JobExec*>& jobs) {
+  GTS_PROF_SCOPE("engine.run_job_batch");
+  const TimeModel& tm = machine_.time_model;
+
+  // Entry validation (mirrors the legacy Run/RunPass checks) + reset.
+  std::vector<JobExec*> ready;
+  for (JobExec* job : jobs) {
+    job->admitted = false;
+    job->participated = false;
+    job->finished = false;
+    job->status = Status::OK();
+    job->metrics = RunMetrics{};
+    job->level = 0;
+    job->prev_updates = 0;
+    job->job_id = -1;
+    job->frontier.reset();
+    job->gpus.clear();
+    if (job->cancel.load(std::memory_order_relaxed)) {
+      job->status = Status::Cancelled("job cancelled at level boundary");
+      job->finished = true;
+      continue;
+    }
+    if (job->traversal() &&
+        (job->options.source == kInvalidVertexId ||
+         job->options.source >= graph_->num_vertices())) {
+      job->status =
+          Status::InvalidArgument("traversal kernel needs a source vertex");
+      job->finished = true;
+      continue;
+    }
+    if (job->is_pass) {
+      bool bad = false;
+      for (PageId pid : job->pages) bad |= pid >= graph_->num_pages();
+      if (bad) {
+        job->status = Status::InvalidArgument("page id out of range");
+        job->finished = true;
+        continue;
+      }
+    }
+    ready.push_back(job);
+  }
+  if (ready.empty()) return Status::OK();
+
+  bool any_traversal = false;
+  for (JobExec* job : ready) {
+    any_traversal |=
+        job->kernel->access_pattern() == AccessPattern::kTraversal;
+  }
+  if (any_traversal && CountFrontier()) BuildDegreeTable();
+
+  // WA admission control, in batch (priority) order: a job whose
+  // partition does not fit next to the already-admitted ones is deferred
+  // to the next epoch; a job that cannot fit even alone fails with the
+  // allocation error (otherwise deferral would loop forever).
+  std::vector<JobExec*> admitted;
+  for (JobExec* job : ready) {
+    const Status st = AdmitJobSlices(job, static_cast<int>(admitted.size()));
+    if (st.ok()) {
+      job->admitted = true;
+      admitted.push_back(job);
+    } else if (admitted.empty()) {
+      job->status = st;
+      job->finished = true;
+    }
+    // else: deferred (stays !admitted, !finished; the scheduler requeues).
+  }
+  if (admitted.empty()) return Status::OK();
+
+  // Shared stream buffers; on oversubscription defer admitted jobs from
+  // the back until the shared set fits too.
+  for (;;) {
+    uint32_t max_ra_b = 0;
+    for (JobExec* job : admitted) {
+      max_ra_b = std::max(max_ra_b, job->kernel->ra_bytes_per_vertex());
+    }
+    const Status st = SetupSharedStreamBuffers(max_ra_b);
+    if (st.ok()) break;
+    for (auto& gpu : gpus_) {
+      gpu->sp_buf.clear();
+      gpu->lp_buf.clear();
+      gpu->ra_buf.clear();
+    }
+    JobExec* last = admitted.back();
+    last->admitted = false;
+    ReleaseJobSlices(last);
+    if (admitted.size() == 1) {
+      last->status = st;
+      last->finished = true;
+      return Status::OK();
+    }
+    admitted.pop_back();
+  }
+
+  // Shared page cache: exists when any admitted job qualifies (traversal
+  // kernel, cache enabled, RA-free -- the legacy rule); cached topology
+  // bytes are job-agnostic and serve every demander.
+  bool any_cache = false;
+  for (JobExec* job : admitted) {
+    any_cache |=
+        job->kernel->access_pattern() == AccessPattern::kTraversal &&
+        options_.enable_cache && job->kernel->ra_bytes_per_vertex() == 0;
+  }
+  if (any_cache) SetupBatchCaches();
+
+  // Epoch-start clears (one epoch = one schedule, like one legacy run).
+  {
+    std::lock_guard<std::mutex> lock(record_mu_);
+    recorder_.Clear();
+  }
+  store_->ResetStats();
+  io_->ResetStats();
+  pin_events_.Clear();
+  io_events_.Clear();
+  dispatch_events_.Clear();
+  work_item_seq_ = 0;
+  registry_->GetCounter("cache.shared_page_hits");  // stable snapshot keys
+
+  int32_t next_job_id = 0;
+  for (JobExec* job : admitted) {
+    job->job_id = next_job_id++;
+    if (job->traversal()) {
+      job->frontier = std::make_unique<PidSet>(graph_->num_pages());
+      if (CountFrontier()) job->frontier->EnableCounting();
+      job->frontier->Set(
+          graph_->PageOfVertex(job->options.source),
+          out_degrees_.empty() ? 1
+                               : out_degrees_[job->options.source]);
+    }
+    UploadWaJob(job);
+  }
+
+  // The merged pass loop: each iteration retires finished jobs at the
+  // boundary, then streams the union of the survivors' page demand.
+  std::vector<JobExec*> running = admitted;
+  const uint32_t min_edges = options_.dispatch.min_active_edges;
+  while (!running.empty()) {
+    std::vector<JobExec*> survivors;
+    for (JobExec* job : running) {
+      if (job->cancel.load(std::memory_order_relaxed)) {
+        job->status = Status::Cancelled("job cancelled at level boundary");
+        FinishJobInEpoch(job);
+        continue;
+      }
+      if (job->traversal()) {
+        const int job_max = job->options.max_levels_override >= 0
+                                ? job->options.max_levels_override
+                                : options_.max_levels;
+        if (job->frontier->Empty() || job->level >= job_max) {
+          FinishJobInEpoch(job);
+          continue;
+        }
+      } else if (job->participated) {
+        // Full scans and explicit passes stream exactly one pass.
+        FinishJobInEpoch(job);
+        continue;
+      }
+      survivors.push_back(job);
+    }
+    running = std::move(survivors);
+    if (running.empty()) break;
+
+    // Per-job page lists for this pass.
+    struct JobPages {
+      JobExec* job = nullptr;
+      std::vector<PageId> sps;
+      std::vector<PageId> lps;
+    };
+    std::vector<JobPages> plan;
+    plan.reserve(running.size());
+    bool pass_has_traversal = false;
+    for (JobExec* job : running) {
+      JobPages jp;
+      jp.job = job;
+      if (job->traversal()) {
+        pass_has_traversal = true;
+        uint64_t skipped = 0;
+        for (PageId pid : job->frontier->ToVector()) {
+          if (min_edges > 0 && job->frontier->counting() &&
+              job->frontier->CountOf(pid) < min_edges) {
+            ++skipped;
+            continue;
+          }
+          if (graph_->kind(pid) == PageKind::kSmall) {
+            jp.sps.push_back(pid);
+          } else {
+            const uint32_t more = graph_->rvt().entry(pid).lp_more;
+            for (uint32_t k = 0; k <= more; ++k) jp.lps.push_back(pid + k);
+          }
+        }
+        if (skipped > 0) {
+          job->metrics.pages_skipped += skipped;
+          registry_->GetCounter("dispatch.skipped_pages").Add(skipped);
+        }
+        if (job->kernel->collect_level_pages()) {
+          std::vector<PageId> combined = jp.sps;
+          combined.insert(combined.end(), jp.lps.begin(), jp.lps.end());
+          job->metrics.level_pages.push_back(std::move(combined));
+        }
+        for (auto& slice : job->gpus) slice.local_next->Clear();
+      } else if (job->is_pass) {
+        for (PageId pid : job->pages) {
+          (graph_->kind(pid) == PageKind::kSmall ? jp.sps : jp.lps)
+              .push_back(pid);
+        }
+      } else {
+        jp.sps = graph_->small_page_ids();
+        jp.lps = graph_->large_page_ids();
+      }
+      job->participated = true;
+      plan.push_back(std::move(jp));
+    }
+
+    // Demand union + weighted-round-robin merge (JobOptions::priority =
+    // pages taken per turn): each distinct page enters the merged order
+    // once, at the turn of the first job that claims it, and carries the
+    // full list of jobs demanding it.
+    std::unordered_map<PageId, std::vector<JobExec*>> demand;
+    for (const JobPages& jp : plan) {
+      for (PageId pid : jp.sps) demand[pid].push_back(jp.job);
+      for (PageId pid : jp.lps) demand[pid].push_back(jp.job);
+    }
+    auto merge_wrr = [&plan](bool large) {
+      std::vector<PageId> merged;
+      std::unordered_set<PageId> seen;
+      std::vector<size_t> cursor(plan.size(), 0);
+      for (;;) {
+        bool advanced = false;
+        for (size_t j = 0; j < plan.size(); ++j) {
+          const std::vector<PageId>& list =
+              large ? plan[j].lps : plan[j].sps;
+          int take = std::max(1, plan[j].job->options.priority);
+          while (take-- > 0 && cursor[j] < list.size()) {
+            const PageId pid = list[cursor[j]++];
+            if (seen.insert(pid).second) merged.push_back(pid);
+            advanced = true;
+          }
+        }
+        if (!advanced) break;
+      }
+      return merged;
+    };
+    std::vector<PageId> merged_sps = merge_wrr(/*large=*/false);
+    std::vector<PageId> merged_lps = merge_wrr(/*large=*/true);
+
+    // Merged counted frontier: the ordering/admission context for
+    // frontier-aware dispatch policies sees the union of every running
+    // traversal job's activations.
+    std::unique_ptr<PidSet> merged_frontier;
+    if (pass_has_traversal) {
+      merged_frontier = std::make_unique<PidSet>(graph_->num_pages());
+      if (CountFrontier()) merged_frontier->EnableCounting();
+      for (JobExec* job : running) {
+        if (job->traversal()) merged_frontier->Union(*job->frontier);
+      }
+    }
+
+    const std::vector<PageId> ordered =
+        PlanPass(std::move(merged_sps), std::move(merged_lps),
+                 merged_frontier.get());
+    Status pass_status = ProcessPagesBatch(ordered, demand);
+    SynchronizeStreams();
+    if (!pass_status.ok()) {
+      for (JobExec* job : running) {
+        job->status = pass_status;
+        job->finished = true;
+        ReleaseJobSlices(job);
+      }
+      break;
+    }
+
+    // Per-job level sync (admission order), then one host merge +
+    // barrier for the pass -- the batch analogue of Algorithm 1's
+    // per-level synchronization.
+    for (JobExec* job : running) {
+      if (!job->traversal()) continue;
+      job->frontier->Clear();
+      for (int g = 0; g < machine_.num_gpus; ++g) {
+        JobGpuSlice& slice = job->gpus[static_cast<size_t>(g)];
+        gpu::TimelineOp d2h;
+        d2h.kind = gpu::OpKind::kD2H;
+        d2h.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+        d2h.duration =
+            static_cast<double>(slice.local_next->ByteSize()) / tm.c1;
+        d2h.bytes = slice.local_next->ByteSize();
+        d2h.job = job->job_id;
+        RecordOp(d2h);
+        job->frontier->Union(*slice.local_next);
+      }
+      if (machine_.num_gpus > 1) {
+        uint64_t total_updates = 0;
+        for (const auto& slice : job->gpus) {
+          for (const WorkStats& w : slice.stream_work) {
+            total_updates += w.wa_updates;
+          }
+        }
+        const uint64_t level_updates = total_updates - job->prev_updates;
+        job->prev_updates = total_updates;
+        const uint64_t delta_bytes =
+            level_updates * (job->kernel->wa_bytes_per_vertex() + 8);
+        for (int g = 0; g < machine_.num_gpus; ++g) {
+          gpu::TimelineOp d2h;
+          d2h.kind = gpu::OpKind::kD2H;
+          d2h.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+          d2h.duration =
+              static_cast<double>(delta_bytes / machine_.num_gpus) / tm.c1;
+          d2h.bytes = delta_bytes / machine_.num_gpus;
+          d2h.job = job->job_id;
+          RecordOp(d2h);
+          gpu::TimelineOp h2d;
+          h2d.kind = gpu::OpKind::kH2DChunk;
+          h2d.resource = {gpu::ResourceId::Type::kCopyEngine, g};
+          h2d.duration = static_cast<double>(delta_bytes) / tm.c1;
+          h2d.bytes = delta_bytes;
+          h2d.job = job->job_id;
+          RecordOp(h2d);
+        }
+        for (auto& slice : job->gpus) {
+          job->kernel->AbsorbDeviceWa(slice.wa_buf.data(), slice.wa_begin,
+                                      slice.wa_end);
+        }
+        for (auto& slice : job->gpus) {
+          job->kernel->InitDeviceWa(slice.wa_buf.data(), slice.wa_begin,
+                                    slice.wa_end);
+        }
+      }
+    }
+    if (pass_has_traversal) {
+      gpu::TimelineOp merge;
+      merge.kind = gpu::OpKind::kHostCompute;
+      merge.duration = tm.host_merge_overhead;
+      RecordOp(merge);
+      {
+        std::lock_guard<std::mutex> lock(record_mu_);
+        recorder_.AddBarrier(tm.sync_overhead);
+      }
+      for (JobExec* job : running) {
+        if (job->traversal()) ++job->level;
+      }
+    }
+  }
+
+  FinalizeBatchEpoch(jobs);
+  return Status::OK();
+}
+
+void GtsEngine::FinalizeBatchEpoch(const std::vector<JobExec*>& jobs) {
+  GTS_PROF_SCOPE("engine.finalize_run");
+  std::vector<gpu::TimelineOp> ops;
+  {
+    std::lock_guard<std::mutex> lock(record_mu_);
+    ops = recorder_.TakeOps();
+  }
+  gpu::ScheduleResult schedule =
+      gpu::ScheduleSimulator(machine_.time_model).Run(std::move(ops));
+
+  analysis::RaceReport epoch_report;
+  if (options_.analysis.validate_schedule) {
+    analysis::ScheduleValidator validator(
+        analysis::ValidatorOptions{1e-12, options_.analysis.max_reported});
+    validator.Check(schedule, &epoch_report);
+    validator.CheckPinEvents(pin_events_.Take(), &epoch_report);
+    validator.CheckIoEvents(io_events_.Take(), &epoch_report);
+    validator.CheckDispatchEvents(dispatch_events_.Take(), &epoch_report);
+    validator.CheckJobIsolation(schedule, &epoch_report);
+  }
+  registry_->GetCounter("analysis.races").Add(epoch_report.races_detected);
+  registry_->GetCounter("analysis.wa_accesses").Add(epoch_report.wa_accesses);
+  registry_->GetCounter("analysis.schedule_checks")
+      .Add(epoch_report.schedule_checks);
+  registry_->GetCounter("analysis.schedule_violations")
+      .Add(epoch_report.violations_detected);
+
+  for (JobExec* job : jobs) {
+    if (!job->admitted || !job->finished || !job->status.ok()) continue;
+    // Every job of the epoch shares its schedule: sim_seconds is the
+    // epoch makespan (a serving-latency view -- the job was done when
+    // the batch was), and the busy breakdown is epoch-wide.
+    job->metrics.sim_seconds = schedule.makespan;
+    job->metrics.transfer_busy =
+        schedule.BusySeconds(gpu::ResourceId::Type::kCopyEngine);
+    job->metrics.kernel_busy =
+        schedule.BusySeconds(gpu::ResourceId::Type::kKernelPool);
+    job->metrics.storage_busy =
+        schedule.BusySeconds(gpu::ResourceId::Type::kStorageDevice);
+    job->metrics.analysis = epoch_report;
+    if (options_.keep_timeline) job->metrics.timeline = schedule;
+    PublishMetrics(job->metrics);
+    if (options_.analysis.fail_on_violation &&
+        epoch_report.violations_detected > 0) {
+      job->status = Status::Internal("schedule validation failed:\n" +
+                                     epoch_report.ToString());
+    }
+  }
+  ReleaseBatchBuffers(jobs);
 }
 
 void GtsEngine::PublishMetrics(const RunMetrics& metrics) {

@@ -14,10 +14,12 @@
 #ifndef GTS_CORE_ENGINE_H_
 #define GTS_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/analysis_options.h"
@@ -46,6 +48,8 @@
 namespace gts {
 
 class DispatchPipeline;
+class JobScheduler;
+struct JobExec;
 
 /// Multi-GPU strategies of Section 4.
 enum class Strategy : uint8_t {
@@ -73,6 +77,16 @@ struct GtsOptions {
   bool keep_timeline = false;
   /// Safety valve for traversal loops.
   int max_levels = 100000;
+
+  /// Upper bound on jobs the JobScheduler executes concurrently in one
+  /// batch epoch (shared-topology streaming: one merged page demand per
+  /// pass, private WA partition per job). 1 -- the default -- keeps every
+  /// submission on the legacy single-run path, which is byte-identical
+  /// to the pre-scheduler schedules. Values > 1 require an asynchronous
+  /// dispatch path (use_stream_threads or dispatch.work_stealing) and
+  /// are incompatible with cpu_assist_fraction > 0; Validate() rejects
+  /// those combinations with actionable messages.
+  int max_concurrent_jobs = 1;
 
   /// Section 9 future-work extension: fraction of the page stream the
   /// host CPUs co-process alongside the GPUs (TOTEM-style hybrid, but
@@ -156,6 +170,12 @@ class GtsEngine {
                                  const std::vector<PageId>& pages,
                                  uint32_t level = 0);
 
+  /// The engine's job scheduler: the serving API. Run()/RunPass() above
+  /// are thin shims over scheduler().Submit(...).Wait(); use the
+  /// scheduler directly to run jobs concurrently (max_concurrent_jobs),
+  /// cancel them, or poll with TryJoin().
+  JobScheduler& scheduler() { return *scheduler_; }
+
   const PagedGraph* graph() const { return graph_; }
   int num_gpus() const { return machine_.num_gpus; }
   const MachineConfig& machine() const { return machine_; }
@@ -169,8 +189,68 @@ class GtsEngine {
   }
 
  private:
+  friend class JobScheduler;
+
   struct GpuState;
   struct CpuState;
+
+  /// Scheduler entry point for single-job batches: dispatches to the
+  /// legacy RunDirect/RunPassDirect bodies (byte-identical schedules),
+  /// honoring exec->cancel at level boundaries.
+  Result<RunMetrics> ExecuteJob(JobExec* exec);
+
+  /// The legacy run bodies, unchanged except for the cancellation probe
+  /// (`cancel` may be null). The public Run()/RunPass() reach them
+  /// through the scheduler's single-job path.
+  Result<RunMetrics> RunDirect(GtsKernel* kernel, VertexId source,
+                               int max_levels_override,
+                               std::atomic<bool>* cancel);
+  Result<RunMetrics> RunPassDirect(GtsKernel* kernel,
+                                   const std::vector<PageId>& pages,
+                                   uint32_t level, std::atomic<bool>* cancel);
+
+  /// Scheduler entry point for multi-job batches: one epoch in which the
+  /// admitted jobs share the streaming machinery (merged per-pass page
+  /// demand, shared cache/io/copy engines) while each owns a private WA
+  /// partition and metrics scope. Per-job outcomes land in each
+  /// JobExec::status/metrics (finished set); jobs left !finished were
+  /// deferred by WA admission control. Returns non-OK only for engine
+  /// bugs, never for per-job failures.
+  Status RunJobBatch(const std::vector<JobExec*>& jobs);
+
+  // --- RunJobBatch helpers ---
+  /// Allocates job `slot`'s per-GPU WA partition (+ local nextPIDSets
+  /// for traversal kernels); on failure every partial slice is released
+  /// and the allocation error returned (the admission-control signal).
+  Status AdmitJobSlices(JobExec* job, int slot);
+  void ReleaseJobSlices(JobExec* job);
+  /// Allocates the shared per-stream SP/LP/RA buffers (RA sized for the
+  /// largest admitted ra_bytes_per_vertex) and resets stream state.
+  Status SetupSharedStreamBuffers(uint32_t max_ra_b);
+  /// Per-GPU shared page cache over the memory left after admission.
+  void SetupBatchCaches();
+  void ReleaseBatchBuffers(const std::vector<JobExec*>& jobs);
+  /// Tagged (TimelineOp::job) WA upload/download for one job's slices.
+  void UploadWaJob(JobExec* job);
+  void DownloadWaJob(JobExec* job);
+  /// Completes one job inside a running epoch: WA download (ok jobs),
+  /// per-job work/io stat harvest, slice release, finished flag.
+  void FinishJobInEpoch(JobExec* job);
+  /// Batch variants of the dispatch loops: every page carries the list
+  /// of jobs demanding it; one stream/cache access services them all.
+  Status ProcessPagesBatch(
+      const std::vector<PageId>& ordered,
+      const std::unordered_map<PageId, std::vector<JobExec*>>& demand);
+  Status ProcessPagesBatchPull(
+      const std::vector<PageId>& ordered,
+      const std::unordered_map<PageId, std::vector<JobExec*>>& demand);
+  Status StreamPageToGpuBatch(PageId pid, int g, int s,
+                              const std::vector<JobExec*>& demanders,
+                              bool pull, bool stolen);
+  /// Epoch wrap-up: simulate once, run the validator (including the
+  /// job-isolation rule) over the merged timeline, stamp every finished
+  /// job with the epoch makespan/busy stats, publish, release buffers.
+  void FinalizeBatchEpoch(const std::vector<JobExec*>& jobs);
 
   /// Per-GPU WA ownership range under the active strategy. Traversal
   /// kernels always replicate WA (they read arbitrary neighbors' state).
@@ -268,6 +348,7 @@ class GtsEngine {
   std::shared_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<DispatchPipeline> pipeline_;
   std::unique_ptr<io::IoEngine> io_;
+  std::unique_ptr<JobScheduler> scheduler_;
 
   /// Per-vertex out-degrees; built lazily for active-edge counting.
   std::vector<uint32_t> out_degrees_;

@@ -1,0 +1,46 @@
+// Per-job parameters of the gts::JobScheduler serving API.
+//
+// JobOptions subsumes the old RunOptions block (run_report.h keeps
+// `using RunOptions = JobOptions;` for one PR as a deprecation alias):
+// the per-algorithm tuning knobs the Run*Gts drivers always took, plus
+// the scheduler-era fields -- query identity (source vertex, level cap)
+// moves out of positional arguments and into the options block, and
+// `priority` feeds the scheduler's weighted round-robin fairness policy.
+#ifndef GTS_CORE_JOB_JOB_OPTIONS_H_
+#define GTS_CORE_JOB_JOB_OPTIONS_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace gts {
+
+/// Tuning knobs shared by the Run*Gts drivers and JobScheduler::Submit.
+/// Each driver documents the fields it reads; the rest are ignored.
+struct JobOptions {
+  int iterations = 1;         ///< PageRank / RWR fixed-iteration loops
+  int max_iterations = 1000;  ///< WCC label-propagation fixpoint cap
+  int max_hops = 256;         ///< Radius sketch-propagation cap
+  uint32_t hops = 1;          ///< k-hop neighborhood depth
+  uint64_t seed = 7;          ///< Radius FM-sketch seed
+  float damping = 0.85f;      ///< PageRank damping factor
+  float restart_prob = 0.15f; ///< RWR restart probability
+
+  // --- Scheduler-era fields (ignored by the legacy positional APIs) ---
+
+  /// Seeds the frontier for traversal kernels (host WA must already mark
+  /// it, e.g. LV[source] = 0). Required for traversal submissions.
+  VertexId source = kInvalidVertexId;
+  /// A non-negative value truncates a traversal after that many level
+  /// passes (k-hop neighborhood queries); -1 uses GtsOptions::max_levels.
+  int max_levels_override = -1;
+  /// Weighted round-robin share of the merged per-pass page order when
+  /// jobs run concurrently, and the admission-control ordering when
+  /// device WA memory is oversubscribed. Higher = more favored; values
+  /// < 1 are clamped to 1.
+  int priority = 1;
+};
+
+}  // namespace gts
+
+#endif  // GTS_CORE_JOB_JOB_OPTIONS_H_

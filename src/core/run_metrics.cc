@@ -12,6 +12,7 @@ void RunMetrics::Accumulate(const RunMetrics& increment) {
   cache_lookups += increment.cache_lookups;
   cache_hits += increment.cache_hits;
   cache_backpressure += increment.cache_backpressure;
+  shared_page_hits += increment.shared_page_hits;
   work += increment.work;
   io.buffer_hits += increment.io.buffer_hits;
   io.device_reads += increment.io.device_reads;

@@ -32,6 +32,11 @@ struct RunMetrics {
   /// Cache inserts rejected because every evictable page was pinned by an
   /// in-flight kernel (the page stayed on the streaming SPBuf/LPBuf path).
   uint64_t cache_backpressure = 0;
+  /// JobScheduler batch epochs only: pages this job consumed that another
+  /// concurrent job had already streamed (or cached) in the same pass.
+  /// pages_streamed counts only first-demander transfers, so across a
+  /// batch sum(pages_streamed) equals the distinct H2D page transfers.
+  uint64_t shared_page_hits = 0;
   WorkStats work;
   PageStoreStats io;          ///< storage-level counters for this run
   io::IoStats io_queue;       ///< io-engine (queue/scheduler) counters

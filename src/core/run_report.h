@@ -17,22 +17,18 @@
 
 #include <cstdint>
 
+#include "core/job/job_options.h"
 #include "core/run_metrics.h"
 #include "obs/metrics.h"
 
 namespace gts {
 
-/// Tuning knobs shared by the Run*Gts drivers. Each driver documents the
-/// fields it reads; the rest are ignored.
-struct RunOptions {
-  int iterations = 1;         ///< PageRank / RWR fixed-iteration loops
-  int max_iterations = 1000;  ///< WCC label-propagation fixpoint cap
-  int max_hops = 256;         ///< Radius sketch-propagation cap
-  uint32_t hops = 1;          ///< k-hop neighborhood depth
-  uint64_t seed = 7;          ///< Radius FM-sketch seed
-  float damping = 0.85f;      ///< PageRank damping factor
-  float restart_prob = 0.15f; ///< RWR restart probability
-};
+/// Deprecated alias, kept for one PR: the driver tuning block is now
+/// JobOptions (core/job/job_options.h), which adds the scheduler-era
+/// fields (source, max_levels_override, priority) on top of the old
+/// RunOptions knobs. Existing `RunOptions{...}` call sites keep
+/// compiling unchanged; new code should say JobOptions.
+using RunOptions = JobOptions;
 
 /// What a driver hands back about how its run(s) went: the accumulated
 /// per-run counters plus the engine's registry at completion. Algorithm

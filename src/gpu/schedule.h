@@ -84,6 +84,12 @@ struct TimelineOp {
   /// worker other than its home (gpu, stream) -- a work-stealing edge.
   /// Informational (trace + metrics); never replayed by the simulator.
   bool stolen = false;
+  /// JobScheduler batch epochs only: the job this op works for, or -1
+  /// for untagged infrastructure ops (shared page transfers, storage
+  /// traffic, barriers) and every op of a single-job run. Informational
+  /// (trace lanes + the validator's J1 job-isolation rule); never
+  /// replayed by the simulator.
+  int32_t job = -1;
 
   SimTime start = 0.0;
   SimTime end = 0.0;

@@ -19,8 +19,11 @@ IoEngine::IoEngine(const PagedGraph* graph, PageStore* store,
   GTS_CHECK(valid.ok()) << valid.ToString();
   queues_.reserve(store_->num_devices());
   for (size_t d = 0; d < store_->num_devices(); ++d) {
+    // Heterogeneous mixes: each queue gets the base options with its
+    // device's overrides folded in (an HDD can run a deep elevator queue
+    // while the SSDs keep the FIFO default).
     queues_.emplace_back(static_cast<int>(d), store_->device(d).timing(),
-                         options_);
+                         options_.ForDevice(static_cast<int>(d)));
   }
   if (registry != nullptr) {
     submitted_metric_ = &registry->GetCounter("io.submitted");

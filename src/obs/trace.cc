@@ -232,6 +232,13 @@ void TraceExporter::AddRun(const gpu::ScheduleResult& schedule,
       if (!args.empty()) args += ",";
       args += "\"stolen\":1";
     }
+    if (op.job >= 0) {
+      // JobScheduler batch epochs tag per-job ops with their job lane;
+      // single-job runs leave every op untagged, so their traces are
+      // byte-identical to the pre-scheduler engine's.
+      if (!args.empty()) args += ",";
+      args += "\"job\":" + std::to_string(op.job);
+    }
     if (!args.empty()) json += ",\"args\":{" + args + "}";
     json += "}";
 

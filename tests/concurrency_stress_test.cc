@@ -6,18 +6,22 @@
 //
 // Sized to finish in well under 30 s under TSan on one core; run it under
 // every GTS_SANITIZE mode via tools/check_sanitizers.sh.
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <numeric>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "algorithms/bfs.h"
+#include "algorithms/reference.h"
 #include "common/thread_pool.h"
 #include "common/units.h"
 #include "core/engine.h"
+#include "core/job/job_scheduler.h"
 #include "core/page_cache.h"
 #include "gpu/device.h"
 #include "gpu/stream.h"
@@ -450,6 +454,89 @@ TEST(ThreadPoolStressTest, ParallelForInterleavedWithSubmits) {
   submitter.join();
   pool.Wait();
   EXPECT_EQ(submitted_ran.load(), kSubmits);
+}
+
+// ----------------------------------------------------------- JobScheduler
+
+// Many client threads hammer one engine's JobScheduler: concurrent
+// Submit/Wait with driver handoff between waiters, batches formed under
+// stream threads + work stealing (the pull dispatch path), and a
+// mid-flight Cancel thrown in. Every completed BFS must still match the
+// reference; run under every GTS_SANITIZE mode (tsan-jobs).
+TEST(JobSchedulerStressTest, ConcurrentSubmittersShareOneEngine) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 41;
+  EdgeList edges = std::move(GenerateRmat(p)).ValueOrDie();
+  CsrGraph csr = CsrGraph::FromEdgeList(edges);
+  PagedGraph paged =
+      std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+  auto store = MakeInMemoryStore(&paged);
+  MachineConfig machine = MachineConfig::PaperScaled(1);
+  machine.device_memory = 8 * kMiB;
+
+  GtsOptions opts;
+  opts.num_streams = 4;
+  opts.max_concurrent_jobs = 3;
+  opts.use_stream_threads = true;
+  opts.dispatch.work_stealing = true;
+  GtsEngine engine(&paged, store.get(), machine, opts);
+
+  // The busiest sources, so traversals do real page streaming.
+  std::vector<VertexId> sources(csr.num_vertices());
+  std::iota(sources.begin(), sources.end(), 0);
+  std::sort(sources.begin(), sources.end(), [&](VertexId a, VertexId b) {
+    return csr.out_degree(a) > csr.out_degree(b);
+  });
+  constexpr int kClients = 6;
+  constexpr int kRounds = 3;
+  sources.resize(kClients);
+
+  std::vector<std::vector<uint16_t>> got(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        BfsKernel kernel(csr.num_vertices(), sources[c]);
+        JobOptions job;
+        job.source = sources[c];
+        job.priority = 1 + c % 3;
+        JobHandle handle = engine.scheduler().Submit(&kernel, job);
+        auto report = handle.Wait();
+        GTS_CHECK(report.ok()) << report.status().ToString();
+        if (round == kRounds - 1) got[c] = kernel.levels();
+      }
+    });
+  }
+  // One more client submits and immediately cancels, repeatedly: the
+  // cancel path must never corrupt the batches the others ride in.
+  std::thread canceller([&] {
+    for (int round = 0; round < 2 * kRounds; ++round) {
+      BfsKernel kernel(csr.num_vertices(), sources[0]);
+      JobOptions job;
+      job.source = sources[0];
+      JobHandle handle = engine.scheduler().Submit(&kernel, job);
+      handle.Cancel();
+      auto report = handle.Wait();
+      GTS_CHECK(report.ok() || report.status().IsCancelled())
+          << report.status().ToString();
+    }
+  });
+  for (auto& t : clients) t.join();
+  canceller.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    const auto expected = ReferenceBfs(csr, sources[c]);
+    ASSERT_EQ(got[c].size(), expected.size()) << "client " << c;
+    for (VertexId v = 0; v < csr.num_vertices(); ++v) {
+      const uint32_t want = expected[v] == kUnreachedLevel
+                                ? BfsKernel::kUnvisited
+                                : expected[v];
+      ASSERT_EQ(got[c][v], want) << "client " << c << " vertex " << v;
+    }
+  }
 }
 
 }  // namespace

@@ -455,6 +455,50 @@ TEST(ScheduleValidatorTest, DispatchClaimViolationsAreRejected) {
   EXPECT_EQ(r4.violations_detected, 0u) << r4.ToString();
 }
 
+// J1 (job isolation) over a JobScheduler batch epoch: a job-tagged op may
+// depend only on same-job or untagged ops. A kernel wired to another
+// job's kernel is exactly the cross-contamination the rule exists for.
+TEST(ScheduleValidatorTest, CrossJobDependencyIsRejected) {
+  gpu::ScheduleResult schedule;
+  schedule.ops.push_back(MakeOp(gpu::OpKind::kKernel,
+                                gpu::ResourceId::Type::kKernelPool, 0, 0.0,
+                                1.0, /*stream_key=*/0));
+  schedule.ops.back().job = 0;
+  schedule.ops.push_back(MakeOp(gpu::OpKind::kKernel,
+                                gpu::ResourceId::Type::kKernelPool, 0, 1.0,
+                                2.0, /*stream_key=*/0));
+  schedule.ops.back().job = 1;
+  schedule.ops.back().dep0 = 0;  // job 1 depending on job 0's kernel
+  RaceReport report;
+  ScheduleValidator().CheckJobIsolation(schedule, &report);
+  EXPECT_TRUE(report.validator_ran);
+  EXPECT_GT(report.violations_detected, 0u);
+  EXPECT_TRUE(HasRule(report, "job-isolation")) << report.ToString();
+}
+
+// The legal sharing shape: both jobs hang off one untagged infrastructure
+// op (a shared H2D page transfer), never off each other.
+TEST(ScheduleValidatorTest, CrossJobSharingViaUntaggedOpIsClean) {
+  gpu::ScheduleResult schedule;
+  schedule.ops.push_back(MakeOp(gpu::OpKind::kH2DStream,
+                                gpu::ResourceId::Type::kCopyEngine, 0, 0.0,
+                                1.0, /*stream_key=*/0));
+  schedule.ops.back().page = 5;  // untagged: job stays -1
+  for (int job = 0; job < 2; ++job) {
+    schedule.ops.push_back(MakeOp(gpu::OpKind::kKernel,
+                                  gpu::ResourceId::Type::kKernelPool, 0,
+                                  1.0 + job, 2.0 + job, /*stream_key=*/0));
+    schedule.ops.back().page = 5;
+    schedule.ops.back().job = job;
+    schedule.ops.back().dep0 = 0;
+  }
+  RaceReport report;
+  ScheduleValidator().CheckJobIsolation(schedule, &report);
+  EXPECT_TRUE(report.validator_ran);
+  EXPECT_GT(report.schedule_checks, 0u);
+  EXPECT_EQ(report.violations_detected, 0u) << report.ToString();
+}
+
 // --------------------------------------------------- end-to-end sweep
 
 struct Fixture {

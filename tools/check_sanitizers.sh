@@ -6,7 +6,7 @@
 # pure observer: the Figure 4 trace from the instrumented build must be
 # byte-identical to the trace from the plain (knob OFF) build.
 #
-# Usage: tools/check_sanitizers.sh [plain|tsan|tsan-steal|asan|race|all]
+# Usage: tools/check_sanitizers.sh [plain|tsan|tsan-steal|tsan-jobs|asan|race|all]
 #        (default: all)
 # Env:   JOBS=N        parallelism (default: nproc)
 #        BUILD_ROOT=d  where build trees go (default: <repo>/build-san)
@@ -69,6 +69,29 @@ run_tsan_steal() {
   echo "==== [tsan-steal] OK ===="
 }
 
+# Targeted ThreadSanitizer sweep of the JobScheduler serving path:
+# concurrent Submit/Wait clients with driver handoff, multi-job batch
+# epochs over shared streaming state, and cancellation racing batch
+# formation. Focused enough to sit in tier 1 (see tools/CMakeLists.txt
+# check_tsan_jobs); shares the tsan build tree with run_config tsan and
+# run_tsan_steal, so combined runs cost one build.
+run_tsan_jobs() {
+  local build="$BUILD_ROOT/tsan"
+  echo "==== [tsan-jobs] configure (GTS_SANITIZE='thread') ===="
+  cmake -B "$build" -S "$ROOT" -DGTS_SANITIZE=thread \
+    -DGTS_RACE_CHECK=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==== [tsan-jobs] build job_scheduler_test concurrency_stress_test ===="
+  cmake --build "$build" --target job_scheduler_test concurrency_stress_test -j "$JOBS"
+  echo "==== [tsan-jobs] multi-job scheduler under TSan ===="
+  (
+    export TSAN_OPTIONS="suppressions=$SUPP halt_on_error=1 second_deadlock_stack=1"
+    "$build/tests/job_scheduler_test"
+    "$build/tests/concurrency_stress_test" --gtest_filter='JobSchedulerStressTest.*'
+  )
+  echo "==== [tsan-jobs] OK ===="
+}
+
 # GTS_RACE_CHECK=ON rebuild: runs the full tier-1 suite (including the
 # concurrency stress harness) with the happens-before detector compiled
 # in, then asserts the depth-1 FIFO Figure 4 trace is byte-identical to
@@ -95,6 +118,7 @@ case "$MODE" in
   plain) run_config plain "" ;;
   tsan) run_config tsan thread ;;
   tsan-steal) run_tsan_steal ;;
+  tsan-jobs) run_tsan_jobs ;;
   asan) run_config asan-ubsan "address;undefined" ;;
   race) run_race ;;
   all)
@@ -104,7 +128,7 @@ case "$MODE" in
     run_race
     ;;
   *)
-    echo "unknown mode '$MODE' (expected plain|tsan|tsan-steal|asan|race|all)" >&2
+    echo "unknown mode '$MODE' (expected plain|tsan|tsan-steal|tsan-jobs|asan|race|all)" >&2
     exit 2
     ;;
 esac
