@@ -181,7 +181,7 @@ std::vector<double> BcBackwardKernel::Deltas() const {
 // ----------------------------------------------------------------- driver
 
 Result<BcGtsResult> RunBcGts(GtsEngine& engine, VertexId source,
-                             const RunOptions& options) {
+                             const JobOptions& options) {
   if (engine.num_gpus() != 1) {
     return Status::Unimplemented(
         "BC merges sigma across replicas; run it on a single GPU "

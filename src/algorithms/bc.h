@@ -102,9 +102,9 @@ struct BcGtsResult {
 };
 
 /// Runs single-source Brandes BC. Requires a single-GPU engine. Reads no
-/// RunOptions fields (trailing parameter for signature uniformity).
+/// JobOptions fields (trailing parameter for signature uniformity).
 Result<BcGtsResult> RunBcGts(GtsEngine& engine, VertexId source,
-                             const RunOptions& options = {});
+                             const JobOptions& options = {});
 
 }  // namespace gts
 

@@ -90,7 +90,7 @@ WorkStats BfsKernel::RunLp(const PageView& page, KernelContext& ctx) {
 
 Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
                                                  VertexId source,
-                                                 const RunOptions& options) {
+                                                 const JobOptions& options) {
   const uint32_t hops = options.hops;
   const VertexId n = engine.graph()->num_vertices();
   if (source >= n) {
@@ -117,7 +117,7 @@ Result<NeighborhoodGtsResult> RunNeighborhoodGts(GtsEngine& engine,
 }
 
 Result<BfsGtsResult> RunBfsGts(GtsEngine& engine, VertexId source,
-                               const RunOptions& options) {
+                               const JobOptions& options) {
   const VertexId n = engine.graph()->num_vertices();
   if (source >= n) {
     return Status::InvalidArgument("BFS source out of range");

@@ -48,11 +48,11 @@ struct BfsGtsResult {
   RunReport report;
 };
 
-/// Runs BFS from `source` on the engine's graph. BFS reads no RunOptions
+/// Runs BFS from `source` on the engine's graph. BFS reads no JobOptions
 /// fields; the parameter exists so every driver shares one signature
 /// shape.
 Result<BfsGtsResult> RunBfsGts(GtsEngine& engine, VertexId source,
-                               const RunOptions& options = {});
+                               const JobOptions& options = {});
 
 /// K-hop neighborhood (Section 3.3's "neighborhood" / "egonet" family):
 /// a BFS truncated after `options.hops` levels. Returns the vertices
@@ -63,7 +63,7 @@ struct NeighborhoodGtsResult {
   RunReport report;
 };
 Result<NeighborhoodGtsResult> RunNeighborhoodGts(
-    GtsEngine& engine, VertexId source, const RunOptions& options = {});
+    GtsEngine& engine, VertexId source, const JobOptions& options = {});
 
 }  // namespace gts
 

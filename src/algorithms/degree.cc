@@ -55,7 +55,7 @@ WorkStats DegreeKernel::RunLp(const PageView& page, KernelContext& ctx) {
 }
 
 Result<DegreeGtsResult> RunDegreeGts(GtsEngine& engine,
-                                     const RunOptions& options) {
+                                     const JobOptions& options) {
   DegreeKernel kernel(engine.graph()->num_vertices());
   DegreeGtsResult result;
   GTS_RETURN_IF_ERROR(

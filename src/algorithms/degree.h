@@ -49,9 +49,9 @@ struct DegreeGtsResult {
 };
 
 /// One streaming pass computing the out-degree distribution. Reads no
-/// RunOptions fields (trailing parameter for signature uniformity).
+/// JobOptions fields (trailing parameter for signature uniformity).
 Result<DegreeGtsResult> RunDegreeGts(GtsEngine& engine,
-                                     const RunOptions& options = {});
+                                     const JobOptions& options = {});
 
 }  // namespace gts
 

@@ -73,7 +73,7 @@ WorkStats KcoreKernel::RunLp(const PageView& page, KernelContext& ctx) {
 }
 
 Result<KcoreGtsResult> RunKcoreGts(GtsEngine& engine, uint32_t k,
-                                   const RunOptions& options) {
+                                   const JobOptions& options) {
   (void)options;  // k-core has no tuning knobs
   const PagedGraph* graph = engine.graph();
   const VertexId n = graph->num_vertices();

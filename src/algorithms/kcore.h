@@ -65,9 +65,9 @@ struct KcoreGtsResult {
 };
 
 /// Computes the k-core of the engine's (symmetrized) graph. `k` is the
-/// query itself, so it stays positional; no RunOptions fields are read.
+/// query itself, so it stays positional; no JobOptions fields are read.
 Result<KcoreGtsResult> RunKcoreGts(GtsEngine& engine, uint32_t k,
-                                   const RunOptions& options = {});
+                                   const JobOptions& options = {});
 
 /// Reference peeling for validation.
 std::vector<uint8_t> ReferenceKcore(const CsrGraph& graph, uint32_t k);

@@ -91,7 +91,7 @@ WorkStats PageRankKernel::RunLp(const PageView& page, KernelContext& ctx) {
 }
 
 Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine,
-                                         const RunOptions& options) {
+                                         const JobOptions& options) {
   if (options.iterations < 1) {
     return Status::InvalidArgument("PageRank needs at least one iteration");
   }

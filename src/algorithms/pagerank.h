@@ -67,7 +67,7 @@ struct PageRankGtsResult {
 /// Runs `options.iterations` of PageRank with `options.damping` on the
 /// engine's graph.
 Result<PageRankGtsResult> RunPageRankGts(GtsEngine& engine,
-                                         const RunOptions& options = {});
+                                         const JobOptions& options = {});
 
 }  // namespace gts
 

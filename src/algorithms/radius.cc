@@ -114,7 +114,7 @@ double RadiusKernel::EstimateNeighborhood(VertexId v) const {
 }
 
 Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine,
-                                     const RunOptions& options) {
+                                     const JobOptions& options) {
   const VertexId n = engine.graph()->num_vertices();
   RadiusKernel kernel(n, options.seed);
   RadiusGtsResult result;

@@ -85,7 +85,7 @@ struct RadiusGtsResult {
 /// (sketch propagation bounded by `options.max_hops`, FM sketches seeded
 /// with `options.seed`).
 Result<RadiusGtsResult> RunRadiusGts(GtsEngine& engine,
-                                     const RunOptions& options = {});
+                                     const JobOptions& options = {});
 
 /// Exact neighborhood function via reverse BFS from every vertex (only
 /// feasible on small test graphs): exact_nf[h] = #(u,v) with

@@ -85,7 +85,7 @@ WorkStats RwrKernel::RunLp(const PageView& page, KernelContext& ctx) {
 }
 
 Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
-                               const RunOptions& options) {
+                               const JobOptions& options) {
   const VertexId n = engine.graph()->num_vertices();
   if (seed >= n) return Status::InvalidArgument("RWR seed out of range");
   if (options.iterations < 1) {

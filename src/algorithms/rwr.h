@@ -62,7 +62,7 @@ struct RwrGtsResult {
 /// Runs `options.iterations` of RWR from `seed` with
 /// `options.restart_prob` on the engine's graph.
 Result<RwrGtsResult> RunRwrGts(GtsEngine& engine, VertexId seed,
-                               const RunOptions& options = {});
+                               const JobOptions& options = {});
 
 /// Reference implementation (double precision) for validation.
 std::vector<double> ReferenceRwr(const CsrGraph& graph, VertexId seed,

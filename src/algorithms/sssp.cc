@@ -126,7 +126,7 @@ std::vector<double> SsspKernel::Distances() const {
 }
 
 Result<SsspGtsResult> RunSsspGts(GtsEngine& engine, VertexId source,
-                                 const RunOptions& options) {
+                                 const JobOptions& options) {
   const VertexId n = engine.graph()->num_vertices();
   if (source >= n) {
     return Status::InvalidArgument("SSSP source out of range");

@@ -63,10 +63,10 @@ struct SsspGtsResult {
   RunReport report;
 };
 
-/// SSSP reads no RunOptions fields (trailing parameter for signature
+/// SSSP reads no JobOptions fields (trailing parameter for signature
 /// uniformity).
 Result<SsspGtsResult> RunSsspGts(GtsEngine& engine, VertexId source,
-                                 const RunOptions& options = {});
+                                 const JobOptions& options = {});
 
 }  // namespace gts
 

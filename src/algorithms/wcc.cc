@@ -90,7 +90,7 @@ WorkStats WccKernel::RunLp(const PageView& page, KernelContext& ctx) {
   return stats;
 }
 
-Result<WccGtsResult> RunWccGts(GtsEngine& engine, const RunOptions& options) {
+Result<WccGtsResult> RunWccGts(GtsEngine& engine, const JobOptions& options) {
   WccKernel kernel(engine.graph()->num_vertices());
   WccGtsResult result;
   for (int iter = 0; iter < options.max_iterations; ++iter) {

@@ -71,7 +71,7 @@ struct WccGtsResult {
 /// Iterates label propagation to a fixpoint (bounded by
 /// `options.max_iterations`).
 Result<WccGtsResult> RunWccGts(GtsEngine& engine,
-                               const RunOptions& options = {});
+                               const JobOptions& options = {});
 
 }  // namespace gts
 

@@ -113,10 +113,20 @@ void ScheduleValidator::Check(const gpu::ScheduleResult& schedule,
     }
 
     // R4: a kernel reads its page only after the page's H2D on the same
-    // stream completed (cache-hit kernels have no matching H2D).
-    if (op.kind == gpu::OpKind::kH2DStream && op.stream_key >= 0 &&
-        op.page != kInvalidPageId) {
+    // stream completed (cache-hit kernels have no matching H2D). Direct
+    // fine-grained fetches gate their kernels exactly like whole-page
+    // streams -- and must sit on a copy engine.
+    if ((op.kind == gpu::OpKind::kH2DStream ||
+         op.kind == gpu::OpKind::kH2DDirect) &&
+        op.stream_key >= 0 && op.page != kInvalidPageId) {
       h2d_end[{op.stream_key, op.page}] = {op.end, i};
+    }
+    if (op.kind == gpu::OpKind::kH2DDirect) {
+      ++report->schedule_checks;
+      if (op.resource.type != gpu::ResourceId::Type::kCopyEngine) {
+        AddViolation(report, "malformed-op", i,
+                     "h2d-direct op priced off the copy engine");
+      }
     }
     if (op.kind == gpu::OpKind::kKernel && op.stream_key >= 0 &&
         op.page != kInvalidPageId) {

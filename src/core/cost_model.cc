@@ -44,4 +44,38 @@ int SuggestNumStreams(SimTime transfer_seconds, SimTime kernel_seconds,
   return std::clamp(k, 1, max_streams);
 }
 
+uint64_t DirectTransferBytes(const TransferLevelStats& s,
+                             const TimeModel& tm) {
+  const uint64_t line = static_cast<uint64_t>(
+      std::max(1.0, tm.direct_line_bytes));
+  // First line per active vertex covers its slot, the adjacency-size
+  // header, and the leading entries; entries beyond that spill into
+  // whole additional lines (aggregate estimate across the level).
+  const uint64_t entry_bytes =
+      static_cast<uint64_t>(s.active_edges) * s.entry_bytes;
+  const uint64_t lines = s.active_vertices + entry_bytes / line;
+  return lines * line;
+}
+
+SimTime PageStreamLevelSeconds(const TransferLevelStats& s,
+                               const TimeModel& tm) {
+  return static_cast<double>((s.sp_pages + s.lp_pages) * s.page_size) /
+         tm.c2;
+}
+
+SimTime DirectLevelSeconds(const TransferLevelStats& s, const TimeModel& tm) {
+  const double sp = static_cast<double>(DirectTransferBytes(s, tm)) /
+                        tm.direct_bandwidth +
+                    static_cast<double>(s.active_vertices) *
+                        tm.direct_fetch_latency;
+  const double lp =
+      static_cast<double>(s.lp_pages * s.page_size) / tm.c2;
+  return sp + lp;
+}
+
+bool PreferDirectTransfer(const TransferLevelStats& s, const TimeModel& tm) {
+  if (s.active_vertices == 0 || s.sp_pages == 0) return false;
+  return DirectLevelSeconds(s, tm) < PageStreamLevelSeconds(s, tm);
+}
+
 }  // namespace gts

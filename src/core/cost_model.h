@@ -62,6 +62,42 @@ double ApproximateHitRate(uint64_t cache_pages, uint64_t total_pages);
 int SuggestNumStreams(SimTime transfer_seconds, SimTime kernel_seconds,
                       int max_streams = 32);
 
+/// Aggregate statistics of one traversal level's page demand, the inputs
+/// to the page-stream-vs-direct transfer crossover (transfer.mode=auto).
+/// `active_vertices`/`active_edges` come from the degree-weighted PidSet
+/// (PidSet::VertexCountOf / PidSet::CountOf summed over the demanded SP
+/// pages); LP pages always stream whole (a single hub's chunk is dense by
+/// construction), so they contribute the same term to both estimates.
+struct TransferLevelStats {
+  uint64_t sp_pages = 0;         ///< demanded small pages
+  uint64_t lp_pages = 0;         ///< demanded large pages (incl. chunks)
+  uint64_t active_vertices = 0;  ///< activation events in the SP pages
+  uint64_t active_edges = 0;     ///< degree-weighted activations
+  uint64_t page_size = 0;        ///< bytes per slotted page
+  uint32_t entry_bytes = 0;      ///< bytes per adjacency entry (p + q)
+};
+
+/// Bytes the direct backend moves for the level's SP pages: one aligned
+/// line per active vertex (slot + record header + first entries) plus the
+/// remaining adjacency entries at line granularity.
+uint64_t DirectTransferBytes(const TransferLevelStats& s, const TimeModel& tm);
+
+/// Level seconds under page streaming: every demanded page crosses PCI-E
+/// whole at the streaming bandwidth c2.
+SimTime PageStreamLevelSeconds(const TransferLevelStats& s,
+                               const TimeModel& tm);
+
+/// Level seconds under direct access: SP adjacency lists at line
+/// granularity over direct_bandwidth plus a per-vertex fetch latency;
+/// LP pages still stream whole at c2.
+SimTime DirectLevelSeconds(const TransferLevelStats& s, const TimeModel& tm);
+
+/// The calibrated crossover: true when fine-grained direct access is
+/// estimated cheaper than streaming whole pages for this level. Levels
+/// with no recorded activations (counting off, or a pure scan pass)
+/// always prefer page streaming.
+bool PreferDirectTransfer(const TransferLevelStats& s, const TimeModel& tm);
+
 }  // namespace gts
 
 #endif  // GTS_CORE_COST_MODEL_H_

@@ -74,7 +74,15 @@ struct DispatchOptions {
   /// have zero out-edges combined can produce no expansions, so skipping
   /// it drops no WA updates. Values above 1 are a lossy approximation
   /// (the paper's near-empty-page tail cut) and may change results.
+  /// kAutoMinActiveEdges derives the threshold per level from the
+  /// observed active-edge distribution (see
+  /// GtsEngine::EffectiveMinActiveEdges); explicit values stay exact.
   uint32_t min_active_edges = 0;
+  /// Sentinel for min_active_edges: adapt the skip threshold per level
+  /// to the frontier's density (HyTGraph's hybrid transfer-management
+  /// idea) -- dense, uniform levels degrade to the exact threshold 1,
+  /// skewed levels shed their near-empty page tail.
+  static constexpr uint32_t kAutoMinActiveEdges = ~uint32_t{0};
   /// Worker-driven pull dispatch: the pass is published to a shared
   /// ready-queue and stream workers claim items (stealing from sibling
   /// streams, and across GPUs under Strategy-P) instead of the host

@@ -153,6 +153,25 @@ GtsEngine::GtsEngine(const PagedGraph* graph, PageStore* store,
       [this](const gpu::TimelineOp& op) { return RecordOp(op); },
       registry_.get());
   io_->BindEventLog(&io_events_);
+  {
+    transfer::TransferBackend::Env tenv;
+    tenv.graph = graph_;
+    tenv.io = io_.get();
+    tenv.time_model = &machine_.time_model;
+    tenv.record = [this](const gpu::TimelineOp& op) { return RecordOp(op); };
+    tenv.will_demand = [this](PageId pid) {
+      const PageRoute route = RoutePage(pid);
+      if (route.cpu) return true;  // the CPU path has no page cache
+      for (int g = route.first_gpu; g <= route.last_gpu; ++g) {
+        const auto& cache = gpus_[g]->cache;
+        if (cache == nullptr || !cache->Contains(pid)) return true;
+      }
+      return false;
+    };
+    tenv.registry = registry_.get();
+    transfer_ = transfer::MakeTransferBackend(options_.transfer,
+                                              std::move(tenv));
+  }
 #if GTS_RACE_CHECK_ENABLED
   if (options_.analysis.race_check) {
     race_ = std::make_unique<analysis::RaceDetector>(
@@ -206,7 +225,30 @@ void GtsEngine::WaRange(int g, bool traversal, VertexId* begin,
 
 bool GtsEngine::CountFrontier() const {
   return pipeline_->needs_frontier_counts() ||
-         options_.dispatch.min_active_edges > 0;
+         options_.dispatch.min_active_edges > 0 ||
+         options_.transfer.mode != transfer::TransferMode::kPageStream;
+}
+
+uint32_t GtsEngine::EffectiveMinActiveEdges(
+    const PidSet& frontier, const std::vector<PageId>& front_pages) {
+  const uint32_t min_edges = options_.dispatch.min_active_edges;
+  if (min_edges != DispatchOptions::kAutoMinActiveEdges) return min_edges;
+  if (!frontier.counting() || front_pages.empty()) return 1;
+  // Adaptive cut: skip only the near-empty tail of the level's
+  // active-edge distribution -- pages holding under 1/64 of the mean
+  // active edges per frontier page. A dense, uniform level (every page
+  // near the mean) degrades to the exact threshold 1; a skewed level
+  // sheds the long tail of barely-touched pages that would each cost a
+  // stream slot for a handful of expansions. Deterministic: depends
+  // only on the frontier counts, never on thread timing.
+  uint64_t total = 0;
+  for (PageId pid : front_pages) total += frontier.CountOf(pid);
+  const uint64_t mean = total / front_pages.size();
+  const uint32_t threshold =
+      static_cast<uint32_t>(std::max<uint64_t>(1, mean / 64));
+  registry_->GetDistribution("dispatch.auto_min_active_edges")
+      .Record(static_cast<double>(threshold));
+  return threshold;
 }
 
 void GtsEngine::BuildDegreeTable() {
@@ -603,32 +645,17 @@ std::vector<PageId> GtsEngine::PlanPass(std::vector<PageId> sps,
   std::vector<PageId> ordered =
       pipeline_->PlanPass(std::move(sps), std::move(lps), *graph_, ctx);
 
-  // The io engine prefetches the *demand* sequence: the ordered pages
-  // that will actually reach Acquire. Pages every target GPU serves from
-  // its page cache never touch storage (Algorithm 1 line 17), so planning
-  // them would make the queues issue reads the synchronous path never
-  // did. RoutePage is the same helper the dispatch loops use, so the
-  // demand plan cannot drift from the actual routing. The Contains()
-  // filter is still a prediction: under an evicting cache policy a page
-  // can pass it here and miss at Acquire time (the pass's own inserts
-  // evicted it); IoEngine::Acquire covers that window with a demand
-  // fetch routed through the device queue.
-  std::vector<PageId> demand;
-  demand.reserve(ordered.size());
-  for (PageId pid : ordered) {
-    const PageRoute route = RoutePage(pid);
-    if (route.cpu) {
-      demand.push_back(pid);  // the CPU path has no page cache
-      continue;
-    }
-    bool will_demand = false;
-    for (int g = route.first_gpu; g <= route.last_gpu && !will_demand; ++g) {
-      const auto& cache = gpus_[g]->cache;
-      will_demand = cache == nullptr || !cache->Contains(pid);
-    }
-    if (will_demand) demand.push_back(pid);
-  }
-  io_->BeginPass(demand);
+  // The transfer backend turns the ordered list into the storage demand
+  // sequence (pages that will actually reach Acquire) and primes the io
+  // prefetcher, then resolves the pass's transfer mode (page-stream vs
+  // direct; see src/transfer/). The demand filter runs through the
+  // Env::will_demand closure -- RoutePage + cache Contains, the same
+  // routing the dispatch loops use -- so the plan cannot drift from the
+  // actual routing.
+  transfer::PassInfo pass_info;
+  pass_info.ordered = &ordered;
+  pass_info.frontier = frontier;
+  transfer_->BeginPass(pass_info);
   return ordered;
 }
 
@@ -800,31 +827,28 @@ Status GtsEngine::StreamPageToGpu(GtsKernel* kernel, PageId pid, int g,
   const uint8_t* ra_src = nullptr;  // host RA subvector
   uint64_t ra_bytes = 0;
   VertexId ra_start_vid = 0;
-  gpu::OpIndex fetch_dep = gpu::kNoOp;
 
   if (!cached) {
     staging.resize(page_size);
-    GTS_ASSIGN_OR_RETURN(io::IoEngine::Fetched fetch, io_->Acquire(pid));
-    fetch_dep = fetch.fetch_op;
-
-    gpu::TimelineOp h2d;
-    h2d.kind = gpu::OpKind::kH2DStream;
-    h2d.stream_key = stream_key;
-    h2d.resource = {gpu::ResourceId::Type::kCopyEngine, g};
-    h2d.duration = static_cast<double>(page_size) / tm.c2;
-    h2d.dep0 = fetch_dep;
-    h2d.bytes = page_size;
-    h2d.page = pid;
-    h2d.stolen = stolen;
-    [[maybe_unused]] const gpu::OpIndex h2d_idx = RecordOp(h2d);
+    transfer::StageRequest sreq;
+    sreq.pid = pid;
+    sreq.gpu = g;
+    sreq.stream_key = stream_key;
+    sreq.stolen = stolen;
+    GTS_ASSIGN_OR_RETURN(transfer::StagedPage staged, transfer_->Stage(sreq));
     ++metrics->pages_streamed;
+    metrics->transfer_bytes += staged.bytes;
+    if (staged.direct) {
+      ++metrics->direct_pages;
+      metrics->direct_bytes += staged.bytes;
+    }
 
 #if GTS_RACE_CHECK_ENABLED
     if (race_ != nullptr) {
       // storage -> MMBuf event, then host consumes the bytes.
-      if (!fetch.buffer_hit) {
-        race_->OnPageStaged(static_cast<int>(fetch.device_index), pid,
-                            fetch.fetch_op);
+      if (!staged.buffer_hit) {
+        race_->OnPageStaged(static_cast<int>(staged.device_index), pid,
+                            staged.fetch_op);
       }
       race_->OnPageDelivered(pid);
       // The copy engine reads the staged MMBuf bytes into the stream
@@ -834,7 +858,7 @@ Status GtsEngine::StreamPageToGpu(GtsKernel* kernel, PageId pid, int g,
       race_->Join(copy, race_->HostLane());
       race_->BeginOp(copy);
       race_->OnPageAccess(copy, analysis::RaceDetector::kMmbufDomain, pid,
-                          /*write=*/false, h2d_idx);
+                          /*write=*/false, staged.transfer_op);
       race_->Fuse(copy, race_->StreamLane(g, s, stream_key));
     }
 #endif
@@ -858,9 +882,9 @@ Status GtsEngine::StreamPageToGpu(GtsKernel* kernel, PageId pid, int g,
     }
 
     // Copied while the host phase owns the MMBuf bytes: in pull mode a
-    // sibling worker's Acquire may evict `fetch.data` the moment
+    // sibling worker's Acquire may evict `staged.data` the moment
     // dispatch_mu_ is released.
-    std::memcpy(staging.data(), fetch.data, page_size);
+    std::memcpy(staging.data(), staged.data, page_size);
   }
   // On a cache hit only the kernel call is issued (line 17); cached
   // kernels never carry RA (SetupBuffers enables the cache only for
@@ -1086,7 +1110,6 @@ Result<RunMetrics> GtsEngine::RunDirect(GtsKernel* kernel, VertexId source,
     // source, so the page's active-edge count is its degree.
     frontier.Set(graph_->PageOfVertex(source),
                  out_degrees_.empty() ? 1 : out_degrees_[source]);
-    const uint32_t min_edges = options_.dispatch.min_active_edges;
     int level = 0;
     uint64_t prev_updates = 0;  // for per-level WA-delta sizing
     while (!frontier.Empty() && level < max_levels) {
@@ -1100,7 +1123,10 @@ Result<RunMetrics> GtsEngine::RunDirect(GtsKernel* kernel, VertexId source,
       std::vector<PageId> sps;
       std::vector<PageId> lps;
       uint64_t skipped = 0;
-      for (PageId pid : frontier.ToVector()) {
+      const std::vector<PageId> front_pages = frontier.ToVector();
+      const uint32_t min_edges =
+          EffectiveMinActiveEdges(frontier, front_pages);
+      for (PageId pid : front_pages) {
         // Admission threshold: a page whose activated vertices hold fewer
         // than min_active_edges out-edges is not worth a stream slot this
         // level (at threshold 1 the cut is exact -- zero active edges
@@ -1740,30 +1766,27 @@ Status GtsEngine::StreamPageToGpuBatch(PageId pid, int g, int s,
   const bool cached = pin.valid();
 
   std::vector<uint8_t> staging;
-  gpu::OpIndex fetch_dep = gpu::kNoOp;
   if (!cached) {
     staging.resize(page_size);
-    GTS_ASSIGN_OR_RETURN(io::IoEngine::Fetched fetch, io_->Acquire(pid));
-    fetch_dep = fetch.fetch_op;
-
-    gpu::TimelineOp h2d;
-    h2d.kind = gpu::OpKind::kH2DStream;
-    h2d.stream_key = stream_key;
-    h2d.resource = {gpu::ResourceId::Type::kCopyEngine, g};
-    h2d.duration = static_cast<double>(page_size) / tm.c2;
-    h2d.dep0 = fetch_dep;
-    h2d.bytes = page_size;
-    h2d.page = pid;
-    h2d.stolen = stolen;
+    transfer::StageRequest sreq;
+    sreq.pid = pid;
+    sreq.gpu = g;
+    sreq.stream_key = stream_key;
+    sreq.stolen = stolen;
     // A transfer serving one job is that job's trace lane; a transfer
     // serving several is shared infrastructure (-1), so the J1 rule
     // never sees a cross-job edge from the co-served kernels.
-    h2d.job = demanders.size() == 1 ? demanders[0]->job_id : -1;
-    RecordOp(h2d);
+    sreq.job = demanders.size() == 1 ? demanders[0]->job_id : -1;
+    GTS_ASSIGN_OR_RETURN(transfer::StagedPage staged, transfer_->Stage(sreq));
     // First-demander attribution: across the epoch, sum(pages_streamed)
     // over jobs equals the distinct H2D page transfers.
     ++demanders[0]->metrics.pages_streamed;
-    std::memcpy(staging.data(), fetch.data, page_size);
+    demanders[0]->metrics.transfer_bytes += staged.bytes;
+    if (staged.direct) {
+      ++demanders[0]->metrics.direct_pages;
+      demanders[0]->metrics.direct_bytes += staged.bytes;
+    }
+    std::memcpy(staging.data(), staged.data, page_size);
   }
   if (demanders.size() > 1) {
     obs::Counter& shared = registry_->GetCounter("cache.shared_page_hits");
@@ -2035,7 +2058,6 @@ Status GtsEngine::RunJobBatch(const std::vector<JobExec*>& jobs) {
   // The merged pass loop: each iteration retires finished jobs at the
   // boundary, then streams the union of the survivors' page demand.
   std::vector<JobExec*> running = admitted;
-  const uint32_t min_edges = options_.dispatch.min_active_edges;
   while (!running.empty()) {
     std::vector<JobExec*> survivors;
     for (JobExec* job : running) {
@@ -2077,7 +2099,10 @@ Status GtsEngine::RunJobBatch(const std::vector<JobExec*>& jobs) {
       if (job->traversal()) {
         pass_has_traversal = true;
         uint64_t skipped = 0;
-        for (PageId pid : job->frontier->ToVector()) {
+        const std::vector<PageId> front_pages = job->frontier->ToVector();
+        const uint32_t min_edges =
+            EffectiveMinActiveEdges(*job->frontier, front_pages);
+        for (PageId pid : front_pages) {
           if (min_edges > 0 && job->frontier->counting() &&
               job->frontier->CountOf(pid) < min_edges) {
             ++skipped;

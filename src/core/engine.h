@@ -40,6 +40,8 @@
 #include "obs/metrics.h"
 #include "storage/page_store.h"
 #include "storage/paged_graph.h"
+#include "transfer/transfer_backend.h"
+#include "transfer/transfer_options.h"
 
 #if GTS_RACE_CHECK_ENABLED
 #include "analysis/race_detector.h"
@@ -105,6 +107,12 @@ struct GtsOptions {
   /// reorder policy, prefetch in-flight bound. The depth-1 FIFO default
   /// reproduces the classic synchronous fetch schedule bit-for-bit.
   io::IoOptions io;
+
+  /// The H2D topology-transfer backend (src/transfer/): page_stream
+  /// (the paper's whole-page streaming; byte-identical to the
+  /// pre-backend engine), direct (EMOGI-style cache-line fetches of
+  /// active adjacency lists), or auto (per-level cost-model crossover).
+  transfer::TransferOptions transfer;
 
   /// gts::analysis knobs: the always-on schedule validator and, when the
   /// build carries -DGTS_RACE_CHECK=ON, the logical race detector. Both
@@ -325,9 +333,16 @@ class GtsEngine {
                                const PidSet* frontier);
 
   /// True when traversal frontiers should count activations (the
-  /// frontier-density order policy or the admission threshold needs the
-  /// per-page active-edge totals).
+  /// frontier-density order policy, the admission threshold, or a
+  /// non-page-stream transfer backend needs the per-page totals).
   bool CountFrontier() const;
+
+  /// The level's effective dispatch.min_active_edges: explicit values
+  /// pass through exactly; the kAuto sentinel derives the threshold
+  /// from the level's observed active-edge distribution over
+  /// `front_pages` (HyTGraph-style adaptive admission).
+  uint32_t EffectiveMinActiveEdges(const PidSet& frontier,
+                                   const std::vector<PageId>& front_pages);
 
   /// Fills out_degrees_ (per-vertex out-degree table) on first use; the
   /// weight source for active-edge frontier counting.
@@ -348,6 +363,9 @@ class GtsEngine {
   std::shared_ptr<obs::MetricsRegistry> registry_;
   std::unique_ptr<DispatchPipeline> pipeline_;
   std::unique_ptr<io::IoEngine> io_;
+  /// The H2D topology-transfer backend (GtsOptions::transfer.mode);
+  /// constructed after io_, whose lifetime it depends on.
+  std::unique_ptr<transfer::TransferBackend> transfer_;
   std::unique_ptr<JobScheduler> scheduler_;
 
   /// Per-vertex out-degrees; built lazily for active-edge counting.

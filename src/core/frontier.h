@@ -35,8 +35,13 @@ class PidSet {
   void Set(PageId pid, uint32_t weight) {
     words_[pid >> 6].fetch_or(uint64_t{1} << (pid & 63),
                               std::memory_order_relaxed);
-    if (!counts_.empty() && weight != 0) {
-      counts_[pid].fetch_add(weight, std::memory_order_relaxed);
+    if (!counts_.empty()) {
+      if (weight != 0) {
+        counts_[pid].fetch_add(weight, std::memory_order_relaxed);
+      }
+      // Every counting Set is one vertex-activation event (even with a
+      // zero edge weight: a sink vertex's record must still be fetched).
+      vtx_counts_[pid].fetch_add(1, std::memory_order_relaxed);
     }
   }
 
@@ -48,6 +53,7 @@ class PidSet {
   void Clear() {
     for (auto& w : words_) w.store(0, std::memory_order_relaxed);
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    for (auto& c : vtx_counts_) c.store(0, std::memory_order_relaxed);
   }
 
   bool Empty() const {
@@ -69,6 +75,11 @@ class PidSet {
         const uint32_t add =
             other.counts_[i].load(std::memory_order_relaxed);
         if (add != 0) counts_[i].fetch_add(add, std::memory_order_relaxed);
+        const uint32_t vadd =
+            other.vtx_counts_[i].load(std::memory_order_relaxed);
+        if (vadd != 0) {
+          vtx_counts_[i].fetch_add(vadd, std::memory_order_relaxed);
+        }
       }
     }
   }
@@ -103,6 +114,8 @@ class PidSet {
     if (counts_.empty() && num_pages_ > 0) {
       counts_ = std::vector<std::atomic<uint32_t>>(num_pages_);
       for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+      vtx_counts_ = std::vector<std::atomic<uint32_t>>(num_pages_);
+      for (auto& c : vtx_counts_) c.store(0, std::memory_order_relaxed);
     }
   }
   bool counting() const { return !counts_.empty(); }
@@ -112,11 +125,23 @@ class PidSet {
     return counts_.empty() ? 0
                            : counts_[pid].load(std::memory_order_relaxed);
   }
+  /// Vertex-activation events recorded for `pid` (one per counting Set,
+  /// degree-independent). The direct transfer backend prices its
+  /// cache-line fetches from this: each activated vertex costs one
+  /// adjacency-list lookup regardless of degree. Re-relaxations (SSSP)
+  /// count again -- an upper bound, which only biases `auto` toward the
+  /// safe page-stream side.
+  uint32_t VertexCountOf(PageId pid) const {
+    return vtx_counts_.empty()
+               ? 0
+               : vtx_counts_[pid].load(std::memory_order_relaxed);
+  }
 
  private:
   size_t num_pages_ = 0;
   std::vector<std::atomic<uint64_t>> words_;
-  std::vector<std::atomic<uint32_t>> counts_;  // empty unless counting
+  std::vector<std::atomic<uint32_t>> counts_;      // empty unless counting
+  std::vector<std::atomic<uint32_t>> vtx_counts_;  // empty unless counting
 };
 
 }  // namespace gts

@@ -1,8 +1,8 @@
 // Per-job parameters of the gts::JobScheduler serving API.
 //
-// JobOptions subsumes the old RunOptions block (run_report.h keeps
-// `using RunOptions = JobOptions;` for one PR as a deprecation alias):
-// the per-algorithm tuning knobs the Run*Gts drivers always took, plus
+// JobOptions subsumes the old RunOptions block (the deprecation alias
+// in run_report.h has since been removed): the per-algorithm tuning
+// knobs the Run*Gts drivers always took, plus
 // the scheduler-era fields -- query identity (source vertex, level cap)
 // moves out of positional arguments and into the options block, and
 // `priority` feeds the scheduler's weighted round-robin fairness policy.

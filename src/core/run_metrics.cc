@@ -6,6 +6,9 @@ void RunMetrics::Accumulate(const RunMetrics& increment) {
   sim_seconds += increment.sim_seconds;
   levels += increment.levels;
   pages_streamed += increment.pages_streamed;
+  transfer_bytes += increment.transfer_bytes;
+  direct_pages += increment.direct_pages;
+  direct_bytes += increment.direct_bytes;
   cpu_pages += increment.cpu_pages;
   sp_kernel_calls += increment.sp_kernel_calls;
   lp_kernel_calls += increment.lp_kernel_calls;

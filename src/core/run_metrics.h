@@ -24,6 +24,13 @@ struct RunMetrics {
   SimTime sim_seconds = 0.0;  ///< simulated elapsed time of the run
   int levels = 0;             ///< traversal levels (1 for full scans)
   uint64_t pages_streamed = 0;  ///< H2D page transfers performed
+  /// PCI-E bytes moved by topology transfers (page-stream + direct; RA
+  /// attribute traffic excluded).
+  uint64_t transfer_bytes = 0;
+  /// Of pages_streamed, pages moved as fine-grained direct fetches
+  /// (transfer.mode = direct/auto) and their byte share.
+  uint64_t direct_pages = 0;
+  uint64_t direct_bytes = 0;
   uint64_t cpu_pages = 0;       ///< pages co-processed on the host CPUs
   uint64_t sp_kernel_calls = 0;
   uint64_t lp_kernel_calls = 0;

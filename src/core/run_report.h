@@ -7,7 +7,7 @@
 //
 //   - every *GtsResult holds a `RunReport report` -- accumulated
 //     RunMetrics plus a snapshot of the engine's metrics registry;
-//   - every driver takes a trailing `const RunOptions&` for tuning knobs
+//   - every driver takes a trailing `const JobOptions&` for tuning knobs
 //     (query identity -- source vertex, k -- stays positional).
 //
 // Engine::RunInto / RunPassInto fold each pass into a RunReport, so
@@ -22,13 +22,6 @@
 #include "obs/metrics.h"
 
 namespace gts {
-
-/// Deprecated alias, kept for one PR: the driver tuning block is now
-/// JobOptions (core/job/job_options.h), which adds the scheduler-era
-/// fields (source, max_levels_override, priority) on top of the old
-/// RunOptions knobs. Existing `RunOptions{...}` call sites keep
-/// compiling unchanged; new code should say JobOptions.
-using RunOptions = JobOptions;
 
 /// What a driver hands back about how its run(s) went: the accumulated
 /// per-run counters plus the engine's registry at completion. Algorithm

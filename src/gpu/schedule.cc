@@ -19,6 +19,8 @@ std::string_view OpKindName(OpKind kind) {
       return "h2d-chunk";
     case OpKind::kH2DStream:
       return "h2d-stream";
+    case OpKind::kH2DDirect:
+      return "h2d-direct";
     case OpKind::kD2H:
       return "d2h";
     case OpKind::kP2P:
@@ -181,6 +183,7 @@ std::string RenderTimelineAscii(const ScheduleResult& result, int columns) {
           break;
         case OpKind::kH2DStream:
         case OpKind::kH2DChunk:
+        case OpKind::kH2DDirect:
         case OpKind::kD2H:
         case OpKind::kP2P:
           mark = '=';

@@ -34,6 +34,9 @@ enum class OpKind : uint8_t {
   kStorageWrite,  // host -> SSD/HDD (WA spill / snapshot)
   kH2DChunk,      // host -> device at c1 (WA chunk copy)
   kH2DStream,     // host -> device at c2 (SP/RA streaming copy)
+  kH2DDirect,     // host -> device fine-grained zero-copy: only the
+                  // active vertices' adjacency lists, at cache-line
+                  // granularity over the copy engine (EMOGI-style)
   kD2H,           // device -> host at c1 (WA sync back)
   kP2P,           // device -> device (Strategy-P WA merge)
   kKernel,        // kernel execution

@@ -21,6 +21,18 @@ struct TimeModel {
   double c2 = 6e9;   ///< streaming-copy bandwidth, bytes/s
   double p2p_bandwidth = 24e9;  ///< GPU peer-to-peer copy, bytes/s
 
+  // --- fine-grained direct (zero-copy) access, EMOGI-style ------------
+  /// Effective bandwidth of cache-line-granularity zero-copy reads over
+  /// PCI-E, bytes/s. Well below c2: each access moves one aligned line
+  /// with full TLP header overhead instead of a pipelined bulk copy.
+  double direct_bandwidth = 3e9;
+  /// Bytes per direct-access line (the PCI-E read granularity EMOGI
+  /// aligns adjacency-list fetches to).
+  double direct_line_bytes = 128.0;
+  /// Fixed per-active-vertex cost of a direct adjacency-list fetch
+  /// (pointer chase + round-trip setup). Latency-type; scales.
+  double direct_fetch_latency = 1.2e-6;
+
   // --- per-operation overheads (latency-type; scale with dataset) ----
   /// Host-side gap between consecutive operations issued on one stream
   /// (driver enqueue + completion handling). This is what makes deeper
@@ -67,6 +79,7 @@ struct TimeModel {
     m.kernel_switch_overhead /= factor;
     m.sync_overhead /= factor;
     m.host_merge_overhead /= factor;
+    m.direct_fetch_latency /= factor;
     return m;
   }
 

@@ -1,0 +1,60 @@
+// EMOGI-style fine-grained direct access (PAPERS.md): instead of
+// streaming whole 64 KB slotted pages, fetch only the active vertices'
+// adjacency lists at cache-line granularity over the copy engine,
+// priced by TimeModel::direct_bandwidth / direct_fetch_latency /
+// direct_line_bytes as kH2DDirect ops. For sparse frontiers (late BFS
+// levels) this moves orders of magnitude fewer bytes; for dense levels
+// the per-line overhead loses to bulk streaming -- which is why kAuto
+// resolves the mode per level via the cost_model crossover
+// (PreferDirectTransfer), HyTGraph-style.
+//
+// The storage leg is unchanged: pages are still staged whole from
+// storage into MMBuf and kernels execute against the full host bytes,
+// so results are bit-identical to page streaming; only the simulated
+// PCI-E traffic (op kind, bytes, duration) differs. LP pages always
+// stream whole (a hub's chunk is dense by construction), and passes
+// without a counted frontier fall back to page streaming entirely.
+#ifndef GTS_TRANSFER_DIRECT_ACCESS_BACKEND_H_
+#define GTS_TRANSFER_DIRECT_ACCESS_BACKEND_H_
+
+#include "transfer/page_stream_backend.h"
+
+namespace gts {
+namespace transfer {
+
+class DirectAccessBackend : public PageStreamBackend {
+ public:
+  /// `auto_mode` = the kAuto knob: resolve per level via the crossover;
+  /// otherwise direct is forced wherever a counted frontier allows it.
+  DirectAccessBackend(Env env, bool auto_mode);
+
+  std::string_view name() const override {
+    return auto_mode_ ? "auto" : "direct";
+  }
+  TransferMode mode() const override {
+    return auto_mode_ ? TransferMode::kAuto : TransferMode::kDirect;
+  }
+  TransferMode pass_mode() const override { return pass_mode_; }
+
+  void BeginPass(const PassInfo& info) override;
+  Result<StagedPage> Stage(const StageRequest& req) override;
+
+ private:
+  /// Bytes + duration of one SP page's direct fetch from the frontier's
+  /// per-page activation counts.
+  void PriceDirectPage(PageId pid, uint64_t* bytes, double* duration) const;
+
+  const bool auto_mode_;
+  TransferMode pass_mode_ = TransferMode::kPageStream;
+  const PidSet* frontier_ = nullptr;  ///< alive for the current pass
+  obs::Counter* direct_pages_counter_ = nullptr;
+  obs::Counter* direct_bytes_counter_ = nullptr;
+  obs::Counter* direct_levels_counter_ = nullptr;
+  obs::Counter* stream_levels_counter_ = nullptr;
+  obs::Counter* fallback_counter_ = nullptr;
+};
+
+}  // namespace transfer
+}  // namespace gts
+
+#endif  // GTS_TRANSFER_DIRECT_ACCESS_BACKEND_H_

@@ -1,5 +1,5 @@
 // The unified Run*Gts result/parameter shape: RunMetrics::Accumulate,
-// RunReport, RunOptions-based driver signatures (and their deprecated
+// RunReport, JobOptions-based driver signatures (and their deprecated
 // positional aliases), and GtsOptions::Validate.
 #include <gtest/gtest.h>
 
@@ -95,7 +95,7 @@ TEST(RunReportTest, AccumulateForwardsToMetrics) {
   EXPECT_EQ(report.metrics.levels, 6);
 }
 
-// ----------------------------------------------- drivers over RunOptions
+// ----------------------------------------------- drivers over JobOptions
 
 struct Fixture {
   EdgeList edges;
@@ -121,11 +121,11 @@ struct Fixture {
   }
 };
 
-TEST(RunOptionsTest, PageRankDesignatedInitializersMatchFieldForm) {
+TEST(JobOptionsTest, PageRankDesignatedInitializersMatchFieldForm) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
 
-  RunOptions options;
+  JobOptions options;
   options.iterations = 3;
   options.damping = 0.9f;
   auto via_fields = RunPageRankGts(engine, options);
@@ -144,7 +144,7 @@ TEST(RunOptionsTest, PageRankDesignatedInitializersMatchFieldForm) {
             via_designated->report.metrics.levels);
 }
 
-TEST(RunOptionsTest, WccMaxIterationsComesFromOptions) {
+TEST(JobOptionsTest, WccMaxIterationsComesFromOptions) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
 
@@ -160,7 +160,7 @@ TEST(RunOptionsTest, WccMaxIterationsComesFromOptions) {
   EXPECT_LE(converged->iterations, 50);
 }
 
-TEST(RunOptionsTest, RadiusSeedComesFromOptions) {
+TEST(JobOptionsTest, RadiusSeedComesFromOptions) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
 
@@ -174,7 +174,7 @@ TEST(RunOptionsTest, RadiusSeedComesFromOptions) {
   EXPECT_EQ(a->neighborhood_function, b->neighborhood_function);
 }
 
-TEST(RunOptionsTest, ReportCarriesRegistrySnapshot) {
+TEST(JobOptionsTest, ReportCarriesRegistrySnapshot) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
   auto bfs = RunBfsGts(engine, 0);
@@ -187,7 +187,7 @@ TEST(RunOptionsTest, ReportCarriesRegistrySnapshot) {
   EXPECT_EQ(bfs->report.snapshot.at("engine.runs").count, 1u);
 }
 
-TEST(RunOptionsTest, RegistryAccumulatesAcrossRuns) {
+TEST(JobOptionsTest, RegistryAccumulatesAcrossRuns) {
   Fixture f;
   GtsEngine engine(&f.paged, f.store.get(), f.Machine(), GtsOptions{});
   auto first = RunBfsGts(engine, 0);

@@ -6,7 +6,7 @@
 # pure observer: the Figure 4 trace from the instrumented build must be
 # byte-identical to the trace from the plain (knob OFF) build.
 #
-# Usage: tools/check_sanitizers.sh [plain|tsan|tsan-steal|tsan-jobs|asan|race|all]
+# Usage: tools/check_sanitizers.sh [plain|tsan|tsan-steal|tsan-jobs|tsan-transfer|asan|race|all]
 #        (default: all)
 # Env:   JOBS=N        parallelism (default: nproc)
 #        BUILD_ROOT=d  where build trees go (default: <repo>/build-san)
@@ -92,6 +92,28 @@ run_tsan_jobs() {
   echo "==== [tsan-jobs] OK ===="
 }
 
+# Targeted ThreadSanitizer sweep of the transfer backends: the direct
+# and auto modes read the concurrently-updated PidSet activation counts
+# (VertexCountOf/CountOf) during BeginPass/Stage, under stream threads,
+# work stealing, and multi-job batches. Focused enough to sit in tier 1
+# (see tools/CMakeLists.txt check_tsan_transfer); shares the tsan build
+# tree with the other targeted sweeps, so combined runs cost one build.
+run_tsan_transfer() {
+  local build="$BUILD_ROOT/tsan"
+  echo "==== [tsan-transfer] configure (GTS_SANITIZE='thread') ===="
+  cmake -B "$build" -S "$ROOT" -DGTS_SANITIZE=thread \
+    -DGTS_RACE_CHECK=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==== [tsan-transfer] build transfer_test ===="
+  cmake --build "$build" --target transfer_test -j "$JOBS"
+  echo "==== [tsan-transfer] transfer backends under TSan ===="
+  (
+    export TSAN_OPTIONS="suppressions=$SUPP halt_on_error=1 second_deadlock_stack=1"
+    "$build/tests/transfer_test"
+  )
+  echo "==== [tsan-transfer] OK ===="
+}
+
 # GTS_RACE_CHECK=ON rebuild: runs the full tier-1 suite (including the
 # concurrency stress harness) with the happens-before detector compiled
 # in, then asserts the depth-1 FIFO Figure 4 trace is byte-identical to
@@ -119,6 +141,7 @@ case "$MODE" in
   tsan) run_config tsan thread ;;
   tsan-steal) run_tsan_steal ;;
   tsan-jobs) run_tsan_jobs ;;
+  tsan-transfer) run_tsan_transfer ;;
   asan) run_config asan-ubsan "address;undefined" ;;
   race) run_race ;;
   all)
@@ -128,7 +151,7 @@ case "$MODE" in
     run_race
     ;;
   *)
-    echo "unknown mode '$MODE' (expected plain|tsan|tsan-steal|tsan-jobs|asan|race|all)" >&2
+    echo "unknown mode '$MODE' (expected plain|tsan|tsan-steal|tsan-jobs|tsan-transfer|asan|race|all)" >&2
     exit 2
     ;;
 esac

@@ -22,9 +22,17 @@
 //   7. event ordering: a kernel span (cat=="kernel" or cat=="cpu") that
 //      names a page in args must not start before the latest same-pid
 //      copy span of that page has ended (a kernel must never read a page
-//      whose transfer is still in flight).
+//      whose transfer is still in flight);
+//   8. fine-grained direct transfers (name=="h2d-direct", the
+//      transfer.mode=direct/auto backend) are well-placed copy ops: X
+//      spans on a copy lane (cat=="copy") carrying page and bytes args,
+//      starting only after the page's latest storage fetch in the same
+//      run group delivered it to the host staging buffer (runs are
+//      grouped by pid_base, a multiple of 100 by the benches'
+//      convention). Rules 6/7 then cover the rest of the contract: the
+//      serial copy engine and the dependent kernel's ordering.
 //
-// Rules 6/7 compare timestamps the exporter rounded to %.6f us, so they
+// Rules 6-8 compare timestamps the exporter rounded to %.6f us, so they
 // allow a slack of 1e-5 us for two roundings.
 //
 // Usage: trace_lint FILE.json
@@ -283,6 +291,8 @@ int LintTrace(const JsonValue& root) {
   std::map<std::pair<int, int>, double> serial_end;
   // Rule 7: (pid, page) -> end of the latest copy span of that page.
   std::map<std::pair<int, int>, double> copy_end;
+  // Rule 8: (run group, page) -> end of the latest storage fetch span.
+  std::map<std::pair<int, int>, double> fetch_end;
   size_t data_events = 0;
   for (size_t i = 0; i < events->array.size(); ++i) {
     const JsonValue& event = events->array[i];
@@ -399,6 +409,46 @@ int LintTrace(const JsonValue& root) {
                      " before its transfer completes at " +
                      std::to_string(it->second));
         }
+      }
+    }
+
+    // Rule 8: h2d-direct spans (the transfer.mode=direct/auto backend's
+    // fine-grained fetches) must look like every other copy-engine op --
+    // an X span on a copy lane naming its page and bytes -- and must not
+    // start before the page's latest storage fetch in the same run group
+    // ended (the backend fetches adjacency lists out of host staging
+    // memory, so staging strictly precedes the PCI-E leg). A page with
+    // no fetch span in this run was already host-resident (MMBuf hit
+    // from an earlier run in the same trace): nothing to order against.
+    if (phase == 'X' && name->str == "fetch" && page != nullptr &&
+        page->kind == JsonValue::Kind::kNumber) {
+      const auto group_key = std::make_pair(
+          static_cast<int>(pid) / 100, static_cast<int>(page->number));
+      double& end = fetch_end[group_key];
+      if (ts + dur > end) end = ts + dur;
+    }
+    if (name->str == "h2d-direct") {
+      if (phase != 'X' || category != "copy") {
+        return Violation(i, "h2d-direct must be an X span on a copy lane");
+      }
+      const JsonValue* bytes =
+          args != nullptr && args->kind == JsonValue::Kind::kObject
+              ? args->Find("bytes")
+              : nullptr;
+      if (page == nullptr || page->kind != JsonValue::Kind::kNumber ||
+          bytes == nullptr || bytes->kind != JsonValue::Kind::kNumber ||
+          bytes->number <= 0.0) {
+        return Violation(i, "h2d-direct span missing page/bytes args");
+      }
+      const auto group_key = std::make_pair(
+          static_cast<int>(pid) / 100, static_cast<int>(page->number));
+      auto it = fetch_end.find(group_key);
+      if (it != fetch_end.end() && ts + kRoundingSlackUs < it->second) {
+        return Violation(
+            i, "h2d-direct of page " + std::to_string(group_key.second) +
+                   " starts at " + std::to_string(ts) +
+                   " before its staging fetch ends at " +
+                   std::to_string(it->second));
       }
     }
     ++data_events;
