@@ -130,8 +130,10 @@ int Main() {
   //
   // Same churn regime, measured in host wall-clock: pull dispatch claims
   // pages from the shared ready queue, so idle streams steal instead of
-  // waiting out a skewed push assignment. Results must stay bit-identical
-  // to the single-threaded push schedule (hard failure otherwise); the
+  // waiting out a skewed push assignment, and steal_batch > 1 amortizes
+  // the queue lock by claiming adaptive own-deque batches. Results must
+  // stay bit-identical to the single-threaded push schedule across every
+  // threads x stealing x batch cell (hard failure otherwise); the
   // wall-clock column is informational -- on a single hardware core the
   // workers time-slice, so the win shows as reduced queue tail, not
   // necessarily reduced elapsed time.
@@ -139,10 +141,14 @@ int Main() {
     const char* name;
     bool threads;
     bool stealing;
+    uint32_t steal_batch;
   };
-  const PullConfig pull_configs[] = {{"inline push", false, false},
-                                     {"threads push", true, false},
-                                     {"threads stealing", true, true}};
+  const PullConfig pull_configs[] = {
+      {"inline push", false, false, 1},
+      {"threads push", true, false, 1},
+      {"threads stealing", true, true, 1},
+      {"threads stealing b4", true, true, 4},
+      {"threads stealing b16", true, true, 16}};
   std::vector<std::vector<std::string>> pull_rows;
   for (int scale = 26; scale <= max_scale; ++scale) {
     DatasetSpec spec = RmatSpec(scale);
@@ -159,6 +165,7 @@ int Main() {
       opts.num_streams = 16;
       opts.use_stream_threads = config.threads;
       opts.dispatch.work_stealing = config.stealing;
+      opts.dispatch.steal_batch = config.steal_batch;
       MachineConfig machine = MachineConfig::PaperScaled(1);
       GtsEngine engine(&prepared->paged, store.get(), machine, opts);
 

@@ -29,9 +29,18 @@
 namespace gts {
 namespace analysis {
 
-/// One PageCache pin-lifecycle event.
+/// One PageCache pin-lifecycle event. kInvalidated marks a version
+/// invalidation (gts::ingest published a newer page image): the cached
+/// copy may no longer be pinned until a fresh kInserted re-admits the
+/// page (the validator's I1 rule).
 struct PinEvent {
-  enum class Kind : uint8_t { kPinned, kReleased, kEvicted, kInserted };
+  enum class Kind : uint8_t {
+    kPinned,
+    kReleased,
+    kEvicted,
+    kInserted,
+    kInvalidated
+  };
   Kind kind = Kind::kPinned;
   PageId pid = kInvalidPageId;
   uint64_t seq = 0;  ///< log-global order (assigned by the log)

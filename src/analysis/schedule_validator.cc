@@ -181,12 +181,25 @@ void ScheduleValidator::CheckPinEvents(const std::vector<PinEvent>& events,
                                        RaceReport* report) const {
   report->validator_ran = true;
   std::unordered_map<PageId, int64_t> active;
+  // I1: pids whose cached copy was invalidated (gts::ingest publish) and
+  // not yet re-admitted -- a pin in that window reads a stale page image.
+  std::unordered_map<PageId, uint64_t> invalidated_at;
   for (const PinEvent& e : events) {
     ++report->schedule_checks;
     switch (e.kind) {
-      case PinEvent::Kind::kPinned:
+      case PinEvent::Kind::kPinned: {
+        auto inv = invalidated_at.find(e.pid);
+        if (inv != invalidated_at.end()) {
+          AddViolation(report, "pin-after-invalidate", gpu::kNoOp,
+                       "pid " + std::to_string(e.pid) +
+                           " pinned after invalidation (event seq " +
+                           std::to_string(inv->second) +
+                           ") without a fresh insert (event seq " +
+                           std::to_string(e.seq) + ")");
+        }
         ++active[e.pid];
         break;
+      }
       case PinEvent::Kind::kReleased:
         if (--active[e.pid] < 0) {
           AddViolation(report, "pin-lifetime", gpu::kNoOp,
@@ -206,6 +219,11 @@ void ScheduleValidator::CheckPinEvents(const std::vector<PinEvent>& events,
         }
         break;
       case PinEvent::Kind::kInserted:
+        // A fresh image is admitted: pins are legal again (I1).
+        invalidated_at.erase(e.pid);
+        break;
+      case PinEvent::Kind::kInvalidated:
+        invalidated_at[e.pid] = e.seq;
         break;
     }
   }

@@ -29,6 +29,10 @@
 //                      claimed at most once, and any claim follows the
 //                      enqueue (work stealing must never double-run or
 //                      fabricate a page)
+//   I1 pin-after-invalidate  once a cached page is invalidated (a
+//                      gts::ingest publish superseded its image), no pin
+//                      of that pid may occur until a fresh insert
+//                      re-admits it -- such a pin would read stale bytes
 //
 // Job-scoped replay (JobScheduler batch epochs):
 //   J1 job-isolation   an op tagged with a job (TimelineOp::job >= 0)
@@ -67,7 +71,7 @@ class ScheduleValidator {
   /// to `report` (violations_detected / schedule_checks / violations).
   void Check(const gpu::ScheduleResult& schedule, RaceReport* report) const;
 
-  /// R6 over a PageCache pin-event log.
+  /// R6 + I1 over a PageCache pin-event log.
   void CheckPinEvents(const std::vector<PinEvent>& events,
                       RaceReport* report) const;
 

@@ -93,6 +93,15 @@ struct DispatchOptions {
   /// recorded order follows claim order), so leave this off when
   /// reproducing the paper figures.
   bool work_stealing = false;
+  /// Adaptive steal granularity for pull dispatch: the most items one
+  /// claim may take from the worker's *own* deque in a single lock
+  /// acquisition. The actual batch adapts to depth -- a claim never takes
+  /// more than half of what remains (rounded up), so a shallow deque
+  /// still spreads across workers and stealers are never starved; steals
+  /// themselves stay single-item. 1 (default) is the classic one-claim
+  /// loop and is byte-identical to the pre-batching schedule. Only
+  /// meaningful with work_stealing; must be >= 1.
+  uint32_t steal_batch = 1;
 };
 
 }  // namespace gts

@@ -53,6 +53,12 @@ class DispatchPipeline {
   bool ClaimWork(ReadyQueue& queue, const ClaimContext& ctx, WorkItem* out) {
     return stream_->Claim(queue, ctx, out);
   }
+  /// Batched pull-mode claim (dispatch.steal_batch > 1; see
+  /// StreamAssignPolicy::ClaimBatch).
+  bool ClaimWorkBatch(ReadyQueue& queue, const ClaimContext& ctx,
+                      uint32_t max_items, std::vector<WorkItem>* out) {
+    return stream_->ClaimBatch(queue, ctx, max_items, out);
+  }
 
   bool needs_frontier_counts() const {
     return order_->needs_frontier_counts();

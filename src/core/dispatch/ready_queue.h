@@ -141,6 +141,60 @@ class ReadyQueue {
     return true;
   }
 
+  /// Batched TryPop: claims up to `max_items` items from the worker's own
+  /// deque under one lock acquisition (dispatch.steal_batch). The batch
+  /// adapts to depth -- never more than half the deque (rounded up), so a
+  /// worker draining its tail leaves items for stealers. The first item
+  /// follows TryPop's preference rule exactly (including `skipped_front`);
+  /// the rest prefer the first item's kind, keeping the whole batch on
+  /// one kernel kind when possible. Each item is logged/metered
+  /// individually, so the R9 claim-unique audit is unchanged.
+  /// `max_items == 1` is behaviorally identical to TryPop.
+  bool TryPopBatch(int gpu, int stream, int prefer_kind, int claimer_key,
+                   uint32_t max_items, std::vector<WorkItem>* out,
+                   bool* skipped_front = nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (skipped_front != nullptr) *skipped_front = false;
+    auto& dq = deques_[Slot(gpu, stream)];
+    if (dq.empty()) return false;
+    const uint32_t half = static_cast<uint32_t>((dq.size() + 1) / 2);
+    uint32_t take = max_items < half ? max_items : half;
+    if (take == 0) take = 1;
+    size_t at = 0;
+    if (prefer_kind >= 0 && dq.front().kind != prefer_kind) {
+      for (size_t i = 1; i < dq.size(); ++i) {
+        if (dq[i].kind == prefer_kind) {
+          at = i;
+          if (skipped_front != nullptr) *skipped_front = true;
+          break;
+        }
+      }
+    }
+    WorkItem first = dq[at];
+    first.stolen = false;
+    dq.erase(dq.begin() + static_cast<long>(at));
+    Claimed(first, claimer_key, /*cross_gpu=*/false);
+    const int batch_kind = first.kind;
+    out->push_back(first);
+    for (uint32_t n = 1; n < take && !dq.empty(); ++n) {
+      size_t pick = 0;
+      if (dq.front().kind != batch_kind) {
+        for (size_t i = 1; i < dq.size(); ++i) {
+          if (dq[i].kind == batch_kind) {
+            pick = i;
+            break;
+          }
+        }
+      }
+      WorkItem item = dq[pick];
+      item.stolen = false;
+      dq.erase(dq.begin() + static_cast<long>(pick));
+      Claimed(item, claimer_key, /*cross_gpu=*/false);
+      out->push_back(item);
+    }
+    return true;
+  }
+
   /// Steals from sibling streams on the same GPU, scanning from
   /// `stream + 1` and taking from the back (leave the victim its front,
   /// the classic deque discipline). `prefer_kind >= 0` first scans for a

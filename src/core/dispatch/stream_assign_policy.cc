@@ -16,6 +16,22 @@ bool StreamAssignPolicy::Claim(ReadyQueue& queue, const ClaimContext& ctx,
          queue.TryStealCross(ctx.gpu, ctx.stream_key, out);
 }
 
+bool StreamAssignPolicy::ClaimBatch(ReadyQueue& queue, const ClaimContext& ctx,
+                                    uint32_t max_items,
+                                    std::vector<WorkItem>* out) {
+  out->clear();
+  if (queue.TryPopBatch(ctx.gpu, ctx.stream, /*prefer_kind=*/-1,
+                        ctx.stream_key, max_items, out)) {
+    return true;
+  }
+  // Own deque dry: steal a single item through the plain cascade (the
+  // TryPop inside Claim re-checks an empty deque and falls through).
+  WorkItem item;
+  if (!Claim(queue, ctx, &item)) return false;
+  out->push_back(item);
+  return true;
+}
+
 namespace {
 
 /// Paper default: rotate the cursor. Byte-for-byte the schedule the
@@ -90,6 +106,24 @@ class StickyStreams final : public StreamAssignPolicy {
     }
     return ctx.allow_cross_gpu &&
            queue.TryStealCross(ctx.gpu, ctx.stream_key, out);
+  }
+
+  bool ClaimBatch(ReadyQueue& queue, const ClaimContext& ctx,
+                  uint32_t max_items, std::vector<WorkItem>* out) override {
+    out->clear();
+    bool skipped_front = false;
+    if (queue.TryPopBatch(ctx.gpu, ctx.stream, ctx.last_kind, ctx.stream_key,
+                          max_items, out, &skipped_front)) {
+      if (skipped_front && avoided_ != nullptr &&
+          out->front().kind == ctx.last_kind) {
+        avoided_->Add();
+      }
+      return true;
+    }
+    WorkItem item;
+    if (!Claim(queue, ctx, &item)) return false;
+    out->push_back(item);
+    return true;
   }
 
  private:

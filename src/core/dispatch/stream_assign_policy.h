@@ -54,6 +54,18 @@ class StreamAssignPolicy {
   /// sticky prefers items matching ctx.last_kind).
   virtual bool Claim(ReadyQueue& queue, const ClaimContext& ctx,
                      WorkItem* out);
+
+  /// Batched Claim (dispatch.steal_batch > 1): claims up to `max_items`
+  /// items from the worker's own deque in one lock acquisition (see
+  /// ReadyQueue::TryPopBatch's adaptive depth rule), falling back to the
+  /// single-item steal cascade when the own deque is dry -- steals stay
+  /// one-item so victims are not drained wholesale. Clears and fills
+  /// `out`; false means no claimable work remains for this worker.
+  /// `max_items == 1` claims exactly like Claim(). Thread-safe like
+  /// Claim; policies override to bias the batch (sticky keeps it on one
+  /// kernel kind).
+  virtual bool ClaimBatch(ReadyQueue& queue, const ClaimContext& ctx,
+                          uint32_t max_items, std::vector<WorkItem>* out);
 };
 
 /// `registry` may be null; the sticky policy publishes

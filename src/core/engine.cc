@@ -76,7 +76,12 @@ Status GtsOptions::Validate(const MachineConfig& machine) const {
         " exceeds device memory (" + std::to_string(machine.device_memory) +
         " B); use kAutoCacheBytes for whatever fits");
   }
+  if (dispatch.steal_batch < 1) {
+    return Status::InvalidArgument("dispatch.steal_batch must be >= 1, got " +
+                                   std::to_string(dispatch.steal_batch));
+  }
   GTS_RETURN_IF_ERROR(io.Validate());
+  GTS_RETURN_IF_ERROR(ingest.Validate());
   // The partition stage must agree with the strategy's WA layout on
   // multi-GPU machines (with one GPU every kind degrades to striping and
   // any combination is fine). Strategy-S partitions scan WA, so every GPU
@@ -172,6 +177,41 @@ GtsEngine::GtsEngine(const PagedGraph* graph, PageStore* store,
     transfer_ = transfer::MakeTransferBackend(options_.transfer,
                                               std::move(tenv));
   }
+  if (options_.ingest.enabled) {
+    ingest::EdgeStream::Env env;
+    env.graph = graph_;
+    env.options = options_.ingest;
+    env.registry = registry_.get();
+    env.num_devices = static_cast<int>(store_->num_devices());
+    env.device_of_page = [this](PageId pid) {
+      return static_cast<int>(store_->DeviceOfPage(pid));
+    };
+    // Delta records append past the base pages AND past the WA-snapshot
+    // spill region (DownloadWa checkpoints from DevicePageBytes(d) up),
+    // so the journal never overwrites a checkpoint. The reserve bounds
+    // the snapshot at 32 WA bytes/vertex for every GPU round-robined
+    // onto the device.
+    const uint64_t n_dev = store_->num_devices();
+    const uint64_t snapshot_reserve =
+        graph_->num_vertices() * uint64_t{32} *
+        ((static_cast<uint64_t>(machine_.num_gpus) + n_dev - 1) / n_dev);
+    env.delta_region_base = [this, snapshot_reserve](int d) {
+      return store_->DevicePageBytes(static_cast<size_t>(d)) +
+             snapshot_reserve;
+    };
+    env.write_delta = [this](int device, uint64_t offset,
+                             const uint8_t* data, uint64_t length) {
+      auto wrote = io_->Write(static_cast<size_t>(device), offset, data,
+                              length, gpu::kNoOp);
+      GTS_CHECK_OK(wrote.status());
+    };
+    env.rewrite_page = [this](PageId pid, const uint8_t* data,
+                              uint64_t length) {
+      auto wrote = io_->RewritePage(pid, data, length);
+      GTS_CHECK_OK(wrote.status());
+    };
+    ingest_ = std::make_unique<ingest::EdgeStream>(std::move(env));
+  }
 #if GTS_RACE_CHECK_ENABLED
   if (options_.analysis.race_check) {
     race_ = std::make_unique<analysis::RaceDetector>(
@@ -252,8 +292,14 @@ uint32_t GtsEngine::EffectiveMinActiveEdges(
 }
 
 void GtsEngine::BuildDegreeTable() {
-  if (!out_degrees_.empty() || graph_->num_vertices() == 0) return;
-  out_degrees_.resize(graph_->num_vertices(), 0);
+  if (graph_->num_vertices() == 0) return;
+  // Rebuilt only on first use and -- with ingestion enabled -- whenever
+  // the publish epoch moved since the last build: streamed inserts and
+  // deletes change degrees, and a stale table would mis-weight frontier
+  // counts (and the min_active_edges admission cut).
+  const uint64_t epoch = ingest_ != nullptr ? ingest_->epoch() : 0;
+  if (!out_degrees_.empty() && epoch == degree_epoch_) return;
+  out_degrees_.assign(graph_->num_vertices(), 0);
   for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
     const RecordId loc = graph_->VertexLocation(v);
     const PageView view = graph_->view(loc.pid);
@@ -261,6 +307,38 @@ void GtsEngine::BuildDegreeTable() {
                           ? view.adjlist_size(loc.slot)
                           : view.header().lp_total_degree;
   }
+  if (ingest_ != nullptr) ingest_->ApplyDegreeDeltas(&out_degrees_);
+  degree_epoch_ = epoch;
+}
+
+void GtsEngine::PublishIngest() {
+  if (ingest_ == nullptr) return;
+  const std::vector<PageId> changed = ingest_->Publish();
+  if (changed.empty()) return;
+  // Every cached copy of a changed page is one (or more) published
+  // versions behind: invalidate so the next lookup restages the page
+  // with the fresh chain overlaid. Entries still pinned by an in-flight
+  // kernel turn stale (old bytes live until the pin drops) -- but at a
+  // safe point SynchronizeStreams has already drained the workers, so
+  // pins here would be engine bugs that rule I1 flags.
+  for (auto& gpu : gpus_) {
+    if (gpu->cache == nullptr) continue;
+    for (PageId pid : changed) (void)gpu->cache->Invalidate(pid);
+  }
+}
+
+Status GtsEngine::QuiesceIngestExclusive() {
+  if (ingest_ == nullptr) {
+    return Status::FailedPrecondition(
+        "streaming ingestion is disabled; construct the engine with "
+        "GtsOptions::ingest.enabled = true");
+  }
+  // Caller (JobScheduler::QuiesceIngest) holds the driver role: no run
+  // is active, so no page cache exists (caches live only inside a run's
+  // buffer setup) and nothing holds staged bytes -- the changed set
+  // needs no invalidation.
+  (void)ingest_->Quiesce();
+  return Status::OK();
 }
 
 Status GtsEngine::SetupBuffers(GtsKernel* kernel) {
@@ -435,7 +513,18 @@ Status GtsEngine::ProcessPageOnCpu(GtsKernel* kernel, PageId pid,
   }
 #endif
 
-  PageView view(fetch.data, graph_->config());
+  // Streaming ingestion: the MMBuf bytes are the installed base image;
+  // pending deltas are overlaid onto a host-local copy (the shared MMBuf
+  // copy stays untouched -- every consumer overlays its own staging).
+  const uint8_t* page_data = fetch.data;
+  std::vector<uint8_t> patched;
+  if (ingest_ != nullptr && ingest_->HasDeltas(pid)) {
+    patched.assign(fetch.data, fetch.data + graph_->config().page_size);
+    (void)ingest_->Overlay(pid, patched.data());
+    page_data = patched.data();
+  }
+
+  PageView view(page_data, graph_->config());
   const WorkStats work = kind == PageKind::kSmall ? kernel->RunSp(view, ctx)
                                                   : kernel->RunLp(view, ctx);
   cpu_->lane_work[lane] += work;
@@ -759,19 +848,31 @@ Status GtsEngine::ProcessPagesPull(GtsKernel* kernel,
         ctx.stream = s;
         ctx.stream_key = StreamKey(g, s);
         ctx.allow_cross_gpu = allow_cross;
+        const uint32_t batch = options_.dispatch.steal_batch;
+        std::vector<WorkItem> items;
         WorkItem item;
-        for (;;) {
+        bool done = false;
+        while (!done) {
           // stream_last_kind[s] is owner-exclusive: only this worker
           // processes on (g, s), so the unlocked read is safe.
           ctx.last_kind = gpus_[g]->stream_last_kind[s];
-          if (!pipeline_->ClaimWork(queue, ctx, &item)) break;
-          Status status = StreamPageToGpu(kernel, item.pid, g, s, cur_level,
-                                          metrics, /*pull=*/true,
-                                          item.stolen);
-          if (!status.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (first_error.ok()) first_error = std::move(status);
-            break;
+          if (batch > 1) {
+            if (!pipeline_->ClaimWorkBatch(queue, ctx, batch, &items)) break;
+          } else {
+            // batch == 1 takes the exact pre-batching claim call.
+            if (!pipeline_->ClaimWork(queue, ctx, &item)) break;
+            items.assign(1, item);
+          }
+          for (const WorkItem& claimed : items) {
+            Status status = StreamPageToGpu(kernel, claimed.pid, g, s,
+                                            cur_level, metrics, /*pull=*/true,
+                                            claimed.stolen);
+            if (!status.ok()) {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error.ok()) first_error = std::move(status);
+              done = true;
+              break;
+            }
           }
         }
       });
@@ -885,10 +986,15 @@ Status GtsEngine::StreamPageToGpu(GtsKernel* kernel, PageId pid, int g,
     // sibling worker's Acquire may evict `staged.data` the moment
     // dispatch_mu_ is released.
     std::memcpy(staging.data(), staged.data, page_size);
+    // Streaming ingestion: patch the staged copy with the page's pending
+    // delta chain (the MMBuf copy stays the installed base image).
+    if (ingest_ != nullptr) (void)ingest_->Overlay(pid, staging.data());
   }
   // On a cache hit only the kernel call is issued (line 17); cached
   // kernels never carry RA (SetupBuffers enables the cache only for
-  // RA-free traversal kernels).
+  // RA-free traversal kernels). With ingestion the hit is version-safe:
+  // publishes invalidate changed pages, so a surviving entry's bytes
+  // already equal installed image + chain as of the current epoch.
 
   gpu::TimelineOp kop;
   kop.kind = gpu::OpKind::kKernel;
@@ -912,6 +1018,10 @@ Status GtsEngine::StreamPageToGpu(GtsKernel* kernel, PageId pid, int g,
   }
 
   const bool insert_into_cache = gpu.cache != nullptr && !cached;
+  // Captured in the host phase: PageVersion may only move at safe
+  // points, but the execute closure can run after this pass's sync.
+  const uint64_t page_version =
+      ingest_ != nullptr ? ingest_->PageVersion(pid) : 0;
   int race_lane = 0;
 #if GTS_RACE_CHECK_ENABLED
   if (race_ != nullptr) {
@@ -936,7 +1046,7 @@ Status GtsEngine::StreamPageToGpu(GtsKernel* kernel, PageId pid, int g,
                   staging = std::move(staging), ra_src, ra_bytes,
                   ra_start_vid, kind, cur_level, g, s, kidx, race_lane,
                   sec_per_cycle, sec_per_mem, insert_into_cache, pid, config,
-                  launch_overhead]() {
+                  launch_overhead, page_version]() {
     GpuState& st = *gpu_ptr;
     const uint8_t* page_bytes = nullptr;
     if (pin.valid()) {
@@ -991,7 +1101,7 @@ Status GtsEngine::StreamPageToGpu(GtsKernel* kernel, PageId pid, int g,
       // Device-internal copy; deliberately not a timeline op (it does
       // not cross PCI-E). Failure is cache-full backpressure (counted
       // by the cache) -- the page simply stays on the streaming path.
-      (void)st.cache->Insert(pid, page_bytes);
+      (void)st.cache->Insert(pid, page_bytes, page_version);
     }
   };
 
@@ -1043,15 +1153,17 @@ Result<RunMetrics> GtsEngine::Run(GtsKernel* kernel, VertexId source,
 Result<RunMetrics> GtsEngine::ExecuteJob(JobExec* exec) {
   if (exec->is_pass) {
     return RunPassDirect(exec->kernel, exec->pages, exec->pass_level,
-                         &exec->cancel);
+                         &exec->cancel, &exec->options);
   }
   return RunDirect(exec->kernel, exec->options.source,
-                   exec->options.max_levels_override, &exec->cancel);
+                   exec->options.max_levels_override, &exec->cancel,
+                   &exec->options);
 }
 
 Result<RunMetrics> GtsEngine::RunDirect(GtsKernel* kernel, VertexId source,
                                         int max_levels_override,
-                                        std::atomic<bool>* cancel) {
+                                        std::atomic<bool>* cancel,
+                                        const JobOptions* jopts) {
   GTS_PROF_SCOPE("engine.run");
   const int max_levels =
       max_levels_override >= 0 ? max_levels_override : options_.max_levels;
@@ -1081,6 +1193,11 @@ Result<RunMetrics> GtsEngine::RunDirect(GtsKernel* kernel, VertexId source,
 #if GTS_RACE_CHECK_ENABLED
   if (race_ != nullptr) race_->BeginRun();
 #endif
+  // Safe point: the run opens on a freshly published graph version (its
+  // priced delta/rewrite writes land in this run's schedule), and the
+  // degree table follows the publish epoch.
+  PublishIngest();
+  if (traversal && CountFrontier()) BuildDegreeTable();
   RunMetrics metrics;
   const TimeModel& tm = machine_.time_model;
 
@@ -1119,6 +1236,24 @@ Result<RunMetrics> GtsEngine::RunDirect(GtsKernel* kernel, VertexId source,
       if (cancel != nullptr && cancel->load(std::memory_order_relaxed)) {
         run_status = Status::Cancelled("job cancelled at level boundary");
         break;
+      }
+      // Per-job streamed-bytes quota, enforced at the same boundaries as
+      // cancellation: a job at or over its cap retires with
+      // ResourceExhausted (completed levels are not rolled back).
+      if (jopts != nullptr && jopts->max_streamed_bytes > 0 &&
+          metrics.transfer_bytes >= jopts->max_streamed_bytes) {
+        registry_->GetCounter("jobs.quota_deferrals").Add();
+        run_status = Status::ResourceExhausted(
+            "job hit max_streamed_bytes: " +
+            std::to_string(metrics.transfer_bytes) + " B streamed, quota " +
+            std::to_string(jopts->max_streamed_bytes) + " B");
+        break;
+      }
+      // Mid-run safe point: fold newly appended ingest updates in unless
+      // the job pinned the run-start graph version.
+      if (level > 0 && (jopts == nullptr || !jopts->pin_graph_version)) {
+        PublishIngest();
+        if (CountFrontier()) BuildDegreeTable();
       }
       std::vector<PageId> sps;
       std::vector<PageId> lps;
@@ -1322,7 +1457,8 @@ Result<RunMetrics> GtsEngine::RunPass(GtsKernel* kernel,
 Result<RunMetrics> GtsEngine::RunPassDirect(GtsKernel* kernel,
                                             const std::vector<PageId>& pages,
                                             uint32_t level,
-                                            std::atomic<bool>* cancel) {
+                                            std::atomic<bool>* cancel,
+                                            const JobOptions* jopts) {
   GTS_PROF_SCOPE("engine.run_pass");
   // A single pass has no interior cancellation point; honor a cancel
   // that lands before the pass starts streaming.
@@ -1347,6 +1483,15 @@ Result<RunMetrics> GtsEngine::RunPassDirect(GtsKernel* kernel,
 #if GTS_RACE_CHECK_ENABLED
   if (race_ != nullptr) race_->BeginRun();
 #endif
+  // Safe point: a single pass streams exactly one published version.
+  // (jopts is accepted for signature symmetry; a pass has no interior
+  // quota/publish boundary.)
+  (void)jopts;
+  PublishIngest();
+  if (kernel->access_pattern() == AccessPattern::kTraversal &&
+      CountFrontier()) {
+    BuildDegreeTable();
+  }
   RunMetrics metrics;
 
   std::vector<PageId> sps;
@@ -1396,6 +1541,15 @@ Status GtsEngine::FinalizeRun(RunMetrics* metrics) {
   }
   metrics->io = store_->stats();
   metrics->io_queue = io_->stats();
+  if (ingest_ != nullptr) {
+    // Ingest activity accrued since the previous harvest (publishes this
+    // run triggered, plus background compactions that landed in between).
+    const ingest::IngestStats is = ingest_->TakeRunStats();
+    metrics->ingest_updates_applied = is.updates_applied;
+    metrics->ingest_deltas_flushed = is.deltas_flushed;
+    metrics->ingest_compactions = is.compactions;
+    metrics->ingest_overlay_hits = is.overlay_hits;
+  }
 
   std::vector<gpu::TimelineOp> ops;
   {
@@ -1726,17 +1880,29 @@ Status GtsEngine::ProcessPagesBatchPull(
         ctx.stream = s;
         ctx.stream_key = StreamKey(g, s);
         ctx.allow_cross_gpu = allow_cross;
+        const uint32_t batch = options_.dispatch.steal_batch;
+        std::vector<WorkItem> items;
         WorkItem item;
-        for (;;) {
+        bool done = false;
+        while (!done) {
           ctx.last_kind = gpus_[g]->stream_last_kind[s];
-          if (!pipeline_->ClaimWork(queue, ctx, &item)) break;
-          Status status = StreamPageToGpuBatch(item.pid, g, s,
-                                               demand.at(item.pid),
-                                               /*pull=*/true, item.stolen);
-          if (!status.ok()) {
-            std::lock_guard<std::mutex> lock(error_mu);
-            if (first_error.ok()) first_error = std::move(status);
-            break;
+          if (batch > 1) {
+            if (!pipeline_->ClaimWorkBatch(queue, ctx, batch, &items)) break;
+          } else {
+            if (!pipeline_->ClaimWork(queue, ctx, &item)) break;
+            items.assign(1, item);
+          }
+          for (const WorkItem& claimed : items) {
+            Status status = StreamPageToGpuBatch(claimed.pid, g, s,
+                                                 demand.at(claimed.pid),
+                                                 /*pull=*/true,
+                                                 claimed.stolen);
+            if (!status.ok()) {
+              std::lock_guard<std::mutex> lock(error_mu);
+              if (first_error.ok()) first_error = std::move(status);
+              done = true;
+              break;
+            }
           }
         }
       });
@@ -1787,6 +1953,9 @@ Status GtsEngine::StreamPageToGpuBatch(PageId pid, int g, int s,
       demanders[0]->metrics.direct_bytes += staged.bytes;
     }
     std::memcpy(staging.data(), staged.data, page_size);
+    // Streaming ingestion: overlay once per staging; every co-served
+    // job reads the same patched epoch-consistent copy.
+    if (ingest_ != nullptr) (void)ingest_->Overlay(pid, staging.data());
   }
   if (demanders.size() > 1) {
     obs::Counter& shared = registry_->GetCounter("cache.shared_page_hits");
@@ -1859,6 +2028,8 @@ Status GtsEngine::StreamPageToGpuBatch(PageId pid, int g, int s,
   }
 
   const bool insert_into_cache = gpu.cache != nullptr && !cached;
+  const uint64_t page_version =
+      ingest_ != nullptr ? ingest_->PageVersion(pid) : 0;
   GpuState* gpu_ptr = &gpu;
   const double launch_overhead = tm.kernel_launch_overhead;
   const double sec_per_cycle = tm.warp_cycle_seconds;
@@ -1866,7 +2037,7 @@ Status GtsEngine::StreamPageToGpuBatch(PageId pid, int g, int s,
                   staging = std::move(staging),
                   launches = std::move(launches), kind, g, s,
                   sec_per_cycle, insert_into_cache, pid, config,
-                  launch_overhead]() {
+                  launch_overhead, page_version]() {
     GpuState& st = *gpu_ptr;
     const uint8_t* page_bytes = nullptr;
     if (pin.valid()) {
@@ -1909,7 +2080,7 @@ Status GtsEngine::StreamPageToGpuBatch(PageId pid, int g, int s,
                       machine_.time_model));
     }
     if (insert_into_cache) {
-      (void)st.cache->Insert(pid, page_bytes);
+      (void)st.cache->Insert(pid, page_bytes, page_version);
     }
   };
 
@@ -2041,6 +2212,17 @@ Status GtsEngine::RunJobBatch(const std::vector<JobExec*>& jobs) {
   work_item_seq_ = 0;
   registry_->GetCounter("cache.shared_page_hits");  // stable snapshot keys
 
+  // Safe point: the epoch opens on a freshly published graph version
+  // (priced into this epoch's schedule). A job that pins its graph
+  // version pins this epoch for every concurrent job -- they share the
+  // staged pages, so per-job versions inside one pass cannot diverge.
+  PublishIngest();
+  if (any_traversal && CountFrontier()) BuildDegreeTable();
+  bool pin_version = false;
+  for (JobExec* job : admitted) {
+    pin_version |= job->options.pin_graph_version;
+  }
+
   int32_t next_job_id = 0;
   for (JobExec* job : admitted) {
     job->job_id = next_job_id++;
@@ -2058,11 +2240,31 @@ Status GtsEngine::RunJobBatch(const std::vector<JobExec*>& jobs) {
   // The merged pass loop: each iteration retires finished jobs at the
   // boundary, then streams the union of the survivors' page demand.
   std::vector<JobExec*> running = admitted;
+  bool first_pass = true;
   while (!running.empty()) {
+    // Mid-epoch safe point (skipped when any job pinned the epoch's
+    // graph version; the first pass follows the epoch-start publish
+    // directly).
+    if (!first_pass && !pin_version) {
+      PublishIngest();
+      if (any_traversal && CountFrontier()) BuildDegreeTable();
+    }
+    first_pass = false;
     std::vector<JobExec*> survivors;
     for (JobExec* job : running) {
       if (job->cancel.load(std::memory_order_relaxed)) {
         job->status = Status::Cancelled("job cancelled at level boundary");
+        FinishJobInEpoch(job);
+        continue;
+      }
+      if (job->options.max_streamed_bytes > 0 &&
+          job->metrics.transfer_bytes >= job->options.max_streamed_bytes) {
+        registry_->GetCounter("jobs.quota_deferrals").Add();
+        job->status = Status::ResourceExhausted(
+            "job hit max_streamed_bytes: " +
+            std::to_string(job->metrics.transfer_bytes) +
+            " B streamed, quota " +
+            std::to_string(job->options.max_streamed_bytes) + " B");
         FinishJobInEpoch(job);
         continue;
       }
@@ -2298,6 +2500,12 @@ void GtsEngine::FinalizeBatchEpoch(const std::vector<JobExec*>& jobs) {
   registry_->GetCounter("analysis.schedule_violations")
       .Add(epoch_report.violations_detected);
 
+  // Ingest stats are epoch-cumulative like the shared io counters:
+  // per-job attribution of a merged publish would be arbitrary, so
+  // every finished job carries the epoch's harvest.
+  ingest::IngestStats epoch_ingest;
+  if (ingest_ != nullptr) epoch_ingest = ingest_->TakeRunStats();
+
   for (JobExec* job : jobs) {
     if (!job->admitted || !job->finished || !job->status.ok()) continue;
     // Every job of the epoch shares its schedule: sim_seconds is the
@@ -2310,6 +2518,10 @@ void GtsEngine::FinalizeBatchEpoch(const std::vector<JobExec*>& jobs) {
         schedule.BusySeconds(gpu::ResourceId::Type::kKernelPool);
     job->metrics.storage_busy =
         schedule.BusySeconds(gpu::ResourceId::Type::kStorageDevice);
+    job->metrics.ingest_updates_applied = epoch_ingest.updates_applied;
+    job->metrics.ingest_deltas_flushed = epoch_ingest.deltas_flushed;
+    job->metrics.ingest_compactions = epoch_ingest.compactions;
+    job->metrics.ingest_overlay_hits = epoch_ingest.overlay_hits;
     job->metrics.analysis = epoch_report;
     if (options_.keep_timeline) job->metrics.timeline = schedule;
     PublishMetrics(job->metrics);

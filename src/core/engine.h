@@ -36,6 +36,8 @@
 #include "gpu/device.h"
 #include "gpu/schedule.h"
 #include "gpu/stream.h"
+#include "ingest/edge_stream.h"
+#include "ingest/ingest_options.h"
 #include "io/io_engine.h"
 #include "obs/metrics.h"
 #include "storage/page_store.h"
@@ -52,6 +54,7 @@ namespace gts {
 class DispatchPipeline;
 class JobScheduler;
 struct JobExec;
+struct JobOptions;
 
 /// Multi-GPU strategies of Section 4.
 enum class Strategy : uint8_t {
@@ -119,6 +122,13 @@ struct GtsOptions {
   /// report into RunMetrics::analysis and the `analysis.*` counters;
   /// fail_on_* escalates findings to a Run() error.
   analysis::AnalysisOptions analysis;
+
+  /// gts::ingest (src/ingest/): streaming edge insertions/deletions over
+  /// the frozen paged graph. Disabled by default; when enabled the engine
+  /// constructs an EdgeStream (reach it via GtsEngine::edge_stream()),
+  /// publishes buffered updates at run/pass boundaries, and overlays
+  /// pending delta chains onto every staged page.
+  ingest::IngestOptions ingest;
 
   static constexpr uint64_t kAutoCacheBytes = ~uint64_t{0};
   /// Stream-key encoding limit (gpu * kMaxStreamsPerGpu + stream).
@@ -196,6 +206,13 @@ class GtsEngine {
     return registry_;
   }
 
+  /// The streaming-ingestion subsystem (GtsOptions::ingest.enabled);
+  /// null when ingestion is disabled. Producer threads Append() update
+  /// batches here at any time; the engine publishes them at run/pass
+  /// boundaries. Use scheduler().QuiesceIngest() for a full drain +
+  /// compaction at a point where no job is running.
+  ingest::EdgeStream* edge_stream() { return ingest_.get(); }
+
  private:
   friend class JobScheduler;
 
@@ -208,14 +225,18 @@ class GtsEngine {
   Result<RunMetrics> ExecuteJob(JobExec* exec);
 
   /// The legacy run bodies, unchanged except for the cancellation probe
-  /// (`cancel` may be null). The public Run()/RunPass() reach them
-  /// through the scheduler's single-job path.
+  /// (`cancel` may be null) and the per-job knobs read from `jopts`
+  /// (streamed-bytes quota, pinned graph version; null = defaults).
+  /// The public Run()/RunPass() reach them through the scheduler's
+  /// single-job path.
   Result<RunMetrics> RunDirect(GtsKernel* kernel, VertexId source,
                                int max_levels_override,
-                               std::atomic<bool>* cancel);
+                               std::atomic<bool>* cancel,
+                               const JobOptions* jopts = nullptr);
   Result<RunMetrics> RunPassDirect(GtsKernel* kernel,
                                    const std::vector<PageId>& pages,
-                                   uint32_t level, std::atomic<bool>* cancel);
+                                   uint32_t level, std::atomic<bool>* cancel,
+                                   const JobOptions* jopts = nullptr);
 
   /// Scheduler entry point for multi-job batches: one epoch in which the
   /// admitted jobs share the streaming machinery (merged per-pass page
@@ -345,8 +366,23 @@ class GtsEngine {
                                    const std::vector<PageId>& front_pages);
 
   /// Fills out_degrees_ (per-vertex out-degree table) on first use; the
-  /// weight source for active-edge frontier counting.
+  /// weight source for active-edge frontier counting. With ingestion
+  /// enabled the table is rebuilt whenever the publish epoch moved, then
+  /// patched with the accumulated per-vertex degree deltas.
   void BuildDegreeTable();
+
+  /// Safe-point ingest publish: drains buffered updates into delta
+  /// chains + installs finished compactions, then invalidates cached
+  /// copies of every changed page on every GPU (in-flight pins keep
+  /// their stale bytes until released). No-op when ingestion is
+  /// disabled. Must only run at pass/level boundaries -- never while
+  /// stream workers hold staged pages.
+  void PublishIngest();
+
+  /// Scheduler-only (driver-exclusive) full drain: flush + publish +
+  /// compact until every delta chain is empty. See
+  /// JobScheduler::QuiesceIngest.
+  Status QuiesceIngestExclusive();
 
   /// Uploads WA to every GPU (records H2DChunk ops).
   void UploadWa(GtsKernel* kernel);
@@ -367,9 +403,15 @@ class GtsEngine {
   /// constructed after io_, whose lifetime it depends on.
   std::unique_ptr<transfer::TransferBackend> transfer_;
   std::unique_ptr<JobScheduler> scheduler_;
+  /// Streaming-ingestion subsystem; null unless GtsOptions::ingest.enabled.
+  /// Constructed after io_ (its delta/rewrite persistence goes through
+  /// the priced io write path).
+  std::unique_ptr<ingest::EdgeStream> ingest_;
 
   /// Per-vertex out-degrees; built lazily for active-edge counting.
   std::vector<uint32_t> out_degrees_;
+  /// Ingest publish epoch out_degrees_ was built against (ingest only).
+  uint64_t degree_epoch_ = 0;
 
   std::vector<std::unique_ptr<GpuState>> gpus_;
   std::unique_ptr<CpuState> cpu_;  // present while a hybrid run is active

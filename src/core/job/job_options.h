@@ -39,6 +39,23 @@ struct JobOptions {
   /// device WA memory is oversubscribed. Higher = more favored; values
   /// < 1 are clamped to 1.
   int priority = 1;
+
+  /// Per-job cap on PCI-E topology-transfer bytes (RunMetrics::
+  /// transfer_bytes). 0 = unlimited. Checked at pass/level boundaries
+  /// (the engine's cancellation points): a job at or over its quota
+  /// retires with Status::ResourceExhausted and bumps the
+  /// `jobs.quota_deferrals` counter. Work already absorbed (completed
+  /// levels) is not rolled back -- resubmit to continue.
+  uint64_t max_streamed_bytes = 0;
+
+  /// Pin the graph version published at run start for the whole job:
+  /// with streaming ingestion enabled the engine then skips mid-run
+  /// publishes, so every level/pass of this job reads one consistent
+  /// snapshot epoch. In a batch epoch one pinning job pins the epoch
+  /// for all its concurrent jobs (they share staged pages). Updates
+  /// appended while the job runs publish at the next safe point after
+  /// it finishes. No effect when ingestion is disabled.
+  bool pin_graph_version = false;
 };
 
 }  // namespace gts

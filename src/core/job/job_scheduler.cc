@@ -140,6 +140,21 @@ size_t JobScheduler::queued_jobs() const {
   return queue_.size();
 }
 
+Status JobScheduler::QuiesceIngest() {
+  // Take the driver role without running a batch: once driver_active_ is
+  // ours no epoch is executing, so the engine can quiesce with nothing
+  // pinned or staged. Waiters for queued jobs are woken afterwards.
+  std::unique_lock<std::mutex> lk(mu_);
+  while (driver_active_) cv_.wait(lk);
+  driver_active_ = true;
+  lk.unlock();
+  const Status status = engine_->QuiesceIngestExclusive();
+  lk.lock();
+  driver_active_ = false;
+  cv_.notify_all();
+  return status;
+}
+
 void JobScheduler::DriveUntilDone(
     const std::shared_ptr<JobHandle::Record>& rec) {
   std::unique_lock<std::mutex> lk(mu_);

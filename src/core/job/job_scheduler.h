@@ -119,6 +119,15 @@ class JobScheduler {
                                 std::vector<PageId> pages, uint32_t level = 0,
                                 JobOptions options = {});
 
+  /// Drains and fully compacts the engine's streaming-ingestion state
+  /// (gts::ingest) at a guaranteed safe point: the calling thread takes
+  /// the driver role -- waiting for any active batch epoch to finish --
+  /// so no running job observes the transition. After an OK return the
+  /// device pages are bit-identical to a fresh build of the updated
+  /// graph. Queued jobs resume afterwards; FailedPrecondition when
+  /// GtsOptions::ingest.enabled is false.
+  Status QuiesceIngest();
+
   /// Jobs waiting for a batch slot (diagnostics / tests).
   size_t queued_jobs() const;
 

@@ -77,7 +77,9 @@ PageCache::Entry* PageCache::FindLocked(PageId pid) {
   ++lookups_;
   if (lookups_metric_ != nullptr) lookups_metric_->Add();
   auto it = entries_.find(pid);
-  if (it == entries_.end()) return nullptr;
+  // A stale entry (invalidated while pinned) misses: its bytes are a
+  // previous page version kept alive only for the pins already holding it.
+  if (it == entries_.end() || it->second.stale) return nullptr;
   ++hits_;
   if (hits_metric_ != nullptr) hits_metric_->Add();
   if (policy_ == CachePolicy::kLru) {
@@ -99,6 +101,39 @@ void PageCache::Unpin(PageId pid) {
   if (pin_log_ != nullptr) {
     pin_log_->Append(analysis::PinEvent::Kind::kReleased, pid);
   }
+  // Deferred invalidation: the last reader of a stale version just left,
+  // so the old bytes can finally go.
+  if (it->second.stale && it->second.pins == 0) {
+    if (pin_log_ != nullptr) {
+      pin_log_->Append(analysis::PinEvent::Kind::kEvicted, pid);
+    }
+    order_.erase(it->second.order_it);
+    entries_.erase(it);
+  }
+}
+
+uint64_t PageCache::VersionOf(PageId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(pid);
+  return it == entries_.end() ? 0 : it->second.version;
+}
+
+bool PageCache::Invalidate(PageId pid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(pid);
+  if (it == entries_.end()) return true;
+  if (pin_log_ != nullptr) {
+    pin_log_->Append(analysis::PinEvent::Kind::kInvalidated, pid);
+  }
+  if (it->second.pins > 0) {
+    // A kernel may still be reading the old version through its Pin;
+    // keep the bytes but hide them from every future lookup.
+    it->second.stale = true;
+    return false;
+  }
+  order_.erase(it->second.order_it);
+  entries_.erase(it);
+  return true;
 }
 
 std::string_view CachePolicyName(CachePolicy policy) {
@@ -113,9 +148,12 @@ std::string_view CachePolicyName(CachePolicy policy) {
   return "?";
 }
 
-Status PageCache::Insert(PageId pid, const uint8_t* bytes) {
+Status PageCache::Insert(PageId pid, const uint8_t* bytes,
+                         uint64_t version) {
   std::lock_guard<std::mutex> lock(mu_);
   if (capacity_pages_ == 0) return Status::OK();
+  // Already present -- including a stale-but-pinned copy, whose device
+  // buffer cannot be replaced until its readers drain.
   if (entries_.count(pid) != 0) return Status::OK();
   if (policy_ == CachePolicy::kPinned &&
       entries_.size() >= capacity_pages_) {
@@ -154,6 +192,7 @@ Status PageCache::Insert(PageId pid, const uint8_t* bytes) {
   Entry entry;
   entry.buffer = std::move(buffer);
   entry.order_it = order_.begin();
+  entry.version = version;
   entries_.emplace(pid, std::move(entry));
   if (inserts_metric_ != nullptr) inserts_metric_->Add();
   if (pin_log_ != nullptr) {

@@ -126,19 +126,37 @@ class PageCache {
   /// so it can never contribute to cache-full backpressure.
   bool LookupInto(PageId pid, uint8_t* dst);
 
-  /// True if present, without touching stats or recency (Algorithm 1
-  /// consults the *host copy* of cachedPIDMap when routing).
+  /// True if present (and not stale), without touching stats or recency
+  /// (Algorithm 1 consults the *host copy* of cachedPIDMap when routing).
   bool Contains(PageId pid) const {
     std::lock_guard<std::mutex> lock(mu_);
-    return entries_.count(pid) != 0;
+    auto it = entries_.find(pid);
+    return it != entries_.end() && !it->second.stale;
   }
 
   /// Inserts a copy of `bytes` for `pid`, evicting per policy when full.
   /// Eviction skips pinned pages; when every resident page is pinned the
   /// insert fails with CapacityExceeded (counted in insert_backpressure())
   /// and the engine keeps the page on the streaming SPBuf/LPBuf path.
-  /// No-op when the cache is disabled or the page is already present.
-  Status Insert(PageId pid, const uint8_t* bytes);
+  /// No-op when the cache is disabled or the page is already present
+  /// (including a stale-but-pinned copy, which must drain first).
+  /// `version` tags the entry with the page's ingest version (0 for a
+  /// frozen graph).
+  Status Insert(PageId pid, const uint8_t* bytes, uint64_t version = 0);
+
+  /// Ingest version the resident copy of `pid` was inserted with; 0 when
+  /// the page is not resident (or predates ingestion).
+  uint64_t VersionOf(PageId pid) const;
+
+  /// Drops `pid`'s cached copy because a newer page version was
+  /// published. Unpinned (or absent): the entry is erased and true is
+  /// returned. Pinned: the entry is marked stale -- the in-flight reader
+  /// keeps its old-version snapshot, new lookups miss, and the entry is
+  /// erased when the last pin releases -- and false is returned. Either
+  /// way a kInvalidated pin event is logged for resident entries; after
+  /// it, pinning `pid` again without a fresh kInserted violates the
+  /// validator's I1 rule.
+  bool Invalidate(PageId pid);
 
   /// Streams pin/insert/evict events into `log` (pass null to detach) for
   /// the gts::analysis pin-lifetime validator. The log must outlive the
@@ -179,6 +197,9 @@ class PageCache {
     gpu::DeviceBuffer buffer;
     std::list<PageId>::iterator order_it;
     uint32_t pins = 0;
+    uint64_t version = 0;  ///< ingest page version at insert time
+    /// Invalidated while pinned: lookups miss, erased at last Unpin.
+    bool stale = false;
   };
 
   /// Stats/recency-updating find; requires mu_ held.

@@ -22,6 +22,10 @@ void RunMetrics::Accumulate(const RunMetrics& increment) {
   io.bytes_read += increment.io.bytes_read;
   io_queue += increment.io_queue;
   pages_skipped += increment.pages_skipped;
+  ingest_updates_applied += increment.ingest_updates_applied;
+  ingest_deltas_flushed += increment.ingest_deltas_flushed;
+  ingest_compactions += increment.ingest_compactions;
+  ingest_overlay_hits += increment.ingest_overlay_hits;
   if (increment.cpu_lane_work.size() > cpu_lane_work.size()) {
     cpu_lane_work.resize(increment.cpu_lane_work.size());
   }

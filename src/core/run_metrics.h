@@ -51,6 +51,16 @@ struct RunMetrics {
   /// threshold (they held fewer active edges than the cut).
   uint64_t pages_skipped = 0;
 
+  // Streaming-ingestion activity attributed to this run (gts::ingest;
+  // zero unless GtsOptions::ingest.enabled). Harvested as the delta
+  // since the previous run's harvest, so background-compactor work that
+  // landed between runs counts toward the next run. In a JobScheduler
+  // batch these are epoch-cumulative, like the shared io counters.
+  uint64_t ingest_updates_applied = 0;  ///< updates resolved into chains
+  uint64_t ingest_deltas_flushed = 0;   ///< delta records persisted
+  uint64_t ingest_compactions = 0;      ///< page rebuilds installed
+  uint64_t ingest_overlay_hits = 0;     ///< staged pages patched
+
   /// Per-lane work of the host-CPU co-processing pool; empty unless the
   /// run used cpu_assist_fraction > 0. Deterministic: two identical
   /// hybrid runs produce identical per-lane stats (the lane cursor resets

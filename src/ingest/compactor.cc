@@ -1,0 +1,73 @@
+#include "ingest/compactor.h"
+
+#include <utility>
+
+namespace gts {
+namespace ingest {
+
+Compactor::Compactor(DeltaStore* store, uint32_t threshold)
+    : store_(store), threshold_(threshold) {}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread(&Compactor::Loop, this);
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+    cv_.notify_all();
+  }
+  thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void Compactor::Nudge() {
+  std::lock_guard<std::mutex> lock(mu_);
+  nudged_ = true;
+  cv_.notify_all();
+}
+
+std::vector<DeltaStore::Compaction> Compactor::TakeCompleted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DeltaStore::Compaction> out = std::move(completed_);
+  completed_.clear();
+  pending_install_.clear();
+  return out;
+}
+
+void Compactor::Loop() {
+  for (;;) {
+    std::unordered_set<PageId> exclude;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || nudged_; });
+      if (stop_) return;
+      nudged_ = false;
+      exclude = pending_install_;
+    }
+
+    // Rebuild every qualifying chain that is not already awaiting
+    // install, one page at a time so TakeCompleted never waits long.
+    for (;;) {
+      auto compaction = store_->PickAndBuild(threshold_, &exclude);
+      if (!compaction.has_value()) break;
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return;
+      exclude.insert(compaction->pid);
+      pending_install_.insert(compaction->pid);
+      completed_.push_back(std::move(*compaction));
+    }
+  }
+}
+
+}  // namespace ingest
+}  // namespace gts

@@ -1,0 +1,402 @@
+#include "ingest/delta_store.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace gts {
+namespace ingest {
+
+namespace {
+
+/// A page decoded into mutable per-slot adjacency vectors. Resolution and
+/// rebuilds operate on this form; RewriteParsed re-emits the page bytes.
+struct ParsedPage {
+  PageKind kind = PageKind::kSmall;
+  uint32_t lp_chunk_index = 0;
+  uint32_t lp_total = 0;
+  std::vector<VertexId> vids;
+  std::vector<std::vector<RecordId>> entries;
+};
+
+ParsedPage Parse(const uint8_t* data, const PageConfig& config) {
+  PageView view(data, config);
+  ParsedPage parsed;
+  parsed.kind = view.kind();
+  parsed.lp_chunk_index = view.header().lp_chunk_index;
+  parsed.lp_total = view.header().lp_total_degree;
+  const uint32_t n = view.num_slots();
+  parsed.vids.resize(n);
+  parsed.entries.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    parsed.vids[i] = view.slot_vid(i);
+    const uint32_t sz = view.adjlist_size(i);
+    parsed.entries[i].reserve(sz);
+    for (uint32_t j = 0; j < sz; ++j) {
+      parsed.entries[i].push_back(view.adj_entry(i, j));
+    }
+  }
+  return parsed;
+}
+
+void ApplyDeltaToParsed(ParsedPage* parsed, const PageDelta& delta) {
+  switch (delta.op) {
+    case PageDelta::Op::kInsert:
+      GTS_DCHECK(delta.slot < parsed->entries.size());
+      parsed->entries[delta.slot].push_back(delta.neighbor);
+      break;
+    case PageDelta::Op::kRemove: {
+      GTS_DCHECK(delta.slot < parsed->entries.size());
+      auto& list = parsed->entries[delta.slot];
+      auto it = std::find(list.begin(), list.end(), delta.neighbor);
+      if (it != list.end()) list.erase(it);
+      break;
+    }
+    case PageDelta::Op::kSetLpTotal:
+      parsed->lp_total = delta.lp_total;
+      break;
+  }
+}
+
+/// Re-emits `parsed` as page bytes into `out` (page_size bytes, zeroed by
+/// this function). Slot order matches the parse, so the result is exactly
+/// what PageBuilder would produce for this content.
+void RewriteParsed(const ParsedPage& parsed, const PageConfig& config,
+                   uint8_t* out) {
+  std::fill(out, out + config.page_size, uint8_t{0});
+  PageWriter writer(out, config, parsed.kind);
+  for (uint32_t i = 0; i < parsed.vids.size(); ++i) {
+    const uint32_t slot =
+        writer.AppendRecord(parsed.vids[i], parsed.entries[i].size());
+    GTS_DCHECK(slot == i);
+    for (uint32_t j = 0; j < parsed.entries[i].size(); ++j) {
+      writer.SetEntry(slot, j, parsed.entries[i][j]);
+    }
+  }
+  if (parsed.kind == PageKind::kLarge) {
+    writer.set_lp_chunk_index(parsed.lp_chunk_index);
+    writer.set_lp_total_degree(parsed.lp_total);
+  }
+}
+
+/// Bytes the parsed content occupies as a page (header + slots + records).
+uint64_t ParsedFootprint(const ParsedPage& parsed, const PageConfig& config) {
+  uint64_t total_entries = 0;
+  for (const auto& list : parsed.entries) total_entries += list.size();
+  return kPageHeaderBytes +
+         parsed.vids.size() * (sizeof(uint32_t) + kSlotBytes) +
+         total_entries * config.entry_bytes();
+}
+
+uint64_t LpChunkCapacity(const PageConfig& config) {
+  const uint64_t usable = config.page_size > kPageHeaderBytes
+                              ? config.page_size - kPageHeaderBytes
+                              : 0;
+  return usable > (sizeof(uint32_t) + kSlotBytes)
+             ? (usable - sizeof(uint32_t) - kSlotBytes) / config.entry_bytes()
+             : 0;
+}
+
+}  // namespace
+
+DeltaStore::DeltaStore(const PagedGraph* graph)
+    : graph_(graph), lp_chunk_capacity_(LpChunkCapacity(graph->config())) {}
+
+const uint8_t* DeltaStore::InstalledBytes(PageId pid) const {
+  auto it = states_.find(pid);
+  if (it != states_.end() && !it->second.image.empty()) {
+    return it->second.image.data();
+  }
+  return graph_->page_bytes(pid).data();
+}
+
+void DeltaStore::ResolveFlushes(const std::vector<GutterBank::Flush>& flushes,
+                                std::vector<PageId>* changed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PageConfig& config = graph_->config();
+
+  // Per-publish cache: each touched page parsed once, with its existing
+  // chain folded in, then mutated alongside every delta we emit so later
+  // updates in the same publish see earlier ones.
+  std::unordered_map<PageId, ParsedPage> cache;
+  std::unordered_set<PageId> grew;
+  std::unordered_set<VertexId> touched_lp;
+
+  auto effective = [&](PageId pid) -> ParsedPage& {
+    auto it = cache.find(pid);
+    if (it != cache.end()) return it->second;
+    ParsedPage parsed = Parse(InstalledBytes(pid), config);
+    auto st = states_.find(pid);
+    if (st != states_.end()) {
+      for (const PageDelta& d : st->second.chain) {
+        ApplyDeltaToParsed(&parsed, d);
+      }
+    }
+    return cache.emplace(pid, std::move(parsed)).first->second;
+  };
+
+  auto emit = [&](PageId pid, const PageDelta& delta) {
+    states_[pid].chain.push_back(delta);
+    ApplyDeltaToParsed(&effective(pid), delta);
+    grew.insert(pid);
+  };
+
+  for (const GutterBank::Flush& flush : flushes) {
+    for (const EdgeUpdate& update : flush.updates) {
+      const RecordId loc = graph_->VertexLocation(update.src);
+      const RecordId neighbor = graph_->VertexLocation(update.dst);
+
+      if (graph_->kind(loc.pid) == PageKind::kSmall) {
+        ParsedPage& parsed = effective(loc.pid);
+        if (!update.remove) {
+          if (ParsedFootprint(parsed, config) + config.entry_bytes() >
+              config.page_size) {
+            ++stats_.updates_rejected;  // page full; splits are future work
+            continue;
+          }
+          emit(loc.pid,
+               PageDelta{PageDelta::Op::kInsert, loc.slot, neighbor, 0});
+          ++degree_delta_[update.src];
+          ++edge_count_delta_;
+          ++stats_.updates_applied;
+        } else {
+          const auto& list = parsed.entries[loc.slot];
+          if (std::find(list.begin(), list.end(), neighbor) == list.end()) {
+            ++stats_.deletes_dropped;
+            continue;
+          }
+          emit(loc.pid,
+               PageDelta{PageDelta::Op::kRemove, loc.slot, neighbor, 0});
+          --degree_delta_[update.src];
+          --edge_count_delta_;
+          ++stats_.updates_applied;
+        }
+        continue;
+      }
+
+      // LP vertex: its adjacency spans a run of consecutive page ids
+      // starting at loc.pid; inserts go to the first chunk with headroom,
+      // deletes to the first chunk holding the neighbor.
+      const uint32_t run = graph_->rvt().entry(loc.pid).lp_more + 1;
+      if (!update.remove) {
+        PageId target = kInvalidPageId;
+        for (uint32_t k = 0; k < run; ++k) {
+          if (effective(loc.pid + k).entries[0].size() < lp_chunk_capacity_) {
+            target = loc.pid + k;
+            break;
+          }
+        }
+        if (target == kInvalidPageId) {
+          ++stats_.updates_rejected;  // every chunk full
+          continue;
+        }
+        emit(target, PageDelta{PageDelta::Op::kInsert, 0, neighbor, 0});
+        ++degree_delta_[update.src];
+        ++edge_count_delta_;
+        ++stats_.updates_applied;
+        touched_lp.insert(update.src);
+      } else {
+        PageId target = kInvalidPageId;
+        for (uint32_t k = 0; k < run; ++k) {
+          const auto& list = effective(loc.pid + k).entries[0];
+          if (std::find(list.begin(), list.end(), neighbor) != list.end()) {
+            target = loc.pid + k;
+            break;
+          }
+        }
+        if (target == kInvalidPageId) {
+          ++stats_.deletes_dropped;
+          continue;
+        }
+        emit(target, PageDelta{PageDelta::Op::kRemove, 0, neighbor, 0});
+        --degree_delta_[update.src];
+        --edge_count_delta_;
+        ++stats_.updates_applied;
+        touched_lp.insert(update.src);
+      }
+    }
+  }
+
+  // Keep every LP header of a touched run in sync with the vertex's new
+  // total degree, exactly as a fresh build would stamp it.
+  for (VertexId v : touched_lp) {
+    const PageId first = graph_->VertexLocation(v).pid;
+    const uint32_t run = graph_->rvt().entry(first).lp_more + 1;
+    uint64_t total = 0;
+    for (uint32_t k = 0; k < run; ++k) {
+      total += effective(first + k).entries[0].size();
+    }
+    for (uint32_t k = 0; k < run; ++k) {
+      if (effective(first + k).lp_total != total) {
+        emit(first + k,
+             PageDelta{PageDelta::Op::kSetLpTotal, 0, RecordId{},
+                       static_cast<uint32_t>(total)});
+      }
+    }
+  }
+
+  std::vector<PageId> grown(grew.begin(), grew.end());
+  std::sort(grown.begin(), grown.end());
+  for (PageId pid : grown) {
+    ++states_[pid].version;
+    if (changed != nullptr) changed->push_back(pid);
+  }
+}
+
+bool DeltaStore::Overlay(PageId pid, uint8_t* bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(pid);
+  if (it == states_.end() || it->second.chain.empty()) return false;
+  const PageConfig& config = graph_->config();
+  ParsedPage parsed = Parse(bytes, config);
+  for (const PageDelta& d : it->second.chain) ApplyDeltaToParsed(&parsed, d);
+  RewriteParsed(parsed, config, bytes);
+  ++stats_.overlay_hits;
+  return true;
+}
+
+bool DeltaStore::HasDeltas(PageId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(pid);
+  return it != states_.end() && !it->second.chain.empty();
+}
+
+uint64_t DeltaStore::PageVersion(PageId pid) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(pid);
+  return it == states_.end() ? 0 : it->second.version;
+}
+
+std::optional<DeltaStore::Compaction> DeltaStore::PickAndBuild(
+    uint32_t threshold, const std::unordered_set<PageId>* exclude) {
+  PageId pid = kInvalidPageId;
+  std::vector<uint8_t> base;
+  std::vector<PageDelta> chain;
+  uint64_t installs = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t best_len = 0;
+    for (const auto& [candidate, state] : states_) {
+      if (exclude != nullptr && exclude->count(candidate) != 0) continue;
+      if (state.chain.size() >= threshold && state.chain.size() > best_len) {
+        pid = candidate;
+        best_len = state.chain.size();
+      }
+    }
+    if (pid == kInvalidPageId) return std::nullopt;
+    const uint8_t* bytes = InstalledBytes(pid);
+    base.assign(bytes, bytes + graph_->config().page_size);
+    chain = states_[pid].chain;
+    installs = states_[pid].installs;
+  }
+
+  // The rebuild itself runs outside the lock: producers and overlays
+  // proceed while we fold `chain` into a fresh image.
+  ParsedPage parsed = Parse(base.data(), graph_->config());
+  for (const PageDelta& d : chain) ApplyDeltaToParsed(&parsed, d);
+  Compaction compaction;
+  compaction.pid = pid;
+  compaction.image.resize(graph_->config().page_size);
+  RewriteParsed(parsed, graph_->config(), compaction.image.data());
+  compaction.consumed = chain.size();
+  compaction.installs_at_snapshot = installs;
+  return compaction;
+}
+
+bool DeltaStore::Install(Compaction&& compaction) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(compaction.pid);
+  if (it == states_.end()) return false;
+  PageState& state = it->second;
+  if (state.installs != compaction.installs_at_snapshot) {
+    return false;  // a newer install landed since the rebuild's snapshot
+  }
+  GTS_DCHECK(compaction.consumed <= state.chain.size());
+  state.image = std::move(compaction.image);
+  state.chain.erase(state.chain.begin(),
+                    state.chain.begin() +
+                        static_cast<ptrdiff_t>(compaction.consumed));
+  ++state.installs;
+  ++state.version;
+  ++stats_.compactions;
+  return true;
+}
+
+size_t DeltaStore::MaxChainLength() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t longest = 0;
+  for (const auto& [pid, state] : states_) {
+    longest = std::max(longest, state.chain.size());
+  }
+  return longest;
+}
+
+size_t DeltaStore::DirtyPageCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dirty = 0;
+  for (const auto& [pid, state] : states_) {
+    if (!state.chain.empty()) ++dirty;
+  }
+  return dirty;
+}
+
+void DeltaStore::ApplyDegreeDeltas(std::vector<uint32_t>* out_degrees) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [v, delta] : degree_delta_) {
+    if (v >= out_degrees->size()) continue;
+    uint32_t& degree = (*out_degrees)[v];
+    if (delta < 0 && static_cast<uint64_t>(-delta) > degree) {
+      degree = 0;
+    } else {
+      degree = static_cast<uint32_t>(static_cast<int64_t>(degree) + delta);
+    }
+  }
+}
+
+int64_t DeltaStore::EdgeCountDelta() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return edge_count_delta_;
+}
+
+std::vector<VertexId> DeltaStore::CurrentNeighbors(VertexId v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const PageConfig& config = graph_->config();
+  const RecordId loc = graph_->VertexLocation(v);
+
+  auto effective_entries = [&](PageId pid, uint32_t slot) {
+    ParsedPage parsed = Parse(InstalledBytes(pid), config);
+    auto it = states_.find(pid);
+    if (it != states_.end()) {
+      for (const PageDelta& d : it->second.chain) {
+        ApplyDeltaToParsed(&parsed, d);
+      }
+    }
+    return std::move(parsed.entries[slot]);
+  };
+
+  std::vector<RecordId> rids;
+  if (graph_->kind(loc.pid) == PageKind::kSmall) {
+    rids = effective_entries(loc.pid, loc.slot);
+  } else {
+    const uint32_t run = graph_->rvt().entry(loc.pid).lp_more + 1;
+    for (uint32_t k = 0; k < run; ++k) {
+      auto chunk = effective_entries(loc.pid + k, 0);
+      rids.insert(rids.end(), chunk.begin(), chunk.end());
+    }
+  }
+
+  std::vector<VertexId> neighbors;
+  neighbors.reserve(rids.size());
+  for (const RecordId& rid : rids) neighbors.push_back(graph_->rvt().ToVid(rid));
+  return neighbors;
+}
+
+IngestStats DeltaStore::SnapshotStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ingest
+}  // namespace gts

@@ -1,0 +1,151 @@
+// DeltaStore: published per-page delta chains plus installed page images.
+//
+// Gutter flushes are *resolved* here into per-page PageDelta chains: each
+// update is routed to the concrete page/slot it mutates, capacity-checked
+// against the page's effective content (installed image + pending chain),
+// and appended to that page's chain. Resolution runs only at safe points
+// (run start, pass/level boundaries, quiesce), so queries never observe a
+// chain growing mid-pass.
+//
+// Readers overlay chains onto staged pages (Overlay), the compactor merges
+// long chains into rebuilt page images off-lock (PickAndBuild) which the
+// engine installs at the next safe point (Install). Slot assignments and
+// the vid order within a page never change -- inserts append entries and
+// deletes splice them out -- so RecordId references from *other* pages
+// stay valid across any number of compactions.
+#ifndef GTS_INGEST_DELTA_STORE_H_
+#define GTS_INGEST_DELTA_STORE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/types.h"
+#include "ingest/gutter_bank.h"
+#include "ingest/update.h"
+#include "storage/paged_graph.h"
+#include "storage/slotted_page.h"
+
+namespace gts {
+namespace ingest {
+
+/// One resolved mutation of one page. Chains of these are the "delta
+/// records appended beside the base page"; applying a chain in order to
+/// the page's installed image yields its current content.
+struct PageDelta {
+  enum class Op : uint8_t {
+    kInsert,     ///< append `neighbor` at the end of `slot`'s adjacency
+    kRemove,     ///< remove the first occurrence of `neighbor` in `slot`
+    kSetLpTotal  ///< refresh an LP header's lp_total_degree to `lp_total`
+  };
+
+  Op op = Op::kInsert;
+  uint32_t slot = 0;
+  RecordId neighbor;
+  uint32_t lp_total = 0;
+
+  friend bool operator==(const PageDelta&, const PageDelta&) = default;
+};
+
+class DeltaStore {
+ public:
+  /// A rebuilt page produced off-lock by the compactor. `consumed` chain
+  /// entries were folded into `image`; `installs_at_snapshot` guards
+  /// against installing a rebuild that raced a newer install.
+  struct Compaction {
+    PageId pid = kInvalidPageId;
+    std::vector<uint8_t> image;
+    size_t consumed = 0;
+    uint64_t installs_at_snapshot = 0;
+  };
+
+  explicit DeltaStore(const PagedGraph* graph);
+
+  /// Resolves a batch of drained gutter flushes into per-page chains.
+  /// Appends every page whose chain grew to `changed` (deduplicated).
+  /// Safe-point only.
+  void ResolveFlushes(const std::vector<GutterBank::Flush>& flushes,
+                      std::vector<PageId>* changed);
+
+  /// Patches `bytes` (page_size staged bytes of `pid`'s installed image)
+  /// with the page's pending chain. Returns false -- leaving `bytes`
+  /// untouched -- when no deltas are pending. Thread-safe; called from
+  /// streaming/demand-fetch paths while producers append elsewhere.
+  bool Overlay(PageId pid, uint8_t* bytes);
+
+  /// True if `pid` has pending (uncompacted) deltas.
+  bool HasDeltas(PageId pid) const;
+
+  /// Monotonic per-page version: bumped when the page's chain grows and
+  /// when a compaction installs. Pages never touched by ingestion stay
+  /// at version 0.
+  uint64_t PageVersion(PageId pid) const;
+
+  /// Picks the page with the longest chain of length >= `threshold`
+  /// (skipping pids in `exclude`, which the background compactor uses for
+  /// pages whose rebuild is already awaiting install) and rebuilds its
+  /// image with the chain folded in. The (costly) rebuild runs outside
+  /// the store lock. Returns nullopt when no chain qualifies.
+  std::optional<Compaction> PickAndBuild(
+      uint32_t threshold,
+      const std::unordered_set<PageId>* exclude = nullptr);
+
+  /// Installs a rebuilt image at a safe point. Returns false (and drops
+  /// the rebuild) when a newer install landed since the snapshot; the
+  /// caller must then not rewrite the device page.
+  bool Install(Compaction&& compaction);
+
+  /// Longest pending chain across all pages (0 when fully compacted).
+  size_t MaxChainLength() const;
+
+  /// Pages with a non-empty pending chain.
+  size_t DirtyPageCount() const;
+
+  /// Folds accumulated per-vertex degree changes into `out_degrees` (the
+  /// engine's uint32 degree table, clamped at zero). Does not reset the
+  /// deltas: callers pass the frozen-graph base table each time.
+  void ApplyDegreeDeltas(std::vector<uint32_t>* out_degrees) const;
+
+  /// Net edge-count change versus the frozen graph (inserts - deletes).
+  int64_t EdgeCountDelta() const;
+
+  /// Debug/test readback: v's current neighbors in applied order, with
+  /// every pending delta folded in. Quiesce-accurate; approximate while
+  /// flushes are still buffered in gutters.
+  std::vector<VertexId> CurrentNeighbors(VertexId v) const;
+
+  /// Cumulative resolution/compaction/overlay counters (only the fields
+  /// this class owns: updates_applied/rejected, deletes_dropped,
+  /// compactions, overlay_hits).
+  IngestStats SnapshotStats() const;
+
+ private:
+  struct PageState {
+    std::vector<PageDelta> chain;  // pending, not yet compacted
+    std::vector<uint8_t> image;    // installed rebuild; empty = base page
+    uint64_t version = 0;
+    uint64_t installs = 0;
+  };
+
+  /// Current installed bytes of `pid` (rebuilt image or frozen base).
+  const uint8_t* InstalledBytes(PageId pid) const;
+
+  PageState& StateOf(PageId pid) { return states_[pid]; }
+
+  const PagedGraph* graph_;
+  const uint64_t lp_chunk_capacity_;  // adjacency entries per LP chunk
+
+  mutable std::mutex mu_;
+  std::unordered_map<PageId, PageState> states_;
+  std::unordered_map<VertexId, int64_t> degree_delta_;
+  int64_t edge_count_delta_ = 0;
+  IngestStats stats_;
+};
+
+}  // namespace ingest
+}  // namespace gts
+
+#endif  // GTS_INGEST_DELTA_STORE_H_

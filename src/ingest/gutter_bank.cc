@@ -1,0 +1,71 @@
+#include "ingest/gutter_bank.h"
+
+#include <utility>
+
+namespace gts {
+namespace ingest {
+
+GutterBank::GutterBank(size_t num_pages, uint32_t gutter_capacity)
+    : capacity_(gutter_capacity), gutters_(num_pages) {}
+
+void GutterBank::Add(PageId pid, const EdgeUpdate& update) {
+  std::vector<EdgeUpdate> full;
+  {
+    std::lock_guard<std::mutex> lock(ShardMutex(pid));
+    std::vector<EdgeUpdate>& gutter = gutters_[pid];
+    gutter.push_back(update);
+    if (gutter.size() < capacity_) return;
+    full = std::move(gutter);
+    gutter.clear();
+  }
+  PushPending(pid, std::move(full));
+}
+
+void GutterBank::FlushAll() {
+  for (PageId pid = 0; pid < gutters_.size(); ++pid) {
+    std::vector<EdgeUpdate> taken;
+    {
+      std::lock_guard<std::mutex> lock(ShardMutex(pid));
+      if (gutters_[pid].empty()) continue;
+      taken = std::move(gutters_[pid]);
+      gutters_[pid].clear();
+    }
+    PushPending(pid, std::move(taken));
+  }
+}
+
+void GutterBank::PushPending(PageId pid, std::vector<EdgeUpdate>&& updates) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  pending_updates_ += updates.size();
+  ++flushes_;
+  pending_.push_back(Flush{pid, std::move(updates)});
+}
+
+std::vector<GutterBank::Flush> GutterBank::DrainPending() {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  std::vector<Flush> out = std::move(pending_);
+  pending_.clear();
+  pending_updates_ = 0;
+  return out;
+}
+
+size_t GutterBank::BufferedUpdates() const {
+  size_t total;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    total = pending_updates_;
+  }
+  for (PageId pid = 0; pid < gutters_.size(); ++pid) {
+    std::lock_guard<std::mutex> lock(ShardMutex(pid));
+    total += gutters_[pid].size();
+  }
+  return total;
+}
+
+uint64_t GutterBank::flushes() const {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return flushes_;
+}
+
+}  // namespace ingest
+}  // namespace gts

@@ -1,0 +1,77 @@
+// Per-slotted-page gutters: bounded update buffers keyed by source page.
+//
+// Producers route each EdgeUpdate into the gutter of the page holding the
+// source vertex's record (its first LP chunk for high-degree vertices).
+// A gutter that reaches capacity is moved wholesale onto the pending
+// queue; FlushAll() pushes every non-empty gutter there at an epoch
+// boundary. DrainPending() -- called only from a safe point -- hands the
+// queued flushes to the DeltaStore for resolution.
+//
+// Locking: gutters are guarded by a small array of shard mutexes (gutter
+// i -> shard i % kShards) so N producers contend only when they hit the
+// same shard; the pending queue has its own mutex. Producers never touch
+// published delta state, so ingestion cannot stall a running pass.
+#ifndef GTS_INGEST_GUTTER_BANK_H_
+#define GTS_INGEST_GUTTER_BANK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "graph/types.h"
+#include "ingest/update.h"
+
+namespace gts {
+namespace ingest {
+
+class GutterBank {
+ public:
+  /// One flushed gutter: every buffered update for one page, in the
+  /// order producers appended them.
+  struct Flush {
+    PageId pid = kInvalidPageId;
+    std::vector<EdgeUpdate> updates;
+  };
+
+  GutterBank(size_t num_pages, uint32_t gutter_capacity);
+
+  /// Appends `update` to page `pid`'s gutter; moves the gutter to the
+  /// pending queue when it reaches capacity. Thread-safe.
+  void Add(PageId pid, const EdgeUpdate& update);
+
+  /// Moves every non-empty gutter to the pending queue (epoch boundary).
+  void FlushAll();
+
+  /// Drains the pending queue in flush order. Thread-safe, though only
+  /// safe points call it.
+  std::vector<Flush> DrainPending();
+
+  /// Updates currently buffered (gutters + pending queue). Approximate
+  /// under concurrent producers; exact when quiesced.
+  size_t BufferedUpdates() const;
+
+  /// Gutter-to-pending handoffs so far (capacity fills + FlushAll moves).
+  uint64_t flushes() const;
+
+ private:
+  static constexpr size_t kShards = 16;
+
+  std::mutex& ShardMutex(PageId pid) const {
+    return shard_mu_[pid % kShards];
+  }
+  void PushPending(PageId pid, std::vector<EdgeUpdate>&& updates);
+
+  const uint32_t capacity_;
+  mutable std::mutex shard_mu_[kShards];
+  std::vector<std::vector<EdgeUpdate>> gutters_;  // indexed by PageId
+
+  mutable std::mutex pending_mu_;
+  std::vector<Flush> pending_;
+  size_t pending_updates_ = 0;
+  uint64_t flushes_ = 0;
+};
+
+}  // namespace ingest
+}  // namespace gts
+
+#endif  // GTS_INGEST_GUTTER_BANK_H_

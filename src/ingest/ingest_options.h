@@ -1,0 +1,51 @@
+// Knobs of the gts::ingest streaming-update subsystem.
+#ifndef GTS_INGEST_INGEST_OPTIONS_H_
+#define GTS_INGEST_INGEST_OPTIONS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace gts {
+namespace ingest {
+
+/// GtsOptions::ingest.* -- see DESIGN.md section 15 for the lifecycle these
+/// knobs govern (gutter fill -> delta flush -> background compaction).
+struct IngestOptions {
+  /// Master switch. Off (the default) keeps the engine's frozen-graph
+  /// behavior byte-identical: no EdgeStream is constructed, no publish
+  /// hooks run at pass boundaries.
+  bool enabled = false;
+
+  /// Updates one per-page gutter buffers before it is flushed to the
+  /// pending-delta queue (GraphStreamingCC's gutter_factor idea at page
+  /// granularity). Larger gutters batch better; smaller gutters shorten
+  /// the window in which updates are invisible to Publish().
+  uint32_t gutter_capacity = 64;
+
+  /// Delta-chain length (pending PageDelta count) at which a page becomes
+  /// a compaction candidate. The compactor merges the chain into a
+  /// rebuilt page image; installs happen at safe points only.
+  uint32_t compact_threshold = 16;
+
+  /// Run the compactor on a background thread (rebuilds overlap query
+  /// execution; installs still wait for a safe point). Off = compact
+  /// inline at Publish() whenever a chain crosses compact_threshold --
+  /// deterministic, used by the bit-identity tests.
+  bool background_compaction = true;
+
+  Status Validate() const {
+    if (gutter_capacity == 0) {
+      return Status::InvalidArgument("ingest.gutter_capacity must be >= 1");
+    }
+    if (compact_threshold == 0) {
+      return Status::InvalidArgument("ingest.compact_threshold must be >= 1");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace ingest
+}  // namespace gts
+
+#endif  // GTS_INGEST_INGEST_OPTIONS_H_

@@ -1,0 +1,65 @@
+// gts::ingest update types: the unit of streaming graph change.
+//
+// The ingestion contract is GraphStreamingCC-style: the vertex set is
+// fixed at build time (ids in [0, num_vertices)); the *edge* multiset
+// changes under a concurrent stream of insertions and deletions. An
+// insertion appends the neighbor at the end of the source's adjacency
+// list (in applied order); a deletion removes the first occurrence of
+// the neighbor, or is counted and dropped when the edge does not exist.
+#ifndef GTS_INGEST_UPDATE_H_
+#define GTS_INGEST_UPDATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace gts {
+namespace ingest {
+
+/// One directed-edge update.
+struct EdgeUpdate {
+  VertexId src = 0;
+  VertexId dst = 0;
+  bool remove = false;  ///< false = insert, true = delete
+
+  static EdgeUpdate Insert(VertexId s, VertexId d) { return {s, d, false}; }
+  static EdgeUpdate Remove(VertexId s, VertexId d) { return {s, d, true}; }
+
+  friend bool operator==(const EdgeUpdate&, const EdgeUpdate&) = default;
+};
+
+/// A producer's batch of updates, appended atomically per update (the
+/// batch is a convenience grouping, not a transaction).
+using UpdateBatch = std::vector<EdgeUpdate>;
+
+/// Ingestion counters. Published cumulatively as `ingest.*` registry
+/// metrics and harvested per run into RunMetrics::ingest_* via
+/// EdgeStream::TakeRunStats().
+struct IngestStats {
+  uint64_t updates_applied = 0;   ///< inserts+deletes folded into chains
+  uint64_t updates_rejected = 0;  ///< inserts dropped: page capacity overflow
+  uint64_t deletes_dropped = 0;   ///< deletes of edges that do not exist
+  uint64_t gutter_flushes = 0;    ///< gutters handed to the pending queue
+  uint64_t deltas_flushed = 0;    ///< delta records persisted beside pages
+  uint64_t delta_bytes = 0;       ///< serialized bytes of those records
+  uint64_t compactions = 0;       ///< delta chains merged into rebuilt pages
+  uint64_t overlay_hits = 0;      ///< staged pages patched with live deltas
+
+  IngestStats& operator+=(const IngestStats& other) {
+    updates_applied += other.updates_applied;
+    updates_rejected += other.updates_rejected;
+    deletes_dropped += other.deletes_dropped;
+    gutter_flushes += other.gutter_flushes;
+    deltas_flushed += other.deltas_flushed;
+    delta_bytes += other.delta_bytes;
+    compactions += other.compactions;
+    overlay_hits += other.overlay_hits;
+    return *this;
+  }
+};
+
+}  // namespace ingest
+}  // namespace gts
+
+#endif  // GTS_INGEST_UPDATE_H_

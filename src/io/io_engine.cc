@@ -34,6 +34,7 @@ IoEngine::IoEngine(const PagedGraph* graph, PageStore* store,
     demand_metric_ = &registry->GetCounter("io.demand_fetches");
     eviction_metric_ = &registry->GetCounter("io.prefetch_evictions");
     spill_metric_ = &registry->GetCounter("io.spill_writes");
+    rewrite_metric_ = &registry->GetCounter("io.page_rewrites");
     depth_dist_ = &registry->GetDistribution("io.queue_depth");
   }
 }
@@ -92,12 +93,18 @@ Result<IoEngine::Parked> IoEngine::IssueOne(DeviceQueue* queue) {
                       queue->device_index()};
       wop.duration = issue.cost;
       wop.bytes = issue.request.length;
+      wop.page = pending_write_page_;
       wop.queue_wait = issue.queue_wait;
       wop.dep0 = pending_write_dep_;
       done.op = record_(wop);
     }
-    ++stats_.spill_writes;
-    if (spill_metric_ != nullptr) spill_metric_->Add();
+    if (pending_write_page_ == kInvalidPageId) {
+      ++stats_.spill_writes;
+      if (spill_metric_ != nullptr) spill_metric_->Add();
+    } else {
+      ++stats_.page_rewrites;
+      if (rewrite_metric_ != nullptr) rewrite_metric_->Add();
+    }
     return done;
   }
 
@@ -169,9 +176,34 @@ Result<gpu::OpIndex> IoEngine::Write(size_t device, uint64_t offset,
   // clock -- then the request queues behind whatever reads are pending
   // and the in-device scheduler prices it in its own turn.
   GTS_RETURN_IF_ERROR(store_->WriteDevice(device, offset, data, length));
+  return DrainWrite(device, offset, length, dep, kInvalidPageId);
+}
+
+Result<gpu::OpIndex> IoEngine::RewritePage(PageId pid, const uint8_t* data,
+                                           uint64_t length) {
+  if (pid >= graph_->num_pages()) {
+    return Status::InvalidArgument("page id out of range: " +
+                                   std::to_string(pid));
+  }
+  // New image lands now (and any stale MMBuf copy is dropped); the queue
+  // then prices the write like any other storage traffic. A prefetch of
+  // this page parked before the rewrite re-reads on Acquire -- its MMBuf
+  // entry is gone -- so no reader ever sees the old version.
+  GTS_RETURN_IF_ERROR(store_->RewritePage(pid, data, length));
+  const size_t device = store_->DeviceOfPage(pid);
+  const uint64_t offset =
+      static_cast<uint64_t>(pid / store_->num_devices()) *
+      graph_->config().page_size;
+  return DrainWrite(device, offset, length, gpu::kNoOp, pid);
+}
+
+Result<gpu::OpIndex> IoEngine::DrainWrite(size_t device, uint64_t offset,
+                                          uint64_t length, gpu::OpIndex dep,
+                                          PageId page) {
   DeviceQueue& queue = queues_[device];
   queue.SubmitWrite(offset, length);
   pending_write_dep_ = dep;
+  pending_write_page_ = page;
   // Drain until our write is serviced; reads issued on the way park for
   // their Acquire exactly as in the demand drain loop. At most one write
   // is ever queued, so the first invalid-pid completion is ours.
@@ -179,10 +211,12 @@ Result<gpu::OpIndex> IoEngine::Write(size_t device, uint64_t offset,
     auto done = IssueOne(&queue);
     if (!done.ok()) {
       pending_write_dep_ = gpu::kNoOp;
+      pending_write_page_ = kInvalidPageId;
       return done.status();
     }
     if (done->pid == kInvalidPageId) {
       pending_write_dep_ = gpu::kNoOp;
+      pending_write_page_ = kInvalidPageId;
       return done->op;
     }
     parked_.emplace(done->pid, *done);

@@ -63,6 +63,9 @@ struct IoStats {
   uint64_t prefetch_evictions = 0;
   /// WA spill / snapshot writes serviced through the device queues.
   uint64_t spill_writes = 0;
+  /// In-band base-page rewrites (ingest compaction installs) serviced
+  /// through the device queues.
+  uint64_t page_rewrites = 0;
 
   IoStats& operator+=(const IoStats& other) {
     submitted += other.submitted;
@@ -73,6 +76,7 @@ struct IoStats {
     demand_fetches += other.demand_fetches;
     prefetch_evictions += other.prefetch_evictions;
     spill_writes += other.spill_writes;
+    page_rewrites += other.page_rewrites;
     return *this;
   }
 };
@@ -121,6 +125,15 @@ class IoEngine {
                              const uint8_t* data, uint64_t length,
                              gpu::OpIndex dep = gpu::kNoOp);
 
+  /// Rewrites base page `pid` in place (ingest compaction install): the
+  /// new image lands in the store immediately (dropping any MMBuf copy so
+  /// later fetches read the new version) and the write drains through the
+  /// page's device queue as a priced kStorageWrite op that -- unlike a WA
+  /// spill -- carries the page id, so traces and the lint rules can tie
+  /// the install to the page's fetch lane.
+  Result<gpu::OpIndex> RewritePage(PageId pid, const uint8_t* data,
+                                   uint64_t length);
+
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats{}; }
 
@@ -144,6 +157,13 @@ class IoEngine {
 
   /// Tops every device queue up from its plan (counts backpressure).
   void PrimeAll();
+
+  /// Queues a write on `device` and drains that queue until it is
+  /// serviced, parking reads completed on the way. `page` tags the
+  /// recorded op (kInvalidPageId for WA spills, the pid for rewrites).
+  Result<gpu::OpIndex> DrainWrite(size_t device, uint64_t offset,
+                                  uint64_t length, gpu::OpIndex dep,
+                                  PageId page);
 
   /// Services one request from `queue`: stages the bytes into MMBuf,
   /// records the timeline op, updates counters.
@@ -173,12 +193,16 @@ class IoEngine {
   obs::Counter* demand_metric_ = nullptr;
   obs::Counter* eviction_metric_ = nullptr;
   obs::Counter* spill_metric_ = nullptr;
+  obs::Counter* rewrite_metric_ = nullptr;
   obs::Distribution* depth_dist_ = nullptr;
 
   /// Dependency for the write currently draining through Write() --
   /// IssueOne stamps it on the recorded kStorageWrite op. At most one
   /// write is in flight (Write drains its own request before returning).
   gpu::OpIndex pending_write_dep_ = gpu::kNoOp;
+  /// Page behind the draining write: set by RewritePage (stamped on the
+  /// recorded op), kInvalidPageId for WA spills.
+  PageId pending_write_page_ = kInvalidPageId;
 };
 
 }  // namespace io

@@ -149,6 +149,31 @@ Status PageStore::WriteDevice(size_t d, uint64_t offset, const uint8_t* data,
   return devices_[d]->Write(offset, data, len);
 }
 
+Status PageStore::RewritePage(PageId pid, const uint8_t* data, uint64_t len) {
+  if (!initialized_) {
+    return Status::FailedPrecondition("PageStore::Init not called");
+  }
+  if (pid >= graph_->num_pages()) {
+    return Status::InvalidArgument("page id out of range: " +
+                                   std::to_string(pid));
+  }
+  const uint64_t page_size = graph_->config().page_size;
+  if (len != page_size) {
+    return Status::InvalidArgument("page rewrite must cover a whole page");
+  }
+  const size_t d = DeviceOfPage(pid);
+  const uint64_t offset =
+      static_cast<uint64_t>(pid / devices_.size()) * page_size;
+  GTS_RETURN_IF_ERROR(devices_[d]->Write(offset, data, len));
+  auto it = buffer_.find(pid);
+  if (it != buffer_.end()) {
+    lru_.erase(it->second.lru_it);
+    buffer_.erase(it);
+    buffered_bytes_ -= page_size;
+  }
+  return Status::OK();
+}
+
 const uint8_t* PageStore::TouchResident(PageId pid) {
   auto it = buffer_.find(pid);
   if (it == buffer_.end()) return nullptr;

@@ -88,6 +88,12 @@ class PageStore {
   Status WriteDevice(size_t d, uint64_t offset, const uint8_t* data,
                      uint64_t len);
 
+  /// In-band rewrite of one base page (ingest compaction install): writes
+  /// `len` bytes over `pid`'s striped slot on its owning device and drops
+  /// any MMBuf copy, so the next fetch re-reads the new image. Only the
+  /// io engine's rewrite path may call this (it does the pricing).
+  Status RewritePage(PageId pid, const uint8_t* data, uint64_t len);
+
   size_t num_devices() const { return devices_.size(); }
   const StorageDevice& device(size_t i) const { return *devices_[i]; }
   uint64_t buffer_capacity() const { return buffer_capacity_; }

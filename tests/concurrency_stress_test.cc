@@ -27,6 +27,7 @@
 #include "gpu/stream.h"
 #include "graph/csr_graph.h"
 #include "graph/rmat_generator.h"
+#include "ingest/edge_stream.h"
 #include "storage/page_builder.h"
 
 namespace gts {
@@ -536,6 +537,124 @@ TEST(JobSchedulerStressTest, ConcurrentSubmittersShareOneEngine) {
                                 : expected[v];
       ASSERT_EQ(got[c][v], want) << "client " << c << " vertex " << v;
     }
+  }
+}
+
+// ------------------------------------------------------------ gts::ingest
+
+// Producer threads stream edge updates into the gutter banks while client
+// threads keep BFS jobs flowing through the scheduler (one pinning its
+// graph version against mid-run publishes) and the background compactor
+// rebuilds pages. Producers own disjoint vertex ranges and rewire
+// degree-neutrally, so the final edge set is deterministic no matter how
+// the interleaving lands; after QuiesceIngest a final BFS must match the
+// reference on the updated graph. Run under every GTS_SANITIZE mode
+// (tsan-ingest).
+TEST(IngestStressTest, ProducersVersusConcurrentJobs) {
+  RmatParams p;
+  p.scale = 10;
+  p.edge_factor = 8;
+  p.seed = 47;
+  EdgeList edges = std::move(GenerateRmat(p)).ValueOrDie();
+  CsrGraph csr = CsrGraph::FromEdgeList(edges);
+  PagedGraph paged =
+      std::move(BuildPagedGraph(csr, PageConfig::Small22())).ValueOrDie();
+  auto store = MakeInMemoryStore(&paged);
+  MachineConfig machine = MachineConfig::PaperScaled(1);
+  machine.device_memory = 32 * kMiB;
+
+  GtsOptions opts;
+  opts.max_concurrent_jobs = 2;
+  opts.use_stream_threads = true;
+  opts.dispatch.work_stealing = true;
+  opts.ingest.enabled = true;
+  opts.ingest.background_compaction = true;
+  GtsEngine engine(&paged, store.get(), machine, opts);
+  ingest::EdgeStream* stream = engine.edge_stream();
+  ASSERT_NE(stream, nullptr);
+
+  // Each producer rewires its own vertex slice: remove the smallest
+  // neighbor, insert a deterministic replacement. Degree-neutral, so no
+  // page can overflow and no update is ever rejected.
+  const VertexId n = csr.num_vertices();
+  constexpr int kProducers = 3;
+  auto replacement_for = [n](VertexId v) {
+    return static_cast<VertexId>((v * 2654435761u + 17) % n);
+  };
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int prod = 0; prod < kProducers; ++prod) {
+    producers.emplace_back([&, prod] {
+      const VertexId begin = n * prod / kProducers;
+      const VertexId end = n * (prod + 1) / kProducers;
+      ingest::UpdateBatch batch;
+      for (VertexId v = begin; v < end; ++v) {
+        if (csr.out_degree(v) == 0) continue;
+        batch.push_back(ingest::EdgeUpdate::Remove(v, csr.neighbors(v)[0]));
+        batch.push_back(ingest::EdgeUpdate::Insert(v, replacement_for(v)));
+        if (batch.size() >= 16) {
+          Status status = stream->Append(batch);
+          GTS_CHECK(status.ok()) << status.ToString();
+          batch.clear();
+        }
+      }
+      if (!batch.empty()) {
+        Status status = stream->Append(batch);
+        GTS_CHECK(status.ok()) << status.ToString();
+      }
+    });
+  }
+
+  // Clients keep traversals flowing through publish safe points while the
+  // producers churn. Mid-churn levels are some consistent snapshot's --
+  // only completion is asserted here; exactness is checked post-quiesce.
+  constexpr int kClients = 2;
+  constexpr int kRounds = 4;
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        BfsKernel kernel(n, /*source=*/static_cast<VertexId>(c));
+        JobOptions job;
+        job.source = static_cast<VertexId>(c);
+        job.pin_graph_version = (c == 0);
+        JobHandle handle = engine.scheduler().Submit(&kernel, job);
+        auto report = handle.Wait();
+        GTS_CHECK(report.ok()) << report.status().ToString();
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  for (auto& t : clients) t.join();
+
+  ASSERT_TRUE(engine.scheduler().QuiesceIngest().ok());
+  EXPECT_EQ(stream->SnapshotStats().updates_rejected, 0u);
+
+  // Replay the same rewiring on the edge list (delete = first matching
+  // occurrence, insert = append) and compare a full BFS.
+  std::vector<Edge>& updated = edges.edges();
+  for (VertexId v = 0; v < n; ++v) {
+    if (csr.out_degree(v) == 0) continue;
+    const Edge victim{v, csr.neighbors(v)[0]};
+    auto it = std::find(updated.begin(), updated.end(), victim);
+    ASSERT_NE(it, updated.end());
+    updated.erase(it);
+    updated.push_back({v, replacement_for(v)});
+  }
+  const CsrGraph updated_csr = CsrGraph::FromEdgeList(edges);
+  VertexId source = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    if (updated_csr.out_degree(v) > updated_csr.out_degree(source)) source = v;
+  }
+  auto bfs = RunBfsGts(engine, source);
+  ASSERT_TRUE(bfs.ok()) << bfs.status();
+  const auto expected = ReferenceBfs(updated_csr, source);
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t want = expected[v] == kUnreachedLevel
+                              ? BfsKernel::kUnvisited
+                              : expected[v];
+    ASSERT_EQ(bfs->levels[v], want) << "vertex " << v;
   }
 }
 

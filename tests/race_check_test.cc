@@ -388,6 +388,45 @@ TEST(ScheduleValidatorTest, PinLifetimeViolationsAreRejected) {
   EXPECT_EQ(r3.violations_detected, 0u);
 }
 
+/// I1: once a publish invalidates a cached page, a pin without a fresh
+/// insert reads the superseded image. The seeded negative is exactly the
+/// torn-page bug the ingest epoch protocol exists to prevent.
+TEST(ScheduleValidatorTest, PinAfterInvalidateIsRejected) {
+  using analysis::PinEvent;
+  ScheduleValidator validator;
+
+  std::vector<PinEvent> pin_after_invalidate = {
+      {PinEvent::Kind::kInserted, /*pid=*/7, /*seq=*/0},
+      {PinEvent::Kind::kPinned, 7, 1},
+      {PinEvent::Kind::kReleased, 7, 2},
+      {PinEvent::Kind::kInvalidated, 7, 3},
+      {PinEvent::Kind::kPinned, 7, 4}};
+  RaceReport r1;
+  validator.CheckPinEvents(pin_after_invalidate, &r1);
+  EXPECT_TRUE(HasRule(r1, "pin-after-invalidate"));
+
+  // Reinsert after the invalidation: pins are legal again.
+  std::vector<PinEvent> reinserted = {
+      {PinEvent::Kind::kInserted, 7, 0},
+      {PinEvent::Kind::kInvalidated, 7, 1},
+      {PinEvent::Kind::kInserted, 7, 2},
+      {PinEvent::Kind::kPinned, 7, 3},
+      {PinEvent::Kind::kReleased, 7, 4}};
+  RaceReport r2;
+  validator.CheckPinEvents(reinserted, &r2);
+  EXPECT_EQ(r2.violations_detected, 0u);
+
+  // Invalidation of one pid never poisons another.
+  std::vector<PinEvent> other_pid = {
+      {PinEvent::Kind::kInvalidated, 7, 0},
+      {PinEvent::Kind::kInserted, 8, 1},
+      {PinEvent::Kind::kPinned, 8, 2},
+      {PinEvent::Kind::kReleased, 8, 3}};
+  RaceReport r3;
+  validator.CheckPinEvents(other_pid, &r3);
+  EXPECT_EQ(r3.violations_detected, 0u);
+}
+
 TEST(ScheduleValidatorTest, IoCompletionBeforeIssueIsRejected) {
   using analysis::IoEvent;
   ScheduleValidator validator;

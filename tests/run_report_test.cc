@@ -41,6 +41,10 @@ RunMetrics MakeIncrement() {
   m.transfer_busy = 0.1;
   m.kernel_busy = 0.2;
   m.storage_busy = 0.05;
+  m.ingest_updates_applied = 9;
+  m.ingest_deltas_flushed = 5;
+  m.ingest_compactions = 2;
+  m.ingest_overlay_hits = 3;
   return m;
 }
 
@@ -67,6 +71,11 @@ TEST(RunMetricsAccumulateTest, SumsEveryAdditiveCounter) {
   EXPECT_DOUBLE_EQ(total.transfer_busy, 0.2);
   EXPECT_DOUBLE_EQ(total.kernel_busy, 0.4);
   EXPECT_DOUBLE_EQ(total.storage_busy, 0.1);
+  // Streaming-ingestion activity harvested at run boundaries.
+  EXPECT_EQ(total.ingest_updates_applied, 18u);
+  EXPECT_EQ(total.ingest_deltas_flushed, 10u);
+  EXPECT_EQ(total.ingest_compactions, 4u);
+  EXPECT_EQ(total.ingest_overlay_hits, 6u);
   // level_pages appends: the accumulated run keeps its frontier history.
   ASSERT_EQ(total.level_pages.size(), 4u);
   EXPECT_EQ(total.level_pages[2], (std::vector<PageId>{1, 2}));

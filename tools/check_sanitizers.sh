@@ -6,7 +6,7 @@
 # pure observer: the Figure 4 trace from the instrumented build must be
 # byte-identical to the trace from the plain (knob OFF) build.
 #
-# Usage: tools/check_sanitizers.sh [plain|tsan|tsan-steal|tsan-jobs|tsan-transfer|asan|race|all]
+# Usage: tools/check_sanitizers.sh [plain|tsan|tsan-steal|tsan-jobs|tsan-transfer|tsan-ingest|asan|race|all]
 #        (default: all)
 # Env:   JOBS=N        parallelism (default: nproc)
 #        BUILD_ROOT=d  where build trees go (default: <repo>/build-san)
@@ -114,6 +114,30 @@ run_tsan_transfer() {
   echo "==== [tsan-transfer] OK ===="
 }
 
+# Targeted ThreadSanitizer sweep of the streaming-ingestion subsystem
+# (gts::ingest): concurrent producers appending into the gutter banks,
+# the background compactor rebuilding pages off-lock while queries
+# stream, and producers racing concurrent jobs through the scheduler's
+# publish safe points. Focused enough to sit in tier 1 (see
+# tools/CMakeLists.txt check_tsan_ingest); shares the tsan build tree
+# with the other targeted sweeps, so combined runs cost one build.
+run_tsan_ingest() {
+  local build="$BUILD_ROOT/tsan"
+  echo "==== [tsan-ingest] configure (GTS_SANITIZE='thread') ===="
+  cmake -B "$build" -S "$ROOT" -DGTS_SANITIZE=thread \
+    -DGTS_RACE_CHECK=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==== [tsan-ingest] build ingest_test concurrency_stress_test ===="
+  cmake --build "$build" --target ingest_test concurrency_stress_test -j "$JOBS"
+  echo "==== [tsan-ingest] streaming ingestion under TSan ===="
+  (
+    export TSAN_OPTIONS="suppressions=$SUPP halt_on_error=1 second_deadlock_stack=1"
+    "$build/tests/ingest_test"
+    "$build/tests/concurrency_stress_test" --gtest_filter='IngestStressTest.*'
+  )
+  echo "==== [tsan-ingest] OK ===="
+}
+
 # GTS_RACE_CHECK=ON rebuild: runs the full tier-1 suite (including the
 # concurrency stress harness) with the happens-before detector compiled
 # in, then asserts the depth-1 FIFO Figure 4 trace is byte-identical to
@@ -142,6 +166,7 @@ case "$MODE" in
   tsan-steal) run_tsan_steal ;;
   tsan-jobs) run_tsan_jobs ;;
   tsan-transfer) run_tsan_transfer ;;
+  tsan-ingest) run_tsan_ingest ;;
   asan) run_config asan-ubsan "address;undefined" ;;
   race) run_race ;;
   all)
@@ -151,7 +176,7 @@ case "$MODE" in
     run_race
     ;;
   *)
-    echo "unknown mode '$MODE' (expected plain|tsan|tsan-steal|tsan-jobs|tsan-transfer|asan|race|all)" >&2
+    echo "unknown mode '$MODE' (expected plain|tsan|tsan-steal|tsan-jobs|tsan-transfer|tsan-ingest|asan|race|all)" >&2
     exit 2
     ;;
 esac

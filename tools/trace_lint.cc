@@ -31,8 +31,19 @@
 //      grouped by pid_base, a multiple of 100 by the benches'
 //      convention). Rules 6/7 then cover the rest of the contract: the
 //      serial copy engine and the dependent kernel's ordering.
+//   9. compaction-lane ordering: a storage "write" span that names a page
+//      in args is a gts::ingest compaction installing a rebuilt page
+//      image (WA spill/snapshot writes carry no page arg). It must be an
+//      X span on a storage lane (cat=="storage"), sit on the same
+//      (pid, tid) lane as that page's "fetch" spans within the run group
+//      (a page lives on exactly one storage device, so its reads and its
+//      rewrite serialize on one device lane), and must not start before
+//      the page's latest fetch in the group ended (the engine installs
+//      only at safe points, after in-flight reads of the old image have
+//      drained). A page never fetched in the group has nothing to order
+//      against.
 //
-// Rules 6-8 compare timestamps the exporter rounded to %.6f us, so they
+// Rules 6-9 compare timestamps the exporter rounded to %.6f us, so they
 // allow a slack of 1e-5 us for two roundings.
 //
 // Usage: trace_lint FILE.json
@@ -293,6 +304,8 @@ int LintTrace(const JsonValue& root) {
   std::map<std::pair<int, int>, double> copy_end;
   // Rule 8: (run group, page) -> end of the latest storage fetch span.
   std::map<std::pair<int, int>, double> fetch_end;
+  // Rule 9: (run group, page) -> (pid, tid) lane of the latest fetch.
+  std::map<std::pair<int, int>, std::pair<int, int>> fetch_lane;
   size_t data_events = 0;
   for (size_t i = 0; i < events->array.size(); ++i) {
     const JsonValue& event = events->array[i];
@@ -425,7 +438,44 @@ int LintTrace(const JsonValue& root) {
       const auto group_key = std::make_pair(
           static_cast<int>(pid) / 100, static_cast<int>(page->number));
       double& end = fetch_end[group_key];
-      if (ts + dur > end) end = ts + dur;
+      if (ts + dur > end) {
+        end = ts + dur;
+        fetch_lane[group_key] = lane;
+      }
+    }
+    // Rule 9: a paged storage "write" is a compaction install; it must
+    // share the page's storage-device lane and follow the page's reads.
+    if (name->str == "write" && page != nullptr &&
+        page->kind == JsonValue::Kind::kNumber) {
+      if (phase != 'X' || category != "storage") {
+        return Violation(
+            i, "paged write (compaction install) must be an X span on a "
+               "storage lane");
+      }
+      const auto group_key = std::make_pair(
+          static_cast<int>(pid) / 100, static_cast<int>(page->number));
+      auto lane_it = fetch_lane.find(group_key);
+      if (lane_it != fetch_lane.end()) {
+        if (lane_it->second != lane) {
+          return Violation(
+              i, "compaction write of page " +
+                     std::to_string(group_key.second) + " on lane pid=" +
+                     std::to_string(lane.first) + " tid=" +
+                     std::to_string(lane.second) +
+                     " but the page's fetches run on pid=" +
+                     std::to_string(lane_it->second.first) + " tid=" +
+                     std::to_string(lane_it->second.second));
+        }
+        auto end_it = fetch_end.find(group_key);
+        if (end_it != fetch_end.end() &&
+            ts + kRoundingSlackUs < end_it->second) {
+          return Violation(
+              i, "compaction write of page " +
+                     std::to_string(group_key.second) + " starts at " +
+                     std::to_string(ts) + " before the page's fetch ends at " +
+                     std::to_string(end_it->second));
+        }
+      }
     }
     if (name->str == "h2d-direct") {
       if (phase != 'X' || category != "copy") {
