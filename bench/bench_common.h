@@ -31,6 +31,10 @@
 #include "graph/graph_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+
+#if GTS_SYNC_CHECK_ENABLED
+#include "analysis/sync/lock_registry.h"
+#endif
 #include "storage/page_builder.h"
 #include "storage/page_store.h"
 
@@ -81,9 +85,21 @@ inline void InitBenchArgs(int argc, char** argv) {
 
 /// Writes the --trace_out / --metrics_out artifacts if requested. Benches
 /// that keep a timeline call this once at the end of Main().
-inline void WriteObsArtifacts(const obs::TraceExporter& trace,
+///
+/// GTS_SYNC_CHECK builds stamp the trace with sync.check metadata
+/// (trace_lint rule 10 rejects traces whose run accrued lock-order
+/// violations); knob-OFF builds add nothing, keeping their traces
+/// byte-identical to pre-sync-check ones.
+inline void WriteObsArtifacts(obs::TraceExporter& trace,
                               const obs::MetricsSnapshot& snapshot) {
   if (!Args().trace_out.empty()) {
+#if GTS_SYNC_CHECK_ENABLED
+    trace.AddRunMetadata("sync.check", "on");
+    trace.AddRunMetadata(
+        "sync.lock_order_violations",
+        std::to_string(
+            analysis::sync::LockRegistry::Global().violations_detected()));
+#endif
     const Status status = trace.WriteFile(Args().trace_out);
     GTS_CHECK(status.ok()) << status.ToString();
     std::printf("wrote trace: %s (%zu events)\n", Args().trace_out.c_str(),

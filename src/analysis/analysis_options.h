@@ -45,6 +45,9 @@ struct AnalysisOptions {
   bool fail_on_race = false;
   /// Turn schedule violations into a FailedPrecondition Run() error.
   bool fail_on_violation = false;
+  /// Turn lock-order violations (GTS_SYNC_CHECK builds; harvested from
+  /// the sync::LockRegistry at run finalization) into a Run() error.
+  bool fail_on_lock_violation = false;
   /// Cap on per-run *stored* diagnostics (races and violations each);
   /// the detected-counts keep counting past the cap.
   uint32_t max_reported = 64;

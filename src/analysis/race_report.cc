@@ -50,25 +50,42 @@ std::string ScheduleViolation::ToString() const {
   return os.str();
 }
 
+std::string LockOrderViolation::ToString() const {
+  std::ostringstream os;
+  os << "lock violation [" << rule << "] " << first_site << " -> "
+     << second_site << ": " << detail;
+  return os.str();
+}
+
 void RaceReport::Accumulate(const RaceReport& other) {
   race_check_ran |= other.race_check_ran;
   validator_ran |= other.validator_ran;
+  sync_check_ran |= other.sync_check_ran;
   wa_accesses += other.wa_accesses;
   races_detected += other.races_detected;
   schedule_checks += other.schedule_checks;
   violations_detected += other.violations_detected;
+  lock_acquisitions += other.lock_acquisitions;
+  lock_order_violations += other.lock_order_violations;
   races.insert(races.end(), other.races.begin(), other.races.end());
   violations.insert(violations.end(), other.violations.begin(),
                     other.violations.end());
+  lock_violations.insert(lock_violations.end(), other.lock_violations.begin(),
+                         other.lock_violations.end());
 }
 
 std::string RaceReport::ToString() const {
   std::ostringstream os;
   os << "analysis: " << races_detected << " race(s), " << violations_detected
-     << " schedule violation(s), " << wa_accesses << " instrumented accesses, "
-     << schedule_checks << " schedule checks\n";
+     << " schedule violation(s), " << lock_order_violations
+     << " lock-order violation(s), " << wa_accesses
+     << " instrumented accesses, " << schedule_checks << " schedule checks, "
+     << lock_acquisitions << " tracked acquisitions\n";
   for (const Race& r : races) os << "  " << r.ToString() << "\n";
   for (const ScheduleViolation& v : violations) {
+    os << "  " << v.ToString() << "\n";
+  }
+  for (const LockOrderViolation& v : lock_violations) {
     os << "  " << v.ToString() << "\n";
   }
   return os.str();

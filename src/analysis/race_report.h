@@ -71,21 +71,45 @@ struct ScheduleViolation {
   std::string ToString() const;
 };
 
+/// One finding from the sync::LockRegistry (GTS_SYNC_CHECK builds): a
+/// lock-order cycle, a lock-level inversion, a self-deadlock, a
+/// wait-while-holding, or a pin-across-safe-point. `first_site` and
+/// `second_site` name the two lock sites involved (for a cycle: the held
+/// site and the acquired site of the edge that closed it); `detail`
+/// carries both acquisition stacks' site names.
+struct LockOrderViolation {
+  std::string rule;  ///< "lock-order-cycle", "lock-level", "self-deadlock",
+                     ///< "wait-while-holding", "pin-across-safe-point"
+  std::string first_site;
+  std::string second_site;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
 /// Per-run analysis outcome. Counters are exact; the diagnostic vectors
 /// are capped at AnalysisOptions::max_reported entries each.
 struct RaceReport {
   bool race_check_ran = false;   ///< detector compiled in and enabled
   bool validator_ran = false;
+  bool sync_check_ran = false;   ///< sync wrappers compiled in (this run
+                                 ///< harvested the LockRegistry)
 
   uint64_t wa_accesses = 0;      ///< instrumented accesses observed
   uint64_t races_detected = 0;   ///< conflicts found (>= races.size())
   uint64_t schedule_checks = 0;  ///< validator rule evaluations
   uint64_t violations_detected = 0;
+  uint64_t lock_acquisitions = 0;  ///< tracked sync::Mutex acquisitions
+  uint64_t lock_order_violations = 0;  ///< >= lock_violations.size()
 
   std::vector<Race> races;
   std::vector<ScheduleViolation> violations;
+  std::vector<LockOrderViolation> lock_violations;
 
-  bool clean() const { return races_detected == 0 && violations_detected == 0; }
+  bool clean() const {
+    return races_detected == 0 && violations_detected == 0 &&
+           lock_order_violations == 0;
+  }
 
   /// Folds another pass's report into this one (counters sum, flags OR,
   /// diagnostics append; callers cap presentation, not storage).

@@ -1,0 +1,348 @@
+#include "analysis/sync/lock_registry.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace gts {
+namespace analysis {
+namespace sync {
+
+namespace {
+
+/// GTS_SYNC_STRICT=1 aborts on the first novel violation (the check_sync
+/// sweep's enforcement mode). Read once: the sweep sets it per-process.
+bool StrictMode() {
+  static const bool strict = [] {
+    const char* env = std::getenv("GTS_SYNC_STRICT");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return strict;
+}
+
+/// ScopedExpectViolations nesting depth (seeded-negative tests).
+std::atomic<int> g_expect_violations{0};
+
+std::string ThreadName() {
+  std::ostringstream os;
+  os << std::this_thread::get_id();
+  return os.str();
+}
+
+#if GTS_SYNC_CHECK_ENABLED
+/// One tracked hold: reentrant self-deadlocks degrade to depth counts so
+/// the checked build reports instead of hanging.
+struct Held {
+  Mutex* m = nullptr;
+  uint32_t depth = 0;
+};
+
+thread_local std::vector<Held> tls_held;
+#endif  // GTS_SYNC_CHECK_ENABLED
+
+}  // namespace
+
+LockRegistry& LockRegistry::Global() {
+  static LockRegistry* registry = new LockRegistry();
+  return *registry;
+}
+
+void LockRegistry::RecordViolationLocked(LockOrderViolation v) {
+  ++violations_total_;
+  const std::string key = v.rule + "|" + v.first_site + "|" + v.second_site;
+  if (!reported_.insert(key).second) return;  // novel findings only
+  if (StrictMode() && g_expect_violations.load(std::memory_order_acquire) == 0) {
+    std::fprintf(stderr, "GTS_SYNC_STRICT: %s\n", v.ToString().c_str());
+    std::abort();
+  }
+  pending_.push_back(std::move(v));
+}
+
+#if GTS_SYNC_CHECK_ENABLED
+
+std::string LockRegistry::HeldStackString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < tls_held.size(); ++i) {
+    if (i > 0) out += " ";
+    out += tls_held[i].m->name();
+  }
+  out += "]";
+  return out;
+}
+
+int LockRegistry::SiteIdLocked(const char* name, int level) {
+  auto it = site_ids_.find(name);
+  if (it != site_ids_.end()) {
+    const int id = it->second;
+    if (level != level::kUnordered && site_levels_[id] != level::kUnordered &&
+        site_levels_[id] != level) {
+      LockOrderViolation v;
+      v.rule = "lock-level-mismatch";
+      v.first_site = name;
+      v.second_site = name;
+      v.detail = "site registered with two distinct levels (" +
+                 std::to_string(site_levels_[id]) + " vs " +
+                 std::to_string(level) + ")";
+      RecordViolationLocked(std::move(v));
+    }
+    if (site_levels_[id] == level::kUnordered) site_levels_[id] = level;
+    return id;
+  }
+  const int id = static_cast<int>(site_names_.size());
+  site_ids_.emplace(name, id);
+  site_names_.emplace_back(name);
+  site_levels_.push_back(level);
+  adj_.emplace_back();
+  return id;
+}
+
+bool LockRegistry::PathExistsLocked(int from, int to,
+                                    std::vector<int>* path) const {
+  // Iterative DFS with parent links so the cycle report can name the
+  // path's sites. Graphs here are tiny (one node per lock site).
+  std::vector<int> parent(site_names_.size(), -1);
+  std::vector<int> stack{from};
+  std::vector<bool> seen(site_names_.size(), false);
+  seen[static_cast<size_t>(from)] = true;
+  while (!stack.empty()) {
+    const int at = stack.back();
+    stack.pop_back();
+    if (at == to) {
+      if (path != nullptr) {
+        for (int n = to; n != -1; n = parent[static_cast<size_t>(n)]) {
+          path->push_back(n);
+        }
+        // parent chain runs to -> ... -> from; flip to from -> ... -> to.
+        for (size_t i = 0, j = path->size() - 1; i < j; ++i, --j) {
+          std::swap((*path)[i], (*path)[j]);
+        }
+      }
+      return true;
+    }
+    for (const Edge& e : adj_[static_cast<size_t>(at)]) {
+      if (seen[static_cast<size_t>(e.to)]) continue;
+      seen[static_cast<size_t>(e.to)] = true;
+      parent[static_cast<size_t>(e.to)] = at;
+      stack.push_back(e.to);
+    }
+  }
+  return false;
+}
+
+bool LockRegistry::OnLockAttempt(Mutex* m) {
+  for (Held& h : tls_held) {
+    if (h.m != m) continue;
+    ++h.depth;
+    std::lock_guard<std::mutex> lock(mu_);
+    LockOrderViolation v;
+    v.rule = "self-deadlock";
+    v.first_site = m->name();
+    v.second_site = m->name();
+    v.detail = "thread " + ThreadName() + " relocked '" + m->name() +
+               "' it already holds (stack " + HeldStackString() +
+               "); degraded to reentrant depth " + std::to_string(h.depth);
+    RecordViolationLocked(std::move(v));
+    return true;
+  }
+  return false;
+}
+
+void LockRegistry::OnLocked(Mutex* m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++acquisitions_;
+  const int to = SiteIdLocked(m->name(), m->lock_level());
+  if (!tls_held.empty()) {
+    const int to_level = site_levels_[static_cast<size_t>(to)];
+    for (const Held& h : tls_held) {
+      const int from = SiteIdLocked(h.m->name(), h.m->lock_level());
+      if (from == to) continue;  // another instance of the same site
+      const int from_level = site_levels_[static_cast<size_t>(from)];
+      if (to_level != level::kUnordered && from_level != level::kUnordered &&
+          to_level <= from_level) {
+        LockOrderViolation v;
+        v.rule = "lock-level";
+        v.first_site = h.m->name();
+        v.second_site = m->name();
+        v.detail = "acquired '" + std::string(m->name()) + "' (level " +
+                   std::to_string(to_level) + ") while holding '" +
+                   h.m->name() + "' (level " + std::to_string(from_level) +
+                   "); declared order requires strictly increasing levels "
+                   "(stack " +
+                   HeldStackString() + ", thread " + ThreadName() + ")";
+        RecordViolationLocked(std::move(v));
+      }
+      const uint64_t key =
+          (static_cast<uint64_t>(from) << 32) | static_cast<uint32_t>(to);
+      if (!edge_keys_.insert(key).second) continue;
+      // New order edge from -> to: a pre-existing path to -> ... -> from
+      // closes a cycle. Check before inserting so the reported reverse
+      // path never includes the new edge itself.
+      std::vector<int> path;
+      if (PathExistsLocked(to, from, &path)) {
+        const Edge* reverse = nullptr;
+        for (const Edge& e : adj_[static_cast<size_t>(to)]) {
+          if (path.size() > 1 && e.to == path[1]) {
+            reverse = &e;
+            break;
+          }
+        }
+        std::string cycle;
+        for (int n : path) {
+          cycle += site_names_[static_cast<size_t>(n)] + " -> ";
+        }
+        cycle += site_names_[static_cast<size_t>(to)];
+        LockOrderViolation v;
+        v.rule = "lock-order-cycle";
+        v.first_site = h.m->name();
+        v.second_site = m->name();
+        v.detail = "acquiring '" + std::string(m->name()) +
+                   "' while holding stack " + HeldStackString() +
+                   " (thread " + ThreadName() + ") closes the cycle " +
+                   cycle;
+        if (reverse != nullptr) {
+          v.detail += "; the reverse order was first seen holding " +
+                      reverse->holder_stack + " (thread " +
+                      reverse->thread_name + ")";
+        }
+        RecordViolationLocked(std::move(v));
+      }
+      Edge e;
+      e.to = to;
+      e.holder_stack = HeldStackString();
+      e.thread_name = ThreadName();
+      adj_[static_cast<size_t>(from)].push_back(std::move(e));
+      ++edges_;
+    }
+  }
+  tls_held.push_back(Held{m, 0});
+}
+
+bool LockRegistry::OnUnlock(Mutex* m) {
+  for (size_t i = tls_held.size(); i > 0; --i) {
+    Held& h = tls_held[i - 1];
+    if (h.m != m) continue;
+    if (h.depth > 0) {
+      --h.depth;
+      return true;  // reentrant degrade: the real mutex stays locked
+    }
+    tls_held.erase(tls_held.begin() + static_cast<long>(i - 1));
+    return false;
+  }
+  // Unlock of a mutex this thread never tracked (should not happen with
+  // RAII holders); let the underlying unlock proceed.
+  return false;
+}
+
+void LockRegistry::OnWait(Mutex* m) {
+  for (const Held& h : tls_held) {
+    if (h.m == m) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    LockOrderViolation v;
+    v.rule = "wait-while-holding";
+    v.first_site = h.m->name();
+    v.second_site = m->name();
+    v.detail = "CondVar::wait on '" + std::string(m->name()) +
+               "' while still holding '" + h.m->name() + "' (stack " +
+               HeldStackString() + ", thread " + ThreadName() +
+               "): the held lock cannot be released by the wakeup path";
+    RecordViolationLocked(std::move(v));
+    return;  // one finding per wait is enough
+  }
+}
+
+// ---- sync.h hook trampolines -------------------------------------------
+
+namespace detail {
+bool RegistryOnLockAttempt(Mutex* m) {
+  return LockRegistry::Global().OnLockAttempt(m);
+}
+void RegistryOnLocked(Mutex* m) { LockRegistry::Global().OnLocked(m); }
+bool RegistryOnUnlock(Mutex* m) {
+  return LockRegistry::Global().OnUnlock(m);
+}
+void RegistryOnWait(Mutex* m) { LockRegistry::Global().OnWait(m); }
+}  // namespace detail
+
+#endif  // GTS_SYNC_CHECK_ENABLED
+
+std::thread::id LockRegistry::NotePinAcquired() {
+  const std::thread::id tid = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pins_[tid];
+  return tid;
+}
+
+void LockRegistry::NotePinReleased(std::thread::id owner) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(owner);
+  if (it == pins_.end()) return;
+  if (--it->second == 0) pins_.erase(it);
+}
+
+void LockRegistry::NoteSafePoint(const char* what) {
+  const std::thread::id tid = std::this_thread::get_id();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pins_.find(tid);
+  if (it == pins_.end() || it->second == 0) return;
+  LockOrderViolation v;
+  v.rule = "pin-across-safe-point";
+  v.first_site = "cache.pin";
+  v.second_site = what;
+  v.detail = "thread " + ThreadName() + " reached safe point '" + what +
+             "' still holding " + std::to_string(it->second) +
+             " page-cache pin(s): published page versions could invalidate "
+             "bytes the pin is reading";
+  RecordViolationLocked(std::move(v));
+}
+
+LockRegistry::Drain LockRegistry::TakeViolations() {
+  std::lock_guard<std::mutex> lock(mu_);
+  Drain drain;
+  drain.violations = std::move(pending_);
+  pending_.clear();
+  drain.violations_detected = violations_total_ - violations_drained_;
+  drain.acquisitions = acquisitions_ - acquisitions_drained_;
+  violations_drained_ = violations_total_;
+  acquisitions_drained_ = acquisitions_;
+  return drain;
+}
+
+LockRegistry::Stats LockRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.acquisitions = acquisitions_;
+  s.sites = site_names_.size();
+  s.edges = edges_;
+  s.violations_detected = violations_total_;
+  return s;
+}
+
+uint64_t LockRegistry::violations_detected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return violations_total_;
+}
+
+void LockRegistry::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  site_ids_.clear();
+  site_names_.clear();
+  site_levels_.clear();
+  adj_.clear();
+  edge_keys_.clear();
+  reported_.clear();
+  pending_.clear();
+  pins_.clear();
+}
+
+ScopedExpectViolations::ScopedExpectViolations() {
+  g_expect_violations.fetch_add(1, std::memory_order_acq_rel);
+}
+
+ScopedExpectViolations::~ScopedExpectViolations() {
+  g_expect_violations.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+}  // namespace sync
+}  // namespace analysis
+}  // namespace gts

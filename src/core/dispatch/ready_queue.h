@@ -31,10 +31,10 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "analysis/event_log.h"
+#include "analysis/sync/sync.h"
 #include "graph/types.h"
 #include "obs/metrics.h"
 
@@ -92,7 +92,7 @@ class ReadyQueue {
   /// the audit order). Returns the item id.
   uint64_t Push(PageId pid, int home_gpu, int home_stream, int kind,
                 bool gpu_bound) {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     WorkItem item;
     item.pid = pid;
     item.home_gpu = home_gpu;
@@ -118,9 +118,9 @@ class ReadyQueue {
   /// to the front; -1 is plain FIFO. `skipped_front` (may be null)
   /// reports whether a preference bypassed a mismatched front item --
   /// the sticky policy's switches_avoided signal.
-  bool TryPop(int gpu, int stream, int prefer_kind, int claimer_key,
+  [[nodiscard]] bool TryPop(int gpu, int stream, int prefer_kind, int claimer_key,
               WorkItem* out, bool* skipped_front = nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     if (skipped_front != nullptr) *skipped_front = false;
     auto& dq = deques_[Slot(gpu, stream)];
     if (dq.empty()) return false;
@@ -150,10 +150,10 @@ class ReadyQueue {
   /// one kernel kind when possible. Each item is logged/metered
   /// individually, so the R9 claim-unique audit is unchanged.
   /// `max_items == 1` is behaviorally identical to TryPop.
-  bool TryPopBatch(int gpu, int stream, int prefer_kind, int claimer_key,
+  [[nodiscard]] bool TryPopBatch(int gpu, int stream, int prefer_kind, int claimer_key,
                    uint32_t max_items, std::vector<WorkItem>* out,
                    bool* skipped_front = nullptr) {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     if (skipped_front != nullptr) *skipped_front = false;
     auto& dq = deques_[Slot(gpu, stream)];
     if (dq.empty()) return false;
@@ -199,9 +199,9 @@ class ReadyQueue {
   /// `stream + 1` and taking from the back (leave the victim its front,
   /// the classic deque discipline). `prefer_kind >= 0` first scans for a
   /// kind match across all siblings, then takes anything.
-  bool TrySteal(int gpu, int stream, int prefer_kind, int claimer_key,
+  [[nodiscard]] bool TrySteal(int gpu, int stream, int prefer_kind, int claimer_key,
                 WorkItem* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     if (prefer_kind >= 0 &&
         StealScan(gpu, stream, prefer_kind, claimer_key, out)) {
       return true;
@@ -211,8 +211,8 @@ class ReadyQueue {
 
   /// Steals a non-gpu_bound item from another GPU's deques (valid only
   /// when the caller knows WA is replicated, i.e. Strategy-P).
-  bool TryStealCross(int gpu, int claimer_key, WorkItem* out) {
-    std::lock_guard<std::mutex> lock(mu_);
+  [[nodiscard]] bool TryStealCross(int gpu, int claimer_key, WorkItem* out) {
+    analysis::sync::Lock lock(mu_);
     for (int dg = 1; dg < num_gpus_; ++dg) {
       const int g = (gpu + dg) % num_gpus_;
       for (int s = 0; s < num_streams_; ++s) {
@@ -231,25 +231,25 @@ class ReadyQueue {
   }
 
   bool Empty() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     return size_ == 0;
   }
 
   /// Successful steals (same-GPU and cross-GPU) so far.
   uint64_t steals() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     return steals_;
   }
 
   /// Cross-GPU subset of steals().
   uint64_t cross_steals() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     return cross_steals_;
   }
 
   /// The id the next Push would get: carry into the next pass's queue.
   uint64_t next_id() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     return next_id_;
   }
 
@@ -259,7 +259,7 @@ class ReadyQueue {
   }
 
   bool StealScan(int gpu, int stream, int want_kind, int claimer_key,
-                 WorkItem* out) {
+                 WorkItem* out) GTS_REQUIRES(mu_) {
     for (int ds = 1; ds < num_streams_; ++ds) {
       const int s = (stream + ds) % num_streams_;
       auto& dq = deques_[Slot(gpu, s)];
@@ -275,7 +275,8 @@ class ReadyQueue {
     return false;
   }
 
-  void Claimed(const WorkItem& item, int claimer_key, bool cross_gpu) {
+  void Claimed(const WorkItem& item, int claimer_key, bool cross_gpu)
+      GTS_REQUIRES(mu_) {
     --size_;
     if (item.stolen) ++steals_;
     if (cross_gpu) ++cross_steals_;
@@ -299,12 +300,13 @@ class ReadyQueue {
 
   const int num_gpus_;
   const int num_streams_;
-  mutable std::mutex mu_;
-  std::vector<std::deque<WorkItem>> deques_;
-  size_t size_ = 0;
-  uint64_t next_id_;
-  uint64_t steals_ = 0;
-  uint64_t cross_steals_ = 0;
+  mutable analysis::sync::Mutex mu_{"dispatch.ready_queue",
+                                    analysis::sync::level::kReadyQueue};
+  std::vector<std::deque<WorkItem>> deques_ GTS_GUARDED_BY(mu_);
+  size_t size_ GTS_GUARDED_BY(mu_) = 0;
+  uint64_t next_id_ GTS_GUARDED_BY(mu_);
+  uint64_t steals_ GTS_GUARDED_BY(mu_) = 0;
+  uint64_t cross_steals_ GTS_GUARDED_BY(mu_) = 0;
   analysis::DispatchEventLog* log_ = nullptr;
   obs::Distribution* queue_wait_metric_ = nullptr;
   obs::Counter* steals_metric_ = nullptr;

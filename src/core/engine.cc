@@ -1,6 +1,7 @@
 #include "core/engine.h"
 
 #include <algorithm>
+#include <mutex>
 #include <cstring>
 #include <string>
 #include <unordered_map>
@@ -13,6 +14,10 @@
 #include "core/job/job_exec.h"
 #include "core/job/job_scheduler.h"
 #include "obs/prof.h"
+
+#if GTS_SYNC_CHECK_ENABLED
+#include "analysis/sync/lock_registry.h"
+#endif
 
 namespace gts {
 
@@ -313,6 +318,12 @@ void GtsEngine::BuildDegreeTable() {
 
 void GtsEngine::PublishIngest() {
   if (ingest_ == nullptr) return;
+#if GTS_SYNC_CHECK_ENABLED
+  // A page pin held across the publish could observe a torn page after
+  // the cache invalidation below; the registry flags any still held by
+  // this thread.
+  analysis::sync::LockRegistry::Global().NoteSafePoint("ingest-publish");
+#endif
   const std::vector<PageId> changed = ingest_->Publish();
   if (changed.empty()) return;
   // Every cached copy of a changed page is one (or more) published
@@ -440,15 +451,15 @@ bool GtsEngine::AssignToCpu(PageId pid) const {
 }
 
 gpu::OpIndex GtsEngine::RecordOp(gpu::TimelineOp op) {
-  std::lock_guard<std::mutex> lock(record_mu_);
+  analysis::sync::Lock lock(record_mu_);
   return recorder_.Add(op);
 }
 
 void GtsEngine::PatchKernelDuration(gpu::OpIndex idx, SimTime duration) {
-  std::lock_guard<std::mutex> lock(record_mu_);
+  analysis::sync::Lock lock(record_mu_);
   // Safe: Add() only appends, and idx was returned by a previous Add.
   // Adds on top of any switch overhead recorded at issue time.
-  const_cast<gpu::TimelineOp&>(recorder_.ops()[idx]).duration += duration;
+  recorder_.op(idx).duration += duration;
 }
 
 Status GtsEngine::ProcessPageOnCpu(GtsKernel* kernel, PageId pid,
@@ -602,7 +613,7 @@ void GtsEngine::DownloadWa(GtsKernel* kernel) {
 
   // WA sync happens after the whole pass completes (Step 3/4, Figure 5).
   {
-    std::lock_guard<std::mutex> lock(record_mu_);
+    analysis::sync::Lock lock(record_mu_);
     recorder_.AddBarrier(0.0);
   }
 #if GTS_RACE_CHECK_ENABLED
@@ -907,7 +918,8 @@ Status GtsEngine::StreamPageToGpu(GtsKernel* kernel, PageId pid, int g,
   // MMBuf bytes another worker is mid-copy on, and the recorded op order
   // must be internally consistent per stream. Released before the kernel
   // executes -- that part is the parallelism.
-  std::unique_lock<std::mutex> host_phase(dispatch_mu_, std::defer_lock);
+  analysis::sync::UniqueLock host_phase(dispatch_mu_,
+                                      analysis::sync::UniqueLock::kDefer);
   if (pull) host_phase.lock();
 
   // Host-side routing against cachedPIDMap (Algorithm 1 line 16). A
@@ -1181,7 +1193,7 @@ Result<RunMetrics> GtsEngine::RunDirect(GtsKernel* kernel, VertexId source,
   }
 
   {
-    std::lock_guard<std::mutex> lock(record_mu_);
+    analysis::sync::Lock lock(record_mu_);
     recorder_.Clear();
   }
   store_->ResetStats();
@@ -1215,7 +1227,7 @@ Result<RunMetrics> GtsEngine::RunDirect(GtsKernel* kernel, VertexId source,
     SynchronizeStreams();
     if (run_status.ok()) {
       DownloadWa(kernel);
-      std::lock_guard<std::mutex> lock(record_mu_);
+      analysis::sync::Lock lock(record_mu_);
       recorder_.AddBarrier(tm.sync_overhead * machine_.num_gpus);
       metrics.levels = 1;
     }
@@ -1422,7 +1434,7 @@ Result<RunMetrics> GtsEngine::RunDirect(GtsKernel* kernel, VertexId source,
       merge.duration = tm.host_merge_overhead;
       RecordOp(merge);
       {
-        std::lock_guard<std::mutex> lock(record_mu_);
+        analysis::sync::Lock lock(record_mu_);
         recorder_.AddBarrier(tm.sync_overhead);
       }
 #if GTS_RACE_CHECK_ENABLED
@@ -1471,7 +1483,7 @@ Result<RunMetrics> GtsEngine::RunPassDirect(GtsKernel* kernel,
     return setup;
   }
   {
-    std::lock_guard<std::mutex> lock(record_mu_);
+    analysis::sync::Lock lock(record_mu_);
     recorder_.Clear();
   }
   store_->ResetStats();
@@ -1515,7 +1527,7 @@ Result<RunMetrics> GtsEngine::RunPassDirect(GtsKernel* kernel,
   }
   DownloadWa(kernel);
   {
-    std::lock_guard<std::mutex> lock(record_mu_);
+    analysis::sync::Lock lock(record_mu_);
     recorder_.AddBarrier(machine_.time_model.sync_overhead *
                          machine_.num_gpus);
   }
@@ -1553,7 +1565,7 @@ Status GtsEngine::FinalizeRun(RunMetrics* metrics) {
 
   std::vector<gpu::TimelineOp> ops;
   {
-    std::lock_guard<std::mutex> lock(record_mu_);
+    analysis::sync::Lock lock(record_mu_);
     ops = recorder_.TakeOps();
   }
   gpu::ScheduleResult schedule =
@@ -1590,6 +1602,27 @@ Status GtsEngine::FinalizeRun(RunMetrics* metrics) {
       .Add(report.schedule_checks);
   registry_->GetCounter("analysis.schedule_violations")
       .Add(report.violations_detected);
+#if GTS_SYNC_CHECK_ENABLED
+  {
+    // Lock-order findings accrued since the previous harvest (the
+    // registry is process-global; per-run attribution is by drain
+    // window, same as TakeRunStats above).
+    auto drain = analysis::sync::LockRegistry::Global().TakeViolations();
+    report.sync_check_ran = true;
+    report.lock_acquisitions += drain.acquisitions;
+    report.lock_order_violations += drain.violations_detected;
+    for (auto& v : drain.violations) {
+      if (report.lock_violations.size() <
+          options_.analysis.max_reported) {
+        report.lock_violations.push_back(std::move(v));
+      }
+    }
+    registry_->GetCounter("analysis.lock_acquisitions")
+        .Add(drain.acquisitions);
+    registry_->GetCounter("analysis.lock_order_violations")
+        .Add(drain.violations_detected);
+  }
+#endif
 
   if (options_.keep_timeline) metrics->timeline = std::move(schedule);
 
@@ -1602,6 +1635,11 @@ Status GtsEngine::FinalizeRun(RunMetrics* metrics) {
   }
   if (options_.analysis.fail_on_race && report.races_detected > 0) {
     return Status::Internal("logical races detected:\n" + report.ToString());
+  }
+  if (options_.analysis.fail_on_lock_violation &&
+      report.lock_order_violations > 0) {
+    return Status::Internal("lock-order violations detected:\n" +
+                            report.ToString());
   }
   return Status::OK();
 }
@@ -1731,7 +1769,7 @@ void GtsEngine::DownloadWaJob(JobExec* job) {
   // Barrier-ordered like the legacy DownloadWa: the job's final WA state
   // exists only after every in-flight kernel of the pass retired.
   {
-    std::lock_guard<std::mutex> lock(record_mu_);
+    analysis::sync::Lock lock(record_mu_);
     recorder_.AddBarrier(0.0);
   }
 
@@ -1803,7 +1841,7 @@ void GtsEngine::FinishJobInEpoch(JobExec* job) {
     if (job->traversal()) {
       job->metrics.levels = job->level;
     } else {
-      std::lock_guard<std::mutex> lock(record_mu_);
+      analysis::sync::Lock lock(record_mu_);
       recorder_.AddBarrier(machine_.time_model.sync_overhead *
                            machine_.num_gpus);
       job->metrics.levels = 1;
@@ -1924,7 +1962,8 @@ Status GtsEngine::StreamPageToGpuBatch(PageId pid, int g, int s,
   GpuState& gpu = *gpus_[g];
   const int stream_key = StreamKey(g, s);
 
-  std::unique_lock<std::mutex> host_phase(dispatch_mu_, std::defer_lock);
+  analysis::sync::UniqueLock host_phase(dispatch_mu_,
+                                      analysis::sync::UniqueLock::kDefer);
   if (pull) host_phase.lock();
 
   PageCache::Pin pin =
@@ -2201,7 +2240,7 @@ Status GtsEngine::RunJobBatch(const std::vector<JobExec*>& jobs) {
 
   // Epoch-start clears (one epoch = one schedule, like one legacy run).
   {
-    std::lock_guard<std::mutex> lock(record_mu_);
+    analysis::sync::Lock lock(record_mu_);
     recorder_.Clear();
   }
   store_->ResetStats();
@@ -2460,7 +2499,7 @@ Status GtsEngine::RunJobBatch(const std::vector<JobExec*>& jobs) {
       merge.duration = tm.host_merge_overhead;
       RecordOp(merge);
       {
-        std::lock_guard<std::mutex> lock(record_mu_);
+        analysis::sync::Lock lock(record_mu_);
         recorder_.AddBarrier(tm.sync_overhead);
       }
       for (JobExec* job : running) {
@@ -2477,7 +2516,7 @@ void GtsEngine::FinalizeBatchEpoch(const std::vector<JobExec*>& jobs) {
   GTS_PROF_SCOPE("engine.finalize_run");
   std::vector<gpu::TimelineOp> ops;
   {
-    std::lock_guard<std::mutex> lock(record_mu_);
+    analysis::sync::Lock lock(record_mu_);
     ops = recorder_.TakeOps();
   }
   gpu::ScheduleResult schedule =

@@ -18,11 +18,11 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/analysis_options.h"
+#include "analysis/sync/sync.h"
 #include "analysis/event_log.h"
 #include "analysis/schedule_validator.h"
 #include "common/status.h"
@@ -418,8 +418,11 @@ class GtsEngine {
   uint32_t max_slots_per_page_ = 0;
 
   // Schedule recording (guarded: stream threads patch kernel durations).
-  std::mutex record_mu_;
-  gpu::ScheduleRecorder recorder_;
+  // Leaf lock: nothing is acquired while holding it, hence the highest
+  // level in the declared order.
+  analysis::sync::Mutex record_mu_{"engine.record",
+                                   analysis::sync::level::kRecord};
+  gpu::ScheduleRecorder recorder_ GTS_GUARDED_BY(record_mu_);
   gpu::OpIndex RecordOp(gpu::TimelineOp op);
   void PatchKernelDuration(gpu::OpIndex idx, SimTime duration);
 
@@ -443,7 +446,10 @@ class GtsEngine {
   /// bytes another worker is copying), op recording order, and
   /// RunMetrics bumps. Kernel execution and ready-queue claims run
   /// outside it -- that concurrency is the point of pull dispatch.
-  std::mutex dispatch_mu_;
+  /// Ordered just above job.scheduler: a worker holding it may acquire
+  /// the io, cache, and record locks, never the scheduler's.
+  analysis::sync::Mutex dispatch_mu_{"engine.dispatch",
+                                     analysis::sync::level::kEngineDispatch};
 #if GTS_RACE_CHECK_ENABLED
   std::unique_ptr<analysis::RaceDetector> race_;
 #endif

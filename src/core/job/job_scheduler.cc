@@ -26,7 +26,7 @@ uint64_t JobHandle::id() const { return rec_ != nullptr ? rec_->id : 0; }
 
 JobState JobHandle::state() const {
   if (rec_ == nullptr) return JobState::kDone;
-  std::lock_guard<std::mutex> lock(rec_->scheduler->mu_);
+  analysis::sync::Lock lock(rec_->scheduler->mu_);
   return rec_->state;
 }
 
@@ -35,7 +35,7 @@ Result<RunReport> JobHandle::Wait() {
     return Status::InvalidArgument("Wait() on an invalid JobHandle");
   }
   rec_->scheduler->DriveUntilDone(rec_);
-  std::lock_guard<std::mutex> lock(rec_->scheduler->mu_);
+  analysis::sync::Lock lock(rec_->scheduler->mu_);
   if (!rec_->status.ok()) return rec_->status;
   return rec_->report;
 }
@@ -43,7 +43,7 @@ Result<RunReport> JobHandle::Wait() {
 bool JobHandle::Cancel() {
   if (rec_ == nullptr) return false;
   JobScheduler* sched = rec_->scheduler;
-  std::lock_guard<std::mutex> lock(sched->mu_);
+  analysis::sync::Lock lock(sched->mu_);
   if (rec_->state == JobState::kDone) return false;
   rec_->exec->cancel.store(true, std::memory_order_relaxed);
   if (rec_->state == JobState::kQueued) {
@@ -64,7 +64,7 @@ std::optional<Result<RunReport>> JobHandle::TryJoin() {
     return Result<RunReport>(
         Status::InvalidArgument("TryJoin() on an invalid JobHandle"));
   }
-  std::lock_guard<std::mutex> lock(rec_->scheduler->mu_);
+  analysis::sync::Lock lock(rec_->scheduler->mu_);
   if (rec_->state != JobState::kDone) return std::nullopt;
   if (!rec_->status.ok()) return Result<RunReport>(rec_->status);
   return Result<RunReport>(rec_->report);
@@ -98,7 +98,7 @@ JobHandle JobScheduler::SubmitPass(GtsKernel* kernel,
   rec->exec->is_pass = is_pass;
   rec->exec->pages = std::move(pages);
   rec->exec->pass_level = level;
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   rec->id = next_id_++;
   if (kernel == nullptr) {
     rec->state = JobState::kDone;
@@ -136,7 +136,7 @@ Result<RunMetrics> JobScheduler::RunPassJob(GtsKernel* kernel,
 }
 
 size_t JobScheduler::queued_jobs() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   return queue_.size();
 }
 
@@ -144,7 +144,7 @@ Status JobScheduler::QuiesceIngest() {
   // Take the driver role without running a batch: once driver_active_ is
   // ours no epoch is executing, so the engine can quiesce with nothing
   // pinned or staged. Waiters for queued jobs are woken afterwards.
-  std::unique_lock<std::mutex> lk(mu_);
+  analysis::sync::UniqueLock lk(mu_);
   while (driver_active_) cv_.wait(lk);
   driver_active_ = true;
   lk.unlock();
@@ -157,7 +157,7 @@ Status JobScheduler::QuiesceIngest() {
 
 void JobScheduler::DriveUntilDone(
     const std::shared_ptr<JobHandle::Record>& rec) {
-  std::unique_lock<std::mutex> lk(mu_);
+  analysis::sync::UniqueLock lk(mu_);
   for (;;) {
     if (rec->state == JobState::kDone) return;
     if (!driver_active_ && !queue_.empty()) {
@@ -188,7 +188,7 @@ void JobScheduler::CompleteLocked(
   }
 }
 
-void JobScheduler::RunCycle(std::unique_lock<std::mutex>& lk) {
+void JobScheduler::RunCycle(analysis::sync::UniqueLock& lk) {
   // Batch formation: cancelled-while-queued jobs retire immediately;
   // the rest are taken in priority order (stable, so FIFO within a
   // priority) up to max_concurrent_jobs.

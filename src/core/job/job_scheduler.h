@@ -27,14 +27,13 @@
 #ifndef GTS_CORE_JOB_JOB_SCHEDULER_H_
 #define GTS_CORE_JOB_JOB_SCHEDULER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <vector>
 
+#include "analysis/sync/sync.h"
 #include "common/status.h"
 #include "core/job/job_exec.h"
 #include "core/job/job_options.h"
@@ -144,17 +143,18 @@ class JobScheduler {
 
   /// Forms and executes one batch. Entered with `lk` held and
   /// driver_active_ set; unlocks around engine work.
-  void RunCycle(std::unique_lock<std::mutex>& lk);
+  void RunCycle(analysis::sync::UniqueLock& lk);
 
   /// Folds a finished exec into its record (state, status, report).
   void CompleteLocked(const std::shared_ptr<JobHandle::Record>& rec);
 
   GtsEngine* engine_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::shared_ptr<JobHandle::Record>> queue_;
-  bool driver_active_ = false;
-  uint64_t next_id_ = 1;
+  mutable analysis::sync::Mutex mu_{"job.scheduler",
+                                    analysis::sync::level::kScheduler};
+  analysis::sync::CondVar cv_;
+  std::deque<std::shared_ptr<JobHandle::Record>> queue_ GTS_GUARDED_BY(mu_);
+  bool driver_active_ GTS_GUARDED_BY(mu_) = false;
+  uint64_t next_id_ GTS_GUARDED_BY(mu_) = 1;
 };
 
 }  // namespace gts

@@ -6,6 +6,9 @@
 #include <utility>
 
 #include "common/logging.h"
+#if GTS_SYNC_CHECK_ENABLED
+#include "analysis/sync/lock_registry.h"
+#endif
 
 namespace gts {
 
@@ -27,7 +30,7 @@ PageCache::PageCache(gpu::Device* device, uint64_t capacity_bytes,
 }
 
 PageCache::~PageCache() {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   GTS_CHECK(total_pins_ == 0)
       << "PageCache destroyed with " << total_pins_
       << " outstanding Pin(s); every Pin must be released first";
@@ -39,6 +42,9 @@ PageCache::Pin& PageCache::Pin::operator=(Pin&& other) noexcept {
     cache_ = other.cache_;
     pid_ = other.pid_;
     data_ = other.data_;
+#if GTS_SYNC_CHECK_ENABLED
+    sync_owner_ = other.sync_owner_;
+#endif
     other.cache_ = nullptr;
     other.data_ = nullptr;
   }
@@ -48,13 +54,16 @@ PageCache::Pin& PageCache::Pin::operator=(Pin&& other) noexcept {
 void PageCache::Pin::Release() {
   if (cache_ != nullptr && data_ != nullptr) {
     cache_->Unpin(pid_);
+#if GTS_SYNC_CHECK_ENABLED
+    analysis::sync::LockRegistry::Global().NotePinReleased(sync_owner_);
+#endif
   }
   cache_ = nullptr;
   data_ = nullptr;
 }
 
 PageCache::Pin PageCache::Lookup(PageId pid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   Entry* entry = FindLocked(pid);
   if (entry == nullptr) return Pin();
   ++entry->pins;
@@ -62,11 +71,15 @@ PageCache::Pin PageCache::Lookup(PageId pid) {
   if (pin_log_ != nullptr) {
     pin_log_->Append(analysis::PinEvent::Kind::kPinned, pid);
   }
-  return Pin(this, pid, entry->buffer.data());
+  Pin pin(this, pid, entry->buffer.data());
+#if GTS_SYNC_CHECK_ENABLED
+  pin.sync_owner_ = analysis::sync::LockRegistry::Global().NotePinAcquired();
+#endif
+  return pin;
 }
 
 bool PageCache::LookupInto(PageId pid, uint8_t* dst) {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   const Entry* entry = FindLocked(pid);
   if (entry == nullptr) return false;
   std::memcpy(dst, entry->buffer.data(), page_size_);
@@ -91,7 +104,7 @@ PageCache::Entry* PageCache::FindLocked(PageId pid) {
 }
 
 void PageCache::Unpin(PageId pid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   auto it = entries_.find(pid);
   // Eviction skips pinned pages, so a pinned entry can never disappear.
   GTS_CHECK(it != entries_.end()) << "Unpin of evicted page " << pid;
@@ -113,13 +126,13 @@ void PageCache::Unpin(PageId pid) {
 }
 
 uint64_t PageCache::VersionOf(PageId pid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   auto it = entries_.find(pid);
   return it == entries_.end() ? 0 : it->second.version;
 }
 
 bool PageCache::Invalidate(PageId pid) {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   auto it = entries_.find(pid);
   if (it == entries_.end()) return true;
   if (pin_log_ != nullptr) {
@@ -150,7 +163,7 @@ std::string_view CachePolicyName(CachePolicy policy) {
 
 Status PageCache::Insert(PageId pid, const uint8_t* bytes,
                          uint64_t version) {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   if (capacity_pages_ == 0) return Status::OK();
   // Already present -- including a stale-but-pinned copy, whose device
   // buffer cannot be replaced until its readers drain.

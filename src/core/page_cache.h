@@ -9,11 +9,12 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/event_log.h"
+#include "analysis/sync/sync.h"
 #include "common/status.h"
 #include "gpu/device.h"
 #include "graph/types.h"
@@ -81,6 +82,11 @@ class PageCache {
     PageCache* cache_ = nullptr;
     PageId pid_ = 0;
     const uint8_t* data_ = nullptr;
+#if GTS_SYNC_CHECK_ENABLED
+    /// Thread that acquired the lease (LockRegistry pin-across-safe-point
+    /// rule); pins may be *released* on another thread.
+    std::thread::id sync_owner_{};
+#endif
   };
 
   /// Reserves space for up to `capacity_bytes` of pages of `page_size`
@@ -103,12 +109,12 @@ class PageCache {
   /// Max pages the cache can hold.
   size_t capacity_pages() const { return capacity_pages_; }
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     return entries_.size();
   }
   /// Outstanding Pin handles across all pages.
   size_t pinned() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     return total_pins_;
   }
 
@@ -118,18 +124,18 @@ class PageCache {
   /// in place for an extended time (e.g. running a kernel against cached
   /// device memory): the Pin blocks eviction instead of escaping a raw
   /// pointer that a concurrent Insert could free mid-read.
-  Pin Lookup(PageId pid);
+  [[nodiscard]] Pin Lookup(PageId pid);
 
   /// Like Lookup, but copies the page into `dst` (page_size bytes) under
   /// the cache lock. Prefer this copy-based fast path when the caller
   /// needs its own snapshot anyway (host-side staging): it takes no lease,
   /// so it can never contribute to cache-full backpressure.
-  bool LookupInto(PageId pid, uint8_t* dst);
+  [[nodiscard]] bool LookupInto(PageId pid, uint8_t* dst);
 
   /// True if present (and not stale), without touching stats or recency
   /// (Algorithm 1 consults the *host copy* of cachedPIDMap when routing).
   bool Contains(PageId pid) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     auto it = entries_.find(pid);
     return it != entries_.end() && !it->second.stale;
   }
@@ -142,7 +148,8 @@ class PageCache {
   /// (including a stale-but-pinned copy, which must drain first).
   /// `version` tags the entry with the page's ingest version (0 for a
   /// frozen graph).
-  Status Insert(PageId pid, const uint8_t* bytes, uint64_t version = 0);
+  [[nodiscard]] Status Insert(PageId pid, const uint8_t* bytes,
+                              uint64_t version = 0);
 
   /// Ingest version the resident copy of `pid` was inserted with; 0 when
   /// the page is not resident (or predates ingestion).
@@ -156,37 +163,37 @@ class PageCache {
   /// way a kInvalidated pin event is logged for resident entries; after
   /// it, pinning `pid` again without a fresh kInserted violates the
   /// validator's I1 rule.
-  bool Invalidate(PageId pid);
+  [[nodiscard]] bool Invalidate(PageId pid);
 
   /// Streams pin/insert/evict events into `log` (pass null to detach) for
   /// the gts::analysis pin-lifetime validator. The log must outlive the
   /// cache or be detached first.
   void BindPinLog(analysis::PinEventLog* log) {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     pin_log_ = log;
   }
 
   uint64_t lookups() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     return lookups_;
   }
   uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     return hits_;
   }
   /// Inserts rejected because every evictable page was pinned.
   uint64_t insert_backpressure() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     return insert_backpressure_;
   }
   double hit_rate() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     return lookups_ == 0 ? 0.0
                          : static_cast<double>(hits_) /
                                static_cast<double>(lookups_);
   }
   void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     lookups_ = 0;
     hits_ = 0;
     insert_backpressure_ = 0;
@@ -203,11 +210,12 @@ class PageCache {
   };
 
   /// Stats/recency-updating find; requires mu_ held.
-  Entry* FindLocked(PageId pid);
+  Entry* FindLocked(PageId pid) GTS_REQUIRES(mu_);
   /// Pin::Release hook.
   void Unpin(PageId pid);
 
-  mutable std::mutex mu_;
+  mutable analysis::sync::Mutex mu_{"cache.page_cache",
+                                    analysis::sync::level::kCache};
   gpu::Device* device_;
   uint64_t page_size_;
   size_t capacity_pages_;
@@ -221,15 +229,15 @@ class PageCache {
 
   analysis::PinEventLog* pin_log_ = nullptr;
 
-  std::unordered_map<PageId, Entry> entries_;
+  std::unordered_map<PageId, Entry> entries_ GTS_GUARDED_BY(mu_);
   // For LRU: front = most recent. For FIFO: front = newest insert; eviction
   // takes from the back in both policies (skipping pinned pages).
-  std::list<PageId> order_;
+  std::list<PageId> order_ GTS_GUARDED_BY(mu_);
 
-  size_t total_pins_ = 0;
-  uint64_t lookups_ = 0;
-  uint64_t hits_ = 0;
-  uint64_t insert_backpressure_ = 0;
+  size_t total_pins_ GTS_GUARDED_BY(mu_) = 0;
+  uint64_t lookups_ GTS_GUARDED_BY(mu_) = 0;
+  uint64_t hits_ GTS_GUARDED_BY(mu_) = 0;
+  uint64_t insert_backpressure_ GTS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gts

@@ -116,6 +116,8 @@ class ScheduleRecorder {
   }
 
   const std::vector<TimelineOp>& ops() const { return ops_; }
+  /// Mutable access to a previously recorded op (duration patch-ups).
+  TimelineOp& op(OpIndex idx) { return ops_[idx]; }
   std::vector<TimelineOp> TakeOps() { return std::move(ops_); }
   bool empty() const { return ops_.empty(); }
   void Clear() { ops_.clear(); }

@@ -11,7 +11,7 @@ Compactor::Compactor(DeltaStore* store, uint32_t threshold)
 Compactor::~Compactor() { Stop(); }
 
 void Compactor::Start() {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   if (started_) return;
   started_ = true;
   stop_ = false;
@@ -20,24 +20,24 @@ void Compactor::Start() {
 
 void Compactor::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     if (!started_) return;
     stop_ = true;
     cv_.notify_all();
   }
   thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   started_ = false;
 }
 
 void Compactor::Nudge() {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   nudged_ = true;
   cv_.notify_all();
 }
 
 std::vector<DeltaStore::Compaction> Compactor::TakeCompleted() {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   std::vector<DeltaStore::Compaction> out = std::move(completed_);
   completed_.clear();
   pending_install_.clear();
@@ -48,7 +48,7 @@ void Compactor::Loop() {
   for (;;) {
     std::unordered_set<PageId> exclude;
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      analysis::sync::UniqueLock lock(mu_);
       cv_.wait(lock, [&] { return stop_ || nudged_; });
       if (stop_) return;
       nudged_ = false;
@@ -60,7 +60,7 @@ void Compactor::Loop() {
     for (;;) {
       auto compaction = store_->PickAndBuild(threshold_, &exclude);
       if (!compaction.has_value()) break;
-      std::lock_guard<std::mutex> lock(mu_);
+      analysis::sync::Lock lock(mu_);
       if (stop_) return;
       exclude.insert(compaction->pid);
       pending_install_.insert(compaction->pid);

@@ -10,12 +10,11 @@
 #ifndef GTS_INGEST_COMPACTOR_H_
 #define GTS_INGEST_COMPACTOR_H_
 
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/sync/sync.h"
 #include "graph/types.h"
 #include "ingest/delta_store.h"
 
@@ -50,15 +49,16 @@ class Compactor {
   DeltaStore* const store_;
   const uint32_t threshold_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  bool nudged_ = false;
-  bool started_ = false;
-  std::vector<DeltaStore::Compaction> completed_;
+  analysis::sync::Mutex mu_{"ingest.compactor",
+                            analysis::sync::level::kIngestCompactor};
+  analysis::sync::CondVar cv_;
+  bool stop_ GTS_GUARDED_BY(mu_) = false;
+  bool nudged_ GTS_GUARDED_BY(mu_) = false;
+  bool started_ GTS_GUARDED_BY(mu_) = false;
+  std::vector<DeltaStore::Compaction> completed_ GTS_GUARDED_BY(mu_);
   /// Pages with a rebuild awaiting install; excluded from PickAndBuild so
   /// the worker does not rebuild the same chain repeatedly.
-  std::unordered_set<PageId> pending_install_;
+  std::unordered_set<PageId> pending_install_ GTS_GUARDED_BY(mu_);
   std::thread thread_;
 };
 

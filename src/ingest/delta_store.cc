@@ -114,7 +114,7 @@ const uint8_t* DeltaStore::InstalledBytes(PageId pid) const {
 
 void DeltaStore::ResolveFlushes(const std::vector<GutterBank::Flush>& flushes,
                                 std::vector<PageId>* changed) {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   const PageConfig& config = graph_->config();
 
   // Per-publish cache: each touched page parsed once, with its existing
@@ -246,7 +246,7 @@ void DeltaStore::ResolveFlushes(const std::vector<GutterBank::Flush>& flushes,
 }
 
 bool DeltaStore::Overlay(PageId pid, uint8_t* bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   auto it = states_.find(pid);
   if (it == states_.end() || it->second.chain.empty()) return false;
   const PageConfig& config = graph_->config();
@@ -258,13 +258,13 @@ bool DeltaStore::Overlay(PageId pid, uint8_t* bytes) {
 }
 
 bool DeltaStore::HasDeltas(PageId pid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   auto it = states_.find(pid);
   return it != states_.end() && !it->second.chain.empty();
 }
 
 uint64_t DeltaStore::PageVersion(PageId pid) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   auto it = states_.find(pid);
   return it == states_.end() ? 0 : it->second.version;
 }
@@ -276,7 +276,7 @@ std::optional<DeltaStore::Compaction> DeltaStore::PickAndBuild(
   std::vector<PageDelta> chain;
   uint64_t installs = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    analysis::sync::Lock lock(mu_);
     size_t best_len = 0;
     for (const auto& [candidate, state] : states_) {
       if (exclude != nullptr && exclude->count(candidate) != 0) continue;
@@ -306,7 +306,7 @@ std::optional<DeltaStore::Compaction> DeltaStore::PickAndBuild(
 }
 
 bool DeltaStore::Install(Compaction&& compaction) {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   auto it = states_.find(compaction.pid);
   if (it == states_.end()) return false;
   PageState& state = it->second;
@@ -325,7 +325,7 @@ bool DeltaStore::Install(Compaction&& compaction) {
 }
 
 size_t DeltaStore::MaxChainLength() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   size_t longest = 0;
   for (const auto& [pid, state] : states_) {
     longest = std::max(longest, state.chain.size());
@@ -334,7 +334,7 @@ size_t DeltaStore::MaxChainLength() const {
 }
 
 size_t DeltaStore::DirtyPageCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   size_t dirty = 0;
   for (const auto& [pid, state] : states_) {
     if (!state.chain.empty()) ++dirty;
@@ -343,7 +343,7 @@ size_t DeltaStore::DirtyPageCount() const {
 }
 
 void DeltaStore::ApplyDegreeDeltas(std::vector<uint32_t>* out_degrees) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   for (const auto& [v, delta] : degree_delta_) {
     if (v >= out_degrees->size()) continue;
     uint32_t& degree = (*out_degrees)[v];
@@ -356,12 +356,12 @@ void DeltaStore::ApplyDegreeDeltas(std::vector<uint32_t>* out_degrees) const {
 }
 
 int64_t DeltaStore::EdgeCountDelta() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   return edge_count_delta_;
 }
 
 std::vector<VertexId> DeltaStore::CurrentNeighbors(VertexId v) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   const PageConfig& config = graph_->config();
   const RecordId loc = graph_->VertexLocation(v);
 
@@ -394,7 +394,7 @@ std::vector<VertexId> DeltaStore::CurrentNeighbors(VertexId v) const {
 }
 
 IngestStats DeltaStore::SnapshotStats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  analysis::sync::Lock lock(mu_);
   return stats_;
 }
 

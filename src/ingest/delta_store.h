@@ -17,12 +17,12 @@
 #define GTS_INGEST_DELTA_STORE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "analysis/sync/sync.h"
 #include "graph/types.h"
 #include "ingest/gutter_bank.h"
 #include "ingest/update.h"
@@ -138,11 +138,12 @@ class DeltaStore {
   const PagedGraph* graph_;
   const uint64_t lp_chunk_capacity_;  // adjacency entries per LP chunk
 
-  mutable std::mutex mu_;
-  std::unordered_map<PageId, PageState> states_;
-  std::unordered_map<VertexId, int64_t> degree_delta_;
-  int64_t edge_count_delta_ = 0;
-  IngestStats stats_;
+  mutable analysis::sync::Mutex mu_{"ingest.delta",
+                                    analysis::sync::level::kIngestDelta};
+  std::unordered_map<PageId, PageState> states_ GTS_GUARDED_BY(mu_);
+  std::unordered_map<VertexId, int64_t> degree_delta_ GTS_GUARDED_BY(mu_);
+  int64_t edge_count_delta_ GTS_GUARDED_BY(mu_) = 0;
+  IngestStats stats_ GTS_GUARDED_BY(mu_);
 };
 
 }  // namespace ingest

@@ -61,7 +61,7 @@ void EdgeStream::FlushGutters() { gutters_.FlushAll(); }
 std::vector<PageId> EdgeStream::Publish() {
   std::vector<PageId> changed;
   {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+    analysis::sync::Lock lock(publish_mu_);
     PublishLocked(&changed);
   }
   return FinishChanged(std::move(changed));
@@ -71,7 +71,7 @@ std::vector<PageId> EdgeStream::Quiesce() {
   gutters_.FlushAll();
   std::vector<PageId> changed;
   {
-    std::lock_guard<std::mutex> lock(publish_mu_);
+    analysis::sync::Lock lock(publish_mu_);
     PublishLocked(&changed);
     // Force-compact every remaining chain; afterwards each touched device
     // page holds exactly the bytes a fresh build would produce.
@@ -150,7 +150,7 @@ std::vector<PageId> EdgeStream::FinishChanged(std::vector<PageId> changed) {
     epoch_.fetch_add(1, std::memory_order_release);
   }
   {
-    std::lock_guard<std::mutex> lock(harvest_mu_);
+    analysis::sync::Lock lock(harvest_mu_);
     SyncRegistryLocked(SnapshotStats());
   }
   return changed;
@@ -191,7 +191,7 @@ IngestStats EdgeStream::SnapshotStats() const {
 }
 
 IngestStats EdgeStream::TakeRunStats() {
-  std::lock_guard<std::mutex> lock(harvest_mu_);
+  analysis::sync::Lock lock(harvest_mu_);
   const IngestStats current = SnapshotStats();
   IngestStats diff;
   diff.updates_applied = current.updates_applied - harvested_.updates_applied;

@@ -21,9 +21,9 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "analysis/sync/sync.h"
 #include "common/status.h"
 #include "graph/types.h"
 #include "ingest/compactor.h"
@@ -128,7 +128,8 @@ class EdgeStream {
 
  private:
   /// Publish body; caller holds publish_mu_.
-  void PublishLocked(std::vector<PageId>* changed);
+  void PublishLocked(std::vector<PageId>* changed)
+      GTS_REQUIRES(publish_mu_);
   void PersistFlushes(const std::vector<GutterBank::Flush>& flushes);
   /// Installs `compaction` and rewrites the device page; records the pid
   /// in `changed` on success.
@@ -137,22 +138,31 @@ class EdgeStream {
   /// Sorts/dedups `changed`, bumps the epoch if non-empty, and syncs the
   /// ingest.* registry counters.
   std::vector<PageId> FinishChanged(std::vector<PageId> changed);
-  void SyncRegistryLocked(const IngestStats& cumulative);
+  void SyncRegistryLocked(const IngestStats& cumulative)
+      GTS_REQUIRES(harvest_mu_);
 
   Env env_;
   GutterBank gutters_;
   DeltaStore delta_;
   std::unique_ptr<Compactor> compactor_;  // null unless background mode
 
-  std::mutex publish_mu_;                // serializes Publish/Quiesce
-  std::vector<uint64_t> delta_cursors_;  // per-device append offsets
+  // Serializes Publish/Quiesce. Publishing nests inside the engine's
+  // dispatch lock at safe points, hence the level between engine.dispatch
+  // and the ready queue.
+  analysis::sync::Mutex publish_mu_{"ingest.publish",
+                                    analysis::sync::level::kIngestPublish};
+  std::vector<uint64_t> delta_cursors_ GTS_GUARDED_BY(
+      publish_mu_);  // per-device append offsets
   std::atomic<uint64_t> deltas_flushed_{0};
   std::atomic<uint64_t> delta_bytes_{0};
   std::atomic<uint64_t> epoch_{0};
 
-  std::mutex harvest_mu_;
-  IngestStats harvested_;   // cumulative counters already returned
-  IngestStats registered_;  // cumulative counters already in the registry
+  mutable analysis::sync::Mutex harvest_mu_{
+      "ingest.harvest", analysis::sync::level::kIngestHarvest};
+  IngestStats harvested_ GTS_GUARDED_BY(
+      harvest_mu_);  // cumulative counters already returned
+  IngestStats registered_ GTS_GUARDED_BY(
+      harvest_mu_);  // cumulative counters already in the registry
 };
 
 }  // namespace ingest

@@ -11,7 +11,7 @@ GutterBank::GutterBank(size_t num_pages, uint32_t gutter_capacity)
 void GutterBank::Add(PageId pid, const EdgeUpdate& update) {
   std::vector<EdgeUpdate> full;
   {
-    std::lock_guard<std::mutex> lock(ShardMutex(pid));
+    analysis::sync::Lock lock(ShardMutex(pid));
     std::vector<EdgeUpdate>& gutter = gutters_[pid];
     gutter.push_back(update);
     if (gutter.size() < capacity_) return;
@@ -25,7 +25,7 @@ void GutterBank::FlushAll() {
   for (PageId pid = 0; pid < gutters_.size(); ++pid) {
     std::vector<EdgeUpdate> taken;
     {
-      std::lock_guard<std::mutex> lock(ShardMutex(pid));
+      analysis::sync::Lock lock(ShardMutex(pid));
       if (gutters_[pid].empty()) continue;
       taken = std::move(gutters_[pid]);
       gutters_[pid].clear();
@@ -35,14 +35,14 @@ void GutterBank::FlushAll() {
 }
 
 void GutterBank::PushPending(PageId pid, std::vector<EdgeUpdate>&& updates) {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  analysis::sync::Lock lock(pending_mu_);
   pending_updates_ += updates.size();
   ++flushes_;
   pending_.push_back(Flush{pid, std::move(updates)});
 }
 
 std::vector<GutterBank::Flush> GutterBank::DrainPending() {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  analysis::sync::Lock lock(pending_mu_);
   std::vector<Flush> out = std::move(pending_);
   pending_.clear();
   pending_updates_ = 0;
@@ -52,18 +52,18 @@ std::vector<GutterBank::Flush> GutterBank::DrainPending() {
 size_t GutterBank::BufferedUpdates() const {
   size_t total;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    analysis::sync::Lock lock(pending_mu_);
     total = pending_updates_;
   }
   for (PageId pid = 0; pid < gutters_.size(); ++pid) {
-    std::lock_guard<std::mutex> lock(ShardMutex(pid));
+    analysis::sync::Lock lock(ShardMutex(pid));
     total += gutters_[pid].size();
   }
   return total;
 }
 
 uint64_t GutterBank::flushes() const {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  analysis::sync::Lock lock(pending_mu_);
   return flushes_;
 }
 

@@ -15,9 +15,9 @@
 #define GTS_INGEST_GUTTER_BANK_H_
 
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "analysis/sync/sync.h"
 #include "graph/types.h"
 #include "ingest/update.h"
 
@@ -56,19 +56,28 @@ class GutterBank {
  private:
   static constexpr size_t kShards = 16;
 
-  std::mutex& ShardMutex(PageId pid) const {
+  /// sync::Mutex takes its site name at construction; a default-
+  /// constructible subclass lets the shard array stay an array.
+  struct ShardMu : analysis::sync::Mutex {
+    ShardMu()
+        : Mutex("ingest.gutter_shard",
+                analysis::sync::level::kIngestGutterShard) {}
+  };
+
+  analysis::sync::Mutex& ShardMutex(PageId pid) const {
     return shard_mu_[pid % kShards];
   }
   void PushPending(PageId pid, std::vector<EdgeUpdate>&& updates);
 
   const uint32_t capacity_;
-  mutable std::mutex shard_mu_[kShards];
+  mutable ShardMu shard_mu_[kShards];
   std::vector<std::vector<EdgeUpdate>> gutters_;  // indexed by PageId
 
-  mutable std::mutex pending_mu_;
-  std::vector<Flush> pending_;
-  size_t pending_updates_ = 0;
-  uint64_t flushes_ = 0;
+  mutable analysis::sync::Mutex pending_mu_{
+      "ingest.gutter_pending", analysis::sync::level::kIngestGutterPending};
+  std::vector<Flush> pending_ GTS_GUARDED_BY(pending_mu_);
+  size_t pending_updates_ GTS_GUARDED_BY(pending_mu_) = 0;
+  uint64_t flushes_ GTS_GUARDED_BY(pending_mu_) = 0;
 };
 
 }  // namespace ingest

@@ -8,8 +8,11 @@
 // staged bytes, the recorded timeline op) is the IoEngine's job; this
 // class owns only the queue discipline and cost accounting.
 //
-// Single-threaded by design: the engine's dispatch loop is the only
-// submitter and consumer (kernel worker threads never touch storage).
+// Historically single-threaded (the engine's dispatch loop was the only
+// submitter and consumer); now internally locked -- JobScheduler-served
+// engines and ingest installs reach the queues from more than one
+// context, and the per-queue sync::Mutex makes every entry point safe
+// and visible to the lock-order registry.
 #ifndef GTS_IO_DEVICE_QUEUE_H_
 #define GTS_IO_DEVICE_QUEUE_H_
 
@@ -17,6 +20,7 @@
 #include <string>
 
 #include "analysis/event_log.h"
+#include "analysis/sync/sync.h"
 #include "common/status.h"
 #include "io/io_options.h"
 #include "io/io_request.h"
@@ -39,6 +43,7 @@ class DeviceQueue {
   /// Called at every BeginPass: queue waits are pass-local, and the head
   /// position must not leak a merge discount across a barrier.
   void ResetPass() {
+    analysis::sync::Lock lock(mu_);
     queue_.clear();
     clock_ = 0.0;
     head_offset_ = kNoHeadOffset;
@@ -48,15 +53,28 @@ class DeviceQueue {
   /// Streams submit/issue events into `log` (null detaches) for the
   /// gts::analysis io-order validator. The log must outlive the queue or
   /// be detached first.
-  void BindEventLog(analysis::IoEventLog* log) { log_ = log; }
+  void BindEventLog(analysis::IoEventLog* log) {
+    analysis::sync::Lock lock(mu_);
+    log_ = log;
+  }
 
-  bool QueueFull() const { return queue_.size() >= static_cast<size_t>(depth_); }
-  bool SlotsFull() const { return outstanding_ >= slots_; }
-  bool Empty() const { return queue_.empty(); }
+  bool QueueFull() const {
+    analysis::sync::Lock lock(mu_);
+    return queue_.size() >= static_cast<size_t>(depth_);
+  }
+  bool SlotsFull() const {
+    analysis::sync::Lock lock(mu_);
+    return outstanding_ >= slots_;
+  }
+  bool Empty() const {
+    analysis::sync::Lock lock(mu_);
+    return queue_.empty();
+  }
   int device_index() const { return device_index_; }
 
   /// Linear scan; queues are at most queue_depth long.
   bool Contains(PageId pid) const {
+    analysis::sync::Lock lock(mu_);
     for (const IoRequest& req : queue_) {
       if (req.pid == pid) return true;
     }
@@ -69,7 +87,8 @@ class DeviceQueue {
   /// !QueueFull() first; a full queue is drained, not an error.
   Status Submit(PageId pid, uint64_t offset, uint64_t length,
                 bool force = false) {
-    if (!force && SlotsFull()) {
+    analysis::sync::Lock lock(mu_);
+    if (!force && outstanding_ >= slots_) {
       return Status::ResourceExhausted(
           "io inflight slots exhausted on device " +
           std::to_string(device_index_));
@@ -93,6 +112,7 @@ class DeviceQueue {
   /// by page id and a spill carries none (kInvalidPageId), so logging it
   /// would only produce bogus submit/issue pairs.
   void SubmitWrite(uint64_t offset, uint64_t length) {
+    analysis::sync::Lock lock(mu_);
     IoRequest req;
     req.offset = offset;
     req.length = length;
@@ -106,6 +126,7 @@ class DeviceQueue {
   /// Services one request per the reorder policy; the queue must be
   /// non-empty. Advances the busy clock and head offset.
   IoIssue IssueNext() {
+    analysis::sync::Lock lock(mu_);
     const size_t picked =
         PickNextRequest(reorder_, queue_, head_offset_);
     IoIssue issue;
@@ -136,6 +157,7 @@ class DeviceQueue {
 
   /// Releases the in-flight slot once the engine consumed the completion.
   void NoteConsumed() {
+    analysis::sync::Lock lock(mu_);
     if (outstanding_ > 0) --outstanding_;
   }
 
@@ -146,12 +168,16 @@ class DeviceQueue {
   int slots_;
   IoReorderKind reorder_;
 
-  analysis::IoEventLog* log_ = nullptr;
-  std::deque<IoRequest> queue_;  // submission order
-  uint64_t next_seq_ = 0;
-  SimTime clock_ = 0.0;               // pass-local busy time issued so far
-  uint64_t head_offset_ = kNoHeadOffset;
-  int outstanding_ = 0;  // queued + issued-but-unconsumed completions
+  mutable analysis::sync::Mutex mu_{"io.device_queue",
+                                    analysis::sync::level::kIoDevice};
+  analysis::IoEventLog* log_ GTS_GUARDED_BY(mu_) = nullptr;
+  std::deque<IoRequest> queue_ GTS_GUARDED_BY(mu_);  // submission order
+  uint64_t next_seq_ GTS_GUARDED_BY(mu_) = 0;
+  /// Pass-local busy time issued so far.
+  SimTime clock_ GTS_GUARDED_BY(mu_) = 0.0;
+  uint64_t head_offset_ GTS_GUARDED_BY(mu_) = kNoHeadOffset;
+  /// Queued + issued-but-unconsumed completions.
+  int outstanding_ GTS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace io

@@ -17,7 +17,6 @@ IoEngine::IoEngine(const PagedGraph* graph, PageStore* store,
       record_(std::move(record)) {
   const Status valid = options_.Validate();
   GTS_CHECK(valid.ok()) << valid.ToString();
-  queues_.reserve(store_->num_devices());
   for (size_t d = 0; d < store_->num_devices(); ++d) {
     // Heterogeneous mixes: each queue gets the base options with its
     // device's overrides folded in (an HDD can run a deep elevator queue
@@ -40,11 +39,13 @@ IoEngine::IoEngine(const PagedGraph* graph, PageStore* store,
 }
 
 void IoEngine::BindEventLog(analysis::IoEventLog* log) {
+  analysis::sync::Lock lock(mu_);
   io_log_ = log;
   for (DeviceQueue& queue : queues_) queue.BindEventLog(log);
 }
 
 void IoEngine::BeginPass(const std::vector<PageId>& ordered) {
+  analysis::sync::Lock lock(mu_);
   // Leftover queue/parked state can only exist after a failed pass; the
   // recorder was cleared with it, so drop everything and start clean.
   parked_.clear();
@@ -172,6 +173,7 @@ Result<gpu::OpIndex> IoEngine::Write(size_t device, uint64_t offset,
     return Status::InvalidArgument("storage device out of range: " +
                                    std::to_string(device));
   }
+  analysis::sync::Lock lock(mu_);
   // Bytes land now -- host-side correctness never waits on the simulated
   // clock -- then the request queues behind whatever reads are pending
   // and the in-device scheduler prices it in its own turn.
@@ -185,6 +187,7 @@ Result<gpu::OpIndex> IoEngine::RewritePage(PageId pid, const uint8_t* data,
     return Status::InvalidArgument("page id out of range: " +
                                    std::to_string(pid));
   }
+  analysis::sync::Lock lock(mu_);
   // New image lands now (and any stale MMBuf copy is dropped); the queue
   // then prices the write like any other storage traffic. A prefetch of
   // this page parked before the rewrite re-reads on Acquire -- its MMBuf
@@ -224,6 +227,7 @@ Result<gpu::OpIndex> IoEngine::DrainWrite(size_t device, uint64_t offset,
 }
 
 Result<IoEngine::Fetched> IoEngine::Acquire(PageId pid) {
+  analysis::sync::Lock lock(mu_);
   if (pid >= graph_->num_pages()) {
     return Status::InvalidArgument("page id out of range: " +
                                    std::to_string(pid));

@@ -27,11 +27,13 @@
 #define GTS_IO_IO_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "analysis/event_log.h"
+#include "analysis/sync/sync.h"
 #include "common/status.h"
 #include "gpu/schedule.h"
 #include "io/device_queue.h"
@@ -179,7 +181,12 @@ class IoEngine {
   IoOptions options_;
   RecordFn record_;
 
-  std::vector<DeviceQueue> queues_;
+  /// Serializes the whole fetch/write pipeline (prefetcher, parked set,
+  /// stats) across callers; each DeviceQueue has its own finer lock
+  /// underneath. A deque because DeviceQueue is immovable (it owns a
+  /// sync::Mutex).
+  mutable analysis::sync::Mutex mu_{"io.engine", analysis::sync::level::kIo};
+  std::deque<DeviceQueue> queues_;
   Prefetcher prefetcher_;
   std::unordered_map<PageId, Parked> parked_;
   analysis::IoEventLog* io_log_ = nullptr;

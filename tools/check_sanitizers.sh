@@ -6,7 +6,7 @@
 # pure observer: the Figure 4 trace from the instrumented build must be
 # byte-identical to the trace from the plain (knob OFF) build.
 #
-# Usage: tools/check_sanitizers.sh [plain|tsan|tsan-steal|tsan-jobs|tsan-transfer|tsan-ingest|asan|race|all]
+# Usage: tools/check_sanitizers.sh [plain|tsan|tsan-steal|tsan-jobs|tsan-transfer|tsan-ingest|asan|race|sync|all]
 #        (default: all)
 # Env:   JOBS=N        parallelism (default: nproc)
 #        BUILD_ROOT=d  where build trees go (default: <repo>/build-san)
@@ -160,6 +160,61 @@ run_race() {
   echo "==== [race] traces identical ===="
 }
 
+# -DGTS_SYNC_CHECK=ON rebuild: the sync::Mutex wrappers route every
+# adopted acquisition through the LockRegistry (lock-order graph, declared
+# levels, wait-while-holding, pin-across-safe-point) and the Explorer
+# suites systematically replay bounded interleavings of the adopted state
+# machines. GTS_SYNC_STRICT=1 aborts on the first unexpected violation, so
+# any ordering regression fails loudly with both sites named. Afterwards
+# the Figure 4 bench runs under the instrumented build: its trace carries
+# the sync.check metadata, which trace_lint rule 10 cross-checks against
+# the registry's violation count, and stripping that metadata must yield
+# the plain build's trace byte-for-byte (the wrappers record no timeline
+# ops, so the schedule itself is knob-invariant).
+run_sync() {
+  local build="$BUILD_ROOT/sync"
+  echo "==== [sync] configure (GTS_SYNC_CHECK=ON) ===="
+  cmake -B "$build" -S "$ROOT" -DGTS_SYNC_CHECK=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "==== [sync] build sync/dispatch/job/ingest suites + fig4 ===="
+  cmake --build "$build" --target sync_test dispatch_test \
+    job_scheduler_test ingest_test bench_fig4_timeline trace_lint \
+    -j "$JOBS"
+  echo "==== [sync] strict lock-order + explorer suites ===="
+  (
+    export GTS_SYNC_STRICT=1
+    "$build/tests/sync_test"
+    "$build/tests/dispatch_test"
+    "$build/tests/job_scheduler_test"
+    "$build/tests/ingest_test"
+  )
+  echo "==== [sync] fig4 trace: rule 10 metadata + schedule invariance ===="
+  local work="$BUILD_ROOT/sync-trace"
+  mkdir -p "$work"
+  (
+    export GTS_BENCH_QUICK=1
+    export GTS_BENCH_DATA="$work/data"
+    GTS_SYNC_STRICT=1 "$build/bench/bench_fig4_timeline" \
+      --trace_out="$work/fig4_sync.json" >"$work/run_sync.log"
+  )
+  "$build/tools/trace_lint" "$work/fig4_sync.json"
+  local plain="$BUILD_ROOT/sync-baseline"
+  cmake -B "$plain" -S "$ROOT" -DGTS_SYNC_CHECK=OFF \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  cmake --build "$plain" --target bench_fig4_timeline -j "$JOBS"
+  (
+    export GTS_BENCH_QUICK=1
+    export GTS_BENCH_DATA="$work/data"
+    "$plain/bench/bench_fig4_timeline" \
+      --trace_out="$work/fig4_plain.json" >"$work/run_plain.log"
+  )
+  # The instrumented trace differs from the plain one only by the two
+  # sync.* metadata records; dropping those lines must restore identity.
+  grep -v '"name":"sync\.' "$work/fig4_sync.json" >"$work/fig4_sync_stripped.json"
+  cmp "$work/fig4_sync_stripped.json" "$work/fig4_plain.json"
+  echo "==== [sync] OK ===="
+}
+
 case "$MODE" in
   plain) run_config plain "" ;;
   tsan) run_config tsan thread ;;
@@ -169,6 +224,7 @@ case "$MODE" in
   tsan-ingest) run_tsan_ingest ;;
   asan) run_config asan-ubsan "address;undefined" ;;
   race) run_race ;;
+  sync) run_sync ;;
   all)
     run_config plain ""
     run_config tsan thread
@@ -176,7 +232,7 @@ case "$MODE" in
     run_race
     ;;
   *)
-    echo "unknown mode '$MODE' (expected plain|tsan|tsan-steal|tsan-jobs|tsan-transfer|tsan-ingest|asan|race|all)" >&2
+    echo "unknown mode '$MODE' (expected plain|tsan|tsan-steal|tsan-jobs|tsan-transfer|tsan-ingest|asan|race|sync|all)" >&2
     exit 2
     ;;
 esac

@@ -42,6 +42,13 @@
 //      only at safe points, after in-flight reads of the old image have
 //      drained). A page never fetched in the group has nothing to order
 //      against.
+//  10. sync-check metadata: a trace whose "sync.check" metadata record
+//      says "on" was produced by a -DGTS_SYNC_CHECK=ON binary, which
+//      also stamps "sync.lock_order_violations" with the lock registry's
+//      cumulative count. A nonzero count means the run held locks out of
+//      the declared order (a potential deadlock) and the trace is
+//      rejected. Traces without the record (knob-OFF builds, which emit
+//      no sync metadata at all) are exempt.
 //
 // Rules 6-9 compare timestamps the exporter rounded to %.6f us, so they
 // allow a slack of 1e-5 us for two roundings.
@@ -307,6 +314,9 @@ int LintTrace(const JsonValue& root) {
   // Rule 9: (run group, page) -> (pid, tid) lane of the latest fetch.
   std::map<std::pair<int, int>, std::pair<int, int>> fetch_lane;
   size_t data_events = 0;
+  // Rule 10: sync-check metadata harvested from the 'M' records.
+  bool sync_check_on = false;
+  double sync_violations = 0.0;
   for (size_t i = 0; i < events->array.size(); ++i) {
     const JsonValue& event = events->array[i];
     if (event.kind != JsonValue::Kind::kObject) {
@@ -323,7 +333,21 @@ int LintTrace(const JsonValue& root) {
     double tid = 0.0;
     if (!GetNumber(event, "pid", &pid)) return Violation(i, "missing pid");
     const char phase = ph->str[0];
-    if (phase == 'M') continue;  // metadata: process/thread names
+    if (phase == 'M') {  // metadata: process/thread names, run key/values
+      const JsonValue* margs = event.Find("args");
+      const JsonValue* value =
+          margs != nullptr && margs->kind == JsonValue::Kind::kObject
+              ? margs->Find("value")
+              : nullptr;
+      if (value != nullptr && value->kind == JsonValue::Kind::kString) {
+        if (name->str == "sync.check") {
+          sync_check_on = value->str == "on";
+        } else if (name->str == "sync.lock_order_violations") {
+          sync_violations = std::strtod(value->str.c_str(), nullptr);
+        }
+      }
+      continue;
+    }
     if (!GetNumber(event, "tid", &tid)) return Violation(i, "missing tid");
     if (phase != 'X' && phase != 'i') {
       return Violation(i, std::string("unexpected phase '") + phase + "'");
@@ -506,6 +530,15 @@ int LintTrace(const JsonValue& root) {
 
   if (data_events == 0) {
     std::fprintf(stderr, "trace_lint: trace has no data events\n");
+    return 1;
+  }
+  // Rule 10: a sync-check-ON trace must report zero unresolved
+  // lock-order violations in its metadata.
+  if (sync_check_on && sync_violations != 0.0) {
+    std::fprintf(stderr,
+                 "trace_lint: sync.check=on trace reports %.0f unresolved "
+                 "lock-order violation(s)\n",
+                 sync_violations);
     return 1;
   }
   std::printf("trace_lint: OK (%zu data events, %zu lanes)\n", data_events,
